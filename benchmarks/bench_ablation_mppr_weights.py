@@ -1,0 +1,15 @@
+"""Ablation: m-PPR's weighted server selection vs weight-blind."""
+
+from repro.analysis import experiments
+
+
+def test_ablation_mppr_weights(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: experiments.ablation_mppr_weights(num_stripes=30),
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+    by = {row["variant"]: row["total_s"] for row in result.rows}
+    # Weighted selection must not be slower; it usually wins clearly
+    # because destinations (Eq. 3) stop piling onto one server.
+    assert by["weighted"] <= by["degenerate"] * 1.05

@@ -1,0 +1,16 @@
+"""Ablation: star vs staggered vs binomial-tree repair."""
+
+from repro.analysis import experiments
+
+
+def test_ablation_tree_shapes(benchmark, save_report):
+    result = benchmark.pedantic(
+        experiments.ablation_tree_shapes, rounds=1, iterations=1
+    )
+    save_report(result)
+    by = {row["strategy"]: row for row in result.rows}
+    # Staggering removes congestion but serializes: slowest overall (§4.2).
+    assert by["staggered"]["duration_s"] > by["star"]["duration_s"]
+    # PPR wins on time AND on hotspot size.
+    assert by["ppr"]["duration_s"] < by["star"]["duration_s"]
+    assert by["ppr"]["max_ingress_chunks"] < by["star"]["max_ingress_chunks"]

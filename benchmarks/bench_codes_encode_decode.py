@@ -1,0 +1,52 @@
+"""Throughput of encode / decode / reconstruct for every shipped code."""
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    CauchyReedSolomonCode,
+    LocalReconstructionCode,
+    ReedSolomonCode,
+    RotatedReedSolomonCode,
+)
+from repro.util.units import MIB
+
+CODES = [
+    ReedSolomonCode(6, 3),
+    ReedSolomonCode(12, 4),
+    CauchyReedSolomonCode(6, 3),
+    LocalReconstructionCode(12, 2, 2),
+    RotatedReedSolomonCode(12, 4, r=4),
+]
+IDS = [c.name for c in CODES]
+CHUNK = MIB
+
+
+@pytest.fixture(params=CODES, ids=IDS)
+def code(request):
+    return request.param
+
+
+@pytest.fixture
+def stripe(code):
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, size=(code.k, CHUNK), dtype=np.uint8)
+    return data, code.encode(data)
+
+
+def test_encode(benchmark, code, stripe):
+    data, _ = stripe
+    benchmark(code.encode, data)
+
+
+def test_decode_from_k(benchmark, code, stripe):
+    _, encoded = stripe
+    available = {i: encoded[i] for i in range(code.n) if i != 0}
+    benchmark(code.decode_data, available)
+
+
+def test_reconstruct_one(benchmark, code, stripe):
+    _, encoded = stripe
+    available = {i: encoded[i] for i in range(code.n) if i != 0}
+    recipe = code.repair_recipe(0, available.keys())
+    benchmark(recipe.execute, available)

@@ -1,0 +1,14 @@
+"""Extension: capacity-aware aggregator placement (§4.2)."""
+
+from repro.analysis import extensions
+
+
+def test_ext_heterogeneous(benchmark, save_report):
+    result = benchmark.pedantic(
+        extensions.ext_heterogeneous, rounds=1, iterations=1
+    )
+    save_report(result)
+    by = {r["capacity_aware"]: r for r in result.rows}
+    # Capacity-aware placement wins clearly on a heterogeneous cluster.
+    assert by[True]["mean_s"] < by[False]["mean_s"]
+    assert by[True]["gain"] > 0.10

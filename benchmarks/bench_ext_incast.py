@@ -1,0 +1,19 @@
+"""Extension: incast ablation — Fig 7d's magnitudes under goodput collapse."""
+
+from repro.analysis import extensions
+
+
+def test_ext_incast(benchmark, save_report):
+    result = benchmark.pedantic(extensions.ext_incast, rounds=1, iterations=1)
+    save_report(result)
+    fluid = {(r["k"], r["m"]): r for r in result.rows if r["model"] == "fluid"}
+    incast = {(r["k"], r["m"]): r for r in result.rows if r["model"] == "incast"}
+    for key in fluid:
+        # Incast punishes the traditional k-into-1 funnel hard...
+        assert incast[key]["star_mbps"] < fluid[key]["star_mbps"] / 2
+        # ...while PPR's per-step fan-in stays under the threshold.
+        assert incast[key]["ppr_mbps"] > incast[key]["star_mbps"] * 3
+        # Gains land in the paper's multi-x regime.
+        assert incast[key]["gain"] > 4.0
+    # Traditional throughput lands near the paper's ~1 MB/s collapse.
+    assert incast[(6, 3)]["star_mbps"] < 3.0

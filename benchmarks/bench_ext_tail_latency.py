@@ -1,0 +1,16 @@
+"""Extension: degraded-read latency distribution under background load."""
+
+from repro.analysis import extensions
+
+
+def test_ext_tail_latency(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: extensions.ext_degraded_tail_latency(num_reads=15),
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+    by = {r["strategy"]: r for r in result.rows}
+    # PPR improves the mean AND the tail.
+    assert by["ppr"]["mean"] < by["star"]["mean"]
+    assert by["ppr"]["p95"] < by["star"]["p95"]
+    assert by["ppr"]["max"] < by["star"]["max"]

@@ -1,0 +1,20 @@
+"""Fig 1: phase shares of a traditional degraded read."""
+
+from repro.analysis import experiments
+
+
+def test_fig1_phase_breakdown(benchmark, save_report):
+    result = benchmark.pedantic(
+        experiments.fig1_phase_breakdown, rounds=1, iterations=1
+    )
+    save_report(result)
+    for row in result.rows:
+        # Network transfer dominates every configuration (paper: up to 94%).
+        assert row["network"] > row["disk_read"]
+        assert row["network"] > row["compute"]
+        assert row["network"] > 0.5
+        # Disk read is a visible but secondary cost (paper: up to 17.8%).
+        assert 0.0 < row["disk_read"] < 0.3
+    # Network share grows with k (more chunks funnel into the client).
+    shares = [row["network"] for row in result.rows]
+    assert shares == sorted(shares)

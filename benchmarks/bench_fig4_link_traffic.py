@@ -1,0 +1,21 @@
+"""Fig 2/4: per-server transfer patterns, traditional vs PPR."""
+
+import math
+
+from repro.analysis import experiments
+
+
+def test_fig4_link_traffic(benchmark, save_report):
+    result = benchmark.pedantic(
+        experiments.fig4_link_traffic, rounds=1, iterations=1
+    )
+    save_report(result)
+    k = 6
+    star = [r for r in result.rows if r["strategy"] == "star"]
+    ppr = [r for r in result.rows if r["strategy"] == "ppr"]
+    # Traditional: one server ingests k chunks, everyone else ships 1.
+    assert max(r["ingress_chunks"] for r in star) == k
+    # PPR: no server moves more than ceil(log2(k+1)) chunks either way.
+    cap = math.ceil(math.log2(k + 1))
+    for row in ppr:
+        assert row["ingress_chunks"] + row["egress_chunks"] <= cap + 1e-9

@@ -1,0 +1,20 @@
+"""Fig 7b: traditional vs PPR repair time as chunk size grows, RS(12,4)."""
+
+from repro.analysis import experiments
+
+
+def test_fig7b_chunk_size_sweep(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: experiments.fig7b_chunk_size_sweep(runs=1),
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+    rows = result.rows
+    # Absolute times grow with chunk size; PPR always wins.
+    stars = [r["star_s"] for r in rows]
+    pprs = [r["ppr_s"] for r in rows]
+    assert stars == sorted(stars) and pprs == sorted(pprs)
+    for row in rows:
+        assert row["ppr_s"] < row["star_s"]
+    # The benefit does not shrink with chunk size (paper: it grows).
+    assert rows[-1]["reduction"] >= rows[0]["reduction"] - 0.01

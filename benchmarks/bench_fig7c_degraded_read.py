@@ -1,0 +1,24 @@
+"""Fig 7c: degraded-read latency, traditional vs PPR."""
+
+from repro.analysis import experiments
+
+
+def test_fig7c_degraded_read(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: experiments.fig7c_degraded_read(runs=1),
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+    by_k = {}
+    for row in result.rows:
+        assert row["ppr_s"] < row["star_s"]
+        by_k.setdefault(row["k"], []).append(row["reduction"])
+    # Reduction more prominent for higher k (paper's observation).
+    means = {k: sum(v) / len(v) for k, v in by_k.items()}
+    ks = sorted(means)
+    assert [means[k] for k in ks] == sorted(means.values())
+    # And larger chunks benefit at least as much as small ones.
+    for k in ks:
+        small = [r for r in result.rows if r["k"] == k and r["chunk"] == "8MiB"]
+        large = [r for r in result.rows if r["k"] == k and r["chunk"] == "64MiB"]
+        assert large[0]["reduction"] >= small[0]["reduction"] - 0.02

@@ -1,0 +1,19 @@
+"""Fig 7e: contribution of the in-memory chunk cache."""
+
+from repro.analysis import experiments
+
+
+def test_fig7e_caching(benchmark, save_report):
+    result = benchmark.pedantic(
+        experiments.fig7e_caching, rounds=1, iterations=1
+    )
+    save_report(result)
+    for row in result.rows:
+        # Warm cache never hurts.
+        assert row["warm_reduction"] >= row["cold_reduction"]
+        assert row["extra"] >= 0.0
+    # Caching matters more at lower k (paper: marginal at k=12/64MB where
+    # network dominates disk IO).
+    extra_k6 = [r["extra"] for r in result.rows if r["k"] == 6]
+    extra_k12 = [r["extra"] for r in result.rows if r["k"] == 12]
+    assert min(extra_k6) > max(extra_k12) - 0.01

@@ -1,0 +1,55 @@
+"""Fig 7f: reconstruction computation time with real GF kernels."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments
+from repro.galois.vector import addmul, scale
+from repro.util.units import MIB
+
+
+def test_fig7f_compute(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: experiments.fig7f_compute(buffer_bytes=2 * MIB),
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+    for row in result.rows:
+        assert row["critical_s"] < row["serial_s"]
+    # Serial decode time grows with k; the PPR critical path barely moves.
+    serials = [r["serial_s"] for r in result.rows]
+    assert serials == sorted(serials)
+
+
+@pytest.mark.parametrize("k", [6, 12])
+def test_serial_decode_kernel(benchmark, k):
+    """Traditional repair-site computation: k fused multiply-XORs."""
+    rng = np.random.default_rng(0)
+    bufs = [rng.integers(0, 256, size=MIB, dtype=np.uint8) for _ in range(k)]
+
+    def decode():
+        acc = np.zeros(MIB, dtype=np.uint8)
+        for i, buf in enumerate(bufs):
+            addmul(acc, (i % 254) + 2, buf)
+        return acc
+
+    benchmark(decode)
+
+
+@pytest.mark.parametrize("k", [6, 12])
+def test_ppr_critical_path_kernel(benchmark, k):
+    """PPR per-node computation: one multiply + ceil(log2(k+1)) XORs."""
+    rng = np.random.default_rng(0)
+    buf = rng.integers(0, 256, size=MIB, dtype=np.uint8)
+    other = rng.integers(0, 256, size=MIB, dtype=np.uint8)
+    steps = math.ceil(math.log2(k + 1))
+
+    def critical_path():
+        partial = scale(7, buf)
+        for _ in range(steps):
+            np.bitwise_xor(partial, other, out=partial)
+        return partial
+
+    benchmark(critical_path)

@@ -1,0 +1,22 @@
+"""Fig 8: m-PPR vs traditional scheduling of simultaneous repairs."""
+
+from repro.analysis import experiments
+
+
+def test_fig8_mppr(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: experiments.fig8_mppr(failure_counts=(1, 2, 3)),
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+    for row in result.rows:
+        # m-PPR beats traditional batch repair at every point measured.
+        assert row["ppr_s"] < row["star_s"]
+        assert 0.10 < row["reduction"] < 0.60
+    # The benefit shrinks with more simultaneous failures — the paper's
+    # own observation (repairs already spread traffic; m-PPR has less
+    # flexibility).  With a fluid network model the decline is steeper
+    # than on the paper's testbed, where TCP incast keeps penalizing the
+    # traditional k-into-1 funnel at every scale (see EXPERIMENTS.md).
+    reductions = [r["reduction"] for r in result.rows]
+    assert reductions == sorted(reductions, reverse=True)

@@ -1,0 +1,22 @@
+"""Fig 9: PPR overlaid on LRC and Rotated RS."""
+
+from repro.analysis import experiments
+
+
+def test_fig9_overlay(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: experiments.fig9_overlay(runs=1), rounds=1, iterations=1
+    )
+    save_report(result)
+    durations = {row["variant"]: row["duration_s"] for row in result.rows}
+    # Repair-friendly codes beat plain RS.
+    assert durations["LRC(12,2,2)"] < durations["RS(12,4)"]
+    assert durations["RotRS(12,4)"] < durations["RS(12,4)"]
+    # PPR stacks on each of them (the paper's headline for Fig 9).
+    assert durations["LRC(12,2,2)+PPR"] < durations["LRC(12,2,2)"]
+    assert durations["RotRS(12,4)+PPR"] < durations["RotRS(12,4)"]
+    # §7.7: PPR on plain RS(12,4) already beats LRC alone at 64MB chunks
+    # (4 chunks max per link vs 6).
+    assert durations["RS(12,4)+PPR"] < durations["LRC(12,2,2)"]
+    # And beats Rotated RS alone.
+    assert durations["RS(12,4)+PPR"] < durations["RotRS(12,4)"]

@@ -1,0 +1,51 @@
+"""Microbenchmarks: the GF(2^8) kernels underlying everything."""
+
+import numpy as np
+import pytest
+
+from repro.galois.vector import addmul, scale, xor_into
+from repro.linalg.builders import systematic_vandermonde_generator
+from repro.util.units import MIB
+
+SIZE = 4 * MIB
+
+
+@pytest.fixture(scope="module")
+def buffers():
+    rng = np.random.default_rng(0)
+    return (
+        rng.integers(0, 256, size=SIZE, dtype=np.uint8),
+        rng.integers(0, 256, size=SIZE, dtype=np.uint8),
+    )
+
+
+def test_scale_throughput(benchmark, buffers):
+    src, _ = buffers
+    benchmark(scale, 7, src)
+
+
+def test_xor_throughput(benchmark, buffers):
+    src, other = buffers
+    dst = src.copy()
+    benchmark(xor_into, dst, other)
+
+
+def test_addmul_throughput(benchmark, buffers):
+    src, other = buffers
+    dst = src.copy()
+    benchmark(addmul, dst, 9, other)
+
+
+def test_matrix_inversion_12x12(benchmark):
+    gen = systematic_vandermonde_generator(12, 4)
+    rows = list(range(1, 13))  # decode-style submatrix
+    sub = gen.take_rows(rows)
+    benchmark(sub.inverse)
+
+
+def test_decoding_coefficients_rs124(benchmark):
+    from repro.codes import ReedSolomonCode
+
+    code = ReedSolomonCode(12, 4)
+    alive = set(range(1, 16))
+    benchmark(code.repair_recipe, 0, alive)

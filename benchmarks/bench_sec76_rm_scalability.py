@@ -1,0 +1,31 @@
+"""§7.6: Repair-Manager plan-creation throughput."""
+
+from repro.analysis import experiments
+from repro.codes import ReedSolomonCode
+from repro.repair.plan import build_plan
+
+
+def test_sec76_rm_scalability(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: experiments.sec76_rm_scalability(repeats=20),
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+    by_k = {row["k"]: row for row in result.rows}
+    # Planning RS(12,4) costs more than RS(6,3) (paper: 8.7ms vs 5.3ms).
+    assert by_k[12]["plan_s"] > by_k[6]["plan_s"]
+    # A single RM instance comfortably exceeds the paper's 115 repairs/sec.
+    for row in result.rows:
+        assert row["repairs_per_sec"] > 115
+
+
+def test_plan_creation_rs63(benchmark):
+    code = ReedSolomonCode(6, 3)
+    alive = set(range(1, 9))
+    benchmark(lambda: build_plan("ppr", code.repair_recipe(0, alive)))
+
+
+def test_plan_creation_rs124(benchmark):
+    code = ReedSolomonCode(12, 4)
+    alive = set(range(1, 16))
+    benchmark(lambda: build_plan("ppr", code.repair_recipe(0, alive)))

@@ -1,0 +1,16 @@
+"""Table 1: potential network-transfer and per-server BW reductions."""
+
+from repro.analysis import experiments, paper_reported
+
+
+def test_table1(benchmark, save_report):
+    result = benchmark(experiments.table1)
+    save_report(result)
+    for row in result.rows:
+        key = (row["k"], row["m"])
+        assert abs(
+            row["network_ours"] - paper_reported.TABLE1[key]["network"]
+        ) < 0.005
+        assert abs(
+            row["bw_ours"] - paper_reported.TABLE1[key]["per_server_bw"]
+        ) < 0.005

@@ -1,0 +1,19 @@
+"""Table 2: critical-path op counts and modeled compute times."""
+
+import math
+
+from repro.analysis import experiments
+
+
+def test_table2_critical_path(benchmark, save_report):
+    result = benchmark(experiments.table2_critical_path)
+    save_report(result)
+    for row in result.rows:
+        k = row["k"]
+        assert row["trad_mul"] == k and row["trad_xor"] == k
+        assert row["ppr_mul"] == 1
+        assert row["ppr_xor"] == math.ceil(math.log2(k + 1))
+        assert row["ppr_time"] < row["trad_time"]
+    # Speedup grows with k.
+    speedups = [r["trad_time"] / r["ppr_time"] for r in result.rows]
+    assert speedups == sorted(speedups)

@@ -1,0 +1,16 @@
+"""Theorem 1: measured network transfer time vs the closed form."""
+
+import pytest
+
+from repro.analysis import experiments
+
+
+def test_theorem1_network_times(benchmark, save_report):
+    result = benchmark.pedantic(
+        experiments.theorem1_network_times, rounds=1, iterations=1
+    )
+    save_report(result)
+    for row in result.rows:
+        # Simulator within 5% of k*C/B and ceil(log2(k+1))*C/B.
+        assert row["meas_star"] == pytest.approx(row["pred_star"], rel=0.05)
+        assert row["meas_ppr"] == pytest.approx(row["pred_ppr"], rel=0.05)

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs the corresponding experiment driver from
+:mod:`repro.analysis.experiments` under pytest-benchmark timing, asserts
+the paper's qualitative claims (who wins, roughly by how much, trend
+directions), and writes the rendered paper-vs-measured report to
+``results/<experiment id>.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    """Persist an ExperimentResult's report and echo it to stdout."""
+
+    def _save(result) -> None:
+        path = results_dir / f"{result.experiment_id}.txt"
+        path.write_text(result.report + "\n", encoding="utf-8")
+        print()
+        print(result.report)
+
+    return _save

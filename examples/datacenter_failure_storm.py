@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""A day in the life of an erasure-coded datacenter (m-PPR at work).
+
+Builds the paper's BIGSITE-style deployment (85 chunk servers), writes a
+few hundred stripes, runs background user traffic, then crashes several
+servers at once.  The Repair-Manager detects the failures via heartbeats
+and schedules every reconstruction with m-PPR's weighted source and
+destination selection (Algorithm 1, Eqs. 2-3), all on PPR reduction trees.
+
+Run:  python examples/datacenter_failure_storm.py
+"""
+
+import collections
+
+from repro import MPPRConfig, ReedSolomonCode, RepairManager, StorageCluster
+from repro.workloads import UserLoadGenerator, crash_random_servers
+
+
+def run(strategy: str) -> None:
+    cluster = StorageCluster.bigsite(seed=42)
+    rm = RepairManager(cluster, MPPRConfig(strategy=strategy))
+    cluster.metaserver._repair_manager = rm
+    cluster.metaserver.start_heartbeats()
+
+    code = ReedSolomonCode(12, 4)
+    for _ in range(60):
+        cluster.write_stripe(code, "64MiB")
+
+    load = UserLoadGenerator(cluster, reads_per_second=5.0, rng=1)
+    load.start(duration=30.0)
+    cluster.run(until=10.0)  # heartbeats + user traffic warm up
+
+    victims = crash_random_servers(cluster, 3, rng=9)
+    lost = sum(len(chunks) for chunks in victims.values())
+    print(f"[{strategy}] crashed {len(victims)} servers "
+          f"({', '.join(victims)}), losing {lost} chunks")
+
+    batch = rm.drain(max_time=100_000)
+    load.stop()
+
+    destinations = collections.Counter(
+        r.destination for r in batch.results
+    )
+    print(f"  {len(batch.results)} repairs in {batch.total_time:.1f}s "
+          f"(mean {batch.mean_duration:.1f}s), all byte-verified: "
+          f"{batch.all_verified}")
+    print(f"  busiest repair destination handled "
+          f"{max(destinations.values())} repairs "
+          f"(Eq. 3 spreads the load)\n")
+
+
+if __name__ == "__main__":
+    for strategy in ("star", "ppr"):
+        run(strategy)
+    print("m-PPR schedules each repair as a PPR reduction tree AND picks "
+          "sources/destinations by the weight equations — both effects "
+          "show in the totals above.")

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Degraded reads on a congested network (the paper's §7.2 scenario).
+
+A client reads a chunk whose server just died, so reconstruction sits on
+the read's critical path.  We sweep the access-link bandwidth from 1 Gbps
+down to 200 Mbps (the paper used Linux ``tc``) and watch traditional
+reconstruction collapse while PPR degrades gracefully.
+
+Run:  python examples/degraded_reads_under_congestion.py
+"""
+
+from repro import ReedSolomonCode, StorageCluster, run_degraded_read
+from repro.util.units import MIB
+
+
+def sweep(incast: "int | None") -> None:
+    chunk_bytes = 64 * MIB
+    label = "TCP-incast model ON" if incast else "fluid network model"
+    print(f"--- {label} ---")
+    print(f"{'code':>10} {'link':>9} {'traditional':>12} {'PPR':>9} "
+          f"{'throughput gain':>16}")
+    for k, m in ((6, 3), (12, 4)):
+        for bandwidth in ("1Gbps", "500Mbps", "200Mbps"):
+            latencies = {}
+            for strategy in ("star", "ppr"):
+                cluster = StorageCluster.smallsite(
+                    link_bandwidth=bandwidth, incast_threshold=incast
+                )
+                stripe = cluster.write_stripe(
+                    ReedSolomonCode(k, m), chunk_bytes
+                )
+                result = run_degraded_read(
+                    cluster, stripe, lost_index=0, strategy=strategy
+                )
+                assert result.verified
+                latencies[strategy] = result.duration
+            gain = latencies["star"] / latencies["ppr"]
+            print(f"{f'RS({k},{m})':>10} {bandwidth:>9} "
+                  f"{latencies['star']:>10.2f}s {latencies['ppr']:>8.2f}s "
+                  f"{gain:>15.2f}x")
+    print()
+
+
+def main() -> None:
+    sweep(incast=None)
+    sweep(incast=2)
+    print("Paper reports 1.8x/2.5x at 1Gbps growing to 7x/8.25x at "
+          "200Mbps.  The fluid model reproduces the direction; enabling "
+          "the incast model (goodput collapse at the repair site's "
+          "saturated ingress) recovers the paper's magnitudes too.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Tour of the file layer: files on stripes, crashes, pipelined repair.
+
+Shows the full stack the way an operator would see it: write files into
+the QFS-like namespace, crash servers, watch reads degrade (but return
+correct bytes), let m-PPR heal the cluster, and finish with the
+repair-pipelining extension.
+
+Run:  python examples/filesystem_tour.py
+"""
+
+import numpy as np
+
+from repro import (
+    FileSystem,
+    LocalReconstructionCode,
+    MPPRConfig,
+    ReedSolomonCode,
+    RepairManager,
+    StorageCluster,
+    run_single_repair,
+)
+
+
+def read_sync(cluster, fs, path, strategy="ppr"):
+    results = []
+    fs.read_file(path, on_done=results.append, strategy=strategy)
+    while not results and cluster.sim.step():
+        pass
+    return results[0]
+
+
+def main() -> None:
+    cluster = StorageCluster.smallsite()
+    rm = RepairManager(cluster, MPPRConfig(strategy="ppr"))
+    cluster.metaserver._repair_manager = rm
+    fs = FileSystem(cluster)
+    rng = np.random.default_rng(7)
+
+    print("=== writing files ===")
+    files = {
+        "/logs/app.log": (rng.integers(0, 256, 200_000, dtype=np.uint8)
+                          .tobytes(), ReedSolomonCode(6, 3)),
+        "/media/video.mp4": (rng.integers(0, 256, 500_000, dtype=np.uint8)
+                             .tobytes(), LocalReconstructionCode(12, 2, 2)),
+    }
+    for path, (data, code) in files.items():
+        meta = fs.write_file(path, data, code, chunk_size="16MiB")
+        print(f"{path}: {meta.size} bytes, {code.name}, "
+              f"{meta.num_stripes} stripe(s)")
+
+    print("\n=== healthy read ===")
+    result = read_sync(cluster, fs, "/logs/app.log")
+    assert result.data == files["/logs/app.log"][0]
+    print(f"read /logs/app.log in {result.latency * 1e3:.0f}ms, "
+          f"{result.degraded_chunks} degraded chunks")
+
+    print("\n=== crash two servers, read again (degraded) ===")
+    victims = cluster.server_ids[:2]
+    for victim in victims:
+        cluster.kill_server(victim)
+    print(f"killed {', '.join(victims)}")
+    result = read_sync(cluster, fs, "/media/video.mp4")
+    assert result.data == files["/media/video.mp4"][0]
+    print(f"read /media/video.mp4 in {result.latency * 1e3:.0f}ms with "
+          f"{result.degraded_chunks} chunk(s) reconstructed on the fly — "
+          f"bytes still exact")
+
+    print("\n=== m-PPR heals the cluster in the background ===")
+    batch = rm.drain(max_time=10_000)
+    print(f"{len(batch.results)} chunks re-hosted in {batch.total_time:.1f}s "
+          f"(all byte-verified: {batch.all_verified})")
+    result = read_sync(cluster, fs, "/media/video.mp4")
+    print(f"post-heal read: {result.degraded_chunks} degraded chunks")
+
+    print("\n=== bonus: repair pipelining (the follow-on PPR seeded) ===")
+    for strategy, slices in (("ppr", 1), ("chain", 32)):
+        c = StorageCluster.smallsite()
+        stripe = c.write_stripe(ReedSolomonCode(12, 4), "64MiB")
+        r = run_single_repair(c, stripe, 0, strategy=strategy,
+                              num_slices=slices)
+        print(f"{strategy:>5} x{slices:<3} repair: {r.duration:.2f}s "
+              f"(network {r.phase_busy['network']:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

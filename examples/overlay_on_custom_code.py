@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Overlay PPR on your own erasure code (§4.2 "Compatibility with other ECs").
+
+The paper's claim: PPR works with *any* linear, associative code.  This
+example defines a custom code the library has never seen — a RAID-6-style
+code with one XOR parity row and one Vandermonde parity row — by giving
+only its generator matrix.  Repair equations, PPR trees, and the full
+simulated cluster work immediately, because everything above the
+generator matrix is code-agnostic.
+
+Run:  python examples/overlay_on_custom_code.py
+"""
+
+import numpy as np
+
+from repro import StorageCluster, run_single_repair
+from repro.codes.linear import GeneratorMatrixCode
+from repro.galois.field import gf256
+from repro.linalg.matrix import GFMatrix
+
+
+class Raid6ishCode(GeneratorMatrixCode):
+    """k data chunks + P (XOR) + Q (Vandermonde) parity — RAID-6 flavoured."""
+
+    def __init__(self, k: int):
+        rows = np.zeros((k + 2, k), dtype=np.uint8)
+        rows[:k, :k] = np.eye(k, dtype=np.uint8)
+        rows[k, :] = 1  # P: plain XOR of all data chunks
+        for i in range(k):  # Q: weights 2^i
+            rows[k + 1, i] = gf256.pow(2, i)
+        self._k_param = k
+        super().__init__(GFMatrix(rows))
+
+    @property
+    def name(self) -> str:
+        return f"RAID6ish({self._k_param})"
+
+
+def main() -> None:
+    code = Raid6ishCode(8)
+    print(f"custom code: {code.name}, n={code.n}, "
+          f"overhead {code.storage_overhead:.2f}x")
+
+    # The repair equation falls out of the generator matrix.
+    recipe = code.repair_recipe(3, set(range(code.n)) - {3})
+    coeffs = {t.helper: t.entries[0][2] for t in recipe.terms}
+    print("repair equation for chunk 3:",
+          " + ".join(f"{c}*C{h}" for h, c in sorted(coeffs.items())))
+
+    # Byte-level check, then measure on the simulated cluster.
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, size=(8, 512), dtype=np.uint8)
+    encoded = code.encode(data)
+    rebuilt = recipe.execute({i: encoded[i] for i in recipe.helpers})
+    assert np.array_equal(rebuilt, encoded[3])
+    print("recipe rebuilds the chunk byte-for-byte")
+
+    for strategy in ("star", "ppr"):
+        cluster = StorageCluster.smallsite()
+        stripe = cluster.write_stripe(code, "64MiB")
+        result = run_single_repair(cluster, stripe, 3, strategy=strategy)
+        print(result.summary())
+
+
+if __name__ == "__main__":
+    main()

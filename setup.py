@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on older pips) routes through this file; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro — Partial-Parallel-Repair (PPR) for erasure-coded storage.
+
+A full reproduction of *"Partial-Parallel-Repair (PPR): A Distributed
+Technique for Repairing Erasure Coded Storage"* (Mitra, Panta, Ra, Bagchi —
+EuroSys 2016): from-scratch GF(2^8) erasure codes (Reed-Solomon, Cauchy-RS,
+Azure LRC, Rotated RS), the PPR binomial-reduction repair protocol, the
+m-PPR multi-repair scheduler, and a flow-level discrete-event cluster
+simulator with a QFS-like storage system on top.
+
+Quickstart::
+
+    from repro import ReedSolomonCode, StorageCluster, run_single_repair
+
+    cluster = StorageCluster.smallsite()
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "64MiB")
+    result = run_single_repair(cluster, stripe, lost_index=0, strategy="ppr")
+    print(result.summary())
+"""
+
+from repro.codes import (
+    CauchyReedSolomonCode,
+    ErasureCode,
+    LocalReconstructionCode,
+    ReedSolomonCode,
+    RepairRecipe,
+    ReplicationCode,
+    RotatedReedSolomonCode,
+    available_codes,
+    make_code,
+)
+from repro.repair import (
+    build_plan,
+    build_ppr_plan,
+    build_staggered_plan,
+    build_star_plan,
+    execute_plan,
+    theory,
+)
+from repro.fs import ClusterConfig, FileSystem, StorageCluster
+from repro.core import (
+    MPPRConfig,
+    RepairManager,
+    RepairResult,
+    run_degraded_read,
+    run_single_repair,
+)
+from repro.sim import ComputeModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ErasureCode",
+    "ReedSolomonCode",
+    "CauchyReedSolomonCode",
+    "LocalReconstructionCode",
+    "RotatedReedSolomonCode",
+    "ReplicationCode",
+    "RepairRecipe",
+    "available_codes",
+    "make_code",
+    "build_plan",
+    "build_star_plan",
+    "build_staggered_plan",
+    "build_ppr_plan",
+    "execute_plan",
+    "theory",
+    "StorageCluster",
+    "ClusterConfig",
+    "FileSystem",
+    "RepairResult",
+    "RepairManager",
+    "MPPRConfig",
+    "run_single_repair",
+    "run_degraded_read",
+    "ComputeModel",
+    "__version__",
+]

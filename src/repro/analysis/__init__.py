@@ -1,0 +1,13 @@
+"""Experiment drivers and reporting.
+
+One function per table/figure of the paper's evaluation (§7), each
+returning structured rows plus a rendered ASCII report that prints the
+paper-reported value next to the measured one.  The benchmark suite under
+``benchmarks/`` is a thin wrapper around these drivers.
+"""
+
+from repro.analysis.render import Table, bar_chart, fmt_percent
+from repro.analysis import experiments
+from repro.analysis import paper_reported
+
+__all__ = ["Table", "bar_chart", "fmt_percent", "experiments", "paper_reported"]

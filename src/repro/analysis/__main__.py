@@ -1,0 +1,38 @@
+"""Run the whole evaluation: ``python -m repro.analysis [--full]``.
+
+Prints every table/figure reproduction with paper-reported numbers beside
+the measurements.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.experiments import run_all
+from repro.analysis.extensions import (
+    ext_degraded_tail_latency,
+    ext_heterogeneous,
+    ext_incast,
+    ext_pipelining,
+)
+
+
+def main(argv: "list[str]") -> int:
+    quick = "--full" not in argv
+    results = run_all(quick=quick)
+    if "--no-extensions" not in argv:
+        results += [
+            ext_pipelining(),
+            ext_heterogeneous(),
+            ext_incast(),
+            ext_degraded_tail_latency(num_reads=8 if quick else 30),
+        ]
+    for result in results:
+        print()
+        print(f"=== {result.experiment_id}: {result.title} ===")
+        print(result.report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,803 @@
+"""One driver per table/figure of the paper's evaluation.
+
+Every function returns an :class:`ExperimentResult` whose ``rows`` hold the
+raw measurements and whose ``report`` is a printable paper-vs-measured
+summary.  Defaults are sized to run in seconds; benchmarks may pass more
+repetitions.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import paper_reported as paper
+from repro.analysis.render import Table, bar_chart, fmt_percent
+from repro.codes import (
+    LocalReconstructionCode,
+    ReedSolomonCode,
+    RotatedReedSolomonCode,
+)
+from repro.codes.base import ErasureCode
+from repro.core.mppr import MPPRConfig, RepairManager
+from repro.core.single_repair import run_degraded_read, run_single_repair
+from repro.fs.cluster import StorageCluster
+from repro.repair import theory
+from repro.repair.plan import build_plan
+from repro.util.units import MIB, parse_size
+from repro.workloads.failures import crash_random_servers
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    rows: "List[Dict[str, object]]"
+    report: str
+    notes: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.report
+
+    def to_csv(self, path: "str | object") -> None:
+        """Write the raw rows as CSV (columns = union of row keys)."""
+        import csv
+        import io
+        import pathlib
+
+        columns: "List[str]" = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        pathlib.Path(path).write_text(buffer.getvalue(), encoding="utf-8")
+
+
+#: The four deployment codes of Table 1 / §7.1.
+EVAL_CODES: "List[Tuple[int, int]]" = [(6, 3), (8, 3), (10, 4), (12, 4)]
+
+
+def _mean_repair(
+    code_factory: "Callable[[], ErasureCode]",
+    strategy: str,
+    chunk_size: str,
+    runs: int,
+    degraded: bool = False,
+    seeds: "Optional[Sequence[int]]" = None,
+    **cluster_kw,
+) -> "Tuple[float, List[object]]":
+    """Mean duration over fresh clusters (one repair each, like the paper)."""
+    durations: "List[float]" = []
+    results = []
+    seeds = seeds or range(runs)
+    for seed in list(seeds)[:runs]:
+        cluster = StorageCluster.smallsite(seed=2016 + seed, **cluster_kw)
+        stripe = cluster.write_stripe(code_factory(), chunk_size)
+        runner = run_degraded_read if degraded else run_single_repair
+        result = runner(cluster, stripe, lost_index=0, strategy=strategy)
+        assert result.verified, "reconstruction produced wrong bytes"
+        durations.append(result.duration)
+        results.append(result)
+    return statistics.mean(durations), results
+
+
+# ----------------------------------------------------------------------
+# Table 1 — potential improvements (closed form)
+# ----------------------------------------------------------------------
+def table1() -> ExperimentResult:
+    table = Table(
+        ["code", "users", "net-transfer reduction (paper)",
+         "net-transfer reduction (ours)", "max BW/server (paper)",
+         "max BW/server (ours)"],
+        title="Table 1: potential improvements from PPR",
+    )
+    rows = []
+    for row in theory.table1():
+        reported = paper.TABLE1[(row.k, row.m)]
+        rows.append(
+            {
+                "k": row.k,
+                "m": row.m,
+                "network_ours": row.network_transfer_reduction,
+                "network_paper": reported["network"],
+                "bw_ours": row.per_server_bw_reduction,
+                "bw_paper": reported["per_server_bw"],
+            }
+        )
+        table.add_row(
+            f"({row.k},{row.m})",
+            row.users,
+            fmt_percent(reported["network"]),
+            fmt_percent(row.network_transfer_reduction),
+            fmt_percent(reported["per_server_bw"]),
+            fmt_percent(row.per_server_bw_reduction),
+        )
+    return ExperimentResult(
+        "table1", "Potential improvements", rows, table.render()
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig 1 — phase breakdown of a degraded read
+# ----------------------------------------------------------------------
+def fig1_phase_breakdown(
+    codes: "Sequence[Tuple[int, int]]" = tuple(EVAL_CODES),
+    chunk_size: str = "64MiB",
+) -> ExperimentResult:
+    table = Table(
+        ["code", "network", "disk read", "compute", "plan"],
+        title=(
+            "Fig 1: share of degraded-read time per phase "
+            "(traditional RS reconstruction)"
+        ),
+    )
+    rows = []
+    for k, m in codes:
+        cluster = StorageCluster.smallsite()
+        stripe = cluster.write_stripe(ReedSolomonCode(k, m), chunk_size)
+        result = run_degraded_read(cluster, stripe, 0, strategy="star")
+        shares = {
+            phase: result.phase_share(phase)
+            for phase in ("network", "disk_read", "compute", "plan")
+        }
+        rows.append({"k": k, "m": m, **shares})
+        table.add_row(
+            f"RS({k},{m})",
+            fmt_percent(shares["network"]),
+            fmt_percent(shares["disk_read"]),
+            fmt_percent(shares["compute"]),
+            fmt_percent(shares["plan"]),
+        )
+    notes = (
+        f"paper: network up to {fmt_percent(paper.FIG1_NETWORK_SHARE_MAX)}, "
+        f"disk read up to {fmt_percent(paper.FIG1_DISK_SHARE_MAX)}, "
+        "computation relatively insignificant"
+    )
+    return ExperimentResult(
+        "fig1", "Degraded-read phase breakdown", rows,
+        table.render() + "\n" + notes, notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig 2 / Fig 4 — per-server transfer pattern
+# ----------------------------------------------------------------------
+def fig4_link_traffic(
+    k: int = 6, m: int = 3, chunk_size: str = "64MiB"
+) -> ExperimentResult:
+    rows = []
+    sections = []
+    for strategy in ("star", "ppr"):
+        cluster = StorageCluster.smallsite()
+        stripe = cluster.write_stripe(ReedSolomonCode(k, m), chunk_size)
+        result = run_single_repair(cluster, stripe, 0, strategy=strategy)
+        per_server = {}
+        for (src, dst), nbytes in result.traffic.pairs().items():
+            per_server.setdefault(src, [0.0, 0.0])[1] += nbytes
+            per_server.setdefault(dst, [0.0, 0.0])[0] += nbytes
+        chunk = parse_size(chunk_size)
+        labels, values = [], []
+        for server in sorted(per_server):
+            ingress, egress = per_server[server]
+            labels.append(server)
+            values.append((ingress + egress) / chunk)
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "server": server,
+                    "ingress_chunks": ingress / chunk,
+                    "egress_chunks": egress / chunk,
+                }
+            )
+        sections.append(
+            bar_chart(
+                labels, values, unit=" chunks",
+                title=f"[{strategy}] per-server ingress+egress, RS({k},{m})",
+            )
+        )
+    report = "\n\n".join(sections) + (
+        f"\npaper Fig 2/4: traditional funnels {k} chunks into the repair "
+        f"site; PPR caps any server at ~ceil(log2({k}+1)) chunks"
+    )
+    return ExperimentResult("fig4", "Transfer patterns", rows, report)
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 — measured network transfer time vs closed form
+# ----------------------------------------------------------------------
+def theorem1_network_times(
+    ks: "Sequence[Tuple[int, int]]" = tuple(EVAL_CODES),
+    chunk_size: str = "64MiB",
+) -> ExperimentResult:
+    table = Table(
+        ["code", "traditional k*C/B", "measured star", "PPR log2*C/B",
+         "measured PPR"],
+        title="Theorem 1: network transfer time, formula vs simulator",
+    )
+    chunk = parse_size(chunk_size)
+    bw = 125e6  # 1 Gbps
+    rows = []
+    for k, m in ks:
+        cluster = StorageCluster.smallsite()
+        stripe = cluster.write_stripe(ReedSolomonCode(k, m), chunk_size)
+        star = run_single_repair(cluster, stripe, 0, strategy="star")
+        cluster2 = StorageCluster.smallsite()
+        stripe2 = cluster2.write_stripe(ReedSolomonCode(k, m), chunk_size)
+        ppr = run_single_repair(cluster2, stripe2, 0, strategy="ppr")
+        pred_star = theory.traditional_transfer_time(k, chunk, bw)
+        pred_ppr = theory.ppr_transfer_time(k, chunk, bw)
+        rows.append(
+            {
+                "k": k,
+                "pred_star": pred_star,
+                "meas_star": star.phase_busy["network"],
+                "pred_ppr": pred_ppr,
+                "meas_ppr": ppr.phase_busy["network"],
+            }
+        )
+        table.add_row(
+            f"RS({k},{m})",
+            f"{pred_star:.2f}s",
+            f"{star.phase_busy['network']:.2f}s",
+            f"{pred_ppr:.2f}s",
+            f"{ppr.phase_busy['network']:.2f}s",
+        )
+    return ExperimentResult(
+        "theorem1", "Network transfer times", rows, table.render()
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2 — critical-path computation
+# ----------------------------------------------------------------------
+def table2_critical_path(
+    ks: "Sequence[Tuple[int, int]]" = tuple(EVAL_CODES),
+    chunk_size: str = "64MiB",
+) -> ExperimentResult:
+    from repro.sim.compute import ComputeModel
+
+    model = ComputeModel()
+    chunk = parse_size(chunk_size)
+    table = Table(
+        ["code", "traditional ops (mul/xor)", "PPR ops (mul/xor)",
+         "traditional time", "PPR critical path", "speedup"],
+        title="Table 2: computation on the reconstruction critical path",
+    )
+    rows = []
+    for k, m in ks:
+        trad_ops = theory.critical_path_traditional(k)
+        ppr_ops = theory.critical_path_ppr(k)
+        trad_t = model.traditional_decode_time(k, chunk)
+        ppr_t = model.ppr_critical_path_time(k, chunk)
+        rows.append(
+            {
+                "k": k,
+                "trad_mul": trad_ops.gf_multiplications,
+                "trad_xor": trad_ops.xor_operations,
+                "ppr_mul": ppr_ops.gf_multiplications,
+                "ppr_xor": ppr_ops.xor_operations,
+                "trad_time": trad_t,
+                "ppr_time": ppr_t,
+            }
+        )
+        table.add_row(
+            f"RS({k},{m})",
+            f"{trad_ops.gf_multiplications}/{trad_ops.xor_operations}",
+            f"{ppr_ops.gf_multiplications}/{ppr_ops.xor_operations}",
+            f"{trad_t * 1e3:.0f}ms",
+            f"{ppr_t * 1e3:.0f}ms",
+            f"{trad_t / ppr_t:.1f}x",
+        )
+    return ExperimentResult(
+        "table2", "Critical-path computation", rows, table.render()
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig 7a — % reduction in repair time, codes x chunk sizes
+# ----------------------------------------------------------------------
+def fig7a_repair_reduction(
+    codes: "Sequence[Tuple[int, int]]" = tuple(EVAL_CODES),
+    chunk_sizes: "Sequence[str]" = ("8MiB", "16MiB", "32MiB", "64MiB"),
+    runs: int = 3,
+) -> ExperimentResult:
+    table = Table(
+        ["code"] + list(chunk_sizes),
+        title="Fig 7a: reduction in repair time, PPR vs traditional RS",
+    )
+    rows = []
+    peak = 0.0
+    for k, m in codes:
+        cells = [f"RS({k},{m})"]
+        for chunk in chunk_sizes:
+            star, _ = _mean_repair(
+                lambda k=k, m=m: ReedSolomonCode(k, m), "star", chunk, runs
+            )
+            ppr, _ = _mean_repair(
+                lambda k=k, m=m: ReedSolomonCode(k, m), "ppr", chunk, runs
+            )
+            reduction = 1 - ppr / star
+            peak = max(peak, reduction)
+            rows.append(
+                {"k": k, "m": m, "chunk": chunk, "reduction": reduction,
+                 "star_s": star, "ppr_s": ppr}
+            )
+            cells.append(fmt_percent(reduction))
+        table.add_row(*cells)
+    notes = (
+        f"measured peak reduction {fmt_percent(peak)}; paper reports up to "
+        f"{fmt_percent(paper.FIG7A_MAX_REDUCTION)}"
+    )
+    return ExperimentResult(
+        "fig7a", "Repair-time reduction", rows,
+        table.render() + "\n" + notes, notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig 7b — repair time vs chunk size, RS(12,4)
+# ----------------------------------------------------------------------
+def fig7b_chunk_size_sweep(
+    chunk_sizes: "Sequence[str]" = (
+        "8MiB", "16MiB", "32MiB", "48MiB", "64MiB", "80MiB", "96MiB"
+    ),
+    runs: int = 2,
+) -> ExperimentResult:
+    table = Table(
+        ["chunk", "traditional", "PPR", "reduction"],
+        title="Fig 7b: traditional vs PPR repair time, RS(12,4)",
+    )
+    rows = []
+    for chunk in chunk_sizes:
+        star, _ = _mean_repair(lambda: ReedSolomonCode(12, 4), "star", chunk, runs)
+        ppr, _ = _mean_repair(lambda: ReedSolomonCode(12, 4), "ppr", chunk, runs)
+        reduction = 1 - ppr / star
+        rows.append(
+            {"chunk": chunk, "star_s": star, "ppr_s": ppr,
+             "reduction": reduction}
+        )
+        table.add_row(
+            chunk, f"{star:.2f}s", f"{ppr:.2f}s", fmt_percent(reduction)
+        )
+    notes = (
+        "paper: 53% at 8MB rising to 57% at 96MB — the benefit grows with "
+        "chunk size"
+    )
+    return ExperimentResult(
+        "fig7b", "Chunk-size sweep", rows, table.render() + "\n" + notes,
+        notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig 7c — degraded read latency
+# ----------------------------------------------------------------------
+def fig7c_degraded_read(
+    codes: "Sequence[Tuple[int, int]]" = tuple(EVAL_CODES),
+    chunk_sizes: "Sequence[str]" = ("8MiB", "64MiB"),
+    runs: int = 3,
+) -> ExperimentResult:
+    table = Table(
+        ["code", "chunk", "traditional", "PPR", "reduction"],
+        title="Fig 7c: degraded read latency",
+    )
+    rows = []
+    for k, m in codes:
+        for chunk in chunk_sizes:
+            star, _ = _mean_repair(
+                lambda k=k, m=m: ReedSolomonCode(k, m), "star", chunk, runs,
+                degraded=True,
+            )
+            ppr, _ = _mean_repair(
+                lambda k=k, m=m: ReedSolomonCode(k, m), "ppr", chunk, runs,
+                degraded=True,
+            )
+            reduction = 1 - ppr / star
+            rows.append(
+                {"k": k, "m": m, "chunk": chunk, "star_s": star,
+                 "ppr_s": ppr, "reduction": reduction}
+            )
+            table.add_row(
+                f"RS({k},{m})", chunk, f"{star * 1e3:.0f}ms",
+                f"{ppr * 1e3:.0f}ms", fmt_percent(reduction),
+            )
+    return ExperimentResult(
+        "fig7c", "Degraded-read latency", rows, table.render()
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig 7d — degraded read throughput under constrained bandwidth
+# ----------------------------------------------------------------------
+def fig7d_constrained_bandwidth(
+    bandwidths: "Sequence[str]" = ("1Gbps", "500Mbps", "200Mbps"),
+    codes: "Sequence[Tuple[int, int]]" = ((6, 3), (12, 4)),
+    chunk_size: str = "64MiB",
+) -> ExperimentResult:
+    table = Table(
+        ["code", "bandwidth", "traditional MB/s", "PPR MB/s", "gain"],
+        title="Fig 7d: degraded-read throughput under constrained bandwidth",
+    )
+    chunk = parse_size(chunk_size)
+    rows = []
+    for k, m in codes:
+        for bw in bandwidths:
+            star, _ = _mean_repair(
+                lambda k=k, m=m: ReedSolomonCode(k, m), "star", chunk_size,
+                1, degraded=True, link_bandwidth=bw,
+            )
+            ppr, _ = _mean_repair(
+                lambda k=k, m=m: ReedSolomonCode(k, m), "ppr", chunk_size,
+                1, degraded=True, link_bandwidth=bw,
+            )
+            star_tput = chunk / star / 1e6
+            ppr_tput = chunk / ppr / 1e6
+            gain = ppr_tput / star_tput
+            rows.append(
+                {"k": k, "m": m, "bandwidth": bw,
+                 "star_mbps": star_tput, "ppr_mbps": ppr_tput, "gain": gain}
+            )
+            table.add_row(
+                f"RS({k},{m})", bw, f"{star_tput:.1f}", f"{ppr_tput:.1f}",
+                f"{gain:.2f}x",
+            )
+    notes = (
+        "paper: at 200Mbps traditional drops to 1.2/0.8 MB/s while PPR "
+        "holds 8.5/6.6 MB/s (7x and 8.25x); at 1Gbps gains are 1.8x/2.5x"
+    )
+    return ExperimentResult(
+        "fig7d", "Constrained bandwidth", rows,
+        table.render() + "\n" + notes, notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig 7e — contribution of chunk caching
+# ----------------------------------------------------------------------
+def fig7e_caching(
+    codes: "Sequence[Tuple[int, int]]" = ((6, 3), (12, 4)),
+    chunk_sizes: "Sequence[str]" = ("8MiB", "64MiB"),
+) -> ExperimentResult:
+    table = Table(
+        ["code", "chunk", "PPR cold", "PPR warm cache", "extra saving vs "
+         "baseline"],
+        title="Fig 7e: PPR with vs without chunk caching (baseline = "
+        "traditional RS)",
+    )
+    rows = []
+    for k, m in codes:
+        for chunk in chunk_sizes:
+            cluster = StorageCluster.smallsite()
+            stripe = cluster.write_stripe(ReedSolomonCode(k, m), chunk)
+            baseline = run_single_repair(cluster, stripe, 0, strategy="star")
+
+            cluster_cold = StorageCluster.smallsite()
+            stripe_cold = cluster_cold.write_stripe(
+                ReedSolomonCode(k, m), chunk
+            )
+            cold = run_single_repair(
+                cluster_cold, stripe_cold, 0, strategy="ppr"
+            )
+
+            cluster_warm = StorageCluster.smallsite()
+            stripe_warm = cluster_warm.write_stripe(
+                ReedSolomonCode(k, m), chunk
+            )
+            for cid in stripe_warm.chunk_ids:
+                host = cluster_warm.metaserver.locate_chunk(cid)
+                cluster_warm.chunk_server(host).warm_cache(cid)
+            warm = run_single_repair(
+                cluster_warm, stripe_warm, 0, strategy="ppr"
+            )
+            assert warm.cache_hits > 0
+
+            cold_red = 1 - cold.duration / baseline.duration
+            warm_red = 1 - warm.duration / baseline.duration
+            rows.append(
+                {"k": k, "m": m, "chunk": chunk,
+                 "cold_reduction": cold_red, "warm_reduction": warm_red,
+                 "extra": warm_red - cold_red}
+            )
+            table.add_row(
+                f"RS({k},{m})", chunk, fmt_percent(cold_red),
+                fmt_percent(warm_red), fmt_percent(warm_red - cold_red),
+            )
+    notes = (
+        "paper: caching helps more at small k / small chunks; only ~2% "
+        "extra at k=12, 64MB where network transfer dominates"
+    )
+    return ExperimentResult(
+        "fig7e", "Caching contribution", rows,
+        table.render() + "\n" + notes, notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig 7f — computation time (real GF kernels)
+# ----------------------------------------------------------------------
+def fig7f_compute(
+    codes: "Sequence[Tuple[int, int]]" = tuple(EVAL_CODES),
+    buffer_bytes: int = 4 * MIB,
+) -> ExperimentResult:
+    """Measure actual numpy kernel time for serial vs PPR critical path.
+
+    Serial (traditional): k scalar multiplies + k XOR accumulations at the
+    repair site.  PPR critical path: one multiply + ceil(log2(k+1)) XORs.
+    """
+    import numpy as np
+
+    from repro.galois.vector import addmul, scale
+
+    rng = np.random.default_rng(0)
+    table = Table(
+        ["code", "traditional (measured)", "PPR critical path (measured)",
+         "speedup"],
+        title=f"Fig 7f: reconstruction computation time on "
+        f"{buffer_bytes // MIB}MiB buffers (real numpy kernels)",
+    )
+    rows = []
+    for k, m in codes:
+        bufs = [
+            rng.integers(0, 256, size=buffer_bytes, dtype=np.uint8)
+            for _ in range(k)
+        ]
+        acc = np.zeros(buffer_bytes, dtype=np.uint8)
+        start = time.perf_counter()
+        for i, buf in enumerate(bufs):
+            addmul(acc, (i % 254) + 2, buf)
+        serial = time.perf_counter() - start
+
+        steps = math.ceil(math.log2(k + 1))
+        start = time.perf_counter()
+        partial = scale(7, bufs[0])
+        for i in range(steps):
+            np.bitwise_xor(partial, bufs[i % k], out=partial)
+        critical = time.perf_counter() - start
+        rows.append(
+            {"k": k, "serial_s": serial, "critical_s": critical,
+             "speedup": serial / critical}
+        )
+        table.add_row(
+            f"RS({k},{m})", f"{serial * 1e3:.1f}ms",
+            f"{critical * 1e3:.1f}ms", f"{serial / critical:.1f}x",
+        )
+    notes = (
+        "paper: PPR speeds up computation consistently, more at higher k "
+        "(fewer multiplies + log-many XORs on the critical path)"
+    )
+    return ExperimentResult(
+        "fig7f", "Computation time", rows, table.render() + "\n" + notes,
+        notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig 8 — m-PPR with simultaneous failures (BIGSITE)
+# ----------------------------------------------------------------------
+def fig8_mppr(
+    failure_counts: "Sequence[int]" = (1, 2, 4),
+    num_stripes: int = 40,
+    chunk_size: str = "64MiB",
+    seed: int = 11,
+) -> ExperimentResult:
+    table = Table(
+        ["simultaneous server failures", "chunks lost",
+         "traditional total", "m-PPR total", "reduction"],
+        title="Fig 8: total repair time for simultaneous failures "
+        "(BIGSITE, RS(12,4), 64MiB)",
+    )
+    rows = []
+    for count in failure_counts:
+        totals = {}
+        lost_chunks = 0
+        for strategy in ("star", "ppr"):
+            cluster = StorageCluster.bigsite(seed=seed)
+            rm = RepairManager(cluster, MPPRConfig(strategy=strategy))
+            cluster.metaserver._repair_manager = rm
+            cluster.metaserver.start_heartbeats()
+            code = ReedSolomonCode(12, 4)
+            for _ in range(num_stripes):
+                cluster.write_stripe(code, chunk_size)
+            cluster.run(until=6.0)
+            lost = crash_random_servers(cluster, count, rng=seed)
+            lost_chunks = sum(len(v) for v in lost.values())
+            batch = rm.drain(max_time=50_000)
+            assert batch.all_verified
+            totals[strategy] = batch.total_time
+        reduction = 1 - totals["ppr"] / totals["star"]
+        rows.append(
+            {"failures": count, "chunks": lost_chunks,
+             "star_s": totals["star"], "ppr_s": totals["ppr"],
+             "reduction": reduction}
+        )
+        table.add_row(
+            count, lost_chunks, f"{totals['star']:.1f}s",
+            f"{totals['ppr']:.1f}s", fmt_percent(reduction),
+        )
+    low, high = paper.FIG8_REDUCTION_RANGE
+    notes = (
+        f"paper: {fmt_percent(low)}-{fmt_percent(high)} reduction, "
+        "shrinking as more simultaneous failures already spread traffic"
+    )
+    return ExperimentResult(
+        "fig8", "m-PPR simultaneous failures", rows,
+        table.render() + "\n" + notes, notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# §7.6 — Repair-Manager scalability
+# ----------------------------------------------------------------------
+def sec76_rm_scalability(
+    codes: "Sequence[Tuple[int, int]]" = ((6, 3), (12, 4)),
+    repeats: int = 50,
+) -> ExperimentResult:
+    """Wall-clock time to compute coefficients + build + map one PPR plan."""
+    table = Table(
+        ["code", "plan time (paper)", "plan time (ours)",
+         "repairs/sec (paper)", "repairs/sec (ours)"],
+        title="Sec 7.6: Repair-Manager plan-creation throughput",
+    )
+    rows = []
+    for k, m in codes:
+        code = ReedSolomonCode(k, m)
+        alive = set(range(1, code.n))
+        start = time.perf_counter()
+        for _ in range(repeats):
+            recipe = code.repair_recipe(0, alive)
+            build_plan("ppr", recipe)
+        elapsed = (time.perf_counter() - start) / repeats
+        reported = paper.SEC76[f"RS({k},{m})"]
+        rows.append(
+            {"k": k, "plan_s": elapsed, "repairs_per_sec": 1.0 / elapsed,
+             "paper_plan_ms": reported["plan_ms"],
+             "paper_rps": reported["repairs_per_sec"]}
+        )
+        table.add_row(
+            f"RS({k},{m})", f"{reported['plan_ms']}ms",
+            f"{elapsed * 1e3:.1f}ms", reported["repairs_per_sec"],
+            f"{1.0 / elapsed:.0f}",
+        )
+    return ExperimentResult(
+        "sec76", "RM scalability", rows, table.render()
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig 9 — PPR over LRC and Rotated RS
+# ----------------------------------------------------------------------
+def fig9_overlay(chunk_size: str = "64MiB", runs: int = 2) -> ExperimentResult:
+    variants: "List[Tuple[str, Callable[[], ErasureCode], str]]" = [
+        ("RS(12,4)", lambda: ReedSolomonCode(12, 4), "star"),
+        ("RS(12,4)+PPR", lambda: ReedSolomonCode(12, 4), "ppr"),
+        ("LRC(12,2,2)", lambda: LocalReconstructionCode(12, 2, 2), "star"),
+        ("LRC(12,2,2)+PPR", lambda: LocalReconstructionCode(12, 2, 2), "ppr"),
+        ("RotRS(12,4)", lambda: RotatedReedSolomonCode(12, 4, r=4), "star"),
+        ("RotRS(12,4)+PPR", lambda: RotatedReedSolomonCode(12, 4, r=4), "ppr"),
+    ]
+    durations: "Dict[str, float]" = {}
+    rows = []
+    for name, factory, strategy in variants:
+        mean, _ = _mean_repair(factory, strategy, chunk_size, runs)
+        durations[name] = mean
+        rows.append({"variant": name, "duration_s": mean})
+    baseline = durations["RS(12,4)"]
+    for row in rows:
+        row["reduction_vs_rs"] = 1 - row["duration_s"] / baseline  # type: ignore[operator]
+    chart = bar_chart(
+        [r["variant"] for r in rows],  # type: ignore[misc]
+        [r["duration_s"] for r in rows],  # type: ignore[misc]
+        unit="s",
+        title=f"Fig 9: repair time with PPR over other codes ({chunk_size})",
+    )
+    lrc_extra = 1 - durations["LRC(12,2,2)+PPR"] / durations["LRC(12,2,2)"]
+    rot_extra = 1 - durations["RotRS(12,4)+PPR"] / durations["RotRS(12,4)"]
+    notes = (
+        f"extra reduction from PPR: {fmt_percent(lrc_extra)} on LRC "
+        f"(paper ~{fmt_percent(paper.FIG9_LRC_PPR_EXTRA)}), "
+        f"{fmt_percent(rot_extra)} on Rotated RS; paper reports RotRS+PPR "
+        f"{fmt_percent(paper.FIG9_ROTRS_PPR_EXTRA)} below traditional RS"
+    )
+    return ExperimentResult(
+        "fig9", "PPR over LRC / Rotated RS", rows, chart + "\n" + notes,
+        notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+def ablation_tree_shapes(
+    k: int = 12, m: int = 4, chunk_size: str = "64MiB"
+) -> ExperimentResult:
+    """star vs staggered vs PPR — why the binomial tree, not simpler fixes."""
+    table = Table(
+        ["strategy", "repair time", "network busy", "max ingress (chunks)"],
+        title=f"Ablation: repair strategies, RS({k},{m}), {chunk_size}",
+    )
+    chunk = parse_size(chunk_size)
+    rows = []
+    for strategy in ("star", "staggered", "ppr"):
+        cluster = StorageCluster.smallsite()
+        stripe = cluster.write_stripe(ReedSolomonCode(k, m), chunk_size)
+        result = run_single_repair(cluster, stripe, 0, strategy=strategy)
+        ingress = result.traffic.max_ingress()[1] / chunk
+        rows.append(
+            {"strategy": strategy, "duration_s": result.duration,
+             "network_s": result.phase_busy["network"],
+             "max_ingress_chunks": ingress}
+        )
+        table.add_row(
+            strategy, f"{result.duration:.2f}s",
+            f"{result.phase_busy['network']:.2f}s", f"{ingress:.1f}",
+        )
+    return ExperimentResult(
+        "ablation_trees", "Strategy ablation", rows, table.render()
+    )
+
+
+def ablation_mppr_weights(
+    num_stripes: int = 40, seed: int = 5
+) -> ExperimentResult:
+    """m-PPR's weighted selection vs a weight-blind RM."""
+    results = {}
+    for label, alpha in (("weighted", 0.12), ("degenerate", 0.0)):
+        cluster = StorageCluster.bigsite(seed=seed)
+        config = MPPRConfig(strategy="ppr", alpha=alpha)
+        rm = RepairManager(cluster, config)
+        if label == "degenerate":
+            # Blind the RM: every server looks identical.
+            rm.source_weight = lambda *a, **k: 0.0  # type: ignore[assignment]
+            rm.destination_weight = lambda *a, **k: 0.0  # type: ignore[assignment]
+        cluster.metaserver._repair_manager = rm
+        cluster.metaserver.start_heartbeats()
+        for _ in range(num_stripes):
+            cluster.write_stripe(ReedSolomonCode(12, 4), "64MiB")
+        cluster.run(until=6.0)
+        crash_random_servers(cluster, 2, rng=seed)
+        batch = rm.drain(max_time=50_000)
+        results[label] = batch.total_time
+    table = Table(
+        ["RM variant", "batch total time"],
+        title="Ablation: m-PPR weights vs weight-blind scheduling",
+    )
+    rows = []
+    for label, total in results.items():
+        rows.append({"variant": label, "total_s": total})
+        table.add_row(label, f"{total:.1f}s")
+    return ExperimentResult(
+        "ablation_weights", "m-PPR weight ablation", rows, table.render()
+    )
+
+
+def run_all(quick: bool = True) -> "List[ExperimentResult]":
+    """Run every experiment (used by `python -m repro.analysis`)."""
+    out = [
+        table1(),
+        fig1_phase_breakdown(),
+        fig4_link_traffic(),
+        theorem1_network_times(),
+        table2_critical_path(),
+        fig7a_repair_reduction(runs=1 if quick else 5),
+        fig7b_chunk_size_sweep(runs=1 if quick else 5),
+        fig7c_degraded_read(runs=1 if quick else 5),
+        fig7d_constrained_bandwidth(),
+        fig7e_caching(),
+        fig7f_compute(buffer_bytes=(1 if quick else 16) * MIB),
+        fig8_mppr(failure_counts=(1, 2) if quick else (1, 2, 4, 6, 8, 10)),
+        sec76_rm_scalability(repeats=10 if quick else 100),
+        fig9_overlay(runs=1 if quick else 5),
+        ablation_tree_shapes(),
+        ablation_mppr_weights(num_stripes=20 if quick else 60),
+    ]
+    return out

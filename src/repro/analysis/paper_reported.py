@@ -1,0 +1,54 @@
+"""Numbers the paper reports, used for side-by-side comparison.
+
+All values transcribed from the EuroSys'16 text; figure-derived entries
+are approximate (the paper gives exact numbers only in prose for most).
+"""
+
+from __future__ import annotations
+
+#: Table 1 — potential reduction in network transfer / per-server BW.
+TABLE1 = {
+    (6, 3): {"network": 0.50, "per_server_bw": 0.50},
+    (8, 3): {"network": 0.50, "per_server_bw": 0.625},
+    (10, 4): {"network": 0.60, "per_server_bw": 0.60},
+    (12, 4): {"network": 0.666, "per_server_bw": 0.666},
+}
+
+#: Fig 1 — network transfer is "up to 94%" of degraded read time; disk
+#: read "up to 17.8%"; computation "relatively insignificant".
+FIG1_NETWORK_SHARE_MAX = 0.94
+FIG1_DISK_SHARE_MAX = 0.178
+
+#: Fig 7a — repair-time reduction "up to 59%" (RS(12,4), large chunks);
+#: §1 prose: "up to a 59% reduction ... of which 57% from network".
+FIG7A_MAX_REDUCTION = 0.59
+
+#: Fig 7b — RS(12,4): 53% reduction at 8 MB, 57% at 96 MB.
+FIG7B = {"8MiB": 0.53, "96MiB": 0.57}
+
+#: Fig 7d — degraded-read throughput (MB/s) and PPR gains.
+FIG7D = {
+    ("RS(6,3)", "200Mbps"): {"traditional": 1.2, "ppr": 8.5, "gain": 7.0},
+    ("RS(12,4)", "200Mbps"): {"traditional": 0.8, "ppr": 6.6, "gain": 8.25},
+    ("RS(6,3)", "1Gbps"): {"gain": 1.8},
+    ("RS(12,4)", "1Gbps"): {"gain": 2.5},
+}
+
+#: Fig 7e — caching adds only ~2% extra saving at k=12, 64 MB chunks.
+FIG7E_K12_64MB_EXTRA = 0.02
+
+#: Fig 8 — m-PPR total-repair-time reduction range for 1..N simultaneous
+#: chunk-server failures on BIGSITE.
+FIG8_REDUCTION_RANGE = (0.31, 0.47)
+
+#: §7.6 — RM plan creation + distribution times and throughput.
+SEC76 = {
+    "RS(6,3)": {"plan_ms": 5.3, "repairs_per_sec": 189},
+    "RS(12,4)": {"plan_ms": 8.7, "repairs_per_sec": 115},
+}
+
+#: Fig 9 — additional reduction from overlaying PPR (64 MB chunks).
+FIG9_LRC_PPR_EXTRA = 0.19
+FIG9_ROTRS_PPR_EXTRA = 0.35
+
+#: Theorem 1 — transfer timesteps: ceil(log2(k+1)) vs k.

@@ -1,0 +1,74 @@
+"""ASCII rendering for experiment reports (no plotting dependencies)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def fmt_percent(fraction: float, digits: int = 1) -> str:
+    """0.59 -> '59.0%'."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+class Table:
+    """A fixed-width ASCII table builder."""
+
+    def __init__(self, headers: "Sequence[str]", title: "Optional[str]" = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: "List[List[str]]" = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: "Sequence[str]") -> str:
+            return "| " + " | ".join(
+                c.ljust(widths[i]) for i, c in enumerate(cells)
+            ) + " |"
+
+        sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+        out: "List[str]" = []
+        if self.title:
+            out.append(self.title)
+        out.append(sep)
+        out.append(line(self.headers))
+        out.append(sep)
+        for row in self.rows:
+            out.append(line(row))
+        out.append(sep)
+        return "\n".join(out)
+
+
+def bar_chart(
+    labels: "Sequence[str]",
+    values: "Sequence[float]",
+    width: int = 40,
+    unit: str = "",
+    title: "Optional[str]" = None,
+) -> str:
+    """Horizontal ASCII bar chart (the poor engineer's matplotlib)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    out: "List[str]" = []
+    if title:
+        out.append(title)
+    if not values:
+        return "\n".join(out + ["(no data)"])
+    peak = max(values) or 1.0
+    label_width = max(len(l) for l in labels)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if value else ""
+        out.append(
+            f"{label.rjust(label_width)} | {bar} {value:.3g}{unit}"
+        )
+    return "\n".join(out)

@@ -1,0 +1,36 @@
+"""Erasure codes: Reed-Solomon, Cauchy-RS, Azure LRC, Rotated RS, replication.
+
+Every code exposes the same interface (:class:`repro.codes.base.ErasureCode`):
+encode a stripe, decode data from any recoverable subset, reconstruct one
+chunk, and — the piece PPR builds on — produce a :class:`RepairRecipe`: the
+linear equation ``lost = Σ_h M_h · chunk_h`` over the surviving chunks that
+the repair layer can execute centrally (traditional), serially (staggered)
+or as a distributed reduction tree (PPR).
+"""
+
+from repro.codes.base import ErasureCode
+from repro.codes.recipe import RecipeTerm, RepairRecipe
+from repro.codes.rs import ReedSolomonCode
+from repro.codes.cauchy import CauchyReedSolomonCode
+from repro.codes.lrc import LocalReconstructionCode
+from repro.codes.rotated import RotatedReedSolomonCode
+from repro.codes.replication import ReplicationCode
+from repro.codes.evenodd import EvenOddCode
+from repro.codes.rdp import RowDiagonalParityCode
+from repro.codes.registry import available_codes, make_code, register_code
+
+__all__ = [
+    "ErasureCode",
+    "RecipeTerm",
+    "RepairRecipe",
+    "ReedSolomonCode",
+    "CauchyReedSolomonCode",
+    "LocalReconstructionCode",
+    "RotatedReedSolomonCode",
+    "ReplicationCode",
+    "EvenOddCode",
+    "RowDiagonalParityCode",
+    "available_codes",
+    "make_code",
+    "register_code",
+]

@@ -1,0 +1,33 @@
+"""Cauchy Reed-Solomon: the ``[I ; Cauchy]`` systematic MDS construction.
+
+Functionally interchangeable with :class:`ReedSolomonCode` (same k/m
+semantics, same repair cost); provided because Jerasure-based systems (the
+paper's QFS prototype among them) frequently use the Cauchy construction,
+and because having two independent MDS constructions lets the tests
+cross-check the coding layer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.codes.linear import GeneratorMatrixCode
+from repro.linalg.builders import systematic_cauchy_generator
+
+
+class CauchyReedSolomonCode(GeneratorMatrixCode):
+    """Systematic Cauchy-RS over GF(2^8)."""
+
+    def __init__(self, k: int, m: int):
+        if m < 1:
+            raise ConfigurationError(f"Cauchy-RS needs m >= 1, got {m}")
+        self._m = m
+        super().__init__(systematic_cauchy_generator(k, m))
+
+    @property
+    def name(self) -> str:
+        return f"CRS({self.k},{self._m})"
+
+    @property
+    def m(self) -> int:
+        """Number of parity chunks."""
+        return self._m

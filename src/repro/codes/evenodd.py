@@ -1,0 +1,117 @@
+"""EVENODD — the classic XOR-only double-parity array code.
+
+Blaum, Brady, Bruck, Menon (IEEE ToC 1995); cited by the paper (§8,
+[51]-family) as one of the optimized-recovery array codes PPR is
+compatible with.  EVENODD(p), p prime, stores a ``(p-1) x p`` array of
+data sub-symbols (p data chunks of p-1 rows) plus two parity chunks:
+
+* **P** (chunk p): row parity — ``P[l] = XOR_t d[l][t]``.
+* **Q** (chunk p+1): diagonal parity with the *EVENODD adjuster*
+  ``S = XOR_{t=1..p-1} d[p-1-t][t]`` (the diagonal through the imaginary
+  zero row):  ``Q[l] = S XOR ( XOR_t d[(l-t) mod p][t] )`` where the
+  imaginary row ``d[p-1][t] = 0``.
+
+All coefficients are in {0, 1}, so encode/decode/repair reduce to XOR —
+and PPR overlays on it untouched, since XOR aggregation is exactly the
+partial operation PPR distributes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.codes.arraycode import SubGeneratorCode
+from repro.linalg.matrix import GFMatrix
+
+
+def _is_prime(value: int) -> bool:
+    if value < 2:
+        return False
+    if value % 2 == 0:
+        return value == 2
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def _evenodd_generator(p: int) -> GFMatrix:
+    rows_per_chunk = p - 1
+    k, n = p, p + 2
+    gen = np.zeros((n * rows_per_chunk, k * rows_per_chunk), dtype=np.uint8)
+
+    def data_col(i: int, row: int) -> int:
+        return i * rows_per_chunk + row
+
+    gen[: k * rows_per_chunk, : k * rows_per_chunk] = np.eye(
+        k * rows_per_chunk, dtype=np.uint8
+    )
+    # P: row parity.
+    for l in range(rows_per_chunk):
+        out = (p) * rows_per_chunk + l
+        for t in range(p):
+            gen[out, data_col(t, l)] ^= 1
+    # Q: diagonal parity + adjuster S.
+    adjuster_cols = [
+        data_col(t, p - 1 - t) for t in range(1, p)
+    ]  # d[p-1-t][t], rows 0..p-2 — all real
+    for l in range(rows_per_chunk):
+        out = (p + 1) * rows_per_chunk + l
+        for col in adjuster_cols:
+            gen[out, col] ^= 1
+        for t in range(p):
+            row = (l - t) % p
+            if row == p - 1:
+                continue  # imaginary zero row
+            gen[out, data_col(t, row)] ^= 1
+    return GFMatrix(gen)
+
+
+class EvenOddCode(SubGeneratorCode):
+    """EVENODD(p): p data chunks + row parity + diagonal parity.
+
+    MDS for two erasures: any 2 of the p+2 chunks may be lost.
+
+    >>> EvenOddCode(5).name
+    'EVENODD(5)'
+    """
+
+    def __init__(self, p: int):
+        if not _is_prime(p):
+            raise ConfigurationError(f"EVENODD requires prime p, got {p}")
+        self._p = p
+        super().__init__(k=p, n=p + 2, rows=p - 1,
+                         sub_generator=_evenodd_generator(p))
+
+    @property
+    def name(self) -> str:
+        return f"EVENODD({self._p})"
+
+    @property
+    def p(self) -> int:
+        """The prime parameter (also the number of data chunks)."""
+        return self._p
+
+    @property
+    def fault_tolerance(self) -> int:
+        return 2
+
+    def helper_preference(self, lost: int, alive: Sequence[int]) -> List[int]:
+        """Prefer data chunks + row parity: pure-XOR single-failure repair.
+
+        The diagonal parity is offered last so the greedy span solver only
+        pulls it in when the cheap row equations cannot cover the loss.
+        """
+        ordered = sorted(alive)
+        row_parity = self._p
+        diag_parity = self._p + 1
+        front = [i for i in ordered if i not in (row_parity, diag_parity)]
+        if row_parity in ordered and lost != row_parity:
+            front.append(row_parity)
+        back = [i for i in ordered if i not in front]
+        return front + back

@@ -1,0 +1,113 @@
+"""Local Reconstruction Codes (Azure-style), Huang et al. ATC'12.
+
+An LRC(k, l, g) stripe holds k data chunks split into l equal local groups,
+one XOR *local parity* per group, and g *global parities* (Cauchy rows over
+all data).  Chunk layout::
+
+    [0 .. k-1]           data
+    [k .. k+l-1]         local parities (group 0 .. l-1)
+    [k+l .. k+l+g-1]     global parities
+
+A single data-chunk failure repairs from its local group: k/l data chunks +
+the local parity = k/l + 1 reads instead of k — the repair-traffic saving
+the paper's Fig. 9 overlays PPR on.  The price is storage overhead
+(k+l+g)/k > (k+g)/k and a guaranteed distance of only g+1 arbitrary
+failures (information-theoretic limit; some (g+2)-failure patterns also
+decode, checked probabilistically in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.codes.linear import GeneratorMatrixCode
+from repro.linalg.builders import cauchy_matrix
+from repro.linalg.matrix import GFMatrix
+
+import numpy as np
+
+
+def _lrc_generator(k: int, l: int, g: int) -> GFMatrix:
+    rows = np.zeros((k + l + g, k), dtype=np.uint8)
+    rows[:k, :k] = np.eye(k, dtype=np.uint8)
+    group_size = k // l
+    for group in range(l):
+        start = group * group_size
+        rows[k + group, start : start + group_size] = 1
+    if g:
+        rows[k + l :, :] = cauchy_matrix(g, k).data
+    return GFMatrix(rows)
+
+
+class LocalReconstructionCode(GeneratorMatrixCode):
+    """Azure LRC(k, l, g) with XOR local parities and Cauchy globals.
+
+    >>> code = LocalReconstructionCode(12, 2, 2)
+    >>> code.name
+    'LRC(12,2,2)'
+    >>> len(code.repair_recipe(0, range(1, 16)).helpers)   # local repair
+    6
+    """
+
+    def __init__(self, k: int, l: int, g: int):
+        if l < 1:
+            raise ConfigurationError(f"LRC needs l >= 1 local groups, got {l}")
+        if g < 0:
+            raise ConfigurationError(f"LRC needs g >= 0 globals, got {g}")
+        if k % l:
+            raise ConfigurationError(
+                f"LRC group count l={l} must divide k={k}"
+            )
+        self._l = l
+        self._g = g
+        super().__init__(_lrc_generator(k, l, g))
+
+    @property
+    def name(self) -> str:
+        return f"LRC({self.k},{self._l},{self._g})"
+
+    @property
+    def num_local(self) -> int:
+        return self._l
+
+    @property
+    def num_global(self) -> int:
+        return self._g
+
+    @property
+    def group_size(self) -> int:
+        return self.k // self._l
+
+    @property
+    def fault_tolerance(self) -> int:
+        """Guaranteed arbitrary-failure tolerance (distance g+2 => g+1)."""
+        return self._g + 1
+
+    def group_of(self, index: int) -> "int | None":
+        """Local group of a data chunk or local parity; None for globals."""
+        if 0 <= index < self.k:
+            return index // self.group_size
+        if self.k <= index < self.k + self._l:
+            return index - self.k
+        return None
+
+    def group_members(self, group: int) -> List[int]:
+        """Data chunk indices of ``group`` plus its local parity, in order."""
+        start = group * self.group_size
+        members = list(range(start, start + self.group_size))
+        members.append(self.k + group)
+        return members
+
+    def helper_preference(self, lost: int, alive: Sequence[int]) -> List[int]:
+        """Prefer the lost chunk's local group so repairs stay local."""
+        group = self.group_of(lost)
+        alive_set = set(alive)
+        preferred: List[int] = []
+        if group is not None:
+            preferred = [
+                i for i in self.group_members(group)
+                if i in alive_set and i != lost
+            ]
+        rest = [i for i in sorted(alive_set) if i not in preferred]
+        return preferred + rest

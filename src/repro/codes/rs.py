@@ -1,0 +1,38 @@
+"""(k, m) Reed-Solomon — the paper's baseline code.
+
+Systematic Vandermonde construction (see :mod:`repro.linalg.builders`):
+MDS, so any k of the k+m chunks recover the stripe, and repairing one chunk
+always needs exactly k helpers — the ``k x C`` network funnel PPR attacks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.codes.linear import GeneratorMatrixCode
+from repro.linalg.builders import systematic_vandermonde_generator
+
+
+class ReedSolomonCode(GeneratorMatrixCode):
+    """Systematic Reed-Solomon over GF(2^8).
+
+    >>> code = ReedSolomonCode(4, 2)
+    >>> code.name
+    'RS(4,2)'
+    >>> code.storage_overhead
+    1.5
+    """
+
+    def __init__(self, k: int, m: int):
+        if m < 1:
+            raise ConfigurationError(f"RS needs m >= 1 parity, got {m}")
+        self._m = m
+        super().__init__(systematic_vandermonde_generator(k, m))
+
+    @property
+    def name(self) -> str:
+        return f"RS({self.k},{self._m})"
+
+    @property
+    def m(self) -> int:
+        """Number of parity chunks."""
+        return self._m

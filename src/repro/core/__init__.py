@@ -1,0 +1,27 @@
+"""The paper's contribution, wired to the storage system and simulator.
+
+* :mod:`repro.core.context` / :mod:`repro.core.results` — per-repair state
+  and measurement records.
+* :mod:`repro.core.coordinator` — plan construction and distribution (the
+  Repair-Manager's execution side, §6.2).
+* :mod:`repro.core.single_repair` — one-shot APIs used by experiments:
+  run a regular repair or a degraded read with a chosen strategy.
+* :mod:`repro.core.mppr` — the m-PPR scheduler: Algorithm 1 with the
+  source/destination weights of Eqs. (2) and (3).
+"""
+
+from repro.core.results import RepairResult
+from repro.core.context import RepairContext
+from repro.core.coordinator import RepairCoordinator
+from repro.core.single_repair import run_degraded_read, run_single_repair
+from repro.core.mppr import MPPRConfig, RepairManager
+
+__all__ = [
+    "RepairResult",
+    "RepairContext",
+    "RepairCoordinator",
+    "run_degraded_read",
+    "run_single_repair",
+    "MPPRConfig",
+    "RepairManager",
+]

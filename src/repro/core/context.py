@@ -1,0 +1,206 @@
+"""Per-repair shared state: the glue between coordinator, cluster and tasks.
+
+A :class:`RepairContext` is created by the coordinator for every
+reconstruction (regular repair or degraded read).  Tasks running on nodes
+use it to start bulk transfers (recorded into the traffic matrix and the
+network phase), forward plan commands to leaf peers, and report the
+finished chunk; the context verifies the rebuilt bytes against ground
+truth and produces the :class:`~repro.core.results.RepairResult`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.codes.recipe import RepairRecipe
+from repro.core.results import RepairResult
+from repro.fs.messages import RawReadRequest
+from repro.sim.metrics import PHASES, PhaseBreakdown, TrafficMatrix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.chunks import Stripe
+    from repro.fs.cluster import StorageCluster
+    from repro.fs.node import StorageNode
+
+
+class RepairContext:
+    """State shared by all participants of one reconstruction."""
+
+    def __init__(
+        self,
+        cluster: "StorageCluster",
+        repair_id: str,
+        stripe: "Stripe",
+        lost_index: int,
+        strategy: str,
+        kind: str,
+        recipe: RepairRecipe,
+        helper_servers: "Dict[int, str]",
+        destination: str,
+        expected_payload: "Optional[np.ndarray]",
+        on_complete: "Optional[Callable[[RepairResult], None]]" = None,
+        num_slices: int = 1,
+    ):
+        self.cluster = cluster
+        self.repair_id = repair_id
+        self.stripe = stripe
+        self.lost_index = lost_index
+        self.strategy = strategy
+        self.kind = kind
+        self.recipe = recipe
+        self.helper_servers = dict(helper_servers)
+        self._server_to_index = {s: i for i, s in helper_servers.items()}
+        self.destination = destination
+        self.expected_payload = expected_payload
+        self.on_complete = on_complete
+        self.num_slices = max(1, num_slices)
+
+        self.compute = cluster.compute
+        self.chunk_size = stripe.chunk_size
+        self.breakdown = PhaseBreakdown()
+        self.traffic = TrafficMatrix()
+        self.cache_hits = 0
+        self.start_time = cluster.sim.now
+        self.breakdown.start_time = self.start_time
+        self.finished = False
+        self.result: "Optional[RepairResult]" = None
+        #: aggregator server id -> [(leaf server id, plan command)] (§6.2).
+        self.leaf_requests: "Dict[str, List[tuple]]" = {}
+        self._tasks: "List[object]" = []
+        #: §4.3 accounting: modeled bytes buffered for this repair, per node.
+        self._buffer_now: "Dict[str, float]" = {}
+        self._buffer_peak: "Dict[str, float]" = {}
+
+    # ------------------------------------------------------------------
+    # Lookups used by tasks
+    # ------------------------------------------------------------------
+    def stripe_index_of(self, server_id: str) -> int:
+        """Which stripe chunk index a helper server holds for this repair."""
+        try:
+            return self._server_to_index[server_id]
+        except KeyError:
+            raise StorageError(
+                f"server {server_id} is not a helper of repair {self.repair_id}"
+            ) from None
+
+    def register_task(self, task: object) -> None:
+        self._tasks.append(task)
+
+    def record_cache_hit(self) -> None:
+        self.cache_hits += 1
+
+    # ------------------------------------------------------------------
+    # §4.3 memory accounting
+    # ------------------------------------------------------------------
+    def note_buffer(self, node_id: str, delta_bytes: float) -> None:
+        """Track reconstruction buffers held at a node (modeled bytes)."""
+        now = self._buffer_now.get(node_id, 0.0) + delta_bytes
+        self._buffer_now[node_id] = max(0.0, now)
+        peak = self._buffer_peak.get(node_id, 0.0)
+        if now > peak:
+            self._buffer_peak[node_id] = now
+
+    def peak_buffer_bytes(self) -> float:
+        """Largest reconstruction memory footprint at any single node."""
+        return max(self._buffer_peak.values(), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Communication helpers
+    # ------------------------------------------------------------------
+    def start_transfer(
+        self, src: str, dst: str, nbytes: float, payload: object
+    ) -> None:
+        """Bulk transfer recorded into the traffic matrix + network phase."""
+        start = self.cluster.sim.now
+
+        def on_done(_flow) -> None:
+            self.breakdown.record("network", start, self.cluster.sim.now)
+            self.traffic.add(src, dst, nbytes)
+            node = self.cluster.node(dst)
+            node.deliver(payload)
+
+        self.cluster.start_flow(src, dst, nbytes, on_done)
+
+    def send_leaf_requests(self, aggregator_id: str) -> None:
+        """Forward plan commands from an aggregator to its leaf peers.
+
+        Popped on first use so each leaf is asked exactly once.
+        """
+        for leaf_id, request in self.leaf_requests.pop(aggregator_id, []):
+            node = self.cluster.node(leaf_id)
+            self.cluster.send_control(
+                leaf_id, node.handle_partial_request, request
+            )
+
+    def send_raw_read(self, helper_index: int, requester: str) -> None:
+        """Ask the server hosting ``helper_index`` for its raw rows."""
+        server_id = self.helper_servers[helper_index]
+        chunk_id = self.stripe.chunk_ids[helper_index]
+        request = RawReadRequest(
+            repair_id=self.repair_id,
+            stripe_id=self.stripe.stripe_id,
+            chunk_id=chunk_id,
+            rows_needed=self.recipe.term_for(helper_index).read_rows,
+            rows=self.recipe.rows,
+            chunk_size=self.chunk_size,
+            requester=requester,
+        )
+        server = self.cluster.chunk_server(server_id)
+        self.cluster.send_control(
+            server_id, server.handle_raw_read, request
+        )
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def finish_at_destination(
+        self, node: "StorageNode", chunk_payload: np.ndarray
+    ) -> None:
+        """Destination finished aggregation/decoding."""
+        if self.finished:
+            return
+        if self.kind == "repair":
+            disk = getattr(node, "disk", None)
+            if disk is not None:
+                start = self.cluster.sim.now
+
+                def on_written() -> None:
+                    self.breakdown.record(
+                        "disk_write", start, self.cluster.sim.now
+                    )
+                    self._complete(node, chunk_payload)
+
+                disk.write(self.chunk_size, on_written)
+                return
+        self._complete(node, chunk_payload)
+
+    def _complete(self, node: "StorageNode", chunk_payload: np.ndarray) -> None:
+        self.finished = True
+        self.breakdown.end_time = self.cluster.sim.now
+        verified = self.expected_payload is not None and bool(
+            np.array_equal(chunk_payload, self.expected_payload)
+        )
+        self.result = RepairResult(
+            repair_id=self.repair_id,
+            kind=self.kind,
+            strategy=self.strategy,
+            code_name=self.stripe.code.name,
+            stripe_id=self.stripe.stripe_id,
+            lost_index=self.lost_index,
+            chunk_size=self.chunk_size,
+            destination=self.destination,
+            start_time=self.start_time,
+            end_time=self.cluster.sim.now,
+            verified=verified,
+            cache_hits=self.cache_hits,
+            phase_busy={name: self.breakdown.busy(name) for name in PHASES},
+            traffic=self.traffic,
+            num_helpers=len(self.recipe.helpers),
+            peak_buffer_bytes=self.peak_buffer_bytes(),
+        )
+        self.cluster.repair_finished(self, chunk_payload)
+        if self.on_complete is not None:
+            self.on_complete(self.result)

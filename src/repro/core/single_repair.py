@@ -1,0 +1,94 @@
+"""One-shot experiment APIs: run a single repair or degraded read.
+
+These wrap the coordinator so experiments and examples can measure one
+reconstruction end to end without driving the m-PPR scheduler:
+
+    cluster = StorageCluster.smallsite()
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "64MiB")
+    result = run_single_repair(cluster, stripe, lost_index=0, strategy="ppr")
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.errors import SimulationError
+from repro.core.coordinator import RepairCoordinator
+from repro.core.results import RepairResult
+from repro.fs.chunks import Stripe
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.cluster import StorageCluster
+
+
+def _drain_until(cluster: "StorageCluster", done: "List[RepairResult]") -> None:
+    steps = 0
+    while not done:
+        if not cluster.sim.step():
+            raise SimulationError("simulation idle before repair finished")
+        steps += 1
+        if steps > 5_000_000:
+            raise SimulationError("repair did not finish within 5M events")
+
+
+def run_single_repair(
+    cluster: "StorageCluster",
+    stripe: Stripe,
+    lost_index: int,
+    strategy: str = "ppr",
+    destination: "Optional[str]" = None,
+    kill_host: bool = True,
+    num_slices: int = 1,
+    capacity_aware: bool = False,
+) -> RepairResult:
+    """Fail one chunk and measure its regular (proactive) repair.
+
+    ``kill_host`` crashes the hosting server (the paper's methodology);
+    pass False if the caller already induced the failure.
+    """
+    chunk_id = stripe.chunk_ids[lost_index]
+    if kill_host:
+        host = cluster.metaserver.locate_chunk(chunk_id)
+        if host is not None:
+            cluster.kill_server(host)
+
+    done: "List[RepairResult]" = []
+    coordinator = RepairCoordinator(cluster)
+    coordinator.start_repair(
+        stripe=stripe,
+        lost_index=lost_index,
+        strategy=strategy,
+        destination=destination,
+        kind="repair",
+        on_complete=done.append,
+        num_slices=num_slices,
+        capacity_aware=capacity_aware,
+    )
+    _drain_until(cluster, done)
+    return done[0]
+
+
+def run_degraded_read(
+    cluster: "StorageCluster",
+    stripe: Stripe,
+    lost_index: int,
+    strategy: str = "ppr",
+    client_id: "Optional[str]" = None,
+    kill_host: bool = True,
+    num_slices: int = 1,
+) -> RepairResult:
+    """Fail one chunk and measure a degraded read from a client."""
+    chunk_id = stripe.chunk_ids[lost_index]
+    if kill_host:
+        host = cluster.metaserver.locate_chunk(chunk_id)
+        if host is not None:
+            cluster.kill_server(host)
+    client = cluster.client(client_id)
+
+    done: "List[RepairResult]" = []
+    client.degraded_read(
+        chunk_id, on_done=done.append, strategy=strategy,
+        num_slices=num_slices,
+    )
+    _drain_until(cluster, done)
+    return done[0]

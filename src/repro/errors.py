@@ -1,0 +1,56 @@
+"""Exception hierarchy for the PPR reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate on the specific failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class GaloisError(ReproError):
+    """Invalid Galois-field operation (e.g. division by zero)."""
+
+
+class SingularMatrixError(ReproError):
+    """A matrix that had to be inverted turned out to be singular."""
+
+
+class CodingError(ReproError):
+    """Erasure encode/decode failure."""
+
+
+class UnrecoverableError(CodingError):
+    """Too many erasures: the surviving chunks cannot recover the data."""
+
+
+class PlanError(ReproError):
+    """A repair plan is malformed or cannot be built."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation entered an invalid state."""
+
+
+class StorageError(ReproError):
+    """QFS-like storage layer failure (missing chunk, dead server, ...)."""
+
+
+class ChunkNotFoundError(StorageError):
+    """A requested chunk is not hosted (or no longer hosted) anywhere."""
+
+
+class ServerUnavailableError(StorageError):
+    """An operation was directed at a failed or unknown server."""
+
+
+class SchedulingError(ReproError):
+    """The m-PPR Repair-Manager could not schedule a reconstruction."""

@@ -1,0 +1,33 @@
+"""QFS-like distributed storage system running on the simulator.
+
+Mirrors the architecture of §6.1: a centralized :class:`MetaServer`
+(namespace, chunk → server maps, heartbeats, failure detection, and the
+Repair-Manager), :class:`ChunkServer` actors that host chunks and execute
+the PPR partial-operation protocol of §6.2, and :class:`Client` actors that
+issue normal and degraded reads.
+
+Everything is glued together by :class:`StorageCluster`, which owns the
+simulation, the topology, and placement.
+"""
+
+from repro.fs.chunks import Chunk, Stripe
+from repro.fs.cluster import StorageCluster, ClusterConfig
+from repro.fs.chunkserver import ChunkServer
+from repro.fs.metaserver import MetaServer
+from repro.fs.client import Client
+from repro.fs.placement import PlacementPolicy
+from repro.fs.filesystem import FileMeta, FileReadResult, FileSystem
+
+__all__ = [
+    "FileMeta",
+    "FileReadResult",
+    "FileSystem",
+    "Chunk",
+    "Stripe",
+    "StorageCluster",
+    "ClusterConfig",
+    "ChunkServer",
+    "MetaServer",
+    "Client",
+    "PlacementPolicy",
+]

@@ -1,0 +1,60 @@
+"""Chunk and stripe metadata.
+
+A chunk carries a *real* (usually scaled-down) numpy payload used to verify
+byte-correctness of every reconstruction, and a *modeled* size in bytes
+used by the timing model — the trick that lets a laptop simulate 64 MB
+chunk repairs while still checking the math end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.codes.base import ErasureCode
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Chunk:
+    """One stored chunk of a stripe."""
+
+    chunk_id: str
+    stripe_id: str
+    index: int
+    payload: np.ndarray
+    size: float  # modeled bytes used by the timing model
+
+    def __post_init__(self) -> None:
+        if self.payload.dtype != np.uint8 or self.payload.ndim != 1:
+            raise ConfigurationError("chunk payload must be a 1-D uint8 array")
+        if self.size <= 0:
+            raise ConfigurationError(f"chunk size must be > 0, got {self.size}")
+
+
+@dataclass
+class Stripe:
+    """An erasure-coded stripe: n chunks tied together by one code."""
+
+    stripe_id: str
+    code: ErasureCode
+    chunk_ids: "List[str]"
+    chunk_size: float  # modeled bytes per chunk
+    payload_len: int  # real payload bytes per chunk
+
+    def __post_init__(self) -> None:
+        if len(self.chunk_ids) != self.code.n:
+            raise ConfigurationError(
+                f"stripe needs {self.code.n} chunk ids, got {len(self.chunk_ids)}"
+            )
+
+    def chunk_index(self, chunk_id: str) -> int:
+        """Position of ``chunk_id`` within the stripe."""
+        try:
+            return self.chunk_ids.index(chunk_id)
+        except ValueError:
+            raise ConfigurationError(
+                f"chunk {chunk_id} not part of stripe {self.stripe_id}"
+            ) from None

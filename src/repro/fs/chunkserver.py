@@ -1,0 +1,166 @@
+"""Chunk servers: host chunks, serve reads, run PPR partial operations.
+
+Each chunk server owns a FIFO disk, an in-memory LRU chunk cache (§4.4),
+and counters the Repair-Manager's m-PPR weights consume via heartbeats:
+active reconstructions, active repair destinations, and user load.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import ChunkNotFoundError, ServerUnavailableError
+from repro.fs.chunks import Chunk
+from repro.fs.messages import (
+    Heartbeat,
+    PartialOpRequest,
+    RawPayload,
+    RawReadRequest,
+)
+from repro.fs.node import StorageNode
+from repro.sim.cache import LRUCache
+from repro.sim.disk import Disk
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.cluster import StorageCluster
+
+
+class ChunkServer(StorageNode):
+    """One storage server (the paper's QFS Chunk Server)."""
+
+    def __init__(
+        self,
+        cluster: "StorageCluster",
+        server_id: str,
+        disk_bandwidth: "float | str",
+        cache_bytes: float,
+    ):
+        super().__init__(cluster, server_id)
+        self.disk = Disk(cluster.sim, disk_bandwidth)
+        self.cache = LRUCache(cache_bytes)
+        self.chunks: "Dict[str, Chunk]" = {}
+        self.active_reconstructions = 0
+        self.active_repair_destinations = 0
+        self.user_load_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    # Chunk storage
+    # ------------------------------------------------------------------
+    def store_chunk(self, chunk: Chunk) -> None:
+        self.chunks[chunk.chunk_id] = chunk
+
+    def drop_chunk(self, chunk_id: str) -> None:
+        self.chunks.pop(chunk_id, None)
+        self.cache.evict(chunk_id)
+
+    def has_chunk(self, chunk_id: str) -> bool:
+        return chunk_id in self.chunks
+
+    def get_chunk(self, chunk_id: "Optional[str]") -> Chunk:
+        if chunk_id is None or chunk_id not in self.chunks:
+            raise ChunkNotFoundError(
+                f"server {self.node_id} does not host chunk {chunk_id}"
+            )
+        return self.chunks[chunk_id]
+
+    # ------------------------------------------------------------------
+    # Cache (§4.4): consulted before disk reads
+    # ------------------------------------------------------------------
+    def lookup_cache(self, chunk_id: str) -> bool:
+        """True when the chunk's bytes are already in memory."""
+        return self.cache.access(chunk_id, self.sim.now)
+
+    def fill_cache(self, chunk_id: str) -> None:
+        """Record that a disk read brought the chunk into memory."""
+        chunk = self.chunks.get(chunk_id)
+        if chunk is not None:
+            self.cache.insert(chunk_id, chunk.size, self.sim.now)
+
+    def warm_cache(self, chunk_id: str) -> None:
+        """Pre-load a chunk (experiments that model prior user access)."""
+        self.fill_cache(chunk_id)
+
+    # ------------------------------------------------------------------
+    # Failure
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Crash the server: chunks become unavailable, tasks die."""
+        self.alive = False
+        self.tasks.clear()
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise ServerUnavailableError(f"server {self.node_id} is down")
+
+    # ------------------------------------------------------------------
+    # Protocol handlers (invoked via control messages)
+    # ------------------------------------------------------------------
+    def handle_partial_request(self, request: PartialOpRequest) -> None:
+        """§6.2: start this server's role in a PPR reduction."""
+        self._require_alive()
+        if self.cluster.repair_context(request.repair_id) is None:
+            return  # repair cancelled before the plan arrived
+        self.active_reconstructions += 1
+        super().handle_partial_request(request)
+
+    def task_finished(self, repair_id: str) -> None:
+        self.active_reconstructions = max(0, self.active_reconstructions - 1)
+
+    def handle_raw_read(self, request: RawReadRequest) -> None:
+        """Traditional repair fetch: read rows, ship them raw."""
+        self._require_alive()
+        context = self.cluster.repair_context(request.repair_id)
+        if context is None:
+            return
+        self.active_reconstructions += 1
+        read_bytes = (
+            len(request.rows_needed) / request.rows * request.chunk_size
+        )
+        start = self.sim.now
+        chunk_index = context.stripe_index_of(self.node_id)
+
+        def send() -> None:
+            chunk = self.get_chunk(request.chunk_id)
+            payload = RawPayload(
+                repair_id=request.repair_id,
+                sender=self.node_id,
+                chunk_index=chunk_index,
+                buffers=context.recipe.read_rows_payload(
+                    chunk_index, chunk.payload
+                ),
+            )
+            context.start_transfer(
+                src=self.node_id,
+                dst=request.requester,
+                nbytes=read_bytes,
+                payload=payload,
+            )
+            self.active_reconstructions -= 1
+
+        if self.lookup_cache(request.chunk_id):
+            context.record_cache_hit()
+            self.sim.schedule(0.0, send)
+            return
+
+        def on_read() -> None:
+            self.fill_cache(request.chunk_id)
+            context.breakdown.record("disk_read", start, self.sim.now)
+            send()
+
+        self.disk.read(read_bytes, on_read)
+
+    # ------------------------------------------------------------------
+    # Heartbeats (§5: RM state is refreshed every few seconds)
+    # ------------------------------------------------------------------
+    def make_heartbeat(self) -> Heartbeat:
+        return Heartbeat(
+            server_id=self.node_id,
+            time=self.sim.now,
+            cached_chunk_ids=frozenset(
+                chunk_id for chunk_id in self.chunks if chunk_id in self.cache
+            ),
+            active_reconstructions=self.active_reconstructions,
+            active_repair_destinations=self.active_repair_destinations,
+            user_load_bytes=self.user_load_bytes,
+            disk_queue_delay=self.disk.queue_delay,
+        )

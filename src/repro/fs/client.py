@@ -1,0 +1,137 @@
+"""Clients: normal reads and degraded reads.
+
+A degraded read (§1, §7.1.2) is a read of a chunk that is currently
+unavailable: reconstruction happens in the critical path with the *client*
+as the repair site.  With PPR the client receives the final aggregate;
+with traditional repair the client ingests all k chunks itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.results import RepairResult
+from repro.fs.node import StorageNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.cluster import StorageCluster
+
+
+class Client(StorageNode):
+    """A read client attached to the fabric (no disk, no chunks)."""
+
+    def __init__(self, cluster: "StorageCluster", client_id: str):
+        super().__init__(cluster, client_id)
+        self.reads_completed = 0
+        self.degraded_reads_completed = 0
+        self.last_read_latency: "Optional[float]" = None
+
+    # ------------------------------------------------------------------
+    # Normal read path
+    # ------------------------------------------------------------------
+    def read_chunk(
+        self,
+        chunk_id: str,
+        on_done: "Optional[Callable[[float], None]]" = None,
+        strategy: str = "ppr",
+    ) -> None:
+        """Read a chunk; falls back to a degraded read if it is missing.
+
+        ``on_done`` receives the end-to-end latency in seconds.
+        """
+        meta = self.cluster.metaserver
+        start = self.sim.now
+
+        def finish() -> None:
+            latency = self.sim.now - start
+            self.last_read_latency = latency
+            self.reads_completed += 1
+            if on_done is not None:
+                on_done(latency)
+
+        def at_metaserver() -> None:
+            host = meta.locate_chunk(chunk_id)
+            if host is None:
+                self._degraded_read(chunk_id, start, finish, strategy)
+                return
+            server = self.cluster.chunk_server(host)
+            stripe = meta.stripe_for_chunk(chunk_id)
+
+            def on_disk_read() -> None:
+                server.fill_cache(chunk_id)
+                self.cluster.start_flow(
+                    host,
+                    self.node_id,
+                    stripe.chunk_size,
+                    lambda _flow: finish(),
+                )
+
+            def serve() -> None:
+                if server.lookup_cache(chunk_id):
+                    self.cluster.start_flow(
+                        host,
+                        self.node_id,
+                        stripe.chunk_size,
+                        lambda _flow: finish(),
+                    )
+                else:
+                    server.disk.read(stripe.chunk_size, on_disk_read)
+
+            self.cluster.send_control(host, serve)
+
+        # Round trip to the meta-server to locate the chunk.
+        self.cluster.send_control("meta", at_metaserver)
+
+    # ------------------------------------------------------------------
+    # Degraded read path
+    # ------------------------------------------------------------------
+    def _degraded_read(
+        self,
+        chunk_id: str,
+        start: float,
+        finish: "Callable[[], None]",
+        strategy: str,
+    ) -> None:
+        meta = self.cluster.metaserver
+        stripe = meta.stripe_for_chunk(chunk_id)
+        lost_index = stripe.chunk_index(chunk_id)
+
+        def on_repair_done(result: RepairResult) -> None:
+            self.degraded_reads_completed += 1
+            finish()
+
+        # Degraded reads are scheduled with the highest priority (§6.2).
+        meta.repair_manager.start_degraded_read(
+            stripe=stripe,
+            lost_index=lost_index,
+            client_id=self.node_id,
+            strategy=strategy,
+            on_complete=on_repair_done,
+        )
+
+    def degraded_read(
+        self,
+        chunk_id: str,
+        on_done: "Optional[Callable[[RepairResult], None]]" = None,
+        strategy: str = "ppr",
+        num_slices: int = 1,
+    ) -> None:
+        """Explicitly reconstruct a missing chunk at this client."""
+        meta = self.cluster.metaserver
+        stripe = meta.stripe_for_chunk(chunk_id)
+        lost_index = stripe.chunk_index(chunk_id)
+
+        def wrapped(result: RepairResult) -> None:
+            self.degraded_reads_completed += 1
+            self.last_read_latency = result.duration
+            if on_done is not None:
+                on_done(result)
+
+        meta.repair_manager.start_degraded_read(
+            stripe=stripe,
+            lost_index=lost_index,
+            client_id=self.node_id,
+            strategy=strategy,
+            on_complete=wrapped,
+            num_slices=num_slices,
+        )

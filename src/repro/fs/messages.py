@@ -1,0 +1,97 @@
+"""Control-plane message types of the PPR protocol (§6.2).
+
+Messages are small and modeled with a fixed control latency; bulk data
+rides :class:`~repro.sim.network.Flow` objects whose ``meta`` carries the
+real payload buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PartialOpRequest:
+    """The RM's (or an upstream peer's) plan command to one server.
+
+    Mirrors the paper's ``<x2:C2:S2, x3:C3:S3>`` plan messages: which local
+    chunk to read and scale, which downstream peers will feed partials in,
+    and which upstream peer receives the aggregate.
+    """
+
+    repair_id: str
+    stripe_id: str
+    #: Chunk id this server must read locally; None when the server is a
+    #: pure aggregator/destination hosting no relevant chunk.
+    chunk_id: "Optional[str]"
+    #: Recipe entries for the local chunk: (lost_row, helper_row, coeff).
+    entries: "Tuple[Tuple[int, int, int], ...]"
+    #: Sub-chunk rows per chunk for this stripe's code.
+    rows: int
+    #: Modeled chunk size in bytes.
+    chunk_size: float
+    #: Downstream peers whose partial results this server aggregates.
+    children: "Tuple[str, ...]"
+    #: Upstream peer (server id) to forward the aggregate to; None at the
+    #: repair destination.
+    parent: "Optional[str]"
+    #: Lost-chunk rows this node ships upstream (plan subtree union).
+    send_rows: "FrozenSet[int]"
+    #: Fraction of a chunk the upstream transfer occupies.
+    send_fraction: float
+    #: Fraction of the local chunk read from disk.
+    read_fraction: float
+    #: Pipelining factor: cut transfers into this many slices (1 = the
+    #: paper's store-and-forward PPR; >1 = repair-pipelining extension).
+    num_slices: int = 1
+
+
+@dataclass(frozen=True)
+class RawReadRequest:
+    """Traditional repair's fetch: send me your raw rows for this repair."""
+
+    repair_id: str
+    stripe_id: str
+    chunk_id: str
+    #: Helper rows to read and ship.
+    rows_needed: "FrozenSet[int]"
+    rows: int
+    chunk_size: float
+    requester: str
+
+
+@dataclass
+class PartialPayload:
+    """Bulk payload of a partial-result transfer: lost_row -> buffer."""
+
+    repair_id: str
+    sender: str
+    buffers: "Dict[int, np.ndarray]"
+    #: Which pipeline slice this payload carries (0 when unsliced).
+    slice_index: int = 0
+
+
+@dataclass
+class RawPayload:
+    """Bulk payload of a raw-rows transfer: helper_row -> buffer."""
+
+    repair_id: str
+    sender: str
+    chunk_index: int
+    buffers: "Dict[int, np.ndarray]"
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Chunk server -> Meta-Server liveness + statistics (every 5 s)."""
+
+    server_id: str
+    time: float
+    cached_chunk_ids: "FrozenSet[str]"
+    active_reconstructions: int
+    active_repair_destinations: int
+    user_load_bytes: float
+    disk_queue_delay: float

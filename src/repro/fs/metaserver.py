@@ -1,0 +1,149 @@
+"""The Meta-Server: namespace, heartbeats, failure detection, and the RM.
+
+Mirrors §6.1: chunk → server maps and stripe metadata live here; chunk
+servers send heartbeats every few seconds; missed heartbeats (or an
+explicit crash notification) mark a server dead and enqueue its chunks
+with the Repair-Manager, which schedules reconstructions via m-PPR.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.errors import ChunkNotFoundError
+from repro.fs.chunks import Stripe
+from repro.fs.messages import Heartbeat
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.cluster import StorageCluster
+    from repro.core.context import RepairContext
+    from repro.core.mppr import RepairManager
+
+
+class MetaServer:
+    """Centralized metadata service + Repair-Manager host."""
+
+    def __init__(self, cluster: "StorageCluster"):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.chunk_locations: "Dict[str, str]" = {}
+        self.stripes: "Dict[str, Stripe]" = {}
+        self.stripe_of_chunk: "Dict[str, str]" = {}
+        self.last_heartbeat: "Dict[str, Heartbeat]" = {}
+        self.dead_servers: "Set[str]" = set()
+        self.missing_chunks: "List[str]" = []
+        self._repair_manager: "Optional[RepairManager]" = None
+        self._heartbeats_started = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_stripe(self, stripe: Stripe, hosts: "List[str]") -> None:
+        self.stripes[stripe.stripe_id] = stripe
+        for chunk_id in stripe.chunk_ids:
+            self.stripe_of_chunk[chunk_id] = stripe.stripe_id
+
+    def register_chunk(self, chunk_id: str, server_id: str) -> None:
+        self.chunk_locations[chunk_id] = server_id
+
+    def stripe_for_chunk(self, chunk_id: str) -> Stripe:
+        stripe_id = self.stripe_of_chunk.get(chunk_id)
+        if stripe_id is None:
+            raise ChunkNotFoundError(f"unknown chunk {chunk_id!r}")
+        return self.stripes[stripe_id]
+
+    def locate_chunk(self, chunk_id: str) -> "Optional[str]":
+        """Server currently hosting the chunk, or None if unavailable."""
+        server_id = self.chunk_locations.get(chunk_id)
+        if server_id is None:
+            return None
+        server = self.cluster.servers.get(server_id)
+        if server is None or not server.alive or not server.has_chunk(chunk_id):
+            return None
+        return server_id
+
+    def alive_host_indices(self, stripe: Stripe) -> "Dict[int, str]":
+        """Stripe chunk index -> hosting server, for chunks still readable."""
+        out: "Dict[int, str]" = {}
+        for index, chunk_id in enumerate(stripe.chunk_ids):
+            host = self.locate_chunk(chunk_id)
+            if host is not None:
+                out[index] = host
+        return out
+
+    # ------------------------------------------------------------------
+    # Repair-Manager attachment
+    # ------------------------------------------------------------------
+    @property
+    def repair_manager(self) -> "RepairManager":
+        if self._repair_manager is None:
+            from repro.core.mppr import RepairManager
+
+            self._repair_manager = RepairManager(self.cluster)
+        return self._repair_manager
+
+    # ------------------------------------------------------------------
+    # Heartbeats + failure detection
+    # ------------------------------------------------------------------
+    def start_heartbeats(self) -> None:
+        """Begin periodic heartbeats from every server + staleness sweeps."""
+        if self._heartbeats_started:
+            return
+        self._heartbeats_started = True
+        interval = self.cluster.config.heartbeat_interval
+        for i, server_id in enumerate(self.cluster.server_ids):
+            # Stagger first beats so they do not all land on one tick.
+            offset = (i / max(1, len(self.cluster.server_ids))) * interval
+            self.sim.schedule(offset, self._heartbeat_tick, server_id)
+        self.sim.schedule(interval, self._sweep)
+
+    def _heartbeat_tick(self, server_id: str) -> None:
+        server = self.cluster.servers.get(server_id)
+        if server is None or not server.alive:
+            return  # dead servers stop beating; the sweep notices
+        self.last_heartbeat[server_id] = server.make_heartbeat()
+        self.sim.schedule(
+            self.cluster.config.heartbeat_interval,
+            self._heartbeat_tick,
+            server_id,
+        )
+
+    def _sweep(self) -> None:
+        timeout = self.cluster.config.failure_detection_timeout
+        for server_id in self.cluster.server_ids:
+            if server_id in self.dead_servers:
+                continue
+            server = self.cluster.servers[server_id]
+            beat = self.last_heartbeat.get(server_id)
+            stale = beat is None or (self.sim.now - beat.time) > timeout
+            if not server.alive and stale:
+                self.server_failed(server_id)
+        self.sim.schedule(self.cluster.config.heartbeat_interval, self._sweep)
+
+    def server_failed(self, server_id: str) -> None:
+        """Mark a server dead and queue its chunks for reconstruction."""
+        if server_id in self.dead_servers:
+            return
+        self.dead_servers.add(server_id)
+        lost = [
+            chunk_id
+            for chunk_id, host in self.chunk_locations.items()
+            if host == server_id
+        ]
+        for chunk_id in lost:
+            if chunk_id not in self.missing_chunks:
+                self.missing_chunks.append(chunk_id)
+        if self._repair_manager is not None:
+            self._repair_manager.enqueue_missing(lost)
+
+    def repair_completed(self, context: "RepairContext") -> None:
+        chunk_id = context.stripe.chunk_ids[context.lost_index]
+        if chunk_id in self.missing_chunks:
+            self.missing_chunks.remove(chunk_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def heartbeat_view(self, server_id: str) -> "Optional[Heartbeat]":
+        """The RM's (possibly stale) view of a server — §5 'staleness'."""
+        return self.last_heartbeat.get(server_id)

@@ -1,0 +1,91 @@
+"""Stripe placement with failure and upgrade domains.
+
+The paper's m-PPR destination selection (§5) must avoid servers that
+already host chunks of the stripe, servers in the same *failure domain*
+(e.g. rack) and the same *upgrade domain* as surviving chunks.  This
+module owns those constraints for initial placement and exposes the
+eligibility filter reused by destination selection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.util.rng import make_rng
+
+
+class PlacementPolicy:
+    """Spread stripes across distinct failure domains where possible."""
+
+    def __init__(
+        self,
+        failure_domain: "Dict[str, int]",
+        upgrade_domain: "Dict[str, int]",
+        rng: "np.random.Generator | int | None" = None,
+    ):
+        self.failure_domain = dict(failure_domain)
+        self.upgrade_domain = dict(upgrade_domain)
+        self.rng = make_rng(rng)
+
+    def place_stripe(
+        self, servers: "Sequence[str]", num_chunks: int
+    ) -> "List[str]":
+        """Pick ``num_chunks`` hosts, preferring distinct failure domains.
+
+        Falls back to reusing domains when the cluster is smaller than the
+        stripe width but never reuses a server.
+        """
+        candidates = list(servers)
+        if len(candidates) < num_chunks:
+            raise StorageError(
+                f"cannot place {num_chunks} chunks on {len(candidates)} servers"
+            )
+        order = list(self.rng.permutation(len(candidates)))
+        chosen: "List[str]" = []
+        used_domains: "Set[int]" = set()
+        # First pass: distinct failure domains.
+        for idx in order:
+            server = candidates[idx]
+            domain = self.failure_domain.get(server, -1)
+            if domain in used_domains:
+                continue
+            chosen.append(server)
+            used_domains.add(domain)
+            if len(chosen) == num_chunks:
+                return chosen
+        # Second pass: fill up regardless of domain.
+        for idx in order:
+            server = candidates[idx]
+            if server in chosen:
+                continue
+            chosen.append(server)
+            if len(chosen) == num_chunks:
+                return chosen
+        raise StorageError("placement failed")  # pragma: no cover
+
+    def eligible_destinations(
+        self,
+        servers: "Iterable[str]",
+        stripe_hosts: "Iterable[str]",
+    ) -> "List[str]":
+        """Servers allowed to become the repair site for a stripe (§5).
+
+        Excludes current hosts and anything sharing a failure or upgrade
+        domain with them.
+        """
+        hosts = set(stripe_hosts)
+        blocked_fd = {self.failure_domain.get(h) for h in hosts}
+        blocked_ud = {self.upgrade_domain.get(h) for h in hosts}
+        out = []
+        for server in servers:
+            if server in hosts:
+                continue
+            if self.failure_domain.get(server) in blocked_fd:
+                continue
+            if self.upgrade_domain.get(server) in blocked_ud:
+                continue
+            out.append(server)
+        return out

@@ -1,0 +1,84 @@
+"""Scalar GF(2^8) field operations.
+
+The :class:`GF256` object groups the scalar operations so the linear-algebra
+layer can be written against a small, explicit interface.  A module-level
+singleton :data:`gf256` is what everything in the library uses.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GaloisError
+from repro.galois.tables import FIELD_SIZE, GF_EXP, GF_INV, GF_LOG, GF_MUL
+
+
+class GF256:
+    """The finite field GF(2^8) with polynomial 0x11d.
+
+    Elements are plain Python ints in ``[0, 256)``; operations validate
+    range so corrupted indices fail fast rather than wrapping silently.
+    """
+
+    size = FIELD_SIZE
+
+    @staticmethod
+    def _check(*values: int) -> None:
+        for value in values:
+            if not 0 <= value < FIELD_SIZE:
+                raise GaloisError(f"element out of range [0,256): {value!r}")
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (= subtraction = XOR in characteristic 2)."""
+        self._check(a, b)
+        return a ^ b
+
+    # In GF(2^n) subtraction and addition coincide.
+    sub = add
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        self._check(a, b)
+        return int(GF_MUL[a, b])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``; raises on ``b == 0``."""
+        self._check(a, b)
+        if b == 0:
+            raise GaloisError("division by zero in GF(2^8)")
+        if a == 0:
+            return 0
+        return int(GF_EXP[GF_LOG[a] - GF_LOG[b] + (FIELD_SIZE - 1)])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on ``a == 0``."""
+        self._check(a)
+        if a == 0:
+            raise GaloisError("zero has no inverse in GF(2^8)")
+        return int(GF_INV[a])
+
+    def pow(self, a: int, exponent: int) -> int:
+        """Raise ``a`` to an integer power (negative powers allowed, a != 0)."""
+        self._check(a)
+        if a == 0:
+            if exponent == 0:
+                return 1
+            if exponent < 0:
+                raise GaloisError("zero has no inverse in GF(2^8)")
+            return 0
+        log_a = int(GF_LOG[a])
+        exp = (log_a * exponent) % (FIELD_SIZE - 1)
+        return int(GF_EXP[exp])
+
+    def exp(self, power: int) -> int:
+        """``generator ** power`` (power taken mod 255)."""
+        return int(GF_EXP[power % (FIELD_SIZE - 1)])
+
+    def log(self, a: int) -> int:
+        """Discrete log base the generator; raises on ``a == 0``."""
+        self._check(a)
+        if a == 0:
+            raise GaloisError("log of zero is undefined")
+        return int(GF_LOG[a])
+
+
+#: Shared field instance used throughout the library.
+gf256 = GF256()

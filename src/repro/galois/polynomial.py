@@ -1,0 +1,132 @@
+"""Polynomials over GF(2^8).
+
+Not on the hot path: Reed-Solomon here is implemented with matrices
+(:mod:`repro.linalg`), matching how QFS/Jerasure do it.  Polynomials serve
+as an independent cross-check of the field implementation (tests verify
+that Vandermonde solves agree with Lagrange interpolation) and support the
+classic polynomial-evaluation view of RS used in documentation/examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import GaloisError
+from repro.galois.field import gf256
+
+
+class GFPolynomial:
+    """An immutable polynomial with coefficients in GF(2^8).
+
+    Coefficients are stored lowest-degree first; trailing zeros are
+    normalized away, so the zero polynomial has ``coeffs == ()``.
+    """
+
+    __slots__ = ("_coeffs",)
+
+    def __init__(self, coeffs: Iterable[int] = ()):
+        items = list(coeffs)
+        for value in items:
+            if not 0 <= value < 256:
+                raise GaloisError(f"coefficient out of range: {value!r}")
+        while items and items[-1] == 0:
+            items.pop()
+        self._coeffs = tuple(items)
+
+    @property
+    def coeffs(self) -> "tuple[int, ...]":
+        return self._coeffs
+
+    @property
+    def degree(self) -> int:
+        """Degree; the zero polynomial reports -1."""
+        return len(self._coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return not self._coeffs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GFPolynomial):
+            return NotImplemented
+        return self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        return hash(self._coeffs)
+
+    def __repr__(self) -> str:
+        return f"GFPolynomial({list(self._coeffs)!r})"
+
+    def __add__(self, other: "GFPolynomial") -> "GFPolynomial":
+        longer, shorter = self._coeffs, other._coeffs
+        if len(longer) < len(shorter):
+            longer, shorter = shorter, longer
+        out = list(longer)
+        for i, value in enumerate(shorter):
+            out[i] ^= value
+        return GFPolynomial(out)
+
+    # Characteristic 2: subtraction is addition.
+    __sub__ = __add__
+
+    def __mul__(self, other: "GFPolynomial") -> "GFPolynomial":
+        if self.is_zero() or other.is_zero():
+            return GFPolynomial()
+        out: List[int] = [0] * (len(self._coeffs) + len(other._coeffs) - 1)
+        for i, a in enumerate(self._coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other._coeffs):
+                if b:
+                    out[i + j] ^= gf256.mul(a, b)
+        return GFPolynomial(out)
+
+    def scale(self, constant: int) -> "GFPolynomial":
+        """Multiply every coefficient by a field constant."""
+        return GFPolynomial(gf256.mul(constant, c) for c in self._coeffs)
+
+    def evaluate(self, x: int) -> int:
+        """Evaluate at ``x`` using Horner's rule."""
+        result = 0
+        for coeff in reversed(self._coeffs):
+            result = gf256.mul(result, x) ^ coeff
+        return result
+
+    def divmod(self, divisor: "GFPolynomial") -> "tuple[GFPolynomial, GFPolynomial]":
+        """Polynomial long division: return ``(quotient, remainder)``."""
+        if divisor.is_zero():
+            raise GaloisError("polynomial division by zero")
+        remainder = list(self._coeffs)
+        dcoeffs = divisor._coeffs
+        dlead_inv = gf256.inv(dcoeffs[-1])
+        if len(remainder) < len(dcoeffs):
+            return GFPolynomial(), GFPolynomial(remainder)
+        quotient = [0] * (len(remainder) - len(dcoeffs) + 1)
+        for shift in range(len(quotient) - 1, -1, -1):
+            lead = remainder[shift + len(dcoeffs) - 1]
+            if lead == 0:
+                continue
+            factor = gf256.mul(lead, dlead_inv)
+            quotient[shift] = factor
+            for i, dval in enumerate(dcoeffs):
+                remainder[shift + i] ^= gf256.mul(factor, dval)
+        return GFPolynomial(quotient), GFPolynomial(remainder)
+
+    @staticmethod
+    def interpolate(points: Sequence["tuple[int, int]"]) -> "GFPolynomial":
+        """Lagrange interpolation through ``(x, y)`` points with distinct x."""
+        xs = [x for x, _ in points]
+        if len(set(xs)) != len(xs):
+            raise GaloisError("interpolation points must have distinct x")
+        total = GFPolynomial()
+        for i, (xi, yi) in enumerate(points):
+            if yi == 0:
+                continue
+            basis = GFPolynomial([1])
+            denom = 1
+            for j, (xj, _) in enumerate(points):
+                if i == j:
+                    continue
+                basis = basis * GFPolynomial([xj, 1])  # (x - xj) == (x + xj)
+                denom = gf256.mul(denom, xi ^ xj)
+            total = total + basis.scale(gf256.mul(yi, gf256.inv(denom)))
+        return total

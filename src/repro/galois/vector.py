@@ -1,0 +1,118 @@
+"""Vectorized GF(2^8) kernels over numpy uint8 buffers.
+
+These are the data-path primitives of the whole system.  A repair equation
+
+    R = a_1*C_1 ^ a_2*C_2 ^ ... ^ a_k*C_k
+
+is computed entirely with :func:`scale` (one table-row fancy-index per
+constant) and :func:`xor_into` — whether centrally (traditional repair) or
+split across servers (PPR partial operations).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GaloisError
+from repro.galois.tables import GF_MUL
+
+
+def _as_u8(buf: np.ndarray, name: str) -> np.ndarray:
+    if not isinstance(buf, np.ndarray) or buf.dtype != np.uint8:
+        raise GaloisError(f"{name} must be a numpy uint8 array")
+    return buf
+
+
+def scale(coeff: int, buf: np.ndarray) -> np.ndarray:
+    """Return ``coeff * buf`` elementwise over GF(2^8) (new array)."""
+    _as_u8(buf, "buf")
+    if not 0 <= coeff < 256:
+        raise GaloisError(f"coefficient out of range: {coeff!r}")
+    if coeff == 0:
+        return np.zeros_like(buf)
+    if coeff == 1:
+        return buf.copy()
+    return GF_MUL[coeff][buf]
+
+
+def scale_into(coeff: int, buf: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Write ``coeff * buf`` into ``out`` (shapes must match)."""
+    _as_u8(buf, "buf")
+    _as_u8(out, "out")
+    if buf.shape != out.shape:
+        raise GaloisError("scale_into: shape mismatch")
+    if not 0 <= coeff < 256:
+        raise GaloisError(f"coefficient out of range: {coeff!r}")
+    if coeff == 0:
+        out[...] = 0
+    elif coeff == 1:
+        out[...] = buf
+    else:
+        np.take(GF_MUL[coeff], buf, out=out)
+    return out
+
+
+def xor_into(dst: np.ndarray, src: np.ndarray) -> np.ndarray:
+    """Accumulate ``dst ^= src`` in place (GF addition). Returns ``dst``."""
+    _as_u8(dst, "dst")
+    _as_u8(src, "src")
+    if dst.shape != src.shape:
+        raise GaloisError("xor_into: shape mismatch")
+    np.bitwise_xor(dst, src, out=dst)
+    return dst
+
+
+def addmul(dst: np.ndarray, coeff: int, src: np.ndarray) -> np.ndarray:
+    """Fused ``dst ^= coeff * src`` in place.  Returns ``dst``.
+
+    This is the inner loop of both RS encoding and decoding.
+    """
+    _as_u8(dst, "dst")
+    _as_u8(src, "src")
+    if dst.shape != src.shape:
+        raise GaloisError("addmul: shape mismatch")
+    if not 0 <= coeff < 256:
+        raise GaloisError(f"coefficient out of range: {coeff!r}")
+    if coeff == 0:
+        return dst
+    if coeff == 1:
+        np.bitwise_xor(dst, src, out=dst)
+        return dst
+    np.bitwise_xor(dst, GF_MUL[coeff][src], out=dst)
+    return dst
+
+
+def xor_many(buffers: Iterable[np.ndarray]) -> np.ndarray:
+    """XOR an iterable of equal-shape buffers together (new array)."""
+    result: "np.ndarray | None" = None
+    for buf in buffers:
+        _as_u8(buf, "buffer")
+        if result is None:
+            result = buf.copy()
+        else:
+            if buf.shape != result.shape:
+                raise GaloisError("xor_many: shape mismatch")
+            np.bitwise_xor(result, buf, out=result)
+    if result is None:
+        raise GaloisError("xor_many: empty input")
+    return result
+
+
+def linear_combine(
+    coeffs: Sequence[int], buffers: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Return ``sum_i coeffs[i] * buffers[i]`` over GF(2^8) (new array).
+
+    The centralized form of a repair equation; PPR computes the same value
+    as a tree of :func:`scale` / :func:`xor_into` partial results.
+    """
+    if len(coeffs) != len(buffers):
+        raise GaloisError("linear_combine: length mismatch")
+    if not buffers:
+        raise GaloisError("linear_combine: empty input")
+    out = np.zeros_like(_as_u8(buffers[0], "buffer"))
+    for coeff, buf in zip(coeffs, buffers):
+        addmul(out, coeff, buf)
+    return out

@@ -1,0 +1,19 @@
+"""Linear algebra over GF(2^8): matrices, inversion, and code builders."""
+
+from repro.linalg.matrix import GFMatrix
+from repro.linalg.builders import (
+    cauchy_matrix,
+    identity_matrix,
+    systematic_cauchy_generator,
+    systematic_vandermonde_generator,
+    vandermonde_matrix,
+)
+
+__all__ = [
+    "GFMatrix",
+    "cauchy_matrix",
+    "identity_matrix",
+    "systematic_cauchy_generator",
+    "systematic_vandermonde_generator",
+    "vandermonde_matrix",
+]

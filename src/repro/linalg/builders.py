@@ -1,0 +1,98 @@
+"""Generator-matrix constructions for MDS codes over GF(2^8).
+
+Two classic constructions, both MDS:
+
+* **Systematic Vandermonde** (what the paper's Fig. 3 depicts): start from a
+  ``(k+m) x k`` Vandermonde matrix ``V`` with distinct evaluation points —
+  any k of its rows form a square Vandermonde and are therefore invertible —
+  then right-multiply by ``inv(V[:k])`` so the top k rows become identity.
+  Right-multiplication by a fixed invertible matrix preserves the
+  any-k-rows-invertible property, so the systematic form is still MDS.
+
+* **Systematic Cauchy**: ``[I ; C]`` with ``C`` an ``m x k`` Cauchy matrix.
+  Every square submatrix of a Cauchy matrix is invertible, which makes
+  ``[I ; C]`` MDS.  This is the construction Jerasure's Cauchy-RS uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.galois.field import gf256
+from repro.galois.tables import FIELD_SIZE
+from repro.linalg.matrix import GFMatrix
+
+
+def _check_km(k: int, m: int) -> None:
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if m < 0:
+        raise ConfigurationError(f"m must be >= 0, got {m}")
+    if k + m > FIELD_SIZE - 1:
+        raise ConfigurationError(
+            f"k+m must be <= {FIELD_SIZE - 1} over GF(2^8), got {k + m}"
+        )
+
+
+def identity_matrix(n: int) -> GFMatrix:
+    """The n x n identity over GF(2^8)."""
+    return GFMatrix.identity(n)
+
+
+def vandermonde_matrix(rows: int, cols: int) -> GFMatrix:
+    """A ``rows x cols`` Vandermonde matrix with points 0, 1, ..., rows-1.
+
+    Row ``i`` is ``[1, x_i, x_i^2, ...]`` with ``x_i = i``.  Note row 0 uses
+    the convention ``0^0 == 1``.  Any ``cols`` rows form a square
+    Vandermonde with distinct points, hence are invertible.
+    """
+    if rows < cols:
+        raise ConfigurationError("vandermonde: need rows >= cols")
+    if rows > FIELD_SIZE:
+        raise ConfigurationError("vandermonde: too many rows for GF(2^8)")
+    data = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        value = 1
+        for j in range(cols):
+            data[i, j] = value
+            value = gf256.mul(value, i)
+    return GFMatrix(data)
+
+
+def cauchy_matrix(m: int, k: int) -> GFMatrix:
+    """An ``m x k`` Cauchy matrix ``1 / (x_i + y_j)``.
+
+    Uses ``x_i = i`` for rows and ``y_j = m + j`` for columns; all x and y
+    are distinct so every denominator is nonzero and every square submatrix
+    is invertible.
+    """
+    if m + k > FIELD_SIZE:
+        raise ConfigurationError("cauchy: m+k must be <= 256 over GF(2^8)")
+    data = np.zeros((m, k), dtype=np.uint8)
+    for i in range(m):
+        for j in range(k):
+            data[i, j] = gf256.inv(i ^ (m + j))
+    return GFMatrix(data)
+
+
+def systematic_vandermonde_generator(k: int, m: int) -> GFMatrix:
+    """The ``(k+m) x k`` systematic MDS generator used by the RS code.
+
+    Top k rows are the identity (data chunks pass through); the bottom m
+    rows produce parity.  Any k rows are invertible (MDS property).
+    """
+    _check_km(k, m)
+    vand = vandermonde_matrix(k + m, k)
+    top_inverse = vand.take_rows(range(k)).inverse()
+    return vand.mul(top_inverse)
+
+
+def systematic_cauchy_generator(k: int, m: int) -> GFMatrix:
+    """The ``(k+m) x k`` generator ``[I ; Cauchy]``."""
+    _check_km(k, m)
+    if m == 0:
+        return GFMatrix.identity(k)
+    top = np.eye(k, dtype=np.uint8)
+    bottom = cauchy_matrix(m, k).data
+    return GFMatrix(np.vstack([top, bottom]))

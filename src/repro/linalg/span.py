@@ -1,0 +1,104 @@
+"""Expressing a vector as a combination of others over GF(2^8).
+
+Erasure repair of a linear code is exactly this problem: the lost chunk's
+generator row must be written as a combination of the surviving chunks'
+generator rows; the combination coefficients are the decoding coefficients
+of the repair equation (§2 of the paper).
+
+:func:`express_in_span` additionally supports a *preference order*: rows are
+admitted one at a time and the first prefix whose span contains the target
+wins.  Codes with locality (LRC) use this to prefer cheap local repairs over
+global ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.galois.field import gf256
+from repro.galois.tables import GF_MUL
+
+
+class _TrackedBasis:
+    """Row-echelon basis that remembers how each basis vector was formed."""
+
+    def __init__(self, width: int):
+        self._width = width
+        # pivot column -> (reduced vector, combination over original indices)
+        self._rows: Dict[int, "tuple[np.ndarray, Dict[int, int]]"] = {}
+
+    def _reduce(
+        self, vector: np.ndarray, combo: Dict[int, int]
+    ) -> "tuple[np.ndarray, Dict[int, int]]":
+        vec = vector.astype(np.uint8).copy()
+        combo = dict(combo)
+        for pivot_col, (basis_vec, basis_combo) in sorted(self._rows.items()):
+            factor = int(vec[pivot_col])
+            if factor == 0:
+                continue
+            vec ^= GF_MUL[factor][basis_vec]
+            for idx, coeff in basis_combo.items():
+                updated = combo.get(idx, 0) ^ gf256.mul(factor, coeff)
+                if updated:
+                    combo[idx] = updated
+                else:
+                    combo.pop(idx, None)
+        return vec, combo
+
+    def add(self, index: int, vector: np.ndarray) -> None:
+        """Add original row ``index`` with contents ``vector``."""
+        vec, combo = self._reduce(vector, {index: 1})
+        nonzero = np.flatnonzero(vec)
+        if nonzero.size == 0:
+            return  # linearly dependent; nothing new
+        pivot_col = int(nonzero[0])
+        pivot_inv = gf256.inv(int(vec[pivot_col]))
+        if pivot_inv != 1:
+            vec = GF_MUL[pivot_inv][vec]
+            combo = {i: gf256.mul(pivot_inv, c) for i, c in combo.items()}
+        self._rows[pivot_col] = (vec, combo)
+
+    def express(self, target: np.ndarray) -> "Optional[Dict[int, int]]":
+        """Coefficients writing ``target`` as a combo of added rows, or None.
+
+        Returned map uses the original row indices passed to :meth:`add`;
+        zero coefficients are omitted.
+        """
+        vec, combo = self._reduce(target, {})
+        if np.any(vec):
+            return None
+        # _reduce tracked the combination that *cancels* target, i.e.
+        # target ^ sum(combo_i * row_i) == 0; over GF(2^n) that is the same
+        # combination that produces it.
+        return combo
+
+
+def express_in_span(
+    rows: Sequence[np.ndarray],
+    indices: Sequence[int],
+    target: np.ndarray,
+    greedy_prefix: bool = True,
+) -> "Optional[Dict[int, int]]":
+    """Write ``target`` as a GF(2^8) combination of ``rows``.
+
+    ``indices[i]`` labels ``rows[i]`` in the returned coefficient map.  With
+    ``greedy_prefix`` (default) rows are admitted in order and the first
+    sufficient prefix is used, so putting cheap helpers first yields cheap
+    repair equations.  Returns None when the target is not in the span.
+    """
+    if len(rows) != len(indices):
+        raise ValueError("rows and indices must have equal length")
+    target = np.asarray(target, dtype=np.uint8)
+    basis = _TrackedBasis(target.size)
+    if not greedy_prefix:
+        for index, row in zip(indices, rows):
+            basis.add(index, np.asarray(row, dtype=np.uint8))
+        return basis.express(target)
+    for index, row in zip(indices, rows):
+        basis.add(index, np.asarray(row, dtype=np.uint8))
+        combo = basis.express(target)
+        if combo is not None:
+            return combo
+    return None

@@ -1,0 +1,41 @@
+"""Flow-level discrete-event cluster simulator.
+
+The substitution for the paper's OpenStack testbeds.  Components:
+
+* :mod:`repro.sim.events` — event heap and simulation clock.
+* :mod:`repro.sim.network` — links and flows with max-min fair bandwidth
+  sharing (progressive filling), recomputed on every flow arrival and
+  departure.  This is what reproduces the paper's core observation: k
+  concurrent flows into one ingress link each get B/k.
+* :mod:`repro.sim.topology` — single-switch (VL2-like) and fat-tree
+  (oversubscribable) fabrics, the two architectures §4.2 assumes.
+* :mod:`repro.sim.disk` — FIFO disks (Eq. 1's ``C/B_I`` term with queueing).
+* :mod:`repro.sim.compute` — GF compute-time model calibrated against this
+  library's real numpy kernels.
+* :mod:`repro.sim.cache` — the in-memory LRU chunk cache of §4.4.
+* :mod:`repro.sim.metrics` — phase timers and per-link byte counters.
+"""
+
+from repro.sim.events import Event, Simulation
+from repro.sim.network import Flow, FlowNetwork, Link
+from repro.sim.topology import FatTreeTopology, SingleSwitchTopology, Topology
+from repro.sim.disk import Disk
+from repro.sim.compute import ComputeModel
+from repro.sim.cache import LRUCache
+from repro.sim.metrics import PhaseBreakdown, TrafficMatrix
+
+__all__ = [
+    "Event",
+    "Simulation",
+    "Flow",
+    "FlowNetwork",
+    "Link",
+    "Topology",
+    "SingleSwitchTopology",
+    "FatTreeTopology",
+    "Disk",
+    "ComputeModel",
+    "LRUCache",
+    "PhaseBreakdown",
+    "TrafficMatrix",
+]

@@ -1,0 +1,101 @@
+"""In-memory LRU chunk cache (§4.4).
+
+Byte-capacity LRU keyed by chunk id, plus the usage profile (last-access
+timestamps) the paper uses to prioritize repairs of hot chunks and to let
+m-PPR's ``hasCache`` weight term prefer source servers that can skip the
+disk read.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.util.validation import check_non_negative
+
+
+class LRUCache:
+    """Least-recently-used cache with a byte-capacity bound."""
+
+    def __init__(self, capacity_bytes: float):
+        self.capacity = check_non_negative("capacity_bytes", capacity_bytes)
+        self._entries: "OrderedDict[Hashable, float]" = OrderedDict()
+        self._bytes = 0.0
+        self._last_access: "Dict[Hashable, float]" = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def used_bytes(self) -> float:
+        return self._bytes
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def contains(self, key: Hashable) -> bool:
+        """Non-mutating membership check (no LRU bump, no hit counting)."""
+        return key in self._entries
+
+    def access(self, key: Hashable, now: float = 0.0) -> bool:
+        """Look up ``key``; bump recency and record the usage profile.
+
+        Returns True on hit.
+        """
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._last_access[key] = now
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, key: Hashable, size: float, now: float = 0.0) -> "List[Hashable]":
+        """Insert (or refresh) an entry; returns any evicted keys."""
+        check_non_negative("size", size)
+        if size > self.capacity:
+            return []  # does not fit at all; leave the cache unchanged
+        if key in self._entries:
+            self._bytes -= self._entries.pop(key)
+        self._entries[key] = size
+        self._bytes += size
+        self._last_access[key] = now
+        evicted: "List[Hashable]" = []
+        while self._bytes > self.capacity and self._entries:
+            old_key, old_size = self._entries.popitem(last=False)
+            if old_key == key:
+                # Shouldn't happen (size was checked), but stay safe.
+                self._entries[key] = old_size
+                break
+            self._bytes -= old_size
+            self._last_access.pop(old_key, None)
+            evicted.append(old_key)
+        return evicted
+
+    def evict(self, key: Hashable) -> bool:
+        """Explicitly drop an entry (e.g. chunk deleted)."""
+        if key not in self._entries:
+            return False
+        self._bytes -= self._entries.pop(key)
+        self._last_access.pop(key, None)
+        return True
+
+    def last_access(self, key: Hashable) -> "Optional[float]":
+        """Usage-profile timestamp, or None if never cached."""
+        return self._last_access.get(key)
+
+    def hottest(self, limit: int = 10) -> "List[Tuple[Hashable, float]]":
+        """Most recently used entries, newest first (the usage profile)."""
+        items = sorted(
+            ((k, self._last_access.get(k, 0.0)) for k in self._entries),
+            key=lambda kv: kv[1],
+            reverse=True,
+        )
+        return items[:limit]
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

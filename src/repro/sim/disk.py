@@ -1,0 +1,63 @@
+"""FIFO disk model.
+
+Requests queue in arrival order and each takes ``size / bandwidth`` plus a
+fixed seek latency — the ``C / B_I`` term of the paper's Eq. (1), with
+queueing when multiple reconstructions hit the same spindle (the resource
+m-PPR's weights try to avoid overloading).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.events import Simulation
+from repro.util.units import Bandwidth
+from repro.util.validation import check_non_negative
+
+
+class Disk:
+    """A single FIFO storage device."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        bandwidth: "float | str" = "100MB/s",
+        seek_latency: float = 0.004,
+    ):
+        self.sim = sim
+        self.bandwidth = Bandwidth.of(bandwidth).bytes_per_sec
+        self.seek_latency = check_non_negative("seek_latency", seek_latency)
+        self._busy_until = 0.0
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
+        self.num_requests = 0
+
+    def _enqueue(self, size: float, callback: "Optional[Callable[[], None]]") -> float:
+        start = max(self.sim.now, self._busy_until)
+        finish = start + self.seek_latency + size / self.bandwidth
+        self._busy_until = finish
+        self.num_requests += 1
+        if callback is not None:
+            self.sim.schedule_at(finish, callback)
+        return finish
+
+    def read(
+        self, size: float, callback: "Optional[Callable[[], None]]" = None
+    ) -> float:
+        """Queue a read of ``size`` bytes; returns its completion time."""
+        check_non_negative("size", size)
+        self.bytes_read += size
+        return self._enqueue(size, callback)
+
+    def write(
+        self, size: float, callback: "Optional[Callable[[], None]]" = None
+    ) -> float:
+        """Queue a write of ``size`` bytes; returns its completion time."""
+        check_non_negative("size", size)
+        self.bytes_written += size
+        return self._enqueue(size, callback)
+
+    @property
+    def queue_delay(self) -> float:
+        """How long a request issued now would wait before starting."""
+        return max(0.0, self._busy_until - self.sim.now)

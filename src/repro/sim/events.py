@@ -1,0 +1,123 @@
+"""Minimal discrete-event engine: an event heap and a virtual clock.
+
+Callback-based rather than coroutine-based: actors (chunk servers, the
+meta-server, clients) register handler methods; the engine orders them in
+virtual time.  Determinism matters for reproducibility, so ties break on a
+monotonically increasing sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  Cancel with :meth:`cancel`."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: "Callable[..., None]",
+        args: "Tuple[Any, ...]",
+    ):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (O(1); heap entry is skipped)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulation:
+    """The event loop.  ``now`` is virtual seconds since simulation start."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: "List[Event]" = []
+        self._seq = itertools.count()
+        self._running = False
+
+    def schedule(
+        self, delay: float, callback: "Callable[..., None]", *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: "Callable[..., None]", *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now ({self.now})"
+            )
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> "Optional[float]":
+        """Time of the next pending event, or None if the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when nothing is pending."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: "Optional[float]" = None) -> float:
+        """Run events until the heap drains (or past ``until``).
+
+        Returns the final clock value.  With ``until``, events scheduled at
+        or before the horizon run and the clock then advances to exactly
+        ``until``.
+        """
+        if self._running:
+            raise SimulationError("simulation is not re-entrant")
+        self._running = True
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> float:
+        """Drain the heap with a runaway guard."""
+        count = 0
+        while self.step():
+            count += 1
+            if count > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; likely a loop"
+                )
+        return self.now

@@ -1,0 +1,129 @@
+"""Measurement plumbing: phase breakdowns and traffic accounting.
+
+:class:`PhaseBreakdown` reproduces the paper's Fig. 1 methodology — how
+much of a reconstruction was spent in plan distribution, disk IO, network
+transfer, computation, and write-back.  Because phases overlap (PPR
+pipelines IO with network, §6.3), each phase records *busy intervals* and
+reports both busy time and its share of the end-to-end window.
+
+:class:`TrafficMatrix` counts bytes per (src, dst) server pair and per
+link, used to reproduce the Fig. 2 / Fig. 4 transfer patterns.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+PHASES = ("plan", "disk_read", "network", "compute", "disk_write")
+
+
+@dataclass
+class _IntervalSet:
+    """A set of [start, end) busy intervals with union-length queries."""
+
+    intervals: "List[Tuple[float, float]]" = field(default_factory=list)
+
+    def add(self, start: float, end: float) -> None:
+        if end > start:
+            self.intervals.append((start, end))
+
+    def busy_time(self) -> float:
+        """Total length of the union of intervals."""
+        if not self.intervals:
+            return 0.0
+        merged = 0.0
+        current_start, current_end = None, None
+        for start, end in sorted(self.intervals):
+            if current_start is None:
+                current_start, current_end = start, end
+                continue
+            if start <= current_end:
+                current_end = max(current_end, end)
+            else:
+                merged += current_end - current_start
+                current_start, current_end = start, end
+        merged += current_end - current_start  # type: ignore[operator]
+        return merged
+
+
+class PhaseBreakdown:
+    """Per-phase busy time over one reconstruction."""
+
+    def __init__(self) -> None:
+        self._phases: "Dict[str, _IntervalSet]" = {
+            name: _IntervalSet() for name in PHASES
+        }
+        self.start_time: float = 0.0
+        self.end_time: float = 0.0
+
+    def record(self, phase: str, start: float, end: float) -> None:
+        if phase not in self._phases:
+            raise KeyError(f"unknown phase {phase!r}; known: {PHASES}")
+        self._phases[phase].add(start, end)
+
+    def busy(self, phase: str) -> float:
+        return self._phases[phase].busy_time()
+
+    @property
+    def total(self) -> float:
+        return max(0.0, self.end_time - self.start_time)
+
+    def shares(self) -> "Dict[str, float]":
+        """Each phase's busy time as a fraction of the end-to-end window.
+
+        Shares can exceed 1.0 in sum when phases overlap (pipelining) —
+        matching how Fig. 1's stacked "percentage of time" is measured per
+        phase rather than normalized.
+        """
+        total = self.total
+        if total <= 0:
+            return {name: 0.0 for name in PHASES}
+        return {name: self.busy(name) / total for name in PHASES}
+
+    def dominant_phase(self) -> str:
+        return max(PHASES, key=self.busy)
+
+
+class TrafficMatrix:
+    """Bytes moved per (src, dst) pair — the Fig. 2/4 transfer pattern."""
+
+    def __init__(self) -> None:
+        self._pairs: "Dict[Tuple[str, str], float]" = defaultdict(float)
+
+    def add(self, src: str, dst: str, nbytes: float) -> None:
+        self._pairs[(src, dst)] += nbytes
+
+    def bytes_between(self, src: str, dst: str) -> float:
+        return self._pairs.get((src, dst), 0.0)
+
+    def ingress_bytes(self, server: str) -> float:
+        return sum(v for (s, d), v in self._pairs.items() if d == server)
+
+    def egress_bytes(self, server: str) -> float:
+        return sum(v for (s, d), v in self._pairs.items() if s == server)
+
+    def max_ingress(self) -> "Tuple[str, float]":
+        """The most loaded receiver — the traditional repair hotspot."""
+        totals: "Dict[str, float]" = defaultdict(float)
+        for (_, dst), value in self._pairs.items():
+            totals[dst] += value
+        if not totals:
+            return ("", 0.0)
+        server = max(totals, key=lambda s: totals[s])
+        return (server, totals[server])
+
+    def max_through_any_server(self) -> float:
+        """Max ingress+egress over all servers (Table 1's BW/server metric)."""
+        totals: "Dict[str, float]" = defaultdict(float)
+        for (src, dst), value in self._pairs.items():
+            totals[src] += value
+            totals[dst] += value
+        return max(totals.values(), default=0.0)
+
+    def total_bytes(self) -> float:
+        return sum(self._pairs.values())
+
+    def pairs(self) -> "Dict[Tuple[str, str], float]":
+        return dict(self._pairs)

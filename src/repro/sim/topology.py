@@ -1,0 +1,149 @@
+"""Network topologies: who talks to whom over which links.
+
+The paper assumes (§4.2) either a VL2-like fabric — "all servers connected
+to a monolithic giant virtual switch" — or a fat-tree with ~full bisection
+bandwidth.  We provide both:
+
+* :class:`SingleSwitchTopology` — every server has an egress and an ingress
+  access link into a non-blocking core.  This is the model under which
+  Theorem 1's ``k·C/B`` vs ``⌈log2(k+1)⌉·C/B`` is exact.
+* :class:`FatTreeTopology` — servers grouped into racks; each rack has an
+  uplink/downlink pair whose capacity can be oversubscribed, letting
+  experiments explore PPR when the core is *not* full-bisection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.network import Link
+from repro.util.units import Bandwidth
+
+
+class Topology:
+    """Base class: a set of server ids and link paths between them."""
+
+    def __init__(self) -> None:
+        self._servers: "List[str]" = []
+
+    @property
+    def servers(self) -> "List[str]":
+        return list(self._servers)
+
+    def path(self, src: str, dst: str) -> "List[Link]":
+        """Ordered links a flow from ``src`` to ``dst`` traverses."""
+        raise NotImplementedError
+
+    def all_links(self) -> "List[Link]":
+        raise NotImplementedError
+
+    def _check_server(self, server: str) -> None:
+        if server not in self._index:  # type: ignore[attr-defined]
+            raise SimulationError(f"unknown server {server!r}")
+
+
+class SingleSwitchTopology(Topology):
+    """Full-duplex access links into a non-blocking core (VL2 model)."""
+
+    def __init__(self, server_ids: "Sequence[str]", link_bandwidth: "float | str"):
+        super().__init__()
+        if not server_ids:
+            raise ConfigurationError("topology needs at least one server")
+        if len(set(server_ids)) != len(server_ids):
+            raise ConfigurationError("server ids must be unique")
+        bw = Bandwidth.of(link_bandwidth).bytes_per_sec
+        self._servers = list(server_ids)
+        self._index = {s: i for i, s in enumerate(self._servers)}
+        self.egress: "Dict[str, Link]" = {
+            s: Link(f"{s}:egress", bw) for s in self._servers
+        }
+        self.ingress: "Dict[str, Link]" = {
+            s: Link(f"{s}:ingress", bw) for s in self._servers
+        }
+
+    def path(self, src: str, dst: str) -> "List[Link]":
+        self._check_server(src)
+        self._check_server(dst)
+        if src == dst:
+            # Loopback: modeled as a path through both NIC directions (the
+            # memory bus is not the bottleneck we study).
+            return [self.egress[src], self.ingress[dst]]
+        return [self.egress[src], self.ingress[dst]]
+
+    def all_links(self) -> "List[Link]":
+        return list(self.egress.values()) + list(self.ingress.values())
+
+    def set_bandwidth(self, bandwidth: "float | str") -> None:
+        """Re-cap every access link (the paper's §7.2 ``tc`` experiment)."""
+        bw = Bandwidth.of(bandwidth).bytes_per_sec
+        for link in self.all_links():
+            link.capacity = bw
+
+    def set_server_bandwidth(self, server: str, bandwidth: "float | str") -> None:
+        """Give one server faster/slower links (heterogeneous clusters)."""
+        self._check_server(server)
+        bw = Bandwidth.of(bandwidth).bytes_per_sec
+        self.egress[server].capacity = bw
+        self.ingress[server].capacity = bw
+
+
+class FatTreeTopology(Topology):
+    """Rack-structured fabric with configurable oversubscription.
+
+    ``servers_per_rack`` servers share a rack switch whose uplink/downlink
+    carry ``servers_per_rack * link_bw / oversubscription`` each.
+    ``oversubscription=1`` gives full bisection (behaves like the single
+    switch for rack-disjoint transfers).
+    """
+
+    def __init__(
+        self,
+        server_ids: "Sequence[str]",
+        link_bandwidth: "float | str",
+        servers_per_rack: int = 8,
+        oversubscription: float = 1.0,
+    ):
+        super().__init__()
+        if not server_ids:
+            raise ConfigurationError("topology needs at least one server")
+        if servers_per_rack < 1:
+            raise ConfigurationError("servers_per_rack must be >= 1")
+        if oversubscription < 1.0:
+            raise ConfigurationError("oversubscription must be >= 1.0")
+        bw = Bandwidth.of(link_bandwidth).bytes_per_sec
+        self._servers = list(server_ids)
+        self._index = {s: i for i, s in enumerate(self._servers)}
+        self.servers_per_rack = servers_per_rack
+        self.egress = {s: Link(f"{s}:egress", bw) for s in self._servers}
+        self.ingress = {s: Link(f"{s}:ingress", bw) for s in self._servers}
+        num_racks = -(-len(self._servers) // servers_per_rack)
+        rack_bw = servers_per_rack * bw / oversubscription
+        self.rack_up = [Link(f"rack{r}:up", rack_bw) for r in range(num_racks)]
+        self.rack_down = [
+            Link(f"rack{r}:down", rack_bw) for r in range(num_racks)
+        ]
+
+    def rack_of(self, server: str) -> int:
+        self._check_server(server)
+        return self._index[server] // self.servers_per_rack
+
+    def path(self, src: str, dst: str) -> "List[Link]":
+        src_rack = self.rack_of(src)
+        dst_rack = self.rack_of(dst)
+        if src_rack == dst_rack:
+            return [self.egress[src], self.ingress[dst]]
+        return [
+            self.egress[src],
+            self.rack_up[src_rack],
+            self.rack_down[dst_rack],
+            self.ingress[dst],
+        ]
+
+    def all_links(self) -> "List[Link]":
+        return (
+            list(self.egress.values())
+            + list(self.ingress.values())
+            + self.rack_up
+            + self.rack_down
+        )

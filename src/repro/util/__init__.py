@@ -1,0 +1,43 @@
+"""Shared utilities: unit parsing/formatting, validation, deterministic RNG."""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    KIB,
+    MIB,
+    GIB,
+    Bandwidth,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+    parse_bandwidth,
+    parse_size,
+)
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+)
+from repro.util.rng import make_rng
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "Bandwidth",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_time",
+    "parse_bandwidth",
+    "parse_size",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "make_rng",
+]

@@ -1,0 +1,21 @@
+"""Deterministic random number generation.
+
+All stochastic behaviour in the library (placement, failure injection,
+workloads) flows through numpy Generators created here so experiments are
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a numpy Generator.
+
+    Passing an existing Generator returns it unchanged, so components can
+    share a stream; passing an int (or None) creates a fresh one.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

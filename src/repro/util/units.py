@@ -1,0 +1,139 @@
+"""Byte-size and bandwidth units, parsing, and human-readable formatting.
+
+The paper mixes decimal network units (1 Gbps = 1e9 bits/s) with binary
+storage units (64MB chunks, meaning 64 * 2**20 bytes in QFS).  To keep the
+two regimes explicit this module exposes both decimal (``KB``/``MB``/``GB``)
+and binary (``KIB``/``MIB``/``GIB``) constants and a :class:`Bandwidth`
+value type that always stores bytes/second internally.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+# Decimal byte units (used for network-ish quantities).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# Binary byte units (used for storage-ish quantities; QFS chunks are MiB).
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMGT]?i?B?)\s*$", re.IGNORECASE
+)
+_BW_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMGT]?)(?P<kind>bps|b/s|B/s|Bps)\s*$"
+)
+
+_DECIMAL_MULT = {"": 1, "K": KB, "M": MB, "G": GB, "T": 10**12}
+_BINARY_MULT = {"": 1, "K": KIB, "M": MIB, "G": GIB, "T": 1 << 40}
+
+
+def parse_size(text: "str | int | float") -> int:
+    """Parse a byte size such as ``"64MiB"``, ``"8MB"``, or a raw number.
+
+    Decimal suffixes (``MB``) use powers of ten, binary suffixes (``MiB``)
+    powers of two.  A bare number is taken as bytes.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ConfigurationError(f"size must be non-negative, got {text}")
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ConfigurationError(f"unparseable size: {text!r}")
+    num = float(match.group("num"))
+    unit = match.group("unit")
+    prefix = unit[:1].upper() if unit and unit[0].upper() in "KMGT" else ""
+    binary = "i" in unit.lower()
+    mult = (_BINARY_MULT if binary else _DECIMAL_MULT)[prefix]
+    return int(num * mult)
+
+
+def parse_bandwidth(text: "str | int | float") -> float:
+    """Parse a bandwidth such as ``"1Gbps"``, ``"200Mbps"``, ``"125MB/s"``.
+
+    Returns bytes/second.  Lower-case ``b`` means bits, upper-case ``B``
+    bytes, matching networking convention.  A bare number is bytes/second.
+    """
+    if isinstance(text, (int, float)):
+        if text <= 0:
+            raise ConfigurationError(f"bandwidth must be positive, got {text}")
+        return float(text)
+    match = _BW_RE.match(text)
+    if not match:
+        raise ConfigurationError(f"unparseable bandwidth: {text!r}")
+    num = float(match.group("num"))
+    mult = _DECIMAL_MULT[match.group("unit").upper()]
+    kind = match.group("kind")
+    bits = kind in ("bps", "b/s")
+    value = num * mult / (8.0 if bits else 1.0)
+    if value <= 0:
+        raise ConfigurationError(f"bandwidth must be positive, got {text!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class Bandwidth:
+    """A link or device bandwidth, stored as bytes/second.
+
+    >>> Bandwidth.of("1Gbps").bytes_per_sec
+    125000000.0
+    """
+
+    bytes_per_sec: float
+
+    @classmethod
+    def of(cls, value: "str | int | float | Bandwidth") -> "Bandwidth":
+        if isinstance(value, Bandwidth):
+            return value
+        return cls(parse_bandwidth(value))
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` at this rate with no contention."""
+        return nbytes / self.bytes_per_sec
+
+    def __str__(self) -> str:
+        return fmt_rate(self.bytes_per_sec)
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count using binary units (storage convention)."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.4g}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_rate(bytes_per_sec: float) -> str:
+    """Human-readable bandwidth in bits/s (network convention)."""
+    bits = bytes_per_sec * 8.0
+    for unit in ("bps", "Kbps", "Mbps", "Gbps", "Tbps"):
+        if abs(bits) < 1000.0 or unit == "Tbps":
+            return f"{bits:.4g}{unit}"
+        bits /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration (``1.5ms``, ``2.34s``, ``3m05s``)."""
+    if seconds < 0:
+        return "-" + fmt_time(-seconds)
+    if seconds == 0:
+        return "0s"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g}ms"
+    if seconds < 120.0:
+        return f"{seconds:.3g}s"
+    minutes, secs = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{secs:04.1f}s"

@@ -1,0 +1,39 @@
+"""Small argument-validation helpers raising :class:`ConfigurationError`."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0`` and return it."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0`` and return it."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Require ``low <= value <= high`` and return it."""
+    if not low <= value <= high:
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+    return value
+
+
+def check_type(name: str, value: Any, expected: type) -> Any:
+    """Require ``isinstance(value, expected)`` and return it."""
+    if not isinstance(value, expected):
+        raise ConfigurationError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,28 @@
+"""Workload and failure generators used by the experiments.
+
+* :mod:`repro.workloads.failures` — failure injection: single server
+  crashes (§7.1), simultaneous crashes (§7.5), and transient-failure
+  traces following the statistics the paper cites (Ford et al.: ~90% of
+  failure events are transient; Rashmi et al.: ~50 machine-unavailability
+  events/day in a multi-thousand-node DC).
+* :mod:`repro.workloads.userload` — background user traffic that fills
+  the m-PPR weight equations' ``userLoad`` term and warms chunk caches.
+"""
+
+from repro.workloads.failures import (
+    FailureEvent,
+    FailureInjector,
+    FailureTrace,
+    crash_busiest_server,
+    crash_random_servers,
+)
+from repro.workloads.userload import UserLoadGenerator
+
+__all__ = [
+    "FailureEvent",
+    "FailureInjector",
+    "FailureTrace",
+    "crash_busiest_server",
+    "crash_random_servers",
+    "UserLoadGenerator",
+]

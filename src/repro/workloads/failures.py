@@ -1,0 +1,160 @@
+"""Failure injection.
+
+The paper's evaluation kills chunk servers to trigger repairs (§7.1, §7.5)
+and motivates degraded reads with datacenter failure statistics: ~90% of
+failure events are transient (Ford et al. / Sathiamoorthy et al.), and a
+few-thousand-node cluster sees ~50 machine-unavailability events per day
+(Rashmi et al.).  :class:`FailureTrace` synthesizes event streams with
+those proportions for long-running experiments.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.cluster import StorageCluster
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One injected failure."""
+
+    time: float
+    server_id: str
+    #: "transient" failures recover after ``duration``; "permanent" do not.
+    kind: str
+    duration: float = 0.0
+
+
+def crash_busiest_server(cluster: "StorageCluster") -> "tuple[str, List[str]]":
+    """Kill the alive server hosting the most chunks (maximizes repairs).
+
+    Returns ``(server_id, lost_chunk_ids)``.
+    """
+    counts = collections.Counter(
+        host
+        for host in cluster.metaserver.chunk_locations.values()
+        if cluster.servers[host].alive
+    )
+    if not counts:
+        raise ConfigurationError("no chunks written yet")
+    victim = counts.most_common(1)[0][0]
+    return victim, cluster.kill_server(victim)
+
+
+def crash_random_servers(
+    cluster: "StorageCluster",
+    count: int,
+    rng: "np.random.Generator | int | None" = None,
+) -> "Dict[str, List[str]]":
+    """Kill ``count`` random alive chunk-hosting servers (§7.5 methodology).
+
+    Returns ``server_id -> lost chunk ids``.
+    """
+    rng = make_rng(rng)
+    hosting = sorted(
+        {
+            host
+            for host in cluster.metaserver.chunk_locations.values()
+            if cluster.servers[host].alive
+        }
+    )
+    if count > len(hosting):
+        raise ConfigurationError(
+            f"cannot crash {count} of {len(hosting)} hosting servers"
+        )
+    victims = rng.choice(hosting, size=count, replace=False)
+    return {v: cluster.kill_server(v) for v in victims}
+
+
+class FailureTrace:
+    """Synthetic failure event stream with datacenter-like statistics."""
+
+    def __init__(
+        self,
+        server_ids: "Sequence[str]",
+        events_per_hour: float = 2.0,
+        transient_fraction: float = 0.9,
+        transient_duration: float = 900.0,  # Google delays repairs 15 min
+        rng: "np.random.Generator | int | None" = None,
+    ):
+        if not server_ids:
+            raise ConfigurationError("need at least one server")
+        if not 0.0 <= transient_fraction <= 1.0:
+            raise ConfigurationError("transient_fraction must be in [0, 1]")
+        if events_per_hour <= 0:
+            raise ConfigurationError("events_per_hour must be positive")
+        self.server_ids = list(server_ids)
+        self.events_per_hour = events_per_hour
+        self.transient_fraction = transient_fraction
+        self.transient_duration = transient_duration
+        self.rng = make_rng(rng)
+
+    def generate(self, duration_hours: float) -> "List[FailureEvent]":
+        """Poisson arrivals; each event picks a server uniformly."""
+        events: "List[FailureEvent]" = []
+        time_hours = 0.0
+        while True:
+            time_hours += float(
+                self.rng.exponential(1.0 / self.events_per_hour)
+            )
+            if time_hours >= duration_hours:
+                break
+            server = str(self.rng.choice(self.server_ids))
+            transient = bool(self.rng.random() < self.transient_fraction)
+            events.append(
+                FailureEvent(
+                    time=time_hours * 3600.0,
+                    server_id=server,
+                    kind="transient" if transient else "permanent",
+                    duration=self.transient_duration if transient else 0.0,
+                )
+            )
+        return events
+
+
+class FailureInjector:
+    """Replays a failure trace into a running cluster simulation.
+
+    Transient failures mark the server dead and revive it after the
+    event's duration — the scenario where degraded reads happen and
+    proactive repair is wasteful (§1, §5).
+    """
+
+    def __init__(self, cluster: "StorageCluster"):
+        self.cluster = cluster
+        self.injected: "List[FailureEvent]" = []
+
+    def schedule(self, events: "Sequence[FailureEvent]") -> None:
+        for event in events:
+            self.cluster.sim.schedule_at(event.time, self._fire, event)
+
+    def _fire(self, event: FailureEvent) -> None:
+        server = self.cluster.servers.get(event.server_id)
+        if server is None or not server.alive:
+            return
+        self.injected.append(event)
+        if event.kind == "permanent":
+            self.cluster.kill_server(event.server_id)
+            return
+        # Transient: stop serving without meta-server notification; the
+        # heartbeat sweep may or may not notice depending on duration.
+        server.alive = False
+        self.cluster.sim.schedule(event.duration, self._revive, event.server_id)
+
+    def _revive(self, server_id: str) -> None:
+        server = self.cluster.servers.get(server_id)
+        if server is None:
+            return
+        meta = self.cluster.metaserver
+        if server_id in meta.dead_servers:
+            return  # already declared dead and repaired around
+        server.alive = True

@@ -1,0 +1,112 @@
+"""Background user traffic.
+
+Generates client reads of random stored chunks at a configurable rate.
+Two effects matter for the paper's mechanisms: the traffic populates each
+server's ``user_load_bytes`` (consumed by m-PPR's weight equations through
+heartbeats) and warms the LRU chunk caches (the ``hasCache`` term and the
+Fig. 7e caching experiment).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.cluster import StorageCluster
+
+
+class UserLoadGenerator:
+    """Poisson client reads over the stored chunk population."""
+
+    def __init__(
+        self,
+        cluster: "StorageCluster",
+        reads_per_second: float = 2.0,
+        zipf_exponent: "Optional[float]" = 1.2,
+        rng: "np.random.Generator | int | None" = None,
+    ):
+        if reads_per_second <= 0:
+            raise ConfigurationError("reads_per_second must be positive")
+        self.cluster = cluster
+        self.reads_per_second = reads_per_second
+        self.zipf_exponent = zipf_exponent
+        self.rng = make_rng(rng)
+        self.reads_issued = 0
+        self.latencies: "List[float]" = []
+        self._running = False
+        #: user_load decays over time; bytes added per read at the server.
+        self.load_decay_interval = 10.0
+
+    def start(self, duration: float) -> None:
+        """Schedule reads over ``[now, now + duration)`` virtual seconds."""
+        self._running = True
+        self.cluster.sim.schedule(
+            float(self.rng.exponential(1.0 / self.reads_per_second)),
+            self._tick,
+            self.cluster.sim.now + duration,
+        )
+        self.cluster.sim.schedule(self.load_decay_interval, self._decay)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _pick_chunk(self) -> "Optional[str]":
+        chunk_ids = sorted(self.cluster.metaserver.chunk_locations)
+        if not chunk_ids:
+            return None
+        if self.zipf_exponent is None:
+            index = int(self.rng.integers(0, len(chunk_ids)))
+        else:
+            # Zipf-ish popularity: rank r picked with weight r^-s.
+            ranks = np.arange(1, len(chunk_ids) + 1, dtype=float)
+            weights = ranks ** (-self.zipf_exponent)
+            weights /= weights.sum()
+            index = int(self.rng.choice(len(chunk_ids), p=weights))
+        return chunk_ids[index]
+
+    def _tick(self, end_time: float) -> None:
+        if not self._running or self.cluster.sim.now >= end_time:
+            return
+        chunk_id = self._pick_chunk()
+        if chunk_id is not None:
+            host = self.cluster.metaserver.locate_chunk(chunk_id)
+            if host is not None:
+                server = self.cluster.servers[host]
+                stripe = self.cluster.metaserver.stripe_for_chunk(chunk_id)
+                # Model the read: bump user load, warm the cache, and move
+                # the bytes to a client so links see the traffic.
+                server.user_load_bytes += stripe.chunk_size
+                if not server.lookup_cache(chunk_id):
+                    server.disk.read(stripe.chunk_size)
+                    server.fill_cache(chunk_id)
+                start = self.cluster.sim.now
+                self.reads_issued += 1
+                client = self.cluster.client_ids[
+                    self.reads_issued % len(self.cluster.client_ids)
+                ]
+                self.cluster.start_flow(
+                    host,
+                    client,
+                    stripe.chunk_size,
+                    lambda _f, s=start: self.latencies.append(
+                        self.cluster.sim.now - s
+                    ),
+                )
+        self.cluster.sim.schedule(
+            float(self.rng.exponential(1.0 / self.reads_per_second)),
+            self._tick,
+            end_time,
+        )
+
+    def _decay(self) -> None:
+        """Halve user-load counters periodically (sliding-window-ish)."""
+        if not self._running:
+            return
+        for server in self.cluster.servers.values():
+            server.user_load_bytes *= 0.5
+        self.cluster.sim.schedule(self.load_decay_interval, self._decay)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    CauchyReedSolomonCode,
+    EvenOddCode,
+    LocalReconstructionCode,
+    ReedSolomonCode,
+    ReplicationCode,
+    RotatedReedSolomonCode,
+    RowDiagonalParityCode,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def all_test_codes():
+    """A representative spread of codes used by parametrized tests."""
+    return [
+        ReedSolomonCode(4, 2),
+        ReedSolomonCode(6, 3),
+        ReedSolomonCode(12, 4),
+        CauchyReedSolomonCode(6, 3),
+        CauchyReedSolomonCode(8, 3),
+        LocalReconstructionCode(6, 2, 2),
+        LocalReconstructionCode(12, 2, 2),
+        RotatedReedSolomonCode(6, 3, r=4),
+        RotatedReedSolomonCode(12, 4, r=4),
+        EvenOddCode(5),
+        RowDiagonalParityCode(5),
+        ReplicationCode(3),
+    ]
+
+
+def code_ids():
+    return [c.name for c in all_test_codes()]
+
+
+@pytest.fixture(params=all_test_codes(), ids=code_ids())
+def any_code(request):
+    return request.param
+
+
+def random_stripe(code, rng, chunk_len=64):
+    """Encode random data; returns (data, encoded)."""
+    data = rng.integers(0, 256, size=(code.k, chunk_len), dtype=np.uint8)
+    return data, code.encode(data)

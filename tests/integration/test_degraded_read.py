@@ -1,0 +1,94 @@
+"""Degraded reads: reconstruction in the client's critical path."""
+
+import pytest
+
+from repro.codes import ReedSolomonCode
+from repro.core.single_repair import run_degraded_read, run_single_repair
+from repro.fs.cluster import StorageCluster
+
+
+def degraded(code, strategy, chunk="64MiB", **kw):
+    cluster = StorageCluster.smallsite(**kw)
+    stripe = cluster.write_stripe(code, chunk)
+    return run_degraded_read(cluster, stripe, lost_index=0, strategy=strategy)
+
+
+@pytest.mark.parametrize("strategy", ["star", "ppr"])
+def test_degraded_read_verifies(strategy):
+    result = degraded(ReedSolomonCode(6, 3), strategy)
+    assert result.verified
+    assert result.kind == "degraded_read"
+
+
+def test_client_is_the_repair_site():
+    result = degraded(ReedSolomonCode(6, 3), "ppr")
+    assert result.destination.startswith("C")
+
+
+def test_no_disk_write_on_degraded_read():
+    result = degraded(ReedSolomonCode(6, 3), "ppr")
+    assert result.phase_busy["disk_write"] == 0.0
+
+
+def test_ppr_reduces_degraded_read_latency():
+    star = degraded(ReedSolomonCode(12, 4), "star")
+    ppr = degraded(ReedSolomonCode(12, 4), "ppr")
+    assert ppr.duration < star.duration
+    assert 1 - ppr.duration / star.duration > 0.35
+
+
+def test_degraded_read_faster_than_regular_repair():
+    """No write-back on the critical path."""
+    cluster1 = StorageCluster.smallsite()
+    stripe1 = cluster1.write_stripe(ReedSolomonCode(6, 3), "64MiB")
+    repair = run_single_repair(cluster1, stripe1, 0, strategy="ppr")
+    dread = degraded(ReedSolomonCode(6, 3), "ppr")
+    assert dread.duration < repair.duration
+
+
+def test_normal_read_hits_fast_path():
+    cluster = StorageCluster.smallsite()
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "64MiB")
+    client = cluster.client()
+    latencies = []
+    client.read_chunk(stripe.chunk_ids[1], on_done=latencies.append)
+    cluster.sim.run_until_idle()
+    assert len(latencies) == 1
+    assert client.reads_completed == 1
+    assert client.degraded_reads_completed == 0
+
+
+def test_read_of_missing_chunk_degrades_automatically():
+    cluster = StorageCluster.smallsite()
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "64MiB")
+    victim = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim)
+    client = cluster.client()
+    latencies = []
+    client.read_chunk(stripe.chunk_ids[0], on_done=latencies.append)
+    cluster.sim.run_until_idle()
+    assert len(latencies) == 1
+    assert client.degraded_reads_completed == 1
+
+
+def test_degraded_read_latency_vs_normal_read():
+    """The k-factor pain of EC degraded reads (Fig. 1 motivation)."""
+    cluster = StorageCluster.smallsite()
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "64MiB")
+    client = cluster.client()
+    normal = []
+    client.read_chunk(stripe.chunk_ids[1], on_done=normal.append)
+    cluster.sim.run_until_idle()
+    dread = degraded(ReedSolomonCode(6, 3), "star")
+    assert dread.duration > normal[0]
+
+
+def test_throughput_under_constrained_bandwidth():
+    """Fig. 7d: PPR's advantage grows as links shrink."""
+    gains = {}
+    for bw in ("1Gbps", "200Mbps"):
+        star = degraded(ReedSolomonCode(6, 3), "star", link_bandwidth=bw)
+        ppr = degraded(ReedSolomonCode(6, 3), "ppr", link_bandwidth=bw)
+        gains[bw] = star.duration / ppr.duration
+    assert gains["200Mbps"] >= gains["1Gbps"] * 0.95
+    assert gains["1Gbps"] > 1.2

@@ -1,0 +1,130 @@
+"""End-to-end regular repairs on the simulated cluster."""
+
+import math
+
+import pytest
+
+from repro.codes import (
+    LocalReconstructionCode,
+    ReedSolomonCode,
+    RotatedReedSolomonCode,
+)
+from repro.core.single_repair import run_single_repair
+from repro.fs.cluster import StorageCluster
+from repro.util.units import MIB
+
+
+def repair(code, strategy, lost=0, chunk="64MiB", **cluster_kw):
+    cluster = StorageCluster.smallsite(**cluster_kw)
+    stripe = cluster.write_stripe(code, chunk)
+    return run_single_repair(cluster, stripe, lost_index=lost, strategy=strategy)
+
+
+@pytest.mark.parametrize("strategy", ["star", "staggered", "ppr"])
+def test_repair_verifies_bytes(strategy):
+    result = repair(ReedSolomonCode(6, 3), strategy)
+    assert result.verified
+    assert result.kind == "repair"
+    assert result.duration > 0
+
+
+def test_ppr_faster_than_traditional_rs63():
+    star = repair(ReedSolomonCode(6, 3), "star")
+    ppr = repair(ReedSolomonCode(6, 3), "ppr")
+    assert ppr.duration < star.duration
+    reduction = 1 - ppr.duration / star.duration
+    assert reduction > 0.25  # paper: ~40+% for (6,3) at 64MB
+
+
+def test_network_time_ratio_matches_theorem1():
+    """Measured network phases reproduce k vs ceil(log2(k+1))."""
+    for k, m in [(6, 3), (12, 4)]:
+        star = repair(ReedSolomonCode(k, m), "star")
+        ppr = repair(ReedSolomonCode(k, m), "ppr")
+        expected = k / math.ceil(math.log2(k + 1))
+        measured = star.phase_busy["network"] / ppr.phase_busy["network"]
+        # Pipelining/latency noise allowed; ratio within 20%.
+        assert measured == pytest.approx(expected, rel=0.2), (k, m)
+
+
+def test_reduction_grows_with_k():
+    reductions = []
+    for k, m in [(6, 3), (8, 3), (12, 4)]:
+        star = repair(ReedSolomonCode(k, m), "star")
+        ppr = repair(ReedSolomonCode(k, m), "ppr")
+        reductions.append(1 - ppr.duration / star.duration)
+    assert reductions == sorted(reductions)
+
+
+def test_reduction_grows_with_chunk_size():
+    """Fig. 7b: PPR's benefit is larger at larger chunks."""
+    small, large = [], []
+    for chunk, dest in [("8MiB", small), ("96MiB", large)]:
+        star = repair(ReedSolomonCode(12, 4), "star", chunk=chunk)
+        ppr = repair(ReedSolomonCode(12, 4), "ppr", chunk=chunk)
+        dest.append(1 - ppr.duration / star.duration)
+    assert large[0] > small[0]
+
+
+def test_repaired_chunk_is_rehosted():
+    cluster = StorageCluster.smallsite()
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "8MiB")
+    result = run_single_repair(cluster, stripe, lost_index=0, strategy="ppr")
+    host = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+    assert host == result.destination
+    assert cluster.chunk_server(host).has_chunk(stripe.chunk_ids[0])
+
+
+def test_parity_chunk_repair():
+    result = repair(ReedSolomonCode(6, 3), "ppr", lost=8)  # a parity chunk
+    assert result.verified
+
+
+def test_traffic_matrix_star_funnels_into_destination():
+    result = repair(ReedSolomonCode(6, 3), "star")
+    server, ingress = result.traffic.max_ingress()
+    assert server == result.destination
+    assert ingress == pytest.approx(6 * 64 * MIB)
+
+
+def test_traffic_matrix_ppr_spreads_load():
+    result = repair(ReedSolomonCode(6, 3), "ppr")
+    _, ingress = result.traffic.max_ingress()
+    # No server receives more than ceil(log2(7)) = 3 chunks; the busiest
+    # gets at most 2 with the binomial tree.
+    assert ingress <= 3 * 64 * MIB + 1
+
+
+def test_ppr_total_traffic_unchanged():
+    """§1: PPR reduces time, not total repair traffic."""
+    star = repair(ReedSolomonCode(6, 3), "star")
+    ppr = repair(ReedSolomonCode(6, 3), "ppr")
+    assert ppr.traffic.total_bytes() == pytest.approx(
+        star.traffic.total_bytes()
+    )
+
+
+def test_lrc_repair_moves_less_data():
+    lrc = repair(LocalReconstructionCode(12, 2, 2), "star")
+    rs = repair(ReedSolomonCode(12, 4), "star")
+    assert lrc.traffic.total_bytes() < rs.traffic.total_bytes()
+    assert lrc.num_helpers == 6
+
+
+def test_rotated_repair_on_cluster():
+    ppr = repair(RotatedReedSolomonCode(12, 4, r=4), "ppr")
+    assert ppr.verified
+    # Traditional Rotated-RS repair ships only the sub-chunks it reads:
+    # fewer bytes than full RS(12,4) repair (Khan et al.'s saving).
+    rot_star = repair(RotatedReedSolomonCode(12, 4, r=4), "star")
+    rs_star = repair(ReedSolomonCode(12, 4), "star")
+    assert rot_star.traffic.total_bytes() < rs_star.traffic.total_bytes()
+    # And overlaying PPR still cuts the repair *time* further (Fig. 9).
+    assert ppr.duration < rot_star.duration
+
+
+def test_staggered_not_faster_than_ppr():
+    """§4.2: staggering avoids congestion by under-utilizing links."""
+    stag = repair(ReedSolomonCode(6, 3), "staggered")
+    ppr = repair(ReedSolomonCode(6, 3), "ppr")
+    assert ppr.duration < stag.duration

@@ -1,0 +1,38 @@
+"""Every example script must run clean — they are the documentation."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent.parent / "examples"
+
+
+def example_scripts():
+    return sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", example_scripts(), ids=lambda p: p.name
+)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must narrate what they show"
+    assert "Traceback" not in proc.stderr
+
+
+def test_quickstart_mentions_verification():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "verified=True" in proc.stdout

@@ -1,0 +1,63 @@
+"""The analysis drivers run and report sane structures (fast variants).
+
+The benchmarks assert the full qualitative claims; here we pin the
+plumbing: every driver returns rows + a printable report mentioning the
+paper reference values.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+
+
+def test_table1_driver():
+    result = experiments.table1()
+    assert len(result.rows) == 4
+    assert "Table 1" in result.report
+
+
+def test_fig1_driver_small():
+    result = experiments.fig1_phase_breakdown(codes=[(6, 3)])
+    assert result.rows[0]["network"] > 0
+    assert "94.0%" in result.report  # paper reference included
+
+
+def test_fig4_driver():
+    result = experiments.fig4_link_traffic(k=3, m=2)
+    strategies = {r["strategy"] for r in result.rows}
+    assert strategies == {"star", "ppr"}
+
+
+def test_theorem1_driver_small():
+    result = experiments.theorem1_network_times(ks=[(6, 3)])
+    row = result.rows[0]
+    assert row["meas_star"] == pytest.approx(row["pred_star"], rel=0.1)
+
+
+def test_fig7a_driver_small():
+    result = experiments.fig7a_repair_reduction(
+        codes=[(6, 3)], chunk_sizes=["8MiB"], runs=1
+    )
+    assert 0.2 < result.rows[0]["reduction"] < 0.7
+
+
+def test_fig7e_driver_small():
+    result = experiments.fig7e_caching(codes=[(6, 3)], chunk_sizes=["8MiB"])
+    assert result.rows[0]["warm_reduction"] >= result.rows[0]["cold_reduction"]
+
+
+def test_fig7f_driver_small():
+    result = experiments.fig7f_compute(codes=[(6, 3)], buffer_bytes=1 << 18)
+    assert result.rows[0]["speedup"] > 1.0
+
+
+def test_sec76_driver_small():
+    result = experiments.sec76_rm_scalability(repeats=3)
+    assert all(r["plan_s"] > 0 for r in result.rows)
+
+
+def test_ablation_trees_driver():
+    result = experiments.ablation_tree_shapes(k=6, m=3, chunk_size="8MiB")
+    assert {r["strategy"] for r in result.rows} == {
+        "star", "staggered", "ppr"
+    }

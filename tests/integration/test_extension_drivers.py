@@ -1,0 +1,37 @@
+"""Extension experiment drivers run and report sane structures."""
+
+from repro.analysis import extensions
+
+
+def test_ext_pipelining_small():
+    result = extensions.ext_pipelining(
+        k=6, m=3, chunk_size="8MiB", slice_counts=(1, 8)
+    )
+    by = {(r["strategy"], r["slices"]): r for r in result.rows}
+    assert by[("chain", 8)]["duration_s"] < by[("chain", 1)]["duration_s"]
+    assert "pipelin" in result.report
+
+
+def test_ext_heterogeneous_small():
+    result = extensions.ext_heterogeneous(
+        k=6, m=3, chunk_size="8MiB", seeds=(1,)
+    )
+    by = {r["capacity_aware"]: r for r in result.rows}
+    assert by[True]["mean_s"] <= by[False]["mean_s"] * 1.01
+
+
+def test_ext_incast_small():
+    result = extensions.ext_incast(codes=((6, 3),), chunk_size="8MiB")
+    models = {r["model"] for r in result.rows}
+    assert models == {"fluid", "incast"}
+    fluid = next(r for r in result.rows if r["model"] == "fluid")
+    incast = next(r for r in result.rows if r["model"] == "incast")
+    assert incast["gain"] > fluid["gain"]
+
+
+def test_ext_tail_latency_small():
+    result = extensions.ext_degraded_tail_latency(
+        num_reads=4, chunk_size="8MiB"
+    )
+    for row in result.rows:
+        assert row["p50"] <= row["p95"] <= row["max"]

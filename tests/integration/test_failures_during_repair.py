@@ -1,0 +1,124 @@
+"""Failure injection *during* reconstruction: stalls, timeouts, reschedules."""
+
+import pytest
+
+from repro.codes import ReedSolomonCode
+from repro.core.coordinator import RepairCoordinator
+from repro.core.mppr import MPPRConfig, RepairManager
+from repro.fs.cluster import StorageCluster
+
+
+def test_helper_death_mid_repair_stalls_not_crashes():
+    """Killing a helper mid-transfer must not corrupt or complete falsely."""
+    cluster = StorageCluster.smallsite()
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "64MiB")
+    victim0 = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim0)
+    done = []
+    coordinator = RepairCoordinator(cluster)
+    context = coordinator.start_repair(
+        stripe, 0, "ppr", on_complete=done.append
+    )
+    # Let the plan distribute and transfers begin, then kill a helper.
+    cluster.run(until=0.5)
+    helper_server = next(iter(context.helper_servers.values()))
+    cluster.kill_server(helper_server)
+    cluster.sim.run_until_idle()
+    assert not done  # stalled, not falsely completed
+    assert not context.finished
+
+
+def test_rm_timeout_reschedules_after_helper_death():
+    cluster = StorageCluster.bigsite(seed=4)
+    rm = RepairManager(
+        cluster, MPPRConfig(strategy="ppr", repair_timeout=30.0)
+    )
+    cluster.metaserver._repair_manager = rm
+    cluster.metaserver.start_heartbeats()
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "64MiB")
+    cluster.run(until=6.0)
+
+    victim = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim)
+    # Let the repair get going, then kill one of its helpers.
+    cluster.run(until=7.0)
+    context = next(iter(rm.inflight.values()))
+    helper = next(iter(context.helper_servers.values()))
+    cluster.kill_server(helper)
+
+    batch = rm.drain(max_time=5000)
+    # Both the original chunk AND the helper's chunks get repaired.
+    repaired = {r.stripe_id + str(r.lost_index) for r in batch.results}
+    assert len(batch.results) >= 2
+    assert batch.all_verified
+    assert not rm.failed_chunks
+    assert cluster.metaserver.locate_chunk(stripe.chunk_ids[0]) is not None
+
+
+def test_destination_death_mid_repair_reschedules():
+    cluster = StorageCluster.bigsite(seed=5)
+    rm = RepairManager(
+        cluster, MPPRConfig(strategy="ppr", repair_timeout=30.0)
+    )
+    cluster.metaserver._repair_manager = rm
+    cluster.metaserver.start_heartbeats()
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "64MiB")
+    cluster.run(until=6.0)
+
+    victim = cluster.metaserver.locate_chunk(stripe.chunk_ids[2])
+    cluster.kill_server(victim)
+    cluster.run(until=7.0)
+    context = next(iter(rm.inflight.values()))
+    cluster.kill_server(context.destination)
+
+    batch = rm.drain(max_time=5000)
+    assert batch.all_verified
+    host = cluster.metaserver.locate_chunk(stripe.chunk_ids[2])
+    assert host is not None
+    assert cluster.servers[host].alive
+
+
+def test_cancelled_flows_free_bandwidth():
+    """After a crash, surviving transfers speed back up."""
+    from repro.sim.events import Simulation
+    from repro.sim.network import FlowNetwork, Link
+
+    sim = Simulation()
+    net = FlowNetwork(sim)
+    shared = Link("l", 100.0)
+    done = {}
+    net.start_flow(
+        [shared], 100.0, lambda f: done.setdefault("a", f), src="S1", dst="D"
+    )
+    net.start_flow(
+        [shared], 100.0, lambda f: done.setdefault("b", f), src="S2", dst="D"
+    )
+    cancelled = net.cancel_flows_touching("S2")
+    assert cancelled == 1
+    sim.run()
+    assert "b" not in done
+    assert done["a"].finish_time == pytest.approx(1.0)
+
+
+def test_transient_blip_then_repair_still_verifies():
+    """Server flaps (dies and revives) while hosting repair traffic."""
+    cluster = StorageCluster.bigsite(seed=6)
+    rm = RepairManager(
+        cluster, MPPRConfig(strategy="ppr", repair_timeout=20.0)
+    )
+    cluster.metaserver._repair_manager = rm
+    cluster.metaserver.start_heartbeats()
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "64MiB")
+    cluster.run(until=6.0)
+    victim = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim)
+    cluster.run(until=6.5)
+    # Flap a helper without meta-server notification (transient, §5).
+    context = next(iter(rm.inflight.values()))
+    helper = next(iter(context.helper_servers.values()))
+    cluster.servers[helper].alive = False
+    cluster.network.cancel_flows_touching(helper)
+    cluster.sim.schedule(5.0, setattr, cluster.servers[helper], "alive", True)
+    batch = rm.drain(max_time=5000)
+    assert batch.all_verified
+    assert not rm.failed_chunks

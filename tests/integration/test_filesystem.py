@@ -1,0 +1,128 @@
+"""The file/namespace layer: multi-stripe files, degraded file reads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.codes import LocalReconstructionCode, ReedSolomonCode
+from repro.fs.cluster import StorageCluster
+from repro.fs.filesystem import FileSystem
+
+
+@pytest.fixture
+def fs_cluster():
+    cluster = StorageCluster.smallsite()
+    return cluster, FileSystem(cluster)
+
+
+def file_bytes(rng, size):
+    return bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
+
+
+def read_sync(cluster, fs, path, strategy="ppr"):
+    results = []
+    fs.read_file(path, on_done=results.append, strategy=strategy)
+    steps = 0
+    while not results and cluster.sim.step():
+        steps += 1
+        assert steps < 3_000_000
+    assert results
+    return results[0]
+
+
+def test_write_then_stat(fs_cluster, rng):
+    cluster, fs = fs_cluster
+    data = file_bytes(rng, 50_000)
+    meta = fs.write_file("/photos/cat.jpg", data, ReedSolomonCode(6, 3))
+    assert fs.exists("/photos/cat.jpg")
+    assert meta.size == 50_000
+    assert meta.code_name == "RS(6,3)"
+    assert fs.list_files() == ["/photos/cat.jpg"]
+
+
+def test_large_file_spans_multiple_stripes(fs_cluster, rng):
+    cluster, fs = fs_cluster
+    capacity = 6 * cluster.config.payload_bytes
+    data = file_bytes(rng, int(2.5 * capacity))
+    meta = fs.write_file("/big.bin", data, ReedSolomonCode(6, 3))
+    assert meta.num_stripes == 3
+
+
+def test_read_roundtrip(fs_cluster, rng):
+    cluster, fs = fs_cluster
+    data = file_bytes(rng, 100_000)
+    fs.write_file("/f", data, ReedSolomonCode(6, 3), chunk_size="8MiB")
+    result = read_sync(cluster, fs, "/f")
+    assert result.data == data
+    assert result.degraded_chunks == 0
+    assert result.latency > 0
+
+
+def test_read_after_server_crash_degrades_but_roundtrips(fs_cluster, rng):
+    cluster, fs = fs_cluster
+    data = file_bytes(rng, 60_000)
+    meta = fs.write_file("/f", data, ReedSolomonCode(6, 3), chunk_size="8MiB")
+    stripe = cluster.metaserver.stripes[meta.stripe_ids[0]]
+    victim = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim)
+    result = read_sync(cluster, fs, "/f")
+    assert result.data == data
+    assert result.degraded_chunks >= 1
+
+
+def test_degraded_file_read_faster_with_ppr(rng):
+    latencies = {}
+    for strategy in ("star", "ppr"):
+        cluster = StorageCluster.smallsite()
+        fs = FileSystem(cluster)
+        data = file_bytes(rng, 10_000)
+        meta = fs.write_file(
+            "/f", data, ReedSolomonCode(6, 3), chunk_size="64MiB"
+        )
+        stripe = cluster.metaserver.stripes[meta.stripe_ids[0]]
+        victim = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+        cluster.kill_server(victim)
+        latencies[strategy] = read_sync(cluster, fs, "/f", strategy).latency
+    assert latencies["ppr"] < latencies["star"]
+
+
+def test_read_with_lrc_file(fs_cluster, rng):
+    cluster, fs = fs_cluster
+    data = file_bytes(rng, 30_000)
+    fs.write_file("/lrc", data, LocalReconstructionCode(12, 2, 2),
+                  chunk_size="8MiB")
+    result = read_sync(cluster, fs, "/lrc")
+    assert result.data == data
+
+
+def test_duplicate_path_rejected(fs_cluster, rng):
+    cluster, fs = fs_cluster
+    fs.write_file("/f", b"abc", ReedSolomonCode(4, 2))
+    with pytest.raises(StorageError):
+        fs.write_file("/f", b"xyz", ReedSolomonCode(4, 2))
+
+
+def test_stat_missing_raises(fs_cluster):
+    _, fs = fs_cluster
+    with pytest.raises(StorageError):
+        fs.stat("/nope")
+
+
+def test_delete_frees_chunks(fs_cluster, rng):
+    cluster, fs = fs_cluster
+    data = file_bytes(rng, 10_000)
+    meta = fs.write_file("/f", data, ReedSolomonCode(4, 2))
+    stripe_id = meta.stripe_ids[0]
+    chunk_ids = list(cluster.metaserver.stripes[stripe_id].chunk_ids)
+    fs.delete_file("/f")
+    assert not fs.exists("/f")
+    for chunk_id in chunk_ids:
+        assert cluster.metaserver.locate_chunk(chunk_id) is None
+
+
+def test_empty_file(fs_cluster):
+    cluster, fs = fs_cluster
+    meta = fs.write_file("/empty", b"", ReedSolomonCode(4, 2))
+    assert meta.num_stripes == 1
+    result = read_sync(cluster, fs, "/empty")
+    assert result.data == b""

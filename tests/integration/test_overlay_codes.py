@@ -1,0 +1,73 @@
+"""§7.7 / Fig. 9: PPR overlaid on LRC and Rotated RS."""
+
+import pytest
+
+from repro.codes import (
+    LocalReconstructionCode,
+    ReedSolomonCode,
+    RotatedReedSolomonCode,
+)
+from repro.core.single_repair import run_single_repair
+from repro.fs.cluster import StorageCluster
+
+
+def measure(code, strategy, seed=3):
+    cluster = StorageCluster.smallsite(seed=seed)
+    stripe = cluster.write_stripe(code, "64MiB")
+    return run_single_repair(cluster, stripe, lost_index=0, strategy=strategy)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    """All six Fig. 9 bars, measured once."""
+    return {
+        "rs_star": measure(ReedSolomonCode(12, 4), "star"),
+        "rs_ppr": measure(ReedSolomonCode(12, 4), "ppr"),
+        "lrc_star": measure(LocalReconstructionCode(12, 2, 2), "star"),
+        "lrc_ppr": measure(LocalReconstructionCode(12, 2, 2), "ppr"),
+        "rot_star": measure(RotatedReedSolomonCode(12, 4, r=4), "star"),
+        "rot_ppr": measure(RotatedReedSolomonCode(12, 4, r=4), "ppr"),
+    }
+
+
+def test_everything_verified(fig9):
+    assert all(r.verified for r in fig9.values())
+
+
+def test_lrc_beats_rs_traditional(fig9):
+    """LRC's locality cuts traditional repair time vs RS."""
+    assert fig9["lrc_star"].duration < fig9["rs_star"].duration
+
+
+def test_lrc_plus_ppr_beats_lrc(fig9):
+    """PPR stacks on LRC (paper: 19% extra)."""
+    reduction = 1 - fig9["lrc_ppr"].duration / fig9["lrc_star"].duration
+    assert reduction > 0.10
+
+
+def test_rs_ppr_beats_lrc_alone_on_link_bytes(fig9):
+    """§7.7: PPR's max per-link transfer (4 chunks) < LRC's 6 chunks."""
+    lrc_max = fig9["lrc_star"].traffic.max_ingress()[1]
+    rs_ppr_max = fig9["rs_ppr"].traffic.max_ingress()[1]
+    assert rs_ppr_max < lrc_max
+
+
+def test_rotated_plus_ppr_beats_rotated(fig9):
+    reduction = 1 - fig9["rot_ppr"].duration / fig9["rot_star"].duration
+    assert reduction > 0.10
+
+
+def test_rot_ppr_total_reduction_vs_rs(fig9):
+    """Paper: Rotated RS + PPR ≈ 35% below traditional RS repair."""
+    reduction = 1 - fig9["rot_ppr"].duration / fig9["rs_star"].duration
+    assert reduction > 0.30
+
+
+def test_lrc_ppr_total_reduction_vs_rs(fig9):
+    reduction = 1 - fig9["lrc_ppr"].duration / fig9["rs_star"].duration
+    assert reduction > 0.30
+
+
+def test_ppr_on_rs_beats_rotated_alone(fig9):
+    """Fig. 9 ordering at 64 MB: RS+PPR outperforms Rotated RS alone."""
+    assert fig9["rs_ppr"].duration < fig9["rot_star"].duration

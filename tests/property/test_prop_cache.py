@@ -1,0 +1,60 @@
+"""Property-based tests: LRU cache invariants under arbitrary operations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.sim.cache import LRUCache
+
+keys = st.text(alphabet="abcdef", min_size=1, max_size=2)
+sizes = st.integers(min_value=1, max_value=40)
+
+
+class CacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cache = LRUCache(100)
+        self.clock = 0.0
+
+    def _tick(self):
+        self.clock += 1.0
+        return self.clock
+
+    @rule(key=keys, size=sizes)
+    def insert(self, key, size):
+        self.cache.insert(key, size, now=self._tick())
+
+    @rule(key=keys)
+    def access(self, key):
+        self.cache.access(key, now=self._tick())
+
+    @rule(key=keys)
+    def evict(self, key):
+        self.cache.evict(key)
+
+    @invariant()
+    def never_over_capacity(self):
+        assert self.cache.used_bytes <= self.cache.capacity
+
+    @invariant()
+    def byte_count_matches_entries(self):
+        total = sum(self.cache._entries.values())
+        assert total == self.cache.used_bytes
+
+    @invariant()
+    def hit_ratio_in_range(self):
+        assert 0.0 <= self.cache.hit_ratio <= 1.0
+
+
+TestCacheMachine = CacheMachine.TestCase
+
+
+@given(st.lists(st.tuples(keys, sizes), min_size=1, max_size=50))
+@settings(max_examples=50)
+def test_last_insert_always_present(ops):
+    cache = LRUCache(100)
+    for i, (key, size) in enumerate(ops):
+        cache.insert(key, size, now=float(i))
+    last_key, last_size = ops[-1]
+    if last_size <= cache.capacity:
+        assert last_key in cache

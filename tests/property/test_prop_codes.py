@@ -1,0 +1,83 @@
+"""Property-based tests: erasure-code invariants across random erasures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import (
+    CauchyReedSolomonCode,
+    LocalReconstructionCode,
+    ReedSolomonCode,
+    RotatedReedSolomonCode,
+)
+from repro.repair.executor import execute_plan
+from repro.repair.plan import build_plan
+
+code_strategy = st.sampled_from([
+    ReedSolomonCode(4, 2),
+    ReedSolomonCode(6, 3),
+    CauchyReedSolomonCode(5, 3),
+    LocalReconstructionCode(6, 2, 2),
+    RotatedReedSolomonCode(6, 3, r=2),
+])
+
+
+def data_for(code, draw_bytes):
+    length = 8 * code.rows
+    flat = np.frombuffer(draw_bytes, dtype=np.uint8)[: code.k * length]
+    if flat.size < code.k * length:
+        flat = np.resize(flat, code.k * length)
+    return flat.reshape(code.k, length).copy()
+
+
+@given(
+    code_strategy,
+    st.binary(min_size=64, max_size=512),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_decode_any_k_random_survivors(code, raw, data):
+    stack = data_for(code, raw)
+    encoded = code.encode(stack)
+    survivors = data.draw(
+        st.permutations(list(range(code.n))).map(lambda p: p[: code.k])
+    )
+    available = {i: encoded[i] for i in survivors}
+    if code.is_recoverable(survivors):
+        assert np.array_equal(code.decode_data(available), stack)
+
+
+@given(
+    code_strategy,
+    st.binary(min_size=64, max_size=256),
+    st.integers(min_value=0, max_value=100),
+    st.sampled_from(["star", "staggered", "ppr"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_repair_matches_truth_for_any_lost_chunk(code, raw, lost_pick, strategy):
+    stack = data_for(code, raw)
+    encoded = code.encode(stack)
+    lost = lost_pick % code.n
+    available = {i: encoded[i] for i in range(code.n) if i != lost}
+    recipe = code.repair_recipe(lost, available.keys())
+    plan = build_plan(strategy, recipe)
+    assert np.array_equal(execute_plan(plan, available), encoded[lost])
+
+
+@given(code_strategy, st.binary(min_size=1, max_size=2000))
+@settings(max_examples=40, deadline=None)
+def test_blob_roundtrip_any_size(code, blob):
+    chunks = code.encode_blob(blob)
+    available = {i: chunks[i] for i in range(code.k)}
+    assert code.decode_blob(available, len(blob)) == blob
+
+
+@given(code_strategy, st.data())
+@settings(max_examples=40, deadline=None)
+def test_recipe_fractions_bounded(code, data):
+    lost = data.draw(st.integers(0, code.n - 1))
+    recipe = code.repair_recipe(lost, set(range(code.n)) - {lost})
+    for helper in recipe.helpers:
+        assert 0 < recipe.read_fraction(helper) <= 1.0
+        assert 0 < recipe.partial_fraction(helper) <= 1.0
+    assert recipe.total_read_fraction() <= code.n - 1

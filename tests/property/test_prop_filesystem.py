@@ -1,0 +1,60 @@
+"""Property-based tests: files of any size round-trip through the stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import ReedSolomonCode
+from repro.fs.cluster import StorageCluster
+from repro.fs.filesystem import FileSystem
+
+
+def read_sync(cluster, fs, path):
+    results = []
+    fs.read_file(path, on_done=results.append)
+    steps = 0
+    while not results and cluster.sim.step():
+        steps += 1
+        assert steps < 3_000_000
+    return results[0]
+
+
+@given(
+    st.integers(min_value=0, max_value=30_000),
+    st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_file_roundtrip_any_size(size, kill_count):
+    cluster = StorageCluster.smallsite(payload_bytes=2048)
+    fs = FileSystem(cluster)
+    rng = np.random.default_rng(size)
+    data = bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
+    fs.write_file("/f", data, ReedSolomonCode(4, 2), chunk_size="8MiB")
+    # Kill up to fault-tolerance servers; bytes must still round-trip.
+    hosts = sorted(
+        {
+            host
+            for host in cluster.metaserver.chunk_locations.values()
+        }
+    )
+    for victim in hosts[: min(kill_count, 2)]:
+        cluster.kill_server(victim)
+    result = read_sync(cluster, fs, "/f")
+    assert result.data == data
+
+
+@given(st.lists(st.integers(min_value=1, max_value=5000), min_size=1,
+                max_size=4))
+@settings(max_examples=15, deadline=None)
+def test_multiple_files_are_independent(sizes):
+    cluster = StorageCluster.smallsite(payload_bytes=1024)
+    fs = FileSystem(cluster)
+    rng = np.random.default_rng(sum(sizes))
+    contents = {}
+    for i, size in enumerate(sizes):
+        data = bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
+        contents[f"/f{i}"] = data
+        fs.write_file(f"/f{i}", data, ReedSolomonCode(4, 2),
+                      chunk_size="8MiB")
+    for path, data in contents.items():
+        assert read_sync(cluster, fs, path).data == data

@@ -1,0 +1,100 @@
+"""Property-based tests: GF(2^8) field axioms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.galois.field import gf256
+from repro.galois.vector import addmul, scale, xor_into
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+buffers = st.binary(min_size=1, max_size=512).map(
+    lambda b: np.frombuffer(b, dtype=np.uint8).copy()
+)
+
+
+@given(elements, elements)
+def test_addition_commutative(a, b):
+    assert gf256.add(a, b) == gf256.add(b, a)
+
+
+@given(elements, elements, elements)
+def test_addition_associative(a, b, c):
+    assert gf256.add(gf256.add(a, b), c) == gf256.add(a, gf256.add(b, c))
+
+
+@given(elements)
+def test_additive_inverse_is_self(a):
+    assert gf256.add(a, a) == 0
+
+
+@given(elements, elements)
+def test_multiplication_commutative(a, b):
+    assert gf256.mul(a, b) == gf256.mul(b, a)
+
+
+@given(elements, elements, elements)
+def test_multiplication_associative(a, b, c):
+    assert gf256.mul(gf256.mul(a, b), c) == gf256.mul(a, gf256.mul(b, c))
+
+
+@given(elements, elements, elements)
+def test_distributive(a, b, c):
+    assert gf256.mul(a, gf256.add(b, c)) == gf256.add(
+        gf256.mul(a, b), gf256.mul(a, c)
+    )
+
+
+@given(nonzero, nonzero)
+def test_product_of_nonzero_is_nonzero(a, b):
+    assert gf256.mul(a, b) != 0
+
+
+@given(nonzero)
+def test_inverse_cancels(a):
+    assert gf256.mul(a, gf256.inv(a)) == 1
+
+
+@given(elements, nonzero)
+def test_div_then_mul_roundtrips(a, b):
+    assert gf256.mul(gf256.div(a, b), b) == a
+
+
+@given(nonzero, st.integers(min_value=-300, max_value=300))
+def test_pow_additive_in_exponent(a, e):
+    assert gf256.mul(gf256.pow(a, e), gf256.pow(a, 1)) == gf256.pow(a, e + 1)
+
+
+@given(elements, buffers)
+@settings(max_examples=50)
+def test_scale_matches_scalar_everywhere(coeff, buf):
+    out = scale(coeff, buf)
+    for i in range(0, buf.size, max(1, buf.size // 7)):
+        assert int(out[i]) == gf256.mul(coeff, int(buf[i]))
+
+
+@given(elements, elements, buffers)
+@settings(max_examples=50)
+def test_scale_is_multiplicative(a, b, buf):
+    assert np.array_equal(scale(a, scale(b, buf)), scale(gf256.mul(a, b), buf))
+
+
+@given(buffers)
+@settings(max_examples=50)
+def test_xor_into_self_is_zero(buf):
+    dst = buf.copy()
+    xor_into(dst, buf)
+    assert not dst.any()
+
+
+@given(elements, elements, buffers)
+@settings(max_examples=50)
+def test_addmul_distributes_over_coefficients(a, b, buf):
+    """(a ^ b) * buf == a*buf ^ b*buf."""
+    left = np.zeros_like(buf)
+    addmul(left, a ^ b, buf)
+    right = np.zeros_like(buf)
+    addmul(right, a, buf)
+    addmul(right, b, buf)
+    assert np.array_equal(left, right)

@@ -1,0 +1,74 @@
+"""Property-based tests: PPR plan structure for arbitrary helper counts."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.recipe import whole_chunk_recipe
+from repro.repair.plan import DESTINATION, build_ppr_plan, build_star_plan
+
+
+def recipe_with_k(k):
+    return whole_chunk_recipe(0, {i + 1: (i % 255) + 1 for i in range(k)})
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_ppr_step_count_is_theorem1(k):
+    plan = build_ppr_plan(recipe_with_k(k))
+    assert plan.num_steps == math.ceil(math.log2(k + 1))
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_every_helper_sends_exactly_once(k):
+    plan = build_ppr_plan(recipe_with_k(k))
+    senders = sorted(t.src for t in plan.transfers)
+    assert senders == sorted(recipe_with_k(k).helpers)
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_steps_are_link_disjoint(k):
+    plan = build_ppr_plan(recipe_with_k(k))
+    for step in range(plan.num_steps):
+        transfers = plan.transfers_at(step)
+        nodes = [t.src for t in transfers] + [t.dst for t in transfers]
+        assert len(nodes) == len(set(nodes))
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_aggregation_forms_a_tree_rooted_at_destination(k):
+    plan = build_ppr_plan(recipe_with_k(k))
+    # Walk upward from every helper; must reach DESTINATION without cycles.
+    parent = {t.src: t.dst for t in plan.transfers}
+    for helper in recipe_with_k(k).helpers:
+        seen = set()
+        node = helper
+        while node != DESTINATION:
+            assert node not in seen, "cycle detected"
+            seen.add(node)
+            node = parent[node]
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_sends_happen_after_receives(k):
+    """A node's outgoing step must follow all its incoming steps."""
+    plan = build_ppr_plan(recipe_with_k(k))
+    for transfer in plan.transfers:
+        for incoming in plan.incoming(transfer.src):
+            assert incoming.step < transfer.step
+
+
+@given(st.integers(min_value=2, max_value=64))
+def test_ppr_ingress_never_exceeds_star(k):
+    recipe = recipe_with_k(k)
+    star = build_star_plan(recipe).max_ingress_bytes(1.0)
+    ppr = build_ppr_plan(recipe).max_ingress_bytes(1.0)
+    assert ppr <= star
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_total_bytes_equal_for_whole_chunk_codes(k):
+    recipe = recipe_with_k(k)
+    assert build_ppr_plan(recipe).total_bytes(1.0) == build_star_plan(
+        recipe
+    ).total_bytes(1.0)

@@ -1,0 +1,49 @@
+"""ASCII rendering helpers."""
+
+import pytest
+
+from repro.analysis.render import Table, bar_chart, fmt_percent
+
+
+def test_fmt_percent():
+    assert fmt_percent(0.59) == "59.0%"
+    assert fmt_percent(0.666, digits=0) == "67%"
+
+
+def test_table_renders_aligned():
+    table = Table(["a", "long header"], title="T")
+    table.add_row("x", 1)
+    table.add_row("yyyy", 22)
+    out = table.render()
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    widths = {len(l) for l in lines[1:]}
+    assert len(widths) == 1  # all rows equal width
+    assert "long header" in out
+
+
+def test_table_wrong_cell_count():
+    table = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row("only one")
+
+
+def test_bar_chart_scales_to_peak():
+    out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+    lines = out.splitlines()
+    assert lines[1].count("#") == 10  # peak gets full width
+    assert 4 <= lines[0].count("#") <= 6
+
+
+def test_bar_chart_empty():
+    assert "(no data)" in bar_chart([], [], title="x")
+
+
+def test_bar_chart_zero_values():
+    out = bar_chart(["a"], [0.0])
+    assert "0" in out
+
+
+def test_bar_chart_length_mismatch():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])

@@ -1,0 +1,34 @@
+"""ExperimentResult plumbing: CSV export, string rendering."""
+
+import csv
+
+from repro.analysis.experiments import ExperimentResult, table1
+
+
+def test_to_csv_roundtrip(tmp_path):
+    result = ExperimentResult(
+        "x", "t",
+        rows=[{"a": 1, "b": 2.5}, {"a": 3, "c": "z"}],
+        report="r",
+    )
+    path = tmp_path / "out.csv"
+    result.to_csv(path)
+    with open(path) as handle:
+        rows = list(csv.DictReader(handle))
+    assert rows[0]["a"] == "1" and rows[0]["b"] == "2.5"
+    assert rows[1]["c"] == "z"
+    assert set(rows[0].keys()) == {"a", "b", "c"}
+
+
+def test_str_returns_report():
+    result = ExperimentResult("x", "t", rows=[], report="hello")
+    assert str(result) == "hello"
+
+
+def test_table1_csv(tmp_path):
+    result = table1()
+    path = tmp_path / "t1.csv"
+    result.to_csv(path)
+    content = path.read_text()
+    assert "network_ours" in content
+    assert content.count("\n") == 5  # header + 4 codes

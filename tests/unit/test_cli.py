@@ -1,0 +1,110 @@
+"""Command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def blob(tmp_path, rng):
+    data = bytes(rng.integers(0, 256, size=5000, dtype=np.uint8))
+    path = tmp_path / "input.bin"
+    path.write_bytes(data)
+    return path, data
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "rs" in out and "ppr" in out
+
+
+def test_version_flag():
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+
+
+def test_encode_decode_roundtrip(blob, tmp_path):
+    path, data = blob
+    stripe_dir = tmp_path / "stripe"
+    assert main(["encode", str(path), "--code", "rs(4,2)",
+                 "--out-dir", str(stripe_dir)]) == 0
+    manifest = json.loads((stripe_dir / "manifest.json").read_text())
+    assert manifest["num_chunks"] == 6
+    out = tmp_path / "out.bin"
+    assert main(["decode", str(stripe_dir / "manifest.json"),
+                 "--out", str(out)]) == 0
+    assert out.read_bytes() == data
+
+
+def test_corrupt_then_repair_then_decode(blob, tmp_path):
+    path, data = blob
+    stripe_dir = tmp_path / "stripe"
+    manifest = str(stripe_dir / "manifest.json")
+    main(["encode", str(path), "--code", "rs(4,2)",
+          "--out-dir", str(stripe_dir)])
+    assert main(["corrupt", manifest, "--chunk", "1"]) == 0
+    assert not (stripe_dir / "chunk-01.bin").exists()
+    assert main(["repair", manifest, "--chunk", "1",
+                 "--strategy", "ppr"]) == 0
+    assert (stripe_dir / "chunk-01.bin").exists()
+    out = tmp_path / "out.bin"
+    assert main(["decode", manifest, "--out", str(out)]) == 0
+    assert out.read_bytes() == data
+
+
+def test_repair_present_chunk_is_noop(blob, tmp_path, capsys):
+    path, _ = blob
+    stripe_dir = tmp_path / "stripe"
+    manifest = str(stripe_dir / "manifest.json")
+    main(["encode", str(path), "--out-dir", str(stripe_dir)])
+    assert main(["repair", manifest, "--chunk", "0"]) == 0
+    assert "nothing to repair" in capsys.readouterr().out
+
+
+def test_corrupt_missing_chunk_fails(blob, tmp_path):
+    path, _ = blob
+    stripe_dir = tmp_path / "stripe"
+    manifest = str(stripe_dir / "manifest.json")
+    main(["encode", str(path), "--out-dir", str(stripe_dir)])
+    main(["corrupt", manifest, "--chunk", "2"])
+    assert main(["corrupt", manifest, "--chunk", "2"]) == 1
+
+
+def test_decode_survives_max_erasures(blob, tmp_path):
+    path, data = blob
+    stripe_dir = tmp_path / "stripe"
+    manifest = str(stripe_dir / "manifest.json")
+    main(["encode", str(path), "--code", "rs(4,2)",
+          "--out-dir", str(stripe_dir)])
+    main(["corrupt", manifest, "--chunk", "0"])
+    main(["corrupt", manifest, "--chunk", "5"])
+    out = tmp_path / "out.bin"
+    assert main(["decode", manifest, "--out", str(out)]) == 0
+    assert out.read_bytes() == data
+
+
+def test_bad_code_spec_reports_error(blob, tmp_path, capsys):
+    path, _ = blob
+    code = main(["encode", str(path), "--code", "nonsense(1,2)",
+                 "--out-dir", str(tmp_path / "s")])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_simulate_command(capsys):
+    assert main(["simulate", "--code", "rs(4,2)", "--chunk-size", "8MiB",
+                 "--strategies", "star,ppr"]) == 0
+    out = capsys.readouterr().out
+    assert "reduction" in out and "verified=True" in out
+
+
+def test_simulate_degraded_with_slices(capsys):
+    assert main(["simulate", "--code", "rs(4,2)", "--chunk-size", "8MiB",
+                 "--strategies", "chain", "--slices", "8",
+                 "--degraded"]) == 0
+    assert "degraded_read" in capsys.readouterr().out

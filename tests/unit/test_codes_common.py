@@ -1,0 +1,122 @@
+"""Behaviours every erasure code must satisfy (parametrized over codes)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodingError, UnrecoverableError
+
+from tests.conftest import random_stripe
+
+
+def chunk_len_for(code):
+    # Keep it small but divisible by the code's rows.
+    return 16 * code.rows
+
+
+def test_encode_is_systematic_in_data_chunks(any_code, rng):
+    code = any_code
+    data, encoded = random_stripe(code, rng, chunk_len_for(code))
+    if code.k == 1 and code.n > 1:  # replication: every chunk equals data
+        for i in range(code.n):
+            assert np.array_equal(encoded[i], data[0])
+        return
+    for i in range(code.k):
+        assert np.array_equal(encoded[i], data[i]), f"chunk {i} not systematic"
+
+
+def test_decode_from_all_chunks(any_code, rng):
+    code = any_code
+    data, encoded = random_stripe(code, rng, chunk_len_for(code))
+    out = code.decode_data({i: encoded[i] for i in range(code.n)})
+    assert np.array_equal(out, data)
+
+
+def test_decode_after_guaranteed_tolerance_failures(any_code, rng):
+    code = any_code
+    data, encoded = random_stripe(code, rng, chunk_len_for(code))
+    t = code.fault_tolerance
+    dead = set(rng.choice(code.n, size=t, replace=False).tolist())
+    available = {i: encoded[i] for i in range(code.n) if i not in dead}
+    out = code.decode_data(available)
+    assert np.array_equal(out, data), f"failed pattern {sorted(dead)}"
+
+
+def test_reconstruct_every_single_chunk(any_code, rng):
+    code = any_code
+    _, encoded = random_stripe(code, rng, chunk_len_for(code))
+    for lost in range(code.n):
+        available = {i: encoded[i] for i in range(code.n) if i != lost}
+        rebuilt = code.reconstruct(lost, available)
+        assert np.array_equal(rebuilt, encoded[lost]), f"chunk {lost}"
+
+
+def test_repair_recipe_never_includes_lost_chunk(any_code):
+    code = any_code
+    for lost in range(code.n):
+        recipe = code.repair_recipe(lost, set(range(code.n)) - {lost})
+        assert lost not in recipe.helpers
+
+
+def test_too_few_survivors_unrecoverable(any_code, rng):
+    code = any_code
+    if code.k == 1:
+        pytest.skip("replication always recovers from one survivor")
+    _, encoded = random_stripe(code, rng, chunk_len_for(code))
+    available = {i: encoded[i] for i in range(code.k - 1)}
+    with pytest.raises(UnrecoverableError):
+        code.decode_data(available)
+
+
+def test_is_recoverable_consistent_with_decode(any_code, rng):
+    code = any_code
+    _, encoded = random_stripe(code, rng, chunk_len_for(code))
+    for trial in range(8):
+        size = int(rng.integers(0, code.n + 1))
+        alive = sorted(rng.choice(code.n, size=size, replace=False).tolist())
+        available = {i: encoded[i] for i in alive}
+        can = code.is_recoverable(alive)
+        if can:
+            code.decode_data(available)  # must not raise
+        else:
+            with pytest.raises(UnrecoverableError):
+                code.decode_data(available)
+
+
+def test_blob_roundtrip(any_code, rng):
+    code = any_code
+    blob = bytes(rng.integers(0, 256, size=1000, dtype=np.uint8))
+    chunks = code.encode_blob(blob)
+    assert len(chunks) == code.n
+    available = {i: chunks[i] for i in range(code.n) if i % 2 == 0 or i < code.k}
+    out = code.decode_blob(available, len(blob))
+    assert out == blob
+
+
+def test_blob_roundtrip_with_erasures(any_code, rng):
+    code = any_code
+    blob = bytes(rng.integers(0, 256, size=333, dtype=np.uint8))
+    chunks = code.encode_blob(blob)
+    dead = set(
+        rng.choice(code.n, size=code.fault_tolerance, replace=False).tolist()
+    )
+    available = {i: chunks[i] for i in range(code.n) if i not in dead}
+    assert code.decode_blob(available, len(blob)) == blob
+
+
+def test_storage_overhead(any_code):
+    code = any_code
+    assert code.storage_overhead == pytest.approx(code.n / code.k)
+
+
+def test_wrong_data_shape_rejected(any_code):
+    code = any_code
+    with pytest.raises(CodingError):
+        code.encode(np.zeros((code.k + 1, 8 * code.rows), dtype=np.uint8))
+
+
+def test_chunk_index_out_of_range_rejected(any_code):
+    code = any_code
+    with pytest.raises(CodingError):
+        code.repair_recipe(code.n, range(code.n))
+    with pytest.raises(CodingError):
+        code.repair_recipe(0, [code.n + 3])

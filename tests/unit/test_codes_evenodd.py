@@ -1,0 +1,100 @@
+"""EVENODD array code."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.codes.evenodd import EvenOddCode, _is_prime
+
+from tests.conftest import random_stripe
+
+
+def test_is_prime_helper():
+    primes = [2, 3, 5, 7, 11, 13]
+    composites = [0, 1, 4, 6, 8, 9, 15, 21]
+    assert all(_is_prime(p) for p in primes)
+    assert not any(_is_prime(c) for c in composites)
+
+
+def test_parameters():
+    code = EvenOddCode(5)
+    assert (code.k, code.n, code.rows) == (5, 7, 4)
+    assert code.fault_tolerance == 2
+    assert code.name == "EVENODD(5)"
+
+
+def test_requires_prime():
+    with pytest.raises(ConfigurationError):
+        EvenOddCode(6)
+    with pytest.raises(ConfigurationError):
+        EvenOddCode(1)
+
+
+def test_encode_matches_direct_formula(rng):
+    """Cross-check the generator against a hand-written encoder."""
+    p = 5
+    code = EvenOddCode(p)
+    row_len = 4
+    data = rng.integers(0, 256, size=(p, (p - 1) * row_len), dtype=np.uint8)
+    encoded = code.encode(data)
+    d = data.reshape(p, p - 1, row_len)
+
+    # Row parity.
+    for l in range(p - 1):
+        expected = np.zeros(row_len, dtype=np.uint8)
+        for t in range(p):
+            expected ^= d[t, l]
+        assert np.array_equal(
+            encoded[p].reshape(p - 1, row_len)[l], expected
+        )
+
+    # Diagonal parity with adjuster.
+    adjuster = np.zeros(row_len, dtype=np.uint8)
+    for t in range(1, p):
+        adjuster ^= d[t, p - 1 - t]
+    for l in range(p - 1):
+        expected = adjuster.copy()
+        for t in range(p):
+            row = (l - t) % p
+            if row != p - 1:
+                expected ^= d[t, row]
+        assert np.array_equal(
+            encoded[p + 1].reshape(p - 1, row_len)[l], expected
+        )
+
+
+@pytest.mark.parametrize("p", [3, 5, 7])
+def test_mds_all_double_erasures(p, rng):
+    code = EvenOddCode(p)
+    data, encoded = random_stripe(code, rng, 4 * code.rows)
+    for dead in itertools.combinations(range(code.n), 2):
+        available = {i: encoded[i] for i in range(code.n) if i not in dead}
+        assert np.array_equal(code.decode_data(available), data), dead
+
+
+def test_all_single_repairs_correct(rng):
+    code = EvenOddCode(5)
+    _, encoded = random_stripe(code, rng, 4 * code.rows)
+    for lost in range(code.n):
+        available = {i: encoded[i] for i in range(code.n) if i != lost}
+        assert np.array_equal(
+            code.reconstruct(lost, available), encoded[lost]
+        ), lost
+
+
+def test_repair_coefficients_are_xor_only(rng):
+    """EVENODD is an XOR code: every repair coefficient must be 1."""
+    code = EvenOddCode(5)
+    for lost in range(code.n):
+        recipe = code.repair_recipe(lost, set(range(code.n)) - {lost})
+        for term in recipe.terms:
+            for _, _, coeff in term.entries:
+                assert coeff == 1
+
+
+def test_triple_erasure_unrecoverable(rng):
+    code = EvenOddCode(5)
+    _, encoded = random_stripe(code, rng, 4 * code.rows)
+    assert not code.is_recoverable(range(3, 7))  # lost chunks 0,1,2

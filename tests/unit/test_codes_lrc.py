@@ -1,0 +1,112 @@
+"""Local Reconstruction Code behaviour (locality is the whole point)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, UnrecoverableError
+from repro.codes.lrc import LocalReconstructionCode
+
+from tests.conftest import random_stripe
+
+
+@pytest.fixture
+def azure():
+    """The paper's Fig. 9 configuration: LRC(12,2,2)."""
+    return LocalReconstructionCode(12, 2, 2)
+
+
+def test_layout(azure):
+    assert azure.n == 16
+    assert azure.group_size == 6
+    assert azure.group_of(0) == 0
+    assert azure.group_of(5) == 0
+    assert azure.group_of(6) == 1
+    assert azure.group_of(12) == 0  # local parity 0
+    assert azure.group_of(13) == 1
+    assert azure.group_of(14) is None  # global parity
+    assert azure.group_members(0) == [0, 1, 2, 3, 4, 5, 12]
+
+
+def test_single_data_failure_repairs_locally(azure):
+    """§7.7: one failed chunk needs only 6 helpers, not 12."""
+    for lost in range(12):
+        recipe = azure.repair_recipe(lost, set(range(16)) - {lost})
+        assert len(recipe.helpers) == azure.group_size
+        group = azure.group_of(lost)
+        expected = set(azure.group_members(group)) - {lost}
+        assert set(recipe.helpers) == expected
+
+
+def test_local_parity_failure_repairs_locally(azure):
+    recipe = azure.repair_recipe(12, set(range(16)) - {12})
+    assert set(recipe.helpers) == set(range(6))
+
+
+def test_local_repair_coefficients_are_xor(azure):
+    """Local parities are plain XOR, so the local equation is all-ones."""
+    recipe = azure.repair_recipe(0, set(range(16)) - {0})
+    for term in recipe.terms:
+        assert term.entries == ((0, 0, 1),)
+
+
+def test_global_parity_failure_needs_k(azure):
+    recipe = azure.repair_recipe(14, set(range(16)) - {14})
+    assert len(recipe.helpers) >= azure.k
+
+
+def test_repair_correctness_all_chunks(azure, rng):
+    _, encoded = random_stripe(azure, rng)
+    for lost in range(16):
+        available = {i: encoded[i] for i in range(16) if i != lost}
+        assert np.array_equal(
+            azure.reconstruct(lost, available), encoded[lost]
+        )
+
+
+def test_guaranteed_three_failure_tolerance(rng):
+    """Distance g+2: every 3-failure pattern of LRC(12,2,2) decodes."""
+    code = LocalReconstructionCode(12, 2, 2)
+    data, encoded = random_stripe(code, rng)
+    for dead in itertools.combinations(range(16), 3):
+        available = {i: encoded[i] for i in range(16) if i not in dead}
+        assert np.array_equal(code.decode_data(available), data), dead
+
+
+def test_repair_falls_back_to_global_when_group_dead(rng):
+    """If the whole local group is gone, repair widens beyond the group."""
+    code = LocalReconstructionCode(6, 2, 2)
+    data, encoded = random_stripe(code, rng)
+    # Lose data chunk 0 and its local parity (chunk 6).
+    alive = set(range(10)) - {0, 6}
+    recipe = code.repair_recipe(0, alive)
+    assert len(recipe.helpers) > code.group_size
+    rebuilt = recipe.execute({i: encoded[i] for i in alive})
+    assert np.array_equal(rebuilt, encoded[0])
+
+
+def test_overhead_vs_rs(azure):
+    # LRC trades storage for repair locality: 16/12 > 14/12.
+    assert azure.storage_overhead == pytest.approx(16 / 12)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ConfigurationError):
+        LocalReconstructionCode(12, 5, 2)  # l does not divide k
+    with pytest.raises(ConfigurationError):
+        LocalReconstructionCode(12, 0, 2)
+    with pytest.raises(ConfigurationError):
+        LocalReconstructionCode(12, 2, -1)
+
+
+def test_four_failures_sometimes_unrecoverable(rng):
+    """All-data-plus-parity loss in one group exceeds the guarantee."""
+    code = LocalReconstructionCode(6, 2, 2)
+    _, encoded = random_stripe(code, rng)
+    # Group 0 = chunks {0,1,2} + local parity 6; losing all four leaves
+    # only 2 globals to cover 3 unknowns.
+    dead = {0, 1, 2, 6}
+    available = {i: encoded[i] for i in range(10) if i not in dead}
+    with pytest.raises(UnrecoverableError):
+        code.decode_data(available)

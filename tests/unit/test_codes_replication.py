@@ -1,0 +1,52 @@
+"""Replication as a degenerate code (the intro's comparison point)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, UnrecoverableError
+from repro.codes.replication import ReplicationCode
+
+
+def test_triple_replication_overhead():
+    code = ReplicationCode(3)
+    assert code.storage_overhead == 3.0
+    assert code.fault_tolerance == 2
+
+
+def test_encode_copies(rng):
+    code = ReplicationCode(3)
+    data = rng.integers(0, 256, size=(1, 16), dtype=np.uint8)
+    encoded = code.encode(data)
+    assert encoded.shape == (3, 16)
+    for i in range(3):
+        assert np.array_equal(encoded[i], data[0])
+
+
+def test_repair_needs_one_helper(rng):
+    """Repair traffic is 1 x C — the k-factor advantage over RS (§1)."""
+    code = ReplicationCode(3)
+    data = rng.integers(0, 256, size=(1, 16), dtype=np.uint8)
+    encoded = code.encode(data)
+    recipe = code.repair_recipe(1, [0, 2])
+    assert len(recipe.helpers) == 1
+    assert np.array_equal(recipe.execute({0: encoded[0]}), data[0])
+
+
+def test_decode_from_any_single_replica(rng):
+    code = ReplicationCode(2)
+    data = rng.integers(0, 256, size=(1, 8), dtype=np.uint8)
+    encoded = code.encode(data)
+    assert np.array_equal(code.decode_data({1: encoded[1]}), data)
+
+
+def test_all_lost_unrecoverable():
+    code = ReplicationCode(2)
+    with pytest.raises(UnrecoverableError):
+        code.decode_data({})
+    with pytest.raises(UnrecoverableError):
+        code.repair_recipe(0, [])
+
+
+def test_bad_copies():
+    with pytest.raises(ConfigurationError):
+        ReplicationCode(0)

@@ -1,0 +1,124 @@
+"""Rotated Reed-Solomon: construction, minimal reads, recovery."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, UnrecoverableError
+from repro.codes.rotated import RotatedReedSolomonCode
+
+from tests.conftest import random_stripe
+
+
+@pytest.fixture
+def rot63():
+    return RotatedReedSolomonCode(6, 3, r=4)
+
+
+@pytest.fixture
+def rot124():
+    return RotatedReedSolomonCode(12, 4, r=4)
+
+
+def test_parameters(rot63):
+    assert rot63.name == "RotRS(6,3,r=4)"
+    assert rot63.rows == 4
+    assert rot63.n == 9
+
+
+def test_m_must_divide_k():
+    with pytest.raises(ConfigurationError):
+        RotatedReedSolomonCode(10, 3, r=4)
+
+
+def test_encode_decode_roundtrip(rot63, rng):
+    data, encoded = random_stripe(rot63, rng, chunk_len=32)
+    out = rot63.decode_data({i: encoded[i] for i in range(9)})
+    assert np.array_equal(out, data)
+
+
+def test_rotation_actually_rotates(rot63, rng):
+    """Parity j>0 must differ from the unrotated RS parity construction."""
+    data = rng.integers(0, 256, size=(6, 32), dtype=np.uint8)
+    encoded = rot63.encode(data)
+    # Build what parity 1 *would* be without rotation.
+    r, row_len = 4, 8
+    coeffs = rot63._coeffs
+    unrotated = np.zeros(32, dtype=np.uint8)
+    view = unrotated.reshape(r, row_len)
+    from repro.galois.vector import addmul
+
+    for b in range(r):
+        for i in range(6):
+            addmul(view[b], int(coeffs[1, i]), data[i].reshape(r, row_len)[b])
+    assert not np.array_equal(encoded[7], unrotated)
+
+
+def test_single_failure_read_savings(rot63, rot124):
+    """Khan et al.: single repair reads ~ r/2 * (k + ceil(k/m)) symbols."""
+    for code in (rot63, rot124):
+        formula = code.r // 2 * (code.k + math.ceil(code.k / code.m))
+        full = code.r * code.k
+        measured = code.single_repair_read_symbols(0)
+        assert measured <= formula, (code.name, measured, formula)
+        assert measured < full  # strictly better than naive RS reads
+
+
+def test_all_single_repairs_correct(rot63, rng):
+    _, encoded = random_stripe(rot63, rng, chunk_len=32)
+    for lost in range(rot63.n):
+        available = {i: encoded[i] for i in range(rot63.n) if i != lost}
+        rebuilt = rot63.reconstruct(lost, available)
+        assert np.array_equal(rebuilt, encoded[lost]), lost
+
+
+def test_double_failures_decode(rot63, rng):
+    data, encoded = random_stripe(rot63, rng, chunk_len=32)
+    for dead in itertools.combinations(range(9), 2):
+        available = {i: encoded[i] for i in range(9) if i not in dead}
+        out = rot63.decode_data(available)
+        assert np.array_equal(out, data), dead
+
+
+def test_parity_repair_reads_all_data(rot63):
+    recipe = rot63.repair_recipe(6, set(range(9)) - {6})
+    assert set(recipe.helpers) == set(range(6))
+    for term in recipe.terms:
+        assert len(term.read_rows) == rot63.r
+
+
+def test_data_repair_recipe_reads_partial_rows(rot124):
+    """Helpers should not all ship all rows — that is the whole point."""
+    recipe = rot124.repair_recipe(0, set(range(16)) - {0})
+    reads = [len(t.read_rows) for t in recipe.terms]
+    assert any(r < rot124.r for r in reads)
+
+
+def test_unrecoverable_when_too_many_lost(rot63, rng):
+    _, encoded = random_stripe(rot63, rng, chunk_len=32)
+    available = {i: encoded[i] for i in range(5)}  # only 5 chunks < k
+    with pytest.raises(UnrecoverableError):
+        rot63.decode_data(available)
+
+
+def test_parity_recompute_requires_all_data(rot63):
+    with pytest.raises(UnrecoverableError):
+        rot63.repair_recipe(6, set(range(9)) - {6, 0})
+
+
+def test_odd_r_supported(rng):
+    code = RotatedReedSolomonCode(4, 2, r=3)
+    data, encoded = random_stripe(code, rng, chunk_len=30)
+    for lost in range(code.n):
+        available = {i: encoded[i] for i in range(code.n) if i != lost}
+        assert np.array_equal(code.reconstruct(lost, available), encoded[lost])
+
+
+def test_chunk_length_must_divide_rows(rot63, rng):
+    bad = rng.integers(0, 256, size=(6, 30), dtype=np.uint8)  # 30 % 4 != 0
+    from repro.errors import CodingError
+
+    with pytest.raises(CodingError):
+        rot63.encode(bad)

@@ -1,0 +1,75 @@
+"""Reed-Solomon specifics."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.codes.rs import ReedSolomonCode
+
+from tests.conftest import random_stripe
+
+
+def test_name_and_params():
+    code = ReedSolomonCode(6, 3)
+    assert code.name == "RS(6,3)"
+    assert (code.k, code.m, code.n) == (6, 3, 9)
+    assert code.fault_tolerance == 3
+
+
+def test_rs42_example_from_paper_intro(rng):
+    """RS(4,2): 1.5x overhead, tolerates two failures."""
+    code = ReedSolomonCode(4, 2)
+    assert code.storage_overhead == 1.5
+    data, encoded = random_stripe(code, rng)
+    for dead in itertools.combinations(range(6), 2):
+        available = {i: encoded[i] for i in range(6) if i not in dead}
+        assert np.array_equal(code.decode_data(available), data)
+
+
+def test_any_k_of_n_recovers(rng):
+    code = ReedSolomonCode(4, 3)
+    data, encoded = random_stripe(code, rng)
+    for alive in itertools.combinations(range(7), 4):
+        available = {i: encoded[i] for i in alive}
+        assert np.array_equal(code.decode_data(available), data)
+
+
+def test_repair_uses_exactly_k_helpers():
+    code = ReedSolomonCode(6, 3)
+    recipe = code.repair_recipe(0, range(1, 9))
+    assert len(recipe.helpers) == code.k
+
+
+def test_repair_equation_coefficients_nonzero():
+    code = ReedSolomonCode(6, 3)
+    recipe = code.repair_recipe(2, range(9))
+    for term in recipe.terms:
+        for _, _, coeff in term.entries:
+            assert coeff != 0
+
+
+def test_parity_reconstruction_is_encoding(rng):
+    """Rebuilding a parity chunk from all data = re-encoding (§2 Case-1)."""
+    code = ReedSolomonCode(4, 2)
+    data, encoded = random_stripe(code, rng)
+    recipe = code.repair_recipe(4, range(4))  # parity 0 from data only
+    assert set(recipe.helpers) == {0, 1, 2, 3}
+    rebuilt = recipe.execute({i: encoded[i] for i in range(4)})
+    assert np.array_equal(rebuilt, encoded[4])
+
+
+def test_m_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        ReedSolomonCode(4, 0)
+
+
+def test_field_limit():
+    with pytest.raises(ConfigurationError):
+        ReedSolomonCode(250, 10)
+
+
+def test_generator_property():
+    code = ReedSolomonCode(3, 2)
+    assert code.generator.shape == (5, 3)

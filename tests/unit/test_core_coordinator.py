@@ -1,0 +1,108 @@
+"""RepairCoordinator: plan construction and distribution mechanics."""
+
+import pytest
+
+from repro.errors import UnrecoverableError
+from repro.codes import ReedSolomonCode
+from repro.core.coordinator import RepairCoordinator
+from repro.fs.cluster import StorageCluster
+
+
+def setup():
+    cluster = StorageCluster.smallsite()
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "8MiB")
+    return cluster, stripe, RepairCoordinator(cluster)
+
+
+def run_to_done(cluster, done):
+    steps = 0
+    while not done and cluster.sim.step():
+        steps += 1
+        assert steps < 2_000_000
+    assert done
+
+
+def test_destination_never_hosts_stripe_chunk():
+    cluster, stripe, coord = setup()
+    victim = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim)
+    done = []
+    context = coord.start_repair(stripe, 0, "ppr", on_complete=done.append)
+    hosts = {
+        cluster.metaserver.locate_chunk(cid) for cid in stripe.chunk_ids
+    }
+    assert context.destination not in hosts
+    run_to_done(cluster, done)
+
+
+def test_helper_restriction_respected():
+    cluster, stripe, coord = setup()
+    victim = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim)
+    allowed = [1, 2, 3, 4, 5, 6]
+    done = []
+    context = coord.start_repair(
+        stripe, 0, "ppr", helper_indices=allowed, on_complete=done.append
+    )
+    assert set(context.recipe.helpers) <= set(allowed)
+    run_to_done(cluster, done)
+    assert done[0].verified
+
+
+def test_plan_messages_count_is_aggregators():
+    """§6.2/§7.6: PPR plan goes to ~(1 + k/2) servers."""
+    cluster, stripe, coord = setup()
+    victim = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim)
+    done = []
+    coord.start_repair(stripe, 0, "ppr", on_complete=done.append)
+    run_to_done(cluster, done)
+    k = 6
+    # The paper's RM sends 1 + k/2 plan messages; our binomial tree has
+    # ceil(log2(k+1)) aggregators (3 for k=6, incl. the repair site) —
+    # never more than the paper's bound.
+    assert 2 <= coord.plan_messages[-1] <= 1 + k // 2
+
+
+def test_star_sends_single_plan_message():
+    cluster, stripe, coord = setup()
+    victim = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim)
+    done = []
+    coord.start_repair(stripe, 0, "star", on_complete=done.append)
+    run_to_done(cluster, done)
+    assert coord.plan_messages[-1] == 1
+
+
+def test_plan_wall_time_recorded():
+    cluster, stripe, coord = setup()
+    victim = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim)
+    done = []
+    coord.start_repair(stripe, 0, "ppr", on_complete=done.append)
+    run_to_done(cluster, done)
+    assert coord.plan_wall_seconds and coord.plan_wall_seconds[-1] > 0
+
+
+def test_unrecoverable_stripe_raises():
+    cluster, stripe, coord = setup()
+    for cid in stripe.chunk_ids[:4]:  # kill 4 > m=3
+        host = cluster.metaserver.locate_chunk(cid)
+        if host:
+            cluster.kill_server(host)
+    with pytest.raises(UnrecoverableError):
+        coord.start_repair(stripe, 0, "ppr")
+
+
+def test_degraded_read_kind_propagates():
+    cluster, stripe, coord = setup()
+    victim = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim)
+    done = []
+    coord.start_repair(
+        stripe, 0, "ppr", destination=cluster.client_ids[0],
+        kind="degraded_read", on_complete=done.append,
+    )
+    run_to_done(cluster, done)
+    assert done[0].kind == "degraded_read"
+    assert done[0].phase_busy["disk_write"] == 0.0

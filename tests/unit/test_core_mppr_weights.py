@@ -1,0 +1,143 @@
+"""m-PPR weight equations (2) and (3), pinned deterministically."""
+
+import pytest
+
+from repro.codes import ReedSolomonCode
+from repro.core.mppr import MPPRConfig, RepairManager
+from repro.fs.cluster import StorageCluster
+from repro.fs.messages import Heartbeat
+from repro.util.units import MB, MIB
+
+
+@pytest.fixture
+def rig():
+    cluster = StorageCluster.smallsite()
+    rm = RepairManager(cluster)
+    return cluster, rm
+
+
+def put_heartbeat(cluster, server_id, cached=(), reconstructions=0,
+                  repair_dsts=0, user_load=0.0):
+    cluster.metaserver.last_heartbeat[server_id] = Heartbeat(
+        server_id=server_id,
+        time=cluster.sim.now,
+        cached_chunk_ids=frozenset(cached),
+        active_reconstructions=reconstructions,
+        active_repair_destinations=repair_dsts,
+        user_load_bytes=user_load,
+        disk_queue_delay=0.0,
+    )
+
+
+def test_coefficients_follow_section5_rules(rig):
+    _, rm = rig
+    coeff = rm.coefficients(6, 64 * MIB)
+    # a2 = b1 = 1 (the paper's normalization).
+    assert coeff["a2"] == 1.0 and coeff["b1"] == 1.0
+    # a2/a3 = C_MB * ceil(log2 k): 67.1 * 3 ≈ 201 -> a3 ≈ 0.005.
+    assert coeff["a3"] == pytest.approx(1 / (64 * MIB / MB * 3), rel=1e-6)
+    assert coeff["b2"] == coeff["a3"]
+    # a1 = alpha*ceil(log2(k+1))/beta = 0.12*3/0.7.
+    assert coeff["a1"] == pytest.approx(0.12 * 3 / 0.7, rel=1e-6)
+
+
+def test_cache_hit_raises_source_weight(rig):
+    cluster, rm = rig
+    put_heartbeat(cluster, "S001", cached={"chunk-x"})
+    put_heartbeat(cluster, "S002", cached=())
+    coeff = rm.coefficients(6, 64 * MIB)
+    hot = rm.source_weight("S001", "chunk-x", coeff)
+    cold = rm.source_weight("S002", "chunk-x", coeff)
+    assert hot > cold
+    assert hot - cold == pytest.approx(coeff["a1"])
+
+
+def test_reconstructions_lower_source_weight(rig):
+    cluster, rm = rig
+    put_heartbeat(cluster, "S001", reconstructions=0)
+    put_heartbeat(cluster, "S002", reconstructions=3)
+    coeff = rm.coefficients(6, 64 * MIB)
+    idle = rm.source_weight("S001", "c", coeff)
+    busy = rm.source_weight("S002", "c", coeff)
+    assert idle - busy == pytest.approx(3 * coeff["a2"])
+
+
+def test_user_load_lowers_weights(rig):
+    cluster, rm = rig
+    put_heartbeat(cluster, "S001", user_load=0.0)
+    put_heartbeat(cluster, "S002", user_load=192 * MB)
+    coeff = rm.coefficients(6, 64 * MIB)
+    # 192 MB of user load ~ one reconstruction's worth (a2/a3 ratio).
+    delta_src = rm.source_weight("S001", "c", coeff) - rm.source_weight(
+        "S002", "c", coeff
+    )
+    assert delta_src == pytest.approx(192 * coeff["a3"], rel=1e-6)
+    delta_dst = rm.destination_weight("S001", coeff) - rm.destination_weight(
+        "S002", coeff
+    )
+    assert delta_dst == pytest.approx(192 * coeff["b2"], rel=1e-6)
+
+
+def test_repair_destinations_lower_destination_weight(rig):
+    cluster, rm = rig
+    put_heartbeat(cluster, "S001", repair_dsts=0)
+    put_heartbeat(cluster, "S002", repair_dsts=2)
+    coeff = rm.coefficients(6, 64 * MIB)
+    assert rm.destination_weight("S001", coeff) > rm.destination_weight(
+        "S002", coeff
+    )
+
+
+def test_rm_fresh_counters_override_stale_heartbeats(rig):
+    """§5 staleness: the RM trusts its own in-flight bookkeeping."""
+    cluster, rm = rig
+    put_heartbeat(cluster, "S001", reconstructions=0)  # stale view
+    rm._src_load["S001"] = 5  # RM just scheduled five repairs there
+    coeff = rm.coefficients(6, 64 * MIB)
+    put_heartbeat(cluster, "S002", reconstructions=0)
+    assert rm.source_weight("S001", "c", coeff) < rm.source_weight(
+        "S002", "c", coeff
+    )
+
+
+def test_select_sources_prefers_cached_servers(rig):
+    cluster, rm = rig
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "64MiB")
+    # Heartbeats: one helper has the relevant chunk cached, another is
+    # slammed with reconstructions.
+    hosts = {
+        i: cluster.metaserver.locate_chunk(cid)
+        for i, cid in enumerate(stripe.chunk_ids)
+    }
+    for i, host in hosts.items():
+        cached = {stripe.chunk_ids[i]} if i == 8 else set()
+        load = 4 if i == 1 else 0
+        put_heartbeat(cluster, host, cached=cached, reconstructions=load)
+    sources = rm.select_sources(stripe, 0, stripe.chunk_size)
+    assert 8 in sources  # the cached parity displaced someone
+    assert 1 not in sources  # the overloaded data chunk was avoided
+
+
+def test_select_sources_still_satisfies_code(rig):
+    cluster, rm = rig
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "64MiB")
+    sources = rm.select_sources(stripe, 2, stripe.chunk_size)
+    # Whatever the weights, the set must be decodable.
+    stripe.code.repair_recipe(2, sources)
+
+
+def test_mppr_config_extensions_flow_through():
+    cluster = StorageCluster.bigsite(seed=9)
+    rm = RepairManager(
+        cluster,
+        MPPRConfig(strategy="chain", num_slices=8),
+    )
+    cluster.metaserver._repair_manager = rm
+    cluster.metaserver.start_heartbeats()
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "16MiB")
+    cluster.run(until=6.0)
+    victim = cluster.metaserver.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim)
+    batch = rm.drain(max_time=2000)
+    assert batch.all_verified
+    assert batch.results[0].strategy == "chain"

@@ -1,0 +1,68 @@
+"""RepairResult / BatchRepairResult accounting."""
+
+import pytest
+
+from repro.core.results import BatchRepairResult, RepairResult
+from repro.sim.metrics import TrafficMatrix
+
+
+def make_result(start=0.0, end=2.0, **kw):
+    defaults = dict(
+        repair_id="r1",
+        kind="repair",
+        strategy="ppr",
+        code_name="RS(6,3)",
+        stripe_id="s1",
+        lost_index=0,
+        chunk_size=1e6,
+        destination="S001",
+        start_time=start,
+        end_time=end,
+        verified=True,
+        cache_hits=0,
+        phase_busy={"network": 1.0, "disk_read": 0.5},
+        traffic=TrafficMatrix(),
+        num_helpers=6,
+    )
+    defaults.update(kw)
+    return RepairResult(**defaults)
+
+
+def test_duration_and_shares():
+    result = make_result()
+    assert result.duration == 2.0
+    assert result.phase_share("network") == pytest.approx(0.5)
+    assert result.phase_share("disk_write") == 0.0
+
+
+def test_zero_duration_share():
+    result = make_result(start=1.0, end=1.0)
+    assert result.phase_share("network") == 0.0
+
+
+def test_summary_mentions_strategy_and_verification():
+    text = make_result().summary()
+    assert "[ppr]" in text and "verified=True" in text
+
+
+def test_batch_total_time_spans_first_to_last():
+    batch = BatchRepairResult(
+        results=[make_result(0.0, 2.0), make_result(1.0, 5.0)]
+    )
+    assert batch.total_time == 5.0
+    assert batch.mean_duration == pytest.approx((2.0 + 4.0) / 2)
+    assert batch.all_verified
+
+
+def test_batch_empty():
+    batch = BatchRepairResult()
+    assert batch.total_time == 0.0
+    assert batch.mean_duration == 0.0
+    assert batch.all_verified  # vacuous
+
+
+def test_batch_detects_unverified():
+    batch = BatchRepairResult(
+        results=[make_result(), make_result(verified=False)]
+    )
+    assert not batch.all_verified

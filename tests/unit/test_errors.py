@@ -1,0 +1,39 @@
+"""Exception hierarchy: everything catchable as ReproError."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    ChunkNotFoundError,
+    CodingError,
+    ConfigurationError,
+    GaloisError,
+    PlanError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    SingularMatrixError,
+    StorageError,
+    UnrecoverableError,
+)
+
+
+def test_every_exported_exception_derives_from_repro_error():
+    for _name, obj in inspect.getmembers(errors_module, inspect.isclass):
+        if issubclass(obj, Exception):
+            assert issubclass(obj, ReproError) or obj is ReproError
+
+
+def test_specific_hierarchies():
+    assert issubclass(UnrecoverableError, CodingError)
+    assert issubclass(ChunkNotFoundError, StorageError)
+    assert issubclass(SingularMatrixError, ReproError)
+
+
+def test_catching_base_catches_all():
+    for exc in (GaloisError, PlanError, SimulationError, SchedulingError,
+                ConfigurationError):
+        with pytest.raises(ReproError):
+            raise exc("boom")

@@ -1,0 +1,117 @@
+"""Chunk server behaviour: storage, cache integration, heartbeats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChunkNotFoundError, ServerUnavailableError
+from repro.codes import ReedSolomonCode
+from repro.fs.chunks import Chunk
+from repro.fs.cluster import StorageCluster
+from repro.fs.messages import PartialOpRequest
+
+
+@pytest.fixture
+def cluster():
+    return StorageCluster.smallsite()
+
+
+def make_chunk(cid="c1", size=1024.0):
+    return Chunk(
+        chunk_id=cid,
+        stripe_id="s1",
+        index=0,
+        payload=np.zeros(64, dtype=np.uint8),
+        size=size,
+    )
+
+
+def test_store_and_get(cluster):
+    server = cluster.chunk_server("S001")
+    chunk = make_chunk()
+    server.store_chunk(chunk)
+    assert server.has_chunk("c1")
+    assert server.get_chunk("c1") is chunk
+
+
+def test_get_missing_raises(cluster):
+    with pytest.raises(ChunkNotFoundError):
+        cluster.chunk_server("S001").get_chunk("nope")
+
+
+def test_drop_chunk_also_evicts_cache(cluster):
+    server = cluster.chunk_server("S001")
+    server.store_chunk(make_chunk())
+    server.fill_cache("c1")
+    assert server.lookup_cache("c1")
+    server.drop_chunk("c1")
+    assert not server.has_chunk("c1")
+    assert not server.lookup_cache("c1")
+
+
+def test_warm_cache_gives_hit(cluster):
+    server = cluster.chunk_server("S001")
+    server.store_chunk(make_chunk())
+    assert not server.lookup_cache("c1")  # cold
+    server.warm_cache("c1")
+    assert server.lookup_cache("c1")
+
+
+def test_kill_clears_tasks_and_marks_dead(cluster):
+    server = cluster.chunk_server("S001")
+    server.tasks["x"] = object()
+    server.kill()
+    assert not server.alive
+    assert not server.tasks
+
+
+def test_dead_server_rejects_requests(cluster):
+    server = cluster.chunk_server("S001")
+    server.kill()
+    request = PartialOpRequest(
+        repair_id="r1",
+        stripe_id="s1",
+        chunk_id=None,
+        entries=(),
+        rows=1,
+        chunk_size=1.0,
+        children=(),
+        parent=None,
+        send_rows=frozenset(),
+        send_fraction=0.0,
+        read_fraction=0.0,
+    )
+    with pytest.raises(ServerUnavailableError):
+        server.handle_partial_request(request)
+
+
+def test_heartbeat_contents(cluster):
+    server = cluster.chunk_server("S001")
+    server.store_chunk(make_chunk())
+    server.fill_cache("c1")
+    server.user_load_bytes = 12345.0
+    beat = server.make_heartbeat()
+    assert beat.server_id == "S001"
+    assert "c1" in beat.cached_chunk_ids
+    assert beat.user_load_bytes == 12345.0
+    assert beat.active_reconstructions == 0
+
+
+def test_unknown_repair_request_dropped(cluster):
+    """Plan commands for cancelled repairs must not crash or leak."""
+    server = cluster.chunk_server("S001")
+    request = PartialOpRequest(
+        repair_id="ghost",
+        stripe_id="s1",
+        chunk_id=None,
+        entries=(),
+        rows=1,
+        chunk_size=1.0,
+        children=(),
+        parent=None,
+        send_rows=frozenset(),
+        send_fraction=0.0,
+        read_fraction=0.0,
+    )
+    server.handle_partial_request(request)
+    assert server.active_reconstructions == 0
+    assert not server.tasks

@@ -1,0 +1,93 @@
+"""Meta-Server: locations, heartbeats, failure detection."""
+
+import pytest
+
+from repro.errors import ChunkNotFoundError
+from repro.codes import ReedSolomonCode
+from repro.fs.cluster import StorageCluster
+
+
+def make_cluster_with_stripe():
+    cluster = StorageCluster.smallsite()
+    stripe = cluster.write_stripe(ReedSolomonCode(6, 3), "8MiB")
+    return cluster, stripe
+
+
+def test_locate_and_stripe_lookup():
+    cluster, stripe = make_cluster_with_stripe()
+    meta = cluster.metaserver
+    cid = stripe.chunk_ids[3]
+    host = meta.locate_chunk(cid)
+    assert host in cluster.server_ids
+    assert meta.stripe_for_chunk(cid).stripe_id == stripe.stripe_id
+
+
+def test_unknown_chunk_raises():
+    cluster, _ = make_cluster_with_stripe()
+    with pytest.raises(ChunkNotFoundError):
+        cluster.metaserver.stripe_for_chunk("nope")
+    assert cluster.metaserver.locate_chunk("nope") is None
+
+
+def test_alive_host_indices_drops_dead():
+    cluster, stripe = make_cluster_with_stripe()
+    meta = cluster.metaserver
+    assert set(meta.alive_host_indices(stripe)) == set(range(9))
+    victim = meta.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim)
+    assert 0 not in meta.alive_host_indices(stripe)
+
+
+def test_heartbeats_populate_views():
+    cluster, _ = make_cluster_with_stripe()
+    meta = cluster.metaserver
+    meta.start_heartbeats()
+    cluster.run(until=6.0)
+    for sid in cluster.server_ids:
+        beat = meta.heartbeat_view(sid)
+        assert beat is not None
+        assert beat.server_id == sid
+
+
+def test_heartbeat_staleness_is_bounded():
+    cluster, _ = make_cluster_with_stripe()
+    meta = cluster.metaserver
+    meta.start_heartbeats()
+    cluster.run(until=20.0)
+    interval = cluster.config.heartbeat_interval
+    for sid in cluster.server_ids:
+        beat = meta.heartbeat_view(sid)
+        assert 20.0 - beat.time <= interval + 1e-9
+
+
+def test_sweep_detects_silent_death():
+    cluster, stripe = make_cluster_with_stripe()
+    meta = cluster.metaserver
+    meta.start_heartbeats()
+    cluster.run(until=6.0)
+    victim = meta.locate_chunk(stripe.chunk_ids[0])
+    # Crash without telling the meta-server (heartbeats just stop).
+    cluster.servers[victim].kill()
+    assert victim not in meta.dead_servers
+    cluster.run(until=6.0 + cluster.config.failure_detection_timeout + 6.0)
+    assert victim in meta.dead_servers
+    assert stripe.chunk_ids[0] in meta.missing_chunks
+
+
+def test_server_failed_enqueues_all_chunks():
+    cluster, stripe = make_cluster_with_stripe()
+    meta = cluster.metaserver
+    victim = meta.locate_chunk(stripe.chunk_ids[2])
+    cluster.kill_server(victim)  # explicit notification path
+    assert victim in meta.dead_servers
+    assert stripe.chunk_ids[2] in meta.missing_chunks
+
+
+def test_server_failed_idempotent():
+    cluster, stripe = make_cluster_with_stripe()
+    meta = cluster.metaserver
+    victim = meta.locate_chunk(stripe.chunk_ids[0])
+    cluster.kill_server(victim)
+    count = len(meta.missing_chunks)
+    meta.server_failed(victim)
+    assert len(meta.missing_chunks) == count

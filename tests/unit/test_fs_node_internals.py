@@ -1,0 +1,44 @@
+"""Slice-view helper and aggregation-task bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.fs.node import _slice_view
+
+
+def test_slice_view_partitions_exactly():
+    buffers = {0: np.arange(10, dtype=np.uint8), 2: np.arange(10, dtype=np.uint8)}
+    slices = [_slice_view(buffers, 3, s) for s in range(3)]
+    for row in (0, 2):
+        rebuilt = np.concatenate([s[row] for s in slices])
+        assert np.array_equal(rebuilt, buffers[row])
+
+
+def test_slice_view_sizes_differ_by_at_most_one():
+    buffers = {0: np.arange(10, dtype=np.uint8)}
+    sizes = [_slice_view(buffers, 3, s)[0].size for s in range(3)]
+    assert sum(sizes) == 10
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_slice_view_more_slices_than_bytes():
+    buffers = {0: np.arange(2, dtype=np.uint8)}
+    slices = [_slice_view(buffers, 5, s) for s in range(5)]
+    total = np.concatenate([s[0] for s in slices])
+    assert np.array_equal(total, buffers[0])
+    # Some slices are empty; none raise.
+    assert any(s[0].size == 0 for s in slices)
+
+
+def test_slice_view_single_slice_is_identity():
+    buffers = {1: np.arange(7, dtype=np.uint8)}
+    out = _slice_view(buffers, 1, 0)
+    assert np.array_equal(out[1], buffers[1])
+    assert out[1] is not buffers[1]  # a copy, not a view
+
+
+def test_slice_view_copies_do_not_alias():
+    buffers = {0: np.zeros(8, dtype=np.uint8)}
+    out = _slice_view(buffers, 2, 0)
+    out[0][:] = 255
+    assert not buffers[0].any()

@@ -1,0 +1,61 @@
+"""Placement policy: failure/upgrade domain constraints."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.fs.placement import PlacementPolicy
+
+
+def make_policy(num_servers=8, racks=4):
+    servers = [f"s{i}" for i in range(num_servers)]
+    fd = {s: i % racks for i, s in enumerate(servers)}
+    ud = {s: i % 3 for i, s in enumerate(servers)}
+    return servers, PlacementPolicy(fd, ud, rng=1)
+
+
+def test_place_stripe_distinct_servers():
+    servers, policy = make_policy()
+    chosen = policy.place_stripe(servers, 5)
+    assert len(set(chosen)) == 5
+
+
+def test_place_prefers_distinct_failure_domains():
+    servers, policy = make_policy(num_servers=8, racks=4)
+    chosen = policy.place_stripe(servers, 4)
+    domains = {policy.failure_domain[s] for s in chosen}
+    assert len(domains) == 4  # one per rack when possible
+
+
+def test_place_falls_back_when_domains_scarce():
+    servers, policy = make_policy(num_servers=6, racks=2)
+    chosen = policy.place_stripe(servers, 5)
+    assert len(set(chosen)) == 5  # reuses domains, never servers
+
+
+def test_place_too_few_servers_raises():
+    servers, policy = make_policy(num_servers=3)
+    with pytest.raises(StorageError):
+        policy.place_stripe(servers, 4)
+
+
+def test_eligible_destinations_excludes_hosts_and_domains():
+    servers, policy = make_policy(num_servers=8, racks=4)
+    hosts = ["s0"]  # fd 0, ud 0
+    eligible = policy.eligible_destinations(servers, hosts)
+    assert "s0" not in eligible
+    assert "s4" not in eligible  # same failure domain (0)
+    for s in eligible:
+        assert policy.failure_domain[s] != 0
+        assert policy.upgrade_domain[s] != 0
+
+
+def test_eligible_destinations_empty_when_all_blocked():
+    servers, policy = make_policy(num_servers=4, racks=2)
+    eligible = policy.eligible_destinations(servers, servers)
+    assert eligible == []
+
+
+def test_placement_is_deterministic_per_seed():
+    servers1, p1 = make_policy()
+    servers2, p2 = make_policy()
+    assert p1.place_stripe(servers1, 4) == p2.place_stripe(servers2, 4)

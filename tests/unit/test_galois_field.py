@@ -1,0 +1,96 @@
+"""Scalar GF(2^8) field semantics."""
+
+import pytest
+
+from repro.errors import GaloisError
+from repro.galois.field import GF256, gf256
+
+
+def test_addition_is_xor():
+    assert gf256.add(0b1010, 0b0110) == 0b1100
+
+
+def test_subtraction_equals_addition():
+    assert gf256.sub(200, 123) == gf256.add(200, 123)
+
+
+def test_multiplication_commutative_sample():
+    for a, b in [(3, 7), (100, 200), (255, 254), (1, 99)]:
+        assert gf256.mul(a, b) == gf256.mul(b, a)
+
+
+def test_multiplicative_identity_and_zero():
+    for a in range(256):
+        assert gf256.mul(a, 1) == a
+        assert gf256.mul(a, 0) == 0
+
+
+def test_division_inverts_multiplication():
+    for a in [1, 7, 100, 255]:
+        for b in [1, 3, 200, 254]:
+            assert gf256.div(gf256.mul(a, b), b) == a
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(GaloisError):
+        gf256.div(5, 0)
+
+
+def test_zero_has_no_inverse():
+    with pytest.raises(GaloisError):
+        gf256.inv(0)
+
+
+def test_inverse_roundtrip():
+    for a in range(1, 256):
+        assert gf256.mul(a, gf256.inv(a)) == 1
+
+
+def test_pow_matches_repeated_multiplication():
+    for a in [2, 3, 97]:
+        acc = 1
+        for e in range(10):
+            assert gf256.pow(a, e) == acc
+            acc = gf256.mul(acc, a)
+
+
+def test_pow_negative_exponent():
+    assert gf256.pow(7, -1) == gf256.inv(7)
+    assert gf256.mul(gf256.pow(7, -3), gf256.pow(7, 3)) == 1
+
+
+def test_pow_zero_base():
+    assert gf256.pow(0, 0) == 1
+    assert gf256.pow(0, 5) == 0
+    with pytest.raises(GaloisError):
+        gf256.pow(0, -1)
+
+
+def test_fermat_order_255():
+    for a in [2, 5, 100, 255]:
+        assert gf256.pow(a, 255) == 1
+
+
+def test_log_exp_consistency():
+    for a in [1, 2, 50, 255]:
+        assert gf256.exp(gf256.log(a)) == a
+
+
+def test_log_of_zero_raises():
+    with pytest.raises(GaloisError):
+        gf256.log(0)
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(GaloisError):
+        gf256.add(300, 1)
+    with pytest.raises(GaloisError):
+        gf256.mul(-1, 1)
+
+
+def test_distributivity_sample():
+    field = GF256()
+    for a, b, c in [(3, 7, 11), (255, 1, 2), (100, 200, 50)]:
+        left = field.mul(a, field.add(b, c))
+        right = field.add(field.mul(a, b), field.mul(a, c))
+        assert left == right

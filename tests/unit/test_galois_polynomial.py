@@ -1,0 +1,85 @@
+"""Polynomials over GF(2^8)."""
+
+import pytest
+
+from repro.errors import GaloisError
+from repro.galois.field import gf256
+from repro.galois.polynomial import GFPolynomial
+
+
+def test_normalization_strips_trailing_zeros():
+    assert GFPolynomial([1, 2, 0, 0]).coeffs == (1, 2)
+    assert GFPolynomial([0, 0]).is_zero()
+
+
+def test_degree():
+    assert GFPolynomial().degree == -1
+    assert GFPolynomial([5]).degree == 0
+    assert GFPolynomial([0, 0, 7]).degree == 2
+
+
+def test_addition_is_coefficientwise_xor():
+    a = GFPolynomial([1, 2, 3])
+    b = GFPolynomial([3, 2])
+    assert (a + b).coeffs == (2, 0, 3)
+
+
+def test_addition_cancels_itself():
+    a = GFPolynomial([9, 4, 17])
+    assert (a + a).is_zero()
+
+
+def test_multiplication_by_x_shifts():
+    a = GFPolynomial([5, 6])
+    x = GFPolynomial([0, 1])
+    assert (a * x).coeffs == (0, 5, 6)
+
+
+def test_multiplication_matches_evaluation_homomorphism():
+    a = GFPolynomial([3, 1, 7])
+    b = GFPolynomial([2, 5])
+    prod = a * b
+    for x in [0, 1, 2, 77, 255]:
+        assert prod.evaluate(x) == gf256.mul(a.evaluate(x), b.evaluate(x))
+
+
+def test_evaluate_horner():
+    # p(x) = 1 + 2x + 3x^2 evaluated at 2
+    p = GFPolynomial([1, 2, 3])
+    expected = 1 ^ gf256.mul(2, 2) ^ gf256.mul(3, gf256.mul(2, 2))
+    assert p.evaluate(2) == expected
+
+
+def test_divmod_roundtrip():
+    a = GFPolynomial([7, 3, 9, 1, 4])
+    b = GFPolynomial([2, 1])
+    q, r = a.divmod(b)
+    assert (q * b + r) == a
+    assert r.degree < b.degree
+
+
+def test_divmod_by_zero_raises():
+    with pytest.raises(GaloisError):
+        GFPolynomial([1]).divmod(GFPolynomial())
+
+
+def test_interpolation_recovers_polynomial():
+    p = GFPolynomial([11, 5, 88, 201])
+    points = [(x, p.evaluate(x)) for x in [1, 2, 3, 4]]
+    assert GFPolynomial.interpolate(points) == p
+
+
+def test_interpolation_duplicate_x_raises():
+    with pytest.raises(GaloisError):
+        GFPolynomial.interpolate([(1, 2), (1, 3)])
+
+
+def test_scale():
+    p = GFPolynomial([1, 2])
+    s = p.scale(3)
+    assert s.coeffs == (3, gf256.mul(3, 2))
+
+
+def test_out_of_range_coefficient_rejected():
+    with pytest.raises(GaloisError):
+        GFPolynomial([256])

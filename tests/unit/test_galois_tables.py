@@ -1,0 +1,71 @@
+"""The GF(2^8) lookup tables are internally consistent."""
+
+import numpy as np
+import pytest
+
+from repro.galois.tables import (
+    FIELD_SIZE,
+    GENERATOR,
+    GF_EXP,
+    GF_INV,
+    GF_LOG,
+    GF_MUL,
+    PRIMITIVE_POLY,
+)
+
+
+def _slow_mul(a: int, b: int) -> int:
+    """Reference carry-less multiplication mod the primitive polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a & 0x100:
+            a ^= PRIMITIVE_POLY
+    return result
+
+
+def test_exp_table_cycles_through_all_nonzero_elements():
+    assert sorted(set(int(x) for x in GF_EXP[: FIELD_SIZE - 1])) == list(
+        range(1, FIELD_SIZE)
+    )
+
+
+def test_exp_table_is_doubled_for_modless_lookup():
+    assert np.array_equal(GF_EXP[: FIELD_SIZE - 1], GF_EXP[FIELD_SIZE - 1 :])
+
+
+def test_log_exp_roundtrip():
+    for a in range(1, FIELD_SIZE):
+        assert int(GF_EXP[GF_LOG[a]]) == a
+
+
+def test_generator_is_two():
+    assert int(GF_EXP[1]) == GENERATOR
+
+
+def test_mul_table_matches_reference_multiplication():
+    # Spot-check a dense sample plus all boundary rows.
+    for a in list(range(0, 256, 17)) + [0, 1, 255]:
+        for b in list(range(0, 256, 13)) + [0, 1, 255]:
+            assert int(GF_MUL[a, b]) == _slow_mul(a, b), (a, b)
+
+
+def test_mul_by_zero_and_one():
+    assert not GF_MUL[0].any()
+    assert not GF_MUL[:, 0].any()
+    assert np.array_equal(GF_MUL[1], np.arange(256, dtype=np.uint8))
+
+
+def test_inverse_table():
+    for a in range(1, FIELD_SIZE):
+        assert int(GF_MUL[a, GF_INV[a]]) == 1
+
+
+def test_tables_are_read_only():
+    with pytest.raises(ValueError):
+        GF_MUL[0, 0] = 1
+    with pytest.raises(ValueError):
+        GF_EXP[0] = 1

@@ -1,0 +1,117 @@
+"""Vectorized GF kernels against scalar references."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GaloisError
+from repro.galois.field import gf256
+from repro.galois.vector import (
+    addmul,
+    linear_combine,
+    scale,
+    scale_into,
+    xor_into,
+    xor_many,
+)
+
+
+@pytest.fixture
+def buf(rng):
+    return rng.integers(0, 256, size=257, dtype=np.uint8)
+
+
+def test_scale_matches_scalar_field(buf):
+    out = scale(7, buf)
+    for i in [0, 1, 100, 256]:
+        assert int(out[i]) == gf256.mul(7, int(buf[i]))
+
+
+def test_scale_zero_and_one(buf):
+    assert not scale(0, buf).any()
+    assert np.array_equal(scale(1, buf), buf)
+    assert scale(1, buf) is not buf  # must be a copy
+
+
+def test_scale_into_matches_scale(buf):
+    out = np.empty_like(buf)
+    scale_into(9, buf, out)
+    assert np.array_equal(out, scale(9, buf))
+
+
+def test_scale_into_zero_clears(buf):
+    out = np.ones_like(buf)
+    scale_into(0, buf, out)
+    assert not out.any()
+
+
+def test_xor_into_is_gf_addition(buf, rng):
+    other = rng.integers(0, 256, size=buf.size, dtype=np.uint8)
+    dst = buf.copy()
+    xor_into(dst, other)
+    assert np.array_equal(dst, buf ^ other)
+
+
+def test_addmul_fused(buf, rng):
+    other = rng.integers(0, 256, size=buf.size, dtype=np.uint8)
+    dst = buf.copy()
+    addmul(dst, 5, other)
+    assert np.array_equal(dst, buf ^ scale(5, other))
+
+
+def test_addmul_coeff_zero_is_noop(buf, rng):
+    other = rng.integers(0, 256, size=buf.size, dtype=np.uint8)
+    dst = buf.copy()
+    addmul(dst, 0, other)
+    assert np.array_equal(dst, buf)
+
+
+def test_addmul_coeff_one_is_xor(buf, rng):
+    other = rng.integers(0, 256, size=buf.size, dtype=np.uint8)
+    dst = buf.copy()
+    addmul(dst, 1, other)
+    assert np.array_equal(dst, buf ^ other)
+
+
+def test_xor_many(rng):
+    bufs = [
+        rng.integers(0, 256, size=32, dtype=np.uint8) for _ in range(5)
+    ]
+    expected = bufs[0] ^ bufs[1] ^ bufs[2] ^ bufs[3] ^ bufs[4]
+    assert np.array_equal(xor_many(bufs), expected)
+
+
+def test_xor_many_empty_raises():
+    with pytest.raises(GaloisError):
+        xor_many([])
+
+
+def test_linear_combine_matches_manual(rng):
+    bufs = [rng.integers(0, 256, size=64, dtype=np.uint8) for _ in range(3)]
+    coeffs = [3, 0, 251]
+    expected = scale(3, bufs[0]) ^ scale(251, bufs[2])
+    assert np.array_equal(linear_combine(coeffs, bufs), expected)
+
+
+def test_linear_combine_length_mismatch():
+    with pytest.raises(GaloisError):
+        linear_combine([1], [])
+
+
+def test_shape_mismatch_raises(buf):
+    with pytest.raises(GaloisError):
+        xor_into(buf, buf[:-1])
+    with pytest.raises(GaloisError):
+        addmul(buf, 2, buf[:-1])
+
+
+def test_wrong_dtype_rejected():
+    bad = np.zeros(4, dtype=np.int32)
+    with pytest.raises(GaloisError):
+        scale(2, bad)
+
+
+def test_bad_coefficient_rejected(buf):
+    with pytest.raises(GaloisError):
+        scale(256, buf)
+    with pytest.raises(GaloisError):
+        addmul(buf.copy(), -1, buf)

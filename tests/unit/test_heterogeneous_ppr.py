@@ -1,0 +1,99 @@
+"""§4.2 extension: capacity-aware aggregator placement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.codes import ReedSolomonCode
+from repro.core.single_repair import run_single_repair
+from repro.fs.cluster import StorageCluster
+from repro.repair.executor import execute_plan
+from repro.repair.plan import build_ppr_plan, ppr_position_loads
+
+from tests.conftest import random_stripe
+
+
+def test_position_loads_sum_to_transfer_count():
+    """Helpers receive all transfers except those into the destination."""
+    for k in (3, 6, 12, 15):
+        loads = ppr_position_loads(k)
+        assert len(loads) == k
+        plan = build_ppr_plan(
+            ReedSolomonCode(k, 2).repair_recipe(0, range(1, k + 2))
+        )
+        dest_in = len(plan.incoming(-1))
+        assert sum(loads) == len(plan.transfers) - dest_in
+
+
+def test_position_loads_match_plan_incoming():
+    code = ReedSolomonCode(6, 3)
+    recipe = code.repair_recipe(0, range(1, 9))
+    plan = build_ppr_plan(recipe)
+    loads = ppr_position_loads(6)
+    for position, helper in enumerate(recipe.helpers):
+        assert len(plan.incoming(helper)) == loads[position]
+
+
+def test_helper_order_permutes_tree_positions(rng):
+    code = ReedSolomonCode(6, 3)
+    _, encoded = random_stripe(code, rng)
+    recipe = code.repair_recipe(0, range(1, 9))
+    order = list(recipe.helpers)[::-1]
+    plan = build_ppr_plan(recipe, helper_order=order)
+    # Same structure, permuted assignment; still correct.
+    available = {i: encoded[i] for i in range(1, 9)}
+    assert np.array_equal(execute_plan(plan, available), encoded[0])
+    assert plan.num_steps == 3
+
+
+def test_helper_order_must_be_permutation():
+    code = ReedSolomonCode(4, 2)
+    recipe = code.repair_recipe(0, range(1, 6))
+    with pytest.raises(PlanError):
+        build_ppr_plan(recipe, helper_order=[1, 2, 3])  # missing helpers
+
+
+def heterogeneous_cluster(seed=1):
+    cluster = StorageCluster.smallsite(seed=seed)
+    for sid in cluster.server_ids[:5]:
+        cluster.topology.set_server_bandwidth(sid, "10Gbps")
+    return cluster
+
+
+def test_capacity_aware_repair_verifies():
+    cluster = heterogeneous_cluster()
+    stripe = cluster.write_stripe(ReedSolomonCode(12, 4), "64MiB")
+    result = run_single_repair(
+        cluster, stripe, 0, strategy="ppr", capacity_aware=True
+    )
+    assert result.verified
+
+
+def test_capacity_awareness_helps_on_heterogeneous_cluster():
+    durations = {}
+    for aware in (False, True):
+        cluster = heterogeneous_cluster(seed=2)
+        stripe = cluster.write_stripe(ReedSolomonCode(12, 4), "64MiB")
+        durations[aware] = run_single_repair(
+            cluster, stripe, 0, strategy="ppr", capacity_aware=aware
+        ).duration
+    assert durations[True] < durations[False]
+
+
+def test_capacity_awareness_harmless_on_homogeneous_cluster():
+    durations = {}
+    for aware in (False, True):
+        cluster = StorageCluster.smallsite(seed=2)
+        stripe = cluster.write_stripe(ReedSolomonCode(12, 4), "64MiB")
+        durations[aware] = run_single_repair(
+            cluster, stripe, 0, strategy="ppr", capacity_aware=aware
+        ).duration
+    assert durations[True] == pytest.approx(durations[False], rel=0.05)
+
+
+def test_set_server_bandwidth_unknown_server():
+    from repro.errors import SimulationError
+
+    cluster = StorageCluster.smallsite()
+    with pytest.raises(SimulationError):
+        cluster.topology.set_server_bandwidth("nope", "10Gbps")

@@ -1,0 +1,71 @@
+"""TCP-incast link model."""
+
+import pytest
+
+from repro.sim.events import Simulation
+from repro.sim.network import FlowNetwork, Link
+
+
+def test_effective_capacity_below_threshold_is_full():
+    link = Link("l", 100.0, incast_threshold=4, incast_gamma=0.5)
+    for _ in range(4):
+        link.flows.add(object())
+    assert link.effective_capacity() == 100.0
+
+
+def test_effective_capacity_collapses_past_threshold():
+    link = Link("l", 100.0, incast_threshold=2, incast_gamma=0.5)
+    for _ in range(6):
+        link.flows.add(object())
+    # 4 excess flows: 100 / (1 + 0.5*4) = 33.3
+    assert link.effective_capacity() == pytest.approx(100.0 / 3.0)
+
+
+def test_disabled_by_default():
+    link = Link("l", 100.0)
+    for _ in range(50):
+        link.flows.add(object())
+    assert link.effective_capacity() == 100.0
+
+
+def test_incast_slows_fan_in_but_not_single_flow():
+    def run(n_flows):
+        sim = Simulation()
+        net = FlowNetwork(sim)
+        ingress = Link("in", 100.0, incast_threshold=2, incast_gamma=1.0)
+        done = []
+        for i in range(n_flows):
+            egress = Link(f"out{i}", 100.0)
+            net.start_flow([egress, ingress], 100.0, done.append)
+        sim.run()
+        return max(f.finish_time for f in done)
+
+    assert run(1) == pytest.approx(1.0)  # unaffected
+    assert run(2) == pytest.approx(2.0)  # fair share, no collapse
+    # 6 flows: capacity 100/(1+4) = 20 -> 600 bytes take 30s, not 6s.
+    assert run(6) == pytest.approx(30.0)
+
+
+def test_collapse_recovers_when_flows_finish():
+    sim = Simulation()
+    net = FlowNetwork(sim)
+    ingress = Link("in", 100.0, incast_threshold=1, incast_gamma=1.0)
+    finish = {}
+    net.start_flow([ingress], 50.0, lambda f: finish.setdefault("a", f))
+    net.start_flow([ingress], 100.0, lambda f: finish.setdefault("b", f))
+    sim.run()
+    # Phase 1: 2 flows, capacity 50, share 25 each; "a" done at t=2.
+    assert finish["a"].finish_time == pytest.approx(2.0)
+    # Phase 2: single flow, full 100 B/s for remaining 50 bytes.
+    assert finish["b"].finish_time == pytest.approx(2.5)
+
+
+def test_cluster_config_applies_incast():
+    from repro.fs.cluster import StorageCluster
+
+    cluster = StorageCluster.smallsite(incast_threshold=3, incast_gamma=0.7)
+    for link in cluster.topology.ingress.values():
+        assert link.incast_threshold == 3
+        assert link.incast_gamma == 0.7
+    for link in cluster.topology.egress.values():
+        assert link.incast_threshold is None  # egress never collapses

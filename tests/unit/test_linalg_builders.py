@@ -1,0 +1,65 @@
+"""Generator-matrix constructions: MDS properties."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.linalg.builders import (
+    cauchy_matrix,
+    systematic_cauchy_generator,
+    systematic_vandermonde_generator,
+    vandermonde_matrix,
+)
+from repro.linalg.matrix import GFMatrix
+
+
+def test_vandermonde_rows_are_powers():
+    v = vandermonde_matrix(5, 3)
+    assert list(v.data[2]) == [1, 2, 4]
+    assert list(v.data[0]) == [1, 0, 0]  # x=0 row with 0^0 == 1
+
+
+def test_vandermonde_any_k_rows_invertible():
+    v = vandermonde_matrix(7, 4)
+    for rows in itertools.combinations(range(7), 4):
+        assert v.take_rows(rows).is_invertible(), rows
+
+
+def test_cauchy_every_square_submatrix_invertible():
+    c = cauchy_matrix(3, 4)
+    # All 2x2 submatrices.
+    for r in itertools.combinations(range(3), 2):
+        for cols in itertools.combinations(range(4), 2):
+            sub = GFMatrix(c.data[np.ix_(r, cols)])
+            assert sub.is_invertible()
+
+
+@pytest.mark.parametrize("builder", [
+    systematic_vandermonde_generator,
+    systematic_cauchy_generator,
+])
+@pytest.mark.parametrize("k,m", [(2, 1), (4, 2), (6, 3), (10, 4)])
+def test_systematic_generators_are_mds(builder, k, m):
+    g = builder(k, m)
+    assert g.shape == (k + m, k)
+    # Top k rows are identity (systematic).
+    assert np.array_equal(g.data[:k], np.eye(k, dtype=np.uint8))
+    # MDS: any k rows invertible.
+    for rows in itertools.combinations(range(k + m), k):
+        assert g.take_rows(rows).is_invertible(), rows
+
+
+def test_field_size_limit_enforced():
+    with pytest.raises(ConfigurationError):
+        systematic_vandermonde_generator(200, 100)
+    with pytest.raises(ConfigurationError):
+        cauchy_matrix(200, 100)
+
+
+def test_bad_params_rejected():
+    with pytest.raises(ConfigurationError):
+        systematic_vandermonde_generator(0, 2)
+    with pytest.raises(ConfigurationError):
+        vandermonde_matrix(2, 3)

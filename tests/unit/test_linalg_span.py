@@ -1,0 +1,83 @@
+"""Expressing vectors in the span of others (the repair-equation solver)."""
+
+import numpy as np
+import pytest
+
+from repro.galois.field import gf256
+from repro.linalg.span import express_in_span
+
+
+def combine(coeffs, rows):
+    out = np.zeros_like(rows[0])
+    for idx, c in coeffs.items():
+        from repro.galois.vector import addmul
+
+        addmul(out, c, rows[idx])
+    return out
+
+
+def test_express_simple_identity():
+    rows = [np.array([1, 0], dtype=np.uint8), np.array([0, 1], dtype=np.uint8)]
+    target = np.array([5, 7], dtype=np.uint8)
+    combo = express_in_span(rows, [0, 1], target)
+    assert combo == {0: 5, 1: 7}
+
+
+def test_express_returns_none_when_not_in_span():
+    rows = [np.array([1, 0, 0], dtype=np.uint8)]
+    target = np.array([0, 1, 0], dtype=np.uint8)
+    assert express_in_span(rows, [0], target) is None
+
+
+def test_express_random_combinations(rng):
+    rows = [
+        rng.integers(0, 256, size=6, dtype=np.uint8) for _ in range(4)
+    ]
+    true_coeffs = {0: 3, 1: 0, 2: 77, 3: 1}
+    target = combine(true_coeffs, rows)
+    combo = express_in_span(rows, [0, 1, 2, 3], target)
+    assert combo is not None
+    assert np.array_equal(combine(combo, {i: r for i, r in enumerate(rows)}), target)
+
+
+def test_greedy_prefix_prefers_early_rows():
+    # Both rows 0+1 and row 2 alone can express the target; the greedy
+    # prefix must use rows 0 and 1 because they come first.
+    r0 = np.array([1, 0], dtype=np.uint8)
+    r1 = np.array([0, 1], dtype=np.uint8)
+    r2 = np.array([1, 1], dtype=np.uint8)
+    target = np.array([1, 1], dtype=np.uint8)
+    combo = express_in_span([r0, r1, r2], [0, 1, 2], target)
+    assert set(combo) == {0, 1}
+
+    combo2 = express_in_span([r2, r0, r1], [2, 0, 1], target)
+    assert set(combo2) == {2}
+
+
+def test_non_greedy_uses_all_rows():
+    rows = [np.array([2, 0], dtype=np.uint8), np.array([0, 3], dtype=np.uint8)]
+    target = np.array([4, 0], dtype=np.uint8)
+    combo = express_in_span(rows, [10, 20], target, greedy_prefix=False)
+    assert combo is not None and 10 in combo
+    assert gf256.mul(combo[10], 2) == 4
+
+
+def test_zero_target_yields_empty_combo():
+    rows = [np.array([1, 2], dtype=np.uint8)]
+    combo = express_in_span(rows, [0], np.zeros(2, dtype=np.uint8))
+    assert combo == {}
+
+
+def test_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        express_in_span([np.zeros(2, dtype=np.uint8)], [0, 1], np.zeros(2, dtype=np.uint8))
+
+
+def test_dependent_rows_are_skipped(rng):
+    base = rng.integers(0, 256, size=5, dtype=np.uint8)
+    rows = [base, base.copy(), rng.integers(0, 256, size=5, dtype=np.uint8)]
+    target = rows[0] ^ rows[2]
+    combo = express_in_span(rows, [0, 1, 2], target)
+    assert combo is not None
+    full = combine(combo, {i: r for i, r in enumerate(rows)})
+    assert np.array_equal(full, target)

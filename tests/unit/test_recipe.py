@@ -1,0 +1,139 @@
+"""RepairRecipe: the distributable linear equation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodingError, PlanError
+from repro.codes.recipe import RecipeTerm, RepairRecipe, whole_chunk_recipe
+from repro.codes.rs import ReedSolomonCode
+from repro.codes.rotated import RotatedReedSolomonCode
+
+from tests.conftest import random_stripe
+
+
+def test_whole_chunk_recipe_drops_zero_coefficients():
+    recipe = whole_chunk_recipe(0, {1: 5, 2: 0, 3: 9})
+    assert recipe.helpers == (1, 3)
+
+
+def test_whole_chunk_recipe_all_zero_rejected():
+    with pytest.raises(PlanError):
+        whole_chunk_recipe(0, {1: 0})
+
+
+def test_duplicate_helper_rejected():
+    term = RecipeTerm(helper=1, entries=((0, 0, 1),))
+    with pytest.raises(PlanError):
+        RepairRecipe(lost=0, rows=1, terms=(term, term))
+
+
+def test_lost_cannot_be_helper():
+    term = RecipeTerm(helper=0, entries=((0, 0, 1),))
+    with pytest.raises(PlanError):
+        RepairRecipe(lost=0, rows=1, terms=(term,))
+
+
+def test_row_out_of_range_rejected():
+    term = RecipeTerm(helper=1, entries=((2, 0, 1),))
+    with pytest.raises(PlanError):
+        RepairRecipe(lost=0, rows=2, terms=(term,))
+
+
+def test_empty_term_rejected():
+    with pytest.raises(PlanError):
+        RecipeTerm(helper=1, entries=())
+
+
+def test_fractions_whole_chunk():
+    recipe = whole_chunk_recipe(0, {1: 3, 2: 7})
+    assert recipe.read_fraction(1) == 1.0
+    assert recipe.partial_fraction(1) == 1.0
+    assert recipe.total_read_fraction() == 2.0
+    assert recipe.total_raw_fraction() == 2.0
+
+
+def test_fractions_subchunk():
+    term = RecipeTerm(helper=1, entries=((0, 0, 3), (1, 2, 5)))
+    recipe = RepairRecipe(lost=0, rows=4, terms=(term,))
+    assert recipe.read_fraction(1) == pytest.approx(0.5)  # rows {0, 2}
+    assert recipe.partial_fraction(1) == pytest.approx(0.5)  # lost rows {0,1}
+
+
+def test_partial_merge_is_associative(rng):
+    code = ReedSolomonCode(6, 3)
+    _, encoded = random_stripe(code, rng)
+    recipe = code.repair_recipe(0, range(1, 9))
+    chunks = {h: encoded[h] for h in recipe.helpers}
+    partials = [recipe.partial_result(h, chunks[h]) for h in recipe.helpers]
+
+    # Left fold.
+    left = {}
+    for p in partials:
+        left = RepairRecipe.merge_partials(left, p)
+    # Pairwise tree fold.
+    level = list(partials)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(RepairRecipe.merge_partials(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    assert set(left) == set(level[0])
+    for row in left:
+        assert np.array_equal(left[row], level[0][row])
+
+
+def test_execute_matches_reconstruct(any_code, rng):
+    code = any_code
+    _, encoded = random_stripe(code, rng, 16 * code.rows)
+    lost = code.n - 1
+    available = {i: encoded[i] for i in range(code.n) if i != lost}
+    recipe = code.repair_recipe(lost, available.keys())
+    chunks = {h: available[h] for h in recipe.helpers}
+    assert np.array_equal(recipe.execute(chunks), encoded[lost])
+
+
+def test_execute_rows_matches_execute(rng):
+    code = RotatedReedSolomonCode(6, 3, r=4)
+    _, encoded = random_stripe(code, rng, 32)
+    recipe = code.repair_recipe(0, range(1, 9))
+    chunks = {h: encoded[h] for h in recipe.helpers}
+    raw = {
+        h: recipe.read_rows_payload(h, chunks[h]) for h in recipe.helpers
+    }
+    assert np.array_equal(recipe.execute_rows(raw), recipe.execute(chunks))
+
+
+def test_execute_missing_helper_raises(rng):
+    code = ReedSolomonCode(4, 2)
+    _, encoded = random_stripe(code, rng)
+    recipe = code.repair_recipe(0, range(1, 6))
+    with pytest.raises(CodingError):
+        recipe.execute({})
+
+
+def test_execute_rows_missing_row_raises(rng):
+    code = RotatedReedSolomonCode(4, 2, r=2)
+    _, encoded = random_stripe(code, rng, 16)
+    recipe = code.repair_recipe(0, range(1, 6))
+    raw = {h: {} for h in recipe.helpers}
+    with pytest.raises(CodingError):
+        recipe.execute_rows(raw)
+
+
+def test_partial_result_size_preservation(rng):
+    """§4.1 observation 2: partials are no larger than chunks."""
+    code = ReedSolomonCode(6, 3)
+    _, encoded = random_stripe(code, rng)
+    recipe = code.repair_recipe(0, range(1, 9))
+    for h in recipe.helpers:
+        partial = recipe.partial_result(h, encoded[h])
+        total = sum(buf.size for buf in partial.values())
+        assert total <= encoded[h].size
+
+
+def test_assemble_rejects_bad_rows():
+    recipe = whole_chunk_recipe(0, {1: 1})
+    with pytest.raises(CodingError):
+        recipe.assemble({3: np.zeros(4, dtype=np.uint8)})

@@ -1,0 +1,72 @@
+"""Closed forms: Theorem 1, Table 1, Table 2, Eq. 1."""
+
+import math
+
+import pytest
+
+from repro.repair import theory
+
+
+def test_theorem1_timesteps():
+    assert theory.ppr_timesteps(3) == 2
+    assert theory.ppr_timesteps(6) == 3
+    assert theory.ppr_timesteps(7) == 3  # 8 leaves, exact power of two
+    assert theory.ppr_timesteps(8) == 4
+    assert theory.ppr_timesteps(12) == 4
+
+
+def test_theorem1_times():
+    C, B = 64e6, 125e6
+    assert theory.traditional_transfer_time(6, C, B) == pytest.approx(6 * C / B)
+    assert theory.ppr_transfer_time(6, C, B) == pytest.approx(3 * C / B)
+
+
+def test_table1_matches_paper():
+    """Every row of Table 1 reproduced to within rounding."""
+    for row in theory.table1():
+        paper_net, paper_bw = theory.TABLE1_PAPER[(row.k, row.m)]
+        assert row.network_transfer_reduction == pytest.approx(
+            paper_net, abs=0.005
+        ), (row.k, row.m)
+        assert row.per_server_bw_reduction == pytest.approx(
+            paper_bw, abs=0.005
+        ), (row.k, row.m)
+
+
+def test_reduction_grows_with_k():
+    """§4.2: the gain increases with k (why large k becomes viable)."""
+    values = [theory.transfer_time_reduction(k) for k in (3, 6, 12, 24, 48)]
+    assert values == sorted(values)
+
+
+def test_power_of_two_minus_one_best_case():
+    """k = 2^n - 1 gives the Omega(2^n / n) reduction factor."""
+    k = 15
+    assert theory.ppr_timesteps(k) == 4
+    assert theory.transfer_time_reduction(k) == pytest.approx(1 - 4 / 15)
+
+
+def test_memory_footprint():
+    C = 64e6
+    assert theory.memory_footprint_traditional(12, C) == 12 * C
+    assert theory.memory_footprint_ppr(12, C) == 4 * C
+
+
+def test_eq1_reconstruction_estimate():
+    C, BI, BN = 64e6, 100e6, 125e6
+    t = theory.reconstruction_time_estimate(6, C, BI, BN, 0.0)
+    assert t == pytest.approx(C / BI + 6 * C / BN)
+
+
+def test_table2_critical_path():
+    trad = theory.critical_path_traditional(12)
+    ppr = theory.critical_path_ppr(12)
+    assert trad.gf_multiplications == 12 and trad.xor_operations == 12
+    assert ppr.gf_multiplications == 1 and ppr.xor_operations == 4
+
+
+def test_invalid_k_rejected():
+    with pytest.raises(ValueError):
+        theory.ppr_timesteps(0)
+    with pytest.raises(ValueError):
+        theory.per_server_bandwidth_reduction(1)

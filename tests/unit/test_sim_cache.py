@@ -1,0 +1,88 @@
+"""LRU chunk cache (§4.4)."""
+
+from repro.sim.cache import LRUCache
+
+
+def test_hit_after_insert():
+    cache = LRUCache(100)
+    cache.insert("a", 10, now=1.0)
+    assert cache.access("a", now=2.0)
+    assert cache.hits == 1 and cache.misses == 0
+
+
+def test_miss_on_absent():
+    cache = LRUCache(100)
+    assert not cache.access("nope")
+    assert cache.misses == 1
+
+
+def test_eviction_is_lru_order():
+    cache = LRUCache(30)
+    cache.insert("a", 10)
+    cache.insert("b", 10)
+    cache.insert("c", 10)
+    cache.access("a")  # bump a; b is now least recent
+    evicted = cache.insert("d", 10)
+    assert evicted == ["b"]
+    assert "a" in cache and "c" in cache and "d" in cache
+
+
+def test_oversized_entry_is_rejected_not_cached():
+    cache = LRUCache(10)
+    assert cache.insert("big", 100) == []
+    assert "big" not in cache
+    assert len(cache) == 0
+
+
+def test_reinsert_updates_size():
+    cache = LRUCache(100)
+    cache.insert("a", 10)
+    cache.insert("a", 50)
+    assert cache.used_bytes == 50
+
+
+def test_explicit_evict():
+    cache = LRUCache(100)
+    cache.insert("a", 10)
+    assert cache.evict("a")
+    assert not cache.evict("a")
+    assert cache.used_bytes == 0
+
+
+def test_usage_profile_timestamps():
+    cache = LRUCache(100)
+    cache.insert("a", 10, now=1.0)
+    cache.insert("b", 10, now=2.0)
+    cache.access("a", now=5.0)
+    assert cache.last_access("a") == 5.0
+    hottest = cache.hottest()
+    assert hottest[0][0] == "a"
+
+
+def test_contains_does_not_bump():
+    cache = LRUCache(20)
+    cache.insert("a", 10)
+    cache.insert("b", 10)
+    assert cache.contains("a")
+    # "a" was NOT bumped, so it is still the LRU victim.
+    evicted = cache.insert("c", 10)
+    assert evicted == ["a"]
+
+
+def test_hit_ratio():
+    cache = LRUCache(100)
+    cache.insert("a", 1)
+    cache.access("a")
+    cache.access("zzz")
+    assert cache.hit_ratio == 0.5
+
+
+def test_multi_eviction():
+    cache = LRUCache(30)
+    cache.insert("a", 10)
+    cache.insert("b", 10)
+    cache.insert("c", 10)
+    evicted = cache.insert("d", 25)
+    # 10+10+10+25 = 55 > 30: all three old entries must go.
+    assert set(evicted) == {"a", "b", "c"}
+    assert cache.used_bytes == 25

@@ -1,0 +1,70 @@
+"""FIFO disk model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.disk import Disk
+from repro.sim.events import Simulation
+
+
+def test_read_time_is_seek_plus_transfer():
+    sim = Simulation()
+    disk = Disk(sim, bandwidth=100.0, seek_latency=0.5)
+    done = []
+    disk.read(200.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(0.5 + 2.0)]
+
+
+def test_requests_queue_fifo():
+    sim = Simulation()
+    disk = Disk(sim, bandwidth=100.0, seek_latency=0.0)
+    done = []
+    disk.read(100.0, lambda: done.append(("a", sim.now)))
+    disk.read(100.0, lambda: done.append(("b", sim.now)))
+    sim.run()
+    assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+
+def test_queue_delay_reporting():
+    sim = Simulation()
+    disk = Disk(sim, bandwidth=100.0, seek_latency=0.0)
+    assert disk.queue_delay == 0.0
+    disk.read(300.0)
+    assert disk.queue_delay == pytest.approx(3.0)
+
+
+def test_write_accounting():
+    sim = Simulation()
+    disk = Disk(sim, bandwidth=100.0)
+    disk.write(50.0)
+    disk.read(70.0)
+    assert disk.bytes_written == 50.0
+    assert disk.bytes_read == 70.0
+    assert disk.num_requests == 2
+
+
+def test_idle_gap_resets_queue():
+    sim = Simulation()
+    disk = Disk(sim, bandwidth=100.0, seek_latency=0.0)
+    done = []
+    disk.read(100.0, lambda: done.append(sim.now))
+    sim.run()
+    # First run left the clock at t=1; schedule 5s later (t=6).
+    sim.schedule(5.0, lambda: disk.read(100.0, lambda: done.append(sim.now)))
+    sim.run()
+    # The disk went idle at t=1; the t=6 request starts fresh, ends at 7.
+    assert done[1] == pytest.approx(7.0)
+
+
+def test_bandwidth_parsing():
+    sim = Simulation()
+    disk = Disk(sim, bandwidth="100MB/s")
+    assert disk.bandwidth == pytest.approx(1e8)
+
+
+def test_negative_size_rejected():
+    sim = Simulation()
+    disk = Disk(sim, bandwidth=100.0)
+    with pytest.raises(ConfigurationError):
+        disk.read(-1.0)

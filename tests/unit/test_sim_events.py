@@ -1,0 +1,100 @@
+"""Discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulation
+
+
+def test_events_run_in_time_order():
+    sim = Simulation()
+    log = []
+    sim.schedule(2.0, log.append, "b")
+    sim.schedule(1.0, log.append, "a")
+    sim.schedule(3.0, log.append, "c")
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_break_by_schedule_order():
+    sim = Simulation()
+    log = []
+    sim.schedule(1.0, log.append, 1)
+    sim.schedule(1.0, log.append, 2)
+    sim.schedule(1.0, log.append, 3)
+    sim.run()
+    assert log == [1, 2, 3]
+
+
+def test_cancellation():
+    sim = Simulation()
+    log = []
+    event = sim.schedule(1.0, log.append, "x")
+    sim.schedule(2.0, log.append, "y")
+    event.cancel()
+    sim.run()
+    assert log == ["y"]
+
+
+def test_schedule_from_callback():
+    sim = Simulation()
+    log = []
+
+    def chain():
+        log.append(sim.now)
+        if sim.now < 3:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert log == [1.0, 2.0, 3.0]
+
+
+def test_run_until_horizon():
+    sim = Simulation()
+    log = []
+    sim.schedule(1.0, log.append, "a")
+    sim.schedule(5.0, log.append, "b")
+    sim.run(until=2.0)
+    assert log == ["a"]
+    assert sim.now == 2.0
+    sim.run()
+    assert log == ["a", "b"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulation()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulation()
+    e = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    e.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_step_returns_false_when_empty():
+    assert Simulation().step() is False
+
+
+def test_runaway_guard():
+    sim = Simulation()
+
+    def forever():
+        sim.schedule(0.0, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run_until_idle(max_events=100)

@@ -1,0 +1,73 @@
+"""Phase breakdowns and traffic matrices."""
+
+import pytest
+
+from repro.sim.metrics import PhaseBreakdown, TrafficMatrix
+
+
+def test_busy_time_merges_overlaps():
+    bd = PhaseBreakdown()
+    bd.record("network", 0.0, 2.0)
+    bd.record("network", 1.0, 3.0)  # overlapping
+    bd.record("network", 5.0, 6.0)  # disjoint
+    assert bd.busy("network") == pytest.approx(4.0)
+
+
+def test_empty_interval_ignored():
+    bd = PhaseBreakdown()
+    bd.record("disk_read", 2.0, 2.0)
+    assert bd.busy("disk_read") == 0.0
+
+
+def test_unknown_phase_rejected():
+    bd = PhaseBreakdown()
+    with pytest.raises(KeyError):
+        bd.record("quantum", 0, 1)
+
+
+def test_shares_relative_to_window():
+    bd = PhaseBreakdown()
+    bd.start_time = 0.0
+    bd.end_time = 10.0
+    bd.record("network", 0.0, 9.4)
+    bd.record("disk_read", 0.0, 1.78)
+    shares = bd.shares()
+    assert shares["network"] == pytest.approx(0.94)
+    assert shares["disk_read"] == pytest.approx(0.178)
+
+
+def test_dominant_phase():
+    bd = PhaseBreakdown()
+    bd.record("network", 0, 5)
+    bd.record("compute", 0, 1)
+    assert bd.dominant_phase() == "network"
+
+
+def test_zero_window_shares():
+    bd = PhaseBreakdown()
+    assert all(v == 0.0 for v in bd.shares().values())
+
+
+def test_traffic_matrix_accounting():
+    tm = TrafficMatrix()
+    tm.add("a", "dst", 10)
+    tm.add("b", "dst", 20)
+    tm.add("dst", "c", 5)
+    assert tm.bytes_between("a", "dst") == 10
+    assert tm.ingress_bytes("dst") == 30
+    assert tm.egress_bytes("dst") == 5
+    assert tm.max_ingress() == ("dst", 30)
+    assert tm.total_bytes() == 35
+
+
+def test_max_through_any_server():
+    tm = TrafficMatrix()
+    tm.add("a", "b", 10)
+    tm.add("b", "c", 10)
+    assert tm.max_through_any_server() == 20  # b: 10 in + 10 out
+
+
+def test_empty_matrix():
+    tm = TrafficMatrix()
+    assert tm.max_ingress() == ("", 0.0)
+    assert tm.max_through_any_server() == 0.0

@@ -1,0 +1,133 @@
+"""Max-min fair flow network — the model behind Theorem 1's measurements."""
+
+import pytest
+
+from repro.sim.events import Simulation
+from repro.sim.network import FlowNetwork, Link
+
+
+@pytest.fixture
+def net():
+    sim = Simulation()
+    return sim, FlowNetwork(sim)
+
+
+def test_single_flow_takes_size_over_capacity(net):
+    sim, network = net
+    link = Link("l", 100.0)
+    done = []
+    network.start_flow([link], 500.0, done.append)
+    sim.run()
+    assert done and done[0].finish_time == pytest.approx(5.0)
+
+
+def test_two_flows_share_a_link_fairly(net):
+    """k flows into one link each get B/k — the repair-site bottleneck."""
+    sim, network = net
+    link = Link("l", 100.0)
+    done = []
+    network.start_flow([link], 100.0, done.append)
+    network.start_flow([link], 100.0, done.append)
+    sim.run()
+    assert [f.finish_time for f in done] == pytest.approx([2.0, 2.0])
+
+
+def test_k_flows_serialize_to_k_c_over_b(net):
+    """Traditional RS repair: k chunks into one ingress = k*C/B total."""
+    sim, network = net
+    ingress = Link("dst:in", 125.0)
+    k, C = 6, 125.0
+    done = []
+    for i in range(k):
+        egress = Link(f"src{i}:out", 125.0)
+        network.start_flow([egress, ingress], C, done.append)
+    sim.run()
+    assert max(f.finish_time for f in done) == pytest.approx(k * 1.0)
+
+
+def test_disjoint_flows_full_rate(net):
+    """PPR's per-step transfers are link-disjoint: each gets full B."""
+    sim, network = net
+    done = []
+    for i in range(4):
+        a = Link(f"a{i}", 100.0)
+        b = Link(f"b{i}", 100.0)
+        network.start_flow([a, b], 100.0, done.append)
+    sim.run()
+    assert all(f.finish_time == pytest.approx(1.0) for f in done)
+
+
+def test_released_bandwidth_speeds_up_survivors(net):
+    sim, network = net
+    link = Link("l", 100.0)
+    done = {}
+    network.start_flow([link], 50.0, lambda f: done.setdefault("short", f))
+    network.start_flow([link], 150.0, lambda f: done.setdefault("long", f))
+    sim.run()
+    # Short: shares 50 B/s until t=1. Long: 50 bytes by t=1, then 100 B/s.
+    assert done["short"].finish_time == pytest.approx(1.0)
+    assert done["long"].finish_time == pytest.approx(2.0)
+
+
+def test_max_min_with_bottleneck_and_free_link(net):
+    sim, network = net
+    shared = Link("shared", 100.0)
+    private = Link("private", 1000.0)
+    done = {}
+    network.start_flow([shared], 100.0, lambda f: done.setdefault("a", f))
+    network.start_flow(
+        [shared, private], 100.0, lambda f: done.setdefault("b", f)
+    )
+    sim.run()
+    # Both bottlenecked at shared: 50 B/s each.
+    assert done["a"].finish_time == pytest.approx(2.0)
+    assert done["b"].finish_time == pytest.approx(2.0)
+
+
+def test_zero_size_flow_completes_immediately(net):
+    sim, network = net
+    link = Link("l", 100.0)
+    done = []
+    network.start_flow([link], 0.0, done.append)
+    sim.run()
+    assert done and done[0].finish_time == 0.0
+
+
+def test_cancel_flow(net):
+    sim, network = net
+    link = Link("l", 100.0)
+    done = []
+    flow = network.start_flow([link], 1000.0, done.append)
+    other = network.start_flow([link], 100.0, done.append)
+    network.cancel_flow(flow)
+    sim.run()
+    assert len(done) == 1
+    assert done[0] is other
+    # Full bandwidth after the cancel at t=0.
+    assert other.finish_time == pytest.approx(1.0)
+
+
+def test_link_byte_accounting(net):
+    sim, network = net
+    link = Link("l", 100.0)
+    network.start_flow([link], 250.0, lambda f: None)
+    sim.run()
+    assert link.bytes_carried == pytest.approx(250.0)
+
+
+def test_flow_arrival_midway_reshapes_rates(net):
+    sim, network = net
+    link = Link("l", 100.0)
+    done = {}
+    network.start_flow([link], 100.0, lambda f: done.setdefault("first", f))
+    sim.schedule(
+        0.5,
+        lambda: network.start_flow(
+            [link], 100.0, lambda f: done.setdefault("second", f)
+        ),
+    )
+    sim.run()
+    # First: 50 bytes by 0.5, then 50 B/s -> finishes at 1.5.
+    assert done["first"].finish_time == pytest.approx(1.5)
+    # Second: 50 B/s until 1.5 (50 bytes), then 100 B/s -> 2.0.
+    assert done["second"].finish_time == pytest.approx(2.0)

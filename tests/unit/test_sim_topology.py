@@ -1,0 +1,77 @@
+"""Topologies: single switch and fat-tree paths."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.topology import FatTreeTopology, SingleSwitchTopology
+
+
+def test_single_switch_paths():
+    topo = SingleSwitchTopology(["a", "b"], "1Gbps")
+    path = topo.path("a", "b")
+    assert [l.name for l in path] == ["a:egress", "b:ingress"]
+
+
+def test_single_switch_unknown_server():
+    topo = SingleSwitchTopology(["a"], "1Gbps")
+    with pytest.raises(SimulationError):
+        topo.path("a", "zzz")
+
+
+def test_single_switch_set_bandwidth():
+    """The §7.2 tc experiment: recap every access link."""
+    topo = SingleSwitchTopology(["a", "b"], "1Gbps")
+    topo.set_bandwidth("200Mbps")
+    for link in topo.all_links():
+        assert link.capacity == pytest.approx(25e6)
+
+
+def test_duplicate_ids_rejected():
+    with pytest.raises(ConfigurationError):
+        SingleSwitchTopology(["a", "a"], "1Gbps")
+
+
+def test_empty_topology_rejected():
+    with pytest.raises(ConfigurationError):
+        SingleSwitchTopology([], "1Gbps")
+
+
+def test_fat_tree_same_rack_skips_core():
+    topo = FatTreeTopology(["a", "b", "c", "d"], "1Gbps", servers_per_rack=2)
+    assert len(topo.path("a", "b")) == 2
+    assert len(topo.path("a", "c")) == 4
+
+
+def test_fat_tree_rack_assignment():
+    topo = FatTreeTopology(["a", "b", "c"], "1Gbps", servers_per_rack=2)
+    assert topo.rack_of("a") == 0
+    assert topo.rack_of("b") == 0
+    assert topo.rack_of("c") == 1
+
+
+def test_fat_tree_oversubscription_caps_uplink():
+    topo = FatTreeTopology(
+        ["a", "b", "c", "d"], 100.0, servers_per_rack=2, oversubscription=2.0
+    )
+    # Rack uplink = 2 servers * 100 / 2 = 100.
+    assert topo.rack_up[0].capacity == pytest.approx(100.0)
+
+
+def test_fat_tree_full_bisection_behaves_like_switch():
+    topo = FatTreeTopology(
+        ["a", "b", "c", "d"], 100.0, servers_per_rack=2, oversubscription=1.0
+    )
+    # Uplink capacity = servers_per_rack * link, never the bottleneck.
+    assert topo.rack_up[0].capacity == pytest.approx(200.0)
+
+
+def test_fat_tree_invalid_oversubscription():
+    with pytest.raises(ConfigurationError):
+        FatTreeTopology(["a"], 100.0, oversubscription=0.5)
+
+
+def test_all_links_enumeration():
+    topo = FatTreeTopology(["a", "b", "c"], 100.0, servers_per_rack=2)
+    names = {l.name for l in topo.all_links()}
+    assert "a:egress" in names and "c:ingress" in names
+    assert "rack0:up" in names and "rack1:down" in names

@@ -1,0 +1,73 @@
+"""Unit parsing and formatting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.units import (
+    MB,
+    MIB,
+    Bandwidth,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+    parse_bandwidth,
+    parse_size,
+)
+
+
+def test_parse_size_decimal_and_binary():
+    assert parse_size("8MB") == 8 * MB
+    assert parse_size("64MiB") == 64 * MIB
+    assert parse_size("1GiB") == 1 << 30
+    assert parse_size("512") == 512
+    assert parse_size(1024) == 1024
+    assert parse_size("1.5KB") == 1500
+
+
+def test_parse_size_rejects_garbage():
+    with pytest.raises(ConfigurationError):
+        parse_size("sixty-four MB")
+    with pytest.raises(ConfigurationError):
+        parse_size(-1)
+
+
+def test_parse_bandwidth_bits_vs_bytes():
+    assert parse_bandwidth("1Gbps") == 125_000_000.0
+    assert parse_bandwidth("200Mbps") == 25_000_000.0
+    assert parse_bandwidth("100MB/s") == 100_000_000.0
+    assert parse_bandwidth(5000) == 5000.0
+
+
+def test_parse_bandwidth_rejects_garbage():
+    with pytest.raises(ConfigurationError):
+        parse_bandwidth("fast")
+    with pytest.raises(ConfigurationError):
+        parse_bandwidth(0)
+
+
+def test_bandwidth_transfer_time():
+    bw = Bandwidth.of("1Gbps")
+    assert bw.transfer_time(125_000_000) == pytest.approx(1.0)
+
+
+def test_bandwidth_of_bandwidth_is_identity():
+    bw = Bandwidth.of("1Gbps")
+    assert Bandwidth.of(bw) is bw
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512B"
+    assert fmt_bytes(64 * MIB) == "64MiB"
+
+
+def test_fmt_rate():
+    assert fmt_rate(125_000_000) == "1Gbps"
+
+
+def test_fmt_time_scales():
+    assert fmt_time(0) == "0s"
+    assert fmt_time(0.0005).endswith("us")
+    assert fmt_time(0.05).endswith("ms")
+    assert fmt_time(5).endswith("s")
+    assert "m" in fmt_time(200)
+    assert fmt_time(-1).startswith("-")

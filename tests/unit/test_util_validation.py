@@ -1,0 +1,47 @@
+"""Argument validators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+from repro.util.rng import make_rng
+
+
+def test_check_positive():
+    assert check_positive("x", 1.5) == 1.5
+    with pytest.raises(ConfigurationError):
+        check_positive("x", 0)
+
+
+def test_check_non_negative():
+    assert check_non_negative("x", 0) == 0
+    with pytest.raises(ConfigurationError):
+        check_non_negative("x", -0.1)
+
+
+def test_check_in_range():
+    assert check_in_range("x", 5, 0, 10) == 5
+    with pytest.raises(ConfigurationError):
+        check_in_range("x", 11, 0, 10)
+
+
+def test_check_type():
+    assert check_type("x", "abc", str) == "abc"
+    with pytest.raises(ConfigurationError):
+        check_type("x", 5, str)
+
+
+def test_make_rng_deterministic():
+    a = make_rng(7).integers(0, 1000, size=5)
+    b = make_rng(7).integers(0, 1000, size=5)
+    assert list(a) == list(b)
+
+
+def test_make_rng_passthrough():
+    rng = make_rng(1)
+    assert make_rng(rng) is rng

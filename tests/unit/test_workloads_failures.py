@@ -1,0 +1,121 @@
+"""Failure injection workloads."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.codes import ReedSolomonCode
+from repro.fs.cluster import StorageCluster
+from repro.workloads.failures import (
+    FailureInjector,
+    FailureTrace,
+    crash_busiest_server,
+    crash_random_servers,
+)
+
+
+def cluster_with_stripes(n=5, **kw):
+    cluster = StorageCluster.smallsite(**kw)
+    code = ReedSolomonCode(6, 3)
+    stripes = [cluster.write_stripe(code, "8MiB") for _ in range(n)]
+    return cluster, stripes
+
+
+def test_crash_busiest_server_picks_max_chunks():
+    cluster, _ = cluster_with_stripes()
+    import collections
+
+    counts = collections.Counter(cluster.metaserver.chunk_locations.values())
+    expected = counts.most_common(1)[0][1]
+    victim, lost = crash_busiest_server(cluster)
+    assert len(lost) == expected
+    assert not cluster.servers[victim].alive
+
+
+def test_crash_busiest_requires_chunks():
+    cluster = StorageCluster.smallsite()
+    with pytest.raises(ConfigurationError):
+        crash_busiest_server(cluster)
+
+
+def test_crash_random_servers_count_and_determinism():
+    cluster1, _ = cluster_with_stripes(seed=3)
+    out1 = crash_random_servers(cluster1, 2, rng=7)
+    cluster2, _ = cluster_with_stripes(seed=3)
+    out2 = crash_random_servers(cluster2, 2, rng=7)
+    assert sorted(out1) == sorted(out2)
+    assert len(out1) == 2
+
+
+def test_crash_random_too_many_rejected():
+    cluster, _ = cluster_with_stripes(n=1)
+    with pytest.raises(ConfigurationError):
+        crash_random_servers(cluster, 100)
+
+
+def test_failure_trace_statistics():
+    trace = FailureTrace(
+        [f"s{i}" for i in range(10)],
+        events_per_hour=50.0,
+        transient_fraction=0.9,
+        rng=0,
+    )
+    events = trace.generate(duration_hours=10.0)
+    assert events  # Poisson(500) expected
+    transient = sum(1 for e in events if e.kind == "transient")
+    assert 0.8 < transient / len(events) < 0.97
+    times = [e.time for e in events]
+    assert times == sorted(times)
+    assert all(0 <= t < 36000 for t in times)
+
+
+def test_failure_trace_validation():
+    with pytest.raises(ConfigurationError):
+        FailureTrace([], rng=0)
+    with pytest.raises(ConfigurationError):
+        FailureTrace(["a"], transient_fraction=1.5, rng=0)
+    with pytest.raises(ConfigurationError):
+        FailureTrace(["a"], events_per_hour=0, rng=0)
+
+
+def test_injector_transient_failure_recovers():
+    cluster, stripes = cluster_with_stripes()
+    from repro.workloads.failures import FailureEvent
+
+    victim = cluster.metaserver.locate_chunk(stripes[0].chunk_ids[0])
+    injector = FailureInjector(cluster)
+    injector.schedule(
+        [FailureEvent(time=1.0, server_id=victim, kind="transient",
+                      duration=5.0)]
+    )
+    cluster.run(until=2.0)
+    assert not cluster.servers[victim].alive
+    cluster.run(until=10.0)
+    assert cluster.servers[victim].alive  # transient: came back
+    assert victim not in cluster.metaserver.dead_servers
+
+
+def test_injector_permanent_failure_notifies_metaserver():
+    cluster, stripes = cluster_with_stripes()
+    from repro.workloads.failures import FailureEvent
+
+    victim = cluster.metaserver.locate_chunk(stripes[0].chunk_ids[0])
+    injector = FailureInjector(cluster)
+    injector.schedule(
+        [FailureEvent(time=1.0, server_id=victim, kind="permanent")]
+    )
+    cluster.run(until=2.0)
+    assert victim in cluster.metaserver.dead_servers
+
+
+def test_injector_skips_already_dead():
+    cluster, stripes = cluster_with_stripes()
+    from repro.workloads.failures import FailureEvent
+
+    victim = cluster.server_ids[0]
+    cluster.kill_server(victim)
+    injector = FailureInjector(cluster)
+    injector.schedule(
+        [FailureEvent(time=1.0, server_id=victim, kind="permanent")]
+    )
+    cluster.run(until=2.0)
+    assert injector.injected == []

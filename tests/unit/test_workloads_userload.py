@@ -1,0 +1,86 @@
+"""Background user-load generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.codes import ReedSolomonCode
+from repro.fs.cluster import StorageCluster
+from repro.workloads.userload import UserLoadGenerator
+
+
+def loaded_cluster():
+    cluster = StorageCluster.smallsite()
+    for _ in range(4):
+        cluster.write_stripe(ReedSolomonCode(6, 3), "8MiB")
+    return cluster
+
+
+def test_reads_are_issued_and_complete():
+    cluster = loaded_cluster()
+    gen = UserLoadGenerator(cluster, reads_per_second=20.0, rng=0)
+    gen.start(duration=5.0)
+    cluster.run(until=30.0)
+    assert gen.reads_issued > 10
+    assert gen.latencies  # flows actually completed
+    assert all(l > 0 for l in gen.latencies)
+
+
+def test_user_load_counters_populated():
+    cluster = loaded_cluster()
+    gen = UserLoadGenerator(cluster, reads_per_second=20.0, rng=0)
+    gen.start(duration=5.0)
+    cluster.run(until=5.0)
+    assert any(s.user_load_bytes > 0 for s in cluster.servers.values())
+
+
+def test_caches_warm_up():
+    cluster = loaded_cluster()
+    gen = UserLoadGenerator(cluster, reads_per_second=20.0, rng=0)
+    gen.start(duration=5.0)
+    cluster.run(until=30.0)
+    assert any(len(s.cache) > 0 for s in cluster.servers.values())
+
+
+def test_zipf_skews_towards_few_chunks():
+    cluster = loaded_cluster()
+    gen = UserLoadGenerator(
+        cluster, reads_per_second=50.0, zipf_exponent=2.0, rng=0
+    )
+    gen.start(duration=10.0)
+    cluster.run(until=60.0)
+    # With heavy skew, cache hit ratio across servers should be high.
+    hits = sum(s.cache.hits for s in cluster.servers.values())
+    misses = sum(s.cache.misses for s in cluster.servers.values())
+    assert hits > misses
+
+
+def test_stop_halts_generation():
+    cluster = loaded_cluster()
+    gen = UserLoadGenerator(cluster, reads_per_second=20.0, rng=0)
+    gen.start(duration=100.0)
+    cluster.run(until=2.0)
+    issued = gen.reads_issued
+    gen.stop()
+    cluster.run(until=20.0)
+    assert gen.reads_issued <= issued + 1  # at most one in-flight tick
+
+
+def test_decay_halves_load():
+    cluster = loaded_cluster()
+    gen = UserLoadGenerator(cluster, reads_per_second=20.0, rng=0)
+    gen.start(duration=3.0)
+    cluster.run(until=5.0)
+    loads_before = {
+        s: srv.user_load_bytes for s, srv in cluster.servers.items()
+    }
+    gen._running = True  # keep the decay loop alive without new reads
+    cluster.run(until=60.0)
+    for s, before in loads_before.items():
+        if before > 0:
+            assert cluster.servers[s].user_load_bytes < before
+
+
+def test_invalid_rate_rejected():
+    cluster = loaded_cluster()
+    with pytest.raises(ConfigurationError):
+        UserLoadGenerator(cluster, reads_per_second=0)
