@@ -5,15 +5,67 @@ Every benchmark runs the corresponding experiment driver from
 the paper's qualitative claims (who wins, roughly by how much, trend
 directions), and writes the rendered paper-vs-measured report to
 ``results/<experiment id>.txt``.
+
+Alongside the text reports, every ``bench_<name>.py`` module also emits a
+machine-readable ``results/BENCH_<name>.json``: one record per metric with
+``metric`` / ``value`` / ``units`` / ``config`` keys.  Two collectors feed
+it — numeric columns of each :class:`ExperimentResult` saved through
+``save_report``, and pytest-benchmark timing stats captured by an autouse
+fixture (guarded, so ``--benchmark-disable`` runs still work).
 """
 
 from __future__ import annotations
 
+import collections
+import json
 import pathlib
+from typing import Dict, List
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: module slug -> metric records accumulated over the session
+_COLLECTED: "Dict[str, List[Dict[str, object]]]" = collections.defaultdict(list)
+
+#: column-name suffix -> units, for ExperimentResult rows
+_UNIT_SUFFIXES = (
+    ("_bytes", "bytes"),
+    ("_mib", "MiB"),
+    ("_gib", "GiB"),
+    ("_ms", "ms"),
+    ("_us", "us"),
+    ("_s", "s"),
+    ("_seconds", "s"),
+    ("_pct", "percent"),
+    ("_percent", "percent"),
+    ("_ratio", "ratio"),
+    ("_x", "ratio"),
+)
+
+
+def _module_slug(node) -> str:
+    stem = pathlib.Path(str(node.fspath)).stem
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def _units_for(column: str) -> str:
+    lowered = column.lower()
+    for suffix, units in _UNIT_SUFFIXES:
+        if lowered.endswith(suffix):
+            return units
+    return "value"
+
+
+def _record(slug: str, metric: str, value: float, units: str, config) -> None:
+    _COLLECTED[slug].append(
+        {
+            "metric": metric,
+            "value": float(value),
+            "units": units,
+            "config": {key: str(val) for key, val in sorted(config.items())},
+        }
+    )
 
 
 @pytest.fixture(scope="session")
@@ -23,13 +75,71 @@ def results_dir() -> pathlib.Path:
 
 
 @pytest.fixture
-def save_report(results_dir):
+def save_report(results_dir, request):
     """Persist an ExperimentResult's report and echo it to stdout."""
+
+    slug = _module_slug(request.node)
 
     def _save(result) -> None:
         path = results_dir / f"{result.experiment_id}.txt"
         path.write_text(result.report + "\n", encoding="utf-8")
         print()
         print(result.report)
+        for row in result.rows:
+            numeric = {
+                key: val
+                for key, val in row.items()
+                if isinstance(val, (int, float)) and not isinstance(val, bool)
+            }
+            config = {k: v for k, v in row.items() if k not in numeric}
+            config["experiment_id"] = result.experiment_id
+            for key, val in numeric.items():
+                _record(
+                    slug,
+                    f"{result.experiment_id}.{key}",
+                    val,
+                    _units_for(key),
+                    config,
+                )
 
     return _save
+
+
+@pytest.fixture(autouse=True)
+def _collect_benchmark_stats(request):
+    """After each timed test, fold pytest-benchmark stats into the JSON."""
+
+    fixture = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    yield
+    stats = getattr(getattr(fixture, "stats", None), "stats", None)
+    if stats is None:  # no benchmark fixture, disabled, or never called
+        return
+    config = {}
+    callspec = getattr(request.node, "callspec", None)
+    if callspec is not None:
+        config = {key: str(val) for key, val in callspec.params.items()}
+    slug = _module_slug(request.node)
+    test = request.node.name
+    for field in ("min", "median", "mean", "max", "stddev"):
+        value = getattr(stats, field, None)
+        if value is not None:
+            _record(slug, f"{test}.{field}", value, "s", config)
+    rounds = getattr(stats, "rounds", None)
+    if rounds is not None:
+        _record(slug, f"{test}.rounds", rounds, "count", config)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _COLLECTED:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for slug, metrics in sorted(_COLLECTED.items()):
+        payload = {"benchmark": slug, "metrics": metrics}
+        path = RESULTS_DIR / f"BENCH_{slug}.json"
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Live mode: a real PPR repair over TCP on localhost.
+
+Starts a 1 + 6-server cluster (one meta-server plus six chunk servers,
+each a real asyncio TCP service on its own loopback port), writes an
+RS(4,2) stripe, kills the chunk server hosting chunk 1, and repairs the
+lost chunk with PPR's partial-result reduction tree — plan commands,
+GF-combined partials and the rebuilt bytes all crossing real sockets.
+
+The rebuilt chunk is verified byte-for-byte against the ground truth,
+and the per-phase timing breakdown (same shape the simulator reports)
+comes back piggybacked on the repair traffic.
+
+Run:  python examples/live_repair_demo.py
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.live import LiveCluster, LiveConfig
+from repro.sim.metrics import PHASES
+
+
+async def main() -> None:
+    config = LiveConfig(
+        heartbeat_interval=0.3,
+        failure_detection_timeout=1.0,
+    )
+    print("=== Live PPR repair over TCP ===")
+    async with LiveCluster(num_servers=6, config=config) as cluster:
+        print(f"meta-server listening on {cluster.meta.address}")
+        for server_id in cluster.server_ids:
+            print(f"  {server_id} on {cluster.server(server_id).address}")
+
+        stripe = await cluster.write_stripe("rs(4,2)", chunk_size="64MiB")
+        print(f"\nwrote {stripe.spec} stripe {stripe.stripe_id}:")
+        for index, (chunk_id, host) in enumerate(
+            zip(stripe.chunk_ids, stripe.hosts)
+        ):
+            print(f"  chunk {index} -> {host}")
+
+        lost_index = 1
+        victim = stripe.hosts[lost_index]
+        truth = cluster.truth_payload(stripe.chunk_ids[lost_index])
+        assert truth is not None
+        await cluster.kill_server(victim)
+        print(f"\nkilled {victim} (host of chunk {lost_index})")
+
+        report = await cluster.repair(
+            stripe.stripe_id, lost_index=lost_index, strategy="ppr"
+        )
+        result = report.result
+
+        print(
+            f"\nrepaired chunk {lost_index} at {result.destination} in "
+            f"{result.duration * 1e3:.1f}ms over {result.num_helpers} "
+            f"helpers (attempt(s)={report.attempts})"
+        )
+        print("phase breakdown (busy time, share of end-to-end):")
+        for name in PHASES:
+            busy = result.phase_busy.get(name, 0.0)
+            print(
+                f"  {name:<10} {busy * 1e3:8.2f}ms "
+                f"({result.phase_share(name):6.1%})"
+            )
+        print(f"bytes on the wire: {result.traffic.total_bytes():,.0f}")
+        matches = np.array_equal(report.payload, truth)
+        print(f"bytes match ground truth: {matches} "
+              f"(verified={result.verified})")
+        assert matches and result.verified
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

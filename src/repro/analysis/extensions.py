@@ -14,7 +14,6 @@ Three threads the paper leaves open, each built and measured here:
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np

@@ -114,6 +114,14 @@ def cmd_corrupt(args: argparse.Namespace) -> int:
 
 
 def cmd_repair(args: argparse.Namespace) -> int:
+    if args.live:
+        return _cmd_repair_live(args)
+    if args.manifest is None:
+        print("error: manifest is required without --live", file=sys.stderr)
+        return 2
+    if args.chunk < 0:
+        print("error: --chunk is required without --live", file=sys.stderr)
+        return 2
     manifest_path = pathlib.Path(args.manifest)
     manifest = _load_manifest(manifest_path)
     code = make_code(manifest["code"])
@@ -133,6 +141,175 @@ def cmd_repair(args: argparse.Namespace) -> int:
           f"bytes; max through one node: "
           f"{plan.max_bytes_through_node(manifest['chunk_length']):,.0f}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# live mode: serve / repair --live
+# ----------------------------------------------------------------------
+def _parse_address(text: str):
+    from repro.live import Address
+
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(f"bad address {text!r}; expected HOST:PORT")
+    return Address(host=host, port=int(port))
+
+
+def _payload_sha256(payload: np.ndarray) -> str:
+    import hashlib
+
+    return hashlib.sha256(payload.tobytes()).hexdigest()
+
+
+async def _serve_cluster(args: argparse.Namespace) -> int:
+    """One-process localhost cluster: meta + N chunk servers on TCP."""
+    import asyncio
+    import hashlib
+
+    from repro.live import LiveCluster, LiveConfig
+
+    config = LiveConfig(
+        heartbeat_interval=args.heartbeat_interval,
+        failure_detection_timeout=3 * args.heartbeat_interval,
+    )
+    cluster = LiveCluster(
+        num_servers=args.servers,
+        config=config,
+        payload_bytes=args.payload_bytes,
+        seed=args.seed,
+    )
+    await cluster.start(meta_port=args.port)
+    try:
+        print(f"META {cluster.meta.address}", flush=True)
+        for server_id in cluster.server_ids:
+            print(
+                f"SERVER {server_id} {cluster.server(server_id).address}",
+                flush=True,
+            )
+        if args.stripe:
+            stripe = await cluster.write_stripe(args.stripe)
+            print(f"STRIPE {stripe.stripe_id} {stripe.spec}", flush=True)
+            for index, chunk_id in enumerate(stripe.chunk_ids):
+                truth = cluster.truth_payload(chunk_id)
+                assert truth is not None
+                digest = hashlib.sha256(truth.tobytes()).hexdigest()
+                print(
+                    f"CHUNK {index} {chunk_id} {stripe.hosts[index]} "
+                    f"{digest}",
+                    flush=True,
+                )
+            if args.kill_index is not None:
+                victim = stripe.hosts[args.kill_index]
+                await cluster.kill_server(victim)
+                print(f"KILLED {victim}", flush=True)
+        print("READY", flush=True)
+        await asyncio.Event().wait()  # serve until interrupted
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await cluster.stop()
+    return 0
+
+
+async def _serve_meta(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.live import LiveConfig, LiveMetaServer
+
+    meta = LiveMetaServer(LiveConfig())
+    await meta.start(port=args.port)
+    try:
+        print(f"META {meta.address}", flush=True)
+        print("READY", flush=True)
+        await asyncio.Event().wait()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await meta.stop()
+    return 0
+
+
+async def _serve_chunk(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.live import LiveChunkServer, LiveConfig
+
+    if not args.meta:
+        print("error: --role chunk requires --meta HOST:PORT",
+              file=sys.stderr)
+        return 2
+    config = LiveConfig(
+        heartbeat_interval=args.heartbeat_interval,
+        failure_detection_timeout=3 * args.heartbeat_interval,
+    )
+    server = LiveChunkServer(args.id, _parse_address(args.meta), config)
+    await server.start(port=args.port)
+    try:
+        print(f"SERVER {args.id} {server.address}", flush=True)
+        print("READY", flush=True)
+        await asyncio.Event().wait()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    runner = {
+        "cluster": _serve_cluster,
+        "meta": _serve_meta,
+        "chunk": _serve_chunk,
+    }[args.role]
+    try:
+        return asyncio.run(runner(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_repair_live(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.live import LiveConfig, LiveCoordinator
+    from repro.sim.metrics import PHASES
+
+    if not args.meta or not args.stripe_id:
+        print(
+            "error: --live requires --meta HOST:PORT and --stripe-id",
+            file=sys.stderr,
+        )
+        return 2
+
+    async def run() -> int:
+        coordinator = LiveCoordinator(_parse_address(args.meta), LiveConfig())
+        try:
+            report = await coordinator.repair(
+                args.stripe_id,
+                lost_index=args.chunk if args.chunk >= 0 else None,
+                strategy=args.strategy,
+            )
+        finally:
+            await coordinator.close()
+        result = report.result
+        print(
+            f"repaired {result.stripe_id}#{result.lost_index} "
+            f"({result.code_name}, {result.strategy}) at "
+            f"{result.destination} in {result.duration * 1e3:.1f}ms "
+            f"over {result.num_helpers} helpers, "
+            f"attempt(s)={report.attempts}"
+        )
+        for name in PHASES:
+            busy = result.phase_busy.get(name, 0.0)
+            if busy > 0:
+                print(f"  {name:<10} {busy * 1e3:8.2f}ms "
+                      f"({result.phase_share(name):6.1%})")
+        print(f"traffic: {result.traffic.total_bytes():,.0f} bytes on the wire")
+        print(f"SHA256 {_payload_sha256(report.payload)}", flush=True)
+        return 0
+
+    return asyncio.run(run())
 
 
 # ----------------------------------------------------------------------
@@ -207,10 +384,39 @@ def build_parser() -> argparse.ArgumentParser:
     cor.set_defaults(fn=cmd_corrupt)
 
     rep = sub.add_parser("repair", help="rebuild a missing chunk")
-    rep.add_argument("manifest")
-    rep.add_argument("--chunk", type=int, required=True)
+    rep.add_argument("manifest", nargs="?", default=None)
+    rep.add_argument("--chunk", type=int, default=-1,
+                     help="lost chunk index (--live: auto-detect if omitted)")
     rep.add_argument("--strategy", default="ppr", choices=STRATEGIES)
+    rep.add_argument("--live", action="store_true",
+                     help="repair over TCP against a live cluster")
+    rep.add_argument("--meta", default=None,
+                     help="live meta-server address HOST:PORT")
+    rep.add_argument("--stripe-id", default=None,
+                     help="live stripe id to repair")
     rep.set_defaults(fn=cmd_repair)
+
+    srv = sub.add_parser(
+        "serve", help="run live TCP services (meta + chunk servers)"
+    )
+    srv.add_argument("--role", default="cluster",
+                     choices=("cluster", "meta", "chunk"),
+                     help="cluster: meta + N chunk servers in one process")
+    srv.add_argument("--port", type=int, default=0,
+                     help="listen port (0 = ephemeral)")
+    srv.add_argument("--servers", type=int, default=6,
+                     help="chunk servers in cluster mode")
+    srv.add_argument("--meta", default=None,
+                     help="meta address (chunk role)")
+    srv.add_argument("--id", default="cs-00", help="server id (chunk role)")
+    srv.add_argument("--stripe", default=None,
+                     help="cluster mode: write a demo stripe, e.g. rs(4,2)")
+    srv.add_argument("--kill-index", type=int, default=None,
+                     help="cluster mode: kill the host of this chunk index")
+    srv.add_argument("--payload-bytes", type=int, default=1152)
+    srv.add_argument("--heartbeat-interval", type=float, default=2.0)
+    srv.add_argument("--seed", type=int, default=2016)
+    srv.set_defaults(fn=cmd_serve)
 
     simp = sub.add_parser("simulate", help="measure a repair on the simulator")
     simp.add_argument("--code", default="rs(6,3)")

@@ -30,6 +30,66 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.fs.cluster import StorageCluster
 
 
+def build_partial_requests(
+    plan: RepairPlan,
+    *,
+    repair_id: str,
+    stripe_id: str,
+    chunk_ids: "List[str]",
+    chunk_size: float,
+    node_id_for: "Callable[[int], str]",
+    num_slices: int = 1,
+) -> "Dict[int, PartialOpRequest]":
+    """Turn a partial-result plan into per-node plan commands (§6.2).
+
+    ``node_id_for`` maps a plan node (helper chunk index or
+    :data:`DESTINATION`) to the server that plays it.  Shared between the
+    simulator's coordinator and the live TCP coordinator, so both
+    deployments distribute byte-for-byte the same ``PartialOpRequest``s.
+    """
+    recipe = plan.recipe
+    requests: "Dict[int, PartialOpRequest]" = {}
+    for plan_node in plan.participants:
+        children = tuple(
+            node_id_for(c) for c in plan.children_of(plan_node)
+        )
+        outgoing = plan.outgoing(plan_node)
+        if plan_node == DESTINATION:
+            parent: "Optional[str]" = None
+            send_rows: "frozenset[int]" = frozenset()
+            send_fraction = 0.0
+        else:
+            if len(outgoing) != 1:
+                raise PlanError(
+                    f"PPR node {plan_node} must send exactly once"
+                )
+            transfer = outgoing[0]
+            parent = node_id_for(transfer.dst)
+            send_rows = transfer.rows
+            send_fraction = transfer.fraction
+        if plan_node == DESTINATION:
+            chunk_id, entries, read_fraction = None, (), 0.0
+        else:
+            chunk_id = chunk_ids[plan_node]
+            entries = recipe.term_for(plan_node).entries
+            read_fraction = recipe.read_fraction(plan_node)
+        requests[plan_node] = PartialOpRequest(
+            repair_id=repair_id,
+            stripe_id=stripe_id,
+            chunk_id=chunk_id,
+            entries=entries,
+            rows=recipe.rows,
+            chunk_size=chunk_size,
+            children=children,
+            parent=parent,
+            send_rows=send_rows,
+            send_fraction=send_fraction,
+            read_fraction=read_fraction,
+            num_slices=num_slices,
+        )
+    return requests
+
+
 class RepairCoordinator:
     """Builds and launches reconstruction plans on a cluster."""
 
@@ -195,45 +255,15 @@ class RepairCoordinator:
         return context.helper_servers[plan_node]
 
     def _distribute_partial(self, context: RepairContext, plan: RepairPlan) -> None:
-        recipe = context.recipe
-        requests: "Dict[int, PartialOpRequest]" = {}
-        for plan_node in plan.participants:
-            children = tuple(
-                self._node_id_for(context, c)
-                for c in plan.children_of(plan_node)
-            )
-            outgoing = plan.outgoing(plan_node)
-            if plan_node == DESTINATION:
-                parent, send_rows, send_fraction = None, frozenset(), 0.0
-            else:
-                if len(outgoing) != 1:
-                    raise PlanError(
-                        f"PPR node {plan_node} must send exactly once"
-                    )
-                transfer = outgoing[0]
-                parent = self._node_id_for(context, transfer.dst)
-                send_rows = transfer.rows
-                send_fraction = transfer.fraction
-            if plan_node == DESTINATION:
-                chunk_id, entries, read_fraction = None, (), 0.0
-            else:
-                chunk_id = context.stripe.chunk_ids[plan_node]
-                entries = recipe.term_for(plan_node).entries
-                read_fraction = recipe.read_fraction(plan_node)
-            requests[plan_node] = PartialOpRequest(
-                repair_id=context.repair_id,
-                stripe_id=context.stripe.stripe_id,
-                chunk_id=chunk_id,
-                entries=entries,
-                rows=recipe.rows,
-                chunk_size=context.chunk_size,
-                children=children,
-                parent=parent,
-                send_rows=send_rows,
-                send_fraction=send_fraction,
-                read_fraction=read_fraction,
-                num_slices=context.num_slices,
-            )
+        requests = build_partial_requests(
+            plan,
+            repair_id=context.repair_id,
+            stripe_id=context.stripe.stripe_id,
+            chunk_ids=context.stripe.chunk_ids,
+            chunk_size=context.chunk_size,
+            node_id_for=lambda n: self._node_id_for(context, n),
+            num_slices=context.num_slices,
+        )
 
         aggregators = [
             node

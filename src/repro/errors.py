@@ -54,3 +54,44 @@ class ServerUnavailableError(StorageError):
 
 class SchedulingError(ReproError):
     """The m-PPR Repair-Manager could not schedule a reconstruction."""
+
+
+class LiveError(ReproError):
+    """Base class for the live (asyncio TCP) deployment mode."""
+
+
+class RpcError(LiveError):
+    """An RPC to a live peer failed."""
+
+
+class RpcConnectionError(RpcError):
+    """Could not connect to a peer, or the connection dropped mid-call."""
+
+
+class RpcTimeoutError(RpcError):
+    """A peer did not answer within the configured per-RPC timeout."""
+
+
+class RpcRemoteError(RpcError):
+    """The peer answered with an error frame.
+
+    ``code`` carries the remote exception class name so callers can
+    discriminate without parsing the message text.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.remote_message = message
+
+
+class WireFormatError(RpcError):
+    """A frame on the wire was malformed (bad magic, length, or body)."""
+
+
+class LiveRepairError(LiveError):
+    """A live repair failed after exhausting its retry/replan budget."""
+
+
+class RepairAbortedError(LiveError):
+    """A live repair task was cancelled by the coordinator."""

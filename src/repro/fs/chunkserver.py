@@ -16,6 +16,7 @@ from repro.fs.messages import (
     PartialOpRequest,
     RawPayload,
     RawReadRequest,
+    extract_rows,
 )
 from repro.fs.node import StorageNode
 from repro.sim.cache import LRUCache
@@ -121,12 +122,14 @@ class ChunkServer(StorageNode):
 
         def send() -> None:
             chunk = self.get_chunk(request.chunk_id)
+            # Slice the rows the request names — the live TCP raw-read
+            # handler runs the same extract_rows on the same message.
             payload = RawPayload(
                 repair_id=request.repair_id,
                 sender=self.node_id,
                 chunk_index=chunk_index,
-                buffers=context.recipe.read_rows_payload(
-                    chunk_index, chunk.payload
+                buffers=extract_rows(
+                    chunk.payload, request.rows, request.rows_needed
                 ),
             )
             context.start_transfer(

@@ -22,7 +22,6 @@ from repro.errors import StorageError
 from repro.codes.base import ErasureCode
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.fs.chunks import Stripe
     from repro.fs.cluster import StorageCluster
 
 

@@ -3,14 +3,25 @@
 Messages are small and modeled with a fixed control latency; bulk data
 rides :class:`~repro.sim.network.Flow` objects whose ``meta`` carries the
 real payload buffers.
+
+The same dataclasses are the *live* wire protocol's vocabulary: every
+message here knows how to round-trip through a JSON-compatible dict
+(``to_wire`` / ``from_wire``), which is what ``repro.live.wire`` frames
+onto TCP sockets.  The pure GF helpers at the bottom
+(:func:`compute_partial`, :func:`extract_rows`) are shared between the
+simulator's task state machines and the live chunk servers so both
+execution layers run literally the same math.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.errors import CodingError
+from repro.galois.vector import addmul
 
 
 @dataclass(frozen=True)
@@ -48,6 +59,42 @@ class PartialOpRequest:
     #: paper's store-and-forward PPR; >1 = repair-pipelining extension).
     num_slices: int = 1
 
+    def to_wire(self) -> "Dict[str, Any]":
+        """JSON-compatible dict for the live TCP protocol."""
+        return {
+            "repair_id": self.repair_id,
+            "stripe_id": self.stripe_id,
+            "chunk_id": self.chunk_id,
+            "entries": [list(entry) for entry in self.entries],
+            "rows": self.rows,
+            "chunk_size": self.chunk_size,
+            "children": list(self.children),
+            "parent": self.parent,
+            "send_rows": sorted(self.send_rows),
+            "send_fraction": self.send_fraction,
+            "read_fraction": self.read_fraction,
+            "num_slices": self.num_slices,
+        }
+
+    @classmethod
+    def from_wire(cls, data: "Dict[str, Any]") -> "PartialOpRequest":
+        return cls(
+            repair_id=data["repair_id"],
+            stripe_id=data["stripe_id"],
+            chunk_id=data["chunk_id"],
+            entries=tuple(
+                (int(a), int(b), int(c)) for a, b, c in data["entries"]
+            ),
+            rows=int(data["rows"]),
+            chunk_size=float(data["chunk_size"]),
+            children=tuple(data["children"]),
+            parent=data["parent"],
+            send_rows=frozenset(int(r) for r in data["send_rows"]),
+            send_fraction=float(data["send_fraction"]),
+            read_fraction=float(data["read_fraction"]),
+            num_slices=int(data.get("num_slices", 1)),
+        )
+
 
 @dataclass(frozen=True)
 class RawReadRequest:
@@ -61,6 +108,29 @@ class RawReadRequest:
     rows: int
     chunk_size: float
     requester: str
+
+    def to_wire(self) -> "Dict[str, Any]":
+        return {
+            "repair_id": self.repair_id,
+            "stripe_id": self.stripe_id,
+            "chunk_id": self.chunk_id,
+            "rows_needed": sorted(self.rows_needed),
+            "rows": self.rows,
+            "chunk_size": self.chunk_size,
+            "requester": self.requester,
+        }
+
+    @classmethod
+    def from_wire(cls, data: "Dict[str, Any]") -> "RawReadRequest":
+        return cls(
+            repair_id=data["repair_id"],
+            stripe_id=data["stripe_id"],
+            chunk_id=data["chunk_id"],
+            rows_needed=frozenset(int(r) for r in data["rows_needed"]),
+            rows=int(data["rows"]),
+            chunk_size=float(data["chunk_size"]),
+            requester=data["requester"],
+        )
 
 
 @dataclass
@@ -95,3 +165,108 @@ class Heartbeat:
     active_repair_destinations: int
     user_load_bytes: float
     disk_queue_delay: float
+
+    def to_wire(self) -> "Dict[str, Any]":
+        return {
+            "server_id": self.server_id,
+            "time": self.time,
+            "cached_chunk_ids": sorted(self.cached_chunk_ids),
+            "active_reconstructions": self.active_reconstructions,
+            "active_repair_destinations": self.active_repair_destinations,
+            "user_load_bytes": self.user_load_bytes,
+            "disk_queue_delay": self.disk_queue_delay,
+        }
+
+    @classmethod
+    def from_wire(cls, data: "Dict[str, Any]") -> "Heartbeat":
+        return cls(
+            server_id=data["server_id"],
+            time=float(data["time"]),
+            cached_chunk_ids=frozenset(data["cached_chunk_ids"]),
+            active_reconstructions=int(data["active_reconstructions"]),
+            active_repair_destinations=int(data["active_repair_destinations"]),
+            user_load_bytes=float(data["user_load_bytes"]),
+            disk_queue_delay=float(data["disk_queue_delay"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared GF helpers: the exact math both execution layers run
+# ----------------------------------------------------------------------
+def split_rows(payload: np.ndarray, rows: int) -> np.ndarray:
+    """Reshape a 1-D chunk payload into its ``rows`` sub-chunk rows."""
+    array = np.asarray(payload, dtype=np.uint8)
+    if array.ndim != 1:
+        raise CodingError("chunk buffers must be 1-D")
+    if rows < 1 or array.size % rows:
+        raise CodingError(
+            f"chunk of {array.size} bytes not divisible into {rows} rows"
+        )
+    return array.reshape(rows, -1)
+
+
+def compute_partial(
+    entries: "Sequence[Tuple[int, int, int]]",
+    rows: int,
+    payload: np.ndarray,
+) -> "Dict[int, np.ndarray]":
+    """One server's partial result from its plan-command ``entries``.
+
+    This is the local computation a :class:`PartialOpRequest` schedules
+    (scalar multiplications only, §4.1 observation 2): for every
+    ``(lost_row, helper_row, coeff)`` entry, XOR ``coeff * payload[row]``
+    into the output buffer of ``lost_row``.  Identical math to
+    :meth:`repro.codes.recipe.RepairRecipe.partial_result`, but driven by
+    the wire message alone — no global recipe object needed — which is
+    what lets a remote chunk server act on the plan command by itself.
+    """
+    stacked = split_rows(payload, rows)
+    out: "Dict[int, np.ndarray]" = {}
+    for lost_row, helper_row, coeff in entries:
+        buf = out.get(lost_row)
+        if buf is None:
+            buf = np.zeros(stacked.shape[1], dtype=np.uint8)
+            out[lost_row] = buf
+        addmul(buf, coeff, stacked[helper_row])
+    return out
+
+
+def extract_rows(
+    payload: np.ndarray, rows: int, rows_needed: "FrozenSet[int]"
+) -> "Dict[int, np.ndarray]":
+    """The helper rows a raw transfer ships: ``row -> buffer`` copies."""
+    stacked = split_rows(payload, rows)
+    return {int(row): stacked[row].copy() for row in sorted(rows_needed)}
+
+
+# ----------------------------------------------------------------------
+# Recipe wire form (the live raw-collection plan embeds the full recipe)
+# ----------------------------------------------------------------------
+def recipe_to_wire(recipe: "Any") -> "Dict[str, Any]":
+    """Serialize a :class:`~repro.codes.recipe.RepairRecipe`."""
+    return {
+        "lost": recipe.lost,
+        "rows": recipe.rows,
+        "terms": [
+            [term.helper, [list(entry) for entry in term.entries]]
+            for term in recipe.terms
+        ],
+    }
+
+
+def recipe_from_wire(data: "Dict[str, Any]") -> "Any":
+    from repro.codes.recipe import RecipeTerm, RepairRecipe
+
+    terms: "List[Any]" = []
+    for helper, entries in data["terms"]:
+        terms.append(
+            RecipeTerm(
+                helper=int(helper),
+                entries=tuple(
+                    (int(a), int(b), int(c)) for a, b, c in entries
+                ),
+            )
+        )
+    return RepairRecipe(
+        lost=int(data["lost"]), rows=int(data["rows"]), terms=tuple(terms)
+    )

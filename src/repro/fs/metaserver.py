@@ -20,6 +20,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.mppr import RepairManager
 
 
+def heartbeat_is_stale(
+    beat: "Optional[Heartbeat]", now: float, timeout: float
+) -> bool:
+    """§5's failure-detection rule: no beat, or the last one is too old.
+
+    Shared with the live deployment's meta server, whose ``now`` is wall
+    clock instead of simulated time — the rule is the same.
+    """
+    return beat is None or (now - beat.time) > timeout
+
+
 class MetaServer:
     """Centralized metadata service + Repair-Manager host."""
 
@@ -115,7 +126,7 @@ class MetaServer:
                 continue
             server = self.cluster.servers[server_id]
             beat = self.last_heartbeat.get(server_id)
-            stale = beat is None or (self.sim.now - beat.time) > timeout
+            stale = heartbeat_is_stale(beat, self.sim.now, timeout)
             if not server.alive and stale:
                 self.server_failed(server_id)
         self.sim.schedule(self.cluster.config.heartbeat_interval, self._sweep)

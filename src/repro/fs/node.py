@@ -26,7 +26,7 @@ from repro.fs.messages import (
     PartialOpRequest,
     PartialPayload,
     RawPayload,
-    RawReadRequest,
+    compute_partial,
 )
 from repro.codes.recipe import RepairRecipe
 
@@ -190,13 +190,17 @@ class PartialAggregationTask:
 
     def _ensure_local_partial(self) -> "Dict[int, np.ndarray]":
         """Compute the full local partial once (real math; timing is
-        charged per slice by the callers)."""
+        charged per slice by the callers).
+
+        Driven by the plan command's own ``entries`` — the same code path
+        a live chunk server runs on a :class:`PartialOpRequest` received
+        over TCP, so simulated and live repairs share their GF math.
+        """
         if self._local_partial is None:
             req = self.request
             chunk = self.node.get_chunk(req.chunk_id)  # type: ignore[attr-defined]
-            self._local_partial = self.context.recipe.partial_result(
-                self.context.stripe_index_of(self.node.node_id),
-                chunk.payload,
+            self._local_partial = compute_partial(
+                req.entries, req.rows, chunk.payload
             )
         return self._local_partial
 

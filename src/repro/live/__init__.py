@@ -1,0 +1,47 @@
+"""Live deployment mode: real PPR repairs over TCP (asyncio).
+
+The simulator answers *how long would this take on modeled hardware*;
+this package answers *does the protocol actually work end to end* — the
+same plan commands, the same GF math, the same message vocabulary, but
+carried over loopback sockets by real concurrent services:
+
+* :mod:`repro.live.wire` — length-prefixed framed wire format
+* :mod:`repro.live.rpc` — multiplexed RPC client/server with timeouts
+  and bounded retries
+* :mod:`repro.live.chunkserver` / :mod:`repro.live.metaserver` — the
+  services
+* :mod:`repro.live.coordinator` — the live Repair-Manager (attempt loop
+  with abort + replan around dead peers)
+* :mod:`repro.live.cluster` — in-process N-server harness for tests and
+  demos
+"""
+
+from repro.live.cluster import LiveCluster, LiveStripe
+from repro.live.config import LiveConfig
+from repro.live.coordinator import (
+    LiveAttempt,
+    LiveCoordinator,
+    LiveRepairReport,
+)
+from repro.live.chunkserver import LiveChunk, LiveChunkServer
+from repro.live.metaserver import LiveMetaServer
+from repro.live.rpc import Address, RpcClient, RpcClientPool, RpcServer
+from repro.live.wire import Frame, MessageType
+
+__all__ = [
+    "Address",
+    "Frame",
+    "LiveAttempt",
+    "LiveChunk",
+    "LiveChunkServer",
+    "LiveCluster",
+    "LiveConfig",
+    "LiveCoordinator",
+    "LiveMetaServer",
+    "LiveRepairReport",
+    "LiveStripe",
+    "MessageType",
+    "RpcClient",
+    "RpcClientPool",
+    "RpcServer",
+]

@@ -1,0 +1,674 @@
+"""A chunk server as a real TCP service.
+
+Hosts chunk payloads in memory, serves reads, and runs both repair
+execution paths over sockets:
+
+* **PPR** (:data:`~repro.live.wire.MessageType.PARTIAL_OP` /
+  :data:`~repro.live.wire.MessageType.PARTIAL_RESULT`): compute the local
+  partial with the exact GF math of the simulator
+  (:func:`repro.fs.messages.compute_partial`), XOR-merge the subtree's
+  partials as they arrive, forward the aggregate upstream — or, at the
+  repair destination, assemble and store the rebuilt chunk and answer the
+  coordinator's deferred RPC with it.
+* **Raw collection** (:data:`~repro.live.wire.MessageType.START_RAW_REPAIR`):
+  the star/staggered destination role — pull raw rows from every helper
+  over TCP (concurrently or one at a time) and decode centrally.
+
+Partial results are deduplicated by sender so RPC retries are idempotent,
+and results that arrive before their plan command are buffered briefly
+(frames from different peers race on real sockets).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    ChunkNotFoundError,
+    LiveRepairError,
+    RepairAbortedError,
+    RpcError,
+)
+from repro.fs.messages import (
+    Heartbeat,
+    PartialOpRequest,
+    RawReadRequest,
+    compute_partial,
+    extract_rows,
+    recipe_from_wire,
+)
+from repro.codes.recipe import RepairRecipe
+from repro.live import trace
+from repro.live.config import LiveConfig
+from repro.live.rpc import Address, RpcClientPool, RpcServer
+from repro.live.wire import Frame, MessageType
+
+
+@dataclass
+class LiveChunk:
+    """One chunk hosted by a live server (payload is the real bytes)."""
+
+    chunk_id: str
+    stripe_id: str
+    index: int
+    payload: np.ndarray
+
+
+@dataclass
+class _PartialTask:
+    """Per-repair aggregation state at one server (§6.2, live edition)."""
+
+    request: PartialOpRequest
+    peers: "Dict[str, Address]"
+    partial: "Dict[int, np.ndarray]" = field(default_factory=dict)
+    received: "Set[str]" = field(default_factory=set)
+    local_done: bool = False
+    trace: "List[trace.TraceRecord]" = field(default_factory=list)
+    traffic: "List[trace.TrafficRecord]" = field(default_factory=list)
+    inputs_ready: asyncio.Event = field(default_factory=asyncio.Event)
+    aborted: bool = False
+
+    @property
+    def expected_inputs(self) -> int:
+        return len(self.request.children) + (
+            1 if self.request.chunk_id is not None else 0
+        )
+
+    def _check_ready(self) -> None:
+        done = len(self.received) + (1 if self.local_done else 0)
+        if done >= self.expected_inputs:
+            self.inputs_ready.set()
+
+    def add_local(self, partial: "Dict[int, np.ndarray]") -> None:
+        self.partial = RepairRecipe.merge_partials(self.partial, partial)
+        self.local_done = True
+        self._check_ready()
+
+    def add_remote(
+        self,
+        sender: str,
+        buffers: "Dict[int, np.ndarray]",
+        sub_trace: "List[trace.TraceRecord]",
+        sub_traffic: "List[trace.TrafficRecord]",
+    ) -> bool:
+        """Merge a child's partial; False when it is a duplicate."""
+        if sender in self.received or sender not in self.request.children:
+            return False
+        self.received.add(sender)
+        self.partial = RepairRecipe.merge_partials(self.partial, buffers)
+        self.trace.extend(sub_trace)
+        self.traffic.extend(sub_traffic)
+        self._check_ready()
+        return True
+
+    def abort(self) -> None:
+        self.aborted = True
+        self.inputs_ready.set()
+
+
+@dataclass
+class _OrphanPartial:
+    """A partial that arrived before this server's plan command."""
+
+    sender: str
+    buffers: "Dict[int, np.ndarray]"
+    sub_trace: "List[trace.TraceRecord]"
+    sub_traffic: "List[trace.TrafficRecord]"
+    arrived: float
+
+
+class LiveChunkServer:
+    """One live storage server: an :class:`RpcServer` plus repair state."""
+
+    def __init__(
+        self,
+        server_id: str,
+        meta_address: "Optional[Address]" = None,
+        config: "Optional[LiveConfig]" = None,
+    ):
+        self.server_id = server_id
+        self.meta_address = meta_address
+        self.config = config or LiveConfig()
+        self.chunks: "Dict[str, LiveChunk]" = {}
+        self.alive = False
+        self.rpc = RpcServer(server_id, self.config)
+        self.pool = RpcClientPool(self.config)
+        self.tasks: "Dict[str, _PartialTask]" = {}
+        self._orphans: "Dict[str, List[_OrphanPartial]]" = {}
+        self._background: "Set[asyncio.Task[None]]" = set()
+        self._heartbeat_task: "Optional[asyncio.Task[None]]" = None
+        #: Test hook: message types whose handler stalls forever, to
+        #: exercise the per-RPC timeout path deterministically.
+        self.stall_types: "Set[MessageType]" = set()
+
+        register = self.rpc.register
+        register(MessageType.PING, self._on_ping)
+        register(MessageType.PUT_CHUNK, self._on_put_chunk)
+        register(MessageType.GET_CHUNK, self._on_get_chunk)
+        register(MessageType.DROP_CHUNK, self._on_drop_chunk)
+        register(MessageType.RAW_READ, self._on_raw_read)
+        register(MessageType.PARTIAL_OP, self._on_partial_op)
+        register(MessageType.PARTIAL_RESULT, self._on_partial_result)
+        register(MessageType.START_RAW_REPAIR, self._on_start_raw_repair)
+        register(MessageType.REPAIR_ABORT, self._on_repair_abort)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Address:
+        assert self.rpc.address is not None, "server not started"
+        return self.rpc.address
+
+    async def start(self, port: int = 0) -> Address:
+        address = await self.rpc.start(port=port)
+        self.alive = True
+        if self.meta_address is not None:
+            await self._register_with_meta()
+            self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
+        return address
+
+    async def stop(self) -> None:
+        """Graceful shutdown: finish nothing, close everything cleanly."""
+        await self._shutdown(abort=False)
+
+    async def kill(self) -> None:
+        """Crash the server: reset connections, abandon repair tasks."""
+        await self._shutdown(abort=True)
+
+    async def _shutdown(self, abort: bool) -> None:
+        self.alive = False
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._heartbeat_task = None
+        for task_state in self.tasks.values():
+            task_state.abort()
+        self.tasks.clear()
+        self._orphans.clear()
+        for task in list(self._background):
+            task.cancel()
+        for task in list(self._background):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._background.clear()
+        await self.rpc.close(abort=abort)
+        await self.pool.close()
+
+    def _spawn(self, coro) -> None:
+        task = asyncio.create_task(coro)
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
+
+    # ------------------------------------------------------------------
+    # Membership: HELLO + heartbeats to the meta-server
+    # ------------------------------------------------------------------
+    async def _register_with_meta(self) -> None:
+        assert self.meta_address is not None
+        client = self.pool.get(self.meta_address)
+        await client.call(
+            MessageType.HELLO,
+            {
+                "server_id": self.server_id,
+                "address": list(self.address.to_wire()),
+            },
+        )
+
+    def make_heartbeat(self) -> Heartbeat:
+        return Heartbeat(
+            server_id=self.server_id,
+            time=trace.now(),
+            cached_chunk_ids=frozenset(self.chunks),
+            active_reconstructions=len(self.tasks),
+            active_repair_destinations=0,
+            user_load_bytes=0.0,
+            disk_queue_delay=0.0,
+        )
+
+    async def _heartbeat_loop(self) -> None:
+        assert self.meta_address is not None
+        client = self.pool.get(self.meta_address)
+        while self.alive:
+            try:
+                await client.call(
+                    MessageType.HEARTBEAT,
+                    {"beat": self.make_heartbeat().to_wire()},
+                    timeout=self.config.rpc_timeout,
+                    retries=0,
+                )
+            except RpcError:
+                pass  # the meta-server notices staleness on its own
+            await asyncio.sleep(self.config.heartbeat_interval)
+
+    # ------------------------------------------------------------------
+    # Chunk storage handlers
+    # ------------------------------------------------------------------
+    async def _maybe_stall(self, mtype: MessageType) -> None:
+        if mtype in self.stall_types:
+            await asyncio.Event().wait()  # never set: hold forever
+
+    def _get_chunk(self, chunk_id: "Optional[str]") -> LiveChunk:
+        if chunk_id is None or chunk_id not in self.chunks:
+            raise ChunkNotFoundError(
+                f"server {self.server_id} does not host chunk {chunk_id}"
+            )
+        return self.chunks[chunk_id]
+
+    async def _on_ping(self, frame: Frame) -> "Dict[str, object]":
+        await self._maybe_stall(MessageType.PING)
+        return {"server_id": self.server_id, "chunks": len(self.chunks)}
+
+    async def _on_put_chunk(self, frame: Frame) -> "Dict[str, object]":
+        payload = frame.payload
+        chunk = LiveChunk(
+            chunk_id=str(payload["chunk_id"]),
+            stripe_id=str(payload["stripe_id"]),
+            index=int(payload["index"]),  # type: ignore[arg-type]
+            payload=frame.buffers[0],
+        )
+        self.chunks[chunk.chunk_id] = chunk
+        return {"stored": chunk.chunk_id}
+
+    async def _on_get_chunk(
+        self, frame: Frame
+    ) -> "Tuple[Dict[str, object], Dict[int, np.ndarray]]":
+        chunk = self._get_chunk(str(frame.payload["chunk_id"]))
+        return (
+            {"stripe_id": chunk.stripe_id, "index": chunk.index},
+            {0: chunk.payload},
+        )
+
+    async def _on_drop_chunk(self, frame: Frame) -> "Dict[str, object]":
+        chunk_id = str(frame.payload["chunk_id"])
+        dropped = self.chunks.pop(chunk_id, None)
+        return {"dropped": dropped is not None}
+
+    # ------------------------------------------------------------------
+    # Raw transfer: traditional repair's fetch
+    # ------------------------------------------------------------------
+    async def _on_raw_read(
+        self, frame: Frame
+    ) -> "Tuple[Dict[str, object], Dict[int, np.ndarray]]":
+        await self._maybe_stall(MessageType.RAW_READ)
+        request = RawReadRequest.from_wire(frame.payload["request"])  # type: ignore[arg-type]
+        chunk = self._get_chunk(request.chunk_id)
+        read_start = trace.now()
+        buffers = extract_rows(
+            chunk.payload, request.rows, request.rows_needed
+        )
+        records = [
+            trace.phase_record(
+                "disk_read", read_start, trace.now(), self.server_id
+            )
+        ]
+        return (
+            {"trace": records, "sender": self.server_id, "sent_at": trace.now()},
+            buffers,
+        )
+
+    # ------------------------------------------------------------------
+    # PPR: plan command
+    # ------------------------------------------------------------------
+    async def _on_partial_op(self, frame: Frame) -> object:
+        await self._maybe_stall(MessageType.PARTIAL_OP)
+        request = PartialOpRequest.from_wire(frame.payload["request"])  # type: ignore[arg-type]
+        peers = {
+            sid: Address.from_wire(addr)  # type: ignore[arg-type]
+            for sid, addr in dict(frame.payload.get("peers", {})).items()  # type: ignore[union-attr]
+        }
+        task = _PartialTask(request=request, peers=peers)
+        self.tasks[request.repair_id] = task
+        self._adopt_orphans(task)
+
+        if request.chunk_id is not None:
+            self._spawn(self._compute_local_partial(task))
+
+        if request.parent is None:
+            # Destination: the response to this RPC *is* the repair result,
+            # so the coordinator's await doubles as the completion wait.
+            return await self._finish_as_destination(task, frame)
+        self._spawn(self._run_helper(task))
+        return {"accepted": request.repair_id, "role": "helper"}
+
+    async def _compute_local_partial(self, task: _PartialTask) -> None:
+        request = task.request
+        read_start = trace.now()
+        chunk = self._get_chunk(request.chunk_id)
+        payload = chunk.payload
+        task.trace.append(
+            trace.phase_record(
+                "disk_read", read_start, trace.now(), self.server_id
+            )
+        )
+        if self.config.compute_delay:
+            await asyncio.sleep(self.config.compute_delay)
+        compute_start = trace.now()
+        partial = compute_partial(request.entries, request.rows, payload)
+        task.trace.append(
+            trace.phase_record(
+                "compute", compute_start, trace.now(), self.server_id
+            )
+        )
+        task.add_local(partial)
+
+    async def _wait_for_inputs(self, task: _PartialTask) -> None:
+        try:
+            await asyncio.wait_for(
+                task.inputs_ready.wait(),
+                timeout=self.config.partial_wait_timeout,
+            )
+        except asyncio.TimeoutError:
+            missing = set(task.request.children) - task.received
+            raise LiveRepairError(
+                f"{self.server_id} still missing partial results from "
+                f"{sorted(missing)} for {task.request.repair_id} after "
+                f"{self.config.partial_wait_timeout}s"
+            ) from None
+        if task.aborted:
+            raise RepairAbortedError(
+                f"repair {task.request.repair_id} aborted at {self.server_id}"
+            )
+
+    async def _run_helper(self, task: _PartialTask) -> None:
+        """Aggregate the subtree, then forward the partial upstream."""
+        request = task.request
+        try:
+            await self._wait_for_inputs(task)
+        except (LiveRepairError, RepairAbortedError):
+            self.tasks.pop(request.repair_id, None)
+            return  # coordinator recovers via the destination's timeout
+        parent = request.parent
+        assert parent is not None
+        parent_addr = task.peers.get(parent)
+        self.tasks.pop(request.repair_id, None)
+        if parent_addr is None or not self.alive:
+            return
+        nbytes = trace.buffers_nbytes(task.partial)  # type: ignore[arg-type]
+        task.traffic.append(
+            trace.traffic_record(self.server_id, parent, nbytes)
+        )
+        client = self.pool.get(parent_addr)
+        try:
+            await client.call(
+                MessageType.PARTIAL_RESULT,
+                {
+                    "repair_id": request.repair_id,
+                    "sender": self.server_id,
+                    "trace": task.trace,
+                    "traffic": task.traffic,
+                    "sent_at": trace.now(),
+                },
+                buffers=task.partial,
+                timeout=self.config.rpc_timeout,
+            )
+        except RpcError:
+            # Parent is gone or wedged; the repair's destination timeout
+            # (or the coordinator's) triggers the replan. Nothing to do
+            # here — the partial dies with this attempt.
+            return
+
+    # ------------------------------------------------------------------
+    # PPR: partial results from children
+    # ------------------------------------------------------------------
+    def _adopt_orphans(self, task: _PartialTask) -> None:
+        orphans = self._orphans.pop(task.request.repair_id, [])
+        for orphan in orphans:
+            task.add_remote(
+                orphan.sender,
+                orphan.buffers,
+                orphan.sub_trace,
+                orphan.sub_traffic,
+            )
+
+    def _gc_orphans(self) -> None:
+        horizon = trace.now() - 2 * self.config.partial_wait_timeout
+        for repair_id in list(self._orphans):
+            kept = [
+                o for o in self._orphans[repair_id] if o.arrived > horizon
+            ]
+            if kept:
+                self._orphans[repair_id] = kept
+            else:
+                del self._orphans[repair_id]
+
+    async def _on_partial_result(self, frame: Frame) -> "Dict[str, object]":
+        payload = frame.payload
+        repair_id = str(payload["repair_id"])
+        sender = str(payload["sender"])
+        sub_trace = list(payload.get("trace", []))  # type: ignore[arg-type]
+        sub_traffic = list(payload.get("traffic", []))  # type: ignore[arg-type]
+        sent_at = float(payload.get("sent_at", trace.now()))  # type: ignore[arg-type]
+        start, end = trace.clip_interval(sent_at, trace.now())
+        sub_trace.append(
+            trace.phase_record("network", start, end, self.server_id)
+        )
+        task = self.tasks.get(repair_id)
+        if task is None:
+            self._gc_orphans()
+            self._orphans.setdefault(repair_id, []).append(
+                _OrphanPartial(
+                    sender=sender,
+                    buffers=frame.buffers,
+                    sub_trace=sub_trace,
+                    sub_traffic=sub_traffic,
+                    arrived=trace.now(),
+                )
+            )
+            return {"merged": False, "buffered": True}
+        merge_start = trace.now()
+        merged = task.add_remote(
+            sender, frame.buffers, sub_trace, sub_traffic
+        )
+        if merged:
+            task.trace.append(
+                trace.phase_record(
+                    "compute", merge_start, trace.now(), self.server_id
+                )
+            )
+        return {"merged": merged, "buffered": False}
+
+    # ------------------------------------------------------------------
+    # PPR: destination role
+    # ------------------------------------------------------------------
+    async def _finish_as_destination(
+        self, task: _PartialTask, frame: Frame
+    ) -> "Tuple[Dict[str, object], Dict[int, np.ndarray]]":
+        request = task.request
+        try:
+            await self._wait_for_inputs(task)
+        finally:
+            self.tasks.pop(request.repair_id, None)
+        assemble_start = trace.now()
+        row_len = -1
+        for buf in task.partial.values():
+            row_len = buf.size
+            break
+        if row_len <= 0:
+            raise LiveRepairError(
+                f"destination {self.server_id} holds no partial rows for "
+                f"{request.repair_id}"
+            )
+        chunk_payload = np.zeros(request.rows * row_len, dtype=np.uint8)
+        view = chunk_payload.reshape(request.rows, row_len)
+        for row, buf in task.partial.items():
+            view[row] = buf
+        task.trace.append(
+            trace.phase_record(
+                "compute", assemble_start, trace.now(), self.server_id
+            )
+        )
+        await self._commit_chunk(
+            task,
+            chunk_id=str(frame.payload["lost_chunk_id"]),
+            stripe_id=request.stripe_id,
+            index=int(frame.payload["lost_index"]),  # type: ignore[arg-type]
+            payload=chunk_payload,
+        )
+        return (
+            {
+                "repair_id": request.repair_id,
+                "destination": self.server_id,
+                "trace": task.trace,
+                "traffic": task.traffic,
+            },
+            {0: chunk_payload},
+        )
+
+    async def _commit_chunk(
+        self,
+        task: _PartialTask,
+        chunk_id: str,
+        stripe_id: str,
+        index: int,
+        payload: np.ndarray,
+    ) -> None:
+        """Store the rebuilt chunk and tell the meta-server (disk_write)."""
+        write_start = trace.now()
+        self.chunks[chunk_id] = LiveChunk(
+            chunk_id=chunk_id,
+            stripe_id=stripe_id,
+            index=index,
+            payload=payload,
+        )
+        task.trace.append(
+            trace.phase_record(
+                "disk_write", write_start, trace.now(), self.server_id
+            )
+        )
+        if self.meta_address is not None:
+            client = self.pool.get(self.meta_address)
+            try:
+                await client.call(
+                    MessageType.CHUNK_ADDED,
+                    {"chunk_id": chunk_id, "server_id": self.server_id},
+                    retries=0,
+                )
+            except RpcError:
+                pass  # metadata catches up via the next repair/lookup
+
+    # ------------------------------------------------------------------
+    # Star / staggered: destination pulls raw rows and decodes centrally
+    # ------------------------------------------------------------------
+    async def _on_start_raw_repair(
+        self, frame: Frame
+    ) -> "Tuple[Dict[str, object], Dict[int, np.ndarray]]":
+        await self._maybe_stall(MessageType.START_RAW_REPAIR)
+        payload = frame.payload
+        repair_id = str(payload["repair_id"])
+        stripe_id = str(payload["stripe_id"])
+        recipe = recipe_from_wire(payload["recipe"])  # type: ignore[arg-type]
+        staggered = bool(payload.get("staggered", False))
+        helpers: "Dict[int, Dict[str, object]]" = {
+            int(index): dict(spec)  # type: ignore[arg-type]
+            for index, spec in dict(payload["helpers"]).items()  # type: ignore[arg-type]
+        }
+        task = _PartialTask(
+            request=PartialOpRequest(
+                repair_id=repair_id,
+                stripe_id=stripe_id,
+                chunk_id=None,
+                entries=(),
+                rows=recipe.rows,
+                chunk_size=float(payload.get("chunk_size", 0.0)),  # type: ignore[arg-type]
+                children=(),
+                parent=None,
+                send_rows=frozenset(),
+                send_fraction=0.0,
+                read_fraction=0.0,
+            ),
+            peers={},
+        )
+
+        raw: "Dict[int, Dict[int, np.ndarray]]" = {}
+
+        async def fetch(index: int, spec: "Dict[str, object]") -> None:
+            helper_id = str(spec["server_id"])
+            address = Address.from_wire(spec["address"])  # type: ignore[arg-type]
+            request = RawReadRequest(
+                repair_id=repair_id,
+                stripe_id=stripe_id,
+                chunk_id=str(spec["chunk_id"]),
+                rows_needed=recipe.term_for(index).read_rows,
+                rows=recipe.rows,
+                chunk_size=float(payload.get("chunk_size", 0.0)),  # type: ignore[arg-type]
+                requester=self.server_id,
+            )
+            client = self.pool.get(address)
+            response = await client.call(
+                MessageType.RAW_READ,
+                {"request": request.to_wire()},
+                timeout=self.config.rpc_timeout,
+            )
+            sent_at = float(response.payload.get("sent_at", trace.now()))  # type: ignore[arg-type]
+            start, end = trace.clip_interval(sent_at, trace.now())
+            task.trace.append(
+                trace.phase_record("network", start, end, self.server_id)
+            )
+            task.trace.extend(list(response.payload.get("trace", [])))  # type: ignore[arg-type]
+            task.traffic.append(
+                trace.traffic_record(
+                    helper_id,
+                    self.server_id,
+                    trace.buffers_nbytes(response.buffers),  # type: ignore[arg-type]
+                )
+            )
+            raw[index] = response.buffers
+
+        try:
+            if staggered:
+                for index in sorted(helpers):
+                    await fetch(index, helpers[index])
+            else:
+                await asyncio.gather(
+                    *(fetch(i, spec) for i, spec in sorted(helpers.items()))
+                )
+        except RpcError as exc:
+            raise LiveRepairError(
+                f"raw collection for {repair_id} failed: {exc}"
+            ) from exc
+
+        if self.config.compute_delay:
+            await asyncio.sleep(self.config.compute_delay)
+        compute_start = trace.now()
+        chunk_payload = recipe.execute_rows(raw)
+        task.trace.append(
+            trace.phase_record(
+                "compute", compute_start, trace.now(), self.server_id
+            )
+        )
+        await self._commit_chunk(
+            task,
+            chunk_id=str(payload["lost_chunk_id"]),
+            stripe_id=stripe_id,
+            index=int(payload["lost_index"]),  # type: ignore[arg-type]
+            payload=chunk_payload,
+        )
+        return (
+            {
+                "repair_id": repair_id,
+                "destination": self.server_id,
+                "trace": task.trace,
+                "traffic": task.traffic,
+            },
+            {0: chunk_payload},
+        )
+
+    # ------------------------------------------------------------------
+    # Abort
+    # ------------------------------------------------------------------
+    async def _on_repair_abort(self, frame: Frame) -> "Dict[str, object]":
+        repair_id = str(frame.payload["repair_id"])
+        task = self.tasks.pop(repair_id, None)
+        if task is not None:
+            task.abort()
+        self._orphans.pop(repair_id, None)
+        return {"aborted": task is not None}

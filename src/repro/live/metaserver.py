@@ -1,0 +1,173 @@
+"""The meta-server as a real TCP service.
+
+Live counterpart of :class:`repro.fs.metaserver.MetaServer`: tracks
+cluster membership (``HELLO`` + heartbeats), stripe metadata
+(``REGISTER_STRIPE``) and chunk placement (``CHUNK_ADDED``), and answers
+the lookups a live repair needs (``LOCATE_STRIPE``, ``LIST_SERVERS``).
+
+Failure detection reuses the exact simulator rule —
+:func:`repro.fs.metaserver.heartbeat_is_stale` — against the wall clock:
+a server whose last heartbeat is older than
+``LiveConfig.failure_detection_timeout`` is reported dead.  A ``HELLO``
+counts as the first heartbeat so a freshly started server is immediately
+usable.
+
+Stripe metadata travels as plain wire dicts (code *spec* string, chunk id
+list, sizes); the coordinator rebuilds the actual
+:class:`~repro.codes.base.ErasureCode` via the registry when planning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ChunkNotFoundError
+from repro.fs.messages import Heartbeat
+from repro.fs.metaserver import heartbeat_is_stale
+from repro.live import trace
+from repro.live.config import LiveConfig
+from repro.live.rpc import Address, RpcServer
+from repro.live.wire import Frame, MessageType
+
+
+class LiveMetaServer:
+    """Centralized live metadata service."""
+
+    def __init__(self, config: "Optional[LiveConfig]" = None):
+        self.config = config or LiveConfig()
+        self.rpc = RpcServer("meta", self.config)
+        self.servers: "Dict[str, Address]" = {}
+        self.last_heartbeat: "Dict[str, Heartbeat]" = {}
+        #: Stripe wire metadata: ``stripe_id -> {spec, chunk_ids, ...}``.
+        self.stripes: "Dict[str, Dict[str, object]]" = {}
+        self.stripe_of_chunk: "Dict[str, str]" = {}
+        self.chunk_locations: "Dict[str, str]" = {}
+
+        register = self.rpc.register
+        register(MessageType.PING, self._on_ping)
+        register(MessageType.HELLO, self._on_hello)
+        register(MessageType.HEARTBEAT, self._on_heartbeat)
+        register(MessageType.REGISTER_STRIPE, self._on_register_stripe)
+        register(MessageType.LOCATE_STRIPE, self._on_locate_stripe)
+        register(MessageType.CHUNK_ADDED, self._on_chunk_added)
+        register(MessageType.LIST_SERVERS, self._on_list_servers)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Address:
+        assert self.rpc.address is not None, "meta-server not started"
+        return self.rpc.address
+
+    async def start(self, port: int = 0) -> Address:
+        return await self.rpc.start(port=port)
+
+    async def stop(self) -> None:
+        await self.rpc.close()
+
+    # ------------------------------------------------------------------
+    # Liveness view
+    # ------------------------------------------------------------------
+    def server_is_alive(self, server_id: str) -> bool:
+        if server_id not in self.servers:
+            return False
+        return not heartbeat_is_stale(
+            self.last_heartbeat.get(server_id),
+            trace.now(),
+            self.config.failure_detection_timeout,
+        )
+
+    def alive_servers(self) -> "Dict[str, Address]":
+        return {
+            sid: addr
+            for sid, addr in self.servers.items()
+            if self.server_is_alive(sid)
+        }
+
+    def _synthetic_beat(self, server_id: str) -> Heartbeat:
+        return Heartbeat(
+            server_id=server_id,
+            time=trace.now(),
+            cached_chunk_ids=frozenset(),
+            active_reconstructions=0,
+            active_repair_destinations=0,
+            user_load_bytes=0.0,
+            disk_queue_delay=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _on_ping(self, frame: Frame) -> "Dict[str, object]":
+        return {
+            "server_id": "meta",
+            "servers": len(self.servers),
+            "stripes": len(self.stripes),
+        }
+
+    async def _on_hello(self, frame: Frame) -> "Dict[str, object]":
+        server_id = str(frame.payload["server_id"])
+        address = Address.from_wire(frame.payload["address"])  # type: ignore[arg-type]
+        self.servers[server_id] = address
+        # HELLO doubles as the first heartbeat: a newborn server must not
+        # look stale before its heartbeat loop ticks.
+        self.last_heartbeat[server_id] = self._synthetic_beat(server_id)
+        return {"registered": server_id}
+
+    async def _on_heartbeat(self, frame: Frame) -> "Dict[str, object]":
+        beat = Heartbeat.from_wire(frame.payload["beat"])  # type: ignore[arg-type]
+        self.last_heartbeat[beat.server_id] = beat
+        return {"acknowledged": beat.server_id}
+
+    async def _on_register_stripe(self, frame: Frame) -> "Dict[str, object]":
+        payload = frame.payload
+        stripe_id = str(payload["stripe_id"])
+        chunk_ids = [str(c) for c in list(payload["chunk_ids"])]  # type: ignore[arg-type]
+        self.stripes[stripe_id] = {
+            "stripe_id": stripe_id,
+            "spec": str(payload["spec"]),
+            "chunk_ids": chunk_ids,
+            "chunk_size": float(payload["chunk_size"]),  # type: ignore[arg-type]
+            "payload_len": int(payload["payload_len"]),  # type: ignore[arg-type]
+        }
+        for chunk_id in chunk_ids:
+            self.stripe_of_chunk[chunk_id] = stripe_id
+        for chunk_id, server_id in dict(payload.get("hosts", {})).items():  # type: ignore[union-attr]
+            self.chunk_locations[str(chunk_id)] = str(server_id)
+        return {"registered": stripe_id}
+
+    async def _on_chunk_added(self, frame: Frame) -> "Dict[str, object]":
+        chunk_id = str(frame.payload["chunk_id"])
+        server_id = str(frame.payload["server_id"])
+        self.chunk_locations[chunk_id] = server_id
+        return {"located": chunk_id}
+
+    async def _on_locate_stripe(self, frame: Frame) -> "Dict[str, object]":
+        stripe_id = str(frame.payload["stripe_id"])
+        stripe = self.stripes.get(stripe_id)
+        if stripe is None:
+            raise ChunkNotFoundError(f"unknown stripe {stripe_id!r}")
+        locations: "Dict[str, Dict[str, object]]" = {}
+        for chunk_id in stripe["chunk_ids"]:  # type: ignore[union-attr]
+            server_id = self.chunk_locations.get(str(chunk_id))
+            if server_id is None or not self.server_is_alive(server_id):
+                continue
+            locations[str(chunk_id)] = {
+                "server_id": server_id,
+                "address": list(self.servers[server_id].to_wire()),
+            }
+        return {
+            "stripe": dict(stripe),
+            "locations": locations,
+            "alive": sorted(self.alive_servers()),
+        }
+
+    async def _on_list_servers(self, frame: Frame) -> "Dict[str, object]":
+        return {
+            "servers": {
+                sid: list(addr.to_wire())
+                for sid, addr in sorted(self.servers.items())
+            },
+            "alive": sorted(self.alive_servers()),
+        }

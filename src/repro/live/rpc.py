@@ -1,0 +1,388 @@
+"""Asyncio RPC machinery: framed request/response over persistent TCP.
+
+:class:`RpcClient` multiplexes concurrent calls over one connection using
+the frame's request id, enforces a per-RPC timeout, and retries
+connection-level failures with bounded exponential backoff (safe because
+every live handler is idempotent — duplicate partials are deduplicated by
+sender, chunk puts overwrite identically).  :class:`RpcServer` dispatches
+each incoming frame on its own task, so a long-running handler (the
+repair destination waiting for its subtree) never blocks pings or
+partial results arriving on the same connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.errors import (
+    RpcConnectionError,
+    RpcRemoteError,
+    RpcTimeoutError,
+    WireFormatError,
+)
+from repro.live.config import LiveConfig
+from repro.live.wire import (
+    Frame,
+    MessageType,
+    encode_frame,
+    error_frame,
+    read_frame,
+    response_frame,
+)
+
+#: A handler takes the request frame and returns ``(payload, buffers)``,
+#: just a payload dict, or ``None`` (empty ack).  Raising a ReproError
+#: produces a typed error frame; anything else becomes ``InternalError``.
+Handler = Callable[[Frame], Awaitable[object]]
+
+
+@dataclass(frozen=True)
+class Address:
+    """A peer endpoint."""
+
+    host: str
+    port: int
+
+    def to_wire(self) -> "Sequence[object]":
+        return [self.host, self.port]
+
+    @classmethod
+    def from_wire(cls, data: "Sequence[object]") -> "Address":
+        return cls(host=str(data[0]), port=int(data[1]))
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class RpcClient:
+    """One peer's client: lazy connect, multiplexed calls, bounded retry."""
+
+    def __init__(self, address: Address, config: "Optional[LiveConfig]" = None):
+        self.address = address
+        self.config = config or LiveConfig()
+        self._reader: "Optional[asyncio.StreamReader]" = None
+        self._writer: "Optional[asyncio.StreamWriter]" = None
+        self._reader_task: "Optional[asyncio.Task[None]]" = None
+        self._pending: "Dict[int, asyncio.Future[Frame]]" = {}
+        self._request_ids = itertools.count(1)
+        self._connect_lock = asyncio.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    async def _ensure_connected(self) -> None:
+        async with self._connect_lock:
+            if self._writer is not None and not self._writer.is_closing():
+                return
+            if self._closed:
+                raise RpcConnectionError(f"client to {self.address} is closed")
+            try:
+                self._reader, self._writer = await asyncio.wait_for(
+                    asyncio.open_connection(
+                        self.address.host, self.address.port
+                    ),
+                    timeout=self.config.connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError) as exc:
+                raise RpcConnectionError(
+                    f"cannot connect to {self.address}: {exc}"
+                ) from exc
+            self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        reader = self._reader
+        assert reader is not None
+        error: Exception = RpcConnectionError(
+            f"connection to {self.address} closed"
+        )
+        try:
+            while True:
+                frame = await read_frame(reader, self.config.max_frame_bytes)
+                if frame is None:
+                    break
+                future = self._pending.pop(frame.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+            WireFormatError,
+        ) as exc:
+            error = RpcConnectionError(
+                f"connection to {self.address} failed: {exc}"
+            )
+        finally:
+            self._drop_connection(error)
+
+    def _drop_connection(self, error: Exception) -> None:
+        writer, self._writer, self._reader = self._writer, None, None
+        if writer is not None:
+            writer.close()
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    async def call(
+        self,
+        mtype: MessageType,
+        payload: "Optional[Dict[str, object]]" = None,
+        buffers: "Optional[Dict[int, np.ndarray]]" = None,
+        timeout: "Optional[float]" = None,
+        retries: "Optional[int]" = None,
+    ) -> Frame:
+        """One RPC round trip; returns the (non-error) response frame.
+
+        Raises :class:`RpcTimeoutError` when no response lands within
+        ``timeout`` (no blind retry: the caller decides whether waiting
+        longer or replanning is right), :class:`RpcConnectionError` after
+        exhausting reconnect retries, :class:`RpcRemoteError` when the
+        peer answered with an error frame.
+        """
+        budget = self.config.rpc_timeout if timeout is None else timeout
+        attempts = (
+            self.config.max_retries if retries is None else retries
+        ) + 1
+        last_error: "Optional[Exception]" = None
+        for attempt in range(attempts):
+            if attempt:
+                await asyncio.sleep(
+                    min(
+                        self.config.backoff_base * (2 ** (attempt - 1)),
+                        self.config.backoff_max,
+                    )
+                )
+            try:
+                return await self._call_once(mtype, payload, buffers, budget)
+            except RpcConnectionError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    async def _call_once(
+        self,
+        mtype: MessageType,
+        payload: "Optional[Dict[str, object]]",
+        buffers: "Optional[Dict[int, np.ndarray]]",
+        timeout: float,
+    ) -> Frame:
+        await self._ensure_connected()
+        writer = self._writer
+        assert writer is not None
+        request_id = next(self._request_ids)
+        frame = Frame(
+            mtype=mtype,
+            request_id=request_id,
+            payload=payload or {},
+            buffers=buffers or {},
+        )
+        future: "asyncio.Future[Frame]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request_id] = future
+        try:
+            writer.write(encode_frame(frame))
+            await writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            self._drop_connection(
+                RpcConnectionError(f"send to {self.address} failed: {exc}")
+            )
+            raise RpcConnectionError(
+                f"send to {self.address} failed: {exc}"
+            ) from exc
+        try:
+            response = await asyncio.wait_for(future, timeout=timeout)
+        except asyncio.TimeoutError as exc:
+            self._pending.pop(request_id, None)
+            raise RpcTimeoutError(
+                f"{mtype.name} to {self.address} timed out after {timeout}s"
+            ) from exc
+        if response.is_error:
+            code, message = response.error_info()
+            raise RpcRemoteError(code, message)
+        return response
+
+    async def close(self) -> None:
+        """Tear the connection down; in-flight calls fail cleanly."""
+        self._closed = True
+        self._drop_connection(
+            RpcConnectionError(f"client to {self.address} closed")
+        )
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+
+
+class RpcClientPool:
+    """Shared per-address clients, so peers reuse one connection."""
+
+    def __init__(self, config: "Optional[LiveConfig]" = None):
+        self.config = config or LiveConfig()
+        self._clients: "Dict[Address, RpcClient]" = {}
+
+    def get(self, address: Address) -> RpcClient:
+        client = self._clients.get(address)
+        if client is None:
+            client = RpcClient(address, self.config)
+            self._clients[address] = client
+        return client
+
+    def drop(self, address: Address) -> None:
+        self._clients.pop(address, None)
+
+    async def close(self) -> None:
+        clients, self._clients = list(self._clients.values()), {}
+        for client in clients:
+            await client.close()
+
+
+class RpcServer:
+    """A framed-TCP service: per-type handlers, per-frame dispatch tasks."""
+
+    def __init__(self, name: str, config: "Optional[LiveConfig]" = None):
+        self.name = name
+        self.config = config or LiveConfig()
+        self._handlers: "Dict[MessageType, Handler]" = {}
+        self._server: "Optional[asyncio.base_events.Server]" = None
+        self._writers: "Set[asyncio.StreamWriter]" = set()
+        self._tasks: "Set[asyncio.Task[None]]" = set()
+        self._connections: "Set[asyncio.Task[None]]" = set()
+        self.address: "Optional[Address]" = None
+
+    def register(self, mtype: MessageType, handler: Handler) -> None:
+        self._handlers[mtype] = handler
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: "Optional[str]" = None, port: int = 0) -> Address:
+        self._server = await asyncio.start_server(
+            self._serve_connection, host or self.config.host, port
+        )
+        sock = self._server.sockets[0]
+        bound_host, bound_port = sock.getsockname()[:2]
+        self.address = Address(host=bound_host, port=int(bound_port))
+        return self.address
+
+    async def close(self, abort: bool = False) -> None:
+        """Stop serving.  ``abort=True`` resets connections (crash-style),
+        which is how tests simulate a server dying mid-repair."""
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:
+                pass
+            self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        for writer in list(self._writers):
+            transport = writer.transport
+            if abort and transport is not None:
+                transport.abort()
+            else:
+                writer.close()
+        self._writers.clear()
+        # Let connection loops observe the close and finish on their own;
+        # reaping them here keeps the event loop free of orphaned tasks.
+        for task in list(self._tasks) + list(self._connections):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+        self._connections.clear()
+
+    @property
+    def serving(self) -> bool:
+        return self._server is not None
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    frame = await read_frame(
+                        reader, self.config.max_frame_bytes
+                    )
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    OSError,
+                    WireFormatError,
+                ):
+                    break
+                if frame is None:
+                    break
+                task = asyncio.create_task(
+                    self._dispatch(frame, writer, write_lock)
+                )
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _dispatch(
+        self,
+        frame: Frame,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        handler = self._handlers.get(frame.mtype)
+        try:
+            if handler is None:
+                raise RpcRemoteError(
+                    "UnknownMessage", f"{self.name} cannot handle {frame.mtype!r}"
+                )
+            result = await handler(frame)
+        except asyncio.CancelledError:
+            return
+        except Exception as exc:  # noqa: BLE001 - every failure goes on the wire
+            response = error_frame(frame, exc)
+        else:
+            if result is None:
+                response = response_frame(frame)
+            elif isinstance(result, tuple):
+                payload, buffers = result
+                response = response_frame(frame, payload, buffers)
+            elif isinstance(result, dict):
+                response = response_frame(frame, result)
+            else:
+                response = error_frame(
+                    frame,
+                    TypeError(f"handler returned {type(result).__name__}"),
+                )
+        async with write_lock:
+            if writer.is_closing():
+                return
+            try:
+                writer.write(encode_frame(response))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # peer is gone; it will retry or time out

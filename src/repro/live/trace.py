@@ -1,0 +1,94 @@
+"""Phase/traffic trace records that ride the live protocol.
+
+Every live participant timestamps its work as flat dict records
+(``{"phase", "start", "end", "node"}`` against the shared wall clock) and
+ships them upstream piggybacked on the bulk payloads, so by the time the
+rebuilt chunk reaches the coordinator the full distributed timeline has
+arrived with it — no extra collection round.  The coordinator folds the
+records into the *same* :class:`~repro.sim.metrics.PhaseBreakdown` shape
+the simulator produces, which is what makes live and simulated runs
+directly comparable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Tuple
+
+from repro.sim.metrics import PHASES, PhaseBreakdown, TrafficMatrix
+
+TraceRecord = Dict[str, object]
+TrafficRecord = Dict[str, object]
+
+
+def now() -> float:
+    """The shared wall clock (same host, so comparable across processes)."""
+    return time.time()
+
+
+def phase_record(
+    phase: str, start: float, end: float, node: str
+) -> TraceRecord:
+    if phase not in PHASES:
+        raise KeyError(f"unknown phase {phase!r}; known: {PHASES}")
+    return {"phase": phase, "start": start, "end": end, "node": node}
+
+
+def traffic_record(src: str, dst: str, nbytes: int) -> TrafficRecord:
+    return {"src": src, "dst": dst, "bytes": int(nbytes)}
+
+
+def merge_traces(
+    *traces: "Iterable[TraceRecord]",
+) -> "List[TraceRecord]":
+    out: "List[TraceRecord]" = []
+    for trace in traces:
+        out.extend(trace)
+    return out
+
+
+def breakdown_from_trace(
+    trace: "Iterable[TraceRecord]", start_time: float, end_time: float
+) -> PhaseBreakdown:
+    """Fold wall-clock trace records into a repair-relative breakdown."""
+    breakdown = PhaseBreakdown()
+    breakdown.start_time = 0.0
+    breakdown.end_time = max(0.0, end_time - start_time)
+    for record in trace:
+        phase = str(record["phase"])
+        if phase not in PHASES:
+            continue  # forward compatibility: ignore unknown phases
+        breakdown.record(
+            phase,
+            float(record["start"]) - start_time,  # type: ignore[arg-type]
+            float(record["end"]) - start_time,  # type: ignore[arg-type]
+        )
+    return breakdown
+
+
+def traffic_from_records(
+    records: "Iterable[TrafficRecord]",
+) -> TrafficMatrix:
+    matrix = TrafficMatrix()
+    for record in records:
+        matrix.add(
+            str(record["src"]), str(record["dst"]), float(record["bytes"])  # type: ignore[arg-type]
+        )
+    return matrix
+
+
+def buffers_nbytes(buffers: "Dict[int, object]") -> int:
+    """Total payload bytes of a ``row -> ndarray`` buffer map."""
+    total = 0
+    for buf in buffers.values():
+        total += getattr(buf, "size", 0)
+    return total
+
+
+def phase_busy_map(breakdown: PhaseBreakdown) -> "Dict[str, float]":
+    return {name: breakdown.busy(name) for name in PHASES}
+
+
+def clip_interval(start: float, end: float) -> "Tuple[float, float]":
+    """Guard against clock skew producing negative intervals."""
+    return (start, end) if end >= start else (end, end)

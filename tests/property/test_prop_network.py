@@ -1,6 +1,5 @@
 """Property-based tests: the flow network conserves bytes and respects caps."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ChunkNotFoundError, ServerUnavailableError
-from repro.codes import ReedSolomonCode
 from repro.fs.chunks import Chunk
 from repro.fs.cluster import StorageCluster
 from repro.fs.messages import PartialOpRequest

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError, StorageError
 from repro.codes import ReedSolomonCode
-from repro.fs.cluster import ClusterConfig, StorageCluster
+from repro.fs.cluster import StorageCluster
 from repro.util.units import MIB
 
 

@@ -1,7 +1,6 @@
 """Slice-view helper and aggregation-task bookkeeping."""
 
 import numpy as np
-import pytest
 
 from repro.fs.node import _slice_view
 

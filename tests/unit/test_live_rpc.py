@@ -1,0 +1,253 @@
+"""RPC layer: multiplexing, timeouts, retries, typed remote errors."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ChunkNotFoundError,
+    RpcConnectionError,
+    RpcRemoteError,
+    RpcTimeoutError,
+)
+from repro.live.config import LiveConfig
+from repro.live.rpc import Address, RpcClient, RpcClientPool, RpcServer
+from repro.live.wire import Frame, MessageType
+
+CONFIG = LiveConfig(
+    connect_timeout=1.0,
+    rpc_timeout=1.0,
+    max_retries=1,
+    backoff_base=0.01,
+    backoff_max=0.05,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def echo_server() -> RpcServer:
+    server = RpcServer("echo", CONFIG)
+
+    async def on_ping(frame: Frame):
+        return {"echo": frame.payload, "server": "echo"}
+
+    async def on_get(frame: Frame):
+        size = int(frame.payload["size"])
+        return {"ok": True}, {0: np.arange(size, dtype=np.uint8) % 251}
+
+    async def on_put(frame: Frame):
+        return None  # empty ack
+
+    async def on_raw(frame: Frame):
+        raise ChunkNotFoundError("no such chunk")
+
+    async def on_hello(frame: Frame):
+        return ["not", "a", "valid", "result"]  # type: ignore[return-value]
+
+    async def slow(frame: Frame):
+        await asyncio.sleep(30)
+
+    server.register(MessageType.PING, on_ping)
+    server.register(MessageType.GET_CHUNK, on_get)
+    server.register(MessageType.PUT_CHUNK, on_put)
+    server.register(MessageType.RAW_READ, on_raw)
+    server.register(MessageType.HELLO, on_hello)
+    server.register(MessageType.HEARTBEAT, slow)
+    await server.start()
+    return server
+
+
+class TestRpcBasics:
+    def test_call_roundtrip(self):
+        async def scenario():
+            server = await echo_server()
+            client = RpcClient(server.address, CONFIG)
+            try:
+                response = await client.call(
+                    MessageType.PING, {"value": 41}
+                )
+                return response.payload
+            finally:
+                await client.close()
+                await server.close()
+
+        payload = run(scenario())
+        assert payload == {"echo": {"value": 41}, "server": "echo"}
+
+    def test_buffers_come_back(self):
+        async def scenario():
+            server = await echo_server()
+            client = RpcClient(server.address, CONFIG)
+            try:
+                response = await client.call(
+                    MessageType.GET_CHUNK, {"size": 300}
+                )
+                return response.buffers[0]
+            finally:
+                await client.close()
+                await server.close()
+
+        buf = run(scenario())
+        assert np.array_equal(buf, np.arange(300, dtype=np.uint8) % 251)
+
+    def test_none_result_is_empty_ack(self):
+        async def scenario():
+            server = await echo_server()
+            client = RpcClient(server.address, CONFIG)
+            try:
+                response = await client.call(MessageType.PUT_CHUNK, {})
+                return response.payload, response.buffers
+            finally:
+                await client.close()
+                await server.close()
+
+        payload, buffers = run(scenario())
+        assert payload == {} and buffers == {}
+
+    def test_concurrent_calls_multiplex_one_connection(self):
+        async def scenario():
+            server = await echo_server()
+            client = RpcClient(server.address, CONFIG)
+            try:
+                responses = await asyncio.gather(
+                    *(
+                        client.call(MessageType.PING, {"i": i})
+                        for i in range(32)
+                    )
+                )
+                return [r.payload["echo"]["i"] for r in responses]
+            finally:
+                await client.close()
+                await server.close()
+
+        assert run(scenario()) == list(range(32))
+
+
+class TestRpcFailures:
+    def test_remote_error_is_typed(self):
+        async def scenario():
+            server = await echo_server()
+            client = RpcClient(server.address, CONFIG)
+            try:
+                with pytest.raises(RpcRemoteError) as excinfo:
+                    await client.call(MessageType.RAW_READ, {})
+                return excinfo.value
+            finally:
+                await client.close()
+                await server.close()
+
+        error = run(scenario())
+        assert error.code == "ChunkNotFoundError"
+        assert "no such chunk" in error.remote_message
+
+    def test_bad_handler_return_is_remote_error(self):
+        async def scenario():
+            server = await echo_server()
+            client = RpcClient(server.address, CONFIG)
+            try:
+                with pytest.raises(RpcRemoteError) as excinfo:
+                    await client.call(MessageType.HELLO, {})
+                return excinfo.value.code
+            finally:
+                await client.close()
+                await server.close()
+
+        assert run(scenario()) == "InternalError"
+
+    def test_unknown_message_type(self):
+        async def scenario():
+            server = await echo_server()
+            client = RpcClient(server.address, CONFIG)
+            try:
+                with pytest.raises(RpcRemoteError) as excinfo:
+                    await client.call(MessageType.REPAIR_ABORT, {})
+                return excinfo.value.code
+            finally:
+                await client.close()
+                await server.close()
+
+        assert run(scenario()) == "UnknownMessage"
+
+    def test_timeout_is_typed_and_bounded(self):
+        async def scenario():
+            server = await echo_server()
+            client = RpcClient(server.address, CONFIG)
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            try:
+                with pytest.raises(RpcTimeoutError):
+                    await client.call(
+                        MessageType.HEARTBEAT, {}, timeout=0.2
+                    )
+                return loop.time() - start
+            finally:
+                await client.close()
+                await server.close()
+
+        elapsed = run(scenario())
+        assert elapsed < 2.0  # nowhere near the handler's 30s sleep
+
+    def test_connect_refused_retries_then_raises(self):
+        async def scenario():
+            # Bind-then-close gives a port with nothing listening.
+            probe = RpcServer("probe", CONFIG)
+            address = await probe.start()
+            await probe.close()
+            client = RpcClient(address, CONFIG)
+            try:
+                with pytest.raises(RpcConnectionError):
+                    await client.call(MessageType.PING, {}, retries=1)
+            finally:
+                await client.close()
+
+        run(scenario())
+
+    def test_server_death_fails_inflight_calls(self):
+        async def scenario():
+            server = await echo_server()
+            client = RpcClient(server.address, CONFIG)
+            try:
+                pending = asyncio.create_task(
+                    client.call(
+                        MessageType.HEARTBEAT, {}, timeout=5.0, retries=0
+                    )
+                )
+                await asyncio.sleep(0.05)  # let the call go out
+                await server.close(abort=True)
+                with pytest.raises(RpcConnectionError):
+                    await pending
+            finally:
+                await client.close()
+
+        run(scenario())
+
+    def test_closed_client_refuses_calls(self):
+        async def scenario():
+            server = await echo_server()
+            client = RpcClient(server.address, CONFIG)
+            await client.close()
+            try:
+                with pytest.raises(RpcConnectionError):
+                    await client.call(MessageType.PING, {})
+            finally:
+                await server.close()
+
+        run(scenario())
+
+
+class TestRpcClientPool:
+    def test_pool_reuses_clients(self):
+        pool = RpcClientPool(CONFIG)
+        a = Address("127.0.0.1", 1234)
+        assert pool.get(a) is pool.get(a)
+        assert pool.get(Address("127.0.0.1", 1235)) is not pool.get(a)
+
+    def test_address_wire_roundtrip(self):
+        a = Address("127.0.0.1", 4600)
+        assert Address.from_wire(a.to_wire()) == a
+        assert str(a) == "127.0.0.1:4600"

@@ -1,0 +1,190 @@
+"""Wire format: framing round-trips and malformed-input rejection."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import CodingError, WireFormatError
+from repro.live.wire import (
+    HEADER,
+    MAGIC,
+    VERSION,
+    Frame,
+    MessageType,
+    decode_body,
+    encode_frame,
+    error_frame,
+    read_frame,
+    response_frame,
+)
+
+
+def roundtrip(frame: Frame) -> Frame:
+    raw = encode_frame(frame)
+    magic, version, mtype, flags, request_id, body_len = HEADER.unpack(
+        raw[: HEADER.size]
+    )
+    assert magic == MAGIC and version == VERSION
+    body = raw[HEADER.size :]
+    assert len(body) == body_len
+    return decode_body(mtype, flags, request_id, body)
+
+
+class TestFrameRoundtrip:
+    def test_payload_only(self):
+        frame = Frame(
+            mtype=MessageType.PING,
+            request_id=7,
+            payload={"server_id": "cs-01", "nested": {"a": [1, 2]}},
+        )
+        back = roundtrip(frame)
+        assert back.mtype is MessageType.PING
+        assert back.request_id == 7
+        assert back.payload == frame.payload
+        assert back.buffers == {}
+        assert not back.is_response and not back.is_error
+
+    def test_buffers_survive_bytewise(self):
+        rng = np.random.default_rng(3)
+        buffers = {
+            0: rng.integers(0, 256, size=512, dtype=np.uint8),
+            3: rng.integers(0, 256, size=17, dtype=np.uint8),
+            1: np.zeros(0, dtype=np.uint8),
+        }
+        frame = Frame(
+            mtype=MessageType.PARTIAL_RESULT,
+            request_id=99,
+            payload={"repair_id": "r1"},
+            buffers=buffers,
+        )
+        back = roundtrip(frame)
+        assert set(back.buffers) == {0, 1, 3}
+        for key, buf in buffers.items():
+            assert np.array_equal(back.buffers[key], buf)
+        # the index key never leaks into the payload
+        assert "__buffers__" not in back.payload
+
+    def test_empty_frame(self):
+        back = roundtrip(Frame(mtype=MessageType.HELLO, request_id=0))
+        assert back.payload == {} and back.buffers == {}
+
+    def test_response_and_error_flags(self):
+        request = Frame(mtype=MessageType.GET_CHUNK, request_id=5)
+        ok = response_frame(request, {"x": 1})
+        assert ok.is_response and not ok.is_error
+        assert ok.request_id == 5
+
+        err = error_frame(request, CodingError("boom"))
+        back = roundtrip(err)
+        assert back.is_response and back.is_error
+        assert back.error_info() == ("CodingError", "boom")
+
+    def test_non_repro_errors_become_internal(self):
+        request = Frame(mtype=MessageType.GET_CHUNK, request_id=5)
+        err = error_frame(request, ValueError("oops"))
+        assert err.error_info()[0] == "InternalError"
+
+
+class TestMalformedInput:
+    def test_unknown_message_type(self):
+        raw = encode_frame(Frame(mtype=MessageType.PING, request_id=1))
+        body = raw[HEADER.size :]
+        with pytest.raises(WireFormatError, match="unknown message type"):
+            decode_body(250, 0, 1, body)
+
+    def test_truncated_body(self):
+        with pytest.raises(WireFormatError):
+            decode_body(int(MessageType.PING), 0, 1, b"\x00")
+
+    def test_json_length_overruns_body(self):
+        body = struct.pack("!I", 1000) + b"{}"
+        with pytest.raises(WireFormatError, match="exceeds body"):
+            decode_body(int(MessageType.PING), 0, 1, body)
+
+    def test_bad_json(self):
+        blob = b"not json"
+        body = struct.pack("!I", len(blob)) + blob
+        with pytest.raises(WireFormatError, match="bad JSON"):
+            decode_body(int(MessageType.PING), 0, 1, body)
+
+    def test_non_object_json_header(self):
+        blob = b"[1,2]"
+        body = struct.pack("!I", len(blob)) + blob
+        with pytest.raises(WireFormatError, match="must be an object"):
+            decode_body(int(MessageType.PING), 0, 1, body)
+
+    def test_buffer_index_overrun(self):
+        blob = b'{"__buffers__": [[0, 64]]}'
+        body = struct.pack("!I", len(blob)) + blob + b"\x00" * 8
+        with pytest.raises(WireFormatError, match="overruns"):
+            decode_body(int(MessageType.PING), 0, 1, body)
+
+    def test_trailing_garbage(self):
+        blob = b"{}"
+        body = struct.pack("!I", len(blob)) + blob + b"\xff\xff"
+        with pytest.raises(WireFormatError, match="trailing"):
+            decode_body(int(MessageType.PING), 0, 1, body)
+
+
+class TestReadFrame:
+    @staticmethod
+    def _read_all(data: bytes, max_frame_bytes: int = 1 << 20):
+        """Feed bytes to a fresh reader and pull frames until EOF."""
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            frames = []
+            while True:
+                frame = await read_frame(reader, max_frame_bytes)
+                frames.append(frame)
+                if frame is None:
+                    return frames
+
+        return asyncio.run(run())
+
+    def test_clean_eof_returns_none(self):
+        assert self._read_all(b"") == [None]
+
+    def test_mid_frame_eof_raises(self):
+        raw = encode_frame(Frame(mtype=MessageType.PING, request_id=1))
+        with pytest.raises(asyncio.IncompleteReadError):
+            self._read_all(raw[:5])
+
+    def test_two_frames_back_to_back(self):
+        first = Frame(mtype=MessageType.PING, request_id=1)
+        second = Frame(
+            mtype=MessageType.GET_CHUNK,
+            request_id=2,
+            payload={"chunk_id": "c"},
+        )
+        a, b, c = self._read_all(encode_frame(first) + encode_frame(second))
+        assert a.mtype is MessageType.PING and a.request_id == 1
+        assert b.mtype is MessageType.GET_CHUNK and b.request_id == 2
+        assert c is None
+
+    def test_bad_magic(self):
+        raw = bytearray(encode_frame(Frame(mtype=MessageType.PING, request_id=1)))
+        raw[0:2] = b"XX"
+        with pytest.raises(WireFormatError, match="magic"):
+            self._read_all(bytes(raw))
+
+    def test_bad_version(self):
+        raw = bytearray(encode_frame(Frame(mtype=MessageType.PING, request_id=1)))
+        raw[2] = 9
+        with pytest.raises(WireFormatError, match="version"):
+            self._read_all(bytes(raw))
+
+    def test_oversized_frame_rejected(self):
+        big = Frame(
+            mtype=MessageType.PUT_CHUNK,
+            request_id=1,
+            buffers={0: np.zeros(4096, dtype=np.uint8)},
+        )
+        with pytest.raises(WireFormatError, match="exceeds cap"):
+            self._read_all(encode_frame(big), max_frame_bytes=256)

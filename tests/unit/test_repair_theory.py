@@ -1,6 +1,5 @@
 """Closed forms: Theorem 1, Table 1, Table 2, Eq. 1."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """GF compute-time model."""
 
-import math
 
 import pytest
 
