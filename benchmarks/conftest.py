@@ -18,12 +18,17 @@ from __future__ import annotations
 
 import collections
 import json
+import os
 import pathlib
 from typing import Dict, List
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: Set REPRO_BENCH_TRACE=1 to also write results/BENCH_<slug>.trace.json
+#: (Chrome trace format) for every benchmark module that records spans.
+_TRACE_ENV = "REPRO_BENCH_TRACE"
 
 #: module slug -> metric records accumulated over the session
 _COLLECTED: "Dict[str, List[Dict[str, object]]]" = collections.defaultdict(list)
@@ -105,6 +110,31 @@ def save_report(results_dir, request):
     return _save
 
 
+#: module slug -> obs spans accumulated over the session (trace opt-in)
+_TRACE_SPANS: "Dict[str, list]" = collections.defaultdict(list)
+
+
+@pytest.fixture(autouse=True)
+def _collect_trace_spans(request):
+    """Opt-in (REPRO_BENCH_TRACE=1) span capture around each benchmark.
+
+    Tracing is enabled per test and drained after it, so the default
+    benchmark run — including the obs-overhead acceptance runs — never
+    pays a single instrumentation branch beyond the None-check.
+    """
+    if not os.environ.get(_TRACE_ENV):
+        yield
+        return
+    from repro import obs
+
+    tracer = obs.enable(clock_name="monotonic")
+    try:
+        yield
+    finally:
+        obs.disable()
+    _TRACE_SPANS[_module_slug(request.node)].extend(tracer.drain())
+
+
 @pytest.fixture(autouse=True)
 def _collect_benchmark_stats(request):
     """After each timed test, fold pytest-benchmark stats into the JSON."""
@@ -134,7 +164,7 @@ def _collect_benchmark_stats(request):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not _COLLECTED:
+    if not _COLLECTED and not _TRACE_SPANS:
         return
     RESULTS_DIR.mkdir(exist_ok=True)
     for slug, metrics in sorted(_COLLECTED.items()):
@@ -142,4 +172,15 @@ def pytest_sessionfinish(session, exitstatus):
         path = RESULTS_DIR / f"BENCH_{slug}.json"
         path.write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+    for slug, spans in sorted(_TRACE_SPANS.items()):
+        if not spans:
+            continue
+        from repro import obs
+
+        path = RESULTS_DIR / f"BENCH_{slug}.trace.json"
+        path.write_text(
+            json.dumps(obs.chrome_trace(spans), indent=1, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
         )

@@ -9,17 +9,26 @@ GF-combined partials and the rebuilt bytes all crossing real sockets.
 
 The rebuilt chunk is verified byte-for-byte against the ground truth,
 and the per-phase timing breakdown (same shape the simulator reports)
-comes back piggybacked on the repair traffic.
+comes back piggybacked on the repair traffic.  The whole run is recorded
+through :mod:`repro.obs`, and the demo finishes by writing the trace
+next to this script and pointing at it — convert it with
+``python -m repro trace convert`` and open it in https://ui.perfetto.dev
+to see the distributed timeline.
 
 Run:  python examples/live_repair_demo.py
 """
 
 import asyncio
+import pathlib
 
 import numpy as np
 
+from repro import obs
 from repro.live import LiveCluster, LiveConfig
+from repro.live import trace as live_trace
 from repro.sim.metrics import PHASES
+
+TRACE_PATH = pathlib.Path(__file__).parent / "live_repair_demo.trace.jsonl"
 
 
 async def main() -> None:
@@ -27,6 +36,7 @@ async def main() -> None:
         heartbeat_interval=0.3,
         failure_detection_timeout=1.0,
     )
+    tracer = obs.enable(clock=live_trace.now, clock_name="wall")
     print("=== Live PPR repair over TCP ===")
     async with LiveCluster(num_servers=6, config=config) as cluster:
         print(f"meta-server listening on {cluster.meta.address}")
@@ -69,6 +79,21 @@ async def main() -> None:
         print(f"bytes match ground truth: {matches} "
               f"(verified={result.verified})")
         assert matches and result.verified
+
+    spans = tracer.drain()
+    obs.disable()
+    obs.write_trace(
+        str(TRACE_PATH),
+        spans,
+        clock="wall",
+        metrics=obs.registry().snapshot(),
+        extra_meta={"mode": "live", "demo": "live_repair_demo"},
+    )
+    obs.registry().reset()
+    print(f"\nfull obs trace ({len(spans)} spans): {TRACE_PATH}")
+    print(f"  python -m repro trace summary  {TRACE_PATH}")
+    print(f"  python -m repro trace convert  {TRACE_PATH} "
+          f"--out trace.chrome.json   # open in https://ui.perfetto.dev")
 
 
 if __name__ == "__main__":

@@ -313,6 +313,152 @@ def _cmd_repair_live(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# trace: record / convert / timeline / summary
+# ----------------------------------------------------------------------
+def _trace_record_sim(args: argparse.Namespace):
+    """One simulated repair with tracing on; returns (tracer, clock, meta)."""
+    from repro import obs
+    from repro.core.single_repair import run_single_repair
+    from repro.fs.cluster import StorageCluster
+
+    code = make_code(args.code)
+    cluster = StorageCluster.smallsite(
+        num_servers=args.servers,
+        link_bandwidth=args.bandwidth,
+        seed=args.seed,
+    )
+    stripe = cluster.write_stripe(code, args.chunk_size)
+    tracer = obs.enable(clock=lambda: cluster.sim.now, clock_name="virtual")
+    result = run_single_repair(
+        cluster,
+        stripe,
+        lost_index=args.lost,
+        strategy=args.strategy,
+        num_slices=args.slices,
+    )
+    obs.registry().counter("sim.events.executed").inc(
+        cluster.sim.events_executed
+    )
+    print(result.summary())
+    meta = {
+        "mode": "sim",
+        "strategy": args.strategy,
+        "code": args.code,
+        "stripe": stripe.stripe_id,
+    }
+    return tracer, "virtual", meta
+
+
+async def _trace_record_live(args: argparse.Namespace):
+    """One live repair with tracing on; returns (tracer, clock, meta)."""
+    from repro import obs
+    from repro.live import LiveConfig, LiveCoordinator
+    from repro.live import trace as live_trace
+
+    tracer = obs.enable(clock=live_trace.now, clock_name="wall")
+    coordinator = LiveCoordinator(_parse_address(args.meta), LiveConfig())
+    try:
+        report = await coordinator.repair(
+            args.stripe_id,
+            lost_index=args.chunk if args.chunk >= 0 else None,
+            strategy=args.strategy,
+        )
+    finally:
+        await coordinator.close()
+    result = report.result
+    print(
+        f"repaired {result.stripe_id}#{result.lost_index} "
+        f"({result.strategy}) in {result.duration * 1e3:.1f}ms; "
+        f"SHA256 {_payload_sha256(report.payload)}"
+    )
+    meta = {
+        "mode": "live",
+        "strategy": args.strategy,
+        "stripe": args.stripe_id,
+    }
+    return tracer, "wall", meta
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import obs
+
+    if args.live and (not args.meta or not args.stripe_id):
+        print(
+            "error: trace record --live requires --meta HOST:PORT "
+            "and --stripe-id",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.live:
+            tracer, clock, meta = asyncio.run(_trace_record_live(args))
+        else:
+            tracer, clock, meta = _trace_record_sim(args)
+        spans = tracer.drain()
+        events = obs.write_trace(
+            args.out,
+            spans,
+            clock=clock,
+            metrics=obs.registry().snapshot(),
+            extra_meta=meta,
+        )
+    finally:
+        # Never leak the process-global tracer past the recording.
+        obs.disable()
+        obs.registry().reset()
+    print(f"trace: {len(spans)} spans, {events} events -> {args.out}")
+    print(f"view it: python -m repro trace convert {args.out} "
+          f"--out trace.chrome.json  (open in https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    meta, spans, _metrics = obs.load_trace(args.trace)
+    document = obs.chrome_trace(
+        spans, clock=str(meta.get("clock", "monotonic"))
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"wrote {len(document['traceEvents'])} Chrome trace events -> "
+        f"{args.out} (load in chrome://tracing or https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+def _cmd_trace_timeline(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    _meta, spans, _metrics = obs.load_trace(args.trace)
+    print(obs.render_timeline(spans, width=args.width), end="")
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    meta, spans, metrics = obs.load_trace(args.trace)
+    print(f"trace {args.trace}: {len(spans)} spans, clock={meta.get('clock')}")
+    print(obs.summarize(spans, metrics), end="")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    runner = {
+        "record": _cmd_trace_record,
+        "convert": _cmd_trace_convert,
+        "timeline": _cmd_trace_timeline,
+        "summary": _cmd_trace_summary,
+    }[args.trace_command]
+    return runner(args)
+
+
+# ----------------------------------------------------------------------
 # simulate / evaluate
 # ----------------------------------------------------------------------
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -436,6 +582,54 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--full", action="store_true",
                     help="more repetitions / larger sweeps")
     ev.set_defaults(fn=cmd_evaluate)
+
+    tr = sub.add_parser(
+        "trace", help="record and inspect observability traces"
+    )
+    trsub = tr.add_subparsers(dest="trace_command", required=True)
+
+    trr = trsub.add_parser(
+        "record",
+        help="run one repair (sim by default, --live for TCP) "
+             "and write a JSONL trace",
+    )
+    trr.add_argument("--out", default="trace.jsonl",
+                     help="output JSONL path")
+    trr.add_argument("--strategy", default="ppr", choices=STRATEGIES)
+    trr.add_argument("--code", default="rs(6,3)")
+    trr.add_argument("--chunk-size", default="64MiB")
+    trr.add_argument("--servers", type=int, default=16)
+    trr.add_argument("--bandwidth", default="1Gbps")
+    trr.add_argument("--lost", type=int, default=0)
+    trr.add_argument("--slices", type=int, default=1)
+    trr.add_argument("--seed", type=int, default=2016)
+    trr.add_argument("--live", action="store_true",
+                     help="record a live TCP repair instead of a sim one")
+    trr.add_argument("--meta", default=None,
+                     help="live meta-server address HOST:PORT")
+    trr.add_argument("--stripe-id", default=None,
+                     help="live stripe id to repair")
+    trr.add_argument("--chunk", type=int, default=-1,
+                     help="lost chunk index (--live: auto-detect if omitted)")
+    trr.set_defaults(fn=cmd_trace)
+
+    trc = trsub.add_parser(
+        "convert", help="convert a JSONL trace to Chrome/Perfetto JSON"
+    )
+    trc.add_argument("trace", help="input JSONL trace")
+    trc.add_argument("--out", default="trace.chrome.json")
+    trc.set_defaults(fn=cmd_trace)
+
+    trt = trsub.add_parser("timeline", help="print an ASCII timeline")
+    trt.add_argument("trace", help="input JSONL trace")
+    trt.add_argument("--width", type=int, default=60)
+    trt.set_defaults(fn=cmd_trace)
+
+    trs = trsub.add_parser(
+        "summary", help="aggregate per-span-name durations and metrics"
+    )
+    trs.add_argument("trace", help="input JSONL trace")
+    trs.set_defaults(fn=cmd_trace)
     return parser
 
 

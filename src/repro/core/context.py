@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import StorageError
 from repro.codes.recipe import RepairRecipe
 from repro.core.results import RepairResult
@@ -93,6 +94,41 @@ class RepairContext:
         self.cache_hits += 1
 
     # ------------------------------------------------------------------
+    # Observability bridge
+    # ------------------------------------------------------------------
+    def record_phase(
+        self,
+        phase: str,
+        start: float,
+        end: float,
+        node_id: str = "",
+        **attrs: object,
+    ) -> None:
+        """Record one phase interval (virtual time) for this repair.
+
+        The single sim-side ingestion point: feeds the
+        :class:`PhaseBreakdown` (the paper's Figure 1 view) and — when
+        tracing is enabled — mirrors the interval as a
+        ``sim.phase.<phase>`` obs span tagged with the node, repair id,
+        stripe and strategy.  Tasks call this instead of touching
+        ``breakdown`` directly so both views always agree.
+        """
+        self.breakdown.record(phase, start, end)
+        tracer = obs.tracer()
+        if tracer is not None:
+            tracer.record_span(
+                f"sim.phase.{phase}",
+                start,
+                end,
+                node=node_id,
+                category="sim.phase",
+                repair_id=self.repair_id,
+                stripe=self.stripe.stripe_id,
+                strategy=self.strategy,
+                **attrs,
+            )
+
+    # ------------------------------------------------------------------
     # §4.3 memory accounting
     # ------------------------------------------------------------------
     def note_buffer(self, node_id: str, delta_bytes: float) -> None:
@@ -117,7 +153,14 @@ class RepairContext:
         start = self.cluster.sim.now
 
         def on_done(_flow) -> None:
-            self.breakdown.record("network", start, self.cluster.sim.now)
+            self.record_phase(
+                "network",
+                start,
+                self.cluster.sim.now,
+                node_id=dst,
+                nbytes=nbytes,
+                src=src,
+            )
             self.traffic.add(src, dst, nbytes)
             node = self.cluster.node(dst)
             node.deliver(payload)
@@ -168,8 +211,12 @@ class RepairContext:
                 start = self.cluster.sim.now
 
                 def on_written() -> None:
-                    self.breakdown.record(
-                        "disk_write", start, self.cluster.sim.now
+                    self.record_phase(
+                        "disk_write",
+                        start,
+                        self.cluster.sim.now,
+                        node_id=node.node_id,
+                        nbytes=self.chunk_size,
                     )
                     self._complete(node, chunk_payload)
 
@@ -201,6 +248,25 @@ class RepairContext:
             num_helpers=len(self.recipe.helpers),
             peak_buffer_bytes=self.peak_buffer_bytes(),
         )
+        tracer = obs.tracer()
+        if tracer is not None:
+            tracer.record_span(
+                "sim.repair",
+                self.start_time,
+                self.cluster.sim.now,
+                node=self.destination,
+                category="sim.repair",
+                repair_id=self.repair_id,
+                stripe=self.stripe.stripe_id,
+                strategy=self.strategy,
+                kind=self.kind,
+                verified=verified,
+                cache_hits=self.cache_hits,
+                helpers=len(self.recipe.helpers),
+            )
+            obs.registry().counter(
+                "sim.repairs.completed", strategy=self.strategy
+            ).inc()
         self.cluster.repair_finished(self, chunk_payload)
         if self.on_complete is not None:
             self.on_complete(self.result)

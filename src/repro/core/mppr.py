@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
 
+from repro import obs
 from repro.errors import SchedulingError, UnrecoverableError
 from repro.core.coordinator import RepairCoordinator
 from repro.core.results import BatchRepairResult, RepairResult
@@ -164,6 +165,8 @@ class RepairManager:
             except (SchedulingError, UnrecoverableError):
                 if retries + 1 >= self.config.max_retries:
                     self.failed_chunks.append(chunk_id)
+                    if obs.tracer() is not None:
+                        obs.registry().counter("mppr.chunks.failed").inc()
                 else:
                     requeue.append((chunk_id, retries + 1))
         self.queue.extend(requeue)
@@ -268,9 +271,27 @@ class RepairManager:
             stripe, stripe.chunk_size, sources
         )
 
+        schedule_time = self.cluster.sim.now
+
         def on_complete(result: RepairResult) -> None:
             self.inflight.pop(chunk_id, None)
             self.completed.append(result)
+            tracer = obs.tracer()
+            if tracer is not None:
+                # Per-stripe scheduling span: from the RM's decision to
+                # completion, so queueing ahead of the repair is visible.
+                tracer.record_span(
+                    "mppr.stripe_repair",
+                    schedule_time,
+                    self.cluster.sim.now,
+                    node=destination,
+                    category="mppr",
+                    stripe=stripe.stripe_id,
+                    chunk_id=chunk_id,
+                    repair_id=result.repair_id,
+                    strategy=self.config.strategy,
+                    retries=retries,
+                )
             for index in sources:
                 server = self._host_of(stripe, index)
                 if server is not None:
@@ -312,6 +333,10 @@ class RepairManager:
         def check() -> None:
             if context.finished:
                 return
+            if obs.tracer() is not None:
+                obs.registry().counter(
+                    "mppr.repairs.rescheduled", stripe=context.stripe.stripe_id
+                ).inc()
             # Abandon the stuck plan (late messages drop harmlessly) and
             # reschedule with a fresh server choice (§5 "Staleness").
             self.cluster._repairs.pop(context.repair_id, None)

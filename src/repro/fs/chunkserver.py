@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro import obs
 from repro.errors import ChunkNotFoundError, ServerUnavailableError
 from repro.fs.chunks import Chunk
 from repro.fs.messages import (
@@ -38,6 +39,7 @@ class ChunkServer(StorageNode):
     ):
         super().__init__(cluster, server_id)
         self.disk = Disk(cluster.sim, disk_bandwidth)
+        self.disk.owner = server_id
         self.cache = LRUCache(cache_bytes)
         self.chunks: "Dict[str, Chunk]" = {}
         self.active_reconstructions = 0
@@ -69,7 +71,13 @@ class ChunkServer(StorageNode):
     # ------------------------------------------------------------------
     def lookup_cache(self, chunk_id: str) -> bool:
         """True when the chunk's bytes are already in memory."""
-        return self.cache.access(chunk_id, self.sim.now)
+        hit = self.cache.access(chunk_id, self.sim.now)
+        if obs.tracer() is not None:
+            obs.registry().counter(
+                "sim.cache.hits" if hit else "sim.cache.misses",
+                node=self.node_id,
+            ).inc()
+        return hit
 
     def fill_cache(self, chunk_id: str) -> None:
         """Record that a disk read brought the chunk into memory."""
@@ -147,7 +155,13 @@ class ChunkServer(StorageNode):
 
         def on_read() -> None:
             self.fill_cache(request.chunk_id)
-            context.breakdown.record("disk_read", start, self.sim.now)
+            context.record_phase(
+                "disk_read",
+                start,
+                self.sim.now,
+                node_id=self.node_id,
+                nbytes=read_bytes,
+            )
             send()
 
         self.disk.read(read_bytes, on_read)

@@ -179,8 +179,12 @@ class PartialAggregationTask:
             def on_read_done(index: int = index, start: float = start) -> None:
                 if index == self.slices - 1:
                     chunkserver.fill_cache(req.chunk_id)  # type: ignore[attr-defined]
-                self.context.breakdown.record(
-                    "disk_read", start, self.node.sim.now
+                self.context.record_phase(
+                    "disk_read",
+                    start,
+                    self.node.sim.now,
+                    node_id=self.node.node_id,
+                    nbytes=total_read / self.slices,
                 )
                 self._local_slice_ready(index)
 
@@ -213,8 +217,12 @@ class PartialAggregationTask:
         def on_multiplied() -> None:
             if self.done or not self.node.alive:
                 return  # the server died under us; the RM will reschedule
-            self.context.breakdown.record(
-                "compute", compute_start, self.node.sim.now
+            self.context.record_phase(
+                "compute",
+                compute_start,
+                self.node.sim.now,
+                node_id=self.node.node_id,
+                op="multiply",
             )
             local = _slice_view(
                 self._ensure_local_partial(), self.slices, index
@@ -252,7 +260,14 @@ class PartialAggregationTask:
         def on_xored() -> None:
             if self.done or not self.node.alive:
                 return
-            self.context.breakdown.record("compute", start, self.node.sim.now)
+            self.context.record_phase(
+                "compute",
+                start,
+                self.node.sim.now,
+                node_id=self.node.node_id,
+                op="xor",
+                nbytes=nbytes,
+            )
             req2 = self.request
             before = _partial_modeled_bytes(
                 self.partial[index], req2.rows, req2.chunk_size, self.slices
@@ -382,7 +397,14 @@ class RawCollectionTask:
         def on_decoded() -> None:
             if not self.node.alive:
                 return  # destination died; the RM timeout reschedules
-            context.breakdown.record("compute", start, self.node.sim.now)
+            context.record_phase(
+                "compute",
+                start,
+                self.node.sim.now,
+                node_id=self.node.node_id,
+                op="decode",
+                nbytes=total_bytes,
+            )
             chunk_payload = context.recipe.execute_rows(self.raw)
             context.finish_at_destination(self.node, chunk_payload)
 

@@ -307,7 +307,12 @@ class LiveChunkServer:
         )
         records = [
             trace.phase_record(
-                "disk_read", read_start, trace.now(), self.server_id
+                "disk_read",
+                read_start,
+                trace.now(),
+                self.server_id,
+                nbytes=trace.buffers_nbytes(buffers),  # type: ignore[arg-type]
+                chunk_id=request.chunk_id,
             )
         ]
         return (
@@ -346,7 +351,12 @@ class LiveChunkServer:
         payload = chunk.payload
         task.trace.append(
             trace.phase_record(
-                "disk_read", read_start, trace.now(), self.server_id
+                "disk_read",
+                read_start,
+                trace.now(),
+                self.server_id,
+                nbytes=int(payload.nbytes),
+                chunk_id=request.chunk_id,
             )
         )
         if self.config.compute_delay:
@@ -449,7 +459,14 @@ class LiveChunkServer:
         sent_at = float(payload.get("sent_at", trace.now()))  # type: ignore[arg-type]
         start, end = trace.clip_interval(sent_at, trace.now())
         sub_trace.append(
-            trace.phase_record("network", start, end, self.server_id)
+            trace.phase_record(
+                "network",
+                start,
+                end,
+                self.server_id,
+                nbytes=trace.buffers_nbytes(frame.buffers),  # type: ignore[arg-type]
+                src=sender,
+            )
         )
         task = self.tasks.get(repair_id)
         if task is None:
@@ -503,7 +520,11 @@ class LiveChunkServer:
             view[row] = buf
         task.trace.append(
             trace.phase_record(
-                "compute", assemble_start, trace.now(), self.server_id
+                "compute",
+                assemble_start,
+                trace.now(),
+                self.server_id,
+                nbytes=int(chunk_payload.nbytes),
             )
         )
         await self._commit_chunk(
@@ -541,7 +562,12 @@ class LiveChunkServer:
         )
         task.trace.append(
             trace.phase_record(
-                "disk_write", write_start, trace.now(), self.server_id
+                "disk_write",
+                write_start,
+                trace.now(),
+                self.server_id,
+                nbytes=int(payload.nbytes),
+                chunk_id=chunk_id,
             )
         )
         if self.meta_address is not None:
@@ -611,7 +637,14 @@ class LiveChunkServer:
             sent_at = float(response.payload.get("sent_at", trace.now()))  # type: ignore[arg-type]
             start, end = trace.clip_interval(sent_at, trace.now())
             task.trace.append(
-                trace.phase_record("network", start, end, self.server_id)
+                trace.phase_record(
+                    "network",
+                    start,
+                    end,
+                    self.server_id,
+                    nbytes=trace.buffers_nbytes(response.buffers),  # type: ignore[arg-type]
+                    src=helper_id,
+                )
             )
             task.trace.extend(list(response.payload.get("trace", [])))  # type: ignore[arg-type]
             task.traffic.append(

@@ -39,6 +39,7 @@ from repro.errors import (
     UnrecoverableError,
 )
 from repro.fs.messages import recipe_to_wire
+from repro import obs
 from repro.live import trace
 from repro.live.config import LiveConfig
 from repro.live.rpc import Address, RpcClientPool
@@ -186,6 +187,9 @@ class LiveCoordinator:
                 )
             except _AttemptFailed as failure:
                 failures.append(failure.cause)
+                obs.registry().counter(
+                    "live.repair.replans", stripe=stripe_id
+                ).inc()
                 suspects = failure.suspects | await self._ping_suspects(view)
                 excluded |= suspects
                 continue
@@ -324,12 +328,44 @@ class LiveCoordinator:
                     )
                 )
         except _AttemptFailed:
+            obs.registry().counter(
+                "live.repair.aborts", stripe=view.stripe_id
+            ).inc()
             await self._broadcast_abort(repair_id, addresses)
             raise
 
         end = trace.now()
         records.append(trace.phase_record("plan", start, plan_done, "meta"))
         breakdown = trace.breakdown_from_trace(records, start, end)
+        # Single ingestion point for the distributed timeline: the wire
+        # records (including ones produced by servers sharing this
+        # process) become obs spans exactly once, here.
+        tracer = obs.tracer()
+        if tracer is not None:
+            attempt_span = tracer.record_span(
+                "live.repair.attempt",
+                start,
+                end,
+                node="coordinator",
+                category="live.repair",
+                repair_id=repair_id,
+                stripe=view.stripe_id,
+                strategy=strategy,
+                attempt=attempt,
+                destination=dest_id,
+                helpers=len(recipe.helpers),
+            )
+            trace.ingest_records_as_spans(
+                tracer,
+                records,
+                parent_id=attempt_span.span_id,
+                repair_id=repair_id,
+                stripe=view.stripe_id,
+                strategy=strategy,
+            )
+        obs.registry().counter(
+            "live.repair.completed", strategy=strategy
+        ).inc()
         result = RepairResult(
             repair_id=repair_id,
             kind="repair",

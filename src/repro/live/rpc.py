@@ -19,6 +19,7 @@ from typing import Awaitable, Callable, Dict, Optional, Sequence, Set
 
 import numpy as np
 
+from repro import obs
 from repro.errors import (
     RpcConnectionError,
     RpcRemoteError,
@@ -156,6 +157,9 @@ class RpcClient:
         last_error: "Optional[Exception]" = None
         for attempt in range(attempts):
             if attempt:
+                obs.registry().counter(
+                    "live.rpc.retries", mtype=mtype.name
+                ).inc()
                 await asyncio.sleep(
                     min(
                         self.config.backoff_base * (2 ** (attempt - 1)),
@@ -163,11 +167,54 @@ class RpcClient:
                     )
                 )
             try:
-                return await self._call_once(mtype, payload, buffers, budget)
+                tracer = obs.tracer()
+                if tracer is None:
+                    return await self._call_once(
+                        mtype, payload, buffers, budget
+                    )
+                return await self._traced_call(
+                    tracer, mtype, payload, buffers, budget, attempt
+                )
             except RpcConnectionError as exc:
                 last_error = exc
         assert last_error is not None
         raise last_error
+
+    async def _traced_call(
+        self,
+        tracer: "obs.Tracer",
+        mtype: MessageType,
+        payload: "Optional[Dict[str, object]]",
+        buffers: "Optional[Dict[int, np.ndarray]]",
+        timeout: float,
+        attempt: int,
+    ) -> Frame:
+        """One :meth:`_call_once`, wrapped in an obs span.
+
+        The span carries bytes-on-wire in both directions (bulk buffer
+        payloads only — framing overhead is a constant few hundred bytes)
+        and which retry attempt this was; a span with no ``nbytes_in``
+        is a call that failed or timed out.
+        """
+        nbytes_out = sum(
+            int(buf.nbytes) for buf in (buffers or {}).values()
+        )
+        with tracer.span(
+            f"live.rpc.{mtype.name.lower()}",
+            node=str(self.address),
+            category="live.rpc",
+            nbytes_out=nbytes_out,
+            attempt=attempt,
+        ) as span:
+            response = await self._call_once(mtype, payload, buffers, timeout)
+            span.attrs["nbytes_in"] = sum(
+                int(buf.nbytes) for buf in response.buffers.values()
+            )
+        registry = obs.registry()
+        registry.counter("live.rpc.calls", mtype=mtype.name).inc()
+        registry.counter("live.rpc.bytes_out").inc(nbytes_out)
+        registry.counter("live.rpc.bytes_in").inc(span.attrs["nbytes_in"])
+        return response
 
     async def _call_once(
         self,

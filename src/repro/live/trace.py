@@ -1,46 +1,94 @@
 """Phase/traffic trace records that ride the live protocol.
 
 Every live participant timestamps its work as flat dict records
-(``{"phase", "start", "end", "node"}`` against the shared wall clock) and
-ships them upstream piggybacked on the bulk payloads, so by the time the
-rebuilt chunk reaches the coordinator the full distributed timeline has
-arrived with it — no extra collection round.  The coordinator folds the
-records into the *same* :class:`~repro.sim.metrics.PhaseBreakdown` shape
-the simulator produces, which is what makes live and simulated runs
-directly comparable.
+(``{"phase", "start", "end", "node"}`` plus an optional ``"attrs"`` map,
+against the shared wall clock) and ships them upstream piggybacked on
+the bulk payloads, so by the time the rebuilt chunk reaches the
+coordinator the full distributed timeline has arrived with it — no
+extra collection round.  The coordinator folds the records into the
+*same* :class:`~repro.sim.metrics.PhaseBreakdown` shape the simulator
+produces, which is what makes live and simulated runs directly
+comparable — and (when tracing is enabled) ingests the same records as
+:mod:`repro.obs` spans, so ``PhaseBreakdown`` is now a derived view of
+the span stream rather than a separate bookkeeping path.
+
+Clock hygiene: wall clocks can step backwards under NTP, so every
+ingest path routes intervals through :func:`clip_interval`, and
+:func:`now` never returns a value earlier than the previous call in
+this process.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 from repro.sim.metrics import PHASES, PhaseBreakdown, TrafficMatrix
 
 TraceRecord = Dict[str, object]
 TrafficRecord = Dict[str, object]
 
+_last_now = 0.0
+_now_lock = threading.Lock()
+
 
 def now() -> float:
-    """The shared wall clock (same host, so comparable across processes)."""
-    return time.time()
+    """The shared wall clock (same host, so comparable across processes).
+
+    Monotonic-guarded: if ``time.time()`` steps backwards (NTP
+    adjustment, manual clock set), this returns the high-water mark
+    instead, so intervals timed inside one process can never be
+    negative.  Cross-process skew is still possible, which is why every
+    ingest path additionally clips via :func:`clip_interval`.
+    """
+    global _last_now
+    wall = time.time()
+    with _now_lock:
+        if wall > _last_now:
+            _last_now = wall
+        return _last_now
+
+
+def clip_interval(start: float, end: float) -> "Tuple[float, float]":
+    """Guard against clock skew producing negative intervals.
+
+    A reversed interval collapses to zero length at ``end`` — the more
+    recent, hence more trustworthy, reading.
+    """
+    return (start, end) if end >= start else (end, end)
 
 
 def phase_record(
-    phase: str, start: float, end: float, node: str
+    phase: str,
+    start: float,
+    end: float,
+    node: str,
+    **attrs: Any,
 ) -> TraceRecord:
+    """Build one wire-format phase record (interval clipped on ingest).
+
+    ``attrs`` (e.g. ``nbytes=...``, ``src=...``) ride along under an
+    ``"attrs"`` key; consumers that predate the field ignore it.
+    """
     if phase not in PHASES:
         raise KeyError(f"unknown phase {phase!r}; known: {PHASES}")
-    return {"phase": phase, "start": start, "end": end, "node": node}
+    start, end = clip_interval(start, end)
+    record: TraceRecord = {"phase": phase, "start": start, "end": end, "node": node}
+    if attrs:
+        record["attrs"] = attrs
+    return record
 
 
 def traffic_record(src: str, dst: str, nbytes: int) -> TrafficRecord:
+    """Build one wire-format traffic record."""
     return {"src": src, "dst": dst, "bytes": int(nbytes)}
 
 
 def merge_traces(
     *traces: "Iterable[TraceRecord]",
 ) -> "List[TraceRecord]":
+    """Concatenate several record streams into one list."""
     out: "List[TraceRecord]" = []
     for trace in traces:
         out.extend(trace)
@@ -50,25 +98,88 @@ def merge_traces(
 def breakdown_from_trace(
     trace: "Iterable[TraceRecord]", start_time: float, end_time: float
 ) -> PhaseBreakdown:
-    """Fold wall-clock trace records into a repair-relative breakdown."""
+    """Fold wall-clock trace records into a repair-relative breakdown.
+
+    Unknown phases are skipped (forward compatibility) and every
+    interval is clipped, so records from a peer whose clock stepped
+    backwards degrade to zero-length contributions instead of raising.
+    """
     breakdown = PhaseBreakdown()
+    start_time, end_time = clip_interval(start_time, end_time)
     breakdown.start_time = 0.0
-    breakdown.end_time = max(0.0, end_time - start_time)
+    breakdown.end_time = end_time - start_time
     for record in trace:
         phase = str(record["phase"])
         if phase not in PHASES:
             continue  # forward compatibility: ignore unknown phases
-        breakdown.record(
-            phase,
-            float(record["start"]) - start_time,  # type: ignore[arg-type]
-            float(record["end"]) - start_time,  # type: ignore[arg-type]
+        rec_start, rec_end = clip_interval(
+            float(record["start"]), float(record["end"])  # type: ignore[arg-type]
         )
+        breakdown.record(phase, rec_start - start_time, rec_end - start_time)
     return breakdown
+
+
+def ingest_records_as_spans(
+    tracer: Any,
+    trace: "Iterable[TraceRecord]",
+    category: str = "live.phase",
+    parent_id: "Any" = None,
+    **extra_attrs: Any,
+) -> int:
+    """Record wire trace records as obs spans on ``tracer``.
+
+    One span per record, named ``live.phase.<phase>``, tagged with the
+    record's node and attrs plus ``extra_attrs`` (repair id, stripe,
+    strategy...), all parented under ``parent_id`` (typically the
+    repair-attempt span).  Unknown phases are ingested too — a span
+    stream has no fixed vocabulary, unlike :class:`PhaseBreakdown`.
+    Returns the number of spans recorded.
+    """
+    count = 0
+    for record in trace:
+        attrs: "Dict[str, Any]" = dict(extra_attrs)
+        rec_attrs = record.get("attrs")
+        if isinstance(rec_attrs, dict):
+            attrs.update(rec_attrs)
+        tracer.record_span(
+            f"live.phase.{record['phase']}",
+            float(record["start"]),  # type: ignore[arg-type]
+            float(record["end"]),  # type: ignore[arg-type]
+            node=str(record.get("node", "")),
+            category=category,
+            parent_id=parent_id,
+            **attrs,
+        )
+        count += 1
+    return count
+
+
+def spans_to_records(spans: "Iterable[Any]") -> "List[TraceRecord]":
+    """Project ``live.phase.*`` obs spans back to wire trace records.
+
+    The inverse of :func:`ingest_records_as_spans` for the known-phase
+    subset; used to re-derive a :class:`PhaseBreakdown` from a span
+    stream (e.g. a loaded JSONL trace) and by tests asserting the
+    round-trip is lossless for the fields ``PhaseBreakdown`` consumes.
+    """
+    records: "List[TraceRecord]" = []
+    prefix = "live.phase."
+    for span in spans:
+        if not span.name.startswith(prefix):
+            continue
+        phase = span.name[len(prefix):]
+        if phase not in PHASES:
+            continue
+        records.append(
+            phase_record(phase, span.start, span.end, span.node, **span.attrs)
+        )
+    return records
 
 
 def traffic_from_records(
     records: "Iterable[TrafficRecord]",
 ) -> TrafficMatrix:
+    """Fold wire traffic records into a :class:`TrafficMatrix`."""
     matrix = TrafficMatrix()
     for record in records:
         matrix.add(
@@ -86,9 +197,5 @@ def buffers_nbytes(buffers: "Dict[int, object]") -> int:
 
 
 def phase_busy_map(breakdown: PhaseBreakdown) -> "Dict[str, float]":
+    """Per-phase busy seconds as a plain dict (RepairResult shape)."""
     return {name: breakdown.busy(name) for name in PHASES}
-
-
-def clip_interval(start: float, end: float) -> "Tuple[float, float]":
-    """Guard against clock skew producing negative intervals."""
-    return (start, end) if end >= start else (end, end)

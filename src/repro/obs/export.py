@@ -1,0 +1,158 @@
+"""Exporters: Chrome/Perfetto trace JSON, text timeline, text summary.
+
+The Chrome trace event format (the ``chrome://tracing`` / Perfetto JSON
+flavor) lays spans out as complete events (``"ph": "X"``) grouped by
+``pid``/``tid``.  We map one *node* (simulated server, live chunkserver,
+or the coordinator) to one pid, so Perfetto renders each machine as its
+own process track — which is exactly the view Figure 1 of the paper
+argues from: who is busy doing what, when, and where the repair
+serializes.
+
+Timestamps are exported in microseconds relative to the earliest span
+start, so virtual-time (seconds-from-zero) and wall-clock (seconds from
+the epoch) recordings both land near the origin and the export is
+byte-stable for golden-file tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .span import Span
+
+_US = 1_000_000  # seconds -> microseconds
+
+
+def chrome_trace(
+    spans: "Sequence[Span]",
+    clock: str = "monotonic",
+    process_prefix: str = "node",
+) -> "Dict[str, Any]":
+    """Convert spans to a Chrome trace-event JSON document.
+
+    Each distinct ``span.node`` becomes one process (pid) named
+    ``"<process_prefix>:<node>"``; spans with no node land on a shared
+    ``"<process_prefix>:-"`` track.  Output ordering is deterministic:
+    metadata events first (by pid), then spans sorted by (ts, pid, name).
+    """
+    spans = sorted(spans, key=lambda s: (s.start, s.node, s.name, s.span_id))
+    origin = spans[0].start if spans else 0.0
+
+    nodes = sorted({span.node or "-" for span in spans})
+    pids = {node: index + 1 for index, node in enumerate(nodes)}
+
+    events: "List[Dict[str, Any]]" = []
+    for node in nodes:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pids[node],
+                "tid": 0,
+                "args": {"name": f"{process_prefix}:{node}"},
+            }
+        )
+    for span in spans:
+        args: "Dict[str, Any]" = dict(span.attrs)
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        event: "Dict[str, Any]" = {
+            "name": span.name,
+            "ph": "X",
+            "ts": round((span.start - origin) * _US, 3),
+            "dur": round(span.duration * _US, 3),
+            "pid": pids[span.node or "-"],
+            "tid": 0,
+            "cat": span.category or "span",
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": clock, "producer": "repro.obs"},
+    }
+
+
+def render_timeline(
+    spans: "Sequence[Span]",
+    width: int = 60,
+    max_rows: int = 200,
+) -> str:
+    """ASCII timeline: one row per span, bars scaled to the recording.
+
+    Rows are sorted by start time and grouped under their node.  Long
+    recordings are truncated to ``max_rows`` with a trailer noting how
+    many spans were dropped — never silently.
+    """
+    spans = sorted(spans, key=lambda s: (s.start, s.node, s.span_id))
+    if not spans:
+        return "(no spans recorded)\n"
+
+    origin = min(span.start for span in spans)
+    horizon = max(span.end if span.end is not None else span.start for span in spans)
+    extent = max(horizon - origin, 1e-12)
+
+    name_width = min(36, max(len(s.name) for s in spans[:max_rows]) + 1)
+    lines: "List[str]" = []
+    current_node: "Optional[str]" = None
+    for span in spans[:max_rows]:
+        node = span.node or "-"
+        if node != current_node:
+            lines.append(f"-- {node} " + "-" * max(0, width + name_width - len(node) - 4))
+            current_node = node
+        left = int((span.start - origin) / extent * width)
+        length = max(1, int(span.duration / extent * width))
+        length = min(length, width - left) if left < width else 1
+        bar = " " * left + "#" * length
+        lines.append(
+            f"{span.name:<{name_width}}|{bar:<{width}}| "
+            f"{span.start - origin:9.6f}s +{span.duration:.6f}s"
+        )
+    if len(spans) > max_rows:
+        lines.append(f"... {len(spans) - max_rows} more spans not shown")
+    return "\n".join(lines) + "\n"
+
+
+def summarize(
+    spans: "Iterable[Span]",
+    metrics: "Optional[Iterable[Dict[str, Any]]]" = None,
+) -> str:
+    """Aggregate report: per-span-name count/total/mean, then metrics."""
+    totals: "Dict[str, List[float]]" = {}
+    for span in spans:
+        totals.setdefault(span.name, []).append(span.duration)
+
+    lines = ["span name                              count     total(s)      mean(s)"]
+    for name in sorted(totals):
+        durations = totals[name]
+        total = sum(durations)
+        lines.append(
+            f"{name:<38} {len(durations):>5} {total:>12.6f} "
+            f"{total / len(durations):>12.6f}"
+        )
+    if not totals:
+        lines.append("(no spans recorded)")
+
+    metric_list = list(metrics or [])
+    if metric_list:
+        lines.append("")
+        lines.append("metric                                 kind             value")
+        for snap in sorted(metric_list, key=lambda m: (m["name"], str(m.get("labels")))):
+            labels = snap.get("labels") or {}
+            label_text = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            if snap["kind"] == "histogram":
+                value = (
+                    f"count={snap['count']} sum={snap['sum']:.6f} "
+                    f"min={snap['min']} max={snap['max']}"
+                )
+            else:
+                value = f"{snap['value']:g}"
+            lines.append(f"{snap['name'] + label_text:<38} {snap['kind']:<10} {value:>12}")
+    return "\n".join(lines) + "\n"

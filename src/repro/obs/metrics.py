@@ -1,0 +1,248 @@
+"""Counters, gauges, and histograms in a process-wide registry.
+
+The metric model is deliberately small — three instrument kinds, each
+keyed by name plus an optional frozen label set — because every consumer
+in this repo (text summaries, JSONL snapshots, benchmark artifacts) only
+needs point-in-time totals, not a time series:
+
+* :class:`Counter` — a monotonically increasing total (events executed,
+  cache hits, RPC retries, bytes on the wire).
+* :class:`Gauge` — a value that goes up and down (inflight repairs,
+  queue depth).
+* :class:`Histogram` — a distribution summarized as count / sum / min /
+  max plus fixed bucket counts (disk queue waits, RPC latencies).
+
+All instruments are thread-safe; live mode updates them from asyncio
+callbacks and the RPC threads' loop while tests read snapshots.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: "Dict[str, Any]") -> LabelKey:
+    """Canonical, hashable form of a label dict."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: "Dict[str, str]"):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+    def snapshot(self) -> "Dict[str, Any]":
+        """JSON-friendly point-in-time view."""
+        return {
+            "kind": "counter",
+            "name": self.name,
+            "labels": self.labels,
+            "value": self._value,
+        }
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: "Dict[str, str]"):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the gauge up by ``amount``."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Move the gauge down by ``amount``."""
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def snapshot(self) -> "Dict[str, Any]":
+        """JSON-friendly point-in-time view."""
+        return {
+            "kind": "gauge",
+            "name": self.name,
+            "labels": self.labels,
+            "value": self._value,
+        }
+
+
+#: Default histogram bucket upper bounds, in seconds.  Spans four orders
+#: of magnitude around typical disk/network service times; good enough
+#: for both simulated (ms-scale) and live (µs-to-s) latencies.
+DEFAULT_BUCKETS: "Tuple[float, ...]" = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+)
+
+
+class Histogram:
+    """A distribution: count/sum/min/max plus fixed bucket counts."""
+
+    __slots__ = (
+        "name",
+        "labels",
+        "buckets",
+        "_counts",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: "Dict[str, str]",
+        buckets: "Sequence[float]" = DEFAULT_BUCKETS,
+    ):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        # One slot per bucket plus the +Inf overflow slot.
+        self._counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: "Optional[float]" = None
+        self.max: "Optional[float]" = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        with self._lock:
+            self._counts[bisect.bisect_left(self.buckets, value)] += 1
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all samples (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> "Dict[str, Any]":
+        """JSON-friendly point-in-time view (includes bucket counts)."""
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "labels": self.labels,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self._counts),
+        }
+
+
+class MetricsRegistry:
+    """Owns every instrument; get-or-create by (name, labels).
+
+    Asking twice for the same name + labels returns the same instrument,
+    so instrumentation sites never need to hold references across calls.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: "Dict[Tuple[str, str, LabelKey], Any]" = {}
+
+    def _get(self, kind: str, name: str, labels: "Dict[str, Any]", factory):
+        key = (kind, name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory()
+                self._metrics[key] = metric
+            return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get-or-create the counter ``name`` with these labels."""
+        clean = {str(k): str(v) for k, v in labels.items()}
+        return self._get("counter", name, clean, lambda: Counter(name, clean))
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get-or-create the gauge ``name`` with these labels."""
+        clean = {str(k): str(v) for k, v in labels.items()}
+        return self._get("gauge", name, clean, lambda: Gauge(name, clean))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: "Sequence[float]" = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """Get-or-create the histogram ``name`` with these labels."""
+        clean = {str(k): str(v) for k, v in labels.items()}
+        return self._get(
+            "histogram", name, clean, lambda: Histogram(name, clean, buckets)
+        )
+
+    def snapshot(self) -> "List[Dict[str, Any]]":
+        """Point-in-time view of every instrument, sorted by name+labels."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        metrics.sort(key=lambda item: item[0])
+        return [metric.snapshot() for _, metric in metrics]
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh recordings)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide registry all instrumentation reports into.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return _REGISTRY

@@ -1,0 +1,107 @@
+"""JSONL event sink: the durable on-disk form of a recording.
+
+A trace file is newline-delimited JSON.  The first line is a ``meta``
+record naming the schema version and the clock domain; every following
+line is a ``span`` event or a ``metric`` snapshot:
+
+    {"type": "meta", "version": 1, "clock": "virtual", ...}
+    {"type": "span", "name": "sim.disk.read", "start": 0.0, "end": 0.004, ...}
+    {"type": "metric", "kind": "counter", "name": "sim.cache.hits", ...}
+
+JSONL was chosen over a single JSON document so a live recording can be
+streamed line-by-line (crash-safe: a truncated file loses at most the
+final line) and so tools can grep it without a parser.  Unknown ``type``
+values are skipped on load — the same forward-compatibility posture as
+unknown phases in :func:`repro.live.trace.breakdown_from_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Optional, Tuple
+
+from .span import Span
+
+#: Current JSONL schema version, bumped on incompatible changes.
+SCHEMA_VERSION = 1
+
+
+class JsonlSink:
+    """Streams events to a file object, one JSON document per line.
+
+    Pass an instance as ``sink=`` to :func:`repro.obs.enable` to persist
+    spans as they finish instead of (only) buffering them in memory.
+    """
+
+    def __init__(self, fileobj: "IO[str]", clock: str = "monotonic"):
+        self._fileobj = fileobj
+        self.events_written = 0
+        self.write({"type": "meta", "version": SCHEMA_VERSION, "clock": clock})
+
+    def write(self, event: "Dict[str, Any]") -> None:
+        """Append one event as a JSON line and flush it."""
+        self._fileobj.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fileobj.flush()
+        self.events_written += 1
+
+
+def write_trace(
+    path: str,
+    spans: "Iterable[Span]",
+    clock: str = "monotonic",
+    metrics: "Optional[List[Dict[str, Any]]]" = None,
+    extra_meta: "Optional[Dict[str, Any]]" = None,
+) -> int:
+    """Write a complete recording to ``path``; returns events written.
+
+    ``metrics`` is a registry snapshot (``registry().snapshot()``)
+    appended after the spans, so one file carries the full recording.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as fileobj:
+        meta: "Dict[str, Any]" = {
+            "type": "meta",
+            "version": SCHEMA_VERSION,
+            "clock": clock,
+        }
+        if extra_meta:
+            meta.update(extra_meta)
+        fileobj.write(json.dumps(meta, sort_keys=True) + "\n")
+        count += 1
+        for span in spans:
+            fileobj.write(json.dumps(span.to_event(), sort_keys=True) + "\n")
+            count += 1
+        for snapshot in metrics or []:
+            record = {"type": "metric"}
+            record.update(snapshot)
+            fileobj.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(
+    path: str,
+) -> "Tuple[Dict[str, Any], List[Span], List[Dict[str, Any]]]":
+    """Read a JSONL trace back as ``(meta, spans, metric_snapshots)``.
+
+    Blank lines and unknown event types are skipped; a missing meta line
+    yields a default ``{"version": 1, "clock": "monotonic"}``.
+    """
+    meta: "Dict[str, Any]" = {"version": SCHEMA_VERSION, "clock": "monotonic"}
+    spans: "List[Span]" = []
+    metrics: "List[Dict[str, Any]]" = []
+    with open(path, "r", encoding="utf-8") as fileobj:
+        for line in fileobj:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            etype = event.get("type")
+            if etype == "meta":
+                meta = {k: v for k, v in event.items() if k != "type"}
+            elif etype == "span":
+                spans.append(Span.from_event(event))
+            elif etype == "metric":
+                metrics.append({k: v for k, v in event.items() if k != "type"})
+            # Unknown types: skipped for forward compatibility.
+    return meta, spans, metrics

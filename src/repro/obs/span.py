@@ -1,0 +1,236 @@
+"""Nestable spans and the :class:`Tracer` that collects them.
+
+A *span* is one named interval of work — a disk read, a network flow, an
+RPC round trip, a whole repair — with a start, an end, the node it ran
+on, a category, free-form attributes, and a parent link that makes the
+collection a forest.  Spans deliberately do not care which clock produced
+their timestamps: the simulator records spans in virtual seconds, live
+mode in (monotonic-guarded) wall seconds; the tracer just stores what it
+is given, and the exporters normalize to a zero origin.
+
+Two ways to produce spans:
+
+* ``with tracer.span("live.rpc.ping", node="cs-00"):`` — a context
+  manager that reads the tracer's clock at entry/exit and nests via a
+  :mod:`contextvars` stack, so it works in both sync and asyncio code.
+* ``tracer.record_span("sim.disk.read", start, end, node="S001")`` —
+  explicit timestamps, for event-driven code where the interval is known
+  only in hindsight (this is how virtual time maps onto spans).
+
+Negative intervals (a clock stepping backwards between two reads) are
+clipped to zero length at the later bound rather than rejected — the
+same policy as :func:`repro.live.trace.clip_interval` — so a single bad
+NTP step cannot poison an export.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One finished (or in-flight) interval of work."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "end",
+        "node",
+        "category",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        start: float,
+        end: "Optional[float]" = None,
+        node: str = "",
+        category: str = "",
+        parent_id: "Optional[int]" = None,
+        attrs: "Optional[Dict[str, Any]]" = None,
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end = end
+        self.node = node
+        self.category = category
+        self.attrs: "Dict[str, Any]" = dict(attrs) if attrs else {}
+
+    @property
+    def duration(self) -> float:
+        """Span length in clock units; 0.0 while still open."""
+        if self.end is None:
+            return 0.0
+        return max(0.0, self.end - self.start)
+
+    def to_event(self) -> "Dict[str, Any]":
+        """The JSONL wire form (see docs/OBSERVABILITY.md for the schema)."""
+        event: "Dict[str, Any]" = {
+            "type": "span",
+            "name": self.name,
+            "start": self.start,
+            "end": self.start if self.end is None else self.end,
+            "node": self.node,
+            "span_id": self.span_id,
+        }
+        if self.category:
+            event["cat"] = self.category
+        if self.parent_id is not None:
+            event["parent_id"] = self.parent_id
+        if self.attrs:
+            event["attrs"] = self.attrs
+        return event
+
+    @classmethod
+    def from_event(cls, event: "Dict[str, Any]") -> "Span":
+        """Rebuild a span from its JSONL event (inverse of :meth:`to_event`)."""
+        start, end = clip(float(event["start"]), float(event["end"]))
+        return cls(
+            span_id=int(event.get("span_id", 0)),
+            name=str(event["name"]),
+            start=start,
+            end=end,
+            node=str(event.get("node", "")),
+            category=str(event.get("cat", "")),
+            parent_id=(
+                int(event["parent_id"]) if "parent_id" in event else None
+            ),
+            attrs=dict(event.get("attrs", {})),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Span #{self.span_id} {self.name!r} "
+            f"[{self.start:.6f}, {self.end}] node={self.node!r}>"
+        )
+
+
+def clip(start: float, end: float) -> "tuple[float, float]":
+    """Guard against clocks stepping backwards: never a negative interval.
+
+    Mirrors :func:`repro.live.trace.clip_interval`: a reversed interval
+    collapses to zero length at the *later* reading (``end``), which is
+    the more recent — and therefore more trustworthy — timestamp.
+    """
+    return (start, end) if end >= start else (end, end)
+
+
+class Tracer:
+    """Collects spans; optionally streams them to a sink as they finish.
+
+    ``clock`` produces timestamps for the context-manager API; it defaults
+    to :func:`time.monotonic` (immune to NTP steps).  ``clock_name`` is
+    recorded in exported metadata so a reader knows what the numbers mean
+    (``"monotonic"``, ``"wall"`` or ``"virtual"``).
+    """
+
+    def __init__(
+        self,
+        clock: "Callable[[], float]" = time.monotonic,
+        clock_name: str = "monotonic",
+        sink: "Optional[Any]" = None,
+        max_spans: int = 1_000_000,
+    ):
+        self._clock = clock
+        self.clock_name = clock_name
+        self._sink = sink
+        self._max_spans = max_spans
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._current: "contextvars.ContextVar[Optional[int]]" = (
+            contextvars.ContextVar("repro_obs_current_span", default=None)
+        )
+        self.spans: "List[Span]" = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Producing spans
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """One reading of this tracer's clock."""
+        return self._clock()
+
+    @contextmanager
+    def span(
+        self, name: str, node: str = "", category: str = "", **attrs: Any
+    ) -> "Iterator[Span]":
+        """Open a nested span around a ``with`` block (tracer clock)."""
+        span = Span(
+            span_id=next(self._ids),
+            name=name,
+            start=self._clock(),
+            node=node,
+            category=category,
+            parent_id=self._current.get(),
+            attrs=attrs,
+        )
+        token = self._current.set(span.span_id)
+        try:
+            yield span
+        finally:
+            self._current.reset(token)
+            span.start, span.end = clip(span.start, self._clock())
+            self._emit(span)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        node: str = "",
+        category: str = "",
+        parent_id: "Optional[int]" = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record a span with explicit timestamps (clipped if reversed).
+
+        This is the ingestion path for virtual-time (simulator) intervals
+        and for trace records that arrived over the live wire.
+        """
+        start, end = clip(start, end)
+        span = Span(
+            span_id=next(self._ids),
+            name=name,
+            start=start,
+            end=end,
+            node=node,
+            category=category,
+            parent_id=(
+                parent_id if parent_id is not None else self._current.get()
+            ),
+            attrs=attrs,
+        )
+        self._emit(span)
+        return span
+
+    def _emit(self, span: Span) -> None:
+        with self._lock:
+            if len(self.spans) >= self._max_spans:
+                self.dropped += 1
+            else:
+                self.spans.append(span)
+        if self._sink is not None:
+            self._sink.write(span.to_event())
+
+    # ------------------------------------------------------------------
+    # Consuming spans
+    # ------------------------------------------------------------------
+    def drain(self) -> "List[Span]":
+        """Return all collected spans and clear the buffer."""
+        with self._lock:
+            spans, self.spans = self.spans, []
+        return spans
+
+    def __len__(self) -> int:
+        return len(self.spans)

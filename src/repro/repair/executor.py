@@ -14,6 +14,7 @@ from typing import Dict, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.errors import PlanError
 from repro.codes.recipe import RepairRecipe
 from repro.repair.plan import DESTINATION, RepairPlan
@@ -34,9 +35,16 @@ def execute_plan(
         if helper not in chunks:
             raise PlanError(f"missing buffer for helper chunk {helper}")
 
-    if plan.strategy in ("star", "staggered"):
-        return _execute_raw(plan, chunks)
-    return _execute_partial(plan, chunks)
+    with obs.maybe_span(
+        "repair.execute_plan",
+        category="repair",
+        strategy=plan.strategy,
+        helpers=len(recipe.helpers),
+        steps=plan.num_steps,
+    ):
+        if plan.strategy in ("star", "staggered"):
+            return _execute_raw(plan, chunks)
+        return _execute_partial(plan, chunks)
 
 
 def _execute_raw(

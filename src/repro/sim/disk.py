@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro import obs
 from repro.sim.events import Simulation
 from repro.util.units import Bandwidth
 from repro.util.validation import check_non_negative
@@ -31,12 +32,34 @@ class Disk:
         self.bytes_read = 0.0
         self.bytes_written = 0.0
         self.num_requests = 0
+        #: Who owns this spindle, for span/metric labels ("" = anonymous).
+        self.owner = ""
 
-    def _enqueue(self, size: float, callback: "Optional[Callable[[], None]]") -> float:
+    def _enqueue(
+        self,
+        size: float,
+        callback: "Optional[Callable[[], None]]",
+        op: str = "io",
+    ) -> float:
         start = max(self.sim.now, self._busy_until)
         finish = start + self.seek_latency + size / self.bandwidth
         self._busy_until = finish
         self.num_requests += 1
+        tracer = obs.tracer()
+        if tracer is not None:
+            wait = start - self.sim.now
+            obs.registry().histogram(
+                "sim.disk.queue_wait", node=self.owner
+            ).observe(wait)
+            tracer.record_span(
+                f"sim.disk.{op}",
+                start,
+                finish,
+                node=self.owner,
+                category="sim.disk",
+                nbytes=size,
+                queue_wait=wait,
+            )
         if callback is not None:
             self.sim.schedule_at(finish, callback)
         return finish
@@ -47,7 +70,7 @@ class Disk:
         """Queue a read of ``size`` bytes; returns its completion time."""
         check_non_negative("size", size)
         self.bytes_read += size
-        return self._enqueue(size, callback)
+        return self._enqueue(size, callback, op="read")
 
     def write(
         self, size: float, callback: "Optional[Callable[[], None]]" = None
@@ -55,7 +78,7 @@ class Disk:
         """Queue a write of ``size`` bytes; returns its completion time."""
         check_non_negative("size", size)
         self.bytes_written += size
-        return self._enqueue(size, callback)
+        return self._enqueue(size, callback, op="write")
 
     @property
     def queue_delay(self) -> float:

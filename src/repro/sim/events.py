@@ -49,6 +49,10 @@ class Simulation:
         self._heap: "List[Event]" = []
         self._seq = itertools.count()
         self._running = False
+        #: Events executed so far — a plain int (no obs dependency: this
+        #: is the innermost loop) that ``repro trace`` snapshots into the
+        #: ``sim.events.executed`` counter after a recorded run.
+        self.events_executed = 0
 
     def schedule(
         self, delay: float, callback: "Callable[..., None]", *args: Any
@@ -83,6 +87,7 @@ class Simulation:
             if event.cancelled:
                 continue
             self.now = event.time
+            self.events_executed += 1
             event.callback(*event.args)
             return True
         return False

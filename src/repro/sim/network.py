@@ -19,6 +19,7 @@ import itertools
 import math
 from typing import Any, Callable, Dict, Optional, Sequence, Set
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.sim.events import Event, Simulation
 from repro.util.units import Bandwidth
@@ -308,5 +309,19 @@ class FlowNetwork:
         flow.finish_time = self.sim.now
         flow.remaining = 0.0
         self.completed_flows += 1
+        tracer = obs.tracer()
+        if tracer is not None:
+            dst = str(flow.meta.get("dst", ""))
+            tracer.record_span(
+                "sim.net.flow",
+                flow.start_time,
+                flow.finish_time,
+                node=dst,
+                category="sim.net",
+                nbytes=flow.size,
+                src=str(flow.meta.get("src", "")),
+            )
+            obs.registry().counter("sim.net.flows").inc()
+            obs.registry().counter("sim.net.bytes").inc(flow.size)
         if flow.on_complete is not None:
             flow.on_complete(flow)

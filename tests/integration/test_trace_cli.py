@@ -1,0 +1,147 @@
+"""End-to-end ``repro trace``: record (sim + live), convert, inspect.
+
+The sim path exercises the virtual clock end to end; the live path
+reuses the cross-process serve cluster so the recorded spans come off a
+real TCP repair.  Both recorded traces must convert to Chrome trace
+JSON that chrome://tracing / Perfetto would accept.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from tests.integration.test_live_cli import ServeProcess
+
+
+def run_trace_cli(*args: str) -> "subprocess.CompletedProcess[str]":
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "trace", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def _assert_valid_chrome_trace(path) -> "dict":
+    document = json.loads(path.read_text(encoding="utf-8"))
+    assert document["displayTimeUnit"] == "ms"
+    events = document["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert complete, "no complete events in exported trace"
+    for event in complete:
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+        assert isinstance(event["pid"], int)
+        assert event["name"]
+    # Every pid used by an X event has a process_name metadata event.
+    named = {e["pid"] for e in events if e["ph"] == "M"}
+    assert {e["pid"] for e in complete} <= named
+    return document
+
+
+class TestTraceSim:
+    @pytest.fixture(scope="class")
+    def sim_trace(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "sim.trace.jsonl"
+        result = run_trace_cli(
+            "record", "--out", str(path), "--strategy", "ppr"
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "spans" in result.stdout
+        return path
+
+    def test_record_writes_jsonl_with_meta_first(self, sim_trace):
+        lines = sim_trace.read_text(encoding="utf-8").splitlines()
+        meta = json.loads(lines[0])
+        assert meta["type"] == "meta"
+        assert meta["clock"] == "virtual"
+        types = {json.loads(line)["type"] for line in lines[1:]}
+        assert "span" in types
+        assert "metric" in types
+
+    def test_records_phase_spans_on_virtual_clock(self, sim_trace):
+        spans = [
+            json.loads(line)
+            for line in sim_trace.read_text(encoding="utf-8").splitlines()
+            if json.loads(line)["type"] == "span"
+        ]
+        names = {s["name"] for s in spans}
+        assert "sim.repair" in names
+        assert any(n.startswith("sim.phase.") for n in names)
+        assert any(n.startswith("sim.disk.") for n in names)
+
+    def test_convert_to_chrome_trace(self, sim_trace, tmp_path):
+        out = tmp_path / "sim.chrome.json"
+        result = run_trace_cli("convert", str(sim_trace), "--out", str(out))
+        assert result.returncode == 0, result.stderr[-2000:]
+        document = _assert_valid_chrome_trace(out)
+        assert document["otherData"]["clock"] == "virtual"
+
+    def test_timeline_renders_per_node(self, sim_trace):
+        result = run_trace_cli("timeline", str(sim_trace), "--width", "40")
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "-- " in result.stdout  # node group headers
+        assert "sim.repair" in result.stdout
+
+    def test_summary_lists_spans_and_metrics(self, sim_trace):
+        result = run_trace_cli("summary", str(sim_trace))
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "clock=virtual" in result.stdout
+        assert "sim.repair" in result.stdout
+        assert "sim.events.executed" in result.stdout
+
+
+class TestTraceLive:
+    def test_live_record_and_convert(self, tmp_path):
+        proc = ServeProcess("--stripe", "rs(4,2)", "--kill-index", "1")
+        try:
+            proc.wait_ready()
+            path = tmp_path / "live.trace.jsonl"
+            result = run_trace_cli(
+                "record",
+                "--live",
+                "--meta",
+                proc.meta,
+                "--stripe-id",
+                proc.stripe,
+                "--out",
+                str(path),
+                "--strategy",
+                "ppr",
+            )
+            assert result.returncode == 0, result.stderr[-2000:]
+        finally:
+            proc.stop()
+
+        spans = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+            if json.loads(line)["type"] == "span"
+        ]
+        names = {s["name"] for s in spans}
+        assert "live.repair.attempt" in names
+        assert any(n.startswith("live.phase.") for n in names)
+        assert any(n.startswith("live.rpc.") for n in names)
+        # Phase spans hang off the repair-attempt umbrella span.
+        attempt = next(s for s in spans if s["name"] == "live.repair.attempt")
+        children = [
+            s for s in spans if s.get("parent_id") == attempt["span_id"]
+        ]
+        assert children
+
+        out = tmp_path / "live.chrome.json"
+        result = run_trace_cli("convert", str(path), "--out", str(out))
+        assert result.returncode == 0, result.stderr[-2000:]
+        document = _assert_valid_chrome_trace(out)
+        assert document["otherData"]["clock"] == "wall"
+
+    def test_live_requires_endpoint_args(self, tmp_path):
+        result = run_trace_cli(
+            "record", "--live", "--out", str(tmp_path / "x.jsonl")
+        )
+        assert result.returncode == 2
+        assert "--meta" in result.stderr

@@ -1,0 +1,140 @@
+"""Edge cases of the live trace-record layer (clock skew, forward compat)."""
+
+from __future__ import annotations
+
+import time
+from unittest import mock
+
+import pytest
+
+from repro.live import trace
+from repro.obs.span import Tracer
+from repro.sim.metrics import PHASES
+
+
+class TestMonotonicNow:
+    def test_now_never_steps_backwards(self, monkeypatch):
+        # Reset the process-wide high-water mark so the synthetic
+        # readings below aren't swamped by earlier real-clock calls.
+        monkeypatch.setattr(trace, "_last_now", 0.0)
+        readings = iter([100.0, 50.0, 60.0, 101.0])
+        with mock.patch.object(time, "time", lambda: next(readings)):
+            first = trace.now()
+            stepped_back = trace.now()
+            still_behind = trace.now()
+            recovered = trace.now()
+        assert first == 100.0
+        # The wall clock jumped to 50/60 but now() holds the high-water mark.
+        assert stepped_back == 100.0
+        assert still_behind == 100.0
+        assert recovered == 101.0
+
+    def test_now_tracks_real_clock(self):
+        a = trace.now()
+        b = trace.now()
+        assert b >= a
+
+
+class TestClipInterval:
+    def test_forward_untouched(self):
+        assert trace.clip_interval(1.0, 2.0) == (1.0, 2.0)
+
+    def test_reversed_collapses_at_end(self):
+        assert trace.clip_interval(2.0, 1.0) == (1.0, 1.0)
+
+
+class TestPhaseRecord:
+    def test_unknown_phase_raises_at_creation(self):
+        with pytest.raises(KeyError):
+            trace.phase_record("teleport", 0.0, 1.0, "n1")
+
+    def test_reversed_interval_clipped_on_ingest(self):
+        record = trace.phase_record("network", 5.0, 3.0, "n1")
+        assert record["start"] == 3.0
+        assert record["end"] == 3.0
+
+    def test_attrs_ride_along(self):
+        record = trace.phase_record(
+            "disk_read", 0.0, 1.0, "n1", nbytes=4096, chunk_id="c-1"
+        )
+        assert record["attrs"] == {"nbytes": 4096, "chunk_id": "c-1"}
+
+    def test_no_attrs_key_when_empty(self):
+        # Wire compatibility: records without attrs look exactly as before.
+        record = trace.phase_record("compute", 0.0, 1.0, "n1")
+        assert "attrs" not in record
+
+
+class TestBreakdownFromTrace:
+    def test_unknown_phases_skipped_forward_compat(self):
+        records = [
+            trace.phase_record("compute", 1.0, 2.0, "n1"),
+            {"phase": "quantum_decode", "start": 1.0, "end": 9.0, "node": "n2"},
+        ]
+        breakdown = trace.breakdown_from_trace(records, 0.0, 3.0)
+        assert breakdown.busy("compute") == pytest.approx(1.0)
+        assert sum(breakdown.busy(p) for p in PHASES) == pytest.approx(1.0)
+
+    def test_reversed_record_contributes_zero(self):
+        records = [{"phase": "network", "start": 8.0, "end": 2.0, "node": "n"}]
+        breakdown = trace.breakdown_from_trace(records, 0.0, 10.0)
+        assert breakdown.busy("network") == 0.0
+
+    def test_zero_length_record_contributes_zero(self):
+        records = [trace.phase_record("compute", 4.0, 4.0, "n")]
+        breakdown = trace.breakdown_from_trace(records, 0.0, 10.0)
+        assert breakdown.busy("compute") == 0.0
+
+    def test_reversed_repair_window_clipped(self):
+        breakdown = trace.breakdown_from_trace([], 10.0, 4.0)
+        assert breakdown.end_time == 0.0
+
+    def test_relative_to_start_time(self):
+        records = [trace.phase_record("disk_read", 105.0, 107.0, "n")]
+        breakdown = trace.breakdown_from_trace(records, 100.0, 110.0)
+        assert breakdown.busy("disk_read") == pytest.approx(2.0)
+        assert breakdown.end_time == pytest.approx(10.0)
+
+
+class TestSpanIngestion:
+    def test_records_become_spans_and_back(self):
+        records = [
+            trace.phase_record("disk_read", 1.0, 2.0, "cs-00", nbytes=64),
+            trace.phase_record("network", 2.0, 3.0, "cs-01", src="cs-00"),
+        ]
+        tracer = Tracer()
+        count = trace.ingest_records_as_spans(
+            tracer, records, repair_id="r-1", parent_id=99
+        )
+        assert count == 2
+        assert [s.name for s in tracer.spans] == [
+            "live.phase.disk_read",
+            "live.phase.network",
+        ]
+        assert all(s.parent_id == 99 for s in tracer.spans)
+        assert tracer.spans[0].attrs["repair_id"] == "r-1"
+        assert tracer.spans[0].attrs["nbytes"] == 64
+
+        # Project back and rebuild an identical breakdown: PhaseBreakdown
+        # really is a derived view of the span stream.
+        round_tripped = trace.spans_to_records(tracer.spans)
+        direct = trace.breakdown_from_trace(records, 0.0, 5.0)
+        derived = trace.breakdown_from_trace(round_tripped, 0.0, 5.0)
+        for phase in PHASES:
+            assert derived.busy(phase) == pytest.approx(direct.busy(phase))
+
+    def test_unknown_phase_records_still_become_spans(self):
+        tracer = Tracer()
+        trace.ingest_records_as_spans(
+            tracer,
+            [{"phase": "future_phase", "start": 0.0, "end": 1.0, "node": "x"}],
+        )
+        assert tracer.spans[0].name == "live.phase.future_phase"
+        # ...but spans_to_records only projects the known vocabulary.
+        assert trace.spans_to_records(tracer.spans) == []
+
+    def test_spans_to_records_ignores_non_phase_spans(self):
+        tracer = Tracer()
+        tracer.record_span("live.rpc.ping", 0.0, 1.0, node="a")
+        tracer.record_span("sim.repair", 0.0, 1.0, node="b")
+        assert trace.spans_to_records(tracer.spans) == []

@@ -1,0 +1,258 @@
+"""Unit tests for the repro.obs tracing + metrics core."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.span import Span, Tracer, clip
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with tracing off and a fresh registry."""
+    obs.disable()
+    obs.registry().reset()
+    yield
+    obs.disable()
+    obs.registry().reset()
+
+
+class TestClip:
+    def test_forward_interval_untouched(self):
+        assert clip(1.0, 2.0) == (1.0, 2.0)
+
+    def test_zero_length_untouched(self):
+        assert clip(3.0, 3.0) == (3.0, 3.0)
+
+    def test_reversed_interval_collapses_at_end(self):
+        # The later reading (end) is the more recent and wins.
+        assert clip(5.0, 3.0) == (3.0, 3.0)
+
+
+class TestSpanNesting:
+    def test_context_manager_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+        assert outer.parent_id is None
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+        # Finish order: innermost first.
+        assert [s.name for s in tracer.spans] == ["inner", "middle", "outer"]
+
+    def test_record_span_inherits_open_context(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            child = tracer.record_span("child", 0.0, 1.0)
+        assert child.parent_id == outer.span_id
+
+    def test_record_span_explicit_parent_wins(self):
+        tracer = Tracer()
+        anchor = tracer.record_span("anchor", 0.0, 1.0)
+        child = tracer.record_span("child", 0.5, 0.7, parent_id=anchor.span_id)
+        assert child.parent_id == anchor.span_id
+
+    def test_nesting_isolated_across_threads(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("in-thread") as s:
+                seen["parent"] = s.parent_id
+
+        with tracer.span("main-thread"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # contextvars don't leak across threads: the worker's span is a root.
+        assert seen["parent"] is None
+
+
+class TestSpanRecording:
+    def test_record_span_clips_reversed_interval(self):
+        tracer = Tracer()
+        span = tracer.record_span("backwards", 10.0, 4.0)
+        assert (span.start, span.end) == (4.0, 4.0)
+        assert span.duration == 0.0
+
+    def test_attrs_survive(self):
+        tracer = Tracer()
+        span = tracer.record_span("io", 0.0, 1.0, node="S1", nbytes=512)
+        assert span.node == "S1"
+        assert span.attrs == {"nbytes": 512}
+
+    def test_max_spans_cap_drops_not_raises(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(5):
+            tracer.record_span(f"s{i}", 0.0, 1.0)
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_drain_empties_buffer(self):
+        tracer = Tracer()
+        tracer.record_span("a", 0.0, 1.0)
+        assert len(tracer.drain()) == 1
+        assert len(tracer) == 0
+
+
+class TestJsonlRoundTrip:
+    def test_span_to_event_and_back(self):
+        original = Span(
+            span_id=7,
+            name="live.phase.network",
+            start=1.25,
+            end=2.5,
+            node="cs-03",
+            category="live.phase",
+            parent_id=3,
+            attrs={"nbytes": 4096, "src": "cs-01"},
+        )
+        # Through an actual JSON encode/decode, as the sink would do it.
+        event = json.loads(json.dumps(original.to_event()))
+        restored = Span.from_event(event)
+        assert restored.span_id == original.span_id
+        assert restored.name == original.name
+        assert restored.start == original.start
+        assert restored.end == original.end
+        assert restored.node == original.node
+        assert restored.category == original.category
+        assert restored.parent_id == original.parent_id
+        assert restored.attrs == original.attrs
+
+    def test_write_and_load_trace(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", node="A", role="agg"):
+            tracer.record_span("inner", 1.0, 2.0, node="B", nbytes=10)
+        obs.registry().counter("hits", node="A").inc(3)
+        path = tmp_path / "trace.jsonl"
+        obs.write_trace(
+            str(path),
+            tracer.spans,
+            clock="virtual",
+            metrics=obs.registry().snapshot(),
+            extra_meta={"mode": "test"},
+        )
+        meta, spans, metrics = obs.load_trace(str(path))
+        assert meta["clock"] == "virtual"
+        assert meta["mode"] == "test"
+        assert meta["version"] == obs.SCHEMA_VERSION
+        assert [s.name for s in spans] == ["inner", "outer"]
+        assert spans[0].attrs == {"nbytes": 10}
+        assert spans[0].parent_id == spans[1].span_id
+        assert metrics == [
+            {
+                "kind": "counter",
+                "name": "hits",
+                "labels": {"node": "A"},
+                "value": 3.0,
+            }
+        ]
+
+    def test_unknown_event_types_skipped_on_load(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"type": "meta", "version": 1, "clock": "wall"}\n'
+            '{"type": "hologram", "future": true}\n'
+            '{"type": "span", "name": "x", "start": 0, "end": 1, '
+            '"node": "", "span_id": 1}\n',
+            encoding="utf-8",
+        )
+        _meta, spans, _metrics = obs.load_trace(str(path))
+        assert len(spans) == 1
+
+    def test_streaming_sink_writes_meta_then_spans(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            sink = obs.JsonlSink(handle, clock="wall")
+            tracer = Tracer(sink=sink)
+            tracer.record_span("a", 0.0, 1.0)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["clock"] == "wall"
+        assert lines[1]["type"] == "span"
+        assert sink.events_written == 2
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        counter = obs.registry().counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = obs.registry().gauge("g")
+        gauge.set(10)
+        gauge.dec(4)
+        gauge.inc()
+        assert gauge.value == 7.0
+
+    def test_histogram_stats_and_buckets(self):
+        hist = obs.registry().histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == 55.5
+        assert hist.min == 0.5
+        assert hist.max == 50.0
+        assert hist.mean == pytest.approx(18.5)
+        snap = hist.snapshot()
+        assert snap["bucket_counts"] == [1, 1, 1]  # <=1, <=10, +Inf
+
+    def test_get_or_create_same_instrument(self):
+        registry = obs.registry()
+        assert registry.counter("x", node="A") is registry.counter(
+            "x", node="A"
+        )
+        assert registry.counter("x", node="A") is not registry.counter(
+            "x", node="B"
+        )
+
+    def test_snapshot_sorted_and_reset(self):
+        registry = obs.registry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        names = [snap["name"] for snap in registry.snapshot()]
+        assert names == ["a", "b"]
+        registry.reset()
+        assert registry.snapshot() == []
+
+
+class TestGlobalSwitch:
+    def test_disabled_by_default(self):
+        assert obs.tracer() is None
+        assert not obs.enabled()
+
+    def test_enable_disable_cycle(self):
+        tracer = obs.enable(clock_name="virtual")
+        assert obs.tracer() is tracer
+        assert tracer.clock_name == "virtual"
+        previous = obs.disable()
+        assert previous is tracer
+        assert obs.tracer() is None
+
+    def test_maybe_span_noop_when_disabled(self):
+        with obs.maybe_span("anything") as span:
+            assert span is None
+
+    def test_maybe_span_records_when_enabled(self):
+        tracer = obs.enable()
+        with obs.maybe_span("work", node="N", k=1) as span:
+            assert span is not None
+        assert tracer.spans[0].name == "work"
+        assert tracer.spans[0].attrs == {"k": 1}
+
+    def test_recording_context_always_disables(self):
+        with pytest.raises(RuntimeError):
+            with obs.recording():
+                assert obs.enabled()
+                raise RuntimeError("boom")
+        assert not obs.enabled()

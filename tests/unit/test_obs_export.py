@@ -1,0 +1,172 @@
+"""Exporter tests: Chrome trace (golden file), timeline, summary."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro import obs
+from repro.obs.span import Span
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "data"
+    / "chrome_trace_golden.json"
+)
+
+
+def _fixture_spans() -> "list[Span]":
+    """A small deterministic two-node repair timeline."""
+    return [
+        Span(
+            span_id=1,
+            name="sim.repair",
+            start=100.0,
+            end=100.010,
+            node="S006",
+            category="sim.repair",
+            attrs={"strategy": "ppr", "verified": True},
+        ),
+        Span(
+            span_id=2,
+            name="sim.phase.disk_read",
+            start=100.0,
+            end=100.004,
+            node="S001",
+            category="sim.phase",
+            parent_id=1,
+            attrs={"nbytes": 4096},
+        ),
+        Span(
+            span_id=3,
+            name="sim.phase.network",
+            start=100.004,
+            end=100.008,
+            node="S006",
+            category="sim.phase",
+            parent_id=1,
+            attrs={"nbytes": 4096, "src": "S001"},
+        ),
+        Span(
+            span_id=4,
+            name="sim.phase.compute",
+            start=100.008,
+            end=100.010,
+            node="S006",
+            category="sim.phase",
+            parent_id=1,
+        ),
+    ]
+
+
+class TestChromeTrace:
+    def test_matches_golden_file(self):
+        """Byte-stable export: catches accidental format drift.
+
+        Regenerate after an intentional format change with::
+
+            PYTHONPATH=src python -c "
+            from tests.unit.test_obs_export import regenerate_golden
+            regenerate_golden()"
+        """
+        document = obs.chrome_trace(_fixture_spans(), clock="virtual")
+        rendered = json.dumps(document, indent=1, sort_keys=True) + "\n"
+        assert rendered == GOLDEN_PATH.read_text(encoding="utf-8")
+
+    def test_structure_is_valid_trace_event_json(self):
+        document = obs.chrome_trace(_fixture_spans(), clock="virtual")
+        events = document["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(metadata) == 2  # two distinct nodes
+        assert len(complete) == 4
+        # One pid per node, names prefixed for Perfetto's process list.
+        names = {m["args"]["name"] for m in metadata}
+        assert names == {"node:S001", "node:S006"}
+        for event in complete:
+            assert event["ts"] >= 0  # normalized to the earliest start
+            assert event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+
+    def test_timestamps_normalized_and_microseconds(self):
+        document = obs.chrome_trace(_fixture_spans(), clock="virtual")
+        repair = next(
+            e
+            for e in document["traceEvents"]
+            if e.get("name") == "sim.repair"
+        )
+        assert repair["ts"] == 0.0  # earliest span defines the origin
+        assert repair["dur"] == 10000.0  # 10 ms in µs
+
+    def test_empty_span_list(self):
+        document = obs.chrome_trace([], clock="wall")
+        assert document["traceEvents"] == []
+
+    def test_spans_without_node_share_a_track(self):
+        spans = [
+            Span(span_id=1, name="a", start=0.0, end=1.0),
+            Span(span_id=2, name="b", start=1.0, end=2.0),
+        ]
+        document = obs.chrome_trace(spans)
+        pids = {e["pid"] for e in document["traceEvents"] if e["ph"] == "X"}
+        assert len(pids) == 1
+
+
+class TestTextExports:
+    def test_timeline_groups_by_node(self):
+        text = obs.render_timeline(_fixture_spans())
+        assert "-- S001" in text
+        assert "-- S006" in text
+        assert "sim.phase.disk_read" in text
+
+    def test_timeline_truncation_is_loud(self):
+        spans = [
+            Span(span_id=i, name=f"s{i}", start=float(i), end=float(i) + 1)
+            for i in range(10)
+        ]
+        text = obs.render_timeline(spans, max_rows=3)
+        assert "7 more spans not shown" in text
+
+    def test_timeline_empty(self):
+        assert "no spans" in obs.render_timeline([])
+
+    def test_summary_aggregates_by_name(self):
+        text = obs.summarize(_fixture_spans())
+        assert "sim.phase.compute" in text
+        # sim.phase.disk_read appears once with count 1
+        line = next(
+            l for l in text.splitlines() if l.startswith("sim.phase.disk_read")
+        )
+        assert " 1 " in line
+
+    def test_summary_includes_metrics(self):
+        metrics = [
+            {
+                "kind": "counter",
+                "name": "sim.cache.hits",
+                "labels": {"node": "S1"},
+                "value": 4.0,
+            },
+            {
+                "kind": "histogram",
+                "name": "wait",
+                "labels": {},
+                "count": 2,
+                "sum": 0.5,
+                "min": 0.1,
+                "max": 0.4,
+            },
+        ]
+        text = obs.summarize(_fixture_spans(), metrics)
+        assert "sim.cache.hits{node=S1}" in text
+        assert "count=2" in text
+
+
+def regenerate_golden() -> None:
+    """Rewrite the golden file from the current exporter output."""
+    document = obs.chrome_trace(_fixture_spans(), clock="virtual")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(document, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

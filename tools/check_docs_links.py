@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links point at files that exist.
+
+Scans every tracked ``*.md`` file, extracts inline links and image
+references, and verifies that each relative target resolves inside the
+repository.  External schemes (http/https/mailto), pure anchors and
+generated paths (``results/``) are skipped.
+
+Run from anywhere:  python tools/check_docs_links.py
+Exit status is the number of broken links (0 = all good).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: inline markdown link or image: [text](target) / ![alt](target)
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+#: directories whose contents are generated or vendored, not tracked docs
+_SKIP_DIRS = {".git", "results", "__pycache__", ".pytest_cache", "build", "dist"}
+
+
+def iter_markdown_files() -> "list[pathlib.Path]":
+    files = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        parts = set(path.relative_to(REPO_ROOT).parts[:-1])
+        if parts & _SKIP_DIRS:
+            continue
+        files.append(path)
+    return files
+
+
+def check_file(path: pathlib.Path) -> "list[str]":
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    # Strip fenced code blocks: link-looking text in examples is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        target = target.split("#", 1)[0]  # drop any fragment
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if REPO_ROOT not in resolved.parents and resolved != REPO_ROOT:
+            errors.append(f"{path.relative_to(REPO_ROOT)}: escapes repo: {target}")
+        elif not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link: {target}")
+    return errors
+
+
+def main() -> int:
+    errors: "list[str]" = []
+    files = iter_markdown_files()
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: {len(errors)} broken link(s)")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
