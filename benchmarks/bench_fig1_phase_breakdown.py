@@ -2,6 +2,15 @@
 
 from repro.analysis import experiments
 
+#: Workload parameters stamped into every BENCH_fig1_*.json record (the
+#: per-row code k/m rides in each record's own config already).
+BENCH_CONFIG = {
+    "chunk_size": "64MiB",
+    "topology": "smallsite-single-switch",
+    "servers": 16,
+    "strategy": "star",
+}
+
 
 def test_fig1_phase_breakdown(benchmark, save_report):
     result = benchmark.pedantic(

@@ -9,6 +9,13 @@ from repro.util.units import MIB
 
 SIZE = 4 * MIB
 
+#: Workload parameters stamped into every BENCH_gf_kernels.json record.
+BENCH_CONFIG = {
+    "field": "GF(2^8)",
+    "buffer_bytes": SIZE,
+    "code": "rs(12,4)",
+}
+
 
 @pytest.fixture(scope="module")
 def buffers():

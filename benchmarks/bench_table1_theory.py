@@ -2,6 +2,12 @@
 
 from repro.analysis import experiments, paper_reported
 
+#: Workload parameters stamped into every BENCH_table1_theory.json record.
+BENCH_CONFIG = {
+    "model": "closed-form",
+    "chunks_lost": 1,
+}
+
 
 def test_table1(benchmark, save_report):
     result = benchmark(experiments.table1)

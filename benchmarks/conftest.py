@@ -24,7 +24,20 @@ from typing import Dict, List
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+#: Default artifact directory; REPRO_BENCH_RESULTS_DIR overrides it so
+#: tooling (e.g. tools/bench_compare.py) can collect fresh results
+#: without touching the committed baselines in results/.
+_DEFAULT_RESULTS_DIR = (
+    pathlib.Path(__file__).resolve().parent.parent / "results"
+)
+
+
+def _results_dir() -> pathlib.Path:
+    override = os.environ.get("REPRO_BENCH_RESULTS_DIR")
+    return pathlib.Path(override) if override else _DEFAULT_RESULTS_DIR
+
+
+RESULTS_DIR = _results_dir()
 
 #: Set REPRO_BENCH_TRACE=1 to also write results/BENCH_<slug>.trace.json
 #: (Chrome trace format) for every benchmark module that records spans.
@@ -62,6 +75,15 @@ def _units_for(column: str) -> str:
     return "value"
 
 
+def _module_config(node) -> "Dict[str, object]":
+    """A module's ``BENCH_CONFIG`` dict (workload parameters: code k/m,
+    chunk size, topology...), stamped into every metric record so a
+    baseline comparison knows *what* was measured, not just how fast."""
+    module = getattr(node, "module", None)
+    config = getattr(module, "BENCH_CONFIG", None)
+    return dict(config) if isinstance(config, dict) else {}
+
+
 def _record(slug: str, metric: str, value: float, units: str, config) -> None:
     _COLLECTED[slug].append(
         {
@@ -84,6 +106,7 @@ def save_report(results_dir, request):
     """Persist an ExperimentResult's report and echo it to stdout."""
 
     slug = _module_slug(request.node)
+    base_config = _module_config(request.node)
 
     def _save(result) -> None:
         path = results_dir / f"{result.experiment_id}.txt"
@@ -96,7 +119,10 @@ def save_report(results_dir, request):
                 for key, val in row.items()
                 if isinstance(val, (int, float)) and not isinstance(val, bool)
             }
-            config = {k: v for k, v in row.items() if k not in numeric}
+            config = dict(base_config)
+            config.update(
+                {k: v for k, v in row.items() if k not in numeric}
+            )
             config["experiment_id"] = result.experiment_id
             for key, val in numeric.items():
                 _record(
@@ -148,10 +174,12 @@ def _collect_benchmark_stats(request):
     stats = getattr(getattr(fixture, "stats", None), "stats", None)
     if stats is None:  # no benchmark fixture, disabled, or never called
         return
-    config = {}
+    config = _module_config(request.node)
     callspec = getattr(request.node, "callspec", None)
     if callspec is not None:
-        config = {key: str(val) for key, val in callspec.params.items()}
+        config.update(
+            {key: str(val) for key, val in callspec.params.items()}
+        )
     slug = _module_slug(request.node)
     test = request.node.name
     for field in ("min", "median", "mean", "max", "stddev"):

@@ -72,3 +72,93 @@ def bar_chart(
             f"{label.rjust(label_width)} | {bar} {value:.3g}{unit}"
         )
     return "\n".join(out)
+
+
+#: Eight vertical-resolution levels for one-character-per-sample plots.
+SPARK_TICKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: "Sequence[float]",
+    width: int = 40,
+    lo: "Optional[float]" = None,
+    hi: "Optional[float]" = None,
+) -> str:
+    """One-line unicode plot of a sample sequence.
+
+    The last ``width`` values are shown, scaled between ``lo`` and ``hi``
+    (observed min/max when not given).  A flat series renders at
+    mid-height rather than vanishing.
+    """
+    values = list(values)[-width:]
+    if not values:
+        return ""
+    low = min(values) if lo is None else lo
+    high = max(values) if hi is None else hi
+    span = high - low
+    if span <= 0:
+        return SPARK_TICKS[4] * len(values)
+    top = len(SPARK_TICKS) - 1
+    out = []
+    for value in values:
+        level = int((value - low) / span * top)
+        out.append(SPARK_TICKS[max(0, min(top, level))])
+    return "".join(out)
+
+
+def time_series_chart(
+    samples: "Sequence[tuple]",
+    width: int = 60,
+    height: int = 8,
+    title: "Optional[str]" = None,
+) -> str:
+    """Multi-row ASCII plot of ``(t, value)`` samples.
+
+    Samples are bucketed into ``width`` columns over their time extent
+    (bucket mean when several land in a column) and drawn as a
+    ``height``-row scatter with a y-axis of min/mid/max labels.
+    """
+    samples = [(float(t), float(v)) for t, v in samples]
+    out: "List[str]" = []
+    if title:
+        out.append(title)
+    if not samples:
+        return "\n".join(out + ["(no samples)"])
+    t0 = min(t for t, _ in samples)
+    t1 = max(t for t, _ in samples)
+    extent = max(t1 - t0, 1e-12)
+    columns: "List[List[float]]" = [[] for _ in range(width)]
+    for t, v in samples:
+        col = min(width - 1, int((t - t0) / extent * width))
+        columns[col].append(v)
+    col_values = [
+        sum(vals) / len(vals) if vals else None for vals in columns
+    ]
+    present = [v for v in col_values if v is not None]
+    low, high = min(present), max(present)
+    span = max(high - low, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for col, value in enumerate(col_values):
+        if value is None:
+            continue
+        row = int((value - low) / span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    labels = [f"{high:.4g}", f"{(low + high) / 2:.4g}", f"{low:.4g}"]
+    label_width = max(len(s) for s in labels)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = labels[0]
+        elif i == height // 2:
+            label = labels[1]
+        elif i == height - 1:
+            label = labels[2]
+        else:
+            label = ""
+        out.append(f"{label.rjust(label_width)} |{''.join(row)}")
+    out.append(
+        " " * label_width
+        + " +"
+        + "-" * width
+        + f"  {extent:.3g}s window"
+    )
+    return "\n".join(out)

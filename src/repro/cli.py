@@ -316,7 +316,11 @@ def _cmd_repair_live(args: argparse.Namespace) -> int:
 # trace: record / convert / timeline / summary
 # ----------------------------------------------------------------------
 def _trace_record_sim(args: argparse.Namespace):
-    """One simulated repair with tracing on; returns (tracer, clock, meta)."""
+    """One simulated repair with tracing on.
+
+    Returns ``(tracer, clock, meta, series)`` where ``series`` is the
+    telemetry store's snapshot (time-series records for the trace file).
+    """
     from repro import obs
     from repro.core.single_repair import run_single_repair
     from repro.fs.cluster import StorageCluster
@@ -327,6 +331,7 @@ def _trace_record_sim(args: argparse.Namespace):
         link_bandwidth=args.bandwidth,
         seed=args.seed,
     )
+    telemetry = cluster.enable_telemetry(interval=args.sample_interval)
     stripe = cluster.write_stripe(code, args.chunk_size)
     tracer = obs.enable(clock=lambda: cluster.sim.now, clock_name="virtual")
     result = run_single_repair(
@@ -346,7 +351,7 @@ def _trace_record_sim(args: argparse.Namespace):
         "code": args.code,
         "stripe": stripe.stripe_id,
     }
-    return tracer, "virtual", meta
+    return tracer, "virtual", meta, telemetry.snapshot()
 
 
 async def _trace_record_live(args: argparse.Namespace):
@@ -376,7 +381,7 @@ async def _trace_record_live(args: argparse.Namespace):
         "strategy": args.strategy,
         "stripe": args.stripe_id,
     }
-    return tracer, "wall", meta
+    return tracer, "wall", meta, []
 
 
 def _cmd_trace_record(args: argparse.Namespace) -> int:
@@ -393,15 +398,18 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
         return 2
     try:
         if args.live:
-            tracer, clock, meta = asyncio.run(_trace_record_live(args))
+            tracer, clock, meta, series = asyncio.run(
+                _trace_record_live(args)
+            )
         else:
-            tracer, clock, meta = _trace_record_sim(args)
+            tracer, clock, meta, series = _trace_record_sim(args)
         spans = tracer.drain()
         events = obs.write_trace(
             args.out,
             spans,
             clock=clock,
             metrics=obs.registry().snapshot(),
+            series=series,
             extra_meta=meta,
         )
     finally:
@@ -448,14 +456,114 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_prom(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    _meta, _spans, metrics = obs.load_trace(args.trace)
+    text = obs.render_prometheus(metrics, namespace=args.namespace)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote Prometheus exposition -> {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     runner = {
         "record": _cmd_trace_record,
         "convert": _cmd_trace_convert,
         "timeline": _cmd_trace_timeline,
         "summary": _cmd_trace_summary,
+        "prom": _cmd_trace_prom,
     }[args.trace_command]
     return runner(args)
+
+
+# ----------------------------------------------------------------------
+# top: live cluster dashboard
+# ----------------------------------------------------------------------
+async def _top_live(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.live.config import LiveConfig
+    from repro.live.rpc import Address, RpcClientPool
+    from repro.live.wire import MessageType
+    from repro.obs import topview
+
+    config = LiveConfig()
+    pool = RpcClientPool(config)
+    meta_addr = _parse_address(args.meta)
+    color = not args.no_color
+    iteration = 0
+    try:
+        while True:
+            meta_client = pool.get(meta_addr)
+            health = await meta_client.call(MessageType.HEALTH, {})
+            fleet = dict(health.payload.get("servers", {}))  # type: ignore[arg-type]
+            listing = await meta_client.call(MessageType.LIST_SERVERS, {})
+            addresses = dict(listing.payload.get("servers", {}))  # type: ignore[arg-type]
+            stats = await meta_client.call(MessageType.STATS, {})
+            series = list(stats.payload.get("series", []))  # type: ignore[arg-type]
+            for sid in sorted(addresses):
+                if not fleet.get(sid, {}).get("alive", False):
+                    continue
+                try:
+                    client = pool.get(Address.from_wire(addresses[sid]))
+                    resp = await client.call(
+                        MessageType.STATS, {}, retries=0
+                    )
+                except ReproError:
+                    continue  # peer died between HEALTH and STATS
+                series.extend(resp.payload.get("series", []))  # type: ignore[arg-type]
+            frame = topview.render_top(
+                fleet,
+                series,
+                now=float(health.payload.get("time", 0.0)),  # type: ignore[arg-type]
+                source=args.meta,
+                color=color,
+            )
+            if args.iterations != 1 and iteration > 0:
+                print(topview.ANSI["clear"], end="")
+            print(frame, end="", flush=True)
+            iteration += 1
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            await asyncio.sleep(args.interval)
+    finally:
+        await pool.close()
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    if args.replay:
+        from repro import obs
+        from repro.obs import topview
+
+        series = obs.load_series(args.replay)
+        fleet = topview.fleet_from_series(series)
+        print(
+            topview.render_top(
+                fleet,
+                series,
+                source=f"replay:{args.replay}",
+                color=not args.no_color,
+            ),
+            end="",
+        )
+        return 0
+    if not args.meta:
+        print(
+            "error: top requires --meta HOST:PORT (or --replay TRACE)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        return asyncio.run(_top_live(args))
+    except KeyboardInterrupt:
+        return 0
 
 
 # ----------------------------------------------------------------------
@@ -603,6 +711,8 @@ def build_parser() -> argparse.ArgumentParser:
     trr.add_argument("--lost", type=int, default=0)
     trr.add_argument("--slices", type=int, default=1)
     trr.add_argument("--seed", type=int, default=2016)
+    trr.add_argument("--sample-interval", type=float, default=0.05,
+                     help="sim telemetry sampling interval, virtual seconds")
     trr.add_argument("--live", action="store_true",
                      help="record a live TCP repair instead of a sim one")
     trr.add_argument("--meta", default=None,
@@ -630,6 +740,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trs.add_argument("trace", help="input JSONL trace")
     trs.set_defaults(fn=cmd_trace)
+
+    trp = trsub.add_parser(
+        "prom",
+        help="render a trace's metrics in Prometheus text format",
+    )
+    trp.add_argument("trace", help="input JSONL trace")
+    trp.add_argument("--out", default=None,
+                     help="write to a file instead of stdout")
+    trp.add_argument("--namespace", default="repro",
+                     help="metric name prefix (default: repro)")
+    trp.set_defaults(fn=cmd_trace)
+
+    top = sub.add_parser(
+        "top",
+        help="live cluster dashboard: poll STATS/HEALTH and render "
+             "an ANSI fleet view (or replay a recorded trace)",
+    )
+    top.add_argument("--meta", default=None,
+                     help="live meta-server address HOST:PORT")
+    top.add_argument("--replay", default=None,
+                     help="render one frame from a recorded JSONL trace")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh period, seconds")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="number of frames (0 = until interrupted)")
+    top.add_argument("--no-color", action="store_true",
+                     help="plain ASCII output (no ANSI escapes)")
+    top.set_defaults(fn=cmd_top)
     return parser
 
 

@@ -23,6 +23,7 @@ from repro.codes.base import ErasureCode
 from repro.fs.chunks import Chunk, Stripe
 from repro.fs.chunkserver import ChunkServer
 from repro.fs.placement import PlacementPolicy
+from repro.obs.timeseries import Sampler, TimeSeriesStore
 from repro.sim.compute import ComputeModel
 from repro.sim.events import Simulation
 from repro.sim.metrics import TrafficMatrix
@@ -130,6 +131,9 @@ class StorageCluster:
         self._repairs: "Dict[str, object]" = {}
         #: Ground truth: chunk_id -> payload written at encode time.
         self._truth: "Dict[str, np.ndarray]" = {}
+        #: Continuous telemetry, populated by :meth:`enable_telemetry`.
+        self.telemetry: "Optional[TimeSeriesStore]" = None
+        self._sampler: "Optional[Sampler]" = None
 
     # ------------------------------------------------------------------
     # Presets for the paper's two testbeds
@@ -333,6 +337,64 @@ class StorageCluster:
         )
         self.metaserver.register_chunk(chunk_id, destination)
         self.metaserver.repair_completed(context)
+
+    # ------------------------------------------------------------------
+    # Continuous telemetry
+    # ------------------------------------------------------------------
+    def enable_telemetry(
+        self, interval: float = 0.05, capacity: int = 512
+    ) -> TimeSeriesStore:
+        """Sample cluster health into bounded time series every ``interval``
+        virtual seconds.
+
+        Registers per-server probes — ingress/egress link utilization,
+        disk queue depth, cache occupancy — plus the cluster-wide inflight
+        repair count, driven by a clock observer on the event loop.  The
+        sampler piggybacks on executed events (it schedules nothing), so
+        enabling telemetry changes simulation results by exactly zero.
+
+        Idempotent: calling again returns the existing store.
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+        store = TimeSeriesStore(capacity=capacity)
+        sampler = Sampler(store, interval=interval)
+        specs = []
+        ingress_links = self.topology.ingress
+        egress_links = self.topology.egress
+        for sid in self.server_ids:
+            server = self.servers[sid]
+            labels = {"node": sid}
+            ingress = ingress_links.get(sid)
+            egress = egress_links.get(sid)
+            if ingress is not None:
+                specs.append(
+                    ("net.ingress_util", labels, ingress.utilization)
+                )
+            if egress is not None:
+                specs.append(("net.egress_util", labels, egress.utilization))
+            specs.append(
+                (
+                    "disk.queue_depth",
+                    labels,
+                    lambda disk=server.disk: disk.queue_depth,
+                )
+            )
+            specs.append(
+                (
+                    "cache.occupancy",
+                    labels,
+                    lambda cache=server.cache: cache.occupancy,
+                )
+            )
+        specs.append(
+            ("repairs.inflight", {}, lambda: len(self._repairs))
+        )
+        sampler.add_probes(specs)
+        self.sim.add_clock_observer(sampler.observe_clock)
+        self.telemetry = store
+        self._sampler = sampler
+        return store
 
     # ------------------------------------------------------------------
     # Driving the simulation

@@ -46,6 +46,8 @@ from repro.live import trace
 from repro.live.config import LiveConfig
 from repro.live.rpc import Address, RpcClientPool, RpcServer
 from repro.live.wire import Frame, MessageType
+from repro.obs.timeseries import Sampler, TimeSeriesStore
+from repro.sim.metrics import PHASES
 
 
 @dataclass
@@ -141,9 +143,39 @@ class LiveChunkServer:
         self._orphans: "Dict[str, List[_OrphanPartial]]" = {}
         self._background: "Set[asyncio.Task[None]]" = set()
         self._heartbeat_task: "Optional[asyncio.Task[None]]" = None
+        self._telemetry_task: "Optional[asyncio.Task[None]]" = None
         #: Test hook: message types whose handler stalls forever, to
         #: exercise the per-RPC timeout path deterministically.
         self.stall_types: "Set[MessageType]" = set()
+
+        # Health counters: cumulative work done by *this* server (child
+        # contributions ride in sub-traces and are accounted at their own
+        # server), served by STATS/HEALTH and piggybacked on heartbeats.
+        self.bytes_moved = 0.0
+        self.repairs_completed = 0
+        self.phase_busy: "Dict[str, float]" = {p: 0.0 for p in PHASES}
+        #: Per-server time series — one store per server instance (not
+        #: the process-global registry) so in-process test clusters keep
+        #: each server's telemetry distinct.
+        self.telemetry = TimeSeriesStore(
+            capacity=self.config.telemetry_capacity
+        )
+        self._sampler = Sampler(
+            self.telemetry, interval=self.config.telemetry_interval
+        )
+        self._sampler.add_probe(
+            "repairs.inflight",
+            lambda: float(len(self.tasks)),
+            node=server_id,
+        )
+        self._sampler.add_probe(
+            "bytes.moved", lambda: self.bytes_moved, node=server_id
+        )
+        self._sampler.add_probe(
+            "chunks.hosted",
+            lambda: float(len(self.chunks)),
+            node=server_id,
+        )
 
         register = self.rpc.register
         register(MessageType.PING, self._on_ping)
@@ -155,6 +187,8 @@ class LiveChunkServer:
         register(MessageType.PARTIAL_RESULT, self._on_partial_result)
         register(MessageType.START_RAW_REPAIR, self._on_start_raw_repair)
         register(MessageType.REPAIR_ABORT, self._on_repair_abort)
+        register(MessageType.STATS, self._on_stats)
+        register(MessageType.HEALTH, self._on_health)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -167,6 +201,7 @@ class LiveChunkServer:
     async def start(self, port: int = 0) -> Address:
         address = await self.rpc.start(port=port)
         self.alive = True
+        self._telemetry_task = asyncio.create_task(self._telemetry_loop())
         if self.meta_address is not None:
             await self._register_with_meta()
             self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
@@ -182,13 +217,15 @@ class LiveChunkServer:
 
     async def _shutdown(self, abort: bool) -> None:
         self.alive = False
-        if self._heartbeat_task is not None:
-            self._heartbeat_task.cancel()
-            try:
-                await self._heartbeat_task
-            except (asyncio.CancelledError, Exception):
-                pass
-            self._heartbeat_task = None
+        for attr in ("_heartbeat_task", "_telemetry_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+                setattr(self, attr, None)
         for task_state in self.tasks.values():
             task_state.abort()
         self.tasks.clear()
@@ -241,13 +278,72 @@ class LiveChunkServer:
             try:
                 await client.call(
                     MessageType.HEARTBEAT,
-                    {"beat": self.make_heartbeat().to_wire()},
+                    {
+                        "beat": self.make_heartbeat().to_wire(),
+                        # Health piggybacks on the beat (extra key, so
+                        # peers that predate it just ignore it) — the
+                        # meta-server learns fleet health for free.
+                        "health": self.health_summary(),
+                    },
                     timeout=self.config.rpc_timeout,
                     retries=0,
                 )
             except RpcError:
                 pass  # the meta-server notices staleness on its own
             await asyncio.sleep(self.config.heartbeat_interval)
+
+    # ------------------------------------------------------------------
+    # Telemetry: wall-clock sampling, health counters, STATS/HEALTH
+    # ------------------------------------------------------------------
+    async def _telemetry_loop(self) -> None:
+        while self.alive:
+            self._sampler.sample(trace.now())
+            await asyncio.sleep(self.config.telemetry_interval)
+
+    def _account(self, record: trace.TraceRecord) -> trace.TraceRecord:
+        """Fold one locally produced phase record into health counters."""
+        phase = str(record["phase"])
+        if phase in self.phase_busy:
+            self.phase_busy[phase] += float(record["end"]) - float(  # type: ignore[arg-type]
+                record["start"]  # type: ignore[arg-type]
+            )
+        attrs = record.get("attrs")
+        if isinstance(attrs, dict):
+            self.bytes_moved += float(attrs.get("nbytes", 0) or 0)
+        return record
+
+    def health_summary(self) -> "Dict[str, object]":
+        """Point-in-time health: work counters served by STATS/HEALTH."""
+        return {
+            "server_id": self.server_id,
+            "time": trace.now(),
+            "alive": self.alive,
+            "inflight_repairs": len(self.tasks),
+            "repairs_completed": self.repairs_completed,
+            "bytes_moved": self.bytes_moved,
+            "chunks_hosted": len(self.chunks),
+            "phase_busy": dict(self.phase_busy),
+        }
+
+    async def _on_stats(self, frame: Frame) -> "Dict[str, object]":
+        payload = frame.payload
+        start = payload.get("start")
+        end = payload.get("end")
+        return {
+            "server_id": self.server_id,
+            "time": trace.now(),
+            "series": self.telemetry.snapshot(
+                float(start) if start is not None else None,  # type: ignore[arg-type]
+                float(end) if end is not None else None,  # type: ignore[arg-type]
+            ),
+            "health": self.health_summary(),
+        }
+
+    async def _on_health(self, frame: Frame) -> "Dict[str, object]":
+        return {
+            "server_id": self.server_id,
+            "health": self.health_summary(),
+        }
 
     # ------------------------------------------------------------------
     # Chunk storage handlers
@@ -306,13 +402,15 @@ class LiveChunkServer:
             chunk.payload, request.rows, request.rows_needed
         )
         records = [
-            trace.phase_record(
-                "disk_read",
-                read_start,
-                trace.now(),
-                self.server_id,
-                nbytes=trace.buffers_nbytes(buffers),  # type: ignore[arg-type]
-                chunk_id=request.chunk_id,
+            self._account(
+                trace.phase_record(
+                    "disk_read",
+                    read_start,
+                    trace.now(),
+                    self.server_id,
+                    nbytes=trace.buffers_nbytes(buffers),  # type: ignore[arg-type]
+                    chunk_id=request.chunk_id,
+                )
             )
         ]
         return (
@@ -350,13 +448,15 @@ class LiveChunkServer:
         chunk = self._get_chunk(request.chunk_id)
         payload = chunk.payload
         task.trace.append(
-            trace.phase_record(
-                "disk_read",
-                read_start,
-                trace.now(),
-                self.server_id,
-                nbytes=int(payload.nbytes),
-                chunk_id=request.chunk_id,
+            self._account(
+                trace.phase_record(
+                    "disk_read",
+                    read_start,
+                    trace.now(),
+                    self.server_id,
+                    nbytes=int(payload.nbytes),
+                    chunk_id=request.chunk_id,
+                )
             )
         )
         if self.config.compute_delay:
@@ -364,8 +464,10 @@ class LiveChunkServer:
         compute_start = trace.now()
         partial = compute_partial(request.entries, request.rows, payload)
         task.trace.append(
-            trace.phase_record(
-                "compute", compute_start, trace.now(), self.server_id
+            self._account(
+                trace.phase_record(
+                    "compute", compute_start, trace.now(), self.server_id
+                )
             )
         )
         task.add_local(partial)
@@ -459,13 +561,15 @@ class LiveChunkServer:
         sent_at = float(payload.get("sent_at", trace.now()))  # type: ignore[arg-type]
         start, end = trace.clip_interval(sent_at, trace.now())
         sub_trace.append(
-            trace.phase_record(
-                "network",
-                start,
-                end,
-                self.server_id,
-                nbytes=trace.buffers_nbytes(frame.buffers),  # type: ignore[arg-type]
-                src=sender,
+            self._account(
+                trace.phase_record(
+                    "network",
+                    start,
+                    end,
+                    self.server_id,
+                    nbytes=trace.buffers_nbytes(frame.buffers),  # type: ignore[arg-type]
+                    src=sender,
+                )
             )
         )
         task = self.tasks.get(repair_id)
@@ -487,8 +591,10 @@ class LiveChunkServer:
         )
         if merged:
             task.trace.append(
-                trace.phase_record(
-                    "compute", merge_start, trace.now(), self.server_id
+                self._account(
+                    trace.phase_record(
+                        "compute", merge_start, trace.now(), self.server_id
+                    )
                 )
             )
         return {"merged": merged, "buffered": False}
@@ -519,12 +625,14 @@ class LiveChunkServer:
         for row, buf in task.partial.items():
             view[row] = buf
         task.trace.append(
-            trace.phase_record(
-                "compute",
-                assemble_start,
-                trace.now(),
-                self.server_id,
-                nbytes=int(chunk_payload.nbytes),
+            self._account(
+                trace.phase_record(
+                    "compute",
+                    assemble_start,
+                    trace.now(),
+                    self.server_id,
+                    nbytes=int(chunk_payload.nbytes),
+                )
             )
         )
         await self._commit_chunk(
@@ -561,15 +669,18 @@ class LiveChunkServer:
             payload=payload,
         )
         task.trace.append(
-            trace.phase_record(
-                "disk_write",
-                write_start,
-                trace.now(),
-                self.server_id,
-                nbytes=int(payload.nbytes),
-                chunk_id=chunk_id,
+            self._account(
+                trace.phase_record(
+                    "disk_write",
+                    write_start,
+                    trace.now(),
+                    self.server_id,
+                    nbytes=int(payload.nbytes),
+                    chunk_id=chunk_id,
+                )
             )
         )
+        self.repairs_completed += 1
         if self.meta_address is not None:
             client = self.pool.get(self.meta_address)
             try:
@@ -637,13 +748,15 @@ class LiveChunkServer:
             sent_at = float(response.payload.get("sent_at", trace.now()))  # type: ignore[arg-type]
             start, end = trace.clip_interval(sent_at, trace.now())
             task.trace.append(
-                trace.phase_record(
-                    "network",
-                    start,
-                    end,
-                    self.server_id,
-                    nbytes=trace.buffers_nbytes(response.buffers),  # type: ignore[arg-type]
-                    src=helper_id,
+                self._account(
+                    trace.phase_record(
+                        "network",
+                        start,
+                        end,
+                        self.server_id,
+                        nbytes=trace.buffers_nbytes(response.buffers),  # type: ignore[arg-type]
+                        src=helper_id,
+                    )
                 )
             )
             task.trace.extend(list(response.payload.get("trace", [])))  # type: ignore[arg-type]
@@ -674,8 +787,10 @@ class LiveChunkServer:
         compute_start = trace.now()
         chunk_payload = recipe.execute_rows(raw)
         task.trace.append(
-            trace.phase_record(
-                "compute", compute_start, trace.now(), self.server_id
+            self._account(
+                trace.phase_record(
+                    "compute", compute_start, trace.now(), self.server_id
+                )
             )
         )
         await self._commit_chunk(

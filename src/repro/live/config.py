@@ -48,6 +48,14 @@ class LiveConfig:
     #: Zero in production; failure tests raise it to hold a repair open
     #: long enough to kill servers mid-flight deterministically.
     compute_delay: float = 0.0
+    #: Wall-clock seconds between telemetry samples (each server runs a
+    #: background sampling task recording into its time-series store).
+    telemetry_interval: float = 0.25
+    #: Ring capacity per telemetry series (samples retained per series).
+    telemetry_capacity: int = 256
+    #: A server whose busiest repair phase exceeds this multiple of the
+    #: fleet median for that phase is flagged a straggler by HEALTH.
+    straggler_threshold: float = 3.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -59,9 +67,13 @@ class LiveConfig:
             "backoff_max",
             "heartbeat_interval",
             "failure_detection_timeout",
+            "telemetry_interval",
+            "straggler_threshold",
         ):
             if getattr(self, name) <= 0:
                 raise ConfigurationError(f"{name} must be > 0")
+        if self.telemetry_capacity < 1:
+            raise ConfigurationError("telemetry_capacity must be >= 1")
         if self.max_retries < 0:
             raise ConfigurationError("max_retries must be >= 0")
         if self.max_attempts < 1:

@@ -19,7 +19,9 @@ list, sizes); the coordinator rebuilds the actual
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import asyncio
+import statistics
+from typing import Dict, List, Optional
 
 from repro.errors import ChunkNotFoundError
 from repro.fs.messages import Heartbeat
@@ -28,6 +30,7 @@ from repro.live import trace
 from repro.live.config import LiveConfig
 from repro.live.rpc import Address, RpcServer
 from repro.live.wire import Frame, MessageType
+from repro.obs.timeseries import Sampler, TimeSeriesStore
 
 
 class LiveMetaServer:
@@ -38,10 +41,33 @@ class LiveMetaServer:
         self.rpc = RpcServer("meta", self.config)
         self.servers: "Dict[str, Address]" = {}
         self.last_heartbeat: "Dict[str, Heartbeat]" = {}
+        #: Latest health dict piggybacked on each server's heartbeat.
+        self.last_health: "Dict[str, Dict[str, object]]" = {}
         #: Stripe wire metadata: ``stripe_id -> {spec, chunk_ids, ...}``.
         self.stripes: "Dict[str, Dict[str, object]]" = {}
         self.stripe_of_chunk: "Dict[str, str]" = {}
         self.chunk_locations: "Dict[str, str]" = {}
+        self._telemetry_task: "Optional[asyncio.Task[None]]" = None
+        #: Fleet-level time series, sampled on the wall clock.
+        self.telemetry = TimeSeriesStore(
+            capacity=self.config.telemetry_capacity
+        )
+        self._sampler = Sampler(
+            self.telemetry, interval=self.config.telemetry_interval
+        )
+        self._sampler.add_probe(
+            "servers.alive",
+            lambda: float(len(self.alive_servers())),
+            node="meta",
+        )
+        self._sampler.add_probe(
+            "servers.known", lambda: float(len(self.servers)), node="meta"
+        )
+        self._sampler.add_probe(
+            "stripes.registered",
+            lambda: float(len(self.stripes)),
+            node="meta",
+        )
 
         register = self.rpc.register
         register(MessageType.PING, self._on_ping)
@@ -51,6 +77,8 @@ class LiveMetaServer:
         register(MessageType.LOCATE_STRIPE, self._on_locate_stripe)
         register(MessageType.CHUNK_ADDED, self._on_chunk_added)
         register(MessageType.LIST_SERVERS, self._on_list_servers)
+        register(MessageType.STATS, self._on_stats)
+        register(MessageType.HEALTH, self._on_health)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -61,10 +89,24 @@ class LiveMetaServer:
         return self.rpc.address
 
     async def start(self, port: int = 0) -> Address:
-        return await self.rpc.start(port=port)
+        address = await self.rpc.start(port=port)
+        self._telemetry_task = asyncio.create_task(self._telemetry_loop())
+        return address
 
     async def stop(self) -> None:
+        if self._telemetry_task is not None:
+            self._telemetry_task.cancel()
+            try:
+                await self._telemetry_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._telemetry_task = None
         await self.rpc.close()
+
+    async def _telemetry_loop(self) -> None:
+        while True:
+            self._sampler.sample(trace.now())
+            await asyncio.sleep(self.config.telemetry_interval)
 
     # ------------------------------------------------------------------
     # Liveness view
@@ -118,6 +160,9 @@ class LiveMetaServer:
     async def _on_heartbeat(self, frame: Frame) -> "Dict[str, object]":
         beat = Heartbeat.from_wire(frame.payload["beat"])  # type: ignore[arg-type]
         self.last_heartbeat[beat.server_id] = beat
+        health = frame.payload.get("health")
+        if isinstance(health, dict):
+            self.last_health[beat.server_id] = health
         return {"acknowledged": beat.server_id}
 
     async def _on_register_stripe(self, frame: Frame) -> "Dict[str, object]":
@@ -170,4 +215,88 @@ class LiveMetaServer:
                 for sid, addr in sorted(self.servers.items())
             },
             "alive": sorted(self.alive_servers()),
+        }
+
+    # ------------------------------------------------------------------
+    # Telemetry: fleet health + straggler detection
+    # ------------------------------------------------------------------
+    def _phase_medians(self) -> "Dict[str, float]":
+        """Fleet median busy-seconds per phase, over reporting servers."""
+        per_phase: "Dict[str, List[float]]" = {}
+        for health in self.last_health.values():
+            busy = health.get("phase_busy")
+            if not isinstance(busy, dict):
+                continue
+            for phase, value in busy.items():
+                per_phase.setdefault(str(phase), []).append(float(value))  # type: ignore[arg-type]
+        return {
+            phase: statistics.median(values)
+            for phase, values in per_phase.items()
+        }
+
+    def fleet_health(
+        self, threshold: "Optional[float]" = None
+    ) -> "Dict[str, Dict[str, object]]":
+        """Per-server health: last pushed counters + liveness + stragglers.
+
+        A server is flagged a straggler when any of its per-phase busy
+        times exceeds ``threshold`` (default
+        ``LiveConfig.straggler_threshold``) times the fleet median for
+        that phase — the signature the paper's repair pipelining fights:
+        one slow peer serializing the whole phase.
+        """
+        if threshold is None:
+            threshold = self.config.straggler_threshold
+        now = trace.now()
+        medians = self._phase_medians()
+        fleet: "Dict[str, Dict[str, object]]" = {}
+        for server_id in sorted(self.servers):
+            health: "Dict[str, object]" = dict(
+                self.last_health.get(server_id, {})
+            )
+            beat = self.last_heartbeat.get(server_id)
+            health["server_id"] = server_id
+            health["heartbeat_age"] = (
+                now - beat.time if beat is not None else None
+            )
+            health["alive"] = self.server_is_alive(server_id)
+            slow: "List[str]" = []
+            busy = health.get("phase_busy")
+            if isinstance(busy, dict):
+                for phase, value in busy.items():
+                    median = medians.get(str(phase), 0.0)
+                    if median > 0 and float(value) > threshold * median:  # type: ignore[arg-type]
+                        slow.append(str(phase))
+            health["straggler"] = bool(slow)
+            health["straggler_phases"] = sorted(slow)
+            fleet[server_id] = health
+        return fleet
+
+    async def _on_stats(self, frame: Frame) -> "Dict[str, object]":
+        payload = frame.payload
+        start = payload.get("start")
+        end = payload.get("end")
+        return {
+            "server_id": "meta",
+            "time": trace.now(),
+            "series": self.telemetry.snapshot(
+                float(start) if start is not None else None,  # type: ignore[arg-type]
+                float(end) if end is not None else None,  # type: ignore[arg-type]
+            ),
+            "health": self.fleet_health(),
+        }
+
+    async def _on_health(self, frame: Frame) -> "Dict[str, object]":
+        threshold = frame.payload.get("threshold")
+        return {
+            "server_id": "meta",
+            "time": trace.now(),
+            "threshold": (
+                float(threshold)  # type: ignore[arg-type]
+                if threshold is not None
+                else self.config.straggler_threshold
+            ),
+            "servers": self.fleet_health(
+                float(threshold) if threshold is not None else None  # type: ignore[arg-type]
+            ),
         }

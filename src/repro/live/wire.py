@@ -70,6 +70,9 @@ class MessageType(enum.IntEnum):
     RAW_READ = 32
     START_RAW_REPAIR = 33
     REPAIR_ABORT = 34
+    # Telemetry plane
+    STATS = 40
+    HEALTH = 41
 
 
 @dataclass

@@ -35,14 +35,19 @@ from typing import Any, Callable, ContextManager, Optional
 from .export import chrome_trace, render_timeline, summarize
 from .metrics import (
     DEFAULT_BUCKETS,
+    DEFAULT_MAX_LABEL_SETS,
+    OVERFLOW_COUNTER,
+    OVERFLOW_LABELS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     registry,
 )
-from .sink import SCHEMA_VERSION, JsonlSink, load_trace, write_trace
+from .promexport import render_prometheus
+from .sink import SCHEMA_VERSION, JsonlSink, load_series, load_trace, write_trace
 from .span import Span, Tracer, clip
+from .timeseries import DEFAULT_CAPACITY, Sampler, Series, TimeSeriesStore
 
 __all__ = [
     "Span",
@@ -53,11 +58,20 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_LABEL_SETS",
+    "OVERFLOW_COUNTER",
+    "OVERFLOW_LABELS",
     "registry",
+    "Series",
+    "TimeSeriesStore",
+    "Sampler",
+    "DEFAULT_CAPACITY",
+    "render_prometheus",
     "JsonlSink",
     "SCHEMA_VERSION",
     "write_trace",
     "load_trace",
+    "load_series",
     "chrome_trace",
     "render_timeline",
     "summarize",

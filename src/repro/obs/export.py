@@ -152,6 +152,13 @@ def summarize(
                     f"count={snap['count']} sum={snap['sum']:.6f} "
                     f"min={snap['min']} max={snap['max']}"
                 )
+                quantiles = " ".join(
+                    f"{q}={snap[q]:.6g}"
+                    for q in ("p50", "p95", "p99")
+                    if snap.get(q) is not None
+                )
+                if quantiles:
+                    value += " " + quantiles
             else:
                 value = f"{snap['value']:g}"
             lines.append(f"{snap['name'] + label_text:<38} {snap['kind']:<10} {value:>12}")

@@ -169,8 +169,44 @@ class Histogram:
         """Arithmetic mean of all samples (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> "Optional[float]":
+        """Estimate the ``q``-quantile by interpolating bucket counts.
+
+        Standard Prometheus-style estimation: find the bucket holding the
+        ``q``-th sample and interpolate linearly inside it, assuming
+        samples spread uniformly across the bucket.  The overflow
+        (+Inf) bucket has no upper bound, so estimates landing there
+        return the observed ``max``; estimates in the first bucket
+        interpolate from the observed ``min`` (sharper than assuming 0).
+        Returns None when the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return None
+            rank = q * self.count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count < rank:
+                    cumulative += bucket_count
+                    continue
+                if index >= len(self.buckets):
+                    return self.max  # +Inf bucket: best bound we have
+                upper = self.buckets[index]
+                lower = self.buckets[index - 1] if index > 0 else (
+                    self.min if self.min is not None else 0.0
+                )
+                lower = min(lower, upper)
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            return self.max
+
     def snapshot(self) -> "Dict[str, Any]":
-        """JSON-friendly point-in-time view (includes bucket counts)."""
+        """JSON-friendly point-in-time view (includes bucket counts
+        and interpolated p50/p95/p99 estimates)."""
         return {
             "kind": "histogram",
             "name": self.name,
@@ -181,7 +217,24 @@ class Histogram:
             "max": self.max,
             "buckets": list(self.buckets),
             "bucket_counts": list(self._counts),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
+
+
+#: Default cap on distinct label sets per (kind, name).  Generous for
+#: per-node labels (an 85-server bigsite fits 6x over) but small enough
+#: that an accidental per-chunk or per-stripe label cannot grow the
+#: registry without bound in a long-lived live server.
+DEFAULT_MAX_LABEL_SETS = 512
+
+#: Labels of the spill series that absorbs over-cap label sets.
+OVERFLOW_LABELS: "Dict[str, str]" = {"__overflow__": "true"}
+
+#: Counter (label-free, so it can never itself overflow) that counts
+#: every update redirected to an ``__overflow__`` series.
+OVERFLOW_COUNTER = "obs.metrics.label_overflow"
 
 
 class MetricsRegistry:
@@ -189,30 +242,71 @@ class MetricsRegistry:
 
     Asking twice for the same name + labels returns the same instrument,
     so instrumentation sites never need to hold references across calls.
+
+    Label cardinality is bounded: once a metric name has
+    ``max_label_sets`` distinct label sets, further *new* label sets
+    collapse into one shared ``{__overflow__="true"}`` series (existing
+    label sets keep resolving to their own instrument) and the
+    :data:`OVERFLOW_COUNTER` counter is incremented — so a stray
+    per-chunk/per-stripe label cannot blow up a live server's memory,
+    and the overflow is visible rather than silent.
     """
 
-    def __init__(self):
+    def __init__(self, max_label_sets: int = DEFAULT_MAX_LABEL_SETS):
+        if max_label_sets < 1:
+            raise ValueError(
+                f"max_label_sets must be >= 1, got {max_label_sets}"
+            )
+        self.max_label_sets = max_label_sets
         self._lock = threading.Lock()
         self._metrics: "Dict[Tuple[str, str, LabelKey], Any]" = {}
+        self._label_sets: "Dict[Tuple[str, str], int]" = {}
 
     def _get(self, kind: str, name: str, labels: "Dict[str, Any]", factory):
         key = (kind, name, _label_key(labels))
         with self._lock:
             metric = self._metrics.get(key)
             if metric is None:
-                metric = factory()
-                self._metrics[key] = metric
+                metric = self._create(kind, name, labels, key, factory)
             return metric
+
+    def _create(self, kind, name, labels, key, factory):
+        """Create an instrument under the cardinality cap (lock held)."""
+        family = (kind, name)
+        population = self._label_sets.get(family, 0)
+        if labels != OVERFLOW_LABELS and population >= self.max_label_sets:
+            # Over cap: redirect into the shared overflow series and
+            # count the redirection (the counter is label-free, created
+            # directly so it cannot re-enter this guard).
+            overflow_counter_key = ("counter", OVERFLOW_COUNTER, _label_key({}))
+            counter = self._metrics.get(overflow_counter_key)
+            if counter is None:
+                counter = Counter(OVERFLOW_COUNTER, {})
+                self._metrics[overflow_counter_key] = counter
+                self._label_sets[("counter", OVERFLOW_COUNTER)] = 1
+            counter.inc()
+            overflow_key = (kind, name, _label_key(OVERFLOW_LABELS))
+            metric = self._metrics.get(overflow_key)
+            if metric is None:
+                metric = factory(dict(OVERFLOW_LABELS))
+                self._metrics[overflow_key] = metric
+            return metric
+        metric = factory(labels)
+        self._metrics[key] = metric
+        self._label_sets[family] = population + 1
+        return metric
 
     def counter(self, name: str, **labels: Any) -> Counter:
         """Get-or-create the counter ``name`` with these labels."""
         clean = {str(k): str(v) for k, v in labels.items()}
-        return self._get("counter", name, clean, lambda: Counter(name, clean))
+        return self._get(
+            "counter", name, clean, lambda lbls: Counter(name, lbls)
+        )
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
         """Get-or-create the gauge ``name`` with these labels."""
         clean = {str(k): str(v) for k, v in labels.items()}
-        return self._get("gauge", name, clean, lambda: Gauge(name, clean))
+        return self._get("gauge", name, clean, lambda lbls: Gauge(name, lbls))
 
     def histogram(
         self,
@@ -223,7 +317,10 @@ class MetricsRegistry:
         """Get-or-create the histogram ``name`` with these labels."""
         clean = {str(k): str(v) for k, v in labels.items()}
         return self._get(
-            "histogram", name, clean, lambda: Histogram(name, clean, buckets)
+            "histogram",
+            name,
+            clean,
+            lambda lbls: Histogram(name, lbls, buckets),
         )
 
     def snapshot(self) -> "List[Dict[str, Any]]":
@@ -237,6 +334,7 @@ class MetricsRegistry:
         """Drop every instrument (tests and fresh recordings)."""
         with self._lock:
             self._metrics.clear()
+            self._label_sets.clear()
 
 
 #: The process-wide registry all instrumentation reports into.

@@ -1,0 +1,156 @@
+"""Prometheus text exposition format for registry snapshots.
+
+Renders the output of :meth:`repro.obs.metrics.MetricsRegistry.snapshot`
+(or metric records loaded from a JSONL trace) in the Prometheus
+text-based exposition format, version 0.0.4 — the ``text/plain`` format
+every Prometheus server scrapes:
+
+* counters are exported as ``<name>_total`` with ``# TYPE ... counter``,
+* gauges keep their name with ``# TYPE ... gauge``,
+* histograms expand into cumulative ``<name>_bucket{le="..."}`` series
+  (including the mandatory ``le="+Inf"`` bucket), ``<name>_sum`` and
+  ``<name>_count``.
+
+Metric names here are dot-separated (``live.rpc.calls``); Prometheus
+names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so dots (and anything
+else illegal) become underscores.  Label values are escaped per the
+spec: backslash, double-quote and newline.
+
+The renderer is pure (snapshots in, string out) so the same code path
+serves ``repro top --prom``, tests and any future HTTP scrape endpoint.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal dotted name onto a legal Prometheus name."""
+    sanitized = _NAME_BAD_CHARS.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    assert _NAME_OK.match(sanitized), sanitized
+    return sanitized
+
+
+def sanitize_label_name(name: str) -> str:
+    """Label names are like metric names but may not contain colons."""
+    sanitized = _LABEL_BAD_CHARS.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def escape_label_value(value: str) -> str:
+    """Escape ``\\``, ``"`` and newline per the exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def format_value(value: "Optional[float]") -> str:
+    """A sample value in exposition form (NaN for missing)."""
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(labels: "Dict[str, str]") -> str:
+    if not labels:
+        return ""
+    parts = [
+        f'{sanitize_label_name(str(k))}="{escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    ]
+    return "{" + ",".join(parts) + "}"
+
+
+def _merge_labels(
+    labels: "Dict[str, str]", extra: "Dict[str, str]"
+) -> "Dict[str, str]":
+    merged = dict(labels)
+    merged.update(extra)
+    return merged
+
+
+def _render_one(
+    snap: "Dict[str, Any]", name: str
+) -> "List[str]":
+    labels: "Dict[str, str]" = dict(snap.get("labels") or {})
+    kind = snap["kind"]
+    if kind == "counter":
+        return [f"{name}_total{_label_text(labels)} {format_value(snap['value'])}"]
+    if kind == "gauge":
+        return [f"{name}{_label_text(labels)} {format_value(snap['value'])}"]
+    if kind == "histogram":
+        lines: "List[str]" = []
+        cumulative = 0
+        counts = list(snap.get("bucket_counts") or [])
+        bounds = list(snap.get("buckets") or [])
+        for bound, count in zip(bounds, counts):
+            cumulative += int(count)
+            bucket_labels = _merge_labels(labels, {"le": format_value(bound)})
+            lines.append(f"{name}_bucket{_label_text(bucket_labels)} {cumulative}")
+        # The +Inf bucket is mandatory and must equal the total count.
+        inf_labels = _merge_labels(labels, {"le": "+Inf"})
+        lines.append(f"{name}_bucket{_label_text(inf_labels)} {int(snap['count'])}")
+        lines.append(f"{name}_sum{_label_text(labels)} {format_value(snap['sum'])}")
+        lines.append(f"{name}_count{_label_text(labels)} {int(snap['count'])}")
+        return lines
+    raise ValueError(f"unknown metric kind {kind!r}")
+
+
+_PROM_TYPE = {"counter": "counter", "gauge": "gauge", "histogram": "histogram"}
+
+
+def render_prometheus(
+    snapshots: "Iterable[Dict[str, Any]]",
+    namespace: str = "repro",
+) -> str:
+    """Render registry snapshots as a Prometheus exposition document.
+
+    Snapshots sharing a name render as one family: a single
+    ``# HELP`` / ``# TYPE`` header followed by one sample line per label
+    set.  Counters gain the conventional ``_total`` suffix.  The result
+    always ends with a newline (scrapers require it).
+    """
+    families: "Dict[Tuple[str, str], List[Dict[str, Any]]]" = {}
+    order: "List[Tuple[str, str]]" = []
+    for snap in snapshots:
+        prom_name = sanitize_metric_name(
+            f"{namespace}_{snap['name']}" if namespace else str(snap["name"])
+        )
+        key = (prom_name, str(snap["kind"]))
+        if key not in families:
+            families[key] = []
+            order.append(key)
+        families[key].append(snap)
+
+    lines: "List[str]" = []
+    for prom_name, kind in sorted(order):
+        snaps = families[(prom_name, kind)]
+        source = snaps[0]["name"]
+        sample_name = (
+            f"{prom_name}_total" if kind == "counter" else prom_name
+        )
+        lines.append(f"# HELP {sample_name if kind == 'counter' else prom_name} "
+                     f"repro metric {source} ({kind})")
+        lines.append(f"# TYPE {sample_name if kind == 'counter' else prom_name} "
+                     f"{_PROM_TYPE[kind]}")
+        for snap in snaps:
+            lines.extend(_render_one(snap, prom_name))
+    return "\n".join(lines) + "\n" if lines else "\n"

@@ -50,12 +50,15 @@ def write_trace(
     spans: "Iterable[Span]",
     clock: str = "monotonic",
     metrics: "Optional[List[Dict[str, Any]]]" = None,
+    series: "Optional[List[Dict[str, Any]]]" = None,
     extra_meta: "Optional[Dict[str, Any]]" = None,
 ) -> int:
     """Write a complete recording to ``path``; returns events written.
 
-    ``metrics`` is a registry snapshot (``registry().snapshot()``)
-    appended after the spans, so one file carries the full recording.
+    ``metrics`` is a registry snapshot (``registry().snapshot()``) and
+    ``series`` a time-series store snapshot
+    (``TimeSeriesStore.snapshot()``), both appended after the spans, so
+    one file carries the full recording.
     """
     count = 0
     with open(path, "w", encoding="utf-8") as fileobj:
@@ -73,6 +76,11 @@ def write_trace(
             count += 1
         for snapshot in metrics or []:
             record = {"type": "metric"}
+            record.update(snapshot)
+            fileobj.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+        for snapshot in series or []:
+            record = {"type": "series"}
             record.update(snapshot)
             fileobj.write(json.dumps(record, sort_keys=True) + "\n")
             count += 1
@@ -103,5 +111,25 @@ def load_trace(
                 spans.append(Span.from_event(event))
             elif etype == "metric":
                 metrics.append({k: v for k, v in event.items() if k != "type"})
-            # Unknown types: skipped for forward compatibility.
+            # Unknown types (including "series"): skipped here for
+            # forward compatibility; use load_series for series records.
     return meta, spans, metrics
+
+
+def load_series(path: str) -> "List[Dict[str, Any]]":
+    """Read just the ``type: "series"`` records of a JSONL trace.
+
+    Kept separate from :func:`load_trace` so its 3-tuple signature (and
+    every existing caller) stays stable; ``repro top --replay`` is the
+    main consumer.
+    """
+    series: "List[Dict[str, Any]]" = []
+    with open(path, "r", encoding="utf-8") as fileobj:
+        for line in fileobj:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if event.get("type") == "series":
+                series.append({k: v for k, v in event.items() if k != "type"})
+    return series

@@ -1,0 +1,215 @@
+"""``repro top``: a curses-free ANSI cluster dashboard renderer.
+
+Pure functions from telemetry data (fleet health dicts from the
+``HEALTH`` RPC, series snapshots from ``STATS`` or a recorded trace) to
+a text screen.  The CLI drives them in a loop — clearing the terminal
+with ANSI escapes between frames — but nothing here touches the
+terminal, so the same renderer is unit-testable and powers one-shot
+``--iterations 1`` output piped to a file.
+
+Two sections:
+
+* **Fleet table** — one row per server: liveness, inflight repairs,
+  repairs completed, bytes moved, heartbeat age, and a straggler flag
+  (highlighted) when the meta-server's fleet-median comparison marks a
+  phase slow.
+* **Series panel** — per-metric sparklines (one row per label set) of
+  the most recent samples, rendered via
+  :func:`repro.analysis.render.sparkline`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.render import sparkline
+
+#: ANSI escape codes used by the dashboard (empty strings when color is
+#: off, so tests can assert on plain text).
+ANSI = {
+    "reset": "\x1b[0m",
+    "bold": "\x1b[1m",
+    "dim": "\x1b[2m",
+    "red": "\x1b[31m",
+    "green": "\x1b[32m",
+    "yellow": "\x1b[33m",
+    "clear": "\x1b[2J\x1b[H",
+}
+
+
+def _style(text: str, *styles: str, color: bool = True) -> str:
+    if not color or not styles:
+        return text
+    prefix = "".join(ANSI[s] for s in styles)
+    return f"{prefix}{text}{ANSI['reset']}"
+
+
+def _fmt_bytes(nbytes: float) -> str:
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    return f"{value:.1f}TiB"
+
+
+def _fmt_age(age: "Optional[float]") -> str:
+    if age is None:
+        return "-"
+    return f"{float(age):.1f}s"
+
+
+def render_fleet_table(
+    fleet: "Dict[str, Dict[str, Any]]", color: bool = True
+) -> str:
+    """The per-server health table of one dashboard frame."""
+    header = (
+        f"{'SERVER':<10} {'ALIVE':<6} {'INFLIGHT':>8} {'REPAIRS':>8} "
+        f"{'MOVED':>10} {'HB AGE':>7}  FLAGS"
+    )
+    lines = [_style(header, "bold", color=color)]
+    for server_id in sorted(fleet):
+        health = fleet[server_id]
+        alive = bool(health.get("alive", False))
+        alive_text = _style(
+            "up" if alive else "DOWN",
+            "green" if alive else "red",
+            color=color,
+        )
+        flags = ""
+        if health.get("straggler"):
+            phases = ",".join(
+                str(p) for p in health.get("straggler_phases", [])
+            )
+            flags = _style(
+                f"STRAGGLER[{phases}]", "yellow", "bold", color=color
+            )
+        lines.append(
+            f"{server_id:<10} {alive_text:<{6 + (len(alive_text) - len('up' if alive else 'DOWN'))}} "
+            f"{int(health.get('inflight_repairs', 0) or 0):>8} "
+            f"{int(health.get('repairs_completed', 0) or 0):>8} "
+            f"{_fmt_bytes(health.get('bytes_moved', 0) or 0):>10} "
+            f"{_fmt_age(health.get('heartbeat_age')):>7}  {flags}"
+        )
+    if len(lines) == 1:
+        lines.append("(no servers reporting)")
+    return "\n".join(lines)
+
+
+def render_series_panel(
+    series: "Sequence[Dict[str, Any]]",
+    width: int = 40,
+    max_rows: int = 30,
+    color: bool = True,
+) -> str:
+    """Sparkline rows for series snapshots, grouped by metric name.
+
+    ``series`` is a list of ``Series.snapshot()`` dicts (``name``,
+    ``labels``, ``samples``).  Empty series are skipped; output is
+    truncated to ``max_rows`` rows with an explicit trailer.
+    """
+    populated = [s for s in series if s.get("samples")]
+    if not populated:
+        return "(no series data)"
+    populated.sort(
+        key=lambda s: (str(s.get("name")), sorted((s.get("labels") or {}).items()))
+    )
+    lines: "List[str]" = []
+    shown = 0
+    current_name: "Optional[str]" = None
+    for snap in populated:
+        if shown >= max_rows:
+            break
+        name = str(snap.get("name"))
+        if name != current_name:
+            lines.append(_style(name, "bold", color=color))
+            current_name = name
+        labels = snap.get("labels") or {}
+        label_text = ",".join(
+            f"{k}={v}" for k, v in sorted(labels.items())
+        ) or "-"
+        values = [float(v) for _, v in snap["samples"]]
+        last = values[-1]
+        lines.append(
+            f"  {label_text:<14} {sparkline(values, width=width):<{width}} "
+            f"{last:.4g}"
+        )
+        shown += 1
+    remainder = len(populated) - shown
+    if remainder > 0:
+        lines.append(f"... {remainder} more series not shown")
+    return "\n".join(lines)
+
+
+def render_top(
+    fleet: "Dict[str, Dict[str, Any]]",
+    series: "Sequence[Dict[str, Any]]",
+    now: "Optional[float]" = None,
+    source: str = "",
+    color: bool = True,
+    width: int = 40,
+) -> str:
+    """One full dashboard frame: header, fleet table, series panel."""
+    alive = sum(1 for h in fleet.values() if h.get("alive"))
+    stragglers = sum(1 for h in fleet.values() if h.get("straggler"))
+    inflight = sum(
+        int(h.get("inflight_repairs", 0) or 0) for h in fleet.values()
+    )
+    header = (
+        f"repro top — {source or 'cluster'}"
+        + (f" @ {now:.2f}" if now is not None else "")
+    )
+    summary = (
+        f"servers {alive}/{len(fleet)} up  "
+        f"inflight repairs {inflight}  "
+        f"stragglers {stragglers}"
+    )
+    parts = [
+        _style(header, "bold", color=color),
+        summary,
+        "",
+        render_fleet_table(fleet, color=color),
+        "",
+        render_series_panel(series, width=width, color=color),
+    ]
+    return "\n".join(parts) + "\n"
+
+
+def fleet_from_series(
+    series: "Sequence[Dict[str, Any]]",
+) -> "Dict[str, Dict[str, Any]]":
+    """Synthesize a fleet-health view from recorded series (sim replay).
+
+    A simulated trace has no HEALTH RPC to poll, so ``repro top
+    --replay`` derives a minimal per-node health dict from the node
+    labels present in the series: every labeled node is listed as alive,
+    with inflight repairs taken from the final ``repairs.inflight``
+    sample when one exists.
+    """
+    fleet: "Dict[str, Dict[str, Any]]" = {}
+    inflight_last = 0
+    for snap in series:
+        if str(snap.get("name")) == "repairs.inflight" and snap.get("samples"):
+            inflight_last = int(snap["samples"][-1][1])
+    for snap in series:
+        labels = snap.get("labels") or {}
+        node = labels.get("node")
+        if not node:
+            continue
+        fleet.setdefault(
+            str(node),
+            {
+                "server_id": str(node),
+                "alive": True,
+                "inflight_repairs": 0,
+                "repairs_completed": 0,
+                "bytes_moved": 0.0,
+                "heartbeat_age": None,
+                "straggler": False,
+                "straggler_phases": [],
+            },
+        )
+    if fleet:
+        first = sorted(fleet)[0]
+        fleet[first]["inflight_repairs"] = inflight_last
+    return fleet

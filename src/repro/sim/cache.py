@@ -99,3 +99,8 @@ class LRUCache:
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of capacity in use, in [0, 1] (0.0 when capacity 0)."""
+        return self._bytes / self.capacity if self.capacity else 0.0

@@ -8,7 +8,8 @@ m-PPR's weights try to avoid overloading).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections import deque
+from typing import Callable, Deque, Optional
 
 from repro import obs
 from repro.sim.events import Simulation
@@ -32,6 +33,10 @@ class Disk:
         self.bytes_read = 0.0
         self.bytes_written = 0.0
         self.num_requests = 0
+        #: Finish times of requests not yet past, pruned lazily by
+        #: :attr:`queue_depth` — tracking depth without scheduling
+        #: completion events keeps telemetry off the event heap.
+        self._finish_times: "Deque[float]" = deque()
         #: Who owns this spindle, for span/metric labels ("" = anonymous).
         self.owner = ""
 
@@ -45,6 +50,7 @@ class Disk:
         finish = start + self.seek_latency + size / self.bandwidth
         self._busy_until = finish
         self.num_requests += 1
+        self._finish_times.append(finish)
         tracer = obs.tracer()
         if tracer is not None:
             wait = start - self.sim.now
@@ -84,3 +90,12 @@ class Disk:
     def queue_delay(self) -> float:
         """How long a request issued now would wait before starting."""
         return max(0.0, self._busy_until - self.sim.now)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests queued or in service right now (FIFO depth)."""
+        finish_times = self._finish_times
+        now = self.sim.now
+        while finish_times and finish_times[0] <= now:
+            finish_times.popleft()
+        return len(finish_times)

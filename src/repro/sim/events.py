@@ -53,6 +53,30 @@ class Simulation:
         #: is the innermost loop) that ``repro trace`` snapshots into the
         #: ``sim.events.executed`` counter after a recorded run.
         self.events_executed = 0
+        #: Clock observers, called as ``fn(now)`` after every executed
+        #: event.  They piggyback on the existing event stream instead of
+        #: scheduling their own events, so telemetry sampling cannot
+        #: perturb the heap (no extra seq numbers, no extra events,
+        #: identical tie-breaking) — results with sampling on are
+        #: bit-identical to results with it off.
+        self._clock_observers: "List[Callable[[float], None]]" = []
+
+    def add_clock_observer(self, observer: "Callable[[float], None]") -> None:
+        """Call ``observer(now)`` after each executed event.
+
+        Observers must not schedule events or mutate simulation state;
+        they are read-only taps for telemetry sampling.
+        """
+        self._clock_observers.append(observer)
+
+    def remove_clock_observer(
+        self, observer: "Callable[[float], None]"
+    ) -> None:
+        """Detach a previously added clock observer (no-op if absent)."""
+        try:
+            self._clock_observers.remove(observer)
+        except ValueError:
+            pass
 
     def schedule(
         self, delay: float, callback: "Callable[..., None]", *args: Any
@@ -89,6 +113,8 @@ class Simulation:
             self.now = event.time
             self.events_executed += 1
             event.callback(*event.args)
+            for observer in self._clock_observers:
+                observer(self.now)
             return True
         return False
 

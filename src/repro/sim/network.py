@@ -77,6 +77,18 @@ class Link:
             return self.capacity
         return self.capacity / (1.0 + self.incast_gamma * excess)
 
+    def utilization(self) -> float:
+        """Fraction of effective capacity carrying flows right now.
+
+        Sum of the current max-min fair flow rates over the deliverable
+        goodput; a read-only tap for telemetry sampling.  In [0, 1] up to
+        float rounding (0.0 on an idle or zero-capacity link).
+        """
+        capacity = self.effective_capacity()
+        if capacity <= 0.0 or not self.flows:
+            return 0.0
+        return sum(flow.rate for flow in self.flows) / capacity
+
     def __repr__(self) -> str:
         return f"<Link {self.name} {self.capacity:.3g}B/s {len(self.flows)} flows>"
 

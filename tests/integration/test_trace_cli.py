@@ -94,6 +94,77 @@ class TestTraceSim:
         assert "sim.repair" in result.stdout
         assert "sim.events.executed" in result.stdout
 
+    def test_summary_shows_histogram_quantiles(self, sim_trace):
+        result = run_trace_cli("summary", str(sim_trace))
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "p50=" in result.stdout
+        assert "p95=" in result.stdout
+        assert "p99=" in result.stdout
+
+    def test_record_includes_telemetry_series(self, sim_trace):
+        records = [
+            json.loads(line)
+            for line in sim_trace.read_text(encoding="utf-8").splitlines()
+        ]
+        series = [r for r in records if r["type"] == "series"]
+        assert series, "sim trace recorded no time series"
+        names = {s["name"] for s in series}
+        assert "disk.queue_depth" in names
+        assert "net.ingress_util" in names
+        assert any(s["samples"] for s in series)
+
+    def test_prom_export_is_valid_exposition(self, sim_trace, tmp_path):
+        out = tmp_path / "metrics.prom"
+        result = run_trace_cli("prom", str(sim_trace), "--out", str(out))
+        assert result.returncode == 0, result.stderr[-2000:]
+        text = out.read_text(encoding="utf-8")
+        from tests.unit.test_obs_promexport import parse_exposition
+
+        types, samples = parse_exposition(text)
+        assert any(t == "counter" for t in types.values())
+        assert samples
+        assert all(name.startswith("repro_") for name, _, _ in samples)
+
+    def test_prom_export_custom_namespace(self, sim_trace):
+        result = run_trace_cli(
+            "prom", str(sim_trace), "--namespace", "ppr"
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "# TYPE ppr_" in result.stdout
+
+
+class TestTopReplay:
+    def test_replay_renders_dashboard_frame(self, tmp_path):
+        trace = tmp_path / "sim.trace.jsonl"
+        record = run_trace_cli(
+            "record", "--out", str(trace), "--strategy", "ppr"
+        )
+        assert record.returncode == 0, record.stderr[-2000:]
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "top",
+                "--replay", str(trace), "--no-color",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "repro top" in result.stdout
+        assert "SERVER" in result.stdout
+        assert "\x1b" not in result.stdout  # --no-color means no ANSI
+        assert "(no series data)" not in result.stdout
+
+    def test_top_requires_source(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "top"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 2
+        assert "--meta" in result.stderr or "--replay" in result.stderr
+
 
 class TestTraceLive:
     def test_live_record_and_convert(self, tmp_path):

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.analysis.render import Table, bar_chart, fmt_percent
+from repro.analysis.render import (
+    SPARK_TICKS,
+    Table,
+    bar_chart,
+    fmt_percent,
+    sparkline,
+    time_series_chart,
+)
 
 
 def test_fmt_percent():
@@ -47,3 +54,45 @@ def test_bar_chart_zero_values():
 def test_bar_chart_length_mismatch():
     with pytest.raises(ValueError):
         bar_chart(["a"], [1.0, 2.0])
+
+
+def test_sparkline_scales_min_to_max():
+    out = sparkline([0.0, 0.5, 1.0])
+    assert len(out) == 3
+    assert out[0] == SPARK_TICKS[0]
+    assert out[-1] == SPARK_TICKS[-1]
+
+
+def test_sparkline_flat_series_stays_visible():
+    out = sparkline([3.0, 3.0, 3.0])
+    assert out == SPARK_TICKS[4] * 3
+
+
+def test_sparkline_truncates_to_width():
+    out = sparkline(list(range(100)), width=10)
+    assert len(out) == 10
+    assert out[-1] == SPARK_TICKS[-1]  # the most recent (largest) value
+
+
+def test_sparkline_explicit_bounds():
+    # With lo/hi pinned, a mid-range value lands mid-scale.
+    out = sparkline([0.5], lo=0.0, hi=1.0)
+    assert out == SPARK_TICKS[4]
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_time_series_chart_shape_and_labels():
+    samples = [(float(t), float(t % 5)) for t in range(50)]
+    out = time_series_chart(samples, width=20, height=6, title="queue")
+    lines = out.splitlines()
+    assert lines[0] == "queue"
+    assert "*" in out
+    assert "4" in out and "0" in out  # max and min y-labels
+    assert "window" in lines[-1]
+
+
+def test_time_series_chart_empty():
+    assert "(no samples)" in time_series_chart([], title="t")

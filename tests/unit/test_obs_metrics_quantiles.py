@@ -1,0 +1,153 @@
+"""Histogram quantile estimation and the label-cardinality guard."""
+
+import pytest
+
+from repro.obs import export
+from repro.obs.metrics import (
+    DEFAULT_MAX_LABEL_SETS,
+    OVERFLOW_COUNTER,
+    OVERFLOW_LABELS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestHistogramQuantiles:
+    def test_uniform_distribution_interpolates(self):
+        """100 uniform samples over decile buckets: quantiles land on the
+        true order statistics."""
+        hist = Histogram("h", {}, buckets=range(10, 101, 10))
+        for v in range(1, 101):
+            hist.observe(v)
+        assert hist.quantile(0.50) == pytest.approx(50.0)
+        assert hist.quantile(0.95) == pytest.approx(95.0)
+        assert hist.quantile(0.99) == pytest.approx(99.0)
+        assert hist.quantile(1.0) == pytest.approx(100.0)
+
+    def test_first_bucket_interpolates_from_min(self):
+        """Estimates inside the first bucket anchor at the observed min,
+        not zero — sharper for latency-style data far from 0."""
+        hist = Histogram("h", {}, buckets=[100.0])
+        hist.observe(10.0)
+        hist.observe(20.0)
+        # rank 1 of 2 in [min=10, 100): 10 + (100-10) * 0.5
+        assert hist.quantile(0.5) == pytest.approx(55.0)
+        assert hist.quantile(0.0) == pytest.approx(10.0)
+
+    def test_overflow_bucket_returns_observed_max(self):
+        hist = Histogram("h", {}, buckets=[1.0])
+        hist.observe(5.0)
+        hist.observe(7.0)
+        assert hist.quantile(0.5) == 7.0
+        assert hist.quantile(0.99) == 7.0
+
+    def test_empty_histogram_returns_none(self):
+        hist = Histogram("h", {})
+        assert hist.quantile(0.5) is None
+
+    def test_out_of_range_q_rejected(self):
+        hist = Histogram("h", {})
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+    def test_snapshot_includes_p50_p95_p99(self):
+        hist = Histogram("h", {}, buckets=range(10, 101, 10))
+        for v in range(1, 101):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["p50"] == pytest.approx(50.0)
+        assert snap["p95"] == pytest.approx(95.0)
+        assert snap["p99"] == pytest.approx(99.0)
+
+    def test_skewed_distribution(self):
+        """90 fast samples + 10 slow ones: p50 stays low, p95+ jump."""
+        hist = Histogram("h", {}, buckets=[1.0, 10.0])
+        for _ in range(90):
+            hist.observe(0.5)
+        for _ in range(10):
+            hist.observe(9.0)
+        assert hist.quantile(0.50) <= 1.0
+        assert hist.quantile(0.95) > 1.0
+
+    def test_summary_text_shows_quantiles(self):
+        """`repro trace summary` surfaces the estimates."""
+        hist = Histogram("rpc.latency", {}, buckets=range(10, 101, 10))
+        for v in range(1, 101):
+            hist.observe(v)
+        text = export.summarize([], [hist.snapshot()])
+        assert "p50=" in text
+        assert "p95=" in text
+        assert "p99=" in text
+
+
+class TestLabelCardinalityGuard:
+    def test_over_cap_label_sets_collapse_into_overflow(self):
+        reg = MetricsRegistry(max_label_sets=2)
+        a = reg.counter("c", node="S1")
+        b = reg.counter("c", node="S2")
+        spill = reg.counter("c", node="S3")
+        assert spill is not a and spill is not b
+        assert spill.labels == OVERFLOW_LABELS
+
+    def test_existing_label_sets_still_resolve(self):
+        reg = MetricsRegistry(max_label_sets=2)
+        a = reg.counter("c", node="S1")
+        reg.counter("c", node="S2")
+        reg.counter("c", node="S3")  # overflows
+        assert reg.counter("c", node="S1") is a
+
+    def test_overflow_counter_counts_redirections(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.counter("c", node="S1")
+        reg.counter("c", node="S2")
+        reg.counter("c", node="S3")
+        warn = reg.counter(OVERFLOW_COUNTER)
+        assert warn.value == 2
+        assert warn.labels == {}
+
+    def test_distinct_over_cap_sets_share_one_spill_series(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.gauge("g", node="S1")
+        x = reg.gauge("g", node="S2")
+        y = reg.gauge("g", node="S3")
+        assert x is y
+
+    def test_cap_is_per_metric_family(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.counter("a", node="S1")
+        other = reg.counter("b", node="S1")  # different name: fresh budget
+        assert other.labels == {"node": "S1"}
+        # Same name, different kind is also a separate family.
+        gauge = reg.gauge("a", node="S2")
+        assert gauge.labels == {"node": "S2"}
+
+    def test_histograms_guarded_too(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.histogram("h", node="S1")
+        spill = reg.histogram("h", node="S2")
+        assert spill.labels == OVERFLOW_LABELS
+
+    def test_overflow_visible_in_snapshot(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.counter("c", node="S1")
+        reg.counter("c", node="S2").inc(5)
+        names = {(s["kind"], s["name"]) for s in reg.snapshot()}
+        assert ("counter", OVERFLOW_COUNTER) in names
+        spill = [
+            s
+            for s in reg.snapshot()
+            if s["name"] == "c" and s["labels"] == OVERFLOW_LABELS
+        ]
+        assert spill and spill[0]["value"] == 5
+
+    def test_default_cap_is_generous(self):
+        reg = MetricsRegistry()
+        assert reg.max_label_sets == DEFAULT_MAX_LABEL_SETS
+        for i in range(100):
+            assert reg.counter("c", node=f"S{i}").labels == {"node": f"S{i}"}
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_label_sets=0)

@@ -1,0 +1,202 @@
+"""Prometheus text exposition: rendering plus a strict format parser.
+
+The parser below implements the text-based exposition format 0.0.4
+grammar (comment lines, sample lines with optional labels, final
+newline) and the histogram invariants Prometheus itself enforces at
+scrape time — so a rendering bug fails here before a real scraper ever
+sees it.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (
+    escape_label_value,
+    format_value,
+    render_prometheus,
+    sanitize_label_name,
+    sanitize_metric_name,
+)
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>NaN|[+-]Inf|[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text):
+    """Parse exposition text; returns (types, samples), raising on any
+    violation of the 0.0.4 grammar or histogram invariants."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    types = {}
+    samples = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, mtype = line.split(" ", 3)
+            assert _METRIC_NAME.match(name), f"bad TYPE name: {name}"
+            assert mtype in ("counter", "gauge", "histogram", "summary", "untyped")
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = mtype
+            continue
+        if line.startswith("# HELP "):
+            _, _, name, _ = line.split(" ", 3)
+            assert _METRIC_NAME.match(name), f"bad HELP name: {name}"
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line}"
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        labels = {}
+        label_text = match.group("labels")
+        if label_text:
+            consumed = _LABEL_PAIR.sub("", label_text).strip(", ")
+            assert not consumed, f"bad label syntax: {label_text!r}"
+            for lname, lvalue in _LABEL_PAIR.findall(label_text):
+                assert _LABEL_NAME.match(lname), f"bad label name: {lname}"
+                labels[lname] = lvalue
+        samples.append((match.group("name"), labels, match.group("value")))
+
+    # Every sample must belong to a declared family.
+    for name, labels, _ in samples:
+        family = None
+        for declared, mtype in types.items():
+            if name == declared:
+                family = mtype
+                break
+            if mtype == "histogram" and name in (
+                f"{declared}_bucket", f"{declared}_sum", f"{declared}_count"
+            ):
+                family = mtype
+                break
+        assert family, f"sample {name} has no TYPE declaration"
+        if name.endswith("_bucket"):
+            assert "le" in labels, "_bucket sample missing le label"
+
+    # Histogram invariants, per label set: cumulative buckets and a
+    # mandatory +Inf bucket equal to that label set's _count.
+    for declared, mtype in types.items():
+        if mtype != "histogram":
+            continue
+        grouped = {}
+        for name, labels, v in samples:
+            if name != f"{declared}_bucket":
+                continue
+            key = tuple(sorted(
+                (k, lv) for k, lv in labels.items() if k != "le"
+            ))
+            bound = (
+                math.inf if labels["le"] == "+Inf" else float(labels["le"])
+            )
+            grouped.setdefault(key, []).append((bound, float(v)))
+        assert grouped, f"histogram {declared} has no buckets"
+        totals = {
+            tuple(sorted(labels.items())): float(v)
+            for name, labels, v in samples
+            if name == f"{declared}_count"
+        }
+        for key, buckets in grouped.items():
+            bounds = [b for b, _ in buckets]
+            counts = [c for _, c in buckets]
+            assert bounds[-1] == math.inf, "le=+Inf bucket must be present"
+            assert bounds == sorted(bounds), "bucket bounds must ascend"
+            assert counts == sorted(counts), "buckets must be cumulative"
+            assert counts[-1] == totals[key], "+Inf bucket != _count"
+    return types, samples
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestFormatHelpers:
+    def test_metric_name_sanitized(self):
+        assert sanitize_metric_name("live.rpc.calls") == "live_rpc_calls"
+        assert sanitize_metric_name("9lives") == "_9lives"
+        assert sanitize_metric_name("a-b c") == "a_b_c"
+
+    def test_label_name_drops_colons(self):
+        assert sanitize_label_name("node:id") == "node_id"
+
+    def test_label_value_escaping(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_value_formatting(self):
+        assert format_value(None) == "NaN"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+
+
+class TestRenderPrometheus:
+    def test_counter_gets_total_suffix(self, registry):
+        registry.counter("sim.events", node="S1").inc(41)
+        text = render_prometheus(registry.snapshot())
+        types, samples = parse_exposition(text)
+        assert types["repro_sim_events_total"] == "counter"
+        assert ("repro_sim_events_total", {"node": "S1"}, "41") in samples
+
+    def test_gauge_keeps_name(self, registry):
+        registry.gauge("repairs.inflight").set(3)
+        types, samples = parse_exposition(
+            render_prometheus(registry.snapshot())
+        )
+        assert types["repro_repairs_inflight"] == "gauge"
+        assert ("repro_repairs_inflight", {}, "3") in samples
+
+    def test_histogram_expands_with_invariants(self, registry):
+        hist = registry.histogram("rpc.latency", buckets=[0.1, 1.0])
+        for v in (0.05, 0.5, 2.0):
+            hist.observe(v)
+        text = render_prometheus(registry.snapshot())
+        types, samples = parse_exposition(text)  # invariants checked inside
+        assert types["repro_rpc_latency"] == "histogram"
+        values = {
+            (name, labels.get("le")): value
+            for name, labels, value in samples
+        }
+        assert values[("repro_rpc_latency_bucket", "0.1")] == "1"
+        assert values[("repro_rpc_latency_bucket", "1")] == "2"
+        assert values[("repro_rpc_latency_bucket", "+Inf")] == "3"
+        assert values[("repro_rpc_latency_count", None)] == "3"
+
+    def test_label_sets_grouped_under_one_family(self, registry):
+        registry.counter("c", node="S1").inc()
+        registry.counter("c", node="S2").inc(2)
+        text = render_prometheus(registry.snapshot())
+        assert text.count("# TYPE repro_c_total counter") == 1
+        _, samples = parse_exposition(text)
+        assert len([s for s in samples if s[0] == "repro_c_total"]) == 2
+
+    def test_namespace_optional(self, registry):
+        registry.gauge("g").set(1)
+        _, samples = parse_exposition(
+            render_prometheus(registry.snapshot(), namespace="")
+        )
+        assert samples == [("g", {}, "1")]
+
+    def test_empty_snapshot_is_still_valid(self):
+        parse_exposition(render_prometheus([]))
+
+    def test_awkward_label_values_survive(self, registry):
+        registry.gauge("g", path='a"b\\c').set(1)
+        text = render_prometheus(registry.snapshot())
+        _, samples = parse_exposition(text)
+        assert samples[0][1]["path"] == 'a\\"b\\\\c'
+
+    def test_full_registry_roundtrip_is_parseable(self, registry):
+        """A realistic mixed registry renders to a valid document."""
+        for node in ("S1", "S2", "S3"):
+            registry.counter("net.bytes", node=node).inc(1000)
+            registry.gauge("disk.queue", node=node).set(2)
+            registry.histogram("lat", node=node).observe(0.01)
+        parse_exposition(render_prometheus(registry.snapshot()))

@@ -1,0 +1,154 @@
+"""Ring-buffer time series, the store, and the interval sampler."""
+
+import pytest
+
+from repro.obs.timeseries import DEFAULT_CAPACITY, Sampler, Series, TimeSeriesStore
+
+
+class TestSeries:
+    def test_append_and_samples_in_order(self):
+        s = Series("x", {})
+        s.append(1.0, 10.0)
+        s.append(2.0, 20.0)
+        assert s.samples() == [(1.0, 10.0), (2.0, 20.0)]
+        assert len(s) == 2
+        assert s.last() == (2.0, 20.0)
+        assert s.values() == [10.0, 20.0]
+
+    def test_ring_drops_oldest_at_capacity(self):
+        s = Series("x", {}, capacity=3)
+        for i in range(5):
+            s.append(float(i), float(i * 10))
+        assert s.samples() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+        assert len(s) == 3
+
+    def test_window_bounds_inclusive(self):
+        s = Series("x", {})
+        for i in range(5):
+            s.append(float(i), float(i))
+        assert s.window(1.0, 3.0) == [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+        assert s.window(start=3.0) == [(3.0, 3.0), (4.0, 4.0)]
+        assert s.window(end=1.0) == [(0.0, 0.0), (1.0, 1.0)]
+        assert s.window() == s.samples()
+
+    def test_empty_series(self):
+        s = Series("x", {})
+        assert s.last() is None
+        assert s.samples() == []
+        assert s.snapshot()["samples"] == []
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Series("x", {}, capacity=0)
+
+    def test_snapshot_shape(self):
+        s = Series("net", {"node": "S1"}, capacity=7)
+        s.append(0.5, 0.25)
+        snap = s.snapshot()
+        assert snap == {
+            "name": "net",
+            "labels": {"node": "S1"},
+            "capacity": 7,
+            "samples": [[0.5, 0.25]],
+        }
+
+
+class TestTimeSeriesStore:
+    def test_get_or_create_returns_same_series(self):
+        store = TimeSeriesStore()
+        a = store.series("net", node="S1")
+        b = store.series("net", node="S1")
+        assert a is b
+
+    def test_labels_distinguish_series(self):
+        store = TimeSeriesStore()
+        a = store.series("net", node="S1")
+        b = store.series("net", node="S2")
+        c = store.series("net")
+        assert len({id(a), id(b), id(c)}) == 3
+        assert store.names() == ["net"]
+        assert len(store.all_series()) == 3
+
+    def test_record_shorthand(self):
+        store = TimeSeriesStore()
+        store.record("q", 1.0, 4.0, node="S1")
+        assert store.series("q", node="S1").samples() == [(1.0, 4.0)]
+
+    def test_store_capacity_propagates(self):
+        store = TimeSeriesStore(capacity=2)
+        s = store.series("x")
+        for i in range(4):
+            s.append(float(i), 0.0)
+        assert len(s) == 2
+
+    def test_snapshot_window_and_load_roundtrip(self):
+        store = TimeSeriesStore()
+        for i in range(4):
+            store.record("x", float(i), float(i * 2), node="S1")
+        snaps = store.snapshot(start=1.0, end=2.0)
+        assert snaps[0]["samples"] == [[1.0, 2.0], [2.0, 4.0]]
+        # Unwindowed snapshot round-trips through load().
+        replay = TimeSeriesStore()
+        replay.load(store.snapshot())
+        assert replay.series("x", node="S1").samples() == store.series(
+            "x", node="S1"
+        ).samples()
+
+    def test_reset(self):
+        store = TimeSeriesStore()
+        store.record("x", 0.0, 1.0)
+        store.reset()
+        assert store.all_series() == []
+
+    def test_default_capacity(self):
+        assert TimeSeriesStore().series("x").capacity == DEFAULT_CAPACITY
+
+
+class TestSampler:
+    def test_probes_sampled_on_interval_grid(self):
+        store = TimeSeriesStore()
+        sampler = Sampler(store, interval=1.0)
+        ticks = []
+        sampler.add_probe("val", lambda: ticks.append(1) or len(ticks))
+        # First observation always samples; then only after >= interval.
+        sampler.observe_clock(0.0)
+        sampler.observe_clock(0.5)   # too soon
+        sampler.observe_clock(0.99)  # still too soon
+        sampler.observe_clock(1.0)   # exactly one interval
+        sampler.observe_clock(2.7)
+        assert sampler.samples_taken == 3
+        assert [t for t, _ in store.series("val").samples()] == [0.0, 1.0, 2.7]
+
+    def test_add_probe_materializes_series_immediately(self):
+        store = TimeSeriesStore()
+        sampler = Sampler(store, interval=1.0)
+        sampler.add_probe("disk.queue", lambda: 0.0, node="S1")
+        assert store.names() == ["disk.queue"]
+        assert store.series("disk.queue", node="S1").samples() == []
+
+    def test_raising_probe_skipped_others_survive(self):
+        store = TimeSeriesStore()
+        sampler = Sampler(store, interval=1.0)
+
+        def dead():
+            raise RuntimeError("probe backend gone")
+
+        sampler.add_probe("dead", dead)
+        sampler.add_probe("alive", lambda: 7.0)
+        sampler.sample(0.0)
+        assert store.series("dead").samples() == []
+        assert store.series("alive").samples() == [(0.0, 7.0)]
+        assert sampler.samples_taken == 1
+
+    def test_probe_labels_stamped(self):
+        store = TimeSeriesStore()
+        sampler = Sampler(store, interval=1.0)
+        sampler.add_probe("u", lambda: 1.0, node="S3", link="ingress")
+        sampler.sample(2.0)
+        series = store.series("u", node="S3", link="ingress")
+        assert series.labels == {"node": "S3", "link": "ingress"}
+        assert series.samples() == [(2.0, 1.0)]
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Sampler(TimeSeriesStore(), interval=0.0)

@@ -1,0 +1,141 @@
+"""The `repro top` dashboard renderer (pure text, no terminal)."""
+
+from repro.obs.topview import (
+    ANSI,
+    fleet_from_series,
+    render_fleet_table,
+    render_series_panel,
+    render_top,
+)
+
+
+def _health(server_id, **overrides):
+    health = {
+        "server_id": server_id,
+        "alive": True,
+        "inflight_repairs": 0,
+        "repairs_completed": 0,
+        "bytes_moved": 0.0,
+        "heartbeat_age": 0.4,
+        "straggler": False,
+        "straggler_phases": [],
+    }
+    health.update(overrides)
+    return health
+
+
+def _series(name, samples, **labels):
+    return {"name": name, "labels": labels, "samples": samples}
+
+
+class TestFleetTable:
+    def test_rows_sorted_and_columns_present(self):
+        fleet = {
+            "cs-02": _health("cs-02", bytes_moved=2048.0),
+            "cs-01": _health("cs-01", inflight_repairs=3),
+        }
+        text = render_fleet_table(fleet, color=False)
+        lines = text.splitlines()
+        assert "SERVER" in lines[0] and "HB AGE" in lines[0]
+        assert lines[1].startswith("cs-01")
+        assert lines[2].startswith("cs-02")
+        assert "2.0KiB" in lines[2]
+        assert "up" in lines[1]
+
+    def test_dead_server_flagged(self):
+        text = render_fleet_table(
+            {"cs-01": _health("cs-01", alive=False, heartbeat_age=None)},
+            color=False,
+        )
+        assert "DOWN" in text
+        assert " - " in text  # no heartbeat age
+
+    def test_straggler_flag_names_phases(self):
+        fleet = {
+            "cs-01": _health(
+                "cs-01", straggler=True, straggler_phases=["disk_read"]
+            )
+        }
+        text = render_fleet_table(fleet, color=False)
+        assert "STRAGGLER[disk_read]" in text
+
+    def test_color_mode_emits_ansi(self):
+        text = render_fleet_table({"cs-01": _health("cs-01")}, color=True)
+        assert ANSI["green"] in text
+        assert ANSI["green"] not in render_fleet_table(
+            {"cs-01": _health("cs-01")}, color=False
+        )
+
+    def test_empty_fleet(self):
+        assert "(no servers reporting)" in render_fleet_table({}, color=False)
+
+
+class TestSeriesPanel:
+    def test_sparkline_rows_grouped_by_metric(self):
+        series = [
+            _series("net.util", [[0, 0.1], [1, 0.9]], node="S1"),
+            _series("net.util", [[0, 0.2], [1, 0.3]], node="S2"),
+            _series("disk.queue", [[0, 1.0]], node="S1"),
+        ]
+        text = render_series_panel(series, color=False)
+        lines = text.splitlines()
+        assert lines[0] == "disk.queue"
+        assert "net.util" in lines
+        assert sum(1 for ln in lines if ln.startswith("  node=")) == 3
+
+    def test_empty_series_skipped(self):
+        series = [_series("x", [], node="S1")]
+        assert render_series_panel(series, color=False) == "(no series data)"
+
+    def test_truncation_is_loud(self):
+        series = [
+            _series("m", [[0, 1.0]], node=f"S{i}") for i in range(40)
+        ]
+        text = render_series_panel(series, max_rows=5, color=False)
+        assert "35 more series not shown" in text
+
+    def test_last_value_shown(self):
+        text = render_series_panel(
+            [_series("m", [[0, 1.0], [1, 0.125]], node="S1")], color=False
+        )
+        assert "0.125" in text
+
+
+class TestRenderTop:
+    def test_header_and_summary_counts(self):
+        fleet = {
+            "cs-01": _health("cs-01", inflight_repairs=2),
+            "cs-02": _health("cs-02", alive=False),
+            "cs-03": _health("cs-03", straggler=True),
+        }
+        series = [_series("m", [[0, 1.0]], node="cs-01")]
+        text = render_top(
+            fleet, series, now=12.5, source="sim-trace", color=False
+        )
+        assert "repro top — sim-trace @ 12.50" in text
+        assert "servers 2/3 up" in text
+        assert "inflight repairs 2" in text
+        assert "stragglers 1" in text
+        assert text.endswith("\n")
+
+    def test_one_shot_frame_has_no_clear_codes(self):
+        text = render_top({}, [], color=False)
+        assert "\x1b" not in text
+
+
+class TestFleetFromSeries:
+    def test_nodes_synthesized_from_labels(self):
+        series = [
+            _series("disk.queue", [[0, 1.0]], node="S1"),
+            _series("disk.queue", [[0, 2.0]], node="S2"),
+            _series("repairs.inflight", [[0, 0.0], [1, 3.0]]),
+        ]
+        fleet = fleet_from_series(series)
+        assert sorted(fleet) == ["S1", "S2"]
+        assert all(h["alive"] for h in fleet.values())
+        # The cluster-wide inflight count lands on the first server so
+        # the summary line reflects it.
+        assert fleet["S1"]["inflight_repairs"] == 3
+
+    def test_unlabeled_series_only(self):
+        assert fleet_from_series([_series("m", [[0, 1.0]])]) == {}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.metrics import PhaseBreakdown, TrafficMatrix
+from repro.sim.metrics import PhaseBreakdown, TrafficMatrix, _IntervalSet
 
 
 def test_busy_time_merges_overlaps():
@@ -45,6 +45,67 @@ def test_dominant_phase():
 
 def test_zero_window_shares():
     bd = PhaseBreakdown()
+    assert all(v == 0.0 for v in bd.shares().values())
+
+
+def test_intervalset_zero_length_intervals_dropped():
+    iset = _IntervalSet()
+    iset.add(1.0, 1.0)
+    iset.add(5.0, 5.0)
+    assert iset.intervals == []
+    assert iset.busy_time() == 0.0
+    # Inverted intervals are equally degenerate and equally dropped.
+    iset.add(3.0, 2.0)
+    assert iset.busy_time() == 0.0
+
+
+def test_intervalset_unsorted_adds_merge_correctly():
+    iset = _IntervalSet()
+    # Deliberately out of order; busy_time must sort before merging.
+    iset.add(5.0, 6.0)
+    iset.add(0.0, 2.0)
+    iset.add(1.0, 3.0)
+    iset.add(4.0, 5.5)
+    assert iset.busy_time() == pytest.approx(5.0)  # [0,3) + [4,6)
+
+
+def test_intervalset_fully_nested_overlaps():
+    iset = _IntervalSet()
+    iset.add(0.0, 10.0)
+    iset.add(2.0, 3.0)  # entirely inside [0, 10)
+    iset.add(4.0, 9.0)  # entirely inside [0, 10)
+    assert iset.busy_time() == pytest.approx(10.0)
+    # A later interval nested inside an earlier, longer one must not
+    # shrink the running end (the max(current_end, end) branch).
+    iset2 = _IntervalSet()
+    iset2.add(0.0, 8.0)
+    iset2.add(1.0, 2.0)
+    iset2.add(8.0, 9.0)  # touches [0,8) at the boundary: still one run
+    assert iset2.busy_time() == pytest.approx(9.0)
+
+
+def test_intervalset_adjacent_intervals_count_once():
+    iset = _IntervalSet()
+    iset.add(0.0, 1.0)
+    iset.add(1.0, 2.0)  # shares only the boundary point
+    assert iset.busy_time() == pytest.approx(2.0)
+
+
+def test_intervalset_empty():
+    assert _IntervalSet().busy_time() == 0.0
+
+
+def test_zero_end_to_end_window_with_recorded_phases():
+    """Records exist but the window is zero-width: shares are all 0."""
+    bd = PhaseBreakdown()
+    bd.start_time = 5.0
+    bd.end_time = 5.0
+    bd.record("network", 0.0, 2.0)
+    assert bd.total == 0.0
+    assert all(v == 0.0 for v in bd.shares().values())
+    # Negative windows (end before start) clamp the same way.
+    bd.end_time = 4.0
+    assert bd.total == 0.0
     assert all(v == 0.0 for v in bd.shares().values())
 
 
