@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""What PPR's repair speedup buys in durability (MTTDL and nines).
+
+The paper measures repair *time*; this demo carries the result to the
+quantity operators size clusters by.  It runs the years-scale Monte
+Carlo engine (src/repro/reliability/) over RS(6,3) stripes under an
+accelerated, bandwidth-limited regime — disk lifetimes compressed to
+days and only two repair slots, so the repair queue is the bottleneck —
+and compares traditional star repair against PPR on MTTDL,
+P(data loss)/year, availability nines, and degraded exposure.
+
+Because repair speed enters the Markov MTTDL roughly as (mu/lambda)^m,
+PPR's ~2x repair speedup on RS(6,3) should buy *more* than 2x MTTDL.
+
+Run:  python examples/durability_comparison.py
+"""
+
+from repro.reliability.engine import ReliabilityEngine
+from repro.reliability.markov import markov_mttdl
+from repro.reliability.report import accelerated_config
+
+TRIALS = 4
+STRIPES = 150
+
+
+def run(scheme: str):
+    config = accelerated_config(
+        "rs(6,3)", scheme, n=9, num_stripes=STRIPES, trials=TRIALS,
+        horizon_years=6.0,
+    )
+    report = ReliabilityEngine(config).run()
+    mttdl, lo, hi = report.mttdl_years()
+    print(f"[{scheme}] per-chunk repair "
+          f"{report.per_chunk_repair_hours * 3600:.1f}s -> "
+          f"MTTDL {mttdl:.3f} years [95% CI {lo:.3f} - {hi:.3f}], "
+          f"P(loss)/yr {report.p_loss_per_year()[0]:.3f}, "
+          f"{report.availability_nines():.2f} nines, "
+          f"{report.exposure_chunk_hours_per_stripe_year():.0f} "
+          f"chunk-hours degraded / stripe-year")
+    return report
+
+
+if __name__ == "__main__":
+    print(f"Accelerated aging: disk MTTF 5 days, 256 MiB chunks, "
+          f"0.5 Gbps fabric, 2 repair slots, {STRIPES} stripes x "
+          f"{TRIALS} trials x 6 simulated years per scheme.\n")
+    star = run("traditional")
+    ppr = run("ppr")
+    speedup = star.per_chunk_repair_hours / ppr.per_chunk_repair_hours
+    ratio = ppr.mttdl_years()[0] / star.mttdl_years()[0]
+    print(f"\nPPR repairs {speedup:.2f}x faster and lasts {ratio:.2f}x "
+          f"longer to data loss — super-proportional, as the closed-form "
+          f"Markov chain predicts:")
+    base = markov_mttdl(9, 3, failure_rate=1e-4, repair_rate=1.0)
+    fast = markov_mttdl(9, 3, failure_rate=1e-4, repair_rate=speedup)
+    print(f"  markov_mttdl(RS(6,3)): a {speedup:.2f}x repair-rate boost "
+          f"multiplies MTTDL by {fast / base:.1f}x")
+    print("\nFull sweep over RS(6,3)-RS(12,4) incl. m-PPR: "
+          "`pytest benchmarks/bench_reliability.py` or `repro reliability "
+          "--scheme traditional,ppr,mppr`.")

@@ -1,0 +1,144 @@
+"""The failure-domain tree: site → rack → machine → disk.
+
+The short-timescale simulator models individual servers on a network
+fabric (:mod:`repro.sim.topology`); the years-scale reliability engine
+needs the *containment* structure above them — which disks share a
+machine, which machines share a rack — because correlated events (rack
+power loss, machine reboot) take out whole subtrees at once.
+
+:class:`Hierarchy` is that tree, flattened into numpy index arrays for
+the engine's vectorized state updates, with bridges both ways:
+
+* :meth:`placement_policy` exposes the tree as the failure/upgrade
+  domain maps of :class:`repro.fs.placement.PlacementPolicy`, so stripe
+  placement and repair-destination eligibility obey the same rack
+  constraints as the flow-level simulator.
+* :meth:`fat_tree` maps the machine layer onto
+  :class:`repro.sim.topology.FatTreeTopology`, the fabric the calibrated
+  repair-time models assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fs.placement import PlacementPolicy
+from repro.sim.topology import FatTreeTopology
+
+
+@dataclass(frozen=True)
+class Hierarchy:
+    """A regular site: ``racks`` × ``machines_per_rack`` × ``disks_per_machine``."""
+
+    racks: int = 12
+    machines_per_rack: int = 4
+    disks_per_machine: int = 4
+    #: Upgrade domains stripe machines round-robin, like Azure's UDs.
+    upgrade_domains: int = 4
+
+    def __post_init__(self) -> None:
+        if min(self.racks, self.machines_per_rack,
+               self.disks_per_machine) < 1:
+            raise ConfigurationError(
+                "hierarchy needs >= 1 rack, machine, and disk per level"
+            )
+        if self.upgrade_domains < 1:
+            raise ConfigurationError("need >= 1 upgrade domain")
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_machines(self) -> int:
+        return self.racks * self.machines_per_rack
+
+    @property
+    def num_disks(self) -> int:
+        return self.num_machines * self.disks_per_machine
+
+    # ------------------------------------------------------------------
+    # Index arrays (disk index -> containing component index)
+    # ------------------------------------------------------------------
+    def machine_of_disk(self) -> np.ndarray:
+        """``(num_disks,)`` machine index of every disk."""
+        return np.arange(self.num_disks) // self.disks_per_machine
+
+    def rack_of_disk(self) -> np.ndarray:
+        """``(num_disks,)`` rack index of every disk."""
+        return self.machine_of_disk() // self.machines_per_rack
+
+    def rack_of_machine(self) -> np.ndarray:
+        """``(num_machines,)`` rack index of every machine."""
+        return np.arange(self.num_machines) // self.machines_per_rack
+
+    def disks_of_machine(self, machine: int) -> np.ndarray:
+        """Disk indices housed by ``machine``."""
+        if not 0 <= machine < self.num_machines:
+            raise ConfigurationError(f"machine {machine} out of range")
+        start = machine * self.disks_per_machine
+        return np.arange(start, start + self.disks_per_machine)
+
+    def machines_of_rack(self, rack: int) -> np.ndarray:
+        """Machine indices housed by ``rack``."""
+        if not 0 <= rack < self.racks:
+            raise ConfigurationError(f"rack {rack} out of range")
+        start = rack * self.machines_per_rack
+        return np.arange(start, start + self.machines_per_rack)
+
+    # ------------------------------------------------------------------
+    # Names
+    # ------------------------------------------------------------------
+    def disk_id(self, disk: int) -> str:
+        machine = disk // self.disks_per_machine
+        return f"{self.machine_id(machine)}.d{disk % self.disks_per_machine}"
+
+    def machine_id(self, machine: int) -> str:
+        rack = machine // self.machines_per_rack
+        return f"r{rack}.m{machine % self.machines_per_rack}"
+
+    def disk_ids(self) -> "List[str]":
+        return [self.disk_id(d) for d in range(self.num_disks)]
+
+    def machine_ids(self) -> "List[str]":
+        return [self.machine_id(m) for m in range(self.num_machines)]
+
+    # ------------------------------------------------------------------
+    # Bridges to the placement and topology layers
+    # ------------------------------------------------------------------
+    def failure_domain_map(self) -> "Dict[str, int]":
+        """Disk id -> rack index (the failure domain placement avoids)."""
+        rack = self.rack_of_disk()
+        return {self.disk_id(d): int(rack[d]) for d in range(self.num_disks)}
+
+    def upgrade_domain_map(self) -> "Dict[str, int]":
+        """Disk id -> upgrade domain (machine round-robin, Azure style)."""
+        machine = self.machine_of_disk()
+        return {
+            self.disk_id(d): int(machine[d]) % self.upgrade_domains
+            for d in range(self.num_disks)
+        }
+
+    def placement_policy(
+        self, rng: "np.random.Generator | int | None" = None
+    ) -> PlacementPolicy:
+        """The tree as a :class:`PlacementPolicy` over disk ids."""
+        return PlacementPolicy(
+            self.failure_domain_map(), self.upgrade_domain_map(), rng=rng
+        )
+
+    def fat_tree(
+        self,
+        link_bandwidth: "float | str" = "1Gbps",
+        oversubscription: float = 1.0,
+    ) -> FatTreeTopology:
+        """The machine layer as a rack-structured fabric."""
+        return FatTreeTopology(
+            self.machine_ids(),
+            link_bandwidth,
+            servers_per_rack=self.machines_per_rack,
+            oversubscription=oversubscription,
+        )

@@ -1,0 +1,131 @@
+"""Failure and recovery time distributions for the reliability engine.
+
+The long-horizon Monte Carlo engine (:mod:`repro.reliability.engine`)
+draws component lifetimes and downtimes from the pluggable models here.
+Two families cover the literature the paper leans on:
+
+* :class:`ExponentialLifetime` — memoryless, the assumption behind every
+  closed-form Markov MTTDL model (and the mode the engine is validated
+  against in :mod:`repro.reliability.markov`).
+* :class:`WeibullLifetime` — the shape the disk-population studies
+  (Schroeder & Gibson FAST'07, Elerath & Pecht) actually fit; shape > 1
+  models wear-out, shape < 1 infant mortality.
+
+All sampling flows through numpy Generators from :mod:`repro.util.rng`,
+so a single seed reproduces an entire multi-trial simulation.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Hours in a (non-leap) year; the engine's reporting unit conversions.
+HOURS_PER_YEAR = 8760.0
+
+
+class LifetimeModel:
+    """Base class: a positive random duration in hours."""
+
+    @property
+    def mean_hours(self) -> float:
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """One duration draw, in hours."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ExponentialLifetime(LifetimeModel):
+    """Memoryless lifetime with the given mean (MTTF) in hours."""
+
+    mean: float
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ConfigurationError(
+                f"exponential mean must be positive, got {self.mean}"
+            )
+
+    @property
+    def mean_hours(self) -> float:
+        return self.mean
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean))
+
+
+@dataclass(frozen=True)
+class WeibullLifetime(LifetimeModel):
+    """Weibull lifetime: ``scale`` (hours) and ``shape`` (k).
+
+    ``shape=1`` degenerates to :class:`ExponentialLifetime`; disk
+    populations are typically fit with shapes around 1.1–1.2 (gentle
+    wear-out).
+    """
+
+    scale: float
+    shape: float
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or self.shape <= 0:
+            raise ConfigurationError(
+                f"weibull scale/shape must be positive, got "
+                f"{self.scale}/{self.shape}"
+            )
+
+    @property
+    def mean_hours(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+
+_SPEC_RE = re.compile(
+    r"^\s*(?P<family>exp|weibull)\s*:\s*(?P<scale>\d+(?:\.\d+)?)\s*"
+    r"(?P<unit>h|d|y)\s*(?::\s*(?P<shape>\d+(?:\.\d+)?))?\s*$",
+    re.IGNORECASE,
+)
+
+_UNIT_HOURS = {"h": 1.0, "d": 24.0, "y": HOURS_PER_YEAR}
+
+
+def make_lifetime(spec: "str | LifetimeModel") -> LifetimeModel:
+    """Build a lifetime model from a spec string.
+
+    Understood formats (case-insensitive)::
+
+        "exp:10y"           exponential, mean 10 years
+        "exp:87600h"        exponential, mean 87600 hours
+        "weibull:10y:1.12"  Weibull, scale 10 years, shape 1.12
+
+    An existing model passes through unchanged, mirroring
+    :func:`repro.util.rng.make_rng`.
+    """
+    if isinstance(spec, LifetimeModel):
+        return spec
+    match = _SPEC_RE.match(spec)
+    if not match:
+        raise ConfigurationError(
+            f"unparseable lifetime spec: {spec!r}; expected e.g. "
+            f"'exp:10y' or 'weibull:10y:1.12'"
+        )
+    hours = float(match.group("scale")) * _UNIT_HOURS[
+        match.group("unit").lower()
+    ]
+    family = match.group("family").lower()
+    shape = match.group("shape")
+    if family == "exp":
+        if shape is not None:
+            raise ConfigurationError(
+                f"exponential lifetimes take no shape: {spec!r}"
+            )
+        return ExponentialLifetime(hours)
+    return WeibullLifetime(hours, float(shape) if shape else 1.0)

@@ -1,0 +1,80 @@
+"""Closed-form Markov-chain MTTDL for MDS codes under exponential rates.
+
+The classic birth–death reliability chain for one RS(k, m) stripe of
+``n = k + m`` chunks: state ``i`` means ``i`` chunks are failed, failures
+arrive at rate ``(n - i) * lam`` (every surviving chunk fails
+independently), repairs complete at rate ``i * mu`` (every failed chunk
+repairs independently) or ``mu`` (one repair at a time), and state
+``m + 1`` is absorbing data loss.  The engine's exponential-lifetime /
+exponential-repair configuration realizes exactly this chain, which is
+what the validation test in ``tests/unit/test_reliability_markov.py``
+(and the note in ``docs/RELIABILITY.md``) leans on.
+
+The expected absorption time from state 0 solves the standard first-step
+system::
+
+    (lam_i + mu_i) * E_i = 1 + lam_i * E_{i+1} + mu_i * E_{i-1}
+
+with ``E_{m+1} = 0``; we solve the tridiagonal system directly rather
+than unrolling the (numerically fragile) product formula.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def markov_mttdl(
+    n: int,
+    m: int,
+    failure_rate: float,
+    repair_rate: float,
+    parallel_repairs: bool = True,
+) -> float:
+    """Expected hours to data loss for one stripe, from all-healthy.
+
+    ``failure_rate`` and ``repair_rate`` are per-chunk rates in 1/hours.
+    ``parallel_repairs=True`` repairs every failed chunk concurrently
+    (rate ``i * mu`` in state ``i``) — the regime of a cluster with ample
+    repair slots; ``False`` models a single repair server (rate ``mu``).
+    """
+    if n < 2 or not 0 < m < n:
+        raise ConfigurationError(f"need n >= 2 and 0 < m < n, got ({n}, {m})")
+    if failure_rate <= 0 or repair_rate <= 0:
+        raise ConfigurationError("rates must be positive")
+    states = m + 1  # transient states 0..m; m+1 absorbs
+    lam = np.array(
+        [(n - i) * failure_rate for i in range(states)], dtype=float
+    )
+    mu = np.array(
+        [
+            (i * repair_rate if parallel_repairs else repair_rate)
+            if i > 0
+            else 0.0
+            for i in range(states)
+        ],
+        dtype=float,
+    )
+    # (lam_i + mu_i) E_i - lam_i E_{i+1} - mu_i E_{i-1} = 1
+    matrix = np.zeros((states, states))
+    for i in range(states):
+        matrix[i, i] = lam[i] + mu[i]
+        if i + 1 < states:
+            matrix[i, i + 1] = -lam[i]
+        if i > 0:
+            matrix[i, i - 1] = -mu[i]
+    expected = np.linalg.solve(matrix, np.ones(states))
+    return float(expected[0])
+
+
+def raid1_mttdl(failure_rate: float, repair_rate: float) -> float:
+    """The textbook 2-disk mirror formula, as an independent cross-check.
+
+    ``MTTDL = (3*lam + mu) / (2*lam^2)`` — equals
+    :func:`markov_mttdl` with ``n=2, m=1`` (either repair discipline;
+    with one failed chunk they coincide).
+    """
+    lam, mu = failure_rate, repair_rate
+    return (3.0 * lam + mu) / (2.0 * lam * lam)

@@ -1,0 +1,278 @@
+"""Aggregating Monte Carlo trials into MTTDL, nines, and exposure.
+
+One :class:`TrialResult` per independent trial; a
+:class:`ReliabilityReport` folds them into the durability quantities the
+paper's §1–§2 argue repair speed buys:
+
+* **MTTDL** — total simulated time over loss events (Poisson CI), or the
+  mean time-to-first-loss in ``until_loss`` mode (normal CI).
+* **P(data loss)/year** — the loss-rate exponentiated into an annual
+  probability, with the rate CI propagated through.
+* **Availability nines** — stripe-hours readable over stripe-hours
+  total, where a stripe is unreadable whenever more than ``m`` chunks
+  are failed or transiently down.
+* **Exposure integral** — chunk-hours spent degraded (the window-of-
+  vulnerability area PPR's faster repairs shrink).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.render import Table, time_series_chart
+from repro.reliability.lifetimes import HOURS_PER_YEAR
+
+#: 95% two-sided normal quantile, the CI width used throughout.
+Z95 = 1.96
+
+#: 95% one-sided Poisson upper bound on the rate when zero events were
+#: observed ("rule of three").
+ZERO_EVENT_UPPER = 3.0
+
+
+@dataclass
+class TrialResult:
+    """Raw outcome of one Monte Carlo trial."""
+
+    trial: int
+    #: Simulated horizon actually covered, hours.
+    hours: float
+    num_stripes: int
+    #: Stripes that crossed into the LOST state.
+    losses: int
+    first_loss_hours: "Optional[float]" = None
+    exposure_chunk_hours: float = 0.0
+    unavailable_stripe_hours: float = 0.0
+    disk_failures: int = 0
+    machine_downs: int = 0
+    bursts: int = 0
+    repairs_completed: int = 0
+    repair_hours: float = 0.0
+    max_backlog: int = 0
+    #: (hours, queued + active repairs) samples, decimated.
+    backlog: "List[Tuple[float, int]]" = field(default_factory=list)
+
+    @property
+    def stripe_hours(self) -> float:
+        return self.hours * self.num_stripes
+
+
+@dataclass
+class ReliabilityReport:
+    """All trials of one (code, scheme) configuration, aggregated."""
+
+    code_name: str
+    scheme: str
+    m: int
+    per_chunk_repair_hours: float
+    until_loss: bool
+    trials: "List[TrialResult]"
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    @property
+    def total_hours(self) -> float:
+        return sum(t.hours for t in self.trials)
+
+    @property
+    def total_stripe_years(self) -> float:
+        return sum(t.stripe_hours for t in self.trials) / HOURS_PER_YEAR
+
+    @property
+    def total_losses(self) -> int:
+        return sum(t.losses for t in self.trials)
+
+    # ------------------------------------------------------------------
+    # MTTDL
+    # ------------------------------------------------------------------
+    def mttdl_hours(self) -> "Tuple[float, float, float]":
+        """``(estimate, ci_low, ci_high)`` in hours.
+
+        Horizon mode treats losses as a Poisson process over the total
+        simulated time; zero observed losses yield the rule-of-three
+        *lower bound* ``T / 3`` with an unbounded upper CI.  Until-loss
+        mode averages the per-trial absorption times directly.
+        """
+        if self.until_loss:
+            times = [
+                t.first_loss_hours
+                for t in self.trials
+                if t.first_loss_hours is not None
+            ]
+            if not times:
+                return math.inf, 0.0, math.inf
+            mean = statistics.mean(times)
+            half = (
+                Z95 * statistics.stdev(times) / math.sqrt(len(times))
+                if len(times) > 1
+                else math.inf
+            )
+            return mean, max(mean - half, 0.0), mean + half
+        total = self.total_hours
+        events = self.total_losses
+        if events == 0:
+            return total / ZERO_EVENT_UPPER, total / ZERO_EVENT_UPPER, math.inf
+        low_events = max(events - Z95 * math.sqrt(events), 1e-9)
+        high_events = events + Z95 * math.sqrt(events)
+        return total / events, total / high_events, total / low_events
+
+    def mttdl_years(self) -> "Tuple[float, float, float]":
+        est, low, high = self.mttdl_hours()
+        return (
+            est / HOURS_PER_YEAR,
+            low / HOURS_PER_YEAR,
+            high / HOURS_PER_YEAR,
+        )
+
+    # ------------------------------------------------------------------
+    # Annual loss probability
+    # ------------------------------------------------------------------
+    def loss_rate_per_year(self) -> "Tuple[float, float, float]":
+        """Loss events per simulated year, with 95% CI."""
+        years = self.total_hours / HOURS_PER_YEAR
+        if years <= 0:
+            return 0.0, 0.0, 0.0
+        events = self.total_losses
+        if events == 0:
+            return 0.0, 0.0, ZERO_EVENT_UPPER / years
+        half = Z95 * math.sqrt(events)
+        return (
+            events / years,
+            max(events - half, 0.0) / years,
+            (events + half) / years,
+        )
+
+    def p_loss_per_year(self) -> "Tuple[float, float, float]":
+        """P(at least one loss event in a year), rate CI propagated."""
+        rate, low, high = self.loss_rate_per_year()
+        expm1 = lambda r: -math.expm1(-r)  # noqa: E731 - tiny local alias
+        return expm1(rate), expm1(low), expm1(high)
+
+    def trial_loss_fraction(self) -> float:
+        """Fraction of trials that lost any stripe."""
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if t.losses) / len(self.trials)
+
+    # ------------------------------------------------------------------
+    # Availability and exposure
+    # ------------------------------------------------------------------
+    def unavailability(self) -> float:
+        """Unavailable stripe-hours over total stripe-hours."""
+        total = sum(t.stripe_hours for t in self.trials)
+        if total <= 0:
+            return 0.0
+        return sum(t.unavailable_stripe_hours for t in self.trials) / total
+
+    def availability_nines(self) -> float:
+        """``-log10(unavailability)``, capped at 12 when flawless."""
+        unavail = self.unavailability()
+        if unavail <= 0:
+            return 12.0
+        return min(-math.log10(unavail), 12.0)
+
+    def exposure_chunk_hours_per_stripe_year(self) -> float:
+        """Mean chunk-hours degraded per stripe-year (vulnerability area)."""
+        years = self.total_stripe_years
+        if years <= 0:
+            return 0.0
+        return sum(t.exposure_chunk_hours for t in self.trials) / years
+
+    def mean_backlog_peak(self) -> float:
+        if not self.trials:
+            return 0.0
+        return statistics.mean(t.max_backlog for t in self.trials)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def summary_rows(self) -> "Dict[str, object]":
+        """Flat numeric summary (the CLI table / benchmark row source)."""
+        mttdl, mttdl_lo, mttdl_hi = self.mttdl_years()
+        p_loss, p_lo, p_hi = self.p_loss_per_year()
+        return {
+            "code": self.code_name,
+            "scheme": self.scheme,
+            "trials": len(self.trials),
+            "stripe_years": round(self.total_stripe_years, 3),
+            "losses": self.total_losses,
+            "mttdl_years": mttdl,
+            "mttdl_ci_low_years": mttdl_lo,
+            "mttdl_ci_high_years": mttdl_hi,
+            "p_loss_per_year": p_loss,
+            "p_loss_ci_low": p_lo,
+            "p_loss_ci_high": p_hi,
+            "availability_nines": self.availability_nines(),
+            "exposure_chunk_hours_per_stripe_year": (
+                self.exposure_chunk_hours_per_stripe_year()
+            ),
+            "disk_failures": sum(t.disk_failures for t in self.trials),
+            "repairs_completed": sum(
+                t.repairs_completed for t in self.trials
+            ),
+            "mean_backlog_peak": self.mean_backlog_peak(),
+            "per_chunk_repair_hours": self.per_chunk_repair_hours,
+        }
+
+    def render(self, backlog_chart: bool = False) -> str:
+        """Human-readable report for the ``repro reliability`` CLI."""
+        mttdl, mttdl_lo, mttdl_hi = self.mttdl_years()
+        p_loss, p_lo, p_hi = self.p_loss_per_year()
+        hi_text = "inf" if math.isinf(mttdl_hi) else f"{mttdl_hi:.3g}"
+        table = Table(
+            ["metric", "value"],
+            title=(
+                f"Durability: {self.code_name} / {self.scheme} "
+                f"({len(self.trials)} trials, "
+                f"{self.total_stripe_years:,.0f} stripe-years)"
+            ),
+        )
+        bound = " (lower bound)" if self.total_losses == 0 else ""
+        table.add_row(
+            "MTTDL",
+            f"{mttdl:.4g} years{bound} "
+            f"[95% CI {mttdl_lo:.3g} – {hi_text}]",
+        )
+        table.add_row(
+            "P(data loss)/year",
+            f"{p_loss:.3g} [95% CI {p_lo:.3g} – {p_hi:.3g}]",
+        )
+        table.add_row("loss events", str(self.total_losses))
+        table.add_row(
+            "trials with loss", f"{self.trial_loss_fraction():.0%}"
+        )
+        table.add_row(
+            "availability", f"{self.availability_nines():.2f} nines"
+        )
+        table.add_row(
+            "exposure",
+            f"{self.exposure_chunk_hours_per_stripe_year():.4g} "
+            f"chunk-hours degraded / stripe-year",
+        )
+        table.add_row(
+            "repairs",
+            f"{sum(t.repairs_completed for t in self.trials)} completed, "
+            f"per-chunk {self.per_chunk_repair_hours * 3600:.1f}s "
+            f"({self.scheme})",
+        )
+        table.add_row(
+            "repair backlog", f"peak {self.mean_backlog_peak():.1f} disks "
+            f"(mean over trials)"
+        )
+        out = [table.render()]
+        if backlog_chart:
+            samples = next(
+                (t.backlog for t in self.trials if t.backlog), []
+            )
+            if samples:
+                out.append(
+                    time_series_chart(
+                        [(h * 3600.0, depth) for h, depth in samples],
+                        title="repair queue depth (trial 0)",
+                    )
+                )
+        return "\n".join(out)

@@ -1,0 +1,197 @@
+"""Per-stripe erasure state at population scale.
+
+The reliability engine tracks *millions* of stripes over *years*, so a
+stripe is not an object — it is a row index into flat numpy arrays.
+:class:`StripeMap` owns the static placement geometry (which disk holds
+chunk ``j`` of stripe ``s``) and the derived inverse index (which
+(stripe, chunk) pairs live on disk ``d``); the engine owns the mutable
+failure counters and classifies each stripe into the four-state ladder
+used throughout the reporting layer::
+
+    HEALTHY  — every chunk present
+    DEGRADED — 1..m-1 chunks lost (repairable, exposed)
+    CRITICAL — exactly m chunks lost (one more failure is data loss)
+    LOST     — more than m chunks lost (unrecoverable)
+
+Placement is rack-aware and vectorized: each stripe's ``n`` chunks land
+in distinct racks whenever the site has ``>= n`` racks (cycling through
+racks with distinct machine/disk slots otherwise), the same constraint
+:class:`repro.fs.placement.PlacementPolicy` enforces server-by-server in
+the flow-level simulator — see ``verify_placement`` and its unit tests
+for the cross-check.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.reliability.hierarchy import Hierarchy
+from repro.util.rng import make_rng
+
+#: Stripe state codes (ordered by severity).
+HEALTHY, DEGRADED, CRITICAL, LOST = 0, 1, 2, 3
+
+STATE_NAMES = {
+    HEALTHY: "healthy",
+    DEGRADED: "degraded",
+    CRITICAL: "critical",
+    LOST: "lost",
+}
+
+
+def classify(failed_counts: np.ndarray, m: int) -> np.ndarray:
+    """State code per stripe from its count of failed chunks."""
+    failed = np.asarray(failed_counts)
+    states = np.full(failed.shape, HEALTHY, dtype=np.int8)
+    states[failed >= 1] = DEGRADED
+    states[failed == m] = CRITICAL
+    states[failed > m] = LOST
+    return states
+
+
+class StripeMap:
+    """Static placement of ``num_stripes`` × ``n`` chunks onto disks."""
+
+    def __init__(self, disk_of: np.ndarray, hierarchy: Hierarchy):
+        disk_of = np.asarray(disk_of, dtype=np.int64)
+        if disk_of.ndim != 2:
+            raise ConfigurationError(
+                f"disk_of must be (stripes, n), got shape {disk_of.shape}"
+            )
+        if disk_of.size and (
+            disk_of.min() < 0 or disk_of.max() >= hierarchy.num_disks
+        ):
+            raise ConfigurationError("disk index out of range for hierarchy")
+        self.disk_of = disk_of
+        self.hierarchy = hierarchy
+        self._by_disk: "List[np.ndarray] | None" = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        hierarchy: Hierarchy,
+        n: int,
+        num_stripes: int,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> "StripeMap":
+        """Rack-aware random placement, fully vectorized.
+
+        Each stripe draws a random rack order and takes the first ``n``
+        (cycling when the site has fewer than ``n`` racks); within each
+        rack visit it takes a distinct machine/disk slot.  Distinct racks
+        per stripe fall out whenever ``racks >= n``, matching the
+        failure-domain pass of ``PlacementPolicy.place_stripe``; with
+        fewer racks, domains repeat but disks never do — the same
+        fallback the policy applies on small clusters.
+        """
+        if n < 1:
+            raise ConfigurationError("stripes need at least one chunk")
+        if num_stripes < 1:
+            raise ConfigurationError("need at least one stripe")
+        slots_per_rack = (
+            hierarchy.machines_per_rack * hierarchy.disks_per_machine
+        )
+        visits_per_rack = -(-n // hierarchy.racks)  # ceil
+        if visits_per_rack > slots_per_rack:
+            raise ConfigurationError(
+                f"cannot place {n} chunks on {hierarchy.num_disks} disks "
+                f"in {hierarchy.racks} racks without reusing a disk"
+            )
+        rng = make_rng(rng)
+        racks = hierarchy.racks
+        # Random rack order per stripe; column i uses rack order[i % racks]
+        # on its (i // racks)-th visit.
+        order = np.argsort(
+            rng.random((num_stripes, racks)), axis=1, kind="stable"
+        )
+        columns = np.arange(n)
+        rack_pick = order[:, columns % racks]
+        # Distinct slot within the rack per visit: a random base slot,
+        # advanced by one per repeat visit (mod slots) so revisits of the
+        # same rack never collide on a machine/disk.
+        base = rng.integers(0, slots_per_rack, size=(num_stripes, racks))
+        slot = (base[:, columns % racks] + columns // racks) % slots_per_rack
+        machine = rack_pick * hierarchy.machines_per_rack + slot // (
+            hierarchy.disks_per_machine
+        )
+        disk = machine * hierarchy.disks_per_machine + (
+            slot % hierarchy.disks_per_machine
+        )
+        return cls(disk, hierarchy)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def num_stripes(self) -> int:
+        return self.disk_of.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.disk_of.shape[1]
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def stripes_on_disk(self, disk: int) -> np.ndarray:
+        """Stripe indices with a chunk on ``disk`` (sorted, no repeats)."""
+        return self._group_by_disk()[disk]
+
+    def chunks_per_disk(self) -> np.ndarray:
+        """``(num_disks,)`` chunk count on each disk."""
+        return np.bincount(
+            self.disk_of.ravel(), minlength=self.hierarchy.num_disks
+        )
+
+    def racks_of_stripe(self, stripe: int) -> np.ndarray:
+        """Rack index of each chunk of ``stripe``."""
+        return self.hierarchy.rack_of_disk()[self.disk_of[stripe]]
+
+    def _group_by_disk(self) -> "List[np.ndarray]":
+        if self._by_disk is None:
+            flat = self.disk_of.ravel()
+            order = np.argsort(flat, kind="stable")
+            sorted_disks = flat[order]
+            stripes = order // self.n
+            bounds = np.searchsorted(
+                sorted_disks, np.arange(self.hierarchy.num_disks + 1)
+            )
+            self._by_disk = [
+                stripes[bounds[d]:bounds[d + 1]]
+                for d in range(self.hierarchy.num_disks)
+            ]
+        return self._by_disk
+
+    # ------------------------------------------------------------------
+    # Cross-check against the placement policy
+    # ------------------------------------------------------------------
+    def verify_placement(self, sample: int = 256) -> None:
+        """Assert the fast path obeys the policy's failure-domain rules.
+
+        Checks (up to ``sample`` stripes): no disk reuse within a stripe,
+        and distinct racks whenever the site has enough racks — the exact
+        invariant ``PlacementPolicy.place_stripe`` guarantees.  Raises
+        :class:`ConfigurationError` on violation.
+        """
+        rack_of = self.hierarchy.rack_of_disk()
+        count = min(sample, self.num_stripes)
+        for stripe in range(count):
+            disks = self.disk_of[stripe]
+            if len(set(disks.tolist())) != self.n:
+                raise ConfigurationError(
+                    f"stripe {stripe} reuses a disk: {disks.tolist()}"
+                )
+            racks = rack_of[disks]
+            distinct = len(set(racks.tolist()))
+            expected = min(self.n, self.hierarchy.racks)
+            if distinct < expected:
+                raise ConfigurationError(
+                    f"stripe {stripe} uses {distinct} racks, "
+                    f"expected {expected}: {racks.tolist()}"
+                )

@@ -88,6 +88,29 @@ def reconstruction_time_estimate(
     )
 
 
+def ppr_reconstruction_time_estimate(
+    k: int,
+    chunk_size: float,
+    io_bandwidth: float,
+    net_bandwidth: float,
+    compute_seconds_per_byte: float,
+) -> float:
+    """Eq. (1) rewritten for PPR's critical path.
+
+    The disk read is unchanged, the network term shrinks from ``k`` to
+    ``ceil(log2(k+1))`` chunk-times (Theorem 1), and the compute term
+    follows Table 2: the critical path carries one multiply plus
+    ``ceil(log2(k+1))`` XOR/aggregation stages instead of ``k`` serial
+    multiply-XORs, so it scales with the tree depth, not the stripe width.
+    """
+    steps = ppr_timesteps(k)
+    return (
+        chunk_size / io_bandwidth
+        + steps * chunk_size / net_bandwidth
+        + compute_seconds_per_byte * steps * chunk_size
+    )
+
+
 @dataclass(frozen=True)
 class Table1Row:
     """One row of the paper's Table 1."""

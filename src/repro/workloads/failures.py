@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import collections
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -32,6 +32,9 @@ class FailureEvent:
     #: "transient" failures recover after ``duration``; "permanent" do not.
     kind: str
     duration: float = 0.0
+    #: Shared root cause, e.g. ``"burst:3:rack2"`` for rack-correlated
+    #: events; empty for independent failures.
+    cause: str = ""
 
 
 def crash_busiest_server(cluster: "StorageCluster") -> "tuple[str, List[str]]":
@@ -76,7 +79,17 @@ def crash_random_servers(
 
 
 class FailureTrace:
-    """Synthetic failure event stream with datacenter-like statistics."""
+    """Synthetic failure event stream with datacenter-like statistics.
+
+    Besides independent per-server events, the trace can inject
+    *rack-correlated bursts* (power outage, rack-switch loss): a Poisson
+    process per the whole cluster picks a rack, every server in that rack
+    goes down at the same instant with a shared ``cause`` tag, and each
+    server recovers independently after its own sampled downtime — the
+    correlated-failure pattern Sathiamoorthy et al. and Ford et al. report
+    as the dominant data-loss risk.  Bursts require ``rack_of`` (server id
+    -> rack index) and are off by default (``burst_rate_per_hour=0``).
+    """
 
     def __init__(
         self,
@@ -85,6 +98,9 @@ class FailureTrace:
         transient_fraction: float = 0.9,
         transient_duration: float = 900.0,  # Google delays repairs 15 min
         rng: "np.random.Generator | int | None" = None,
+        rack_of: "Optional[Mapping[str, int]]" = None,
+        burst_rate_per_hour: float = 0.0,
+        burst_recovery: float = 1800.0,
     ):
         if not server_ids:
             raise ConfigurationError("need at least one server")
@@ -92,14 +108,35 @@ class FailureTrace:
             raise ConfigurationError("transient_fraction must be in [0, 1]")
         if events_per_hour <= 0:
             raise ConfigurationError("events_per_hour must be positive")
+        if burst_rate_per_hour < 0:
+            raise ConfigurationError("burst_rate_per_hour must be >= 0")
+        if burst_rate_per_hour > 0 and not rack_of:
+            raise ConfigurationError("bursts require a rack_of mapping")
         self.server_ids = list(server_ids)
         self.events_per_hour = events_per_hour
         self.transient_fraction = transient_fraction
         self.transient_duration = transient_duration
+        self.rack_of = dict(rack_of) if rack_of else {}
+        self.burst_rate_per_hour = burst_rate_per_hour
+        self.burst_recovery = burst_recovery
         self.rng = make_rng(rng)
 
     def generate(self, duration_hours: float) -> "List[FailureEvent]":
-        """Poisson arrivals; each event picks a server uniformly."""
+        """Poisson arrivals; each event picks a server uniformly.
+
+        Independent events are drawn first, then burst events, each from
+        its own sequential sweep of the shared rng, so a given seed always
+        yields the identical stream.  The merged list is sorted by time
+        (stable, so same-instant burst members keep server order).
+        """
+        events = self._independent_events(duration_hours)
+        events.extend(self._burst_events(duration_hours))
+        events.sort(key=lambda e: (e.time, e.server_id))
+        return events
+
+    def _independent_events(
+        self, duration_hours: float
+    ) -> "List[FailureEvent]":
         events: "List[FailureEvent]" = []
         time_hours = 0.0
         while True:
@@ -118,6 +155,44 @@ class FailureTrace:
                     duration=self.transient_duration if transient else 0.0,
                 )
             )
+        return events
+
+    def _burst_events(self, duration_hours: float) -> "List[FailureEvent]":
+        if self.burst_rate_per_hour <= 0:
+            return []
+        racks = sorted(set(self.rack_of.values()))
+        members: "Dict[int, List[str]]" = collections.defaultdict(list)
+        for server in self.server_ids:
+            rack = self.rack_of.get(server)
+            if rack is not None:
+                members[rack].append(server)
+        events: "List[FailureEvent]" = []
+        time_hours = 0.0
+        burst_index = 0
+        while True:
+            time_hours += float(
+                self.rng.exponential(1.0 / self.burst_rate_per_hour)
+            )
+            if time_hours >= duration_hours:
+                break
+            rack = int(self.rng.choice(racks))
+            cause = f"burst:{burst_index}:rack{rack}"
+            burst_index += 1
+            # Shared root cause, per-machine recovery: every server in the
+            # rack drops at the same instant but comes back on its own
+            # (exponential) schedule, like operators re-racking one by one.
+            for server in members[rack]:
+                events.append(
+                    FailureEvent(
+                        time=time_hours * 3600.0,
+                        server_id=server,
+                        kind="transient",
+                        duration=float(
+                            self.rng.exponential(self.burst_recovery)
+                        ),
+                        cause=cause,
+                    )
+                )
         return events
 
 

@@ -59,3 +59,86 @@ def test_placement_is_deterministic_per_seed():
     servers1, p1 = make_policy()
     servers2, p2 = make_policy()
     assert p1.place_stripe(servers1, 4) == p2.place_stripe(servers2, 4)
+
+
+def test_repair_destinations_respect_domains_multi_failure():
+    """End-to-end invariant: m-PPR repair destinations obey the policy.
+
+    Kill two hosts of one stripe (the multi-failure case) on a cluster
+    with enough racks that the domain constraints are satisfiable, run
+    the Repair-Manager to completion, and assert every repair landed on
+    a server whose failure domain (rack) and upgrade domain differ from
+    every surviving host of that stripe.
+    """
+    from repro.codes import ReedSolomonCode
+    from repro.core.mppr import MPPRConfig, RepairManager
+    from repro.fs.cluster import StorageCluster
+
+    cluster = StorageCluster.smallsite(
+        num_servers=24, servers_per_rack=2, seed=5
+    )
+    code = ReedSolomonCode(4, 2)
+    stripes = [cluster.write_stripe(code, "4MiB") for _ in range(3)]
+    by_id = {s.stripe_id: s for s in stripes}
+    policy = cluster.placement
+    meta = cluster.metaserver
+
+    hosts0 = [meta.locate_chunk(cid) for cid in stripes[0].chunk_ids]
+    # Pick a host pair whose loss leaves the constraints satisfiable
+    # (survivors must not cover every upgrade domain).
+    alive = set(cluster.alive_servers())
+    chosen_pair = None
+    for i in range(len(hosts0)):
+        for j in range(i + 1, len(hosts0)):
+            victims = {hosts0[i], hosts0[j]}
+            survivors = [h for h in hosts0 if h not in victims]
+            eligible = policy.eligible_destinations(
+                sorted(alive - victims), survivors
+            )
+            if eligible:
+                chosen_pair = (hosts0[i], hosts0[j])
+                break
+        if chosen_pair:
+            break
+    assert chosen_pair is not None, "seed left no satisfiable kill pair"
+
+    survivors_of = {}  # stripe_id -> hosts surviving the crash
+    lost_chunks = []
+    for victim in chosen_pair:
+        lost_chunks.extend(cluster.kill_server(victim))
+    for stripe in stripes:
+        survivors_of[stripe.stripe_id] = [
+            h
+            for h in (meta.locate_chunk(c) for c in stripe.chunk_ids)
+            if h is not None
+        ]
+
+    manager = RepairManager(cluster, MPPRConfig(strategy="ppr"))
+    manager.enqueue_missing(lost_chunks)
+    batch = manager.drain(max_time=1e7)
+    assert manager.failed_chunks == []
+    assert len(batch.results) == len(lost_chunks)
+
+    repaired_of_stripe0 = 0
+    for result in batch.results:
+        stripe = by_id[result.stripe_id]
+        survivors = survivors_of[stripe.stripe_id]
+        dest = result.destination
+        assert dest not in survivors
+        assert dest not in chosen_pair
+        survivor_racks = {policy.failure_domain[h] for h in survivors}
+        survivor_uds = {policy.upgrade_domain[h] for h in survivors}
+        if policy.eligible_destinations(
+            sorted(alive - set(chosen_pair)), survivors
+        ):
+            assert policy.failure_domain[dest] not in survivor_racks
+            assert policy.upgrade_domain[dest] not in survivor_uds
+        if stripe is stripes[0]:
+            repaired_of_stripe0 += 1
+    assert repaired_of_stripe0 == 2  # the multi-failure stripe
+
+    # Post-repair, every stripe is whole again and on distinct servers.
+    for stripe in stripes:
+        hosts = [meta.locate_chunk(c) for c in stripe.chunk_ids]
+        assert None not in hosts
+        assert len(set(hosts)) == len(hosts)

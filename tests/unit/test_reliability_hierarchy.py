@@ -1,0 +1,104 @@
+"""Failure-domain tree and its bridges to placement / topology."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fs.placement import PlacementPolicy
+from repro.reliability.hierarchy import Hierarchy
+from repro.sim.topology import FatTreeTopology
+
+
+def test_sizes():
+    tree = Hierarchy(racks=3, machines_per_rack=2, disks_per_machine=4)
+    assert tree.num_machines == 6
+    assert tree.num_disks == 24
+
+
+def test_index_arrays_consistent():
+    tree = Hierarchy(racks=3, machines_per_rack=2, disks_per_machine=4)
+    machine = tree.machine_of_disk()
+    rack = tree.rack_of_disk()
+    assert machine.shape == (24,)
+    np.testing.assert_array_equal(
+        rack, tree.rack_of_machine()[machine]
+    )
+    for m in range(tree.num_machines):
+        for d in tree.disks_of_machine(m):
+            assert machine[d] == m
+    for r in range(tree.racks):
+        for m in tree.machines_of_rack(r):
+            assert tree.rack_of_machine()[m] == r
+
+
+def test_ids_roundtrip_structure():
+    tree = Hierarchy(racks=2, machines_per_rack=2, disks_per_machine=2)
+    assert tree.machine_id(0) == "r0.m0"
+    assert tree.machine_id(3) == "r1.m1"
+    assert tree.disk_id(0) == "r0.m0.d0"
+    assert tree.disk_id(7) == "r1.m1.d1"
+    assert len(set(tree.disk_ids())) == tree.num_disks
+    assert len(set(tree.machine_ids())) == tree.num_machines
+
+
+def test_out_of_range_rejected():
+    tree = Hierarchy(racks=2, machines_per_rack=2, disks_per_machine=2)
+    with pytest.raises(ConfigurationError):
+        tree.disks_of_machine(4)
+    with pytest.raises(ConfigurationError):
+        tree.machines_of_rack(2)
+
+
+def test_degenerate_shapes_rejected():
+    with pytest.raises(ConfigurationError):
+        Hierarchy(racks=0)
+    with pytest.raises(ConfigurationError):
+        Hierarchy(disks_per_machine=0)
+    with pytest.raises(ConfigurationError):
+        Hierarchy(upgrade_domains=0)
+
+
+def test_failure_domain_map_is_rack():
+    tree = Hierarchy(racks=3, machines_per_rack=2, disks_per_machine=2)
+    fd = tree.failure_domain_map()
+    rack = tree.rack_of_disk()
+    for d in range(tree.num_disks):
+        assert fd[tree.disk_id(d)] == rack[d]
+
+
+def test_upgrade_domains_split_machines():
+    tree = Hierarchy(
+        racks=2, machines_per_rack=4, disks_per_machine=1,
+        upgrade_domains=4,
+    )
+    ud = tree.upgrade_domain_map()
+    assert set(ud.values()) == {0, 1, 2, 3}
+    # Disks of the same machine share an upgrade domain.
+    tree2 = Hierarchy(racks=1, machines_per_rack=2, disks_per_machine=3)
+    ud2 = tree2.upgrade_domain_map()
+    for m in range(tree2.num_machines):
+        domains = {ud2[tree2.disk_id(d)] for d in tree2.disks_of_machine(m)}
+        assert len(domains) == 1
+
+
+def test_placement_policy_bridge():
+    tree = Hierarchy(racks=4, machines_per_rack=2, disks_per_machine=2)
+    policy = tree.placement_policy(rng=1)
+    assert isinstance(policy, PlacementPolicy)
+    chosen = policy.place_stripe(tree.disk_ids(), 4)
+    racks = {policy.failure_domain[d] for d in chosen}
+    assert len(racks) == 4  # one chunk per rack when racks suffice
+
+
+def test_fat_tree_bridge():
+    tree = Hierarchy(racks=3, machines_per_rack=2, disks_per_machine=2)
+    topo = tree.fat_tree("1Gbps")
+    assert isinstance(topo, FatTreeTopology)
+    assert set(topo.servers) == set(tree.machine_ids())
+    # Machines of one rack share a rack in the fabric too.
+    for r in range(tree.racks):
+        fabric_racks = {
+            topo.rack_of(tree.machine_id(m))
+            for m in tree.machines_of_rack(r)
+        }
+        assert len(fabric_racks) == 1

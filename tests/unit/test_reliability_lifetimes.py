@@ -1,0 +1,76 @@
+"""Lifetime distributions: parsing, moments, determinism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.lifetimes import (
+    HOURS_PER_YEAR,
+    ExponentialLifetime,
+    WeibullLifetime,
+    make_lifetime,
+)
+
+
+def test_make_lifetime_units():
+    assert make_lifetime("exp:100h").mean_hours == 100.0
+    assert make_lifetime("exp:5d").mean_hours == 120.0
+    assert make_lifetime("exp:3y").mean_hours == 3 * HOURS_PER_YEAR
+    assert make_lifetime("exp: 2.5 y ").mean_hours == 2.5 * HOURS_PER_YEAR
+
+
+def test_make_lifetime_weibull():
+    model = make_lifetime("weibull:10y:1.5")
+    assert isinstance(model, WeibullLifetime)
+    assert model.scale == 10 * HOURS_PER_YEAR
+    assert model.shape == 1.5
+    expected = model.scale * math.gamma(1 + 1 / 1.5)
+    assert model.mean_hours == pytest.approx(expected)
+
+
+def test_weibull_shape_one_is_exponential():
+    assert make_lifetime("weibull:100h:1").mean_hours == pytest.approx(100.0)
+
+
+def test_weibull_shape_defaults_to_one():
+    model = make_lifetime("weibull:100h")
+    assert isinstance(model, WeibullLifetime)
+    assert model.shape == 1.0
+
+
+def test_make_lifetime_passthrough():
+    model = ExponentialLifetime(42.0)
+    assert make_lifetime(model) is model
+
+
+@pytest.mark.parametrize("bad", [
+    "exp", "exp:", "exp:-5h", "exp:0h", "uniform:3y",
+    "weibull:3y:0", "exp:3y:2", "exp:3parsecs",
+])
+def test_make_lifetime_rejects(bad):
+    with pytest.raises(ConfigurationError):
+        make_lifetime(bad)
+
+
+def test_exponential_sample_mean():
+    model = make_lifetime("exp:100h")
+    rng = np.random.default_rng(0)
+    samples = [model.sample(rng) for _ in range(4000)]
+    assert np.mean(samples) == pytest.approx(100.0, rel=0.1)
+    assert min(samples) > 0
+
+
+def test_weibull_sample_mean():
+    model = make_lifetime("weibull:100h:2.0")
+    rng = np.random.default_rng(0)
+    samples = [model.sample(rng) for _ in range(4000)]
+    assert np.mean(samples) == pytest.approx(model.mean_hours, rel=0.1)
+
+
+def test_sampling_is_deterministic_per_seed():
+    model = make_lifetime("weibull:3y:1.2")
+    a = [model.sample(np.random.default_rng(7)) for _ in range(3)]
+    b = [model.sample(np.random.default_rng(7)) for _ in range(3)]
+    assert a == b

@@ -1,0 +1,134 @@
+"""Closed-form Markov MTTDL, and the engine validated against it.
+
+The headline check of the reliability subsystem: configure the Monte
+Carlo engine so it *is* the continuous-time Markov chain (exponential
+lifetimes, exponential repair, one stripe with one chunk per disk,
+unlimited repair slots, zero detection delay and contention) and assert
+the simulated mean time to data loss brackets the closed form within the
+reported confidence interval.  ``docs/RELIABILITY.md`` documents this as
+the engine's validation protocol.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import (
+    Hierarchy,
+    ReliabilityConfig,
+    ReliabilityEngine,
+    markov_mttdl,
+    raid1_mttdl,
+)
+
+LAM, MU = 0.01, 0.1  # per-chunk failure / repair rates, 1/hours
+
+#: CI's slow job reduces Monte Carlo trial counts through this knob
+#: (e.g. REPRO_SLOW_TRIAL_SCALE=0.5); tolerances widen as 1/sqrt(scale).
+_SCALE = min(float(os.environ.get("REPRO_SLOW_TRIAL_SCALE", "1.0")), 1.0)
+
+
+def scaled_trials(trials: int) -> int:
+    return max(200, int(trials * _SCALE))
+
+
+def markov_engine_config(n: int, code: str, trials: int, seed: int = 42):
+    """The engine configuration that realizes the CTMC exactly."""
+    return ReliabilityConfig(
+        code=code,
+        scheme="ppr",
+        num_stripes=1,
+        trials=trials,
+        hierarchy=Hierarchy(
+            racks=n, machines_per_rack=1, disks_per_machine=1,
+            upgrade_domains=1,
+        ),
+        disk_lifetime=f"exp:{1.0 / LAM}h",
+        per_chunk_repair_hours=1.0 / MU,
+        repair_jitter="exponential",
+        repair_slots=n,
+        contention=0.0,
+        detection_delay_hours=0.0,
+        machine_transient_rate_per_year=0.0,
+        burst_rate_per_rack_per_year=0.0,
+        horizon_years=1e6,
+        until_loss=True,
+        seed=seed,
+    )
+
+
+def test_matches_raid1_closed_form():
+    assert markov_mttdl(2, 1, LAM, MU) == pytest.approx(
+        raid1_mttdl(LAM, MU), rel=1e-9
+    )
+
+
+def test_more_parity_lives_longer():
+    values = [markov_mttdl(6, m, LAM, MU) for m in (1, 2, 3)]
+    assert values[0] < values[1] < values[2]
+
+
+def test_faster_repair_helps_superlinearly():
+    slow = markov_mttdl(9, 3, LAM, MU)
+    fast = markov_mttdl(9, 3, LAM, 2 * MU)
+    # With m=3 a 2x repair speedup should buy much more than 2x MTTDL.
+    assert fast / slow > 4.0
+
+
+def test_serial_repair_is_worse():
+    parallel = markov_mttdl(6, 2, LAM, MU, parallel_repairs=True)
+    serial = markov_mttdl(6, 2, LAM, MU, parallel_repairs=False)
+    assert serial < parallel
+
+
+@pytest.mark.parametrize("bad", [
+    dict(n=1, m=1), dict(n=6, m=0), dict(n=6, m=6),
+])
+def test_shape_rejected(bad):
+    with pytest.raises(ConfigurationError):
+        markov_mttdl(failure_rate=LAM, repair_rate=MU, **bad)
+
+
+def test_rates_rejected():
+    with pytest.raises(ConfigurationError):
+        markov_mttdl(6, 2, 0.0, MU)
+    with pytest.raises(ConfigurationError):
+        markov_mttdl(6, 2, LAM, -1.0)
+
+
+def test_engine_matches_markov_within_ci():
+    """The acceptance check: simulated MTTDL brackets the closed form."""
+    exact = markov_mttdl(6, 2, LAM, MU, parallel_repairs=True)
+    config = markov_engine_config(6, "rs(4,2)", trials=400, seed=42)
+    report = ReliabilityEngine(config).run()
+    estimate, ci_low, ci_high = report.mttdl_hours()
+    assert ci_low <= exact <= ci_high
+    # And the point estimate is in the right ballpark regardless of CI.
+    assert estimate == pytest.approx(exact, rel=0.25)
+
+
+@pytest.mark.slow
+def test_engine_converges_to_markov():
+    """Tighter agreement at 4000 trials (seconds of runtime, slow suite)."""
+    exact = markov_mttdl(6, 2, LAM, MU, parallel_repairs=True)
+    config = markov_engine_config(
+        6, "rs(4,2)", trials=scaled_trials(4000), seed=1
+    )
+    report = ReliabilityEngine(config).run()
+    estimate, ci_low, ci_high = report.mttdl_hours()
+    assert ci_low <= exact <= ci_high
+    assert estimate == pytest.approx(exact, rel=0.05 / math.sqrt(_SCALE))
+
+
+@pytest.mark.slow
+def test_engine_matches_markov_one_parity():
+    """RS(5,1): absorption after two overlapping failures."""
+    exact = markov_mttdl(6, 1, LAM, MU, parallel_repairs=True)
+    config = markov_engine_config(
+        6, "rs(5,1)", trials=scaled_trials(2000), seed=3
+    )
+    report = ReliabilityEngine(config).run()
+    estimate, ci_low, ci_high = report.mttdl_hours()
+    assert ci_low <= exact <= ci_high

@@ -1,0 +1,120 @@
+"""Aggregation math: MTTDL CIs, loss probability, nines, exposure."""
+
+import math
+
+import pytest
+
+from repro.reliability.lifetimes import HOURS_PER_YEAR
+from repro.reliability.results import (
+    ReliabilityReport,
+    TrialResult,
+    Z95,
+)
+
+
+def make_report(trials, until_loss=False, m=2):
+    return ReliabilityReport(
+        code_name="RS(4,2)",
+        scheme="ppr",
+        m=m,
+        per_chunk_repair_hours=0.01,
+        until_loss=until_loss,
+        trials=trials,
+    )
+
+
+def trial(**kw):
+    base = dict(trial=0, hours=HOURS_PER_YEAR, num_stripes=100, losses=0)
+    base.update(kw)
+    return TrialResult(**base)
+
+
+def test_poisson_mttdl_and_ci():
+    # 4 losses over 2 years of simulated time -> MTTDL = T/4.
+    trials = [trial(losses=2), trial(trial=1, losses=2)]
+    report = make_report(trials)
+    est, lo, hi = report.mttdl_hours()
+    total = 2 * HOURS_PER_YEAR
+    assert est == pytest.approx(total / 4)
+    assert lo == pytest.approx(total / (4 + Z95 * 2))
+    assert hi == pytest.approx(total / (4 - Z95 * 2))
+    assert lo < est < hi
+
+
+def test_zero_losses_rule_of_three():
+    report = make_report([trial(), trial(trial=1)])
+    est, lo, hi = report.mttdl_hours()
+    assert est == pytest.approx(2 * HOURS_PER_YEAR / 3.0)
+    assert lo == est
+    assert math.isinf(hi)
+    assert report.p_loss_per_year()[0] == 0.0
+    assert report.p_loss_per_year()[2] > 0.0  # upper bound stays finite
+
+
+def test_until_loss_mean_and_ci():
+    times = [100.0, 200.0, 300.0]
+    trials = [
+        trial(trial=i, hours=t, losses=1, first_loss_hours=t)
+        for i, t in enumerate(times)
+    ]
+    report = make_report(trials, until_loss=True)
+    est, lo, hi = report.mttdl_hours()
+    assert est == pytest.approx(200.0)
+    assert lo < 200.0 < hi
+    assert hi - est == pytest.approx(est - lo)
+
+
+def test_p_loss_saturates_at_one():
+    # Loss rate of 5/year: p = 1 - e^-5, and the bound never exceeds 1.
+    report = make_report([trial(losses=5)])
+    p, _, hi = report.p_loss_per_year()
+    assert p == pytest.approx(1.0 - math.exp(-5.0))
+    assert 0.99 < p < 1.0
+    assert hi <= 1.0
+
+
+def test_loss_rate_matches_counts():
+    report = make_report([trial(losses=3), trial(trial=1, losses=0)])
+    rate, lo, hi = report.loss_rate_per_year()
+    assert rate == pytest.approx(1.5)
+    assert lo < rate < hi
+    assert report.trial_loss_fraction() == 0.5
+
+
+def test_availability_nines():
+    # 8.76 unavailable stripe-hours over 100 stripes x 1 year = 1e-5.
+    t = trial(unavailable_stripe_hours=8.76)
+    report = make_report([t])
+    assert report.unavailability() == pytest.approx(1e-5)
+    assert report.availability_nines() == pytest.approx(5.0)
+    clean = make_report([trial()])
+    assert clean.availability_nines() == 12.0
+
+
+def test_exposure_normalization():
+    t = trial(exposure_chunk_hours=500.0)  # 100 stripe-years simulated
+    report = make_report([t])
+    assert report.exposure_chunk_hours_per_stripe_year() == pytest.approx(5.0)
+
+
+def test_summary_rows_keys_and_render():
+    report = make_report([trial(losses=1, disk_failures=7,
+                                repairs_completed=7, max_backlog=3)])
+    rows = report.summary_rows()
+    for key in (
+        "code", "scheme", "mttdl_years", "mttdl_ci_low_years",
+        "p_loss_per_year", "availability_nines",
+        "exposure_chunk_hours_per_stripe_year", "mean_backlog_peak",
+    ):
+        assert key in rows
+    text = report.render()
+    assert "MTTDL" in text
+    assert "P(data loss)/year" in text
+    assert "nines" in text
+
+
+def test_render_backlog_chart():
+    t = trial(backlog=[(0.0, 0), (10.0, 3), (20.0, 1)])
+    report = make_report([t])
+    assert "repair queue depth" in report.render(backlog_chart=True)
+    assert "repair queue depth" not in report.render(backlog_chart=False)

@@ -1,0 +1,96 @@
+"""Population-scale stripe placement and state classification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.hierarchy import Hierarchy
+from repro.reliability.stripes import (
+    CRITICAL,
+    DEGRADED,
+    HEALTHY,
+    LOST,
+    StripeMap,
+    classify,
+)
+
+
+def test_classify_ladder():
+    failed = np.array([0, 1, 2, 3, 4, 5])
+    states = classify(failed, m=3)
+    np.testing.assert_array_equal(
+        states, [HEALTHY, DEGRADED, DEGRADED, CRITICAL, LOST, LOST]
+    )
+
+
+def test_build_shape_and_bounds():
+    tree = Hierarchy(racks=12, machines_per_rack=2, disks_per_machine=2)
+    smap = StripeMap.build(tree, n=9, num_stripes=500, rng=3)
+    assert smap.num_stripes == 500
+    assert smap.n == 9
+    assert smap.disk_of.min() >= 0
+    assert smap.disk_of.max() < tree.num_disks
+
+
+def test_build_distinct_racks_when_enough():
+    tree = Hierarchy(racks=12, machines_per_rack=2, disks_per_machine=2)
+    smap = StripeMap.build(tree, n=9, num_stripes=200, rng=0)
+    rack_of = tree.rack_of_disk()
+    for s in range(smap.num_stripes):
+        racks = rack_of[smap.disk_of[s]]
+        assert len(set(racks.tolist())) == 9
+
+
+def test_build_never_reuses_disks_when_racks_scarce():
+    # 16 chunks over 9 racks: racks must repeat, disks must not.
+    tree = Hierarchy(racks=9, machines_per_rack=1, disks_per_machine=2)
+    smap = StripeMap.build(tree, n=16, num_stripes=300, rng=1)
+    for s in range(smap.num_stripes):
+        disks = smap.disk_of[s]
+        assert len(set(disks.tolist())) == 16
+    smap.verify_placement(sample=300)
+
+
+def test_build_rejects_impossible_fit():
+    tree = Hierarchy(racks=2, machines_per_rack=1, disks_per_machine=2)
+    with pytest.raises(ConfigurationError):
+        StripeMap.build(tree, n=5, num_stripes=10, rng=0)
+
+
+def test_verify_placement_catches_violation():
+    tree = Hierarchy(racks=4, machines_per_rack=1, disks_per_machine=2)
+    bad = np.array([[0, 0, 1]])  # disk 0 twice
+    with pytest.raises(ConfigurationError):
+        StripeMap(bad, tree).verify_placement()
+    same_rack = np.array([[0, 1, 2]])  # disks 0,1 share rack 0
+    with pytest.raises(ConfigurationError):
+        StripeMap(same_rack, tree).verify_placement()
+
+
+def test_inverse_index_consistent():
+    tree = Hierarchy(racks=6, machines_per_rack=2, disks_per_machine=2)
+    smap = StripeMap.build(tree, n=5, num_stripes=100, rng=2)
+    per_disk = smap.chunks_per_disk()
+    assert per_disk.sum() == 100 * 5
+    for d in range(tree.num_disks):
+        stripes = smap.stripes_on_disk(d)
+        # Every listed stripe really has a chunk there, and the count
+        # matches the forward map.
+        assert all(d in smap.disk_of[s] for s in stripes.tolist())
+        assert len(stripes) == per_disk[d]
+
+
+def test_build_is_deterministic_per_seed():
+    tree = Hierarchy(racks=8, machines_per_rack=2, disks_per_machine=2)
+    a = StripeMap.build(tree, n=6, num_stripes=50, rng=9)
+    b = StripeMap.build(tree, n=6, num_stripes=50, rng=9)
+    np.testing.assert_array_equal(a.disk_of, b.disk_of)
+    c = StripeMap.build(tree, n=6, num_stripes=50, rng=10)
+    assert not np.array_equal(a.disk_of, c.disk_of)
+
+
+def test_racks_of_stripe():
+    tree = Hierarchy(racks=6, machines_per_rack=1, disks_per_machine=1)
+    smap = StripeMap.build(tree, n=6, num_stripes=3, rng=0)
+    for s in range(3):
+        assert sorted(smap.racks_of_stripe(s).tolist()) == list(range(6))

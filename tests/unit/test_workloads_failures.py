@@ -75,6 +75,71 @@ def test_failure_trace_validation():
         FailureTrace(["a"], transient_fraction=1.5, rng=0)
     with pytest.raises(ConfigurationError):
         FailureTrace(["a"], events_per_hour=0, rng=0)
+    with pytest.raises(ConfigurationError):
+        FailureTrace(["a"], burst_rate_per_hour=-1.0, rng=0)
+    with pytest.raises(ConfigurationError):
+        # Bursts need to know which rack each server lives in.
+        FailureTrace(["a"], burst_rate_per_hour=0.5, rng=0)
+
+
+def burst_trace(rng=0, **kw):
+    servers = [f"s{i}" for i in range(12)]
+    rack_of = {s: i // 4 for i, s in enumerate(servers)}  # 3 racks of 4
+    defaults = dict(
+        events_per_hour=5.0,
+        burst_rate_per_hour=0.5,
+        burst_recovery=1800.0,
+        rack_of=rack_of,
+        rng=rng,
+    )
+    defaults.update(kw)
+    return FailureTrace(servers, **defaults), rack_of
+
+
+def test_burst_takes_out_whole_rack_with_shared_cause():
+    trace, rack_of = burst_trace()
+    events = trace.generate(duration_hours=40.0)
+    bursts = {}
+    for event in events:
+        if event.cause:
+            bursts.setdefault(event.cause, []).append(event)
+    assert bursts  # Poisson(20) expected
+    for cause, members in bursts.items():
+        # Same instant, every server of exactly one rack, transient kind.
+        assert len({e.time for e in members}) == 1
+        racks = {rack_of[e.server_id] for e in members}
+        assert len(racks) == 1
+        rack = racks.pop()
+        assert f"rack{rack}" in cause
+        assert sorted(e.server_id for e in members) == sorted(
+            s for s, r in rack_of.items() if r == rack
+        )
+        assert all(e.kind == "transient" for e in members)
+        # Shared root cause but per-machine recovery schedules.
+        durations = [e.duration for e in members]
+        assert len(set(durations)) > 1
+
+
+def test_burst_stream_is_deterministic_per_seed():
+    events_a = burst_trace(rng=7)[0].generate(duration_hours=40.0)
+    events_b = burst_trace(rng=7)[0].generate(duration_hours=40.0)
+    assert events_a == events_b
+    events_c = burst_trace(rng=8)[0].generate(duration_hours=40.0)
+    assert events_a != events_c
+
+
+def test_burst_events_merge_sorted_with_independent():
+    trace, _ = burst_trace()
+    events = trace.generate(duration_hours=40.0)
+    assert [e.time for e in events] == sorted(e.time for e in events)
+    kinds = {bool(e.cause) for e in events}
+    assert kinds == {True, False}  # both processes present
+
+
+def test_zero_burst_rate_means_no_bursts():
+    trace, _ = burst_trace(burst_rate_per_hour=0.0)
+    events = trace.generate(duration_hours=20.0)
+    assert all(not e.cause for e in events)
 
 
 def test_injector_transient_failure_recovers():
