@@ -74,6 +74,61 @@ def bar_chart(
     return "\n".join(out)
 
 
+def render_critical_path(dag: Any, width: int = 32) -> str:
+    """Render one stitched repair DAG's observed critical path.
+
+    ``dag`` is a :class:`repro.obs.causal.RepairDag` (typed as ``Any`` to
+    keep this module free of obs imports).  Output: a step table (what ran
+    where, for how long, ending when), a per-phase attribution bar chart,
+    and the structural summary conformance gates on — serialized transfer
+    depth and peak ingress fan-in.
+    """
+    path = dag.critical_path()
+    head = dag.repair_id or dag.trace_id
+    strat = dag.strategy or "?"
+    k = dag.k if dag.k is not None else "?"
+    out: "List[str]" = [
+        f"critical path of {head}  [{strat} k={k}, clock={dag.clock}]"
+    ]
+    if not path:
+        out.append("(empty DAG)")
+        return "\n".join(out) + "\n"
+    origin = min(n.start for n in dag.nodes.values())
+    table = Table(("step", "phase", "node", "duration", "ends at"))
+    for i, n in enumerate(path, 1):
+        table.add_row(
+            i,
+            n.phase,
+            n.node,
+            f"{n.duration * 1e3:.3f}ms",
+            f"{(n.end - origin) * 1e3:.3f}ms",
+        )
+    out.append(table.render())
+    attribution = dag.attribution(path)
+    if attribution:
+        labels = list(attribution)
+        out.append(
+            bar_chart(
+                labels,
+                [attribution[name] * 1e3 for name in labels],
+                width=width,
+                unit="ms",
+                title="critical-path attribution:",
+            )
+        )
+    ingress_node, fanin = dag.ingress_fanin()
+    out.append(
+        f"serialized transfer depth: {dag.transfer_depth()}  "
+        f"(Theorem 1 observable); busiest ingress: "
+        f"{ingress_node or '-'} with {fanin} transfer(s)"
+    )
+    out.append(
+        f"path covers {len(path)} of {len(dag.nodes)} work units, "
+        f"repair elapsed {dag.elapsed() * 1e3:.3f}ms"
+    )
+    return "\n".join(out) + "\n"
+
+
 #: Eight vertical-resolution levels for one-character-per-sample plots.
 SPARK_TICKS = " ▁▂▃▄▅▆▇█"
 

@@ -29,6 +29,7 @@ from repro.codes import available_codes, make_code
 from repro.errors import ReproError
 from repro.repair.plan import STRATEGIES, build_plan
 from repro.repair.executor import execute_plan
+from repro.util.units import parse_bandwidth, parse_size
 
 MANIFEST_NAME = "manifest.json"
 
@@ -350,6 +351,14 @@ def _trace_record_sim(args: argparse.Namespace):
         "strategy": args.strategy,
         "code": args.code,
         "stripe": stripe.stripe_id,
+        # Modeled inputs for `repro trace conform`: the Eq. 1 terms need
+        # the chunk size and the (uncontended) network/disk bandwidths.
+        "chunk_size_bytes": parse_size(args.chunk_size),
+        "net_bandwidth_Bps": parse_bandwidth(args.bandwidth),
+        "io_bandwidth_Bps": parse_bandwidth(cluster.config.disk_bandwidth),
+        "io_seek_s": next(
+            iter(cluster.servers.values())
+        ).disk.seek_latency,
     }
     return tracer, "virtual", meta, telemetry.snapshot()
 
@@ -470,6 +479,41 @@ def _cmd_trace_prom(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_stitched_dags(trace_path: str):
+    """Load a JSONL trace and stitch it into causal repair DAGs."""
+    from repro import obs
+    from repro.obs import causal
+
+    meta, spans, _metrics = obs.load_trace(trace_path)
+    dags = causal.stitch(spans, clock=str(meta.get("clock", "wall")))
+    return meta, dags
+
+
+def _cmd_trace_critical_path(args: argparse.Namespace) -> int:
+    from repro.analysis.render import render_critical_path
+
+    _meta, dags = _load_stitched_dags(args.trace)
+    if not dags:
+        print("no stitched repairs found in trace", file=sys.stderr)
+        return 1
+    for dag in dags:
+        print(render_critical_path(dag, width=args.width), end="")
+    return 0
+
+
+def _cmd_trace_conform(args: argparse.Namespace) -> int:
+    from repro.obs import conformance
+
+    meta, dags = _load_stitched_dags(args.trace)
+    reports = conformance.check_trace(
+        dags, meta=meta, tolerance=args.tolerance
+    )
+    print(conformance.render_reports(reports), end="")
+    if not reports:
+        return 1
+    return 0 if all(r.passed for r in reports) else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     runner = {
         "record": _cmd_trace_record,
@@ -477,6 +521,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         "timeline": _cmd_trace_timeline,
         "summary": _cmd_trace_summary,
         "prom": _cmd_trace_prom,
+        "critical-path": _cmd_trace_critical_path,
+        "conform": _cmd_trace_conform,
     }[args.trace_command]
     return runner(args)
 
@@ -829,6 +875,26 @@ def build_parser() -> argparse.ArgumentParser:
     trp.add_argument("--namespace", default="repro",
                      help="metric name prefix (default: repro)")
     trp.set_defaults(fn=cmd_trace)
+
+    trcp = trsub.add_parser(
+        "critical-path",
+        help="stitch a trace into causal repair DAGs and print each "
+             "observed critical path",
+    )
+    trcp.add_argument("trace", help="input JSONL trace")
+    trcp.add_argument("--width", type=int, default=32,
+                      help="attribution bar-chart width")
+    trcp.set_defaults(fn=cmd_trace)
+
+    trcf = trsub.add_parser(
+        "conform",
+        help="check observed critical paths against the paper's "
+             "Eq. 1 / Theorem 1 predictions (exit 1 on violation)",
+    )
+    trcf.add_argument("trace", help="input JSONL trace")
+    trcf.add_argument("--tolerance", type=float, default=0.25,
+                      help="relative tolerance for timing checks")
+    trcf.set_defaults(fn=cmd_trace)
 
     top = sub.add_parser(
         "top",

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 import numpy as np
 
 from repro import obs
+from repro.obs import causal
 from repro.errors import StorageError
 from repro.codes.recipe import RepairRecipe
 from repro.core.results import RepairResult
@@ -59,6 +60,10 @@ class RepairContext:
         self.on_complete = on_complete
         self.num_slices = max(1, num_slices)
 
+        #: Deterministic causal trace id; every span this repair produces
+        #: (phases, disk ops, flows) is tagged with it so the stitcher can
+        #: group cross-node work back into one repair DAG.
+        self.trace_id = causal.trace_id_for(repair_id)
         self.compute = cluster.compute
         self.chunk_size = stripe.chunk_size
         self.breakdown = PhaseBreakdown()
@@ -123,6 +128,7 @@ class RepairContext:
                 node=node_id,
                 category="sim.phase",
                 repair_id=self.repair_id,
+                trace_id=self.trace_id,
                 stripe=self.stripe.stripe_id,
                 strategy=self.strategy,
                 **attrs,
@@ -257,6 +263,7 @@ class RepairContext:
                 node=self.destination,
                 category="sim.repair",
                 repair_id=self.repair_id,
+                trace_id=self.trace_id,
                 stripe=self.stripe.stripe_id,
                 strategy=self.strategy,
                 kind=self.kind,

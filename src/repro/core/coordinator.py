@@ -12,6 +12,8 @@ from __future__ import annotations
 import time as _time
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
+from repro import obs
+from repro.obs import causal
 from repro.errors import PlanError, StorageError, UnrecoverableError
 from repro.core.context import RepairContext
 from repro.core.results import RepairResult
@@ -182,13 +184,27 @@ class RepairCoordinator:
         plan_start = self.cluster.sim.now
 
         def distribute() -> None:
-            context.breakdown.record("plan", plan_start, self.cluster.sim.now)
+            context.record_phase(
+                "plan", plan_start, self.cluster.sim.now, node_id="rm"
+            )
             if strategy in ("ppr", "chain"):
                 self._distribute_partial(context, plan)
             else:
                 self._start_raw(context, staggered=(strategy == "staggered"))
 
-        self.cluster.sim.schedule(rm_delay, distribute)
+        if obs.tracer() is not None:
+            # Bind this repair's causal context so every event transitively
+            # scheduled by the plan distribution — control messages, disk
+            # ops, flows — carries (trace_id, spawning span) with it; the
+            # sim event loop rebinds it around each callback.
+            ctx = causal.SpanContext(
+                trace_id=context.trace_id,
+                span_id=f"rm:{context.repair_id}",
+            )
+            with causal.bound(ctx):
+                self.cluster.sim.schedule(rm_delay, distribute)
+        else:
+            self.cluster.sim.schedule(rm_delay, distribute)
         return context
 
     def _capacity_order(

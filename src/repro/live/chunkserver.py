@@ -46,6 +46,7 @@ from repro.live import trace
 from repro.live.config import LiveConfig
 from repro.live.rpc import Address, RpcClientPool, RpcServer
 from repro.live.wire import Frame, MessageType
+from repro.obs import causal
 from repro.obs.timeseries import Sampler, TimeSeriesStore
 from repro.sim.metrics import PHASES
 
@@ -73,6 +74,16 @@ class _PartialTask:
     traffic: "List[trace.TrafficRecord]" = field(default_factory=list)
     inputs_ready: asyncio.Event = field(default_factory=asyncio.Event)
     aborted: bool = False
+    #: Causal context of the repair (None = untraced: records carry no
+    #: gid/deps and cost nothing extra).
+    ctx: "Optional[causal.SpanContext]" = None
+    #: gids of the records whose outputs form the current partial state
+    #: (local multiply, then each merge/assemble collapses them to one).
+    state_deps: "List[str]" = field(default_factory=list)
+    #: Last transfer received by this node for this repair: each arrival
+    #: depends on it, encoding the ingress-link serialization that makes
+    #: Theorem 1's step count observable in a stitched DAG.
+    last_net_gid: "Optional[str]" = None
 
     @property
     def expected_inputs(self) -> int:
@@ -121,6 +132,10 @@ class _OrphanPartial:
     sub_trace: "List[trace.TraceRecord]"
     sub_traffic: "List[trace.TrafficRecord]"
     arrived: float
+    #: gid of the ingress network record inside ``sub_trace`` (None when
+    #: the sender was untraced); lets adoption splice the record into the
+    #: task's causal chain after the fact.
+    net_gid: "Optional[str]" = None
 
 
 class LiveChunkServer:
@@ -141,6 +156,9 @@ class LiveChunkServer:
         self.pool = RpcClientPool(self.config)
         self.tasks: "Dict[str, _PartialTask]" = {}
         self._orphans: "Dict[str, List[_OrphanPartial]]" = {}
+        #: Allocator for causal record ids ("<server>#<n>"); only consulted
+        #: while a traced repair is in flight.
+        self._gids = causal.GidAllocator(server_id)
         self._background: "Set[asyncio.Task[None]]" = set()
         self._heartbeat_task: "Optional[asyncio.Task[None]]" = None
         self._telemetry_task: "Optional[asyncio.Task[None]]" = None
@@ -312,6 +330,21 @@ class LiveChunkServer:
             self.bytes_moved += float(attrs.get("nbytes", 0) or 0)
         return record
 
+    def _causal_kw(
+        self,
+        ctx: "Optional[causal.SpanContext]",
+        deps: "List[str]",
+    ) -> "Tuple[Optional[str], Dict[str, object]]":
+        """``(gid, keyword-args)`` for one causally tagged phase record.
+
+        Untraced repairs (``ctx is None``) get ``(None, {})`` so the
+        record stays byte-identical to the legacy format.
+        """
+        if ctx is None:
+            return None, {}
+        gid = self._gids.next()
+        return gid, {"gid": gid, "deps": list(deps), "trace_id": ctx.trace_id}
+
     def health_summary(self) -> "Dict[str, object]":
         """Point-in-time health: work counters served by STATS/HEALTH."""
         return {
@@ -397,6 +430,7 @@ class LiveChunkServer:
         await self._maybe_stall(MessageType.RAW_READ)
         request = RawReadRequest.from_wire(frame.payload["request"])  # type: ignore[arg-type]
         chunk = self._get_chunk(request.chunk_id)
+        read_gid, ckw = self._causal_kw(causal.current(), [])
         read_start = trace.now()
         buffers = extract_rows(
             chunk.payload, request.rows, request.rows_needed
@@ -410,13 +444,18 @@ class LiveChunkServer:
                     self.server_id,
                     nbytes=trace.buffers_nbytes(buffers),  # type: ignore[arg-type]
                     chunk_id=request.chunk_id,
+                    **ckw,  # type: ignore[arg-type]
                 )
             )
         ]
-        return (
-            {"trace": records, "sender": self.server_id, "sent_at": trace.now()},
-            buffers,
-        )
+        payload: "Dict[str, object]" = {
+            "trace": records,
+            "sender": self.server_id,
+            "sent_at": trace.now(),
+        }
+        if read_gid is not None:
+            payload["sent_deps"] = [read_gid]
+        return (payload, buffers)
 
     # ------------------------------------------------------------------
     # PPR: plan command
@@ -428,7 +467,7 @@ class LiveChunkServer:
             sid: Address.from_wire(addr)  # type: ignore[arg-type]
             for sid, addr in dict(frame.payload.get("peers", {})).items()  # type: ignore[union-attr]
         }
-        task = _PartialTask(request=request, peers=peers)
+        task = _PartialTask(request=request, peers=peers, ctx=causal.current())
         self.tasks[request.repair_id] = task
         self._adopt_orphans(task)
 
@@ -444,6 +483,7 @@ class LiveChunkServer:
 
     async def _compute_local_partial(self, task: _PartialTask) -> None:
         request = task.request
+        read_gid, read_kw = self._causal_kw(task.ctx, [])
         read_start = trace.now()
         chunk = self._get_chunk(request.chunk_id)
         payload = chunk.payload
@@ -456,20 +496,30 @@ class LiveChunkServer:
                     self.server_id,
                     nbytes=int(payload.nbytes),
                     chunk_id=request.chunk_id,
+                    **read_kw,  # type: ignore[arg-type]
                 )
             )
         )
         if self.config.compute_delay:
             await asyncio.sleep(self.config.compute_delay)
+        mul_gid, mul_kw = self._causal_kw(
+            task.ctx, [read_gid] if read_gid else []
+        )
         compute_start = trace.now()
         partial = compute_partial(request.entries, request.rows, payload)
         task.trace.append(
             self._account(
                 trace.phase_record(
-                    "compute", compute_start, trace.now(), self.server_id
+                    "compute",
+                    compute_start,
+                    trace.now(),
+                    self.server_id,
+                    **mul_kw,  # type: ignore[arg-type]
                 )
             )
         )
+        if mul_gid is not None:
+            task.state_deps.append(mul_gid)
         task.add_local(partial)
 
     async def _wait_for_inputs(self, task: _PartialTask) -> None:
@@ -509,16 +559,21 @@ class LiveChunkServer:
             trace.traffic_record(self.server_id, parent, nbytes)
         )
         client = self.pool.get(parent_addr)
+        upstream: "Dict[str, object]" = {
+            "repair_id": request.repair_id,
+            "sender": self.server_id,
+            "trace": task.trace,
+            "traffic": task.traffic,
+            "sent_at": trace.now(),
+        }
+        if task.ctx is not None:
+            # The receiver's network record depends on everything this
+            # subtree folded into the outgoing partial.
+            upstream["sent_deps"] = list(task.state_deps)
         try:
             await client.call(
                 MessageType.PARTIAL_RESULT,
-                {
-                    "repair_id": request.repair_id,
-                    "sender": self.server_id,
-                    "trace": task.trace,
-                    "traffic": task.traffic,
-                    "sent_at": trace.now(),
-                },
+                upstream,
                 buffers=task.partial,
                 timeout=self.config.rpc_timeout,
             )
@@ -534,6 +589,19 @@ class LiveChunkServer:
     def _adopt_orphans(self, task: _PartialTask) -> None:
         orphans = self._orphans.pop(task.request.repair_id, [])
         for orphan in orphans:
+            if orphan.net_gid is not None:
+                # Splice the buffered ingress record into the task's
+                # causal chain as if it had just arrived: chain it on the
+                # previous arrival and make downstream state depend on it.
+                if task.last_net_gid is not None:
+                    for record in orphan.sub_trace:
+                        if record.get("gid") == orphan.net_gid:
+                            deps = record.setdefault("deps", [])
+                            if isinstance(deps, list):
+                                deps.append(task.last_net_gid)
+                            break
+                task.last_net_gid = orphan.net_gid
+                task.state_deps.append(orphan.net_gid)
             task.add_remote(
                 orphan.sender,
                 orphan.buffers,
@@ -559,6 +627,22 @@ class LiveChunkServer:
         sub_trace = list(payload.get("trace", []))  # type: ignore[arg-type]
         sub_traffic = list(payload.get("traffic", []))  # type: ignore[arg-type]
         sent_at = float(payload.get("sent_at", trace.now()))  # type: ignore[arg-type]
+        task = self.tasks.get(repair_id)
+        ctx = causal.current()
+        sent_deps = [
+            d for d in payload.get("sent_deps", []) if isinstance(d, str)  # type: ignore[union-attr]
+        ]
+        net_deps = list(sent_deps)
+        if task is not None and task.last_net_gid is not None:
+            # Ingress serialization: arrivals share this node's link, so
+            # each transfer causally follows the previous one (this edge
+            # is what realizes Theorem 1's ceil(log2(k+1)) step count).
+            net_deps.append(task.last_net_gid)
+        net_gid, net_kw = self._causal_kw(ctx, net_deps)
+        if net_gid is not None:
+            # Raw sender clock: clip() below destroys the send/recv pair
+            # that clock-offset estimation needs.
+            net_kw["sent_at"] = sent_at
         start, end = trace.clip_interval(sent_at, trace.now())
         sub_trace.append(
             self._account(
@@ -569,10 +653,12 @@ class LiveChunkServer:
                     self.server_id,
                     nbytes=trace.buffers_nbytes(frame.buffers),  # type: ignore[arg-type]
                     src=sender,
+                    **net_kw,  # type: ignore[arg-type]
                 )
             )
         )
-        task = self.tasks.get(repair_id)
+        if task is not None and net_gid is not None:
+            task.last_net_gid = net_gid
         if task is None:
             self._gc_orphans()
             self._orphans.setdefault(repair_id, []).append(
@@ -582,6 +668,7 @@ class LiveChunkServer:
                     sub_trace=sub_trace,
                     sub_traffic=sub_traffic,
                     arrived=trace.now(),
+                    net_gid=net_gid,
                 )
             )
             return {"merged": False, "buffered": True}
@@ -590,13 +677,21 @@ class LiveChunkServer:
             sender, frame.buffers, sub_trace, sub_traffic
         )
         if merged:
+            merge_deps = ([net_gid] if net_gid else []) + task.state_deps
+            merge_gid, merge_kw = self._causal_kw(task.ctx, merge_deps)
             task.trace.append(
                 self._account(
                     trace.phase_record(
-                        "compute", merge_start, trace.now(), self.server_id
+                        "compute",
+                        merge_start,
+                        trace.now(),
+                        self.server_id,
+                        **merge_kw,  # type: ignore[arg-type]
                     )
                 )
             )
+            if merge_gid is not None:
+                task.state_deps = [merge_gid]
         return {"merged": merged, "buffered": False}
 
     # ------------------------------------------------------------------
@@ -624,6 +719,7 @@ class LiveChunkServer:
         view = chunk_payload.reshape(request.rows, row_len)
         for row, buf in task.partial.items():
             view[row] = buf
+        asm_gid, asm_kw = self._causal_kw(task.ctx, task.state_deps)
         task.trace.append(
             self._account(
                 trace.phase_record(
@@ -632,9 +728,12 @@ class LiveChunkServer:
                     trace.now(),
                     self.server_id,
                     nbytes=int(chunk_payload.nbytes),
+                    **asm_kw,  # type: ignore[arg-type]
                 )
             )
         )
+        if asm_gid is not None:
+            task.state_deps = [asm_gid]
         await self._commit_chunk(
             task,
             chunk_id=str(frame.payload["lost_chunk_id"]),
@@ -661,6 +760,7 @@ class LiveChunkServer:
         payload: np.ndarray,
     ) -> None:
         """Store the rebuilt chunk and tell the meta-server (disk_write)."""
+        _, write_kw = self._causal_kw(task.ctx, task.state_deps)
         write_start = trace.now()
         self.chunks[chunk_id] = LiveChunk(
             chunk_id=chunk_id,
@@ -677,6 +777,7 @@ class LiveChunkServer:
                     self.server_id,
                     nbytes=int(payload.nbytes),
                     chunk_id=chunk_id,
+                    **write_kw,  # type: ignore[arg-type]
                 )
             )
         )
@@ -723,6 +824,7 @@ class LiveChunkServer:
                 read_fraction=0.0,
             ),
             peers={},
+            ctx=causal.current(),
         )
 
         raw: "Dict[int, Dict[int, np.ndarray]]" = {}
@@ -746,6 +848,18 @@ class LiveChunkServer:
                 timeout=self.config.rpc_timeout,
             )
             sent_at = float(response.payload.get("sent_at", trace.now()))  # type: ignore[arg-type]
+            net_deps = [
+                d
+                for d in response.payload.get("sent_deps", [])  # type: ignore[union-attr]
+                if isinstance(d, str)
+            ]
+            if staggered and task.last_net_gid is not None:
+                # Sequential fetches serialize on this node's ingress
+                # link; concurrent star fetches deliberately do not chain.
+                net_deps.append(task.last_net_gid)
+            net_gid, net_kw = self._causal_kw(task.ctx, net_deps)
+            if net_gid is not None:
+                net_kw["sent_at"] = sent_at
             start, end = trace.clip_interval(sent_at, trace.now())
             task.trace.append(
                 self._account(
@@ -756,9 +870,14 @@ class LiveChunkServer:
                         self.server_id,
                         nbytes=trace.buffers_nbytes(response.buffers),  # type: ignore[arg-type]
                         src=helper_id,
+                        **net_kw,  # type: ignore[arg-type]
                     )
                 )
             )
+            if net_gid is not None:
+                if staggered:
+                    task.last_net_gid = net_gid
+                task.state_deps.append(net_gid)
             task.trace.extend(list(response.payload.get("trace", [])))  # type: ignore[arg-type]
             task.traffic.append(
                 trace.traffic_record(
@@ -784,15 +903,22 @@ class LiveChunkServer:
 
         if self.config.compute_delay:
             await asyncio.sleep(self.config.compute_delay)
+        decode_gid, decode_kw = self._causal_kw(task.ctx, task.state_deps)
         compute_start = trace.now()
         chunk_payload = recipe.execute_rows(raw)
         task.trace.append(
             self._account(
                 trace.phase_record(
-                    "compute", compute_start, trace.now(), self.server_id
+                    "compute",
+                    compute_start,
+                    trace.now(),
+                    self.server_id,
+                    **decode_kw,  # type: ignore[arg-type]
                 )
             )
         )
+        if decode_gid is not None:
+            task.state_deps = [decode_gid]
         await self._commit_chunk(
             task,
             chunk_id=str(payload["lost_chunk_id"]),

@@ -44,6 +44,7 @@ from repro.live import trace
 from repro.live.config import LiveConfig
 from repro.live.rpc import Address, RpcClientPool
 from repro.live.wire import Frame, MessageType
+from repro.obs import causal
 from repro.repair.plan import DESTINATION, build_plan
 from repro.sim.metrics import PhaseBreakdown
 
@@ -106,9 +107,26 @@ class LiveCoordinator:
         self.config = config or LiveConfig()
         self.pool = RpcClientPool(self.config)
         self._repair_seq = itertools.count(1)
+        self._gids = causal.GidAllocator("coordinator")
 
     async def close(self) -> None:
         await self.pool.close()
+
+    @staticmethod
+    async def _with_ctx(ctx: "Optional[causal.SpanContext]", coro):
+        """Await ``coro`` with ``ctx`` as the active causal context.
+
+        The context rides asyncio's contextvars into every RPC the
+        attempt makes (and into tasks those spawn), which is how the
+        trace id reaches all participants.
+        """
+        if ctx is None:
+            return await coro
+        token = causal.activate(ctx)
+        try:
+            return await coro
+        finally:
+            causal.restore(token)
 
     # ------------------------------------------------------------------
     # Metadata lookups
@@ -271,14 +289,23 @@ class LiveCoordinator:
         addresses: "Dict[str, Address]" = {
             available[i][0]: available[i][1] for i in recipe.helpers
         }
-        dest_id, dest_addr = await self._choose_destination(
-            view, destination, helper_servers, excluded
-        )
-        addresses[dest_id] = dest_addr
         repair_id = (
             f"live-{view.stripe_id}-{lost_index}-"
             f"a{attempt}-{next(self._repair_seq)}"
         )
+        ctx: "Optional[causal.SpanContext]" = None
+        if obs.tracer() is not None:
+            ctx = causal.SpanContext(
+                trace_id=causal.trace_id_for(repair_id),
+                span_id=f"coord:{repair_id}",
+            )
+        dest_id, dest_addr = await self._with_ctx(
+            ctx,
+            self._choose_destination(
+                view, destination, helper_servers, excluded
+            ),
+        )
+        addresses[dest_id] = dest_addr
         aggregators = [
             self._node_server(n, helper_servers, dest_id)
             for n in plan.participants
@@ -302,8 +329,9 @@ class LiveCoordinator:
 
         try:
             if strategy in ("ppr", "chain"):
-                payload, records, traffic_records = (
-                    await self._run_partial_attempt(
+                payload, records, traffic_records = await self._with_ctx(
+                    ctx,
+                    self._run_partial_attempt(
                         view,
                         lost_index,
                         recipe,
@@ -312,11 +340,12 @@ class LiveCoordinator:
                         dest_id,
                         addresses,
                         repair_id,
-                    )
+                    ),
                 )
             else:
-                payload, records, traffic_records = (
-                    await self._run_raw_attempt(
+                payload, records, traffic_records = await self._with_ctx(
+                    ctx,
+                    self._run_raw_attempt(
                         view,
                         lost_index,
                         recipe,
@@ -325,7 +354,7 @@ class LiveCoordinator:
                         dest_addr,
                         repair_id,
                         staggered=(strategy == "staggered"),
-                    )
+                    ),
                 )
         except _AttemptFailed:
             obs.registry().counter(
@@ -335,7 +364,20 @@ class LiveCoordinator:
             raise
 
         end = trace.now()
-        records.append(trace.phase_record("plan", start, plan_done, "meta"))
+        if ctx is None:
+            records.append(trace.phase_record("plan", start, plan_done, "meta"))
+        else:
+            records.append(
+                trace.phase_record(
+                    "plan",
+                    start,
+                    plan_done,
+                    "meta",
+                    gid=self._gids.next(),
+                    deps=[],
+                    trace_id=ctx.trace_id,
+                )
+            )
         breakdown = trace.breakdown_from_trace(records, start, end)
         # Single ingestion point for the distributed timeline: the wire
         # records (including ones produced by servers sharing this
@@ -354,6 +396,7 @@ class LiveCoordinator:
                 attempt=attempt,
                 destination=dest_id,
                 helpers=len(recipe.helpers),
+                **({} if ctx is None else {"trace_id": ctx.trace_id}),
             )
             trace.ingest_records_as_spans(
                 tracer,

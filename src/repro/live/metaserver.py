@@ -26,9 +26,11 @@ from typing import Dict, List, Optional
 from repro.errors import ChunkNotFoundError
 from repro.fs.messages import Heartbeat
 from repro.fs.metaserver import heartbeat_is_stale
+from repro import obs
 from repro.live import trace
 from repro.live.config import LiveConfig
 from repro.live.rpc import Address, RpcServer
+from repro.obs import causal
 from repro.live.wire import Frame, MessageType
 from repro.obs.timeseries import Sampler, TimeSeriesStore
 
@@ -189,6 +191,7 @@ class LiveMetaServer:
         return {"located": chunk_id}
 
     async def _on_locate_stripe(self, frame: Frame) -> "Dict[str, object]":
+        lookup_start = trace.now()
         stripe_id = str(frame.payload["stripe_id"])
         stripe = self.stripes.get(stripe_id)
         if stripe is None:
@@ -202,6 +205,21 @@ class LiveMetaServer:
                 "server_id": server_id,
                 "address": list(self.servers[server_id].to_wire()),
             }
+        tracer = obs.tracer()
+        ctx = causal.current()
+        if tracer is not None and ctx is not None:
+            # Metadata lookups are control-plane work: tag them with the
+            # caller's trace id so a stitched DAG can show where the
+            # repair's planning time went, without joining the data path.
+            tracer.record_span(
+                "live.meta.locate_stripe",
+                lookup_start,
+                trace.now(),
+                node="meta",
+                category="live.meta",
+                trace_id=ctx.trace_id,
+                stripe=stripe_id,
+            )
         return {
             "stripe": dict(stripe),
             "locations": locations,
@@ -209,13 +227,26 @@ class LiveMetaServer:
         }
 
     async def _on_list_servers(self, frame: Frame) -> "Dict[str, object]":
-        return {
+        lookup_start = trace.now()
+        reply = {
             "servers": {
                 sid: list(addr.to_wire())
                 for sid, addr in sorted(self.servers.items())
             },
             "alive": sorted(self.alive_servers()),
         }
+        tracer = obs.tracer()
+        ctx = causal.current()
+        if tracer is not None and ctx is not None:
+            tracer.record_span(
+                "live.meta.list_servers",
+                lookup_start,
+                trace.now(),
+                node="meta",
+                category="live.meta",
+                trace_id=ctx.trace_id,
+            )
+        return reply
 
     # ------------------------------------------------------------------
     # Telemetry: fleet health + straggler detection

@@ -20,6 +20,7 @@ from typing import Awaitable, Callable, Dict, Optional, Sequence, Set
 import numpy as np
 
 from repro import obs
+from repro.obs import causal
 from repro.errors import (
     RpcConnectionError,
     RpcRemoteError,
@@ -199,12 +200,14 @@ class RpcClient:
         nbytes_out = sum(
             int(buf.nbytes) for buf in (buffers or {}).values()
         )
+        ctx = causal.current()
         with tracer.span(
             f"live.rpc.{mtype.name.lower()}",
             node=str(self.address),
             category="live.rpc",
             nbytes_out=nbytes_out,
             attempt=attempt,
+            **({"trace_id": ctx.trace_id} if ctx is not None else {}),
         ) as span:
             response = await self._call_once(mtype, payload, buffers, timeout)
             span.attrs["nbytes_in"] = sum(
@@ -232,6 +235,9 @@ class RpcClient:
             request_id=request_id,
             payload=payload or {},
             buffers=buffers or {},
+            # Propagate the ambient causal context (if a traced repair is
+            # in flight) as the optional __trace__ header field.
+            trace=causal.current_wire(),
         )
         future: "asyncio.Future[Frame]" = (
             asyncio.get_running_loop().create_future()
@@ -407,7 +413,19 @@ class RpcServer:
                 raise RpcRemoteError(
                     "UnknownMessage", f"{self.name} cannot handle {frame.mtype!r}"
                 )
-            result = await handler(frame)
+            # Rebind the caller's causal context around the handler so any
+            # span it records — and any task or downstream RPC it spawns
+            # (asyncio copies contextvars into created tasks) — stays in
+            # the originating repair's trace.
+            ctx = causal.SpanContext.from_wire(frame.trace)
+            if ctx is None:
+                result = await handler(frame)
+            else:
+                token = causal.activate(ctx)
+                try:
+                    result = await handler(frame)
+                finally:
+                    causal.restore(token)
         except asyncio.CancelledError:
             return
         except Exception as exc:  # noqa: BLE001 - every failure goes on the wire

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs import causal
 from repro.sim.metrics import PHASES, PhaseBreakdown, TrafficMatrix
 
 TraceRecord = Dict[str, object]
@@ -64,17 +65,33 @@ def phase_record(
     start: float,
     end: float,
     node: str,
+    gid: "Optional[str]" = None,
+    deps: "Optional[List[str]]" = None,
+    trace_id: "Optional[str]" = None,
     **attrs: Any,
 ) -> TraceRecord:
     """Build one wire-format phase record (interval clipped on ingest).
 
     ``attrs`` (e.g. ``nbytes=...``, ``src=...``) ride along under an
     ``"attrs"`` key; consumers that predate the field ignore it.
+
+    ``gid`` / ``deps`` / ``trace_id`` are the optional causal-context
+    fields (see :mod:`repro.obs.causal` and ``docs/PROTOCOL.md``): a
+    process-unique id for this record, the gids of the records whose
+    output it consumed, and the repair's trace id.  They are top-level
+    keys — like ``phase`` and ``node`` — so causality-unaware consumers
+    skip them without touching ``attrs``.
     """
     if phase not in PHASES:
         raise KeyError(f"unknown phase {phase!r}; known: {PHASES}")
     start, end = clip_interval(start, end)
     record: TraceRecord = {"phase": phase, "start": start, "end": end, "node": node}
+    if gid is not None:
+        record["gid"] = gid
+    if deps is not None:
+        record["deps"] = list(deps)
+    if trace_id is not None:
+        record["trace_id"] = trace_id
     if attrs:
         record["attrs"] = attrs
     return record
@@ -134,6 +151,14 @@ def ingest_records_as_spans(
     repair-attempt span).  Unknown phases are ingested too — a span
     stream has no fixed vocabulary, unlike :class:`PhaseBreakdown`.
     Returns the number of spans recorded.
+
+    Causal-context fields are preserved: the top-level ``gid`` / ``deps``
+    / ``trace_id`` record keys are hoisted into span attributes.  Legacy
+    records (pre-causal peers) carry none of them; when a ``repair_id``
+    is known (record attrs or ``extra_attrs``) a missing trace id is
+    synthesized deterministically with
+    :func:`repro.obs.causal.trace_id_for`, so old traces still stitch
+    into one DAG per repair.
     """
     count = 0
     for record in trace:
@@ -141,6 +166,19 @@ def ingest_records_as_spans(
         rec_attrs = record.get("attrs")
         if isinstance(rec_attrs, dict):
             attrs.update(rec_attrs)
+        gid = record.get("gid")
+        if isinstance(gid, str) and gid:
+            attrs["gid"] = gid
+        deps = record.get("deps")
+        if isinstance(deps, list):
+            attrs["deps"] = [d for d in deps if isinstance(d, str)]
+        trace_id = record.get("trace_id")
+        if isinstance(trace_id, str) and trace_id:
+            attrs["trace_id"] = trace_id
+        elif "trace_id" not in attrs:
+            repair_id = attrs.get("repair_id")
+            if isinstance(repair_id, str) and repair_id:
+                attrs["trace_id"] = causal.trace_id_for(repair_id)
         tracer.record_span(
             f"live.phase.{record['phase']}",
             float(record["start"]),  # type: ignore[arg-type]

@@ -23,6 +23,13 @@ The JSON header carries the message payload (wire forms of the
 the ``row -> buffer`` maps PPR ships around.  Bulk bytes therefore never
 pass through JSON; a partial result's GF-combined rows go on the socket
 as raw buffers.
+
+A second reserved header key, ``__trace__``, optionally carries the causal
+trace context (``{"trace_id": ..., "span_id": ...}``, see
+:mod:`repro.obs.causal`) of the caller.  It is stripped from the payload on
+decode, attached to requests only when a repair is being traced, and —
+being just another JSON key — ignored by peers that predate it, so the
+frame format stays version 1.  See ``docs/PROTOCOL.md``.
 """
 
 from __future__ import annotations
@@ -84,6 +91,9 @@ class Frame:
     payload: "Dict[str, object]" = field(default_factory=dict)
     buffers: "Dict[int, np.ndarray]" = field(default_factory=dict)
     flags: int = 0
+    #: Causal trace context (``__trace__`` header key): the caller's
+    #: ``{"trace_id", "span_id"}``, or None when the call is untraced.
+    trace: "Optional[Dict[str, object]]" = None
 
     @property
     def is_response(self) -> bool:
@@ -112,6 +122,8 @@ def encode_frame(frame: Frame) -> bytes:
         blobs.append(buf.tobytes())
     if index:
         header["__buffers__"] = index
+    if frame.trace is not None:
+        header["__trace__"] = frame.trace
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     body = b"".join(
         [struct.pack("!I", len(header_bytes)), header_bytes, *blobs]
@@ -161,12 +173,16 @@ def decode_body(mtype: int, flags: int, request_id: int, body: bytes) -> Frame:
         mtype_enum = MessageType(mtype)
     except ValueError as exc:
         raise WireFormatError(f"unknown message type {mtype}") from exc
+    trace = header.pop("__trace__", None)
+    if not isinstance(trace, dict):
+        trace = None
     return Frame(
         mtype=mtype_enum,
         request_id=request_id,
         payload=header,
         buffers=buffers,
         flags=flags,
+        trace=trace,
     )
 
 

@@ -32,6 +32,7 @@ import time
 from contextlib import contextmanager, nullcontext
 from typing import Any, Callable, ContextManager, Optional
 
+from . import causal
 from .export import chrome_trace, render_timeline, summarize
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -50,6 +51,7 @@ from .span import Span, Tracer, clip
 from .timeseries import DEFAULT_CAPACITY, Sampler, Series, TimeSeriesStore
 
 __all__ = [
+    "causal",
     "Span",
     "Tracer",
     "clip",

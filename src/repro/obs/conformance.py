@@ -1,0 +1,289 @@
+"""Theory conformance: check observed critical paths against Eq. 1 / Theorem 1.
+
+Given the causal repair DAGs stitched by :mod:`repro.obs.causal`, this module
+asks the question the paper's evaluation is built on: *does the repair we
+actually ran have the critical-path structure and timing the closed forms in*
+:mod:`repro.repair.theory` *predict?*
+
+Three families of checks per traced repair:
+
+* ``structure.transfer_depth`` — the serialized-transfer count on the
+  critical path must equal :func:`repro.repair.theory.expected_transfer_depth`
+  (``ceil(log2(k+1))`` for PPR, ``k`` for star/staggered/chain — the incast
+  funnel serializes on the repair site's ingress link).  Purely structural,
+  so it holds on noisy wall clocks too — this is the check the live-mode CI
+  smoke gates on.
+* ``structure.ingress_fanin`` — a star repair must funnel all ``k`` helper
+  transfers into one node (the paper's incast argument); a PPR tree's
+  busiest ingress receives only ``ceil(log2(k+1))``.
+* ``timing.network`` / ``timing.disk_read`` — when the trace metadata
+  carries the modeled chunk size and bandwidths (sim recordings do), the
+  seconds observed on the critical path must match the Eq. 1 terms within a
+  configurable relative tolerance: ``steps * C/B_N`` for the network term
+  (Theorem 1), ``seek + C/B_I`` for the leaf disk read.
+
+Checks that lack the inputs they need (unknown strategy, no bandwidth
+metadata, wall clock) are reported as ``skip`` — never silently dropped —
+and a repair passes iff no check fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.repair import theory
+
+from .causal import RepairDag
+
+#: Default relative tolerance for timing checks (|obs - pred| <= tol * pred).
+DEFAULT_TOLERANCE = 0.25
+
+PASS = "pass"
+FAIL = "fail"
+SKIP = "skip"
+
+
+@dataclass(frozen=True)
+class Check:
+    """One conformance check outcome for one traced repair."""
+
+    name: str
+    status: str
+    observed: Optional[float] = None
+    predicted: Optional[float] = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True unless the check failed (skips count as ok)."""
+        return self.status != FAIL
+
+
+@dataclass
+class RepairReport:
+    """All conformance checks for one traced repair attempt."""
+
+    trace_id: str
+    repair_id: Optional[str]
+    strategy: Optional[str]
+    k: Optional[int]
+    checks: List[Check] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True iff no check failed."""
+        return all(c.ok for c in self.checks)
+
+    @property
+    def gated(self) -> int:
+        """Number of checks that actually ran (pass or fail)."""
+        return sum(1 for c in self.checks if c.status != SKIP)
+
+
+def _within(observed: float, predicted: float, tolerance: float) -> bool:
+    if predicted <= 0:
+        return observed <= tolerance
+    return abs(observed - predicted) <= tolerance * predicted
+
+
+def _timing_inputs(meta: Dict[str, object]) -> "tuple":
+    chunk = meta.get("chunk_size_bytes")
+    net = meta.get("net_bandwidth_Bps")
+    io = meta.get("io_bandwidth_Bps")
+    seek = meta.get("io_seek_s")
+    chunk = float(chunk) if isinstance(chunk, (int, float)) and chunk else None
+    net = float(net) if isinstance(net, (int, float)) and net else None
+    io = float(io) if isinstance(io, (int, float)) and io else None
+    seek = float(seek) if isinstance(seek, (int, float)) else 0.0
+    return chunk, net, io, seek
+
+
+def check_repair(
+    dag: RepairDag,
+    meta: "Optional[Dict[str, object]]" = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> RepairReport:
+    """Run every conformance check against one stitched repair DAG."""
+    meta = meta or {}
+    report = RepairReport(
+        trace_id=dag.trace_id,
+        repair_id=dag.repair_id,
+        strategy=dag.strategy,
+        k=dag.k,
+    )
+    strategy, k = dag.strategy, dag.k
+    path = dag.critical_path()
+
+    # --- structure: serialized transfer depth (Theorem 1) ----------------
+    if strategy is None or k is None:
+        report.checks.append(
+            Check(
+                "structure.transfer_depth",
+                SKIP,
+                detail="strategy or k unknown (no umbrella span in trace)",
+            )
+        )
+    else:
+        expected = theory.expected_transfer_depth(strategy, k)
+        observed = dag.transfer_depth()
+        report.checks.append(
+            Check(
+                "structure.transfer_depth",
+                PASS if observed == expected else FAIL,
+                observed=float(observed),
+                predicted=float(expected),
+                detail=(
+                    f"{strategy} k={k}: observed {observed} serialized "
+                    f"transfer step(s), theory predicts {expected}"
+                ),
+            )
+        )
+
+    # --- structure: ingress fan-in (star incast vs tree) ------------------
+    if strategy is None or k is None:
+        report.checks.append(
+            Check(
+                "structure.ingress_fanin",
+                SKIP,
+                detail="strategy or k unknown",
+            )
+        )
+    else:
+        node, fanin = dag.ingress_fanin()
+        if strategy == "star":
+            expected_fanin = k
+        elif strategy == "staggered":
+            expected_fanin = k
+        elif strategy == "ppr":
+            # The destination of a binomial tree receives one transfer per
+            # Theorem-1 timestep: floor(log2 k) + 1 == ceil(log2(k+1)).
+            expected_fanin = theory.ppr_timesteps(k)
+        elif strategy == "chain":
+            expected_fanin = 1
+        else:
+            expected_fanin = None
+        if expected_fanin is None:
+            report.checks.append(
+                Check(
+                    "structure.ingress_fanin",
+                    SKIP,
+                    observed=float(fanin),
+                    detail=f"no closed form for {strategy}; busiest={node}",
+                )
+            )
+        else:
+            report.checks.append(
+                Check(
+                    "structure.ingress_fanin",
+                    PASS if fanin == expected_fanin else FAIL,
+                    observed=float(fanin),
+                    predicted=float(expected_fanin),
+                    detail=(
+                        f"busiest ingress {node} received {fanin} "
+                        f"transfer(s); theory predicts {expected_fanin}"
+                    ),
+                )
+            )
+
+    # --- timing: Eq. 1 terms on the critical path -------------------------
+    chunk, net_bw, io_bw, io_seek = _timing_inputs(meta)
+    if strategy is None or k is None or chunk is None or net_bw is None:
+        report.checks.append(
+            Check(
+                "timing.network",
+                SKIP,
+                detail="needs strategy, k, chunk_size_bytes and "
+                "net_bandwidth_Bps in trace metadata",
+            )
+        )
+    else:
+        if strategy == "ppr":
+            predicted = theory.ppr_transfer_time(k, chunk, net_bw)
+        else:
+            predicted = theory.traditional_transfer_time(k, chunk, net_bw)
+        observed = dag.path_network_seconds(path)
+        report.checks.append(
+            Check(
+                "timing.network",
+                PASS if _within(observed, predicted, tolerance) else FAIL,
+                observed=observed,
+                predicted=predicted,
+                detail=(
+                    f"network seconds on critical path vs "
+                    f"{'Theorem 1' if strategy == 'ppr' else 'k*C/B'} "
+                    f"(tolerance {tolerance:.0%})"
+                ),
+            )
+        )
+
+    if chunk is None or io_bw is None:
+        report.checks.append(
+            Check(
+                "timing.disk_read",
+                SKIP,
+                detail="needs chunk_size_bytes and io_bandwidth_Bps in "
+                "trace metadata",
+            )
+        )
+    else:
+        reads = [n.duration for n in path if n.phase == "disk_read"]
+        if not reads:
+            report.checks.append(
+                Check(
+                    "timing.disk_read",
+                    SKIP,
+                    detail="no disk_read on the critical path",
+                )
+            )
+        else:
+            predicted = io_seek + chunk / io_bw
+            observed = max(reads)
+            report.checks.append(
+                Check(
+                    "timing.disk_read",
+                    PASS if _within(observed, predicted, tolerance) else FAIL,
+                    observed=observed,
+                    predicted=predicted,
+                    detail=f"leaf read vs Eq. 1 seek + C/B_I (tolerance "
+                    f"{tolerance:.0%})",
+                )
+            )
+
+    return report
+
+
+def check_trace(
+    dags: Sequence[RepairDag],
+    meta: "Optional[Dict[str, object]]" = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[RepairReport]:
+    """Check every stitched repair in a trace; one report per repair."""
+    return [check_repair(d, meta=meta, tolerance=tolerance) for d in dags]
+
+
+def render_reports(reports: Sequence[RepairReport]) -> str:
+    """Human-readable conformance report (one block per repair)."""
+    if not reports:
+        return "(no stitched repairs found in trace)\n"
+    lines: List[str] = []
+    for rep in reports:
+        verdict = "PASS" if rep.passed else "FAIL"
+        head = rep.repair_id or rep.trace_id
+        strat = rep.strategy or "?"
+        k = rep.k if rep.k is not None else "?"
+        lines.append(f"repair {head}  [{strat} k={k}]  {verdict}")
+        for c in rep.checks:
+            mark = {PASS: "ok  ", FAIL: "FAIL", SKIP: "skip"}[c.status]
+            obs_txt = "" if c.observed is None else f" observed={c.observed:g}"
+            pred_txt = (
+                "" if c.predicted is None else f" predicted={c.predicted:g}"
+            )
+            lines.append(f"  [{mark}] {c.name}{obs_txt}{pred_txt}")
+            if c.detail:
+                lines.append(f"         {c.detail}")
+        lines.append("")
+    total = len(reports)
+    passed = sum(1 for r in reports if r.passed)
+    lines.append(f"{passed}/{total} repair(s) conform")
+    return "\n".join(lines) + "\n"

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from .span import Span
+from .span import Span, clip
 
 _US = 1_000_000  # seconds -> microseconds
 
@@ -36,7 +36,14 @@ def chrome_trace(
     metadata events first (by pid), then spans sorted by (ts, pid, name).
     """
     spans = sorted(spans, key=lambda s: (s.start, s.node, s.name, s.span_id))
-    origin = spans[0].start if spans else 0.0
+    origin = (
+        min(
+            clip(s.start, s.start if s.end is None else s.end)[0]
+            for s in spans
+        )
+        if spans
+        else 0.0
+    )
 
     nodes = sorted({span.node or "-" for span in spans})
     pids = {node: index + 1 for index, node in enumerate(nodes)}
@@ -56,11 +63,18 @@ def chrome_trace(
         args: "Dict[str, Any]" = dict(span.attrs)
         if span.parent_id is not None:
             args["parent_id"] = span.parent_id
+        # Clip reversed intervals (clock backslide on a directly constructed
+        # span) so ts lands at the trustworthy later reading and dur is
+        # never negative — zero-length spans export as dur=0.0 complete
+        # events, which Perfetto renders as instants.
+        start, end = clip(
+            span.start, span.start if span.end is None else span.end
+        )
         event: "Dict[str, Any]" = {
             "name": span.name,
             "ph": "X",
-            "ts": round((span.start - origin) * _US, 3),
-            "dur": round(span.duration * _US, 3),
+            "ts": round((start - origin) * _US, 3),
+            "dur": round(max(0.0, end - start) * _US, 3),
             "pid": pids[span.node or "-"],
             "tid": 0,
             "cat": span.category or "span",

@@ -75,12 +75,20 @@ class Span:
         return max(0.0, self.end - self.start)
 
     def to_event(self) -> "Dict[str, Any]":
-        """The JSONL wire form (see docs/OBSERVABILITY.md for the schema)."""
+        """The JSONL wire form (see docs/OBSERVABILITY.md for the schema).
+
+        Reversed intervals (a span constructed directly from a clock that
+        stepped backwards, bypassing the tracer's clipping) are clipped
+        here too, so a sink never persists a negative interval.
+        """
+        start, end = clip(
+            self.start, self.start if self.end is None else self.end
+        )
         event: "Dict[str, Any]" = {
             "type": "span",
             "name": self.name,
-            "start": self.start,
-            "end": self.start if self.end is None else self.end,
+            "start": start,
+            "end": end,
             "node": self.node,
             "span_id": self.span_id,
         }

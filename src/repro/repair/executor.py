@@ -15,6 +15,7 @@ from typing import Dict, Mapping
 import numpy as np
 
 from repro import obs
+from repro.obs import causal
 from repro.errors import PlanError
 from repro.codes.recipe import RepairRecipe
 from repro.repair.plan import DESTINATION, RepairPlan
@@ -35,12 +36,14 @@ def execute_plan(
         if helper not in chunks:
             raise PlanError(f"missing buffer for helper chunk {helper}")
 
+    ctx = causal.current()
     with obs.maybe_span(
         "repair.execute_plan",
         category="repair",
         strategy=plan.strategy,
         helpers=len(recipe.helpers),
         steps=plan.num_steps,
+        **({"trace_id": ctx.trace_id} if ctx is not None else {}),
     ):
         if plan.strategy in ("star", "staggered"):
             return _execute_raw(plan, chunks)

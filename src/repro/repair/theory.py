@@ -18,6 +18,35 @@ def ppr_timesteps(k: int) -> int:
     return math.ceil(math.log2(k + 1))
 
 
+def expected_transfer_depth(strategy: str, k: int) -> int:
+    """Predicted serialized-transfer count on a repair's critical path.
+
+    This is the structural form of Theorem 1, used by the causal-trace
+    conformance checker (:mod:`repro.obs.conformance`).  A transfer is
+    *serialized* behind another when it either consumed the other's output
+    (data dependency) or had to share the same ingress link (resource
+    dependency) — which is exactly the accounting behind the paper's
+    "time steps":
+
+    * ``ppr`` — the binomial tree spreads transfers across many links; the
+      longest serialization is the destination's ``ceil(log2(k+1))``
+      arrivals.
+    * ``star`` — all ``k`` helper chunks funnel into the repair site's one
+      ingress link (the paper's incast argument), so all ``k`` transfers
+      serialize there.
+    * ``staggered`` — the same ``k``-deep funnel, made explicit in time.
+    * ``chain`` — ``k`` transfers serialized by data dependency along the
+      pipeline (each link carries one transfer).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if strategy == "ppr":
+        return ppr_timesteps(k)
+    if strategy in ("star", "staggered", "chain"):
+        return k
+    raise ValueError(f"unknown repair strategy: {strategy!r}")
+
+
 def traditional_transfer_time(k: int, chunk_size: float, bandwidth: float) -> float:
     """Theorem 1 baseline: ``k * C / B_N`` (k chunks funnel into one link)."""
     return k * chunk_size / bandwidth

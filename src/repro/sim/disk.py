@@ -12,6 +12,7 @@ from collections import deque
 from typing import Callable, Deque, Optional
 
 from repro import obs
+from repro.obs import causal
 from repro.sim.events import Simulation
 from repro.util.units import Bandwidth
 from repro.util.validation import check_non_negative
@@ -57,6 +58,10 @@ class Disk:
             obs.registry().histogram(
                 "sim.disk.queue_wait", node=self.owner
             ).observe(wait)
+            extra = {}
+            ctx = causal.current()
+            if ctx is not None:
+                extra["trace_id"] = ctx.trace_id
             tracer.record_span(
                 f"sim.disk.{op}",
                 start,
@@ -65,6 +70,7 @@ class Disk:
                 category="sim.disk",
                 nbytes=size,
                 queue_wait=wait,
+                **extra,
             )
         if callback is not None:
             self.sim.schedule_at(finish, callback)

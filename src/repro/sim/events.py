@@ -13,12 +13,21 @@ import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs import causal
 
 
 class Event:
-    """A scheduled callback.  Cancel with :meth:`cancel`."""
+    """A scheduled callback.  Cancel with :meth:`cancel`.
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    Each event captures the ambient causal :class:`~repro.obs.causal.
+    SpanContext` at schedule time and rebinds it while the callback runs,
+    so a traced repair's context flows through the virtual-time gap between
+    cause (the code that scheduled) and effect (the callback) exactly like
+    asyncio's contextvars copy does in live mode.  ``ctx`` is None — one
+    attribute load, no other cost — whenever no repair is being traced.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "ctx")
 
     def __init__(
         self,
@@ -32,6 +41,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.ctx = causal.current()
 
     def cancel(self) -> None:
         """Prevent the callback from firing (O(1); heap entry is skipped)."""
@@ -112,7 +122,14 @@ class Simulation:
                 continue
             self.now = event.time
             self.events_executed += 1
-            event.callback(*event.args)
+            if event.ctx is None:
+                event.callback(*event.args)
+            else:
+                token = causal.activate(event.ctx)
+                try:
+                    event.callback(*event.args)
+                finally:
+                    causal.restore(token)
             for observer in self._clock_observers:
                 observer(self.now)
             return True

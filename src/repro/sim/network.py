@@ -20,6 +20,7 @@ import math
 from typing import Any, Callable, Dict, Optional, Sequence, Set
 
 from repro import obs
+from repro.obs import causal
 from repro.errors import SimulationError
 from repro.sim.events import Event, Simulation
 from repro.util.units import Bandwidth
@@ -324,6 +325,10 @@ class FlowNetwork:
         tracer = obs.tracer()
         if tracer is not None:
             dst = str(flow.meta.get("dst", ""))
+            extra = {}
+            ctx = causal.current()
+            if ctx is not None:
+                extra["trace_id"] = ctx.trace_id
             tracer.record_span(
                 "sim.net.flow",
                 flow.start_time,
@@ -332,6 +337,7 @@ class FlowNetwork:
                 category="sim.net",
                 nbytes=flow.size,
                 src=str(flow.meta.get("src", "")),
+                **extra,
             )
             obs.registry().counter("sim.net.flows").inc()
             obs.registry().counter("sim.net.bytes").inc(flow.size)

@@ -133,6 +133,54 @@ class TestTraceSim:
         assert "# TYPE ppr_" in result.stdout
 
 
+class TestTraceCausal:
+    """``repro trace critical-path`` / ``conform`` on a sim recording."""
+
+    @pytest.fixture(scope="class")
+    def ppr_trace(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("causal") / "ppr.trace.jsonl"
+        result = run_trace_cli(
+            "record", "--out", str(path),
+            "--strategy", "ppr", "--code", "rs(6,3)",
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        return path
+
+    def test_critical_path_reports_theorem1_depth(self, ppr_trace):
+        result = run_trace_cli("critical-path", str(ppr_trace))
+        assert result.returncode == 0, result.stderr[-2000:]
+        # rs(6,3): k=6, ceil(log2(7)) == 3 serialized transfer steps.
+        assert "serialized transfer depth: 3" in result.stdout
+        assert "[ppr k=6" in result.stdout
+        assert "critical-path attribution:" in result.stdout
+
+    def test_conform_passes_structure_and_timing(self, ppr_trace):
+        result = run_trace_cli("conform", str(ppr_trace))
+        assert result.returncode == 0, result.stdout + result.stderr[-2000:]
+        assert "1/1 repair(s) conform" in result.stdout
+        # Sim recordings carry modeled bandwidths, so the Eq. 1 timing
+        # checks actually run instead of skipping.
+        assert "[skip]" not in result.stdout
+
+    def test_conform_star_is_k_deep(self, tmp_path):
+        path = tmp_path / "star.trace.jsonl"
+        record = run_trace_cli(
+            "record", "--out", str(path),
+            "--strategy", "star", "--code", "rs(6,3)",
+        )
+        assert record.returncode == 0, record.stderr[-2000:]
+        result = run_trace_cli("conform", str(path))
+        assert result.returncode == 0, result.stdout + result.stderr[-2000:]
+        assert "observed 6 serialized transfer step(s)" in result.stdout
+
+    def test_conform_fails_loudly_on_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace.jsonl"
+        path.write_text('{"type": "meta", "version": 1, "clock": "wall"}\n')
+        result = run_trace_cli("conform", str(path))
+        assert result.returncode == 1
+        assert "no stitched repairs" in result.stdout
+
+
 class TestTopReplay:
     def test_replay_renders_dashboard_frame(self, tmp_path):
         trace = tmp_path / "sim.trace.jsonl"
@@ -204,11 +252,27 @@ class TestTraceLive:
         ]
         assert children
 
+        # Live phase spans carry explicit causal fields.
+        phase_spans = [
+            s for s in spans if s["name"].startswith("live.phase.")
+        ]
+        assert any("gid" in s.get("attrs", {}) for s in phase_spans)
+        assert any("deps" in s.get("attrs", {}) for s in phase_spans)
+
         out = tmp_path / "live.chrome.json"
         result = run_trace_cli("convert", str(path), "--out", str(out))
         assert result.returncode == 0, result.stderr[-2000:]
         document = _assert_valid_chrome_trace(out)
         assert document["otherData"]["clock"] == "wall"
+
+        # The stitched live DAG realizes Theorem 1: rs(4,2) -> k=4 ->
+        # ceil(log2 5) == 3 serialized transfers on the critical path.
+        result = run_trace_cli("critical-path", str(path))
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "serialized transfer depth: 3" in result.stdout
+        result = run_trace_cli("conform", str(path))
+        assert result.returncode == 0, result.stdout + result.stderr[-2000:]
+        assert "1/1 repair(s) conform" in result.stdout
 
     def test_live_requires_endpoint_args(self, tmp_path):
         result = run_trace_cli(

@@ -8,6 +8,7 @@ from unittest import mock
 import pytest
 
 from repro.live import trace
+from repro.obs import causal
 from repro.obs.span import Tracer
 from repro.sim.metrics import PHASES
 
@@ -138,3 +139,56 @@ class TestSpanIngestion:
         tracer.record_span("live.rpc.ping", 0.0, 1.0, node="a")
         tracer.record_span("sim.repair", 0.0, 1.0, node="b")
         assert trace.spans_to_records(tracer.spans) == []
+
+
+class TestCausalFieldIngestion:
+    def test_causal_fields_are_top_level_record_keys(self):
+        record = trace.phase_record(
+            "network", 1.0, 2.0, "cs-01",
+            gid="cs-01#3", deps=["cs-00#2"], trace_id="t-1",
+            src="cs-00",
+        )
+        assert record["gid"] == "cs-01#3"
+        assert record["deps"] == ["cs-00#2"]
+        assert record["trace_id"] == "t-1"
+        assert record["attrs"] == {"src": "cs-00"}
+
+    def test_ingest_hoists_causal_fields_into_attrs(self):
+        record = trace.phase_record(
+            "compute", 0.0, 1.0, "cs-01",
+            gid="cs-01#1", deps=["a", "b"], trace_id="t-1",
+        )
+        tracer = Tracer()
+        trace.ingest_records_as_spans(tracer, [record])
+        (span,) = tracer.spans
+        assert span.attrs["gid"] == "cs-01#1"
+        assert span.attrs["deps"] == ["a", "b"]
+        assert span.attrs["trace_id"] == "t-1"
+
+    def test_legacy_records_synthesize_trace_id_from_repair_id(self):
+        # Records from a pre-causal peer carry no gid/deps/trace_id; a
+        # known repair id still maps them onto one deterministic trace.
+        record = trace.phase_record("disk_read", 0.0, 1.0, "cs-00")
+        tracer = Tracer()
+        trace.ingest_records_as_spans(tracer, [record], repair_id="r-9")
+        (span,) = tracer.spans
+        assert "gid" not in span.attrs and "deps" not in span.attrs
+        assert span.attrs["trace_id"] == causal.trace_id_for("r-9")
+
+    def test_legacy_records_without_repair_id_stay_untraced(self):
+        tracer = Tracer()
+        trace.ingest_records_as_spans(
+            tracer, [trace.phase_record("disk_read", 0.0, 1.0, "cs-00")]
+        )
+        assert "trace_id" not in tracer.spans[0].attrs
+
+    def test_round_trip_preserves_causal_fields(self):
+        record = trace.phase_record(
+            "network", 1.0, 2.0, "cs-01",
+            gid="cs-01#3", deps=["cs-00#2"], trace_id="t-1",
+            src="cs-00", sent_at=0.9,
+        )
+        tracer = Tracer()
+        trace.ingest_records_as_spans(tracer, [record])
+        (back,) = trace.spans_to_records(tracer.spans)
+        assert back == record

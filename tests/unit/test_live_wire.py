@@ -89,6 +89,33 @@ class TestFrameRoundtrip:
         assert err.error_info()[0] == "InternalError"
 
 
+class TestTraceHeader:
+    def test_trace_context_round_trips(self):
+        frame = Frame(
+            mtype=MessageType.PARTIAL_OP,
+            request_id=11,
+            payload={"stripe_id": "s-1"},
+            trace={"trace_id": "t0123", "span_id": "coord:r-1"},
+        )
+        back = roundtrip(frame)
+        assert back.trace == {"trace_id": "t0123", "span_id": "coord:r-1"}
+        # The reserved key is stripped from the payload on decode.
+        assert back.payload == {"stripe_id": "s-1"}
+
+    def test_untraced_frame_omits_header_key(self):
+        raw = encode_frame(Frame(mtype=MessageType.PING, request_id=1))
+        assert b"__trace__" not in raw
+        assert roundtrip(Frame(mtype=MessageType.PING, request_id=1)).trace is None
+
+    def test_non_dict_trace_value_tolerated(self):
+        # A peer sending a malformed __trace__ must not break decoding.
+        blob = b'{"__trace__": "bogus", "x": 1}'
+        body = struct.pack("!I", len(blob)) + blob
+        frame = decode_body(int(MessageType.PING), 0, 1, body)
+        assert frame.trace is None
+        assert frame.payload == {"x": 1}
+
+
 class TestMalformedInput:
     def test_unknown_message_type(self):
         raw = encode_frame(Frame(mtype=MessageType.PING, request_id=1))

@@ -125,6 +125,25 @@ class TestJsonlRoundTrip:
         assert restored.parent_id == original.parent_id
         assert restored.attrs == original.attrs
 
+    def test_to_event_clips_reversed_constructor_span(self):
+        # A span built directly (bypassing the tracer's clipping) from a
+        # clock that stepped backwards must never persist a negative
+        # interval: it collapses at the later reading (end).
+        span = Span(span_id=1, name="x", start=5.0, end=3.0, node="a")
+        event = span.to_event()
+        assert (event["start"], event["end"]) == (3.0, 3.0)
+
+    def test_to_event_open_span_is_zero_length(self):
+        span = Span(span_id=1, name="x", start=5.0, end=None, node="a")
+        event = span.to_event()
+        assert (event["start"], event["end"]) == (5.0, 5.0)
+
+    def test_from_event_clips_reversed_interval(self):
+        restored = Span.from_event(
+            {"name": "x", "start": 5.0, "end": 3.0, "node": "a"}
+        )
+        assert (restored.start, restored.end) == (3.0, 3.0)
+
     def test_write_and_load_trace(self, tmp_path):
         tracer = Tracer()
         with tracer.span("outer", node="A", role="agg"):

@@ -1,0 +1,364 @@
+"""Unit tests for causal stitching: contexts, offsets, DAGs, critical paths."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import obs
+from repro.obs import causal
+from repro.obs.span import Span
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "data"
+    / "causal_golden_trace.jsonl"
+)
+
+#: True per-node clock skews baked into the golden fixture (see the
+#: comments inside the file): corrected_t = recorded_t - skew.
+GOLDEN_SKEWS = {"cs-a": 0.5, "cs-b": -0.25, "cs-c": 0.0}
+
+
+def _phase(
+    span_id: int,
+    phase: str,
+    start: float,
+    end: float,
+    node: str,
+    **attrs,
+) -> Span:
+    return Span(
+        span_id=span_id,
+        name=f"sim.phase.{phase}",
+        start=start,
+        end=end,
+        node=node,
+        category="sim.phase",
+        attrs=attrs,
+    )
+
+
+class TestSpanContext:
+    def test_wire_round_trip(self):
+        ctx = causal.SpanContext(trace_id="t0123", span_id="coord:r1")
+        assert causal.SpanContext.from_wire(ctx.to_wire()) == ctx
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            "t0123",
+            {},
+            {"trace_id": "t0123"},
+            {"span_id": "s"},
+            {"trace_id": "", "span_id": "s"},
+            {"trace_id": "t", "span_id": 7},
+        ],
+    )
+    def test_from_wire_rejects_malformed(self, payload):
+        assert causal.SpanContext.from_wire(payload) is None
+
+    def test_child_keeps_trace_id(self):
+        ctx = causal.SpanContext(trace_id="t0123", span_id="a")
+        child = ctx.child("b")
+        assert child.trace_id == "t0123" and child.span_id == "b"
+
+
+class TestAmbientContext:
+    def test_default_is_none(self):
+        assert causal.current() is None
+        assert causal.current_wire() is None
+
+    def test_bound_sets_and_restores(self):
+        ctx = causal.SpanContext(trace_id="t1", span_id="s1")
+        with causal.bound(ctx):
+            assert causal.current() is ctx
+            assert causal.current_wire() == ctx.to_wire()
+        assert causal.current() is None
+
+    def test_activate_restore_token(self):
+        ctx = causal.SpanContext(trace_id="t1", span_id="s1")
+        token = causal.activate(ctx)
+        assert causal.current() is ctx
+        causal.restore(token)
+        assert causal.current() is None
+
+
+class TestTraceIdFor:
+    def test_deterministic(self):
+        assert causal.trace_id_for("r-1") == causal.trace_id_for("r-1")
+        assert causal.trace_id_for("r-1") != causal.trace_id_for("r-2")
+
+    def test_shape(self):
+        tid = causal.trace_id_for("repair")
+        assert tid.startswith("t") and len(tid) == 17
+
+
+class TestGidAllocator:
+    def test_namespaced_and_unique(self):
+        gids = causal.GidAllocator("cs-00")
+        a, b = gids.next(), gids.next()
+        assert a == "cs-00#1" and b == "cs-00#2"
+        assert causal.GidAllocator("cs-01").next() == "cs-01#1"
+
+
+class TestEstimateOffsets:
+    def test_one_way_recovers_pair_offset(self):
+        # Sender clock +0.2s ahead of receiver; sent_at equals the true
+        # transfer end on the sender's clock, so d = offset(recv)-offset(send).
+        spans = [
+            _phase(1, "network", 1.0, 1.5, "dst", src="src", sent_at=1.7),
+            _phase(2, "disk_write", 1.5, 1.6, "dst"),
+        ]
+        offsets = causal.estimate_offsets(spans)
+        assert offsets["dst"] == 0.0  # reference: wrote the repaired chunk
+        assert offsets["src"] == pytest.approx(0.2)
+
+    def test_two_way_cancels_symmetric_latency(self):
+        # 0.1s true latency both ways, b's clock +0.3 ahead of a.
+        spans = [
+            # a -> b: recorded at b; d_ab = latency + (off_b - off_a) = 0.4
+            _phase(1, "network", 1.3, 1.4, "b", src="a", sent_at=1.0),
+            # b -> a: recorded at a; d_ba = latency - (off_b - off_a) = -0.2
+            _phase(2, "network", 2.0, 2.1, "a", src="b", sent_at=2.3),
+            _phase(3, "disk_write", 3.0, 3.1, "a"),
+        ]
+        offsets = causal.estimate_offsets(spans)
+        assert offsets["a"] == 0.0
+        assert offsets["b"] == pytest.approx(0.3)
+
+    def test_no_evidence_means_zero_offsets(self):
+        spans = [_phase(1, "disk_read", 0.0, 1.0, "a")]
+        assert causal.estimate_offsets(spans) == {"a": 0.0}
+
+    def test_empty_stream(self):
+        assert causal.estimate_offsets([]) == {}
+
+
+class TestStitchInferred:
+    """Sim/legacy spans (no gid/deps) get program-order + transfer edges."""
+
+    def _spans(self):
+        tid = {"trace_id": "t-sim"}
+        return [
+            _phase(1, "disk_read", 0.0, 0.4, "S001", **tid),
+            _phase(2, "compute", 0.4, 0.5, "S001", **tid),
+            _phase(3, "network", 0.5, 1.5, "S009", src="S001", **tid),
+            _phase(4, "disk_write", 1.5, 1.6, "S009", **tid),
+        ]
+
+    def test_program_order_and_transfer_edges(self):
+        (dag,) = causal.stitch(self._spans(), clock="virtual")
+        by_phase = {n.phase: n for n in dag.nodes.values()}
+        assert by_phase["compute"].deps == [by_phase["disk_read"].gid]
+        assert by_phase["compute"].gid in by_phase["network"].deps
+        assert by_phase["disk_write"].deps == [by_phase["network"].gid]
+
+    def test_overlapping_arrivals_chain_on_ingress(self):
+        # Two transfers into S009 fully overlapped in time (fluid sharing):
+        # the ingress link still serialized them, so depth must be 2.
+        tid = {"trace_id": "t-sim"}
+        spans = [
+            _phase(1, "network", 0.0, 1.0, "S009", src="S001", **tid),
+            _phase(2, "network", 0.0, 1.0, "S009", src="S002", **tid),
+            _phase(3, "disk_write", 1.0, 1.1, "S009", **tid),
+        ]
+        (dag,) = causal.stitch(spans, clock="virtual")
+        assert dag.transfer_depth() == 2
+        assert dag.ingress_fanin() == ("S009", 2)
+
+
+class TestStitchExplicit:
+    """Live spans carry gid/deps; inference must not add data edges."""
+
+    def _spans(self):
+        tid = {"trace_id": "t-live"}
+        return [
+            _phase(1, "disk_read", 0.0, 0.4, "cs-0", gid="cs-0#1", deps=[], **tid),
+            _phase(2, "compute", 0.4, 0.5, "cs-0", gid="cs-0#2",
+                   deps=["cs-0#1"], **tid),
+            _phase(3, "network", 0.5, 1.5, "cs-9", gid="cs-9#1",
+                   deps=["cs-0#2"], src="cs-0", **tid),
+            # Explicit span with an unrelated same-node predecessor: program
+            # order must NOT be inferred for it.
+            _phase(4, "disk_write", 1.6, 1.7, "cs-9", gid="cs-9#2",
+                   deps=["cs-9#1"], **tid),
+        ]
+
+    def test_explicit_deps_survive_and_no_inference(self):
+        (dag,) = causal.stitch(self._spans(), clock="wall")
+        write = dag.nodes["cs-9#2"]
+        assert write.deps == ["cs-9#1"]
+        assert dag.nodes["cs-9#1"].deps == ["cs-0#2"]
+
+    def test_dangling_deps_dropped(self):
+        spans = self._spans()
+        spans[3].attrs["deps"] = ["cs-9#1", "never-recorded#7"]
+        (dag,) = causal.stitch(spans, clock="wall")
+        assert dag.nodes["cs-9#2"].deps == ["cs-9#1"]
+
+    def test_duplicate_gids_disambiguated(self):
+        spans = self._spans()
+        spans[1].attrs["gid"] = "cs-0#1"  # collides with the read
+        (dag,) = causal.stitch(spans, clock="wall")
+        assert len(dag.nodes) == 4
+
+    def test_explicit_arrivals_still_chain_on_ingress(self):
+        tid = {"trace_id": "t-live"}
+        spans = [
+            _phase(1, "network", 0.0, 1.0, "cs-9", gid="cs-9#1", deps=[],
+                   src="cs-1", **tid),
+            _phase(2, "network", 0.1, 1.1, "cs-9", gid="cs-9#2", deps=[],
+                   src="cs-2", **tid),
+        ]
+        (dag,) = causal.stitch(spans, clock="wall")
+        assert dag.nodes["cs-9#2"].deps == ["cs-9#1"]
+        assert dag.transfer_depth() == 2
+
+
+class TestStitchGrouping:
+    def test_one_dag_per_trace_id(self):
+        spans = [
+            _phase(1, "disk_read", 0.0, 1.0, "a", trace_id="t-1"),
+            _phase(2, "disk_read", 0.0, 1.0, "b", trace_id="t-2"),
+        ]
+        dags = causal.stitch(spans, clock="virtual")
+        assert sorted(d.trace_id for d in dags) == ["t-1", "t-2"]
+
+    def test_repair_id_fallback_groups_legacy_spans(self):
+        spans = [
+            _phase(1, "disk_read", 0.0, 1.0, "a", repair_id="r-7"),
+            _phase(2, "disk_write", 1.0, 2.0, "a", repair_id="r-7"),
+        ]
+        (dag,) = causal.stitch(spans, clock="wall")
+        assert dag.trace_id == causal.trace_id_for("r-7")
+        assert dag.repair_id == "r-7"
+
+    def test_mixed_untraced_leftovers_dropped(self):
+        spans = [
+            _phase(1, "disk_read", 0.0, 1.0, "a", trace_id="t-1"),
+            _phase(2, "disk_read", 0.0, 1.0, "b"),  # no trace/repair id
+        ]
+        dags = causal.stitch(spans, clock="wall")
+        assert [d.trace_id for d in dags] == ["t-1"]
+
+    def test_umbrella_metadata_attached(self):
+        spans = [
+            Span(
+                span_id=1,
+                name="sim.repair",
+                start=0.0,
+                end=2.0,
+                node="S009",
+                category="sim.repair",
+                attrs={
+                    "trace_id": "t-1",
+                    "repair_id": "r-1",
+                    "strategy": "ppr",
+                    "helpers": 4,
+                },
+            ),
+            _phase(2, "disk_read", 0.0, 1.0, "a", trace_id="t-1"),
+        ]
+        (dag,) = causal.stitch(spans, clock="virtual")
+        assert dag.strategy == "ppr"
+        assert dag.k == 4
+        assert dag.repair_id == "r-1"
+
+
+class TestRepairDag:
+    def _dag(self):
+        tid = {"trace_id": "t"}
+        spans = [
+            _phase(1, "disk_read", 0.0, 1.0, "a", **tid),
+            # Two overlapped arrivals: union is 1.5s, sum would be 2.0s.
+            _phase(2, "network", 1.0, 2.0, "b", src="a", **tid),
+            _phase(3, "network", 1.5, 2.5, "b", src="a", **tid),
+            # Starts 0.5s after the last arrival ends: "wait" slack.
+            _phase(4, "disk_write", 3.0, 3.5, "b", **tid),
+        ]
+        (dag,) = causal.stitch(spans, clock="virtual")
+        return dag
+
+    def test_path_network_seconds_is_interval_union(self):
+        dag = self._dag()
+        assert dag.path_network_seconds() == pytest.approx(1.5)
+
+    def test_attribution_includes_wait_gaps(self):
+        out = self._dag().attribution()
+        assert out["wait"] == pytest.approx(0.5)
+        assert out["network"] == pytest.approx(2.0)
+        assert out["disk_write"] == pytest.approx(0.5)
+
+    def test_elapsed_spans_whole_repair(self):
+        assert self._dag().elapsed() == pytest.approx(3.5)
+
+    def test_empty_dag(self):
+        dag = causal.RepairDag(
+            trace_id="t",
+            repair_id=None,
+            strategy=None,
+            helpers=None,
+            clock="wall",
+            nodes={},
+            offsets={},
+        )
+        assert dag.critical_path() == []
+        assert dag.transfer_depth() == 0
+        assert dag.ingress_fanin() == (None, 0)
+        assert dag.elapsed() == 0.0
+
+
+class TestGoldenTrace:
+    """The committed 3-chunkserver + metaserver fixture with known skews."""
+
+    def _stitched(self):
+        meta, spans, _metrics = obs.load_trace(str(GOLDEN_PATH))
+        dags = causal.stitch(spans, clock=str(meta.get("clock", "wall")))
+        assert len(dags) == 1
+        return meta, dags[0]
+
+    def test_offsets_recovered_exactly(self):
+        _, dag = self._stitched()
+        for node, skew in GOLDEN_SKEWS.items():
+            assert dag.offsets[node] == pytest.approx(skew, abs=1e-9), node
+
+    def test_clock_corrected_timeline(self):
+        _, dag = self._stitched()
+        # cs-a and cs-b start their reads at the same true instant.
+        reads = sorted(
+            (n for n in dag.nodes.values() if n.phase == "disk_read"),
+            key=lambda n: n.node,
+        )
+        assert reads[0].start == pytest.approx(reads[1].start, abs=1e-9)
+
+    def test_stitched_parent_links(self):
+        _, dag = self._stitched()
+        # Data edges from the fixture survive verbatim...
+        assert dag.nodes["cs-c#1"].deps == ["cs-b#2"]
+        assert dag.nodes["cs-c#3"].deps == ["cs-c#1", "cs-c#2"]
+        # ...and the step-2 arrival gains the ingress-serialization edge
+        # behind the step-1 arrival at stitch time.
+        assert dag.nodes["cs-c#2"].deps == ["cs-a#2", "cs-c#1"]
+
+    def test_metaserver_span_is_not_a_work_unit(self):
+        _, dag = self._stitched()
+        assert all(n.node != "meta" for n in dag.nodes.values())
+
+    def test_exact_critical_path(self):
+        _, dag = self._stitched()
+        assert [n.gid for n in dag.critical_path()] == [
+            "cs-b#1", "cs-b#2", "cs-c#1", "cs-c#2", "cs-c#3", "cs-c#4",
+        ]
+        assert dag.transfer_depth() == 2
+        assert dag.ingress_fanin() == ("cs-c", 2)
+
+    def test_conformance_passes_with_no_skips(self):
+        from repro.obs import conformance
+
+        meta, dag = self._stitched()
+        report = conformance.check_repair(dag, meta=meta)
+        assert report.passed
+        assert [c.status for c in report.checks] == ["pass"] * 4

@@ -102,6 +102,34 @@ class TestChromeTrace:
         document = obs.chrome_trace([], clock="wall")
         assert document["traceEvents"] == []
 
+    def test_reversed_span_exports_as_zero_length_instant(self):
+        # A reversed interval (clock backslide on a directly constructed
+        # span) is clipped at the later reading: dur 0, never negative,
+        # and the origin is taken from the clipped starts so no event
+        # lands at a negative ts.
+        spans = [
+            Span(span_id=1, name="bad", start=2.0, end=1.0, node="a"),
+            Span(span_id=2, name="good", start=1.5, end=3.0, node="a"),
+        ]
+        document = obs.chrome_trace(spans)
+        events = {
+            e["name"]: e
+            for e in document["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert events["bad"]["dur"] == 0.0
+        assert events["bad"]["ts"] == 0.0  # clipped to 1.0, the origin
+        assert events["good"]["ts"] == 500000.0
+        assert all(e["ts"] >= 0 for e in events.values())
+
+    def test_zero_length_span_exports_dur_zero(self):
+        spans = [Span(span_id=1, name="instant", start=1.0, end=1.0)]
+        document = obs.chrome_trace(spans)
+        (event,) = [
+            e for e in document["traceEvents"] if e["ph"] == "X"
+        ]
+        assert event["dur"] == 0.0
+
     def test_spans_without_node_share_a_track(self):
         spans = [
             Span(span_id=1, name="a", start=0.0, end=1.0),

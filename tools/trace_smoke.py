@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""CI smoke: one live PPR repair, traced end to end, must conform.
+
+Spawns a real ``repro serve`` cluster (metaserver + chunkservers over
+loopback TCP) with one chunk killed, records a causally-traced live
+repair with ``repro trace record --live``, then runs
+``repro trace conform`` on the resulting trace and exits with its
+status.  This gates the whole causal pipeline — wire-header context
+propagation, explicit gid/deps emission, DAG stitching, critical-path
+extraction, and the Theorem-1 structure checks — on every CI run.
+
+Timing checks are expected to report ``skip`` (live traces carry no
+modeled bandwidths); the structural checks must pass.
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_smoke.py [--strategy ppr]
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import subprocess
+import sys
+import tempfile
+import pathlib
+
+SERVE_READY_TIMEOUT_S = 60
+REPAIR_TIMEOUT_S = 120
+
+
+def start_cluster() -> "tuple[subprocess.Popen, str, str]":
+    """Spawn ``repro serve`` and block until READY; returns (proc, meta, stripe)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--heartbeat-interval", "0.3",
+            "--stripe", "rs(4,2)",
+            "--kill-index", "1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    meta = stripe = None
+    assert proc.stdout is not None
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            err = proc.stderr.read() if proc.stderr else ""
+            raise RuntimeError(f"serve exited before READY:\n{err}")
+        line = line.strip()
+        if line.startswith("META "):
+            meta = line.split()[1]
+        elif line.startswith("STRIPE "):
+            stripe = line.split()[1]
+        elif line == "READY":
+            break
+    if meta is None or stripe is None:
+        raise RuntimeError("serve reached READY without META/STRIPE lines")
+    return proc, meta, stripe
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--strategy",
+        default="ppr",
+        help="repair strategy to trace (default: ppr)",
+    )
+    args = parser.parse_args(argv)
+
+    tmpdir = pathlib.Path(tempfile.mkdtemp(prefix="trace-smoke-"))
+    trace_path = tmpdir / f"live-{args.strategy}.jsonl"
+
+    proc, meta, stripe = start_cluster()
+    print(f"cluster up: meta={meta} stripe={stripe}")
+    try:
+        record = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "trace", "record", "--live",
+                "--meta", meta,
+                "--stripe-id", stripe,
+                "--strategy", args.strategy,
+                "--out", str(trace_path),
+            ],
+            timeout=REPAIR_TIMEOUT_S,
+        )
+        if record.returncode != 0:
+            print("trace record --live failed", file=sys.stderr)
+            return record.returncode
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro", "trace", "critical-path",
+            str(trace_path),
+        ],
+        timeout=60,
+    )
+    conform = subprocess.run(
+        [sys.executable, "-m", "repro", "trace", "conform", str(trace_path)],
+        timeout=60,
+    )
+    return conform.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
