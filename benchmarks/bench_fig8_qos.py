@@ -1,0 +1,63 @@
+"""QoS contention: m-PPR weighting vs load-blind under a repair storm.
+
+The acceptance claim of the QoS subsystem (ISSUE 6, extending Fig 8/9's
+"impact on user reads"): with an open-loop Zipf client population
+hammering the cluster while a multi-failure repair storm runs, m-PPR's
+load-aware source/destination weighting (Eqs. 2-3, fed by live per-server
+``user_load_bytes``) must strictly improve the p99 degraded-read latency
+over the weight-free baseline — the user-facing tail, not just the mean.
+
+The whole scenario runs inside the deterministic discrete-event
+simulator, so every emitted metric is bit-identical across runs and the
+``results/BENCH_fig8_qos.json`` baseline doubles as a 0%-drift perf-gate
+record.  Like ``bench_reliability.py``, this module deliberately skips
+the pytest-benchmark timing fixture: the gateable payload is the latency
+distribution the simulation *computes*, not the wall clock it takes.
+"""
+
+from repro.qos import qos_contention_experiment
+
+#: Workload parameters stamped into every BENCH_fig8_qos.json record
+#: (mirrors ScenarioConfig defaults; see repro.qos.scenario).
+BENCH_CONFIG = {
+    "servers": 12,
+    "code": "rs(4,2)",
+    "chunk_size": "16MiB",
+    "num_stripes": 12,
+    "requests_per_second": 60.0,
+    "num_users": 100_000,
+    "zipf_exponent": 1.1,
+    "read_size": "1MiB",
+    "duration": 120.0,
+    "kill_count": 2,
+    "repair_rate": "250Mbps",
+    "repair_floor": "10Mbps",
+    "seed": 2016,
+}
+
+
+def test_qos_contention(save_report):
+    result = qos_contention_experiment()
+    save_report(result)
+
+    by_weighting = {row["weighting"]: row for row in result.rows}
+    mppr = by_weighting["mppr"]
+    uniform = by_weighting["uniform"]
+
+    # The headline: load-aware scheduling strictly shrinks the
+    # degraded-read tail vs weight-free helper selection.
+    assert mppr["deg_p99_s"] < uniform["deg_p99_s"], (
+        mppr["deg_p99_s"], uniform["deg_p99_s"]
+    )
+    # ... without trading away the foreground tail.
+    assert mppr["fg_p99_s"] <= uniform["fg_p99_s"], (
+        mppr["fg_p99_s"], uniform["fg_p99_s"]
+    )
+    # Both variants must actually finish the storm's repairs — a tail
+    # "win" that starves repair would be a false economy.
+    assert mppr["repairs_completed"] == uniform["repairs_completed"]
+    assert mppr["repairs_completed"] > 0
+    # Degraded reads were genuinely exercised, and the paced run still
+    # meets its SLOs end to end.
+    assert mppr["degraded_issued"] > 0
+    assert mppr["slo_pass"], "m-PPR run must meet its SLO targets"

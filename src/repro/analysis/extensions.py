@@ -218,7 +218,7 @@ def ext_degraded_tail_latency(
     tail.
     """
     table = Table(
-        ["strategy", "mean", "p50", "p95", "max"],
+        ["strategy", "mean", "p50", "p95", "p99", "p99.9", "max"],
         title=(
             f"Extension: degraded-read latency distribution, RS({k},{m}), "
             f"{chunk_size}, {num_reads} reads"
@@ -253,12 +253,17 @@ def ext_degraded_tail_latency(
             "mean": float(arr.mean()),
             "p50": float(np.percentile(arr, 50)),
             "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99)),
+            "p999": float(np.percentile(arr, 99.9)),
             "max": float(arr.max()),
         }
         rows.append({"strategy": strategy, **stats})
         table.add_row(
             strategy,
-            *(f"{stats[s] * 1e3:.0f}ms" for s in ("mean", "p50", "p95", "max")),
+            *(
+                f"{stats[s] * 1e3:.0f}ms"
+                for s in ("mean", "p50", "p95", "p99", "p999", "max")
+            ),
         )
     notes = (
         "PPR compresses the whole distribution, not just the mean — the "

@@ -655,6 +655,91 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# qos: multi-tenant traffic + SLO verdicts
+# ----------------------------------------------------------------------
+def _qos_emit(harness, verdicts, args: argparse.Namespace) -> int:
+    """Shared tail of both qos modes: table, verdicts, prom, exit code."""
+    print(harness.render_table())
+    print()
+    if not verdicts:
+        print("error: no SLO verdicts emitted", file=sys.stderr)
+        return 1
+    for verdict in verdicts:
+        print(verdict.render())
+    if args.prom:
+        from repro import obs
+
+        harness.publish(obs.registry())
+        text = obs.render_prometheus(
+            obs.registry().snapshot(), namespace="repro"
+        )
+        with open(args.prom, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote Prometheus exposition -> {args.prom}")
+    if args.strict and not all(v.passed for v in verdicts):
+        return 1
+    return 0
+
+
+def cmd_qos(args: argparse.Namespace) -> int:
+    from repro.qos.scenario import (
+        ScenarioConfig,
+        qos_contention_experiment,
+        run_scenario,
+    )
+
+    if args.live:
+        import asyncio
+
+        from repro.qos.scenario import run_live_scenario
+
+        harness, counters = asyncio.run(
+            run_live_scenario(
+                num_servers=max(6, args.servers),
+                repair_rate_limit=float(parse_bandwidth(args.repair_rate))
+                if args.repair_rate
+                else 0.0,
+                seed=args.seed,
+            )
+        )
+        print(
+            f"live qos: foreground={counters['foreground']} "
+            f"degraded={counters['degraded']} "
+            f"repaired={counters['repaired']}"
+        )
+        return _qos_emit(harness, harness.evaluate(), args)
+
+    config = ScenarioConfig(
+        num_servers=args.servers,
+        num_stripes=args.stripes,
+        chunk_size=args.chunk_size,
+        requests_per_second=args.rate,
+        num_users=args.users,
+        zipf_exponent=args.zipf,
+        duration=args.duration,
+        kill_at=args.kill_at,
+        kill_count=args.kill,
+        repair_rate=args.repair_rate,
+        repair_burst=args.repair_burst,
+        repair_floor=args.repair_floor,
+        weighting=args.weighting if args.weighting != "both" else "mppr",
+        seed=args.seed,
+    )
+    if args.weighting == "both":
+        result = qos_contention_experiment(config)
+        print(result.report)
+        return 0
+    result = run_scenario(config)
+    print(
+        f"qos scenario: requests={result.requests_issued} "
+        f"(degraded={result.degraded_issued}, "
+        f"dropped={result.degraded_dropped}) "
+        f"repairs={result.repairs_completed}"
+    )
+    return _qos_emit(result.harness, result.verdicts, args)
+
+
+# ----------------------------------------------------------------------
 # reliability: years-scale Monte Carlo durability
 # ----------------------------------------------------------------------
 def cmd_reliability(args: argparse.Namespace) -> int:
@@ -784,6 +869,43 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--full", action="store_true",
                     help="more repetitions / larger sweeps")
     ev.set_defaults(fn=cmd_evaluate)
+
+    qos = sub.add_parser(
+        "qos",
+        help="multi-tenant QoS scenario: Zipf user traffic vs a repair "
+             "storm, with token-bucket pacing and SLO verdicts",
+    )
+    qos.add_argument("--duration", type=float, default=120.0,
+                     help="virtual seconds of user arrivals")
+    qos.add_argument("--rate", type=float, default=60.0,
+                     help="aggregate open-loop requests/second")
+    qos.add_argument("--users", type=int, default=100_000,
+                     help="logical users behind the Zipf popularity curve")
+    qos.add_argument("--zipf", type=float, default=1.1,
+                     help="Zipf exponent of user popularity")
+    qos.add_argument("--servers", type=int, default=12)
+    qos.add_argument("--stripes", type=int, default=12)
+    qos.add_argument("--chunk-size", default="16MiB")
+    qos.add_argument("--kill", type=int, default=2,
+                     help="servers to crash mid-run (the repair storm)")
+    qos.add_argument("--kill-at", type=float, default=20.0,
+                     help="virtual second of the crash")
+    qos.add_argument("--repair-rate", default="250Mbps",
+                     help="per-link repair bandwidth cap ('' = no pacing)")
+    qos.add_argument("--repair-burst", default="16MiB")
+    qos.add_argument("--repair-floor", default="10Mbps",
+                     help="repair is never starved below this rate")
+    qos.add_argument("--weighting", default="mppr",
+                     choices=("mppr", "uniform", "both"),
+                     help="'both' prints the side-by-side comparison")
+    qos.add_argument("--seed", type=int, default=2016)
+    qos.add_argument("--live", action="store_true",
+                     help="run the QoS smoke over the live TCP stack")
+    qos.add_argument("--strict", action="store_true",
+                     help="exit nonzero when any SLO verdict fails")
+    qos.add_argument("--prom", default=None,
+                     help="write QoS gauges as Prometheus text to FILE")
+    qos.set_defaults(fn=cmd_qos)
 
     rel = sub.add_parser(
         "reliability",

@@ -171,7 +171,15 @@ class RepairContext:
             node = self.cluster.node(dst)
             node.deliver(payload)
 
-        self.cluster.start_flow(src, dst, nbytes, on_done)
+        # Degraded reads are user-facing traffic; background repairs are
+        # the paced class.  This tag is what the QoS admission controller
+        # and per-class byte accounting key on.
+        traffic_class = (
+            "degraded" if self.kind == "degraded_read" else "repair"
+        )
+        self.cluster.start_flow(
+            src, dst, nbytes, on_done, traffic_class=traffic_class
+        )
 
     def send_leaf_requests(self, aggregator_id: str) -> None:
         """Forward plan commands from an aggregator to its leaf peers.

@@ -31,7 +31,11 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
 
 from repro import obs
-from repro.errors import SchedulingError, UnrecoverableError
+from repro.errors import (
+    ConfigurationError,
+    SchedulingError,
+    UnrecoverableError,
+)
 from repro.core.coordinator import RepairCoordinator
 from repro.core.results import BatchRepairResult, RepairResult
 from repro.fs.chunks import Stripe
@@ -65,6 +69,17 @@ class MPPRConfig:
     num_slices: int = 1
     #: §4.2 extension: put fast servers at busy PPR tree positions.
     capacity_aware: bool = False
+    #: "mppr" applies Eqs. (2)/(3); "uniform" zeroes every weight so
+    #: server choice degrades to the deterministic tie-break order —
+    #: the load-blind baseline of the Fig. 8/9 QoS comparison.
+    weighting: str = "mppr"
+
+    def __post_init__(self) -> None:
+        if self.weighting not in ("mppr", "uniform"):
+            raise ConfigurationError(
+                f"weighting must be 'mppr' or 'uniform', got "
+                f"{self.weighting!r}"
+            )
 
 
 class RepairManager:
@@ -106,6 +121,8 @@ class RepairManager:
     def source_weight(
         self, server_id: str, chunk_id: str, coeff: "Dict[str, float]"
     ) -> float:
+        if self.config.weighting == "uniform":
+            return 0.0
         beat = self.cluster.metaserver.heartbeat_view(server_id)
         has_cache = 1.0 if beat and chunk_id in beat.cached_chunk_ids else 0.0
         user_load_mb = (beat.user_load_bytes / MB) if beat else 0.0
@@ -121,6 +138,8 @@ class RepairManager:
     def destination_weight(
         self, server_id: str, coeff: "Dict[str, float]"
     ) -> float:
+        if self.config.weighting == "uniform":
+            return 0.0
         beat = self.cluster.metaserver.heartbeat_view(server_id)
         user_load_mb = (beat.user_load_bytes / MB) if beat else 0.0
         repair_dsts = self._dst_load.get(server_id, 0)

@@ -134,6 +134,8 @@ class StorageCluster:
         #: Continuous telemetry, populated by :meth:`enable_telemetry`.
         self.telemetry: "Optional[TimeSeriesStore]" = None
         self._sampler: "Optional[Sampler]" = None
+        #: QoS admission controller, populated by :meth:`enable_qos`.
+        self.admission = None
 
     # ------------------------------------------------------------------
     # Presets for the paper's two testbeds
@@ -202,15 +204,27 @@ class StorageCluster:
         dst: str,
         nbytes: float,
         on_complete: "Callable[[Flow], None]",
+        traffic_class: str = "foreground",
     ) -> Flow:
-        """Bulk transfer over the topology path from ``src`` to ``dst``."""
+        """Bulk transfer over the topology path from ``src`` to ``dst``.
+
+        ``traffic_class`` tags the flow for QoS accounting and admission
+        control ("foreground" user reads, "degraded" reads, "repair"
+        reconstruction traffic); all classes share the same max-min
+        fair-share computation once admitted.
+        """
 
         def done(flow: Flow) -> None:
             self.traffic.add(src, dst, nbytes)
             on_complete(flow)
 
         return self.network.start_flow(
-            self.topology.path(src, dst), nbytes, done, src=src, dst=dst
+            self.topology.path(src, dst),
+            nbytes,
+            done,
+            src=src,
+            dst=dst,
+            traffic_class=traffic_class,
         )
 
     # ------------------------------------------------------------------
@@ -394,7 +408,53 @@ class StorageCluster:
         self.sim.add_clock_observer(sampler.observe_clock)
         self.telemetry = store
         self._sampler = sampler
+        if self.admission is not None:
+            self._register_qos_probes()
         return store
+
+    # ------------------------------------------------------------------
+    # QoS admission control
+    # ------------------------------------------------------------------
+    def enable_qos(self, config=None):
+        """Attach a two-class admission controller to the fabric.
+
+        Repair-class flows are paced by per-egress-link token buckets;
+        foreground and degraded reads pass undelayed (see
+        :mod:`repro.qos.admission`).  Idempotent: calling again returns
+        the existing controller.
+        """
+        if self.admission is not None:
+            return self.admission
+        from repro.qos.admission import AdmissionController
+
+        controller = AdmissionController(config)
+        self.admission = controller
+        self.network.admission = controller
+        if self._sampler is not None:
+            self._register_qos_probes()
+        return controller
+
+    def _register_qos_probes(self) -> None:
+        """Per-class byte counters + bucket occupancy into telemetry."""
+        assert self._sampler is not None and self.admission is not None
+        network = self.network
+        self._sampler.add_probes(
+            [
+                (
+                    "qos.class_bytes",
+                    {"class": cls},
+                    lambda c=cls: network.class_bytes_moved.get(c, 0.0),
+                )
+                for cls in ("foreground", "degraded", "repair")
+            ]
+            + [
+                (
+                    "qos.bucket.occupancy",
+                    {},
+                    self.admission.mean_occupancy,
+                )
+            ]
+        )
 
     # ------------------------------------------------------------------
     # Driving the simulation

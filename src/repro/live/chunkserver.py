@@ -48,6 +48,7 @@ from repro.live.rpc import Address, RpcClientPool, RpcServer
 from repro.live.wire import Frame, MessageType
 from repro.obs import causal
 from repro.obs.timeseries import Sampler, TimeSeriesStore
+from repro.qos.admission import FOREGROUND, REPAIR, TokenBucket
 from repro.sim.metrics import PHASES
 
 
@@ -172,6 +173,19 @@ class LiveChunkServer:
         self.bytes_moved = 0.0
         self.repairs_completed = 0
         self.phase_busy: "Dict[str, float]" = {p: 0.0 for p in PHASES}
+        #: QoS: per-class egress byte counters and the repair pacer.
+        #: Foreground GET_CHUNK replies are never paced; repair-class
+        #: sends (partial results upstream, raw-row replies) wait out
+        #: the token bucket when a rate limit is configured.
+        self.class_bytes: "Dict[str, float]" = {FOREGROUND: 0.0, REPAIR: 0.0}
+        self._repair_bucket: "Optional[TokenBucket]" = (
+            TokenBucket(
+                self.config.repair_rate_limit,
+                self.config.repair_burst_bytes,
+            )
+            if self.config.repair_rate_limit > 0
+            else None
+        )
         #: Per-server time series — one store per server instance (not
         #: the process-global registry) so in-process test clusters keep
         #: each server's telemetry distinct.
@@ -192,6 +206,25 @@ class LiveChunkServer:
         self._sampler.add_probe(
             "chunks.hosted",
             lambda: float(len(self.chunks)),
+            node=server_id,
+        )
+        self._sampler.add_probe(
+            "qos.bytes.foreground",
+            lambda: self.class_bytes[FOREGROUND],
+            node=server_id,
+        )
+        self._sampler.add_probe(
+            "qos.bytes.repair",
+            lambda: self.class_bytes[REPAIR],
+            node=server_id,
+        )
+        self._sampler.add_probe(
+            "qos.bucket.occupancy",
+            lambda: (
+                self._repair_bucket.occupancy(trace.now())
+                if self._repair_bucket is not None
+                else 1.0
+            ),
             node=server_id,
         )
 
@@ -407,10 +440,24 @@ class LiveChunkServer:
         self.chunks[chunk.chunk_id] = chunk
         return {"stored": chunk.chunk_id}
 
+    async def _pace_repair(self, nbytes: float) -> None:
+        """Charge ``nbytes`` to the repair class; sleep out the pacer.
+
+        Foreground traffic never passes through here — strict priority
+        for user reads is realized by only ever pacing repair sends.
+        """
+        self.class_bytes[REPAIR] += nbytes
+        if self._repair_bucket is None:
+            return
+        delay = self._repair_bucket.reserve(nbytes, trace.now())
+        if delay > 0:
+            await asyncio.sleep(delay)
+
     async def _on_get_chunk(
         self, frame: Frame
     ) -> "Tuple[Dict[str, object], Dict[int, np.ndarray]]":
         chunk = self._get_chunk(str(frame.payload["chunk_id"]))
+        self.class_bytes[FOREGROUND] += float(chunk.payload.nbytes)
         return (
             {"stripe_id": chunk.stripe_id, "index": chunk.index},
             {0: chunk.payload},
@@ -448,6 +495,7 @@ class LiveChunkServer:
                 )
             )
         ]
+        await self._pace_repair(trace.buffers_nbytes(buffers))  # type: ignore[arg-type]
         payload: "Dict[str, object]" = {
             "trace": records,
             "sender": self.server_id,
@@ -558,6 +606,7 @@ class LiveChunkServer:
         task.traffic.append(
             trace.traffic_record(self.server_id, parent, nbytes)
         )
+        await self._pace_repair(nbytes)
         client = self.pool.get(parent_addr)
         upstream: "Dict[str, object]" = {
             "repair_id": request.repair_id,

@@ -56,6 +56,12 @@ class LiveConfig:
     #: A server whose busiest repair phase exceeds this multiple of the
     #: fleet median for that phase is flagged a straggler by HEALTH.
     straggler_threshold: float = 3.0
+    #: QoS: per-server cap on repair-class egress (partial results and
+    #: raw-row replies), bytes/second.  0 disables pacing entirely;
+    #: foreground GET_CHUNK traffic is never paced.
+    repair_rate_limit: float = 0.0
+    #: QoS: burst allowance of the repair pacer, bytes.
+    repair_burst_bytes: float = 4 * 1024 * 1024
 
     def __post_init__(self) -> None:
         for name in (
@@ -80,3 +86,7 @@ class LiveConfig:
             raise ConfigurationError("max_attempts must be >= 1")
         if self.compute_delay < 0:
             raise ConfigurationError("compute_delay must be >= 0")
+        if self.repair_rate_limit < 0:
+            raise ConfigurationError("repair_rate_limit must be >= 0")
+        if self.repair_burst_bytes <= 0:
+            raise ConfigurationError("repair_burst_bytes must be > 0")

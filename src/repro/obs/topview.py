@@ -141,6 +141,63 @@ def render_series_panel(
     return "\n".join(lines)
 
 
+def render_qos_panel(
+    series: "Sequence[Dict[str, Any]]", color: bool = True
+) -> str:
+    """Per-class QoS gauges derived from ``qos.*`` telemetry series.
+
+    Foreground vs repair throughput comes from the last two samples of
+    each cumulative ``qos.bytes.*`` / ``qos.class_bytes`` series (summed
+    across nodes); token-bucket occupancy and SLO compliance are read as
+    current values.  Returns "" when no QoS series exist, so dashboards
+    without the subsystem enabled render unchanged.
+    """
+    rate_acc: "Dict[str, List[float]]" = {}
+    occupancy: "List[float]" = []
+    slo: "Dict[str, float]" = {}
+    for snap in series:
+        name = str(snap.get("name"))
+        samples = snap.get("samples") or []
+        labels = snap.get("labels") or {}
+        if not name.startswith("qos.") or not samples:
+            continue
+        if name == "qos.bucket.occupancy":
+            occupancy.append(float(samples[-1][1]))
+        elif name == "qos.slo.compliant":
+            slo[str(labels.get("slo", "?"))] = float(samples[-1][1])
+        elif name == "qos.class_bytes" or name.startswith("qos.bytes."):
+            cls = str(
+                labels.get("class") or name.rsplit(".", 1)[-1]
+            )
+            if len(samples) >= 2:
+                (t0, v0), (t1, v1) = samples[-2], samples[-1]
+                dt = float(t1) - float(t0)
+                rate = (float(v1) - float(v0)) / dt if dt > 0 else 0.0
+            else:
+                rate = 0.0
+            rate_acc.setdefault(cls, []).append(rate)
+    if not rate_acc and not occupancy and not slo:
+        return ""
+    lines = [_style("qos", "bold", color=color)]
+    for cls in sorted(rate_acc):
+        total = sum(rate_acc[cls])
+        lines.append(f"  {cls:<12} {_fmt_bytes(total)}/s")
+    if occupancy:
+        mean = sum(occupancy) / len(occupancy)
+        lines.append(f"  {'bucket occ':<12} {mean * 100.0:.0f}%")
+    for label in sorted(slo):
+        ok = slo[label] >= 1.0
+        lines.append(
+            f"  {label:<12} "
+            + _style(
+                "PASS" if ok else "FAIL",
+                "green" if ok else "red",
+                color=color,
+            )
+        )
+    return "\n".join(lines)
+
+
 def render_top(
     fleet: "Dict[str, Dict[str, Any]]",
     series: "Sequence[Dict[str, Any]]",
@@ -172,6 +229,9 @@ def render_top(
         "",
         render_series_panel(series, width=width, color=color),
     ]
+    qos = render_qos_panel(series, color=color)
+    if qos:
+        parts.extend(["", qos])
     return "\n".join(parts) + "\n"
 
 

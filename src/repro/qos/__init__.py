@@ -1,0 +1,54 @@
+"""Multi-tenant QoS: traffic classes, admission control, SLO harness.
+
+The paper's Fig 8/9 axis is *what repair traffic does to foreground
+reads* and how m-PPR's scheduling weights (Eqs. 2-3) mitigate it.  This
+package makes that axis measurable at scale:
+
+* :mod:`repro.qos.population` — a Zipf-skewed open-loop client
+  population (millions of logical users, vectorized numpy arrival
+  generation) emitting normal and degraded reads against the simulator.
+* :mod:`repro.qos.admission` — per-link token buckets and the two-class
+  (foreground vs repair) priority policy plugged into both the sim
+  network and the live chunk-server send paths.
+* :mod:`repro.qos.slo` — streaming per-class latency quantiles
+  (p50/p95/p99/p99.9) with pass/fail SLO verdicts.
+* :mod:`repro.qos.scenario` — the repair-under-foreground-load
+  contention scenario behind ``repro qos`` and ``BENCH_fig8_qos``.
+"""
+
+from repro.qos.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.qos.slo import (
+    LatencyReservoir,
+    SLOHarness,
+    SLOTarget,
+    SLOVerdict,
+)
+from repro.qos.population import ClientPopulation, PopulationConfig
+from repro.qos.scenario import (
+    ScenarioConfig,
+    ScenarioResult,
+    compare_weighting,
+    qos_contention_experiment,
+    run_scenario,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "TokenBucket",
+    "LatencyReservoir",
+    "SLOHarness",
+    "SLOTarget",
+    "SLOVerdict",
+    "ClientPopulation",
+    "PopulationConfig",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "compare_weighting",
+    "qos_contention_experiment",
+    "run_scenario",
+]

@@ -1,0 +1,162 @@
+"""Admission control: token buckets and the two-class priority policy.
+
+Repair traffic is throughput work; foreground reads are latency work.
+The classic production compromise (and the regime the paper's Fig 8
+measures) is to cap repair bandwidth per link so reconstruction makes
+steady progress without monopolizing the fabric.  This module provides
+the mechanism for both stacks:
+
+* :class:`TokenBucket` — a clock-agnostic pacer.  Callers pass ``now``
+  explicitly, so the same class runs on virtual time inside the
+  simulator and on the wall clock inside a live chunk server.
+* :class:`AdmissionController` — per-link buckets plus the class
+  policy: *foreground and degraded reads are never delayed* (strict
+  priority for user-facing traffic), repair-class transfers are paced
+  at a configurable cap, clamped to a floor so repair can never be
+  starved outright.
+
+Once admitted, flows of every class share the same max-min fair-share
+computation (:mod:`repro.sim.network`) — admission shapes *when* repair
+bytes enter the fabric, not how links arbitrate among active flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.util.units import parse_bandwidth, parse_size
+
+#: Traffic class names used across sim and live stacks.
+FOREGROUND = "foreground"
+DEGRADED = "degraded"
+REPAIR = "repair"
+
+TRAFFIC_CLASSES: "Tuple[str, ...]" = (FOREGROUND, DEGRADED, REPAIR)
+
+
+class TokenBucket:
+    """A token-bucket pacer over an externally supplied clock.
+
+    ``reserve(nbytes, now)`` debits the bucket and returns how long the
+    caller must wait before putting those bytes on the wire.  The
+    balance may go negative (the *debt* of reservations not yet
+    admitted); the returned delay is exactly the time for the refill to
+    pay the debt back to zero.  This gives the pacer invariant the
+    property tests pin down: for reservations made in time order, the
+    bytes admitted (delay elapsed) by any instant ``T`` never exceed
+    ``burst + rate * (T - first_reserve_time)``.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, rate: "float | str", burst: "float | str"):
+        self.rate = float(parse_bandwidth(rate))
+        self.burst = float(parse_size(burst))
+        if self.rate <= 0:
+            raise ConfigurationError("token bucket rate must be > 0")
+        if self.burst <= 0:
+            raise ConfigurationError("token bucket burst must be > 0")
+        self.tokens = self.burst
+        self._last: "Optional[float]" = None
+
+    def _refill(self, now: float) -> None:
+        if self._last is None:
+            self._last = now
+            return
+        elapsed = now - self._last
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + self.rate * elapsed)
+            self._last = now
+        # Clocks that step backwards (live mode NTP jitter) just skip
+        # the refill rather than minting negative time.
+
+    def reserve(self, nbytes: float, now: float) -> float:
+        """Debit ``nbytes``; return the delay before they may be sent."""
+        if nbytes < 0:
+            raise ConfigurationError("cannot reserve negative bytes")
+        self._refill(now)
+        self.tokens -= nbytes
+        if self.tokens >= 0.0:
+            return 0.0
+        return -self.tokens / self.rate
+
+    def occupancy(self, now: "Optional[float]" = None) -> float:
+        """Fraction of the burst currently available, in [0, 1]."""
+        if now is not None:
+            self._refill(now)
+        return max(0.0, self.tokens) / self.burst
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of the two-class policy (units accept "250Mbps" strings)."""
+
+    #: Per-link cap on repair-class bandwidth.
+    repair_rate: "float | str" = "250Mbps"
+    #: Per-link burst allowance: short repair bursts ride for free.
+    repair_burst: "float | str" = "16MiB"
+    #: The cap is clamped to at least this, so repair is never starved
+    #: below a guaranteed floor regardless of how low the cap is set.
+    repair_floor: "float | str" = "10Mbps"
+    #: Classes subject to pacing.  Foreground and degraded reads are
+    #: user-facing and always pass through undelayed.
+    paced_classes: "Tuple[str, ...]" = (REPAIR,)
+
+    def effective_rate(self) -> float:
+        """The configured cap clamped up to the floor, bytes/second."""
+        return max(
+            float(parse_bandwidth(self.repair_rate)),
+            float(parse_bandwidth(self.repair_floor)),
+        )
+
+
+class AdmissionController:
+    """Per-link token buckets keyed by link name.
+
+    The sim's :class:`~repro.sim.network.FlowNetwork` consults
+    :meth:`delay` at flow start; a positive return parks the flow until
+    the bucket pays out (queueing time still counts against the flow's
+    latency, because repair progress deferred is repair latency).
+    """
+
+    def __init__(self, config: "Optional[AdmissionConfig]" = None):
+        self.config = config or AdmissionConfig()
+        self._rate = self.config.effective_rate()
+        self._burst = float(parse_size(self.config.repair_burst))
+        self.buckets: "Dict[str, TokenBucket]" = {}
+        #: Accounting: admitted bytes per class, pacing totals.
+        self.bytes_admitted: "Dict[str, float]" = {}
+        self.flows_delayed = 0
+        self.total_queue_delay = 0.0
+
+    def bucket(self, link_name: str) -> TokenBucket:
+        bucket = self.buckets.get(link_name)
+        if bucket is None:
+            bucket = TokenBucket(self._rate, self._burst)
+            self.buckets[link_name] = bucket
+        return bucket
+
+    def delay(
+        self, link_name: str, traffic_class: str, nbytes: float, now: float
+    ) -> float:
+        """Seconds this transfer must wait before entering the fabric."""
+        self.bytes_admitted[traffic_class] = (
+            self.bytes_admitted.get(traffic_class, 0.0) + nbytes
+        )
+        if traffic_class not in self.config.paced_classes:
+            return 0.0
+        wait = self.bucket(link_name).reserve(nbytes, now)
+        if wait > 0.0:
+            self.flows_delayed += 1
+            self.total_queue_delay += wait
+        return wait
+
+    def mean_occupancy(self) -> float:
+        """Average bucket occupancy across links (1.0 when no buckets)."""
+        if not self.buckets:
+            return 1.0
+        return sum(b.occupancy() for b in self.buckets.values()) / len(
+            self.buckets
+        )

@@ -1,0 +1,294 @@
+"""A scalable open-loop client population over the simulator.
+
+:class:`ClientPopulation` models millions of logical users issuing
+Zipf-skewed reads against the stored chunk catalog.  Arrivals are
+*open-loop* (a Poisson process at a configured aggregate rate — queueing
+delay never throttles demand, exactly the regime where repair-induced
+contention shows up as tail latency) and generated in vectorized numpy
+batches: one ``batch_window`` of traffic is a single Poisson draw plus a
+``searchsorted`` over the precomputed user-popularity CDF, so generating
+10^5-10^6 requests/second of arrivals costs a handful of array
+operations, not per-request Python work.
+
+Each request resolves against the meta-server:
+
+* chunk hosted by a live server — a normal **foreground** read (bumps
+  the server's ``user_load_bytes``, the input to m-PPR's Eqs. 2-3,
+  warms the LRU cache, moves the bytes to a client over the shared
+  fabric);
+* chunk currently missing (its host failed) — a **degraded** read
+  scheduled through the Repair-Manager, competing with background
+  repair for helpers and links.
+
+Completed requests report their latency — including any queueing — to
+an :class:`~repro.qos.slo.SLOHarness` under their traffic class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+
+import numpy as np
+
+from collections import deque
+
+from repro.errors import ConfigurationError
+from repro.qos import admission as qos_classes
+from repro.util.rng import make_rng
+from repro.util.units import parse_size
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.cluster import StorageCluster
+    from repro.qos.slo import SLOHarness
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Knobs of the client population."""
+
+    #: Logical users; popularity is Zipf over their ranks.
+    num_users: int = 1_000_000
+    #: Aggregate open-loop arrival rate, requests/second.
+    requests_per_second: float = 100.0
+    #: Zipf skew exponent (s in rank^-s); higher = hotter head.
+    zipf_exponent: float = 1.1
+    #: Bytes a foreground read actually transfers (capped at the chunk
+    #: size).  User reads touch a byte range, not the whole chunk; a
+    #: degraded read still reconstructs the full chunk.
+    read_size: "float | str" = "1MiB"
+    #: Virtual seconds of arrivals generated per vectorized batch.
+    batch_window: float = 0.25
+    #: Concurrent degraded reads; excess arrivals queue FIFO (their
+    #: queue wait counts against degraded-read latency).
+    max_degraded_inflight: int = 4
+    #: ``user_load_bytes`` halves every this many virtual seconds.
+    load_decay_interval: float = 10.0
+    seed: int = 2016
+
+    def __post_init__(self) -> None:
+        if self.num_users < 1:
+            raise ConfigurationError("num_users must be >= 1")
+        if self.requests_per_second <= 0:
+            raise ConfigurationError("requests_per_second must be > 0")
+        if self.zipf_exponent <= 0:
+            raise ConfigurationError("zipf_exponent must be > 0")
+        if self.batch_window <= 0:
+            raise ConfigurationError("batch_window must be > 0")
+        if self.max_degraded_inflight < 1:
+            raise ConfigurationError("max_degraded_inflight must be >= 1")
+        if float(parse_size(self.read_size)) <= 0:
+            raise ConfigurationError("read_size must be > 0")
+
+
+class ClientPopulation:
+    """Zipf-skewed open-loop traffic against a :class:`StorageCluster`."""
+
+    def __init__(
+        self,
+        cluster: "StorageCluster",
+        config: "Optional[PopulationConfig]" = None,
+        harness: "Optional[SLOHarness]" = None,
+    ):
+        self.cluster = cluster
+        self.config = config or PopulationConfig()
+        self.harness = harness
+        self.rng = make_rng(self.config.seed)
+        #: Zipf CDF over user ranks; built lazily on first batch so the
+        #: population can be constructed before stripes are written.
+        self._cdf: "Optional[np.ndarray]" = None
+        self._chunk_ids: "List[str]" = []
+        self._running = False
+        self._client_cursor = 0
+        # Counters.
+        self.requests_issued = 0
+        self.foreground_issued = 0
+        self.degraded_issued = 0
+        self.degraded_dropped = 0
+        self._degraded_inflight = 0
+        self._degraded_queue: "Deque[Tuple[str, float]]" = deque()
+
+    # ------------------------------------------------------------------
+    # Vectorized arrival generation (pure numpy; no simulator needed)
+    # ------------------------------------------------------------------
+    def _ensure_catalog(self) -> bool:
+        chunk_ids = sorted(self.cluster.metaserver.chunk_locations)
+        if not chunk_ids:
+            return False
+        if chunk_ids != self._chunk_ids:
+            self._chunk_ids = chunk_ids
+        if self._cdf is None:
+            ranks = np.arange(1, self.config.num_users + 1, dtype=np.float64)
+            weights = ranks ** (-self.config.zipf_exponent)
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+            self._cdf = cdf
+        return True
+
+    def generate_batch(
+        self, window: "Optional[float]" = None
+    ) -> "Tuple[np.ndarray, np.ndarray]":
+        """One window of arrivals: ``(offsets_s, chunk_indices)``.
+
+        Both arrays have one entry per request; ``offsets_s`` is sorted
+        within ``[0, window)``.  This is the scalability path: the cost
+        is O(requests) numpy work with no Python-level per-request loop,
+        so a 10^6 req/s rate over a one-second window is a single call.
+        """
+        if not self._ensure_catalog():
+            return (
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+            )
+        window = float(window if window is not None else self.config.batch_window)
+        count = int(
+            self.rng.poisson(self.config.requests_per_second * window)
+        )
+        if count == 0:
+            return (
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+            )
+        offsets = np.sort(self.rng.random(count)) * window
+        assert self._cdf is not None
+        users = np.searchsorted(self._cdf, self.rng.random(count))
+        # Hot users rendezvous on hot chunks: rank r reads chunk r mod N,
+        # so the head of the user distribution concentrates on the head
+        # of the (sorted) chunk catalog.
+        chunks = users % len(self._chunk_ids)
+        return offsets, chunks.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Simulator attachment
+    # ------------------------------------------------------------------
+    def start(self, duration: float) -> None:
+        """Issue arrivals over ``[now, now + duration)`` virtual seconds."""
+        self._running = True
+        end_time = self.cluster.sim.now + float(duration)
+        self.cluster.sim.schedule(0.0, self._batch_tick, end_time)
+        self.cluster.sim.schedule(
+            self.config.load_decay_interval, self._decay
+        )
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _batch_tick(self, end_time: float) -> None:
+        if not self._running:
+            return
+        now = self.cluster.sim.now
+        if now >= end_time:
+            return
+        window = min(self.config.batch_window, end_time - now)
+        offsets, chunks = self.generate_batch(window)
+        for offset, chunk_index in zip(offsets, chunks):
+            self.cluster.sim.schedule(
+                float(offset), self._issue, int(chunk_index)
+            )
+        self.cluster.sim.schedule(window, self._batch_tick, end_time)
+
+    def _next_client(self) -> str:
+        clients = self.cluster.client_ids
+        self._client_cursor = (self._client_cursor + 1) % len(clients)
+        return clients[self._client_cursor]
+
+    def _observe(self, traffic_class: str, latency: float) -> None:
+        if self.harness is not None:
+            self.harness.observe(traffic_class, latency)
+
+    def _issue(self, chunk_index: int) -> None:
+        if not self._running or chunk_index >= len(self._chunk_ids):
+            return
+        chunk_id = self._chunk_ids[chunk_index]
+        host = self.cluster.metaserver.locate_chunk(chunk_id)
+        self.requests_issued += 1
+        if host is None:
+            self._enqueue_degraded(chunk_id)
+            return
+        self._serve_foreground(chunk_id, host, self.cluster.sim.now)
+
+    def _serve_foreground(
+        self, chunk_id: str, host: str, arrival: float
+    ) -> None:
+        server = self.cluster.servers[host]
+        stripe = self.cluster.metaserver.stripe_for_chunk(chunk_id)
+        nbytes = min(
+            float(parse_size(self.config.read_size)), stripe.chunk_size
+        )
+        server.user_load_bytes += nbytes
+        if not server.lookup_cache(chunk_id):
+            server.disk.read(nbytes)
+            server.fill_cache(chunk_id)
+        self.foreground_issued += 1
+        self.cluster.start_flow(
+            host,
+            self._next_client(),
+            nbytes,
+            lambda _f, s=arrival: self._observe(
+                qos_classes.FOREGROUND, self.cluster.sim.now - s
+            ),
+            traffic_class=qos_classes.FOREGROUND,
+        )
+
+    # ------------------------------------------------------------------
+    # Degraded reads
+    # ------------------------------------------------------------------
+    def _enqueue_degraded(self, chunk_id: str) -> None:
+        self._degraded_queue.append((chunk_id, self.cluster.sim.now))
+        self._pump_degraded()
+
+    def _pump_degraded(self) -> None:
+        while (
+            self._degraded_queue
+            and self._degraded_inflight < self.config.max_degraded_inflight
+        ):
+            chunk_id, arrival = self._degraded_queue.popleft()
+            self._start_degraded(chunk_id, arrival)
+
+    def _start_degraded(self, chunk_id: str, arrival: float) -> None:
+        from repro.errors import ReproError
+
+        meta = self.cluster.metaserver
+        host = meta.locate_chunk(chunk_id)
+        if host is not None:
+            # Repaired while queued: serve it as a plain foreground read
+            # whose latency still includes the time spent queued.
+            self._serve_foreground(chunk_id, host, arrival)
+            return
+        stripe = meta.stripe_for_chunk(chunk_id)
+        lost_index = stripe.chunk_index(chunk_id)
+        self.degraded_issued += 1
+        self._degraded_inflight += 1
+
+        def on_complete(_result) -> None:
+            self._degraded_inflight -= 1
+            self._observe(
+                qos_classes.DEGRADED, self.cluster.sim.now - arrival
+            )
+            self._pump_degraded()
+
+        try:
+            meta.repair_manager.start_degraded_read(
+                stripe,
+                lost_index,
+                self._next_client(),
+                on_complete=on_complete,
+            )
+        except ReproError:
+            # No viable helpers right now (e.g. several hosts down at
+            # once); count the drop rather than wedging the pump.
+            self._degraded_inflight -= 1
+            self.degraded_issued -= 1
+            self.degraded_dropped += 1
+
+    # ------------------------------------------------------------------
+    # Load decay (same sliding-window semantics as workloads.userload)
+    # ------------------------------------------------------------------
+    def _decay(self) -> None:
+        if not self._running:
+            return
+        for server in self.cluster.servers.values():
+            server.user_load_bytes *= 0.5
+        self.cluster.sim.schedule(
+            self.config.load_decay_interval, self._decay
+        )

@@ -1,0 +1,283 @@
+"""SLO harness: streaming per-class tail latency with pass/fail verdicts.
+
+Latency distributions are kept two ways, both bounded:
+
+* an obs :class:`~repro.obs.metrics.Histogram` with fine log-spaced
+  buckets (the streaming view — what a live server would export), and
+* a :class:`LatencyReservoir` (deterministic Algorithm R) holding up to
+  ``capacity`` raw samples for exact quantiles.
+
+Quantiles come from the reservoir while it still holds *every* sample
+(exact, and what the deterministic-scenario tests fingerprint) and fall
+back to histogram interpolation once sampling has kicked in.  Verdicts
+compare an observed quantile per traffic class against an
+:class:`SLOTarget` threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def _qos_buckets() -> "Tuple[float, ...]":
+    """Log-spaced latency buckets, ~19% apart from 1 ms to ~2 min.
+
+    Fine enough that interpolated p99.9 estimates stay within one
+    bucket ratio of the true value even for heavy-tailed scenarios.
+    """
+    bounds: "List[float]" = []
+    value = 0.001
+    while value < 130.0:
+        bounds.append(round(value, 6))
+        value *= 1.1885
+    return tuple(bounds)
+
+
+#: Bucket bounds shared by every QoS histogram.
+QOS_BUCKETS: "Tuple[float, ...]" = _qos_buckets()
+
+#: Quantiles every stats row reports, keyed by their display name.
+REPORTED_QUANTILES: "Tuple[Tuple[str, float], ...]" = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+    ("p999", 0.999),
+)
+
+
+class LatencyReservoir:
+    """Bounded sample store: exact count/sum/min/max, Algorithm R body.
+
+    Replaces the unbounded ``List[float]`` latency logs the workload
+    generators used to keep.  Iteration and truthiness mirror a plain
+    list of the retained samples, so existing ``assert gen.latencies``
+    style call sites keep working.  The replacement choice uses a
+    private seeded generator, so a given insertion sequence always
+    retains the same samples — determinism the scenario fingerprint
+    tests rely on.
+    """
+
+    __slots__ = ("capacity", "count", "sum", "min", "max", "_samples", "_rng")
+
+    def __init__(self, capacity: int = 4096, seed: int = 0x51_05):
+        if capacity < 1:
+            raise ConfigurationError("reservoir capacity must be >= 1")
+        self.capacity = capacity
+        self.count = 0
+        self.sum = 0.0
+        self.min: "Optional[float]" = None
+        self.max: "Optional[float]" = None
+        self._samples: "List[float]" = []
+        self._rng = np.random.default_rng(seed)
+
+    def append(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+            return
+        slot = int(self._rng.integers(0, self.count))
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    # -- list-like surface ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __bool__(self) -> bool:
+        return bool(self._samples)
+
+    def __iter__(self) -> "Iterator[float]":
+        return iter(self._samples)
+
+    @property
+    def exact(self) -> bool:
+        """True while every observed sample is still retained."""
+        return self.count == len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> "Optional[float]":
+        if not self._samples:
+            return None
+        return float(np.quantile(np.asarray(self._samples), q))
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """One objective: ``quantile`` of ``traffic_class`` under ``threshold_s``."""
+
+    traffic_class: str
+    quantile: float
+    threshold_s: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ConfigurationError("SLO quantile must be in (0, 1)")
+        if self.threshold_s <= 0:
+            raise ConfigurationError("SLO threshold must be > 0")
+
+    @property
+    def label(self) -> str:
+        pct = self.quantile * 100.0
+        text = f"{pct:.4g}"
+        if "." in text:
+            text = text.rstrip("0").rstrip(".")
+        return f"{self.traffic_class} p{text}"
+
+
+@dataclass
+class SLOVerdict:
+    """Evaluation of one target against the observed distribution."""
+
+    target: SLOTarget
+    observed_s: "Optional[float]"
+    samples: int
+    passed: bool
+
+    def render(self) -> str:
+        if self.observed_s is None:
+            return f"{self.target.label}: NO DATA"
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"{self.target.label}: {self.observed_s * 1e3:.1f}ms "
+            f"{'<=' if self.passed else '>'} "
+            f"{self.target.threshold_s * 1e3:.1f}ms "
+            f"[{status}] ({self.samples} samples)"
+        )
+
+
+class SLOHarness:
+    """Per-traffic-class latency tracking plus SLO evaluation."""
+
+    def __init__(
+        self,
+        targets: "Sequence[SLOTarget]" = (),
+        capacity: int = 8192,
+    ):
+        self.targets = list(targets)
+        self.capacity = capacity
+        self._hist: "Dict[str, Histogram]" = {}
+        self._reservoir: "Dict[str, LatencyReservoir]" = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def observe(self, traffic_class: str, latency_s: float) -> None:
+        hist = self._hist.get(traffic_class)
+        if hist is None:
+            hist = Histogram(
+                "qos.latency", {"class": traffic_class}, QOS_BUCKETS
+            )
+            self._hist[traffic_class] = hist
+            self._reservoir[traffic_class] = LatencyReservoir(self.capacity)
+        hist.observe(latency_s)
+        self._reservoir[traffic_class].append(latency_s)
+
+    def classes(self) -> "List[str]":
+        return sorted(self._hist)
+
+    def count(self, traffic_class: str) -> int:
+        hist = self._hist.get(traffic_class)
+        return hist.count if hist is not None else 0
+
+    # ------------------------------------------------------------------
+    # Quantiles and stats
+    # ------------------------------------------------------------------
+    def quantile(self, traffic_class: str, q: float) -> "Optional[float]":
+        reservoir = self._reservoir.get(traffic_class)
+        if reservoir is None or reservoir.count == 0:
+            return None
+        if reservoir.exact:
+            return reservoir.quantile(q)
+        return self._hist[traffic_class].quantile(q)
+
+    def stats(self, traffic_class: str) -> "Dict[str, float]":
+        """count/mean/min/max plus every reported quantile (0.0 if empty)."""
+        hist = self._hist.get(traffic_class)
+        row: "Dict[str, float]" = {
+            "count": float(hist.count) if hist else 0.0,
+            "mean_s": hist.mean if hist else 0.0,
+            "min_s": float(hist.min or 0.0) if hist else 0.0,
+            "max_s": float(hist.max or 0.0) if hist else 0.0,
+        }
+        for name, q in REPORTED_QUANTILES:
+            value = self.quantile(traffic_class, q)
+            row[f"{name}_s"] = float(value) if value is not None else 0.0
+        return row
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    def evaluate(self) -> "List[SLOVerdict]":
+        verdicts: "List[SLOVerdict]" = []
+        for target in self.targets:
+            observed = self.quantile(target.traffic_class, target.quantile)
+            samples = self.count(target.traffic_class)
+            passed = observed is not None and observed <= target.threshold_s
+            verdicts.append(
+                SLOVerdict(
+                    target=target,
+                    observed_s=observed,
+                    samples=samples,
+                    passed=passed,
+                )
+            )
+        return verdicts
+
+    def render_table(self) -> str:
+        """Per-class latency table: the ``repro qos`` output body."""
+        from repro.analysis.render import Table
+
+        table = Table(
+            ["class", "count", "mean", "p50", "p95", "p99", "p99.9", "max"],
+            title="Per-class latency",
+        )
+        for cls in self.classes():
+            row = self.stats(cls)
+            table.add_row(
+                cls,
+                int(row["count"]),
+                f"{row['mean_s'] * 1e3:.1f}ms",
+                f"{row['p50_s'] * 1e3:.1f}ms",
+                f"{row['p95_s'] * 1e3:.1f}ms",
+                f"{row['p99_s'] * 1e3:.1f}ms",
+                f"{row['p999_s'] * 1e3:.1f}ms",
+                f"{row['max_s'] * 1e3:.1f}ms",
+            )
+        return table.render()
+
+    # ------------------------------------------------------------------
+    # Export (promexport / repro top pick these up from the registry)
+    # ------------------------------------------------------------------
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Mirror stats and verdicts as registry gauges.
+
+        Gauge families: ``qos.latency.<quantile>{class=...}`` in seconds,
+        ``qos.requests{class=...}``, and ``qos.slo.compliant{slo=...}``
+        (1.0 pass / 0.0 fail).
+        """
+        for cls in self.classes():
+            row = self.stats(cls)
+            registry.gauge("qos.requests", **{"class": cls}).set(row["count"])
+            for name, _q in REPORTED_QUANTILES:
+                registry.gauge(
+                    f"qos.latency.{name}", **{"class": cls}
+                ).set(row[f"{name}_s"])
+        for verdict in self.evaluate():
+            registry.gauge(
+                "qos.slo.compliant", slo=verdict.target.label
+            ).set(1.0 if verdict.passed else 0.0)

@@ -51,6 +51,7 @@ class Link:
         "capacity",
         "flows",
         "bytes_carried",
+        "class_bytes",
         "incast_threshold",
         "incast_gamma",
     )
@@ -66,6 +67,8 @@ class Link:
         self.capacity = Bandwidth.of(capacity).bytes_per_sec
         self.flows: "Set[Flow]" = set()
         self.bytes_carried = 0.0
+        #: Per-traffic-class share of ``bytes_carried`` (QoS accounting).
+        self.class_bytes: "Dict[str, float]" = {}
         self.incast_threshold = incast_threshold
         self.incast_gamma = incast_gamma
 
@@ -129,6 +132,11 @@ class Flow:
         self.finish_time: "Optional[float]" = None
 
     @property
+    def traffic_class(self) -> str:
+        """QoS class ("foreground" unless tagged otherwise via meta)."""
+        return str(self.meta.get("traffic_class", "foreground"))
+
+    @property
     def duration(self) -> float:
         """Transfer duration; only valid after completion."""
         if self.finish_time is None:
@@ -153,6 +161,14 @@ class FlowNetwork:
         self._completion_event: "Optional[Event]" = None
         self.completed_flows = 0
         self.total_bytes_moved = 0.0
+        #: Network-wide per-traffic-class byte totals (QoS accounting).
+        self.class_bytes_moved: "Dict[str, float]" = {}
+        #: Optional admission controller (see repro.qos.admission): when
+        #: set, paced-class flows wait out their token-bucket delay in a
+        #: pending set before touching any link.  Their ``start_time``
+        #: stays at enqueue, so admission queueing counts as latency.
+        self.admission: "Optional[Any]" = None
+        self._pending: "Set[Flow]" = set()
 
     # ------------------------------------------------------------------
     # Public API
@@ -184,15 +200,36 @@ class FlowNetwork:
         if size <= _EPSILON_BYTES:
             self.sim.schedule(0.0, self._finish_flow, flow)
             return flow
+        if self.admission is not None:
+            wait = self.admission.delay(
+                flow.path[0].name, flow.traffic_class, size, self.sim.now
+            )
+            if wait > 0.0:
+                self._pending.add(flow)
+                self.sim.schedule(wait, self._admit, flow)
+                return flow
+        self._attach(flow)
+        return flow
+
+    def _attach(self, flow: Flow) -> None:
         self._settle()
         self.active.add(flow)
         for link in flow.path:
             link.flows.add(flow)
         self._reallocate()
-        return flow
+
+    def _admit(self, flow: Flow) -> None:
+        """A paced flow's token-bucket delay elapsed; enter the fabric."""
+        if flow not in self._pending:
+            return  # cancelled while queued
+        self._pending.discard(flow)
+        self._attach(flow)
 
     def cancel_flow(self, flow: Flow) -> None:
         """Abort a transfer (e.g. helper died); no completion fires."""
+        if flow in self._pending:
+            self._pending.discard(flow)
+            return
         if flow not in self.active:
             return
         self._settle()
@@ -202,22 +239,29 @@ class FlowNetwork:
     def cancel_flows_touching(self, node_id: str) -> int:
         """Abort every active flow with ``src`` or ``dst`` == ``node_id``.
 
-        Used when a server crashes: its in-flight transfers die with it.
-        Returns the number of flows cancelled.
+        Used when a server crashes: its in-flight transfers die with it
+        (admission-queued flows included).  Returns the number of flows
+        cancelled.
         """
-        victims = [
-            flow
-            for flow in self.active
-            if flow.meta.get("src") == node_id
-            or flow.meta.get("dst") == node_id
-        ]
+
+        def touches(flow: Flow) -> bool:
+            return (
+                flow.meta.get("src") == node_id
+                or flow.meta.get("dst") == node_id
+            )
+
+        cancelled = 0
+        for flow in [f for f in self._pending if touches(f)]:
+            self._pending.discard(flow)
+            cancelled += 1
+        victims = [flow for flow in self.active if touches(flow)]
         if not victims:
-            return 0
+            return cancelled
         self._settle()
         for flow in victims:
             self._detach(flow)
         self._reallocate()
-        return len(victims)
+        return cancelled + len(victims)
 
     # ------------------------------------------------------------------
     # Internals
@@ -231,12 +275,22 @@ class FlowNetwork:
         """Advance every active flow's progress to ``sim.now``."""
         elapsed = self.sim.now - self._last_settle
         if elapsed > 0:
-            for flow in self.active:
+            # Deterministic order: the active set hashes by object id, so
+            # iterating it directly would make float-accumulation order
+            # (and hence byte counters) depend on heap layout.
+            for flow in sorted(self.active, key=lambda f: f.flow_id):
                 moved = flow.rate * elapsed
                 flow.remaining = max(0.0, flow.remaining - moved)
+                cls = flow.traffic_class
                 for link in flow.path:
                     link.bytes_carried += moved
+                    link.class_bytes[cls] = (
+                        link.class_bytes.get(cls, 0.0) + moved
+                    )
                 self.total_bytes_moved += moved
+                self.class_bytes_moved[cls] = (
+                    self.class_bytes_moved.get(cls, 0.0) + moved
+                )
         self._last_settle = self.sim.now
 
     def _reallocate(self) -> None:
@@ -247,14 +301,19 @@ class FlowNetwork:
         if not self.active:
             return
 
+        # Iteration order is pinned (flow id, link name) everywhere ties
+        # or float accumulation could otherwise follow set/hash order:
+        # rerunning the same scenario must replay bit-identically even
+        # within one process (the QoS fingerprint tests rely on it).
         unfrozen: "Set[Flow]" = set(self.active)
         residual: "Dict[Link, float]" = {}
         link_unfrozen: "Dict[Link, int]" = {}
-        links: "Set[Link]" = set()
+        link_set: "Set[Link]" = set()
         for flow in self.active:
             flow.rate = 0.0
             for link in flow.path:
-                links.add(link)
+                link_set.add(link)
+        links = sorted(link_set, key=lambda ln: ln.name)
         for link in links:
             residual[link] = link.effective_capacity()
             link_unfrozen[link] = sum(1 for f in link.flows if f in unfrozen)
@@ -274,7 +333,7 @@ class FlowNetwork:
             if best_link is None:
                 break
             # Freeze every unfrozen flow crossing the bottleneck.
-            for flow in list(best_link.flows):
+            for flow in sorted(best_link.flows, key=lambda f: f.flow_id):
                 if flow not in unfrozen:
                     continue
                 flow.rate = best_share
@@ -282,14 +341,14 @@ class FlowNetwork:
                 for link in flow.path:
                     residual[link] -= best_share
                     link_unfrozen[link] -= 1
-            links.discard(best_link)
+            links.remove(best_link)
 
         self._schedule_next_completion()
 
     def _schedule_next_completion(self) -> None:
         soonest: "Optional[Flow]" = None
         soonest_dt = math.inf
-        for flow in self.active:
+        for flow in sorted(self.active, key=lambda f: f.flow_id):
             if flow.rate <= 0:
                 raise SimulationError(
                     f"active flow has zero rate: {flow!r}"

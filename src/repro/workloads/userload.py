@@ -9,11 +9,12 @@ Fig. 7e caching experiment).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.qos.slo import LatencyReservoir
 from repro.util.rng import make_rng
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,7 +38,11 @@ class UserLoadGenerator:
         self.zipf_exponent = zipf_exponent
         self.rng = make_rng(rng)
         self.reads_issued = 0
-        self.latencies: "List[float]" = []
+        #: Bounded latency log: exact count/mean/min/max forever, raw
+        #: samples capped by reservoir sampling so week-long simulated
+        #: runs cannot grow memory without bound.  Iterates like the
+        #: plain list it replaced.
+        self.latencies = LatencyReservoir(capacity=4096)
         self._running = False
         #: user_load decays over time; bytes added per read at the server.
         self.load_decay_interval = 10.0

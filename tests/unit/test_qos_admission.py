@@ -1,0 +1,135 @@
+"""Token-bucket pacing and the two-class admission policy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qos.admission import (
+    DEGRADED,
+    FOREGROUND,
+    REPAIR,
+    TRAFFIC_CLASSES,
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.util.units import parse_bandwidth
+
+
+class TestTokenBucket:
+    def test_burst_rides_free(self):
+        bucket = TokenBucket(rate=100.0, burst=1000.0)
+        assert bucket.reserve(1000.0, now=0.0) == 0.0
+
+    def test_debt_delay_is_exact(self):
+        bucket = TokenBucket(rate=100.0, burst=1000.0)
+        bucket.reserve(1000.0, now=0.0)  # drain the burst
+        # 500 bytes of debt at 100 B/s -> 5 s wait.
+        assert bucket.reserve(500.0, now=0.0) == pytest.approx(5.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=1000.0)
+        bucket.reserve(1000.0, now=0.0)
+        # A million seconds later the bucket holds exactly one burst.
+        assert bucket.reserve(1000.0, now=1e6) == 0.0
+        assert bucket.reserve(1.0, now=1e6) > 0.0
+
+    def test_refill_is_linear(self):
+        bucket = TokenBucket(rate=100.0, burst=1000.0)
+        bucket.reserve(1000.0, now=0.0)
+        # 2 s refills 200 tokens; a 300-byte reservation owes 1 more second.
+        assert bucket.reserve(300.0, now=2.0) == pytest.approx(1.0)
+
+    def test_backwards_clock_skips_refill(self):
+        bucket = TokenBucket(rate=100.0, burst=1000.0)
+        bucket.reserve(1000.0, now=10.0)
+        before = bucket.tokens
+        delay = bucket.reserve(0.0, now=5.0)  # NTP step backwards
+        assert delay == 0.0
+        assert bucket.tokens == before
+
+    def test_occupancy_bounds(self):
+        bucket = TokenBucket(rate=100.0, burst=1000.0)
+        assert bucket.occupancy() == 1.0
+        bucket.reserve(2500.0, now=0.0)
+        assert bucket.occupancy() == 0.0  # debt clamps to zero, not negative
+        assert 0.0 < bucket.occupancy(now=20.0) < 1.0
+
+    def test_accepts_unit_strings(self):
+        bucket = TokenBucket("1Gbps", "16MiB")
+        assert bucket.rate == pytest.approx(parse_bandwidth("1Gbps"))
+
+    @pytest.mark.parametrize("rate,burst", [(0, 100), (-1, 100), (100, 0)])
+    def test_validation(self, rate, burst):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate, burst)
+
+    def test_negative_reserve_rejected(self):
+        bucket = TokenBucket(100.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            bucket.reserve(-1.0, now=0.0)
+
+
+class TestAdmissionConfig:
+    def test_floor_clamps_rate(self):
+        config = AdmissionConfig(repair_rate="1Mbps", repair_floor="10Mbps")
+        assert config.effective_rate() == pytest.approx(
+            parse_bandwidth("10Mbps")
+        )
+
+    def test_rate_above_floor_wins(self):
+        config = AdmissionConfig(repair_rate="250Mbps", repair_floor="10Mbps")
+        assert config.effective_rate() == pytest.approx(
+            parse_bandwidth("250Mbps")
+        )
+
+
+class TestAdmissionController:
+    def _controller(self):
+        return AdmissionController(
+            AdmissionConfig(
+                repair_rate=1000.0, repair_burst=1000.0, repair_floor=1.0
+            )
+        )
+
+    def test_user_classes_never_paced(self):
+        controller = self._controller()
+        for cls in (FOREGROUND, DEGRADED):
+            # Far beyond any burst, still admitted instantly.
+            assert controller.delay("l0", cls, 1e12, now=0.0) == 0.0
+        assert controller.flows_delayed == 0
+
+    def test_repair_is_paced(self):
+        controller = self._controller()
+        assert controller.delay("l0", REPAIR, 1000.0, now=0.0) == 0.0
+        wait = controller.delay("l0", REPAIR, 500.0, now=0.0)
+        assert wait == pytest.approx(0.5)
+        assert controller.flows_delayed == 1
+        assert controller.total_queue_delay == pytest.approx(0.5)
+
+    def test_buckets_are_per_link(self):
+        controller = self._controller()
+        controller.delay("l0", REPAIR, 1000.0, now=0.0)
+        # A different link has its own untouched burst.
+        assert controller.delay("l1", REPAIR, 1000.0, now=0.0) == 0.0
+        assert set(controller.buckets) == {"l0", "l1"}
+
+    def test_bytes_admitted_counts_every_class(self):
+        controller = self._controller()
+        controller.delay("l0", FOREGROUND, 10.0, now=0.0)
+        controller.delay("l0", DEGRADED, 20.0, now=0.0)
+        controller.delay("l0", REPAIR, 30.0, now=0.0)
+        assert controller.bytes_admitted == {
+            FOREGROUND: 10.0,
+            DEGRADED: 20.0,
+            REPAIR: 30.0,
+        }
+
+    def test_mean_occupancy(self):
+        controller = self._controller()
+        assert controller.mean_occupancy() == 1.0  # no buckets yet
+        controller.delay("l0", REPAIR, 1000.0, now=0.0)
+        assert controller.mean_occupancy() == pytest.approx(0.0)
+
+
+def test_traffic_class_constants():
+    assert TRAFFIC_CLASSES == (FOREGROUND, DEGRADED, REPAIR)

@@ -1,0 +1,97 @@
+"""Vectorized open-loop arrival generation for the client population."""
+
+import numpy as np
+import pytest
+
+from repro.codes import ReedSolomonCode
+from repro.errors import ConfigurationError
+from repro.fs.cluster import StorageCluster
+from repro.qos.population import ClientPopulation, PopulationConfig
+
+
+def _cluster_with_stripes(num_stripes=4, seed=1):
+    cluster = StorageCluster.smallsite(seed=seed)
+    for _ in range(num_stripes):
+        cluster.write_stripe(ReedSolomonCode(4, 2), "8MiB")
+    return cluster
+
+
+class TestPopulationConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_users": 0},
+            {"requests_per_second": 0.0},
+            {"zipf_exponent": 0.0},
+            {"batch_window": 0.0},
+            {"max_degraded_inflight": 0},
+            {"read_size": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(**kwargs)
+
+
+class TestGenerateBatch:
+    def test_empty_before_any_stripes(self):
+        cluster = StorageCluster.smallsite()
+        pop = ClientPopulation(cluster)
+        offsets, chunks = pop.generate_batch(1.0)
+        assert offsets.size == 0
+        assert chunks.size == 0
+
+    def test_shapes_and_ranges(self):
+        cluster = _cluster_with_stripes()
+        pop = ClientPopulation(
+            cluster,
+            PopulationConfig(
+                num_users=10_000, requests_per_second=500.0, seed=3
+            ),
+        )
+        offsets, chunks = pop.generate_batch(2.0)
+        assert offsets.shape == chunks.shape
+        assert offsets.size > 0
+        # Sorted arrival offsets inside the window.
+        assert np.all(np.diff(offsets) >= 0)
+        assert offsets[0] >= 0.0 and offsets[-1] < 2.0
+        # Chunk indices address the catalog.
+        assert chunks.min() >= 0
+        assert chunks.max() < 4 * 6  # num_stripes * (k + m)
+
+    def test_poisson_count_tracks_rate(self):
+        cluster = _cluster_with_stripes()
+        pop = ClientPopulation(
+            cluster,
+            PopulationConfig(requests_per_second=1000.0, seed=11),
+        )
+        total = sum(
+            pop.generate_batch(1.0)[0].size for _ in range(20)
+        )
+        # 20 windows at 1000 req/s: Poisson(20000), +/-5 sigma.
+        assert 19_300 < total < 20_700
+
+    def test_deterministic_given_seed(self):
+        config = PopulationConfig(requests_per_second=200.0, seed=42)
+        runs = []
+        for _ in range(2):
+            pop = ClientPopulation(_cluster_with_stripes(), config)
+            runs.append(pop.generate_batch(1.0))
+        np.testing.assert_array_equal(runs[0][0], runs[1][0])
+        np.testing.assert_array_equal(runs[0][1], runs[1][1])
+
+    def test_zipf_head_concentration(self):
+        cluster = _cluster_with_stripes()
+        pop = ClientPopulation(
+            cluster,
+            PopulationConfig(
+                num_users=100_000,
+                requests_per_second=5000.0,
+                zipf_exponent=1.2,
+                seed=5,
+            ),
+        )
+        _, chunks = pop.generate_batch(4.0)
+        counts = np.bincount(chunks, minlength=24)
+        # The hottest chunk (rank-1 users) dwarfs the median chunk.
+        assert counts[0] > 5 * np.median(counts)

@@ -1,0 +1,155 @@
+"""LatencyReservoir and the SLO harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.qos.slo import (
+    LatencyReservoir,
+    SLOHarness,
+    SLOTarget,
+)
+
+
+class TestLatencyReservoir:
+    def test_exact_while_under_capacity(self):
+        res = LatencyReservoir(capacity=100)
+        values = [0.01 * i for i in range(50)]
+        for v in values:
+            res.append(v)
+        assert res.exact
+        assert res.count == 50
+        assert list(res) == values
+        assert res.quantile(0.5) == pytest.approx(np.quantile(values, 0.5))
+
+    def test_bounded_beyond_capacity(self):
+        res = LatencyReservoir(capacity=64)
+        for i in range(10_000):
+            res.append(float(i))
+        assert len(res) == 64
+        assert not res.exact
+        # Exact aggregates survive sampling.
+        assert res.count == 10_000
+        assert res.min == 0.0
+        assert res.max == 9999.0
+        assert res.mean == pytest.approx(sum(range(10_000)) / 10_000)
+
+    def test_replacement_is_deterministic(self):
+        a = LatencyReservoir(capacity=32)
+        b = LatencyReservoir(capacity=32)
+        for i in range(1000):
+            a.append(float(i))
+            b.append(float(i))
+        assert list(a) == list(b)
+
+    def test_list_like_surface(self):
+        res = LatencyReservoir(capacity=4)
+        assert not res
+        assert len(res) == 0
+        assert res.quantile(0.5) is None
+        res.append(1.0)
+        assert res
+        assert len(res) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyReservoir(capacity=0)
+
+
+class TestSLOTarget:
+    def test_label(self):
+        assert SLOTarget("degraded", 0.999, 60.0).label == "degraded p99.9"
+        assert SLOTarget("foreground", 0.99, 2.5).label == "foreground p99"
+        assert SLOTarget("foreground", 0.5, 1.0).label == "foreground p50"
+
+    @pytest.mark.parametrize("q,thr", [(0.0, 1.0), (1.0, 1.0), (0.99, 0.0)])
+    def test_validation(self, q, thr):
+        with pytest.raises(ConfigurationError):
+            SLOTarget("foreground", q, thr)
+
+
+class TestSLOHarness:
+    def _harness(self):
+        return SLOHarness(
+            [
+                SLOTarget("foreground", 0.99, 0.1),
+                SLOTarget("degraded", 0.99, 1.0),
+            ]
+        )
+
+    def test_quantiles_exact_from_reservoir(self):
+        harness = self._harness()
+        values = [0.001 * i for i in range(1, 101)]
+        for v in values:
+            harness.observe("foreground", v)
+        assert harness.count("foreground") == 100
+        assert harness.quantile("foreground", 0.5) == pytest.approx(
+            np.quantile(values, 0.5)
+        )
+
+    def test_histogram_fallback_beyond_capacity(self):
+        harness = SLOHarness(capacity=128)
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0.01, 0.2, size=2000)
+        for v in values:
+            harness.observe("foreground", float(v))
+        estimate = harness.quantile("foreground", 0.95)
+        truth = float(np.quantile(values, 0.95))
+        # Within one ~19% histogram bucket ratio of the true quantile.
+        assert truth / 1.25 <= estimate <= truth * 1.25
+
+    def test_stats_keys(self):
+        harness = self._harness()
+        harness.observe("foreground", 0.05)
+        row = harness.stats("foreground")
+        assert set(row) == {
+            "count", "mean_s", "min_s", "max_s",
+            "p50_s", "p95_s", "p99_s", "p999_s",
+        }
+        assert row["count"] == 1.0
+        # Empty class: all zeros, no KeyError.
+        assert harness.stats("repair")["count"] == 0.0
+
+    def test_verdicts(self):
+        harness = self._harness()
+        for _ in range(100):
+            harness.observe("foreground", 0.05)  # under the 0.1s target
+            harness.observe("degraded", 5.0)  # breaches the 1.0s target
+        verdicts = {v.target.label: v for v in harness.evaluate()}
+        assert verdicts["foreground p99"].passed
+        assert not verdicts["degraded p99"].passed
+        assert "[PASS]" in verdicts["foreground p99"].render()
+        assert "[FAIL]" in verdicts["degraded p99"].render()
+
+    def test_verdict_no_data(self):
+        verdicts = self._harness().evaluate()
+        assert all(not v.passed for v in verdicts)
+        assert "NO DATA" in verdicts[0].render()
+
+    def test_render_table_lists_classes(self):
+        harness = self._harness()
+        harness.observe("foreground", 0.05)
+        harness.observe("degraded", 0.5)
+        table = harness.render_table()
+        assert "foreground" in table
+        assert "degraded" in table
+        assert "p99.9" in table
+
+    def test_publish_gauges(self):
+        registry = MetricsRegistry()
+        harness = self._harness()
+        for _ in range(10):
+            harness.observe("foreground", 0.05)
+        harness.publish(registry)
+        names = {snap["name"] for snap in registry.snapshot()}
+        assert "qos.requests" in names
+        assert "qos.latency.p99" in names
+        assert "qos.slo.compliant" in names
+        compliant = {
+            snap["labels"]["slo"]: snap["value"]
+            for snap in registry.snapshot()
+            if snap["name"] == "qos.slo.compliant"
+        }
+        assert compliant["foreground p99"] == 1.0
+        assert compliant["degraded p99"] == 0.0  # no data -> not compliant

@@ -1,0 +1,86 @@
+"""The QoS panel of the ``repro top`` dashboard."""
+
+from repro.obs.topview import render_qos_panel, render_top
+
+
+def _series(name, samples, labels=None):
+    return {"name": name, "labels": labels or {}, "samples": samples}
+
+
+class TestRenderQosPanel:
+    def test_empty_without_qos_series(self):
+        assert render_qos_panel([]) == ""
+        assert render_qos_panel(
+            [_series("repairs.inflight", [(0.0, 1.0)])]
+        ) == ""
+
+    def test_rates_from_cumulative_bytes(self):
+        panel = render_qos_panel(
+            [
+                _series(
+                    "qos.class_bytes",
+                    [(0.0, 0.0), (2.0, 2 * 1024.0)],
+                    {"class": "repair"},
+                ),
+            ],
+            color=False,
+        )
+        assert "repair" in panel
+        assert "1.0KiB/s" in panel
+
+    def test_rates_sum_across_nodes(self):
+        samples = [(0.0, 0.0), (1.0, 1024.0)]
+        panel = render_qos_panel(
+            [
+                _series("qos.bytes.foreground", samples, {"node": "s0"}),
+                _series("qos.bytes.foreground", samples, {"node": "s1"}),
+            ],
+            color=False,
+        )
+        assert "foreground" in panel
+        assert "2.0KiB/s" in panel
+
+    def test_single_sample_rate_is_zero(self):
+        panel = render_qos_panel(
+            [_series("qos.bytes.repair", [(0.0, 512.0)])], color=False
+        )
+        assert "0B/s" in panel
+
+    def test_occupancy_and_slo(self):
+        panel = render_qos_panel(
+            [
+                _series("qos.bucket.occupancy", [(0.0, 0.25)]),
+                _series(
+                    "qos.slo.compliant",
+                    [(0.0, 1.0)],
+                    {"slo": "foreground p99"},
+                ),
+                _series(
+                    "qos.slo.compliant",
+                    [(0.0, 0.0)],
+                    {"slo": "degraded p99"},
+                ),
+            ],
+            color=False,
+        )
+        assert "bucket occ" in panel
+        assert "25%" in panel
+        assert "PASS" in panel
+        assert "FAIL" in panel
+
+
+class TestRenderTopIntegration:
+    def test_frame_includes_qos_section_when_present(self):
+        frame = render_top(
+            fleet={},
+            series=[
+                _series("qos.bucket.occupancy", [(0.0, 1.0)]),
+            ],
+            color=False,
+        )
+        assert "qos" in frame
+        assert "bucket occ" in frame
+
+    def test_frame_unchanged_without_qos(self):
+        frame = render_top(fleet={}, series=[], color=False)
+        assert "qos" not in frame
