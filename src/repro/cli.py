@@ -290,6 +290,7 @@ def _cmd_repair_live(args: argparse.Namespace) -> int:
                 args.stripe_id,
                 lost_index=args.chunk if args.chunk >= 0 else None,
                 strategy=args.strategy,
+                num_slices=args.slices,
             )
         finally:
             await coordinator.close()
@@ -827,6 +828,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="live meta-server address HOST:PORT")
     rep.add_argument("--stripe-id", default=None,
                      help="live stripe id to repair")
+    rep.add_argument("--slices", type=int, default=1,
+                     help="--live ppr/chain: pipeline each hop as S "
+                          "sliced wire-v2 streams (1 = whole-chunk sends)")
     rep.set_defaults(fn=cmd_repair)
 
     srv = sub.add_parser(

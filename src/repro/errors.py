@@ -95,3 +95,9 @@ class LiveRepairError(LiveError):
 
 class RepairAbortedError(LiveError):
     """A live repair task was cancelled by the coordinator."""
+
+
+class StreamError(LiveError):
+    """A wire stream (BEGIN/DATA/END sub-frame sequence) broke protocol:
+    an unknown stream id, a sub-frame after END/ABORT, or a receiver that
+    stopped consuming (bounded inbound queue stayed full)."""

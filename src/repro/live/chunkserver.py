@@ -13,6 +13,12 @@ execution paths over sockets:
 * **Raw collection** (:data:`~repro.live.wire.MessageType.START_RAW_REPAIR`):
   the star/staggered destination role — pull raw rows from every helper
   over TCP (concurrently or one at a time) and decode centrally.
+* **Streamed PPR** (wire v2, ``STREAM_BEGIN``/``DATA``/``END``): when the
+  plan carries ``num_slices > 1``, each hop moves as S pipelined slices.
+  Incoming segments are GF-aggregated *in place* as frames arrive — no
+  child's whole chunk is ever buffered — and a helper forwards slice
+  ``i`` upstream the moment its subtree has delivered slice ``i``, which
+  is what drives repair time toward C/B (Li et al., repair pipelining).
 
 Partial results are deduplicated by sender so RPC retries are idempotent,
 and results that arrive before their plan command are buffered briefly
@@ -27,11 +33,13 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import (
     ChunkNotFoundError,
     LiveRepairError,
     RepairAbortedError,
     RpcError,
+    StreamError,
 )
 from repro.fs.messages import (
     Heartbeat,
@@ -44,8 +52,15 @@ from repro.fs.messages import (
 from repro.codes.recipe import RepairRecipe
 from repro.live import trace
 from repro.live.config import LiveConfig
-from repro.live.rpc import Address, RpcClientPool, RpcServer
-from repro.live.wire import Frame, MessageType
+from repro.live.rpc import (
+    Address,
+    InboundStream,
+    RpcClientPool,
+    RpcServer,
+    StreamInbox,
+    StreamSender,
+)
+from repro.live.wire import Frame, MessageType, slice_bounds
 from repro.obs import causal
 from repro.obs.timeseries import Sampler, TimeSeriesStore
 from repro.qos.admission import FOREGROUND, REPAIR, TokenBucket
@@ -85,6 +100,19 @@ class _PartialTask:
     #: depends on it, encoding the ingress-link serialization that makes
     #: Theorem 1's step count observable in a stitched DAG.
     last_net_gid: "Optional[str]" = None
+    #: Streaming (num_slices > 1): bytes per partial row, learned from
+    #: the local chunk or the first STREAM_BEGIN.
+    row_len: int = 0
+    #: Streaming: per-slice set of child senders whose segment has been
+    #: GF-merged (the dedup that makes DATA retries idempotent).
+    slice_got: "Dict[int, Set[str]]" = field(default_factory=dict)
+    #: Streaming: per-slice readiness events — slice ``i`` is ready once
+    #: the local partial is in and every child's segment ``i`` is merged.
+    slice_events: "Dict[int, asyncio.Event]" = field(default_factory=dict)
+
+    @property
+    def num_slices(self) -> int:
+        return self.request.num_slices
 
     @property
     def expected_inputs(self) -> int:
@@ -101,6 +129,8 @@ class _PartialTask:
         self.partial = RepairRecipe.merge_partials(self.partial, partial)
         self.local_done = True
         self._check_ready()
+        for index in range(self.num_slices):
+            self._refresh_slice(index)
 
     def add_remote(
         self,
@@ -119,9 +149,95 @@ class _PartialTask:
         self._check_ready()
         return True
 
+    # -- streaming ------------------------------------------------------
+    def set_row_len(self, row_len: int) -> None:
+        """Learn (or validate) the per-row byte length for this repair."""
+        if row_len < 1:
+            raise StreamError(f"bad row_len {row_len}")
+        if self.row_len == 0:
+            self.row_len = row_len
+        elif self.row_len != row_len:
+            raise StreamError(
+                f"row_len mismatch for {self.request.repair_id}: "
+                f"{self.row_len} != {row_len}"
+            )
+
+    def slice_event(self, index: int) -> asyncio.Event:
+        event = self.slice_events.get(index)
+        if event is None:
+            event = asyncio.Event()
+            self.slice_events[index] = event
+            self._refresh_slice(index)
+        return event
+
+    def _refresh_slice(self, index: int) -> None:
+        """Set slice ``index``'s event once every contributor is in."""
+        if self.request.chunk_id is not None and not self.local_done:
+            return
+        if self.slice_got.get(index, set()) >= set(self.request.children):
+            self.slice_event(index).set()
+
+    def merge_segment(
+        self,
+        sender: str,
+        slice_index: int,
+        offset: int,
+        buffers: "Dict[int, np.ndarray]",
+    ) -> bool:
+        """GF-merge one arriving segment in place; False on a duplicate.
+
+        Segments XOR straight into this node's accumulation rows at
+        ``[offset, offset + len)`` — the child's data is consumed as it
+        arrives and never buffered whole.
+        """
+        if sender not in self.request.children:
+            raise StreamError(
+                f"{sender} is not a child in repair {self.request.repair_id}"
+            )
+        if not 0 <= slice_index < self.num_slices:
+            raise StreamError(
+                f"slice {slice_index} out of range for "
+                f"{self.num_slices}-slice repair {self.request.repair_id}"
+            )
+        got = self.slice_got.setdefault(slice_index, set())
+        if sender in got:
+            return False  # duplicate DATA (RPC retry): already merged
+        for row, segment in buffers.items():
+            if offset + segment.size > self.row_len:
+                raise StreamError(
+                    f"segment [{offset}, {offset + segment.size}) overruns "
+                    f"row of {self.row_len} bytes"
+                )
+            buf = self.partial.get(row)
+            if buf is None:
+                buf = np.zeros(self.row_len, dtype=np.uint8)
+                self.partial[row] = buf
+            view = buf[offset : offset + segment.size]
+            np.bitwise_xor(view, segment, out=view)
+        got.add(sender)
+        self._refresh_slice(slice_index)
+        return True
+
+    def add_remote_stream(
+        self,
+        sender: str,
+        sub_trace: "List[trace.TraceRecord]",
+        sub_traffic: "List[trace.TrafficRecord]",
+    ) -> bool:
+        """Bookkeeping for a child's STREAM_END (buffers already merged)."""
+        if sender in self.received or sender not in self.request.children:
+            return False
+        self.received.add(sender)
+        self.trace.extend(sub_trace)
+        self.traffic.extend(sub_traffic)
+        self._check_ready()
+        return True
+
     def abort(self) -> None:
         self.aborted = True
         self.inputs_ready.set()
+        for event in self.slice_events.values():
+            event.set()
 
 
 @dataclass
@@ -157,6 +273,11 @@ class LiveChunkServer:
         self.pool = RpcClientPool(self.config)
         self.tasks: "Dict[str, _PartialTask]" = {}
         self._orphans: "Dict[str, List[_OrphanPartial]]" = {}
+        #: Inbound wire streams (v2 sliced transfers), bounded per stream.
+        self.inbox = StreamInbox(self.config)
+        #: repair id -> event set when that repair's plan command lands;
+        #: stream consumers that raced ahead of the plan wait on it.
+        self._plan_events: "Dict[str, asyncio.Event]" = {}
         #: Allocator for causal record ids ("<server>#<n>"); only consulted
         #: while a traced repair is in flight.
         self._gids = causal.GidAllocator(server_id)
@@ -219,6 +340,11 @@ class LiveChunkServer:
             node=server_id,
         )
         self._sampler.add_probe(
+            "streams.inflight",
+            lambda: float(len(self.inbox)),
+            node=server_id,
+        )
+        self._sampler.add_probe(
             "qos.bucket.occupancy",
             lambda: (
                 self._repair_bucket.occupancy(trace.now())
@@ -240,6 +366,10 @@ class LiveChunkServer:
         register(MessageType.REPAIR_ABORT, self._on_repair_abort)
         register(MessageType.STATS, self._on_stats)
         register(MessageType.HEALTH, self._on_health)
+        register(MessageType.STREAM_BEGIN, self._on_stream_begin)
+        register(MessageType.STREAM_DATA, self._on_stream_data)
+        register(MessageType.STREAM_END, self._on_stream_end)
+        register(MessageType.STREAM_ABORT, self._on_stream_abort)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -281,6 +411,8 @@ class LiveChunkServer:
             task_state.abort()
         self.tasks.clear()
         self._orphans.clear()
+        self.inbox.close("server shutdown")
+        self._plan_events.clear()
         for task in list(self._background):
             task.cancel()
         for task in list(self._background):
@@ -516,8 +648,14 @@ class LiveChunkServer:
             for sid, addr in dict(frame.payload.get("peers", {})).items()  # type: ignore[union-attr]
         }
         task = _PartialTask(request=request, peers=peers, ctx=causal.current())
+        if request.chunk_id is not None and request.num_slices > 1:
+            chunk = self._get_chunk(request.chunk_id)
+            task.set_row_len(chunk.payload.size // max(request.rows, 1))
         self.tasks[request.repair_id] = task
         self._adopt_orphans(task)
+        plan_event = self._plan_events.pop(request.repair_id, None)
+        if plan_event is not None:
+            plan_event.set()  # wake stream consumers that raced the plan
 
         if request.chunk_id is not None:
             self._spawn(self._compute_local_partial(task))
@@ -526,7 +664,10 @@ class LiveChunkServer:
             # Destination: the response to this RPC *is* the repair result,
             # so the coordinator's await doubles as the completion wait.
             return await self._finish_as_destination(task, frame)
-        self._spawn(self._run_helper(task))
+        if request.num_slices > 1:
+            self._spawn(self._run_helper_streaming(task))
+        else:
+            self._spawn(self._run_helper(task))
         return {"accepted": request.repair_id, "role": "helper"}
 
     async def _compute_local_partial(self, task: _PartialTask) -> None:
@@ -631,6 +772,263 @@ class LiveChunkServer:
             # (or the coordinator's) triggers the replan. Nothing to do
             # here — the partial dies with this attempt.
             return
+
+    # ------------------------------------------------------------------
+    # Streamed PPR: pipelined per-slice forwarding (wire v2)
+    # ------------------------------------------------------------------
+    async def _wait_slice(self, task: _PartialTask, index: int) -> None:
+        """Wait until slice ``index`` is fully aggregated at this node."""
+        try:
+            await asyncio.wait_for(
+                task.slice_event(index).wait(),
+                timeout=self.config.partial_wait_timeout,
+            )
+        except asyncio.TimeoutError:
+            missing = set(task.request.children) - task.slice_got.get(
+                index, set()
+            )
+            raise LiveRepairError(
+                f"{self.server_id} still missing slice {index} from "
+                f"{sorted(missing)} for {task.request.repair_id} after "
+                f"{self.config.partial_wait_timeout}s"
+            ) from None
+        if task.aborted:
+            raise RepairAbortedError(
+                f"repair {task.request.repair_id} aborted at {self.server_id}"
+            )
+
+    async def _run_helper_streaming(self, task: _PartialTask) -> None:
+        """Forward the aggregate upstream as S pipelined slices.
+
+        Slice ``i`` leaves the moment the local partial and every child's
+        segment ``i`` are merged — while later slices are still in
+        flight below.  END goes out only after the whole subtree's END
+        trailers landed, because it carries the subtree's trace records.
+        """
+        request = task.request
+        parent = request.parent
+        assert parent is not None
+        parent_addr = task.peers.get(parent)
+        if parent_addr is None:
+            self.tasks.pop(request.repair_id, None)
+            return
+        stream_id = f"{request.repair_id}/{self.server_id}"
+        sender = StreamSender(
+            self.pool.get(parent_addr), stream_id, self.config
+        )
+        try:
+            bounds = slice_bounds(task.row_len, request.num_slices)
+            await sender.begin(
+                {
+                    "repair_id": request.repair_id,
+                    "sender": self.server_id,
+                    "num_slices": request.num_slices,
+                    "row_len": task.row_len,
+                    "sent_at": trace.now(),
+                }
+            )
+            for index in range(request.num_slices):
+                await self._wait_slice(task, index)
+                lo, hi = bounds[index], bounds[index + 1]
+                segments = {
+                    row: buf[lo:hi]
+                    for row, buf in sorted(task.partial.items())
+                }
+                await self._pace_repair(float(hi - lo) * len(segments))
+                await sender.data(
+                    {"slice_index": index, "offset": lo}, segments
+                )
+            # The END trailer carries the subtree's records, so it must
+            # wait for every child's own END (buffers are already gone).
+            await self._wait_for_inputs(task)
+            nbytes = trace.buffers_nbytes(task.partial)  # type: ignore[arg-type]
+            task.traffic.append(
+                trace.traffic_record(self.server_id, parent, nbytes)
+            )
+            trailer: "Dict[str, object]" = {
+                "repair_id": request.repair_id,
+                "sender": self.server_id,
+                "slices_sent": request.num_slices,
+                "trace": task.trace,
+                "traffic": task.traffic,
+                "sent_at": trace.now(),
+            }
+            if task.ctx is not None:
+                trailer["sent_deps"] = list(task.state_deps)
+            await sender.end(trailer)
+        except (LiveRepairError, RepairAbortedError, RpcError, StreamError) as exc:
+            # Tell the parent now so it can free stream state instead of
+            # waiting out its own slice timeout; the coordinator replans.
+            await sender.abort(str(exc))
+        finally:
+            self.tasks.pop(request.repair_id, None)
+
+    # ------------------------------------------------------------------
+    # Streamed PPR: inbound stream handlers + per-stream consumer
+    # ------------------------------------------------------------------
+    async def _on_stream_begin(self, frame: Frame) -> "Dict[str, object]":
+        payload = frame.payload
+        stream_id = str(payload["stream_id"])
+        stream = self.inbox.open(stream_id, payload)
+        if stream.opened_at is None:
+            stream.opened_at = trace.now()
+            self._spawn(self._consume_stream(stream))
+        return {"accepted": stream_id}
+
+    async def _on_stream_data(self, frame: Frame) -> "Dict[str, object]":
+        stream = self.inbox.get(str(frame.payload["stream_id"]))
+        # The ack leaves only after the bounded queue admits the frame —
+        # this await is the receiver half of the backpressure loop.
+        await stream.deliver(frame, timeout=self.config.partial_wait_timeout)
+        return {"queued": True}
+
+    async def _on_stream_end(self, frame: Frame) -> "Dict[str, object]":
+        stream = self.inbox.get(str(frame.payload["stream_id"]))
+        if stream.end_payload is None:
+            stream.end_payload = dict(frame.payload)
+            stream.finish()
+        # The sender drained every DATA ack before END, so the queue
+        # already holds all segments; wait for the consumer to finish
+        # merging them — this ack means "your subtree's work is in".
+        await asyncio.wait_for(
+            stream.consumed.wait(), timeout=self.config.partial_wait_timeout
+        )
+        if stream.error is not None:
+            raise stream.error
+        return {"merged": True, "nbytes": stream.bytes_received}
+
+    async def _on_stream_abort(self, frame: Frame) -> "Dict[str, object]":
+        stream_id = str(frame.payload["stream_id"])
+        reason = str(frame.payload.get("reason", "peer abort"))
+        try:
+            stream = self.inbox.get(stream_id)
+        except StreamError:
+            return {"aborted": False}
+        self.inbox.discard(stream_id)
+        stream.abort(reason)
+        return {"aborted": True}
+
+    async def _consume_stream(self, stream: InboundStream) -> None:
+        """Drain one inbound stream, merging each segment as it arrives."""
+        try:
+            task = await self._wait_for_plan(stream.repair_id)
+            num_slices = int(stream.begin.get("num_slices", 1))  # type: ignore[arg-type]
+            if num_slices != task.num_slices:
+                raise StreamError(
+                    f"stream {stream.stream_id} carries {num_slices} "
+                    f"slices but the plan says {task.num_slices}"
+                )
+            task.set_row_len(int(stream.begin.get("row_len", 0)))  # type: ignore[arg-type]
+            while True:
+                frame = await stream.next_frame()
+                if frame is None:
+                    break
+                self._merge_stream_frame(task, stream, frame)
+            self._finish_stream(task, stream)
+        except Exception as exc:  # noqa: BLE001 - surfaced via the END ack
+            stream.error = exc
+        finally:
+            stream.consumed.set()
+            self.inbox.discard(stream.stream_id)
+
+    async def _wait_for_plan(self, repair_id: str) -> _PartialTask:
+        """The repair task for ``repair_id``, waiting out plan races."""
+        task = self.tasks.get(repair_id)
+        if task is not None:
+            return task
+        event = self._plan_events.setdefault(repair_id, asyncio.Event())
+        try:
+            await asyncio.wait_for(
+                event.wait(), timeout=self.config.partial_wait_timeout
+            )
+        except asyncio.TimeoutError:
+            self._plan_events.pop(repair_id, None)
+            raise StreamError(
+                f"no plan command arrived for {repair_id} within "
+                f"{self.config.partial_wait_timeout}s"
+            ) from None
+        task = self.tasks.get(repair_id)
+        if task is None:
+            raise StreamError(f"repair {repair_id} vanished before its plan")
+        return task
+
+    def _merge_stream_frame(
+        self, task: _PartialTask, stream: InboundStream, frame: Frame
+    ) -> None:
+        payload = frame.payload
+        slice_index = int(payload["slice_index"])  # type: ignore[arg-type]
+        offset = int(payload["offset"])  # type: ignore[arg-type]
+        nbytes = trace.buffers_nbytes(frame.buffers)  # type: ignore[arg-type]
+        merge_start = trace.now()
+        merged = task.merge_segment(
+            stream.sender, slice_index, offset, frame.buffers
+        )
+        if not merged:
+            return  # duplicate segment (RPC retry)
+        stream.bytes_received += nbytes
+        obs.registry().counter("live.stream.segments").inc()
+        # Timeline detail only: slice records are not a PHASES member, so
+        # they stay out of the breakdown and the conformance DAG — the
+        # hop's single network record below carries the causality.
+        task.trace.append(
+            trace.slice_record(
+                merge_start,
+                trace.now(),
+                self.server_id,
+                slice=slice_index,
+                offset=offset,
+                nbytes=nbytes,
+                src=stream.sender,
+            )
+        )
+
+    def _finish_stream(
+        self, task: _PartialTask, stream: InboundStream
+    ) -> None:
+        """Process a stream's END trailer: the hop's one network record."""
+        trailer = stream.end_payload or {}
+        sub_trace = list(trailer.get("trace", []))  # type: ignore[arg-type]
+        sub_traffic = list(trailer.get("traffic", []))  # type: ignore[arg-type]
+        begin_sent_at = float(
+            stream.begin.get("sent_at", stream.opened_at or trace.now())  # type: ignore[arg-type]
+        )
+        sent_deps = [
+            d
+            for d in trailer.get("sent_deps", [])  # type: ignore[union-attr]
+            if isinstance(d, str)
+        ]
+        net_deps = list(sent_deps)
+        if task.last_net_gid is not None:
+            # Same ingress-serialization edge as the unsliced path: the
+            # stream occupies this node's link as one logical transfer.
+            net_deps.append(task.last_net_gid)
+        net_gid, net_kw = self._causal_kw(task.ctx, net_deps)
+        if net_gid is not None:
+            # The END frame is the send/recv pair clock-offset estimation
+            # sees: its raw sender timestamp against our processing time
+            # is a genuine small latency.  BEGIN's timestamp would fold
+            # the whole pipelined stream duration into the "offset".
+            net_kw["sent_at"] = float(trailer.get("sent_at", begin_sent_at))  # type: ignore[arg-type]
+        start, end = trace.clip_interval(begin_sent_at, trace.now())
+        sub_trace.append(
+            self._account(
+                trace.phase_record(
+                    "network",
+                    start,
+                    end,
+                    self.server_id,
+                    nbytes=stream.bytes_received,
+                    src=stream.sender,
+                    slices=int(stream.begin.get("num_slices", 1)),  # type: ignore[arg-type]
+                    streamed=True,
+                    **net_kw,  # type: ignore[arg-type]
+                )
+            )
+        )
+        if net_gid is not None:
+            task.last_net_gid = net_gid
+            task.state_deps.append(net_gid)
+        task.add_remote_stream(stream.sender, sub_trace, sub_traffic)
 
     # ------------------------------------------------------------------
     # PPR: partial results from children
@@ -994,4 +1392,5 @@ class LiveChunkServer:
         if task is not None:
             task.abort()
         self._orphans.pop(repair_id, None)
+        self.inbox.abort_repair(repair_id, "repair aborted by coordinator")
         return {"aborted": task is not None}

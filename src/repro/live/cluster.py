@@ -214,6 +214,7 @@ class LiveCluster:
         strategy: str = "ppr",
         destination: "Optional[str]" = None,
         on_attempt: "Optional[object]" = None,
+        num_slices: int = 1,
     ) -> LiveRepairReport:
         """Run a live repair, verified against the ground-truth payload."""
         assert self.coordinator is not None, "cluster not started"
@@ -228,6 +229,7 @@ class LiveCluster:
             destination=destination,
             expected_payload=expected,
             on_attempt=on_attempt,  # type: ignore[arg-type]
+            num_slices=num_slices,
         )
         if expected is None and stripe is not None:
             truth = self.truth_payload(

@@ -179,14 +179,19 @@ class LiveCoordinator:
         destination: "Optional[str]" = None,
         expected_payload: "Optional[np.ndarray]" = None,
         on_attempt: "Optional[Callable[[LiveAttempt], object]]" = None,
+        num_slices: int = 1,
     ) -> LiveRepairReport:
         """Repair one lost chunk; replans around dead peers.
 
         ``lost_index`` defaults to the first chunk with no live host.
         ``on_attempt`` (sync or async) observes each attempt before its
         plan commands go out — the failure tests use it to kill servers
-        at deterministic points.
+        at deterministic points.  ``num_slices > 1`` runs ppr/chain
+        repairs as pipelined sliced streams (wire v2, docs/PIPELINING.md);
+        star/staggered move whole rows regardless and ignore it.
         """
+        if num_slices < 1:
+            raise LiveRepairError(f"num_slices must be >= 1, got {num_slices}")
         excluded: "Set[str]" = set()
         failures: "List[Exception]" = []
         for attempt in range(1, self.config.max_attempts + 1):
@@ -202,6 +207,7 @@ class LiveCoordinator:
                     excluded,
                     attempt,
                     on_attempt,
+                    num_slices,
                 )
             except _AttemptFailed as failure:
                 failures.append(failure.cause)
@@ -265,6 +271,7 @@ class LiveCoordinator:
         excluded: "Set[str]",
         attempt: int,
         on_attempt: "Optional[Callable[[LiveAttempt], object]]",
+        num_slices: int = 1,
     ) -> LiveRepairReport:
         start = trace.now()
         available = {
@@ -340,6 +347,7 @@ class LiveCoordinator:
                         dest_id,
                         addresses,
                         repair_id,
+                        num_slices,
                     ),
                 )
             else:
@@ -396,6 +404,7 @@ class LiveCoordinator:
                 attempt=attempt,
                 destination=dest_id,
                 helpers=len(recipe.helpers),
+                slices=num_slices,
                 **({} if ctx is None else {"trace_id": ctx.trace_id}),
             )
             trace.ingest_records_as_spans(
@@ -497,6 +506,7 @@ class LiveCoordinator:
         dest_id: str,
         addresses: "Dict[str, Address]",
         repair_id: str,
+        num_slices: int = 1,
     ) -> "Tuple[np.ndarray, list, list]":
         requests = build_partial_requests(
             plan,
@@ -507,6 +517,7 @@ class LiveCoordinator:
             node_id_for=lambda n: self._node_server(
                 n, helper_servers, dest_id
             ),
+            num_slices=num_slices,
         )
         peers = {sid: list(addr.to_wire()) for sid, addr in addresses.items()}
 

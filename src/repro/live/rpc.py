@@ -8,6 +8,14 @@ sender, chunk puts overwrite identically).  :class:`RpcServer` dispatches
 each incoming frame on its own task, so a long-running handler (the
 repair destination waiting for its subtree) never blocks pings or
 partial results arriving on the same connection.
+
+Streaming (wire protocol v2) rides on the same request/response calls:
+:class:`StreamSender` drives one outbound BEGIN / DATA* / END sequence
+with a bounded send window, and :class:`StreamInbox` holds each inbound
+stream's frames in a bounded queue until the owner (the chunk server's
+per-stream aggregation task) consumes them.  Backpressure is end to end:
+a full inbound queue delays the DATA ack, an unacked DATA frame occupies
+a window slot, and a full window stalls the sender.
 """
 
 from __future__ import annotations
@@ -15,7 +23,15 @@ from __future__ import annotations
 import asyncio
 import itertools
 from dataclasses import dataclass
-from typing import Awaitable, Callable, Dict, Optional, Sequence, Set
+from typing import (
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
 import numpy as np
 
@@ -23,18 +39,20 @@ from repro import obs
 from repro.obs import causal
 from repro.errors import (
     RpcConnectionError,
+    RpcError,
     RpcRemoteError,
     RpcTimeoutError,
+    StreamError,
     WireFormatError,
 )
 from repro.live.config import LiveConfig
 from repro.live.wire import (
     Frame,
     MessageType,
-    encode_frame,
     error_frame,
     read_frame,
     response_frame,
+    write_frame,
 )
 
 #: A handler takes the request frame and returns ``(payload, buffers)``,
@@ -244,7 +262,7 @@ class RpcClient:
         )
         self._pending[request_id] = future
         try:
-            writer.write(encode_frame(frame))
+            write_frame(writer, frame)
             await writer.drain()
         except (ConnectionError, OSError) as exc:
             self._pending.pop(request_id, None)
@@ -447,7 +465,274 @@ class RpcServer:
             if writer.is_closing():
                 return
             try:
-                writer.write(encode_frame(response))
+                write_frame(writer, response)
                 await writer.drain()
             except (ConnectionError, OSError):
                 pass  # peer is gone; it will retry or time out
+
+
+# ----------------------------------------------------------------------
+# Streaming (wire v2): windowed sender, bounded per-stream inbox
+# ----------------------------------------------------------------------
+class StreamSender:
+    """Sender half of one wire stream over an :class:`RpcClient`.
+
+    Lifecycle is strict — ``begin()``, any number of ``data()`` calls,
+    then ``end()`` — and ``end()`` first drains every in-flight DATA ack,
+    so by protocol the receiver has fully aggregated each segment before
+    END goes out (docs/PROTOCOL.md, stream state machine).  ``data()``
+    blocks when ``config.stream_window`` sends are unacknowledged; a
+    failed send poisons the stream and surfaces on the next call.
+    """
+
+    def __init__(
+        self,
+        client: RpcClient,
+        stream_id: str,
+        config: "Optional[LiveConfig]" = None,
+    ):
+        self.client = client
+        self.stream_id = stream_id
+        self.config = config or client.config
+        self.bytes_sent = 0
+        self._window = asyncio.Semaphore(self.config.stream_window)
+        self._inflight: "Set[asyncio.Task[None]]" = set()
+        self._error: "Optional[Exception]" = None
+        self._begun = False
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._error is not None:
+            raise self._error
+        if self._closed:
+            raise StreamError(f"stream {self.stream_id} already closed")
+
+    async def begin(self, payload: "Dict[str, object]") -> Frame:
+        """Open the stream; the ack means the receiver allocated for it."""
+        self._check_open()
+        if self._begun:
+            raise StreamError(f"stream {self.stream_id} already begun")
+        self._begun = True
+        try:
+            return await self.client.call(
+                MessageType.STREAM_BEGIN,
+                {**payload, "stream_id": self.stream_id},
+                timeout=self.config.rpc_timeout,
+            )
+        except RpcError as exc:
+            self._error = exc
+            raise
+
+    async def data(
+        self,
+        payload: "Dict[str, object]",
+        buffers: "Dict[int, np.ndarray]",
+    ) -> None:
+        """Send one segment, waiting for a window slot first.
+
+        Returns once the frame is in flight (not acknowledged); failures
+        of any outstanding send raise here or at :meth:`end`.
+        """
+        self._check_open()
+        if not self._begun:
+            raise StreamError(f"stream {self.stream_id} has no BEGIN")
+        await self._window.acquire()
+        if self._error is not None:  # poisoned while we waited
+            self._window.release()
+            raise self._error
+        task = asyncio.create_task(
+            self._send_data({**payload, "stream_id": self.stream_id}, buffers)
+        )
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _send_data(
+        self,
+        payload: "Dict[str, object]",
+        buffers: "Dict[int, np.ndarray]",
+    ) -> None:
+        try:
+            await self.client.call(
+                MessageType.STREAM_DATA,
+                payload,
+                buffers=buffers,
+                timeout=self.config.rpc_timeout,
+            )
+            self.bytes_sent += sum(int(b.nbytes) for b in buffers.values())
+        except Exception as exc:  # noqa: BLE001 - poison, re-raised at end()
+            if self._error is None:
+                self._error = exc
+        finally:
+            self._window.release()
+
+    async def drain(self) -> None:
+        """Wait until every sent DATA frame is acknowledged."""
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        if self._error is not None:
+            raise self._error
+
+    async def end(self, payload: "Dict[str, object]") -> Frame:
+        """Drain outstanding DATA acks, then close the stream with END."""
+        self._check_open()
+        if not self._begun:
+            raise StreamError(f"stream {self.stream_id} has no BEGIN")
+        await self.drain()
+        self._closed = True
+        return await self.client.call(
+            MessageType.STREAM_END,
+            {**payload, "stream_id": self.stream_id},
+            timeout=self.config.rpc_timeout,
+        )
+
+    async def abort(self, reason: str) -> None:
+        """Best-effort ABORT so the receiver can free stream state now."""
+        if self._closed:
+            return
+        self._closed = True
+        for task in list(self._inflight):
+            task.cancel()
+        try:
+            await self.client.call(
+                MessageType.STREAM_ABORT,
+                {"stream_id": self.stream_id, "reason": reason},
+                timeout=self.config.connect_timeout,
+                retries=0,
+            )
+        except RpcError:
+            pass  # the receiver's wait timeout cleans up on its own
+
+
+#: Queue sentinel marking the end of an inbound stream.
+_STREAM_DONE = object()
+
+
+class InboundStream:
+    """Receiver state for one stream: metadata plus a bounded frame queue.
+
+    The transport (RPC handlers) pushes DATA frames with :meth:`deliver`;
+    the owning aggregation task pulls them with :meth:`next_frame` until
+    it returns ``None`` (END observed) — or raises
+    :class:`~repro.errors.RepairAbortedError` after :meth:`abort`.
+    """
+
+    def __init__(
+        self,
+        stream_id: str,
+        begin_payload: "Dict[str, object]",
+        maxsize: int,
+    ):
+        self.stream_id = stream_id
+        self.begin = dict(begin_payload)
+        self.repair_id = str(begin_payload.get("repair_id", ""))
+        self.sender = str(begin_payload.get("sender", ""))
+        self.opened_at: "Optional[float]" = None
+        self.bytes_received = 0
+        self.aborted: "Optional[str]" = None
+        #: END frame payload, stashed by the END handler before finish().
+        self.end_payload: "Optional[Dict[str, object]]" = None
+        #: Set once the consumer has drained the stream (or died trying);
+        #: the END handler awaits it so its ack means "fully aggregated".
+        self.consumed: asyncio.Event = asyncio.Event()
+        #: The consumer's failure, surfaced to the END handler.
+        self.error: "Optional[Exception]" = None
+        # The bound applies to DATA frames only (a semaphore over an
+        # unbounded queue), so the END/ABORT sentinel can always land
+        # even when the consumer is maximally behind.
+        self._queue: "asyncio.Queue[object]" = asyncio.Queue()
+        self._slots = asyncio.Semaphore(maxsize)
+        self._finished = False
+
+    async def deliver(self, frame: Frame, timeout: float) -> None:
+        """Queue one DATA frame; blocks (bounded) until there is room.
+
+        The block is the backpressure: the ack only goes out once the
+        frame is queued.  A consumer that stalls past ``timeout`` fails
+        the delivery instead of wedging the RPC dispatch task forever.
+        """
+        if self.aborted is not None or self._finished:
+            raise StreamError(
+                f"stream {self.stream_id} is closed to new frames"
+            )
+        try:
+            await asyncio.wait_for(self._slots.acquire(), timeout=timeout)
+        except asyncio.TimeoutError:
+            raise StreamError(
+                f"stream {self.stream_id} receiver stalled: inbound queue "
+                f"full for {timeout}s"
+            ) from None
+        self._queue.put_nowait(frame)
+
+    def finish(self) -> None:
+        """Mark the end of the stream (END frame observed)."""
+        self._finished = True
+        self._queue.put_nowait(_STREAM_DONE)
+
+    def abort(self, reason: str) -> None:
+        self.aborted = reason
+        self._queue.put_nowait(_STREAM_DONE)
+
+    async def next_frame(self) -> "Optional[Frame]":
+        """The next DATA frame, or ``None`` once the stream ended."""
+        item = await self._queue.get()
+        if item is _STREAM_DONE:
+            if self.aborted is not None:
+                from repro.errors import RepairAbortedError
+
+                raise RepairAbortedError(
+                    f"stream {self.stream_id} aborted: {self.aborted}"
+                )
+            return None
+        assert isinstance(item, Frame)
+        self._slots.release()
+        return item
+
+
+class StreamInbox:
+    """All inbound streams of one server, keyed by stream id."""
+
+    def __init__(self, config: "Optional[LiveConfig]" = None):
+        self.config = config or LiveConfig()
+        self._streams: "Dict[str, InboundStream]" = {}
+
+    def open(
+        self, stream_id: str, begin_payload: "Dict[str, object]"
+    ) -> InboundStream:
+        """Register a stream; duplicate BEGINs return the existing one
+        (RPC retries must be idempotent)."""
+        stream = self._streams.get(stream_id)
+        if stream is None:
+            stream = InboundStream(
+                stream_id, begin_payload, self.config.stream_queue_depth
+            )
+            self._streams[stream_id] = stream
+        return stream
+
+    def get(self, stream_id: str) -> InboundStream:
+        stream = self._streams.get(stream_id)
+        if stream is None:
+            raise StreamError(f"unknown stream {stream_id}")
+        return stream
+
+    def discard(self, stream_id: str) -> None:
+        self._streams.pop(stream_id, None)
+
+    def abort_repair(self, repair_id: str, reason: str) -> "List[str]":
+        """Abort every stream belonging to ``repair_id``; returns ids."""
+        hit = [
+            sid
+            for sid, stream in self._streams.items()
+            if stream.repair_id == repair_id
+        ]
+        for sid in hit:
+            stream = self._streams.pop(sid)
+            stream.abort(reason)
+        return hit
+
+    def close(self, reason: str) -> None:
+        streams, self._streams = list(self._streams.values()), {}
+        for stream in streams:
+            stream.abort(reason)
+
+    def __len__(self) -> int:
+        return len(self._streams)

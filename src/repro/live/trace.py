@@ -97,6 +97,39 @@ def phase_record(
     return record
 
 
+#: Pseudo-phase of per-slice stream detail records.  Deliberately *not*
+#: in :data:`PHASES`: slice records are timeline detail only — the
+#: breakdown skips them and they never enter the causal DAG, so one
+#: streamed hop still contributes exactly one ``network`` node and
+#: Theorem-1 transfer-depth conformance is unchanged by slicing.
+SLICE_PHASE = "slice"
+
+
+def slice_record(
+    start: float,
+    end: float,
+    node: str,
+    **attrs: Any,
+) -> TraceRecord:
+    """Build one per-slice stream detail record (phase ``"slice"``).
+
+    Carries the merge interval for one STREAM_DATA segment plus attrs
+    (``slice``, ``offset``, ``nbytes``, ``src``).  Unlike
+    :func:`phase_record` it is never causally tagged — the whole stream's
+    single ``network`` record carries the gid/deps for the hop.
+    """
+    start, end = clip_interval(start, end)
+    record: TraceRecord = {
+        "phase": SLICE_PHASE,
+        "start": start,
+        "end": end,
+        "node": node,
+    }
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
 def traffic_record(src: str, dst: str, nbytes: int) -> TrafficRecord:
     """Build one wire-format traffic record."""
     return {"src": src, "dst": dst, "bytes": int(nbytes)}
@@ -159,6 +192,12 @@ def ingest_records_as_spans(
     synthesized deterministically with
     :func:`repro.obs.causal.trace_id_for`, so old traces still stitch
     into one DAG per repair.
+
+    Records whose phase is outside :data:`PHASES` (per-slice stream
+    detail, see :func:`slice_record`) are ingested under the
+    ``"live.stream"`` category instead of ``category``, which keeps them
+    visible in timelines but out of DAG stitching and conformance — a
+    sliced hop must not inflate the Theorem-1 transfer depth.
     """
     count = 0
     for record in trace:
@@ -179,12 +218,13 @@ def ingest_records_as_spans(
             repair_id = attrs.get("repair_id")
             if isinstance(repair_id, str) and repair_id:
                 attrs["trace_id"] = causal.trace_id_for(repair_id)
+        phase = str(record["phase"])
         tracer.record_span(
-            f"live.phase.{record['phase']}",
+            f"live.phase.{phase}",
             float(record["start"]),  # type: ignore[arg-type]
             float(record["end"]),  # type: ignore[arg-type]
             node=str(record.get("node", "")),
-            category=category,
+            category=category if phase in PHASES else "live.stream",
             parent_id=parent_id,
             **attrs,
         )

@@ -1,10 +1,10 @@
-"""Length-prefixed framed wire format of the live deployment.
+"""Length-prefixed framed wire format of the live deployment (v2).
 
 One frame is::
 
     offset  size  field
     0       2     magic ``b"PP"``
-    2       1     protocol version (currently 1)
+    2       1     protocol version (2; v1 peers are still understood)
     3       1     message type (:class:`MessageType`)
     4       1     flags (bit 0 = response, bit 1 = error)
     5       4     request id (big-endian; response echoes the request's)
@@ -27,9 +27,20 @@ as raw buffers.
 A second reserved header key, ``__trace__``, optionally carries the causal
 trace context (``{"trace_id": ..., "span_id": ...}``, see
 :mod:`repro.obs.causal`) of the caller.  It is stripped from the payload on
-decode, attached to requests only when a repair is being traced, and —
-being just another JSON key — ignored by peers that predate it, so the
-frame format stays version 1.  See ``docs/PROTOCOL.md``.
+decode and attached to requests only when a repair is being traced.
+
+Version 2 adds the *stream plane*: a sliced bulk transfer travels as a
+``STREAM_BEGIN`` / ``STREAM_DATA``* / ``STREAM_END`` sub-frame sequence
+(``STREAM_ABORT`` for early teardown), each an ordinary acknowledged
+frame, so one logical transfer pipelines across hops without any single
+frame holding the whole chunk.  Readers accept both versions — v1 never
+emits stream types, and every v1 frame is bit-identical under v2 — and
+reject anything else.  The normative spec is ``docs/PROTOCOL.md``.
+
+Senders should prefer :func:`write_frame` (or :func:`frame_parts`) over
+:func:`encode_frame`: it writes each buffer's ``memoryview`` straight to
+the transport, so slicing a chunk into stream segments never copies the
+payload bytes.
 """
 
 from __future__ import annotations
@@ -39,14 +50,18 @@ import enum
 import json
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ReproError, WireFormatError
 
 MAGIC = b"PP"
-VERSION = 1
+#: Version stamped on every emitted frame.
+VERSION = 2
+#: Versions :func:`read_frame` accepts.  v1 is the pre-stream protocol —
+#: a strict subset of v2 — so old peers interoperate unmodified.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Frame header: magic, version, type, flags, request id, body length.
 HEADER = struct.Struct("!2sBBBII")
@@ -80,6 +95,11 @@ class MessageType(enum.IntEnum):
     # Telemetry plane
     STATS = 40
     HEALTH = 41
+    # Stream plane (v2): sliced bulk transfer as BEGIN / DATA* / END
+    STREAM_BEGIN = 50
+    STREAM_DATA = 51
+    STREAM_END = 52
+    STREAM_ABORT = 53
 
 
 @dataclass
@@ -111,34 +131,69 @@ class Frame:
         )
 
 
-def encode_frame(frame: Frame) -> bytes:
-    """Serialize a frame to wire bytes."""
+def slice_bounds(length: int, num_slices: int) -> "List[int]":
+    """Byte offsets cutting a ``length``-byte row into ``num_slices``.
+
+    Returns ``num_slices + 1`` monotone offsets starting at 0 and ending
+    at ``length``; segment ``i`` is ``[bounds[i], bounds[i+1])``.  Slices
+    differ in size by at most one byte, and rows shorter than the slice
+    count simply yield empty tail segments — both ends of a stream must
+    use this same rule, so it is part of the protocol (docs/PROTOCOL.md).
+    """
+    if num_slices < 1:
+        raise WireFormatError(f"num_slices must be >= 1, got {num_slices}")
+    return [length * i // num_slices for i in range(num_slices + 1)]
+
+
+def frame_parts(frame: Frame) -> "List[Union[bytes, memoryview]]":
+    """Serialize a frame as a list of write-ready parts (zero-copy).
+
+    The first part is the fixed header plus JSON header; each buffer
+    follows as a ``memoryview`` over its array — a stream segment that is
+    a slice view of the sender's partial rows goes on the socket without
+    ever being copied.  Non-contiguous or non-uint8 buffers fall back to
+    a contiguous copy, which is the only way to put them on a wire.
+    """
     header = dict(frame.payload)
     index = []
-    blobs = []
+    views: "List[Union[bytes, memoryview]]" = []
     for key in sorted(frame.buffers):
         buf = np.ascontiguousarray(frame.buffers[key], dtype=np.uint8)
         index.append([int(key), int(buf.size)])
-        blobs.append(buf.tobytes())
+        views.append(buf.data)
     if index:
         header["__buffers__"] = index
     if frame.trace is not None:
         header["__trace__"] = frame.trace
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    body = b"".join(
-        [struct.pack("!I", len(header_bytes)), header_bytes, *blobs]
-    )
-    return (
+    body_len = 4 + len(header_bytes) + sum(len(v) for v in views)
+    head = (
         HEADER.pack(
             MAGIC,
             VERSION,
             int(frame.mtype),
             frame.flags,
             frame.request_id,
-            len(body),
+            body_len,
         )
-        + body
+        + struct.pack("!I", len(header_bytes))
+        + header_bytes
     )
+    return [head, *views]
+
+
+def write_frame(writer: asyncio.StreamWriter, frame: Frame) -> None:
+    """Queue a frame on ``writer`` without copying its buffers.
+
+    Callers still ``await writer.drain()`` themselves — batching several
+    frames before one drain is valid and the transport handles it.
+    """
+    writer.writelines(frame_parts(frame))
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame to one contiguous ``bytes`` (copies buffers)."""
+    return b"".join(bytes(part) for part in frame_parts(frame))
 
 
 def decode_body(mtype: int, flags: int, request_id: int, body: bytes) -> Frame:
@@ -203,7 +258,7 @@ async def read_frame(
     magic, version, mtype, flags, request_id, body_len = HEADER.unpack(head)
     if magic != MAGIC:
         raise WireFormatError(f"bad magic {magic!r}")
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise WireFormatError(f"unsupported protocol version {version}")
     if body_len > max_frame_bytes:
         raise WireFormatError(

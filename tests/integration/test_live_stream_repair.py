@@ -1,0 +1,224 @@
+"""Sliced (wire v2) live repairs: byte-identity, causality, recovery.
+
+The pipelined data path must change *nothing* observable except timing:
+for every scheme and slice count the rebuilt bytes equal centralized
+decode, the stitched causal DAG has the same Theorem-1 transfer depth as
+the unsliced path, and a helper dying mid-stream still ends in a
+successful replan.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.codes.registry import make_code
+from repro.live import LiveCluster, LiveConfig
+from repro.live.coordinator import LiveAttempt
+from repro.obs import causal, conformance
+from repro.repair.executor import execute_plan
+from repro.repair.plan import build_plan
+
+CODES = ["rs(6,3)", "crs(6,3)", "lrc(6,2,2)"]
+SLICES = [1, 8, 64]
+
+CONFIG = LiveConfig(
+    heartbeat_interval=0.2,
+    failure_detection_timeout=1.0,
+    rpc_timeout=5.0,
+    partial_wait_timeout=5.0,
+    repair_timeout=15.0,
+)
+
+
+def run_sliced_repair(
+    spec: str,
+    strategy: str,
+    num_slices: int,
+    lost_index: int = 2,
+    payload_bytes: int = 1152,
+):
+    """One cluster lifecycle: write, kill, repair with S slices."""
+
+    async def scenario():
+        async with LiveCluster(
+            num_servers=10, config=CONFIG, payload_bytes=payload_bytes
+        ) as cluster:
+            stripe = await cluster.write_stripe(spec, chunk_size="64MiB")
+            truth = {
+                index: cluster.truth_payload(chunk_id)
+                for index, chunk_id in enumerate(stripe.chunk_ids)
+            }
+            await cluster.kill_server(stripe.hosts[lost_index])
+            report = await cluster.repair(
+                stripe.stripe_id,
+                lost_index=lost_index,
+                strategy=strategy,
+                num_slices=num_slices,
+            )
+            return stripe, truth, report
+
+    return asyncio.run(scenario())
+
+
+class TestSlicedByteIdentity:
+    @pytest.mark.parametrize("spec", CODES)
+    @pytest.mark.parametrize("strategy", ["ppr", "chain"])
+    @pytest.mark.parametrize("num_slices", SLICES)
+    def test_matches_centralized_decode(self, spec, strategy, num_slices):
+        lost_index = 2
+        stripe, truth, report = run_sliced_repair(
+            spec, strategy, num_slices, lost_index
+        )
+        code = make_code(spec)
+        recipe = code.repair_recipe(
+            lost_index, [i for i in range(code.n) if i != lost_index]
+        )
+        plan = build_plan(strategy, recipe)
+        central = execute_plan(plan, {h: truth[h] for h in recipe.helpers})
+
+        assert np.array_equal(report.payload, central)
+        assert np.array_equal(report.payload, truth[lost_index])
+        assert report.result.verified
+        assert report.attempts == 1
+
+    def test_star_ignores_slicing(self):
+        """Raw-collection strategies move whole rows; slices are a no-op."""
+        _, truth, report = run_sliced_repair("rs(6,3)", "star", 8)
+        assert report.result.verified
+        assert np.array_equal(report.payload, truth[2])
+
+    def test_odd_sizes_partition_cleanly(self):
+        """Row length not divisible by S: uneven slice_bounds still cover."""
+        _, truth, report = run_sliced_repair(
+            "rs(6,3)", "ppr", 7, payload_bytes=1153 * 6 - 5
+        )
+        assert report.result.verified
+
+    def test_traffic_volume_is_unchanged_by_slicing(self):
+        """Slicing repartitions bytes; it must not add or drop any."""
+        _, _, whole = run_sliced_repair("rs(6,3)", "ppr", 1)
+        _, _, sliced = run_sliced_repair("rs(6,3)", "ppr", 8)
+        assert (
+            sliced.result.traffic.total_bytes()
+            == whole.result.traffic.total_bytes()
+        )
+
+
+class TestSlicedCausality:
+    """Slicing must not change the stitched DAG's Theorem-1 shape."""
+
+    def stitched_reports(self, strategy: str, num_slices: int):
+        with obs.recording() as tracer:
+            run_sliced_repair("rs(4,2)", strategy, num_slices)
+        spans = list(tracer.spans)
+        return conformance.check_trace(causal.stitch(spans)), spans
+
+    @pytest.mark.parametrize("strategy", ["ppr", "chain"])
+    @pytest.mark.parametrize("num_slices", [1, 8])
+    def test_transfer_depth_conforms(self, strategy, num_slices):
+        reports, _ = self.stitched_reports(strategy, num_slices)
+        assert reports, "no stitched repair in trace"
+        for report in reports:
+            depth = next(
+                c
+                for c in report.checks
+                if c.name == "structure.transfer_depth"
+            )
+            assert depth.status == conformance.PASS, (
+                f"{strategy} S={num_slices}: observed {depth.observed} "
+                f"!= predicted {depth.predicted}"
+            )
+
+    def test_sliced_hop_is_one_network_span(self):
+        """Per-hop causality: one tagged network record per stream, with
+        the per-slice detail parked outside the conformance DAG."""
+        _, spans = self.stitched_reports("chain", 8)
+        network = [
+            s
+            for s in spans
+            if s.name == "live.phase.network"
+            and s.category == "live.phase"
+        ]
+        slices = [s for s in spans if s.category == "live.stream"]
+        # chain over rs(4,2): 4 helpers + destination = 4 hops, and
+        # every hop is streamed, so each contributes 8 slice records.
+        assert len(network) == 4
+        assert all(s.attrs.get("streamed") for s in network)
+        assert len(slices) == 4 * 8
+        # slice records never carry causal tags
+        assert all("gid" not in s.attrs for s in slices)
+
+
+class TestStreamFailureRecovery:
+    def test_helper_death_mid_stream_replans(self):
+        """Kill a helper while its stream is open; the repair replans."""
+
+        async def scenario():
+            config = LiveConfig(
+                heartbeat_interval=0.3,
+                failure_detection_timeout=1.5,
+                connect_timeout=1.0,
+                rpc_timeout=1.0,
+                partial_wait_timeout=1.0,
+                repair_timeout=4.0,
+                max_retries=1,
+                backoff_base=0.02,
+                backoff_max=0.1,
+                max_attempts=2,
+                compute_delay=0.4,
+            )
+            async with LiveCluster(
+                num_servers=10, config=config, payload_bytes=1152
+            ) as cluster:
+                stripe = await cluster.write_stripe("rs(6,3)")
+                lost = 0
+                truth = cluster.truth_payload(stripe.chunk_ids[lost])
+                await cluster.kill_server(stripe.hosts[lost])
+
+                killed = []
+
+                def on_attempt(info: LiveAttempt) -> None:
+                    if info.attempt != 1:
+                        return
+                    victim = next(
+                        a
+                        for a in info.aggregators
+                        if a != info.destination
+                    )
+                    killed.append(victim)
+
+                    async def assassin() -> None:
+                        server = cluster.server(victim)
+                        # Wait until the victim is mid-repair — its
+                        # stream to the parent is open (compute_delay
+                        # holds the pipeline at the first slice).
+                        while not server.tasks:
+                            await asyncio.sleep(0.01)
+                        await cluster.kill_server(victim)
+
+                    asyncio.create_task(assassin())
+
+                report = await cluster.repair(
+                    stripe.stripe_id,
+                    lost_index=lost,
+                    strategy="ppr",
+                    on_attempt=on_attempt,
+                    num_slices=8,
+                )
+                assert killed, "no aggregator was killed"
+                assert report.attempts == 2
+                assert killed[0] in report.excluded
+                assert report.result.verified
+                assert np.array_equal(report.payload, truth)
+
+                # No server leaks stream state after the dust settles.
+                for server in cluster.servers.values():
+                    if server.alive:
+                        assert len(server.inbox) == 0
+                        assert not server.tasks
+
+        asyncio.run(scenario())

@@ -1,0 +1,506 @@
+"""Wire v2 stream plane: framing, sender window, bounded inbox, slices.
+
+Covers the protocol-level edge cases the spec (docs/PROTOCOL.md) calls
+out: golden-bytes pinning of the v2 encoding, version acceptance,
+out-of-order and duplicate slice segments, truncated streams (peer death
+mid-transfer), abort semantics, and receiver backpressure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.codes.recipe import RepairRecipe
+from repro.errors import (
+    RepairAbortedError,
+    RpcError,
+    StreamError,
+    WireFormatError,
+)
+from repro.fs.messages import PartialOpRequest
+from repro.live.chunkserver import _PartialTask
+from repro.live.config import LiveConfig
+from repro.live.rpc import (
+    InboundStream,
+    RpcClient,
+    RpcServer,
+    StreamInbox,
+    StreamSender,
+)
+from repro.live.wire import (
+    HEADER,
+    SUPPORTED_VERSIONS,
+    VERSION,
+    Frame,
+    MessageType,
+    encode_frame,
+    frame_parts,
+    read_frame,
+    slice_bounds,
+)
+
+CONFIG = LiveConfig(
+    connect_timeout=1.0,
+    rpc_timeout=1.0,
+    partial_wait_timeout=1.0,
+    max_retries=0,
+    backoff_base=0.01,
+    backoff_max=0.05,
+    stream_window=4,
+    stream_queue_depth=4,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# Encoding: golden bytes, version negotiation, zero-copy parts
+# ----------------------------------------------------------------------
+class TestWireV2Encoding:
+    #: Hand-checkable v2 STREAM_DATA frame: magic "PP", version 2,
+    #: mtype 51, flags 0, request_id 7, then 4-byte JSON length, the
+    #: header JSON (payload keys in insertion order, ``__buffers__``
+    #: appended last) and the raw segment bytes 00 01 02 03.
+    GOLDEN_HEX = (
+        "50500233000000000700000052000000"
+        "4a7b2273747265616d5f6964223a2272312f63732d3030222c22736c696365"
+        "5f696e646578223a332c226f6666736574223a31362c225f5f627566666572"
+        "735f5f223a5b5b322c345d5d7d00010203"
+    )
+
+    def golden_frame(self) -> Frame:
+        return Frame(
+            mtype=MessageType.STREAM_DATA,
+            request_id=7,
+            payload={
+                "stream_id": "r1/cs-00",
+                "slice_index": 3,
+                "offset": 16,
+            },
+            buffers={2: np.arange(4, dtype=np.uint8)},
+        )
+
+    def test_golden_bytes(self):
+        """The v2 encoding is pinned byte-for-byte.
+
+        If this fails you changed the wire format: bump VERSION and
+        update docs/PROTOCOL.md (including its worked hexdump).
+        """
+        assert encode_frame(self.golden_frame()).hex() == self.GOLDEN_HEX
+
+    def test_golden_bytes_decode(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(bytes.fromhex(self.GOLDEN_HEX))
+            reader.feed_eof()
+            return await read_frame(reader, CONFIG.max_frame_bytes)
+
+        frame = run(scenario())
+        assert frame.mtype is MessageType.STREAM_DATA
+        assert frame.request_id == 7
+        assert frame.payload["slice_index"] == 3
+        assert frame.payload["offset"] == 16
+        assert np.array_equal(
+            frame.buffers[2], np.arange(4, dtype=np.uint8)
+        )
+
+    @pytest.mark.parametrize("version", SUPPORTED_VERSIONS)
+    def test_reader_accepts_supported_versions(self, version):
+        raw = bytearray(encode_frame(self.golden_frame()))
+        raw[2] = version
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(bytes(raw))
+            reader.feed_eof()
+            return await read_frame(reader, CONFIG.max_frame_bytes)
+
+        frame = run(scenario())
+        assert frame.payload["stream_id"] == "r1/cs-00"
+
+    @pytest.mark.parametrize("version", [0, 3, 9, 255])
+    def test_reader_rejects_unknown_versions(self, version):
+        raw = bytearray(encode_frame(self.golden_frame()))
+        raw[2] = version
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(bytes(raw))
+            reader.feed_eof()
+            return await read_frame(reader, CONFIG.max_frame_bytes)
+
+        with pytest.raises(WireFormatError):
+            run(scenario())
+
+    def test_writer_emits_version_2(self):
+        raw = encode_frame(self.golden_frame())
+        _, version, _, _, _, _ = HEADER.unpack(raw[: HEADER.size])
+        assert version == VERSION == 2
+
+    def test_frame_parts_are_zero_copy(self):
+        """Buffer parts alias the source arrays — no serialization copy."""
+        payload = np.arange(64, dtype=np.uint8)
+        frame = Frame(
+            mtype=MessageType.STREAM_DATA,
+            request_id=1,
+            payload={"stream_id": "s"},
+            buffers={0: payload},
+        )
+        parts = frame_parts(frame)
+        assert len(parts) == 2
+        view = parts[1]
+        assert isinstance(view, memoryview)
+        # Mutating the source shows through the part: it is a view.
+        payload[0] = 255
+        assert view[0] == 255
+
+    def test_frame_parts_concatenate_to_encode_frame(self):
+        frame = self.golden_frame()
+        joined = b"".join(bytes(p) for p in frame_parts(frame))
+        assert joined == encode_frame(frame)
+
+
+class TestSliceBounds:
+    @pytest.mark.parametrize("length", [0, 1, 7, 64, 1152])
+    @pytest.mark.parametrize("num_slices", [1, 2, 7, 64, 200])
+    def test_partition_covers_exactly(self, length, num_slices):
+        bounds = slice_bounds(length, num_slices)
+        assert len(bounds) == num_slices + 1
+        assert bounds[0] == 0 and bounds[-1] == length
+        assert all(a <= b for a, b in zip(bounds, bounds[1:]))
+        total = sum(b - a for a, b in zip(bounds, bounds[1:]))
+        assert total == length
+
+    def test_balanced_within_one_byte(self):
+        bounds = slice_bounds(1000, 7)
+        sizes = [b - a for a, b in zip(bounds, bounds[1:])]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_zero_slices(self):
+        with pytest.raises(WireFormatError):
+            slice_bounds(100, 0)
+
+
+# ----------------------------------------------------------------------
+# Per-slice GF aggregation state (_PartialTask)
+# ----------------------------------------------------------------------
+def make_task(children=("cs-01", "cs-02"), num_slices=4, chunk_id=None):
+    request = PartialOpRequest(
+        repair_id="r1",
+        stripe_id="s1",
+        chunk_id=chunk_id,
+        entries=(),
+        rows=2,
+        chunk_size=64.0,
+        children=tuple(children),
+        parent="cs-09",
+        send_rows=frozenset(),
+        send_fraction=1.0,
+        read_fraction=1.0,
+        num_slices=num_slices,
+    )
+    task = _PartialTask(request=request, peers={})
+    task.set_row_len(16)
+    return task
+
+
+class TestSliceAggregation:
+    def test_out_of_order_slices_merge_byte_identically(self):
+        """Segments arriving in any order produce the XOR of the wholes."""
+        rng = np.random.default_rng(5)
+        a = {0: rng.integers(0, 256, 16, np.uint8)}
+        b = {0: rng.integers(0, 256, 16, np.uint8)}
+        task = make_task(num_slices=4)
+        bounds = slice_bounds(16, 4)
+        # Child A delivers slices 3,0,2,1; child B delivers 1,3,0,2.
+        for sender, whole, order in (
+            ("cs-01", a, [3, 0, 2, 1]),
+            ("cs-02", b, [1, 3, 0, 2]),
+        ):
+            for index in order:
+                lo, hi = bounds[index], bounds[index + 1]
+                assert task.merge_segment(
+                    sender, index, lo, {0: whole[0][lo:hi]}
+                )
+        expected = RepairRecipe.merge_partials(a, b)
+        assert np.array_equal(task.partial[0], expected[0])
+        # every slice is now ready (no local chunk on this node)
+        for index in range(4):
+            assert task.slice_event(index).is_set()
+
+    def test_duplicate_segment_is_ignored(self):
+        task = make_task(children=("cs-01",), num_slices=2)
+        seg = np.arange(8, dtype=np.uint8)
+        assert task.merge_segment("cs-01", 0, 0, {0: seg})
+        before = task.partial[0].copy()
+        # RPC retry redelivers the same segment: must not double-XOR.
+        assert not task.merge_segment("cs-01", 0, 0, {0: seg})
+        assert np.array_equal(task.partial[0], before)
+
+    def test_unknown_sender_is_rejected(self):
+        task = make_task(children=("cs-01",))
+        with pytest.raises(StreamError):
+            task.merge_segment("cs-99", 0, 0, {0: np.zeros(4, np.uint8)})
+
+    def test_slice_index_out_of_range(self):
+        task = make_task(num_slices=2)
+        with pytest.raises(StreamError):
+            task.merge_segment("cs-01", 2, 0, {0: np.zeros(4, np.uint8)})
+
+    def test_segment_overrun_is_rejected(self):
+        task = make_task()
+        with pytest.raises(StreamError):
+            task.merge_segment("cs-01", 0, 12, {0: np.zeros(8, np.uint8)})
+
+    def test_row_len_mismatch_is_rejected(self):
+        task = make_task()
+        with pytest.raises(StreamError):
+            task.set_row_len(32)
+
+    def test_slice_waits_for_all_children(self):
+        task = make_task(children=("cs-01", "cs-02"), num_slices=2)
+        task.merge_segment("cs-01", 0, 0, {0: np.ones(8, np.uint8)})
+        assert not task.slice_event(0).is_set()
+        task.merge_segment("cs-02", 0, 0, {0: np.ones(8, np.uint8)})
+        assert task.slice_event(0).is_set()
+        assert not task.slice_event(1).is_set()
+
+
+# ----------------------------------------------------------------------
+# Transport: sender window, bounded inbox, abort, truncation
+# ----------------------------------------------------------------------
+async def stream_server(config=CONFIG):
+    """An RpcServer wired like a chunk server's stream plane."""
+    server = RpcServer("sink", config)
+    inbox = StreamInbox(config)
+
+    async def on_begin(frame: Frame):
+        inbox.open(str(frame.payload["stream_id"]), frame.payload)
+        return {"accepted": True}
+
+    async def on_data(frame: Frame):
+        stream = inbox.get(str(frame.payload["stream_id"]))
+        await stream.deliver(frame, timeout=config.partial_wait_timeout)
+        return {"queued": True}
+
+    async def on_end(frame: Frame):
+        stream = inbox.get(str(frame.payload["stream_id"]))
+        stream.end_payload = dict(frame.payload)
+        stream.finish()
+        return {"merged": True}
+
+    async def on_abort(frame: Frame):
+        stream_id = str(frame.payload["stream_id"])
+        stream = inbox.get(stream_id)
+        inbox.discard(stream_id)
+        stream.abort(str(frame.payload.get("reason", "")))
+        return {"aborted": True}
+
+    server.register(MessageType.STREAM_BEGIN, on_begin)
+    server.register(MessageType.STREAM_DATA, on_data)
+    server.register(MessageType.STREAM_END, on_end)
+    server.register(MessageType.STREAM_ABORT, on_abort)
+    await server.start()
+    return server, inbox
+
+
+class TestStreamTransport:
+    def test_begin_data_end_roundtrip(self):
+        async def scenario():
+            server, inbox = await stream_server()
+            client = RpcClient(server.address, CONFIG)
+            sender = StreamSender(client, "r1/cs-00", CONFIG)
+            try:
+                await sender.begin({"repair_id": "r1", "sender": "cs-00"})
+                stream = inbox.get("r1/cs-00")
+                for index in range(3):
+                    await sender.data(
+                        {"slice_index": index, "offset": index * 4},
+                        {0: np.full(4, index, np.uint8)},
+                    )
+                got = []
+
+                async def consume():
+                    while True:
+                        frame = await stream.next_frame()
+                        if frame is None:
+                            return
+                        got.append(int(frame.payload["slice_index"]))
+
+                consumer = asyncio.create_task(consume())
+                await sender.end({"trailer": True})
+                await consumer
+                return got, stream.end_payload, sender.bytes_sent
+            finally:
+                await client.close()
+                await server.close()
+
+        got, trailer, sent = run(scenario())
+        assert sorted(got) == [0, 1, 2]
+        assert trailer["trailer"] is True
+        assert sent == 12
+
+    def test_data_without_begin_is_rejected(self):
+        async def scenario():
+            server, _ = await stream_server()
+            client = RpcClient(server.address, CONFIG)
+            sender = StreamSender(client, "r1/cs-00", CONFIG)
+            try:
+                with pytest.raises(StreamError):
+                    await sender.data({}, {0: np.zeros(1, np.uint8)})
+            finally:
+                await client.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_unknown_stream_id_is_a_remote_error(self):
+        async def scenario():
+            server, _ = await stream_server()
+            client = RpcClient(server.address, CONFIG)
+            try:
+                with pytest.raises(RpcError) as err:
+                    await client.call(
+                        MessageType.STREAM_DATA,
+                        {"stream_id": "never-opened", "slice_index": 0,
+                         "offset": 0},
+                        retries=0,
+                    )
+                return str(err.value)
+            finally:
+                await client.close()
+                await server.close()
+
+        assert "StreamError" in run(scenario())
+
+    def test_truncated_stream_poisons_sender(self):
+        """Peer death mid-stream surfaces at end(), not silently."""
+
+        async def scenario():
+            server, _ = await stream_server()
+            client = RpcClient(server.address, CONFIG)
+            sender = StreamSender(client, "r1/cs-00", CONFIG)
+            try:
+                await sender.begin({"repair_id": "r1", "sender": "cs-00"})
+                await sender.data(
+                    {"slice_index": 0, "offset": 0},
+                    {0: np.zeros(4, np.uint8)},
+                )
+                await sender.drain()
+                # The receiver dies: remaining DATA and END must fail.
+                await server.close(abort=True)
+                try:
+                    await sender.data(
+                        {"slice_index": 1, "offset": 4},
+                        {0: np.zeros(4, np.uint8)},
+                    )
+                    await sender.end({})
+                except (RpcError, StreamError):
+                    return True
+                return False
+            finally:
+                await client.close()
+
+        assert run(scenario())
+
+    def test_stream_abort_frees_receiver_state(self):
+        async def scenario():
+            server, inbox = await stream_server()
+            client = RpcClient(server.address, CONFIG)
+            sender = StreamSender(client, "r1/cs-00", CONFIG)
+            try:
+                await sender.begin({"repair_id": "r1", "sender": "cs-00"})
+                stream = inbox.get("r1/cs-00")
+                await sender.abort("helper failed")
+                with pytest.raises(RepairAbortedError):
+                    await stream.next_frame()
+                assert len(inbox) == 0
+                # the sender is closed: no frames after ABORT
+                with pytest.raises(StreamError):
+                    await sender.end({})
+            finally:
+                await client.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_abort_repair_sweeps_all_streams(self):
+        async def scenario():
+            inbox = StreamInbox(CONFIG)
+            inbox.open("r1/cs-00", {"repair_id": "r1", "sender": "cs-00"})
+            aborted = inbox.open(
+                "r1/cs-01", {"repair_id": "r1", "sender": "cs-01"}
+            )
+            inbox.open("r2/cs-00", {"repair_id": "r2", "sender": "cs-00"})
+            hit = inbox.abort_repair("r1", "coordinator replan")
+            assert sorted(hit) == ["r1/cs-00", "r1/cs-01"]
+            assert len(inbox) == 1  # r2's stream survives
+            with pytest.raises(RepairAbortedError):
+                await aborted.next_frame()
+            return True
+
+        assert run(scenario())
+
+    def test_backpressure_stalls_then_times_out(self):
+        """A consumer that never drains fails DATA with a clear error."""
+        config = LiveConfig(
+            connect_timeout=1.0,
+            rpc_timeout=2.0,
+            partial_wait_timeout=0.2,
+            max_retries=0,
+            stream_window=1,
+            stream_queue_depth=1,
+        )
+
+        async def scenario():
+            server, inbox = await stream_server(config)
+            client = RpcClient(server.address, config)
+            sender = StreamSender(client, "r1/cs-00", config)
+            try:
+                await sender.begin({"repair_id": "r1", "sender": "cs-00"})
+                # Nobody consumes: slot 1 queues, slot 2 must stall and
+                # eventually fail with the receiver-stalled StreamError.
+                await sender.data(
+                    {"slice_index": 0, "offset": 0},
+                    {0: np.zeros(4, np.uint8)},
+                )
+                await sender.data(
+                    {"slice_index": 1, "offset": 4},
+                    {0: np.zeros(4, np.uint8)},
+                )
+                with pytest.raises((RpcError, StreamError)) as err:
+                    await sender.drain()
+                    await sender.end({})
+                return str(err.value)
+            finally:
+                await client.close()
+                await server.close()
+
+        message = run(scenario())
+        assert "stalled" in message or "full" in message
+
+    def test_queue_bound_applies_to_data_not_sentinel(self):
+        """END/ABORT always land, even when the DATA queue is full."""
+        config = LiveConfig(stream_queue_depth=1, partial_wait_timeout=0.2)
+
+        async def scenario():
+            stream = InboundStream("s", {}, maxsize=1)
+            frame = Frame(
+                mtype=MessageType.STREAM_DATA,
+                request_id=1,
+                payload={"stream_id": "s", "slice_index": 0, "offset": 0},
+            )
+            await stream.deliver(frame, timeout=0.2)
+            # Queue is at capacity; finish() must still succeed.
+            stream.finish()
+            first = await stream.next_frame()
+            assert first is not None
+            assert await stream.next_frame() is None
+            return True
+
+        assert run(scenario())
