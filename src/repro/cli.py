@@ -335,6 +335,14 @@ def _trace_record_sim(args: argparse.Namespace):
     )
     telemetry = cluster.enable_telemetry(interval=args.sample_interval)
     stripe = cluster.write_stripe(code, args.chunk_size)
+    profiler = None
+    if args.profile:
+        from repro.obs.profiler import VirtualProfiler
+
+        # Virtual-clock profiler: attributes simulated seconds to event
+        # callbacks.  Read-only on the simulation — results stay
+        # bit-identical to an unprofiled run.
+        profiler = VirtualProfiler().attach(cluster.sim)
     tracer = obs.enable(clock=lambda: cluster.sim.now, clock_name="virtual")
     result = run_single_repair(
         cluster,
@@ -347,6 +355,13 @@ def _trace_record_sim(args: argparse.Namespace):
         cluster.sim.events_executed
     )
     print(result.summary())
+    if profiler is not None:
+        profiler.profile.write_collapsed(args.profile)
+        print(
+            f"profile: {profiler.events_observed} events, "
+            f"{len(profiler.profile)} stacks -> {args.profile} "
+            f"(collapsed-stack format; feed to flamegraph.pl or speedscope)"
+        )
     meta = {
         "mode": "sim",
         "strategy": args.strategy,
@@ -371,6 +386,10 @@ async def _trace_record_live(args: argparse.Namespace):
     from repro.live import trace as live_trace
 
     tracer = obs.enable(clock=live_trace.now, clock_name="wall")
+    if args.profile:
+        from repro.obs import profiler as prof_mod
+
+        prof_mod.start_wall()
     coordinator = LiveCoordinator(_parse_address(args.meta), LiveConfig())
     try:
         report = await coordinator.repair(
@@ -380,6 +399,11 @@ async def _trace_record_live(args: argparse.Namespace):
         )
     finally:
         await coordinator.close()
+        if args.profile:
+            profile = prof_mod.stop_wall()
+            if profile is not None:
+                profile.write_collapsed(args.profile)
+                print(f"profile: {len(profile)} stacks -> {args.profile}")
     result = report.result
     print(
         f"repaired {result.stripe_id}#{result.lost_index} "
@@ -553,6 +577,15 @@ async def _top_live(args: argparse.Namespace) -> int:
             addresses = dict(listing.payload.get("servers", {}))  # type: ignore[arg-type]
             stats = await meta_client.call(MessageType.STATS, {})
             series = list(stats.payload.get("series", []))  # type: ignore[arg-type]
+            incidents: "Optional[list]" = [] if args.json else None
+            if args.json:
+                try:
+                    resp = await meta_client.call(
+                        MessageType.DOCTOR, {}, retries=0
+                    )
+                    incidents.extend(resp.payload.get("incidents", []))  # type: ignore[union-attr, arg-type]
+                except ReproError:
+                    pass  # pre-doctor meta-servers have no DOCTOR
             for sid in sorted(addresses):
                 if not fleet.get(sid, {}).get("alive", False):
                     continue
@@ -564,10 +597,35 @@ async def _top_live(args: argparse.Namespace) -> int:
                 except ReproError:
                     continue  # peer died between HEALTH and STATS
                 series.extend(resp.payload.get("series", []))  # type: ignore[arg-type]
+                if args.json:
+                    try:
+                        doc = await client.call(
+                            MessageType.DOCTOR, {}, retries=0
+                        )
+                        incidents.extend(doc.payload.get("incidents", []))  # type: ignore[union-attr, arg-type]
+                    except ReproError:
+                        pass
+            now = float(health.payload.get("time", 0.0))  # type: ignore[arg-type]
+            if args.json:
+                print(
+                    json.dumps(
+                        topview.snapshot_dict(
+                            fleet,
+                            series,
+                            now=now,
+                            source=args.meta,
+                            incidents=incidents,
+                        ),
+                        indent=2,
+                        sort_keys=True,
+                        default=str,
+                    )
+                )
+                return 0
             frame = topview.render_top(
                 fleet,
                 series,
-                now=float(health.payload.get("time", 0.0)),  # type: ignore[arg-type]
+                now=now,
                 source=args.meta,
                 color=color,
             )
@@ -585,12 +643,26 @@ async def _top_live(args: argparse.Namespace) -> int:
 def cmd_top(args: argparse.Namespace) -> int:
     import asyncio
 
+    if args.once or args.json:
+        args.iterations = 1
     if args.replay:
         from repro import obs
         from repro.obs import topview
 
         series = obs.load_series(args.replay)
         fleet = topview.fleet_from_series(series)
+        if args.json:
+            print(
+                json.dumps(
+                    topview.snapshot_dict(
+                        fleet, series, source=f"replay:{args.replay}"
+                    ),
+                    indent=2,
+                    sort_keys=True,
+                    default=str,
+                )
+            )
+            return 0
         print(
             topview.render_top(
                 fleet,
@@ -611,6 +683,104 @@ def cmd_top(args: argparse.Namespace) -> int:
         return asyncio.run(_top_live(args))
     except KeyboardInterrupt:
         return 0
+
+
+# ----------------------------------------------------------------------
+# doctor: incident bundles (list / show / explain)
+# ----------------------------------------------------------------------
+async def _doctor_fetch(args: argparse.Namespace):
+    """Poll the fleet's DOCTOR endpoints: (summaries, wanted bundle)."""
+    from repro.live.config import LiveConfig
+    from repro.live.rpc import Address, RpcClientPool
+    from repro.live.wire import MessageType
+
+    wanted = getattr(args, "incident_id", None)
+    pool = RpcClientPool(LiveConfig())
+    meta_addr = _parse_address(args.meta)
+    summaries: "List[dict]" = []
+    bundle: "Optional[dict]" = None
+    try:
+        targets = [meta_addr]
+        try:
+            listing = await pool.get(meta_addr).call(
+                MessageType.LIST_SERVERS, {}
+            )
+            targets.extend(
+                Address.from_wire(addr)
+                for _sid, addr in sorted(
+                    dict(listing.payload.get("servers", {})).items()  # type: ignore[arg-type]
+                )
+            )
+        except ReproError:
+            pass  # a lone chunkserver as --meta still answers DOCTOR
+        for address in targets:
+            client = pool.get(address)
+            try:
+                response = await client.call(MessageType.DOCTOR, {}, retries=0)
+            except ReproError:
+                continue  # dead peer or pre-doctor build
+            summaries.extend(
+                s
+                for s in response.payload.get("incidents", [])  # type: ignore[union-attr]
+                if isinstance(s, dict)
+            )
+            if wanted and bundle is None:
+                try:
+                    got = await client.call(
+                        MessageType.DOCTOR,
+                        {"incident_id": wanted},
+                        retries=0,
+                    )
+                except ReproError:
+                    continue
+                found = got.payload.get("incident")
+                if isinstance(found, dict):
+                    bundle = found
+    finally:
+        await pool.close()
+    return summaries, bundle
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.obs import doctor as doctor_mod
+
+    incident_id = getattr(args, "incident_id", None)
+    if args.dir:
+        bundles = doctor_mod.IncidentStore.load_dir(args.dir)
+        summaries = [doctor_mod.summarize(b) for b in bundles]
+        bundle = (
+            next((b for b in bundles if b.get("id") == incident_id), None)
+            if incident_id
+            else None
+        )
+    elif args.meta:
+        import asyncio
+
+        summaries, bundle = asyncio.run(_doctor_fetch(args))
+    else:
+        print(
+            "error: doctor requires --meta HOST:PORT or --dir DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if args.doctor_command == "list":
+        summaries.sort(key=lambda s: float(s.get("t", 0.0)))
+        if args.json:
+            print(json.dumps(summaries, indent=2, sort_keys=True, default=str))
+        else:
+            print(doctor_mod.render_incident_list(summaries))
+        return 0
+    if bundle is None:
+        print(f"error: incident {incident_id!r} not found", file=sys.stderr)
+        return 1
+    if args.doctor_command == "show":
+        if args.json:
+            print(json.dumps(bundle, indent=2, sort_keys=True, default=str))
+        else:
+            print(doctor_mod.render_incident(bundle))
+        return 0
+    print(doctor_mod.explain_incident(bundle))
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -971,6 +1141,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="live stripe id to repair")
     trr.add_argument("--chunk", type=int, default=-1,
                      help="lost chunk index (--live: auto-detect if omitted)")
+    trr.add_argument("--profile", default=None, metavar="FILE",
+                     help="also write a collapsed-stack CPU profile "
+                          "(sim: virtual-clock event attribution; "
+                          "--live: wall-clock sampling) for flame graphs")
     trr.set_defaults(fn=cmd_trace)
 
     trc = trsub.add_parser(
@@ -1037,7 +1211,37 @@ def build_parser() -> argparse.ArgumentParser:
                      help="number of frames (0 = until interrupted)")
     top.add_argument("--no-color", action="store_true",
                      help="plain ASCII output (no ANSI escapes)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit")
+    top.add_argument("--json", action="store_true",
+                     help="emit one machine-readable JSON snapshot "
+                          "(fleet, series, incidents) and exit; "
+                          "implies --once")
     top.set_defaults(fn=cmd_top)
+
+    doc = sub.add_parser(
+        "doctor",
+        help="incident bundles from the fleet's anomaly detectors: "
+             "list, show, explain",
+    )
+    docsub = doc.add_subparsers(dest="doctor_command", required=True)
+    for name, doc_help, takes_id in (
+        ("list", "one-line summary of every retained incident", False),
+        ("show", "full rendering of one incident bundle", True),
+        ("explain", "plain-English diagnosis of one incident", True),
+    ):
+        docp = docsub.add_parser(name, help=doc_help)
+        if takes_id:
+            docp.add_argument("incident_id", help="incident id to inspect")
+        docp.add_argument("--meta", default=None,
+                          help="poll a live fleet's DOCTOR endpoints "
+                               "via this meta-server HOST:PORT")
+        docp.add_argument("--dir", default=None,
+                          help="read incident-*.json bundles from a "
+                               "directory instead (LiveConfig.incident_dir)")
+        docp.add_argument("--json", action="store_true",
+                          help="emit JSON instead of rendered text")
+        docp.set_defaults(fn=cmd_doctor)
     return parser
 
 

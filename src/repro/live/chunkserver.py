@@ -61,7 +61,10 @@ from repro.live.rpc import (
     StreamSender,
 )
 from repro.live.wire import Frame, MessageType, slice_bounds
-from repro.obs import causal
+from repro.obs import causal, profiler
+from repro.obs.anomaly import Anomaly, AnomalyEngine, StalledStreamDetector
+from repro.obs.doctor import IncidentStore
+from repro.obs.flight import FlightRecorder
 from repro.obs.timeseries import Sampler, TimeSeriesStore
 from repro.qos.admission import FOREGROUND, REPAIR, TokenBucket
 from repro.sim.metrics import PHASES
@@ -287,6 +290,37 @@ class LiveChunkServer:
         #: Test hook: message types whose handler stalls forever, to
         #: exercise the per-RPC timeout path deterministically.
         self.stall_types: "Set[MessageType]" = set()
+        #: Test hook: when set, the streaming helper wedges forever just
+        #: before sending this slice index — the connection stays up and
+        #: PING still answers, so only the stalled-stream watchdog (not
+        #: the coordinator's ping round) can implicate this server.
+        self.stall_stream_at_slice: "Optional[int]" = None
+
+        # Doctor: flight recorder, anomaly engine and incident store.
+        self.flight: "Optional[FlightRecorder]" = (
+            FlightRecorder(
+                node=server_id,
+                capacity=self.config.flight_capacity,
+                clock=trace.now,
+            )
+            if self.config.flight_capacity > 0
+            else None
+        )
+        self.rpc.flight = self.flight
+        self.incidents = IncidentStore(
+            directory=self.config.incident_dir or None,
+            capacity=self.config.incident_capacity,
+            node=server_id,
+        )
+        self._doctor = AnomalyEngine(cooldown=30.0)
+        if self.config.stream_stall_deadline > 0:
+            self._doctor.add(
+                StalledStreamDetector(
+                    self._stream_progress,
+                    deadline=self.config.stream_stall_deadline,
+                )
+            )
+        self._watchdog_task: "Optional[asyncio.Task[None]]" = None
 
         # Health counters: cumulative work done by *this* server (child
         # contributions ride in sub-traces and are accounted at their own
@@ -366,6 +400,7 @@ class LiveChunkServer:
         register(MessageType.REPAIR_ABORT, self._on_repair_abort)
         register(MessageType.STATS, self._on_stats)
         register(MessageType.HEALTH, self._on_health)
+        register(MessageType.DOCTOR, self._on_doctor)
         register(MessageType.STREAM_BEGIN, self._on_stream_begin)
         register(MessageType.STREAM_DATA, self._on_stream_data)
         register(MessageType.STREAM_END, self._on_stream_end)
@@ -383,6 +418,10 @@ class LiveChunkServer:
         address = await self.rpc.start(port=port)
         self.alive = True
         self._telemetry_task = asyncio.create_task(self._telemetry_loop())
+        if self.config.stream_stall_deadline > 0:
+            self._watchdog_task = asyncio.create_task(self._watchdog_loop())
+        if self.config.profile_interval > 0:
+            profiler.start_wall(self.config.profile_interval)
         if self.meta_address is not None:
             await self._register_with_meta()
             self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
@@ -398,7 +437,7 @@ class LiveChunkServer:
 
     async def _shutdown(self, abort: bool) -> None:
         self.alive = False
-        for attr in ("_heartbeat_task", "_telemetry_task"):
+        for attr in ("_heartbeat_task", "_telemetry_task", "_watchdog_task"):
             task = getattr(self, attr)
             if task is not None:
                 task.cancel()
@@ -480,8 +519,159 @@ class LiveChunkServer:
     # ------------------------------------------------------------------
     async def _telemetry_loop(self) -> None:
         while self.alive:
-            self._sampler.sample(trace.now())
+            now = trace.now()
+            self._sampler.sample(now)
+            flight = self.flight
+            if flight is not None:
+                flight.observe_metric("bytes.moved", self.bytes_moved, t=now)
+                flight.observe_metric(
+                    "repairs.inflight", float(len(self.tasks)), t=now
+                )
+                flight.observe_metric(
+                    "streams.inflight", float(len(self.inbox)), t=now
+                )
             await asyncio.sleep(self.config.telemetry_interval)
+
+    # ------------------------------------------------------------------
+    # Doctor: stalled-stream watchdog, incidents, DOCTOR RPC
+    # ------------------------------------------------------------------
+    async def _watchdog_loop(self) -> None:
+        """Periodically run anomaly detectors; act on stalled streams."""
+        interval = max(0.05, self.config.stream_stall_deadline / 4.0)
+        while self.alive:
+            try:
+                self._run_doctor(trace.now())
+            except Exception:
+                pass  # a detector bug must never kill the watchdog
+            await asyncio.sleep(interval)
+
+    def _stream_progress(self) -> "List[Dict[str, object]]":
+        """Progress snapshot of inbound streams for the stall detector."""
+        progress: "List[Dict[str, object]]" = []
+        for stream in self.inbox.streams():
+            last = stream.last_progress
+            if last is None:
+                last = stream.opened_at
+            if last is None:
+                continue
+            progress.append(
+                {
+                    "stream_id": stream.stream_id,
+                    "repair_id": stream.repair_id,
+                    "src": stream.sender,
+                    "last_progress": float(last),
+                    "bytes_received": int(stream.bytes_received),
+                    "node": self.server_id,
+                }
+            )
+        return progress
+
+    def _run_doctor(self, now: float) -> None:
+        for anomaly in self._doctor.run(now):
+            if anomaly.detector == StalledStreamDetector.name:
+                self._handle_stalled_stream(anomaly, now)
+            else:
+                self._file_incident(anomaly)
+
+    def _file_incident(
+        self,
+        anomaly: Anomaly,
+        records: "Optional[List[trace.TraceRecord]]" = None,
+    ) -> "Dict[str, object]":
+        """Build and retain an incident bundle for one anomaly."""
+        bundle = self.incidents.file(
+            anomaly,
+            records=records,
+            flight=self.flight,
+            store=self.telemetry,
+            clock="wall",
+        )
+        self.telemetry.record(
+            "live.doctor.incidents",
+            trace.now(),
+            float(len(self.incidents.bundles())),
+            node=self.server_id,
+        )
+        return bundle
+
+    def _handle_stalled_stream(self, anomaly: Anomaly, now: float) -> None:
+        """File an incident for a stalled inbound stream, then tear it down.
+
+        Teardown aborts the stream and its repair task; the abort
+        cascades out of the waiting aggregation coroutine so the
+        coordinator learns of the failure and replans immediately rather
+        than waiting out the passive slice timeouts.
+        """
+        stream_id = str(anomaly.data.get("stream_id", ""))
+        try:
+            stream = self.inbox.get(stream_id)
+        except StreamError:
+            return  # already gone; nothing to tear down
+        task = self.tasks.get(stream.repair_id)
+        records: "List[trace.TraceRecord]" = []
+        if task is not None:
+            records.extend(task.trace)
+            deps = [task.last_net_gid] if task.last_net_gid else []
+            _gid, kw = self._causal_kw(task.ctx, deps)
+            records.append(
+                trace.phase_record(
+                    "network",
+                    float(stream.opened_at or now),
+                    now,
+                    self.server_id,
+                    nbytes=int(stream.bytes_received),
+                    src=stream.sender,
+                    streamed=True,
+                    stalled=True,
+                    **kw,
+                )
+            )
+        if self.flight is not None:
+            self.flight.record(
+                "anomaly",
+                anomaly.detector,
+                t=now,
+                stream_id=stream_id,
+                src=stream.sender,
+                repair_id=stream.repair_id,
+            )
+        self._file_incident(anomaly, records=records)
+        reason = (
+            f"stalled stream {stream_id} from {stream.sender}: no progress "
+            f"for {self.config.stream_stall_deadline:.2f}s"
+        )
+        self.inbox.discard(stream_id)
+        stream.abort(reason)
+        if task is not None:
+            task.abort()
+        self.telemetry.record(
+            "live.doctor.stalls", now, 1.0, node=self.server_id
+        )
+
+    async def _on_doctor(self, frame: Frame) -> "Dict[str, object]":
+        """DOCTOR RPC: incident bundles, anomalies and doctor state."""
+        incident_id = frame.payload.get("incident_id")
+        if incident_id is not None:
+            return {
+                "server_id": self.server_id,
+                "incident": self.incidents.get(str(incident_id)),
+            }
+        repair_id = frame.payload.get("repair_id")
+        response: "Dict[str, object]" = {
+            "server_id": self.server_id,
+            "time": trace.now(),
+            "incidents": self.incidents.list(),
+            "anomalies": self.incidents.anomalies(
+                str(repair_id) if repair_id else None
+            ),
+        }
+        if frame.payload.get("flight") and self.flight is not None:
+            response["flight"] = self.flight.dump()
+        if frame.payload.get("profile"):
+            wall = profiler.wall_profiler()
+            if wall is not None:
+                response["profile"] = wall.profile.to_dict()
+        return response
 
     def _account(self, record: trace.TraceRecord) -> trace.TraceRecord:
         """Fold one locally produced phase record into health counters."""
@@ -829,6 +1019,12 @@ class LiveChunkServer:
             )
             for index in range(request.num_slices):
                 await self._wait_slice(task, index)
+                if index == self.stall_stream_at_slice:
+                    # Test hook: wedge forever *between* slices.  The
+                    # connection stays up and PING still answers — the
+                    # exact failure mode only the stalled-stream
+                    # watchdog downstream can diagnose.
+                    await asyncio.Event().wait()
                 lo, hi = bounds[index], bounds[index + 1]
                 segments = {
                     row: buf[lo:hi]
@@ -880,6 +1076,7 @@ class LiveChunkServer:
         # The ack leaves only after the bounded queue admits the frame —
         # this await is the receiver half of the backpressure loop.
         await stream.deliver(frame, timeout=self.config.partial_wait_timeout)
+        stream.last_progress = trace.now()
         return {"queued": True}
 
     async def _on_stream_end(self, frame: Frame) -> "Dict[str, object]":
@@ -925,6 +1122,15 @@ class LiveChunkServer:
                     break
                 self._merge_stream_frame(task, stream, frame)
             self._finish_stream(task, stream)
+        except RepairAbortedError as exc:
+            # The stream was torn down (watchdog or peer ABORT): abort
+            # the whole repair task here too, so this node's own wait
+            # loops fail immediately and the abort cascades upstream
+            # instead of waiting out the passive slice timeouts.
+            stream.error = exc
+            task = self.tasks.get(stream.repair_id)
+            if task is not None:
+                task.abort()
         except Exception as exc:  # noqa: BLE001 - surfaced via the END ack
             stream.error = exc
         finally:

@@ -71,6 +71,23 @@ class LiveConfig:
     #: awaiting GF aggregation.  A full queue delays the frame's ack,
     #: which is what propagates backpressure into the sender's window.
     stream_queue_depth: int = 32
+    #: Doctor: an open inbound stream with no STREAM_DATA progress for
+    #: this many wall seconds is declared stalled — the watchdog files an
+    #: incident, aborts the stream and its repair task, and the abort
+    #: cascades so the coordinator replans.  0 disables the watchdog
+    #: (recovery then falls back to the passive slice timeouts).
+    stream_stall_deadline: float = 0.0
+    #: Doctor: flight-recorder ring capacity per server (recent spans,
+    #: RPC events, metric deltas).  0 disables the recorder.
+    flight_capacity: int = 256
+    #: Doctor: incident bundles retained in memory per server.
+    incident_capacity: int = 32
+    #: Doctor: directory where incident-<id>.json bundles are mirrored
+    #: ("" keeps them memory-only, served over the DOCTOR RPC).
+    incident_dir: str = ""
+    #: Profiler: sampling period of the in-process wall-clock profiler,
+    #: seconds.  0 keeps the profiler off (the zero-overhead default).
+    profile_interval: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -103,3 +120,11 @@ class LiveConfig:
             raise ConfigurationError("stream_window must be >= 1")
         if self.stream_queue_depth < 1:
             raise ConfigurationError("stream_queue_depth must be >= 1")
+        if self.stream_stall_deadline < 0:
+            raise ConfigurationError("stream_stall_deadline must be >= 0")
+        if self.flight_capacity < 0:
+            raise ConfigurationError("flight_capacity must be >= 0")
+        if self.incident_capacity < 1:
+            raise ConfigurationError("incident_capacity must be >= 1")
+        if self.profile_interval < 0:
+            raise ConfigurationError("profile_interval must be >= 0")

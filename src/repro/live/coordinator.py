@@ -80,6 +80,11 @@ class _AttemptFailed(Exception):
         super().__init__(str(cause))
         self.cause = cause
         self.suspects = suspects
+        #: Filled by ``_attempt`` before re-raising: which repair died
+        #: and who took part, so the replan loop can run a DOCTOR round
+        #: (stall blame) in addition to the PING round.
+        self.repair_id: "Optional[str]" = None
+        self.participants: "Dict[str, Address]" = {}
 
 
 @dataclass
@@ -215,6 +220,10 @@ class LiveCoordinator:
                     "live.repair.replans", stripe=stripe_id
                 ).inc()
                 suspects = failure.suspects | await self._ping_suspects(view)
+                if failure.repair_id and failure.participants:
+                    suspects |= await self._doctor_suspects(
+                        failure.participants, failure.repair_id
+                    )
                 excluded |= suspects
                 continue
             report.attempts = attempt
@@ -258,6 +267,50 @@ class LiveCoordinator:
             *(probe(sid, addr) for sid, addr in view.hosts.values())
         )
         return suspects
+
+    async def _doctor_suspects(
+        self, participants: "Dict[str, Address]", repair_id: str
+    ) -> "Set[str]":
+        """Stall blame for one failed attempt, from the fleet's doctors.
+
+        Each participant's ``DOCTOR`` endpoint reports its
+        stalled-stream anomalies for this repair; an anomaly blames the
+        stream's direct sender (``src``).  In a pipelined chain the
+        stall cascades, so every downstream node ends up blaming its
+        own sender — the true culprit is a *blamed sender that did not
+        itself report a stalled inbound stream*.  A wedged-but-alive
+        helper still answers PING, so only this round can implicate it.
+        """
+        blamed: "Set[str]" = set()
+        cleared: "Set[str]" = set()
+
+        async def probe(server_id: str, address: Address) -> None:
+            client = self.pool.get(address)
+            try:
+                response = await client.call(
+                    MessageType.DOCTOR,
+                    {"repair_id": repair_id},
+                    timeout=self.config.connect_timeout,
+                    retries=0,
+                )
+            except RpcError:
+                return  # unreachable peers are the PING round's job
+            for anomaly in list(response.payload.get("anomalies", [])):  # type: ignore[arg-type]
+                if not isinstance(anomaly, dict):
+                    continue
+                if anomaly.get("detector") != "stalled-stream":
+                    continue
+                src = str(dict(anomaly.get("data", {})).get("src", ""))
+                if src:
+                    blamed.add(src)
+                # This node is itself waiting on a wedged sender: it is
+                # a victim of the cascade, not the culprit.
+                cleared.add(server_id)
+
+        await asyncio.gather(
+            *(probe(sid, addr) for sid, addr in participants.items())
+        )
+        return blamed - cleared
 
     # ------------------------------------------------------------------
     # One attempt
@@ -364,10 +417,12 @@ class LiveCoordinator:
                         staggered=(strategy == "staggered"),
                     ),
                 )
-        except _AttemptFailed:
+        except _AttemptFailed as failure:
             obs.registry().counter(
                 "live.repair.aborts", stripe=view.stripe_id
             ).inc()
+            failure.repair_id = repair_id
+            failure.participants = dict(addresses)
             await self._broadcast_abort(repair_id, addresses)
             raise
 

@@ -20,7 +20,6 @@ list, sizes); the coordinator rebuilds the actual
 from __future__ import annotations
 
 import asyncio
-import statistics
 from typing import Dict, List, Optional
 
 from repro.errors import ChunkNotFoundError
@@ -31,6 +30,13 @@ from repro.live import trace
 from repro.live.config import LiveConfig
 from repro.live.rpc import Address, RpcServer
 from repro.obs import causal
+from repro.obs.anomaly import (
+    AnomalyEngine,
+    StragglerDetector,
+    phase_medians,
+    straggler_phases,
+)
+from repro.obs.doctor import IncidentStore
 from repro.live.wire import Frame, MessageType
 from repro.obs.timeseries import Sampler, TimeSeriesStore
 
@@ -71,6 +77,19 @@ class LiveMetaServer:
             node="meta",
         )
 
+        # Doctor: fleet-level anomaly detection (stragglers) + incidents.
+        self.incidents = IncidentStore(
+            directory=self.config.incident_dir or None,
+            capacity=self.config.incident_capacity,
+            node="meta",
+        )
+        self._doctor = AnomalyEngine(cooldown=30.0).add(
+            StragglerDetector(
+                lambda: self.last_health,
+                threshold=self.config.straggler_threshold,
+            )
+        )
+
         register = self.rpc.register
         register(MessageType.PING, self._on_ping)
         register(MessageType.HELLO, self._on_hello)
@@ -81,6 +100,7 @@ class LiveMetaServer:
         register(MessageType.LIST_SERVERS, self._on_list_servers)
         register(MessageType.STATS, self._on_stats)
         register(MessageType.HEALTH, self._on_health)
+        register(MessageType.DOCTOR, self._on_doctor)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -107,7 +127,15 @@ class LiveMetaServer:
 
     async def _telemetry_loop(self) -> None:
         while True:
-            self._sampler.sample(trace.now())
+            now = trace.now()
+            self._sampler.sample(now)
+            try:
+                for anomaly in self._doctor.run(now):
+                    self.incidents.file(
+                        anomaly, store=self.telemetry, clock="wall"
+                    )
+            except Exception:
+                pass  # diagnosis must never take the meta-server down
             await asyncio.sleep(self.config.telemetry_interval)
 
     # ------------------------------------------------------------------
@@ -252,18 +280,13 @@ class LiveMetaServer:
     # Telemetry: fleet health + straggler detection
     # ------------------------------------------------------------------
     def _phase_medians(self) -> "Dict[str, float]":
-        """Fleet median busy-seconds per phase, over reporting servers."""
-        per_phase: "Dict[str, List[float]]" = {}
-        for health in self.last_health.values():
-            busy = health.get("phase_busy")
-            if not isinstance(busy, dict):
-                continue
-            for phase, value in busy.items():
-                per_phase.setdefault(str(phase), []).append(float(value))  # type: ignore[arg-type]
-        return {
-            phase: statistics.median(values)
-            for phase, values in per_phase.items()
-        }
+        """Fleet median busy-seconds per phase, over reporting servers.
+
+        Delegates to :func:`repro.obs.anomaly.phase_medians` — the same
+        math the :class:`~repro.obs.anomaly.StragglerDetector` runs, so
+        the HEALTH flag and the doctor's incidents can never disagree.
+        """
+        return phase_medians(self.last_health)
 
     def fleet_health(
         self, threshold: "Optional[float]" = None
@@ -294,12 +317,9 @@ class LiveMetaServer:
             slow: "List[str]" = []
             busy = health.get("phase_busy")
             if isinstance(busy, dict):
-                for phase, value in busy.items():
-                    median = medians.get(str(phase), 0.0)
-                    if median > 0 and float(value) > threshold * median:  # type: ignore[arg-type]
-                        slow.append(str(phase))
+                slow = straggler_phases(busy, medians, threshold)
             health["straggler"] = bool(slow)
-            health["straggler_phases"] = sorted(slow)
+            health["straggler_phases"] = slow
             fleet[server_id] = health
         return fleet
 
@@ -329,5 +349,23 @@ class LiveMetaServer:
             ),
             "servers": self.fleet_health(
                 float(threshold) if threshold is not None else None  # type: ignore[arg-type]
+            ),
+        }
+
+    async def _on_doctor(self, frame: Frame) -> "Dict[str, object]":
+        """DOCTOR RPC: the meta-server's incidents (fleet stragglers)."""
+        incident_id = frame.payload.get("incident_id")
+        if incident_id is not None:
+            return {
+                "server_id": "meta",
+                "incident": self.incidents.get(str(incident_id)),
+            }
+        repair_id = frame.payload.get("repair_id")
+        return {
+            "server_id": "meta",
+            "time": trace.now(),
+            "incidents": self.incidents.list(),
+            "anomalies": self.incidents.anomalies(
+                str(repair_id) if repair_id else None
             ),
         }

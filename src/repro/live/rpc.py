@@ -47,6 +47,7 @@ from repro.errors import (
 )
 from repro.live.config import LiveConfig
 from repro.live.wire import (
+    FLAG_ERROR,
     Frame,
     MessageType,
     error_frame,
@@ -334,6 +335,10 @@ class RpcServer:
         self._tasks: "Set[asyncio.Task[None]]" = set()
         self._connections: "Set[asyncio.Task[None]]" = set()
         self.address: "Optional[Address]" = None
+        #: Optional :class:`repro.obs.flight.FlightRecorder` tap: when
+        #: set, every dispatched frame leaves an ``rpc`` event in the
+        #: ring (type, request id, error flag) for incident bundles.
+        self.flight: "Optional[object]" = None
 
     def register(self, mtype: MessageType, handler: Handler) -> None:
         self._handlers[mtype] = handler
@@ -461,6 +466,17 @@ class RpcServer:
                     frame,
                     TypeError(f"handler returned {type(result).__name__}"),
                 )
+        flight = self.flight
+        if flight is not None:
+            try:
+                flight.record(
+                    "rpc",
+                    frame.mtype.name,
+                    request_id=frame.request_id,
+                    error=bool(response.flags & FLAG_ERROR),
+                )
+            except Exception:
+                pass  # the recorder must never break dispatch
         async with write_lock:
             if writer.is_closing():
                 return
@@ -627,6 +643,9 @@ class InboundStream:
         self.repair_id = str(begin_payload.get("repair_id", ""))
         self.sender = str(begin_payload.get("sender", ""))
         self.opened_at: "Optional[float]" = None
+        #: Wall timestamp of the last delivered DATA frame (or None until
+        #: the first one) — the stalled-stream watchdog's progress signal.
+        self.last_progress: "Optional[float]" = None
         self.bytes_received = 0
         self.aborted: "Optional[str]" = None
         #: END frame payload, stashed by the END handler before finish().
@@ -716,6 +735,10 @@ class StreamInbox:
 
     def discard(self, stream_id: str) -> None:
         self._streams.pop(stream_id, None)
+
+    def streams(self) -> "List[InboundStream]":
+        """Every open inbound stream (the watchdog's progress view)."""
+        return list(self._streams.values())
 
     def abort_repair(self, repair_id: str, reason: str) -> "List[str]":
         """Abort every stream belonging to ``repair_id``; returns ids."""

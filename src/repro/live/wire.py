@@ -95,6 +95,7 @@ class MessageType(enum.IntEnum):
     # Telemetry plane
     STATS = 40
     HEALTH = 41
+    DOCTOR = 42
     # Stream plane (v2): sliced bulk transfer as BEGIN / DATA* / END
     STREAM_BEGIN = 50
     STREAM_DATA = 51

@@ -32,8 +32,9 @@ import time
 from contextlib import contextmanager, nullcontext
 from typing import Any, Callable, ContextManager, Optional
 
-from . import causal
+from . import anomaly, causal, doctor, flight, profiler
 from .export import chrome_trace, render_timeline, summarize
+from .flight import FlightRecorder
 from .metrics import (
     DEFAULT_BUCKETS,
     DEFAULT_MAX_LABEL_SETS,
@@ -46,12 +47,25 @@ from .metrics import (
     registry,
 )
 from .promexport import render_prometheus
-from .sink import SCHEMA_VERSION, JsonlSink, load_series, load_trace, write_trace
+from .sink import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    TeeSink,
+    load_series,
+    load_trace,
+    write_trace,
+)
 from .span import Span, Tracer, clip
 from .timeseries import DEFAULT_CAPACITY, Sampler, Series, TimeSeriesStore
 
 __all__ = [
+    "anomaly",
     "causal",
+    "doctor",
+    "flight",
+    "profiler",
+    "FlightRecorder",
+    "TeeSink",
     "Span",
     "Tracer",
     "clip",

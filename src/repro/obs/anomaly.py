@@ -1,0 +1,466 @@
+"""Pluggable anomaly detectors over the existing telemetry surfaces.
+
+A :class:`Detector` is a pure poll: ``check(now)`` inspects some
+telemetry surface (stream progress, fleet health, a
+:class:`~repro.obs.timeseries.TimeSeriesStore`, conformance reports)
+and returns the :class:`Anomaly` instances it currently sees.  The
+:class:`AnomalyEngine` runs a set of detectors, deduplicates repeat
+firings under a cooldown, and hands *fresh* anomalies to a callback
+(on live servers: the incident-bundle builder in
+:mod:`repro.obs.doctor`).
+
+Shipped detectors (the catalog in ``docs/OBSERVABILITY.md``):
+
+* :class:`StalledStreamDetector` — a live inbound stream with no
+  ``STREAM_DATA`` progress within a deadline.  In a pipelined chain
+  repair (PR 7) one wedged hop serializes everything downstream, and —
+  unlike a dead peer — a wedged peer still answers PING, so only this
+  watchdog can find it.
+* :class:`StragglerDetector` — per-phase busy time far above the fleet
+  median.  The median/threshold logic is promoted from the
+  metaserver's ad-hoc flag into the pure functions
+  :func:`phase_medians` / :func:`straggler_phases`, which the
+  metaserver now shares.
+* :class:`SLOBurnRateDetector` — fraction of failing
+  ``qos.slo.compliant`` samples over a trailing window.
+* :class:`ConformanceDriftDetector` — Eq. 1 timing drift: a stitched
+  repair whose observed network time fails the ``steps * C/B``
+  prediction (via :mod:`repro.obs.conformance`).
+
+Detectors never raise into the engine and never mutate the surfaces
+they inspect; acting on an anomaly (aborting a stalled stream, filing
+an incident) is the caller's job.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.obs.conformance import FAIL
+
+#: Anomaly severities, mildest first.
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass
+class Anomaly:
+    """One detector firing: what looks wrong, where, and the evidence."""
+
+    detector: str
+    severity: str
+    node: str
+    summary: str
+    t: float
+    repair_id: "Optional[str]" = None
+    data: "Dict[str, Any]" = field(default_factory=dict)
+
+    def key(self) -> "tuple":
+        """Dedup identity: same detector + subject = same ongoing anomaly."""
+        subject = self.repair_id or str(self.data.get("stream_id", ""))
+        return (self.detector, self.node, subject)
+
+    def to_dict(self) -> "Dict[str, Any]":
+        """JSON-friendly form (incident bundles, ``DOCTOR`` responses)."""
+        out: "Dict[str, Any]" = {
+            "detector": self.detector,
+            "severity": self.severity,
+            "node": self.node,
+            "summary": self.summary,
+            "t": self.t,
+        }
+        if self.repair_id:
+            out["repair_id"] = self.repair_id
+        if self.data:
+            out["data"] = self.data
+        return out
+
+    @classmethod
+    def from_dict(cls, data: "Mapping[str, Any]") -> "Anomaly":
+        """Rebuild from :meth:`to_dict` output (tolerates missing keys)."""
+        return cls(
+            detector=str(data.get("detector", "")),
+            severity=str(data.get("severity", "warning")),
+            node=str(data.get("node", "")),
+            summary=str(data.get("summary", "")),
+            t=float(data.get("t", 0.0)),
+            repair_id=(
+                str(data["repair_id"]) if data.get("repair_id") else None
+            ),
+            data=dict(data.get("data", {})),
+        )
+
+
+class Detector:
+    """Base detector: subclasses implement :meth:`check`."""
+
+    #: Stable detector name (also the anomaly's ``detector`` field).
+    name = "detector"
+
+    def check(self, now: float) -> "List[Anomaly]":
+        """Return every anomaly currently visible at time ``now``."""
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Straggler math (promoted from the metaserver's ad-hoc flag)
+# ---------------------------------------------------------------------------
+
+
+def phase_medians(
+    health: "Mapping[str, Mapping[str, Any]]",
+) -> "Dict[str, float]":
+    """Fleet-median busy seconds per phase from per-server health dicts.
+
+    ``health`` maps server id to a health report whose ``phase_busy``
+    is a ``{phase: seconds}`` dict (the HEALTH RPC / heartbeat
+    piggyback shape).  Servers without the field are skipped.
+    """
+    per_phase: "Dict[str, List[float]]" = {}
+    for report in health.values():
+        busy = report.get("phase_busy")
+        if not isinstance(busy, Mapping):
+            continue
+        for phase, seconds in busy.items():
+            per_phase.setdefault(str(phase), []).append(float(seconds))
+    return {
+        phase: statistics.median(values)
+        for phase, values in per_phase.items()
+        if values
+    }
+
+
+def straggler_phases(
+    busy: "Mapping[str, Any]",
+    medians: "Mapping[str, float]",
+    threshold: float,
+) -> "List[str]":
+    """Phases where one server's busy time exceeds ``threshold`` x median.
+
+    Phases whose fleet median is ~zero are skipped: with no baseline
+    workload, any activity would trip an arbitrary multiplier.
+    """
+    flagged: "List[str]" = []
+    for phase, seconds in busy.items():
+        median = medians.get(str(phase), 0.0)
+        if median <= 1e-9:
+            continue
+        if float(seconds) > threshold * median:
+            flagged.append(str(phase))
+    return sorted(flagged)
+
+
+# ---------------------------------------------------------------------------
+# Detectors
+# ---------------------------------------------------------------------------
+
+
+class StalledStreamDetector(Detector):
+    """No ``STREAM_DATA`` progress on an open inbound stream for too long.
+
+    ``streams`` is a callable returning the current progress view: one
+    dict per open inbound stream with ``stream_id``, ``repair_id``,
+    ``src`` (the sending peer), ``last_progress`` (timestamp of the
+    last delivered DATA frame, or the stream's open time), and
+    ``bytes_received``.  The detector is pure; tearing the stream down
+    is the watchdog's follow-up.
+    """
+
+    name = "stalled-stream"
+
+    def __init__(
+        self,
+        streams: "Callable[[], Iterable[Mapping[str, Any]]]",
+        deadline: float,
+    ):
+        """Watch ``streams()`` for progress gaps beyond ``deadline``."""
+        if deadline <= 0:
+            raise ValueError("stall deadline must be > 0")
+        self.streams = streams
+        self.deadline = deadline
+
+    def check(self, now: float) -> "List[Anomaly]":
+        """Flag every open stream whose progress gap exceeds the deadline."""
+        out: "List[Anomaly]" = []
+        for info in self.streams():
+            last = float(info.get("last_progress", now))
+            stalled_for = now - last
+            if stalled_for < self.deadline:
+                continue
+            src = str(info.get("src", ""))
+            node = str(info.get("node", ""))
+            out.append(
+                Anomaly(
+                    detector=self.name,
+                    severity="critical",
+                    node=node,
+                    summary=(
+                        f"stream {info.get('stream_id')} from {src}: no "
+                        f"STREAM_DATA for {stalled_for:.2f}s "
+                        f"(deadline {self.deadline:.2f}s)"
+                    ),
+                    t=now,
+                    repair_id=(
+                        str(info["repair_id"])
+                        if info.get("repair_id")
+                        else None
+                    ),
+                    data={
+                        "stream_id": str(info.get("stream_id", "")),
+                        "src": src,
+                        "stalled_for": stalled_for,
+                        "deadline": self.deadline,
+                        "bytes_received": int(
+                            info.get("bytes_received", 0)
+                        ),
+                    },
+                )
+            )
+        return out
+
+
+class StragglerDetector(Detector):
+    """A server whose per-phase busy time is far above the fleet median."""
+
+    name = "straggler"
+
+    def __init__(
+        self,
+        health: "Callable[[], Mapping[str, Mapping[str, Any]]]",
+        threshold: float = 3.0,
+        min_fleet: int = 3,
+    ):
+        """Watch ``health()`` (server id -> health dict) for stragglers.
+
+        ``min_fleet`` guards against flagging in tiny fleets where a
+        median is meaningless.
+        """
+        self.health = health
+        self.threshold = threshold
+        self.min_fleet = min_fleet
+
+    def check(self, now: float) -> "List[Anomaly]":
+        """Flag each server with at least one straggling phase."""
+        health = dict(self.health())
+        if len(health) < self.min_fleet:
+            return []
+        medians = phase_medians(health)
+        out: "List[Anomaly]" = []
+        for server_id, report in sorted(health.items()):
+            busy = report.get("phase_busy")
+            if not isinstance(busy, Mapping):
+                continue
+            phases = straggler_phases(busy, medians, self.threshold)
+            if not phases:
+                continue
+            out.append(
+                Anomaly(
+                    detector=self.name,
+                    severity="warning",
+                    node=server_id,
+                    summary=(
+                        f"{server_id} busy {threshold_text(self.threshold)} "
+                        f"fleet median in: {', '.join(phases)}"
+                    ),
+                    t=now,
+                    data={
+                        "phases": phases,
+                        "threshold": self.threshold,
+                        "medians": {p: medians.get(p, 0.0) for p in phases},
+                        "busy": {p: float(busy[p]) for p in phases},
+                    },
+                )
+            )
+        return out
+
+
+def threshold_text(threshold: float) -> str:
+    """Render a straggler multiplier for summaries (``>3x``)."""
+    text = f"{threshold:g}"
+    return f">{text}x"
+
+
+class SLOBurnRateDetector(Detector):
+    """Too many failing SLO verdicts over a trailing window.
+
+    Reads the ``qos.slo.compliant`` series (1.0 pass / 0.0 fail per
+    target, see :meth:`repro.qos.slo.SLOHarness.record_compliance`)
+    from a :class:`~repro.obs.timeseries.TimeSeriesStore` and fires
+    when the failing fraction over ``window`` seconds exceeds
+    ``max_burn``.
+    """
+
+    name = "slo-burn"
+
+    def __init__(
+        self,
+        store: Any,
+        window: float = 30.0,
+        max_burn: float = 0.5,
+        series: str = "qos.slo.compliant",
+        min_samples: int = 3,
+    ):
+        """Watch ``store`` for SLO burn beyond ``max_burn``."""
+        self.store = store
+        self.window = window
+        self.max_burn = max_burn
+        self.series = series
+        self.min_samples = min_samples
+
+    def check(self, now: float) -> "List[Anomaly]":
+        """Flag each SLO target burning beyond the allowed rate."""
+        out: "List[Anomaly]" = []
+        for series in self.store.all_series():
+            if series.name != self.series:
+                continue
+            samples = series.window(now - self.window, now)
+            if len(samples) < self.min_samples:
+                continue
+            failing = sum(1 for _, value in samples if value < 0.5)
+            burn = failing / len(samples)
+            if burn <= self.max_burn:
+                continue
+            slo = series.labels.get("slo", "?")
+            out.append(
+                Anomaly(
+                    detector=self.name,
+                    severity="warning",
+                    node=slo,
+                    summary=(
+                        f"SLO '{slo}' failing {failing}/{len(samples)} "
+                        f"({burn:.0%}) of the last {self.window:g}s "
+                        f"(max {self.max_burn:.0%})"
+                    ),
+                    t=now,
+                    data={
+                        "slo": slo,
+                        "burn": burn,
+                        "failing": failing,
+                        "samples": len(samples),
+                        "window": self.window,
+                        "max_burn": self.max_burn,
+                    },
+                )
+            )
+        return out
+
+
+class ConformanceDriftDetector(Detector):
+    """Eq. 1 drift: stitched repairs whose timing checks FAIL.
+
+    ``reports`` is a callable returning recent
+    :class:`repro.obs.conformance.RepairReport` objects (already
+    evaluated against the model with a tolerance — a FAIL *is* drift
+    beyond tolerance).  Only the checks named in ``checks`` fire.
+    """
+
+    name = "conformance-drift"
+
+    def __init__(
+        self,
+        reports: "Callable[[], Iterable[Any]]",
+        checks: "tuple" = ("timing.network", "timing.disk_read"),
+    ):
+        """Watch ``reports()`` for failing timing checks."""
+        self.reports = reports
+        self.checks = tuple(checks)
+
+    def check(self, now: float) -> "List[Anomaly]":
+        """Flag each report with a failing watched timing check."""
+        out: "List[Anomaly]" = []
+        for report in self.reports():
+            failing = [
+                c
+                for c in report.checks
+                if c.name in self.checks and c.status == FAIL
+            ]
+            if not failing:
+                continue
+            worst = failing[0]
+            out.append(
+                Anomaly(
+                    detector=self.name,
+                    severity="warning",
+                    node="",
+                    summary=(
+                        f"repair {report.repair_id}: {worst.name} observed "
+                        f"{worst.observed:.4g} vs predicted "
+                        f"{worst.predicted:.4g}"
+                    ),
+                    t=now,
+                    repair_id=report.repair_id,
+                    data={
+                        "strategy": report.strategy,
+                        "checks": [
+                            {
+                                "name": c.name,
+                                "observed": c.observed,
+                                "predicted": c.predicted,
+                                "detail": c.detail,
+                            }
+                            for c in failing
+                        ],
+                    },
+                )
+            )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class AnomalyEngine:
+    """Runs detectors, dedups repeat firings, notifies on fresh anomalies.
+
+    One ongoing condition (a stream stalled for 10 consecutive checks)
+    should produce one incident, not ten: an anomaly whose
+    :meth:`Anomaly.key` fired within ``cooldown`` seconds is suppressed.
+    A detector that raises is skipped for that tick — diagnosis must
+    never take the data path down with it.
+    """
+
+    def __init__(
+        self,
+        detectors: "Optional[Iterable[Detector]]" = None,
+        cooldown: float = 30.0,
+        on_anomaly: "Optional[Callable[[Anomaly], None]]" = None,
+    ):
+        """Create an engine over ``detectors`` with firing ``cooldown``."""
+        self.detectors: "List[Detector]" = list(detectors or [])
+        self.cooldown = cooldown
+        self.on_anomaly = on_anomaly
+        self.fired = 0
+        self.suppressed = 0
+        self._seen: "Dict[tuple, float]" = {}
+
+    def add(self, detector: Detector) -> "AnomalyEngine":
+        """Register another detector; returns self for chaining."""
+        self.detectors.append(detector)
+        return self
+
+    def run(self, now: float) -> "List[Anomaly]":
+        """One detection sweep; returns only the *fresh* anomalies."""
+        fresh: "List[Anomaly]" = []
+        for detector in self.detectors:
+            try:
+                found = detector.check(now)
+            except Exception:
+                continue
+            for anomaly in found:
+                key = anomaly.key()
+                last = self._seen.get(key)
+                if last is not None and now - last < self.cooldown:
+                    self.suppressed += 1
+                    continue
+                self._seen[key] = now
+                self.fired += 1
+                fresh.append(anomaly)
+                if self.on_anomaly is not None:
+                    try:
+                        self.on_anomaly(anomaly)
+                    except Exception:
+                        pass
+        return fresh

@@ -59,6 +59,17 @@ class Check:
         """True unless the check failed (skips count as ok)."""
         return self.status != FAIL
 
+    def to_dict(self) -> "Dict[str, object]":
+        """JSON-friendly form (doctor incident bundles)."""
+        out: "Dict[str, object]" = {"name": self.name, "status": self.status}
+        if self.observed is not None:
+            out["observed"] = self.observed
+        if self.predicted is not None:
+            out["predicted"] = self.predicted
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
 
 @dataclass
 class RepairReport:
@@ -79,6 +90,17 @@ class RepairReport:
     def gated(self) -> int:
         """Number of checks that actually ran (pass or fail)."""
         return sum(1 for c in self.checks if c.status != SKIP)
+
+    def to_dict(self) -> "Dict[str, object]":
+        """JSON-friendly form (doctor incident bundles)."""
+        return {
+            "trace_id": self.trace_id,
+            "repair_id": self.repair_id,
+            "strategy": self.strategy,
+            "k": self.k,
+            "passed": self.passed,
+            "checks": [check.to_dict() for check in self.checks],
+        }
 
 
 def _within(observed: float, predicted: float, tolerance: float) -> bool:

@@ -1,0 +1,524 @@
+"""Incident bundles: everything needed to answer "why did this happen?".
+
+When an :class:`~repro.obs.anomaly.AnomalyEngine` fires, the node that
+saw the anomaly assembles an *incident bundle* — one JSON document
+(`incident-<id>.json`) holding:
+
+* the anomaly itself (detector, severity, evidence),
+* the node's flight-recorder dump (what it was doing just before),
+* the affected repair's stitched trace slice with its critical path —
+  including the stalled hop, synthesized as an open ``network`` span so
+  the path shows *where* the pipeline wedged,
+* the Eq. 1 / Theorem 1 conformance verdict for that trace slice, and
+* the surrounding metrics window from the node's
+  :class:`~repro.obs.timeseries.TimeSeriesStore`.
+
+Bundles are kept in a bounded :class:`IncidentStore` (optionally
+mirrored to a directory), served over the ``DOCTOR`` RPC, and rendered
+by the ``repro doctor`` CLI (``list`` / ``show`` / ``explain``).
+
+This module is deliberately independent of :mod:`repro.live`: it
+consumes the *wire shapes* (trace-record dicts, health dicts, anomaly
+dicts) so the same bundle builder works for live servers, simulations,
+and offline analysis of dumped traces.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.obs.anomaly import Anomaly
+from repro.obs.causal import RepairDag, stitch, trace_id_for
+from repro.obs.conformance import check_repair
+from repro.obs.span import Span, clip
+from repro.sim.metrics import PHASES
+
+#: Incident bundle schema version (bump on breaking layout changes).
+BUNDLE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Wire records -> spans (mirrors live.trace.ingest_records_as_spans,
+# kept local so obs never imports the live layer)
+# ---------------------------------------------------------------------------
+
+
+def spans_from_records(
+    records: "Iterable[Mapping[str, Any]]", **extra_attrs: Any
+) -> "List[Span]":
+    """Convert wire trace-record dicts to :class:`Span` objects.
+
+    Mirrors :func:`repro.live.trace.ingest_records_as_spans` — same
+    names (``live.phase.<phase>``), same categories (per-slice detail
+    goes to ``live.stream``), same hoisting of the causal ``gid`` /
+    ``deps`` / ``trace_id`` keys into span attrs, same deterministic
+    trace-id synthesis from a known ``repair_id`` — but builds spans
+    directly instead of recording into a tracer.
+    """
+    spans: "List[Span]" = []
+    ids = itertools.count(1)
+    for record in records:
+        attrs: "Dict[str, Any]" = dict(extra_attrs)
+        rec_attrs = record.get("attrs")
+        if isinstance(rec_attrs, Mapping):
+            attrs.update(rec_attrs)
+        gid = record.get("gid")
+        if isinstance(gid, str) and gid:
+            attrs["gid"] = gid
+        deps = record.get("deps")
+        if isinstance(deps, list):
+            attrs["deps"] = [d for d in deps if isinstance(d, str)]
+        trace_id = record.get("trace_id")
+        if isinstance(trace_id, str) and trace_id:
+            attrs["trace_id"] = trace_id
+        elif "trace_id" not in attrs:
+            repair_id = attrs.get("repair_id")
+            if isinstance(repair_id, str) and repair_id:
+                attrs["trace_id"] = trace_id_for(repair_id)
+        phase = str(record.get("phase", ""))
+        start, end = clip(
+            float(record.get("start", 0.0)), float(record.get("end", 0.0))
+        )
+        spans.append(
+            Span(
+                span_id=next(ids),
+                name=f"live.phase.{phase}",
+                start=start,
+                end=end,
+                node=str(record.get("node", "")),
+                category="live.phase" if phase in PHASES else "live.stream",
+                attrs=attrs,
+            )
+        )
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# Bundle assembly
+# ---------------------------------------------------------------------------
+
+
+def _path_entry(node: Any) -> "Dict[str, Any]":
+    """One critical-path step as a JSON-friendly dict."""
+    entry: "Dict[str, Any]" = {
+        "phase": node.phase,
+        "node": node.node,
+        "start": node.start,
+        "end": node.end,
+        "duration": node.duration,
+        "gid": node.gid,
+    }
+    for key in ("src", "nbytes", "stalled", "streamed"):
+        value = node.span.attrs.get(key)
+        if value is not None:
+            entry[key] = value
+    return entry
+
+
+def _trace_section(
+    dag: RepairDag, meta: "Optional[Mapping[str, Any]]", tolerance: float
+) -> "tuple[Dict[str, Any], Optional[Dict[str, Any]]]":
+    """Build the ``trace`` and ``conformance`` bundle sections."""
+    trace = {
+        "trace_id": dag.trace_id,
+        "repair_id": dag.repair_id,
+        "strategy": dag.strategy,
+        "clock": dag.clock,
+        "nodes": len(dag.nodes),
+        "elapsed": dag.elapsed(),
+        "transfer_depth": dag.transfer_depth(),
+        "critical_path": [_path_entry(n) for n in dag.critical_path()],
+    }
+    try:
+        report = check_repair(
+            dag, meta=dict(meta) if meta else None, tolerance=tolerance
+        )
+        verdict: "Optional[Dict[str, Any]]" = report.to_dict()
+    except Exception:
+        verdict = None
+    return trace, verdict
+
+
+def build_bundle(
+    anomaly: Anomaly,
+    incident_id: str,
+    records: "Optional[Iterable[Mapping[str, Any]]]" = None,
+    spans: "Optional[Iterable[Span]]" = None,
+    flight: "Optional[Any]" = None,
+    store: "Optional[Any]" = None,
+    window: float = 60.0,
+    clock: str = "wall",
+    meta: "Optional[Mapping[str, Any]]" = None,
+    tolerance: float = 0.25,
+) -> "Dict[str, Any]":
+    """Assemble one incident bundle around ``anomaly``.
+
+    Every section is best-effort: a bundle with a missing trace slice
+    (nothing was traced) or missing metrics window is still a valid
+    bundle — diagnosis degrades, it never fails.
+
+    ``records`` are wire trace-record dicts (converted via
+    :func:`spans_from_records`), ``spans`` are ready-made spans; both
+    may be given.  ``flight`` is a
+    :class:`~repro.obs.flight.FlightRecorder`, ``store`` a
+    :class:`~repro.obs.timeseries.TimeSeriesStore` (windowed to the
+    ``window`` seconds before the anomaly).
+    """
+    all_spans: "List[Span]" = list(spans or [])
+    if records is not None:
+        all_spans.extend(
+            spans_from_records(records, repair_id=anomaly.repair_id)
+            if anomaly.repair_id
+            else spans_from_records(records)
+        )
+
+    trace_section: "Optional[Dict[str, Any]]" = None
+    conformance_section: "Optional[Dict[str, Any]]" = None
+    if all_spans:
+        try:
+            dags = stitch(all_spans, clock=clock)
+        except Exception:
+            dags = []
+        dag: "Optional[RepairDag]" = None
+        if anomaly.repair_id:
+            want = trace_id_for(anomaly.repair_id)
+            dag = next((d for d in dags if d.trace_id == want), None)
+        if dag is None and dags:
+            dag = dags[0]
+        if dag is not None:
+            trace_section, conformance_section = _trace_section(
+                dag, meta, tolerance
+            )
+
+    series: "Optional[List[Dict[str, Any]]]" = None
+    if store is not None:
+        try:
+            series = store.snapshot(anomaly.t - window, None)
+        except Exception:
+            series = None
+
+    return {
+        "id": incident_id,
+        "version": BUNDLE_VERSION,
+        "detector": anomaly.detector,
+        "severity": anomaly.severity,
+        "node": anomaly.node,
+        "created_at": anomaly.t,
+        "anomaly": anomaly.to_dict(),
+        "flight": flight.dump() if flight is not None else None,
+        "trace": trace_section,
+        "conformance": conformance_section,
+        "series": series,
+    }
+
+
+def summarize(bundle: "Mapping[str, Any]") -> "Dict[str, Any]":
+    """One-line summary of a bundle (the ``doctor list`` row)."""
+    anomaly = bundle.get("anomaly", {})
+    return {
+        "id": str(bundle.get("id", "")),
+        "detector": str(bundle.get("detector", "")),
+        "severity": str(bundle.get("severity", "")),
+        "node": str(bundle.get("node", "")),
+        "t": float(bundle.get("created_at", 0.0)),
+        "repair_id": anomaly.get("repair_id"),
+        "summary": str(anomaly.get("summary", "")),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Incident store
+# ---------------------------------------------------------------------------
+
+
+class IncidentStore:
+    """Bounded store of incident bundles, optionally mirrored to disk.
+
+    In memory it is a ring of the last ``capacity`` bundles (oldest
+    evicted).  With ``directory`` set, every filed bundle is also
+    written as ``incident-<id>.json`` — the artifact CI uploads and the
+    offline ``repro doctor --dir`` entry point.
+    """
+
+    def __init__(
+        self,
+        directory: "Optional[str]" = None,
+        capacity: int = 32,
+        node: str = "",
+    ):
+        """Create a store for ``node`` holding ``capacity`` bundles."""
+        if capacity < 1:
+            raise ValueError("incident store capacity must be >= 1")
+        self.directory = directory
+        self.capacity = capacity
+        self.node = node
+        self.filed = 0
+        self._bundles: "List[Dict[str, Any]]" = []
+        self._seq = itertools.count(1)
+
+    def next_id(self, anomaly: Anomaly) -> str:
+        """Allocate a fleet-unique incident id for ``anomaly``."""
+        seq = next(self._seq)
+        middle = f"{self.node}-" if self.node else ""
+        return f"inc-{middle}{seq:04d}-{anomaly.detector}"
+
+    def add(self, bundle: "Dict[str, Any]") -> "Dict[str, Any]":
+        """File an assembled bundle (ring + optional JSON file)."""
+        self.filed += 1
+        self._bundles.append(bundle)
+        if len(self._bundles) > self.capacity:
+            self._bundles = self._bundles[-self.capacity:]
+        if self.directory:
+            try:
+                os.makedirs(self.directory, exist_ok=True)
+                path = os.path.join(
+                    self.directory, f"incident-{bundle['id']}.json"
+                )
+                with open(path, "w", encoding="utf-8") as fh:
+                    json.dump(bundle, fh, indent=2, default=str)
+            except OSError:
+                pass  # a full disk must not break the repair path
+        return bundle
+
+    def file(self, anomaly: Anomaly, **build_kwargs: Any) -> "Dict[str, Any]":
+        """Build (via :func:`build_bundle`) and file a bundle in one step."""
+        bundle = build_bundle(anomaly, self.next_id(anomaly), **build_kwargs)
+        return self.add(bundle)
+
+    def bundles(self) -> "List[Dict[str, Any]]":
+        """Retained bundles, oldest first."""
+        return list(self._bundles)
+
+    def list(self) -> "List[Dict[str, Any]]":
+        """Summaries of retained bundles, oldest first."""
+        return [summarize(bundle) for bundle in self._bundles]
+
+    def get(self, incident_id: str) -> "Optional[Dict[str, Any]]":
+        """Look up one bundle by id."""
+        for bundle in self._bundles:
+            if bundle.get("id") == incident_id:
+                return bundle
+        return None
+
+    def anomalies(
+        self, repair_id: "Optional[str]" = None
+    ) -> "List[Dict[str, Any]]":
+        """Anomaly dicts of retained bundles, optionally for one repair."""
+        out: "List[Dict[str, Any]]" = []
+        for bundle in self._bundles:
+            anomaly = bundle.get("anomaly")
+            if not isinstance(anomaly, dict):
+                continue
+            if repair_id is not None and anomaly.get("repair_id") != repair_id:
+                continue
+            out.append(anomaly)
+        return out
+
+    @staticmethod
+    def load_dir(directory: str) -> "List[Dict[str, Any]]":
+        """Load every ``incident-*.json`` bundle in ``directory``."""
+        bundles: "List[Dict[str, Any]]" = []
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return bundles
+        for name in names:
+            if not (name.startswith("incident-") and name.endswith(".json")):
+                continue
+            try:
+                with open(
+                    os.path.join(directory, name), encoding="utf-8"
+                ) as fh:
+                    bundle = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            if isinstance(bundle, dict):
+                bundles.append(bundle)
+        bundles.sort(key=lambda b: float(b.get("created_at", 0.0)))
+        return bundles
+
+
+# ---------------------------------------------------------------------------
+# Rendering (the `repro doctor` CLI output)
+# ---------------------------------------------------------------------------
+
+
+def render_incident_list(summaries: "Iterable[Mapping[str, Any]]") -> str:
+    """Tabular ``doctor list`` output, one row per incident."""
+    rows = [
+        (
+            str(s.get("id", "")),
+            str(s.get("detector", "")),
+            str(s.get("severity", "")),
+            str(s.get("node", "")),
+            f"{float(s.get('t', 0.0)):.3f}",
+            str(s.get("repair_id") or "-"),
+        )
+        for s in summaries
+    ]
+    if not rows:
+        return "no incidents"
+    header = ("ID", "DETECTOR", "SEVERITY", "NODE", "TIME", "REPAIR")
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)).rstrip()
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(row)
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _render_path(trace: "Mapping[str, Any]") -> "List[str]":
+    origin = None
+    for entry in trace.get("critical_path", []):
+        if origin is None or entry["start"] < origin:
+            origin = entry["start"]
+    origin = origin or 0.0
+    lines: "List[str]" = []
+    for entry in trace.get("critical_path", []):
+        mark = "  ** STALLED **" if entry.get("stalled") else ""
+        src = f"  src={entry['src']}" if entry.get("src") else ""
+        lines.append(
+            f"    [{entry['start'] - origin:8.3f}s -> "
+            f"{entry['end'] - origin:8.3f}s]  "
+            f"{entry['phase']:<10s} @ {entry['node']}{src}{mark}"
+        )
+    return lines
+
+
+def render_incident(bundle: "Mapping[str, Any]") -> str:
+    """Full ``doctor show`` rendering of one bundle."""
+    anomaly = bundle.get("anomaly", {})
+    lines = [
+        f"incident {bundle.get('id')}",
+        f"  detector: {bundle.get('detector')} "
+        f"[{bundle.get('severity')}] on {bundle.get('node') or '-'} "
+        f"at t={float(bundle.get('created_at', 0.0)):.3f}",
+        f"  summary:  {anomaly.get('summary', '')}",
+    ]
+    if anomaly.get("repair_id"):
+        lines.append(f"  repair:   {anomaly['repair_id']}")
+    trace = bundle.get("trace")
+    if trace:
+        lines.append(
+            f"  critical path (trace {trace.get('trace_id')}, "
+            f"depth={trace.get('transfer_depth')}, "
+            f"{trace.get('nodes')} nodes, "
+            f"{float(trace.get('elapsed', 0.0)):.3f}s):"
+        )
+        lines.extend(_render_path(trace))
+    conformance = bundle.get("conformance")
+    if conformance:
+        lines.append("  conformance:")
+        for check in conformance.get("checks", []):
+            status = str(check.get("status", "")).upper()
+            lines.append(
+                f"    {check.get('name'):<24s} {status:<5s} "
+                f"{check.get('detail', '')}"
+            )
+    flight = bundle.get("flight")
+    if flight:
+        events = flight.get("events", [])
+        lines.append(
+            f"  flight recorder ({len(events)} events, "
+            f"{flight.get('dropped', 0)} dropped):"
+        )
+        for event in events[-10:]:
+            lines.append(
+                f"    t={float(event.get('t', 0.0)):.3f} "
+                f"{event.get('kind'):<7s} {event.get('name')}"
+            )
+    series = bundle.get("series")
+    if series is not None:
+        lines.append(f"  metrics window: {len(series)} series captured")
+    return "\n".join(lines)
+
+
+def explain_incident(bundle: "Mapping[str, Any]") -> str:
+    """Plain-English ``doctor explain``: what happened and what it means."""
+    anomaly = bundle.get("anomaly", {})
+    data = anomaly.get("data", {})
+    detector = str(bundle.get("detector", ""))
+    lines: "List[str]" = [f"incident {bundle.get('id')}: {detector}"]
+    if detector == "stalled-stream":
+        lines.append(
+            f"The inbound stream {data.get('stream_id')} on "
+            f"{bundle.get('node')} stopped receiving STREAM_DATA frames "
+            f"from {data.get('src')} for {data.get('stalled_for', 0):.2f}s "
+            f"(deadline {data.get('deadline', 0):.2f}s) after "
+            f"{data.get('bytes_received', 0)} bytes."
+        )
+        lines.append(
+            "In a pipelined repair one wedged hop serializes every "
+            "downstream hop (each slice must arrive before it can be "
+            "merged and forwarded), so the whole repair stalls at this "
+            "link. Unlike a crashed peer, a wedged peer still answers "
+            "PING — this watchdog is what finds it."
+        )
+        lines.append(
+            "The watchdog aborted the stream and its repair task; the "
+            "abort cascades to the destination, the attempt fails fast, "
+            "and the coordinator replans around the culprit (blamed "
+            "senders that did not themselves report a stalled inbound)."
+        )
+    elif detector == "straggler":
+        phases = ", ".join(data.get("phases", []))
+        lines.append(
+            f"Server {bundle.get('node')} spent more than "
+            f"{data.get('threshold', 0):g}x the fleet-median busy time "
+            f"in: {phases}."
+        )
+        lines.append(
+            "Persistent stragglers inflate repair tail latency — the "
+            "paper's Eq. 1 assumes homogeneous helpers, so one slow "
+            "node breaks the C/B prediction for every chain through it."
+        )
+    elif detector == "slo-burn":
+        lines.append(
+            f"SLO '{data.get('slo')}' failed {data.get('failing')} of "
+            f"{data.get('samples')} verdicts "
+            f"({float(data.get('burn', 0.0)):.0%}) over the last "
+            f"{data.get('window', 0):g}s — above the allowed "
+            f"{float(data.get('max_burn', 0.0)):.0%} burn rate."
+        )
+        lines.append(
+            "Check repair admission pacing (qos.*) and whether a repair "
+            "storm is crowding out user traffic."
+        )
+    elif detector == "conformance-drift":
+        for check in data.get("checks", []):
+            lines.append(
+                f"Check {check.get('name')}: observed "
+                f"{check.get('observed')} vs Eq. 1 prediction "
+                f"{check.get('predicted')} ({check.get('detail', '')})."
+            )
+        lines.append(
+            "Observed hop timing drifted outside tolerance of the "
+            "steps * C/B model — look for contention on the flagged "
+            "links or disks."
+        )
+    else:
+        lines.append(str(anomaly.get("summary", "")))
+    trace = bundle.get("trace")
+    if trace:
+        stalled = [
+            e for e in trace.get("critical_path", []) if e.get("stalled")
+        ]
+        if stalled:
+            hop = stalled[0]
+            lines.append(
+                f"The stalled hop ({hop.get('src')} -> {hop.get('node')}) "
+                f"sits on the repair's critical path — it bounded "
+                f"completion time."
+            )
+    return "\n".join(lines)

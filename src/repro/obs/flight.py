@@ -1,0 +1,174 @@
+"""Bounded per-node flight recorder: the last N things that happened.
+
+A :class:`FlightRecorder` is a fixed-capacity ring of
+:class:`FlightEvent` entries — recent spans, RPC events, stream
+progress, and metric deltas — kept per node so that when an anomaly
+detector fires, the incident bundle can answer "what was this server
+doing just before it went wrong?" without any always-on tracing.
+
+Design constraints (same bar as the rest of :mod:`repro.obs`):
+
+* **Bounded.**  The ring holds ``capacity`` events; older entries are
+  dropped and counted, never accumulated.  Trimming is amortized the
+  same way as :class:`repro.obs.timeseries.Series` (slice once the
+  buffer doubles) so steady-state recording is an append.
+* **Cheap and fail-safe.**  One lock, one dict per event; recording
+  never raises into the caller (the data path must not die of its own
+  diagnostics).
+* **Clock-agnostic.**  The recorder timestamps with whatever clock it
+  was built with (wall for live servers, virtual for sim), mirroring
+  the tracer.
+
+The recorder also implements the sink protocol (:meth:`write`), so it
+can sit behind a :class:`repro.obs.sink.TeeSink` and shadow a tracer's
+span stream into the ring.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class FlightEvent:
+    """One ring entry: a timestamped, typed, free-form observation."""
+
+    t: float
+    kind: str
+    name: str
+    node: str = ""
+    data: "Dict[str, Any]" = field(default_factory=dict)
+
+    def to_dict(self) -> "Dict[str, Any]":
+        """JSON-friendly form (incident bundles, ``DOCTOR`` responses)."""
+        out: "Dict[str, Any]" = {
+            "t": self.t,
+            "kind": self.kind,
+            "name": self.name,
+        }
+        if self.node:
+            out["node"] = self.node
+        if self.data:
+            out["data"] = self.data
+        return out
+
+
+class FlightRecorder:
+    """Fixed-capacity ring of recent :class:`FlightEvent` entries."""
+
+    def __init__(
+        self,
+        node: str = "",
+        capacity: int = 256,
+        clock: "Any" = time.time,
+    ):
+        """Create a recorder for ``node`` holding ``capacity`` events."""
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.node = node
+        self.capacity = capacity
+        self.clock = clock
+        self.recorded = 0
+        self._events: "List[FlightEvent]" = []
+        self._trim_at = 2 * capacity
+        self._lock = threading.Lock()
+        self._metric_last: "Dict[str, float]" = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        kind: str,
+        name: str,
+        t: "Optional[float]" = None,
+        **data: Any,
+    ) -> None:
+        """Append one event; oldest entries fall off past capacity."""
+        if t is None:
+            t = self.clock()
+        event = FlightEvent(
+            t=float(t), kind=kind, name=name, node=self.node, data=data
+        )
+        with self._lock:
+            self.recorded += 1
+            self._events.append(event)
+            if len(self._events) >= self._trim_at:
+                self._events = self._events[-self.capacity:]
+
+    def observe_metric(
+        self, name: str, value: float, t: "Optional[float]" = None
+    ) -> None:
+        """Record a metric *delta*: only changes enter the ring.
+
+        Repeated identical readings (an idle gauge sampled every tick)
+        would otherwise evict the interesting events; recording the
+        delta keeps the ring dense with state changes.
+        """
+        value = float(value)
+        last = self._metric_last.get(name)
+        if last is not None and value == last:
+            return
+        self._metric_last[name] = value
+        delta = value - last if last is not None else value
+        self.record("metric", name, t=t, value=value, delta=delta)
+
+    def write(self, event: "Dict[str, Any]") -> None:
+        """Sink-protocol entry point: shadow a span/series event stream.
+
+        Accepts the JSONL event dicts produced by
+        :meth:`repro.obs.span.Span.to_event` (and tolerates anything
+        else by filing it under its ``type``).  Lets the recorder ride
+        behind a :class:`repro.obs.sink.TeeSink` next to a real sink.
+        """
+        etype = str(event.get("type", "event"))
+        if etype == "span":
+            self.record(
+                "span",
+                str(event.get("name", "")),
+                t=float(event.get("end", event.get("start", 0.0))),
+                start=event.get("start"),
+                node=event.get("node"),
+                attrs=event.get("attrs", {}),
+            )
+        else:
+            self.record(etype, str(event.get("name", etype)))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of events currently retained (<= capacity)."""
+        with self._lock:
+            return min(len(self._events), self.capacity)
+
+    @property
+    def dropped(self) -> int:
+        """Events that have fallen off the ring."""
+        return max(0, self.recorded - self.capacity)
+
+    def snapshot(self) -> "List[Dict[str, Any]]":
+        """The retained events, oldest first, as plain dicts."""
+        with self._lock:
+            events = self._events[-self.capacity:]
+        return [event.to_dict() for event in events]
+
+    def dump(self) -> "Dict[str, Any]":
+        """Full JSON-friendly dump (the incident bundle ``flight`` section)."""
+        return {
+            "node": self.node,
+            "captured_at": float(self.clock()),
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "events": self.snapshot(),
+        }
+
+    def clear(self) -> None:
+        """Drop every retained event (counters keep counting)."""
+        with self._lock:
+            self._events = []
+            self._metric_last = {}

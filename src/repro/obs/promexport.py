@@ -55,6 +55,18 @@ def escape_label_value(value: str) -> str:
     )
 
 
+def escape_help_text(text: str) -> str:
+    """Escape ``# HELP`` text per the exposition format.
+
+    HELP docstrings escape only backslash and newline (unlike label
+    values, double quotes stay literal).  Without this, an internal
+    metric name containing a newline — which our dotted naming never
+    produces but the renderer must not rely on — would split the HELP
+    line and corrupt the whole exposition document.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def format_value(value: "Optional[float]") -> str:
     """A sample value in exposition form (NaN for missing)."""
     if value is None:
@@ -148,7 +160,7 @@ def render_prometheus(
             f"{prom_name}_total" if kind == "counter" else prom_name
         )
         lines.append(f"# HELP {sample_name if kind == 'counter' else prom_name} "
-                     f"repro metric {source} ({kind})")
+                     f"repro metric {escape_help_text(str(source))} ({kind})")
         lines.append(f"# TYPE {sample_name if kind == 'counter' else prom_name} "
                      f"{_PROM_TYPE[kind]}")
         for snap in snaps:

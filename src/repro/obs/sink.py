@@ -45,6 +45,31 @@ class JsonlSink:
         self.events_written += 1
 
 
+class TeeSink:
+    """Fans one event stream out to several sinks.
+
+    Lets a tracer stream to a durable :class:`JsonlSink` *and* shadow
+    the same spans into a bounded
+    :class:`~repro.obs.flight.FlightRecorder` ring (anything with a
+    ``write(event)`` method qualifies).  A sink that raises is skipped
+    for that event — one slow or broken fan-out leg must not poison the
+    others.
+    """
+
+    def __init__(self, *sinks: Any):
+        self.sinks = [sink for sink in sinks if sink is not None]
+        self.events_written = 0
+
+    def write(self, event: "Dict[str, Any]") -> None:
+        """Forward one event to every attached sink."""
+        self.events_written += 1
+        for sink in self.sinks:
+            try:
+                sink.write(event)
+            except Exception:
+                continue
+
+
 def write_trace(
     path: str,
     spans: "Iterable[Span]",

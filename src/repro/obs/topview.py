@@ -235,6 +235,47 @@ def render_top(
     return "\n".join(parts) + "\n"
 
 
+def snapshot_dict(
+    fleet: "Dict[str, Dict[str, Any]]",
+    series: "Sequence[Dict[str, Any]]",
+    now: "Optional[float]" = None,
+    source: str = "",
+    incidents: "Optional[Sequence[Dict[str, Any]]]" = None,
+) -> "Dict[str, Any]":
+    """Machine-readable form of one dashboard frame (``top --json``).
+
+    Same inputs as :func:`render_top`, structured instead of rendered:
+    the header summary as counts, the fleet table as per-server dicts,
+    the raw series snapshots, and — when the caller polled ``DOCTOR`` —
+    incident summaries.  Consumers get exactly what the human dashboard
+    shows, so scripting against it never lags the UI.
+    """
+    alive = sum(1 for h in fleet.values() if h.get("alive"))
+    stragglers = sorted(
+        sid for sid, h in fleet.items() if h.get("straggler")
+    )
+    inflight = sum(
+        int(h.get("inflight_repairs", 0) or 0) for h in fleet.values()
+    )
+    snapshot: "Dict[str, Any]" = {
+        "source": source or "cluster",
+        "time": now,
+        "summary": {
+            "servers_up": alive,
+            "servers_known": len(fleet),
+            "inflight_repairs": inflight,
+            "stragglers": stragglers,
+        },
+        "fleet": {
+            sid: dict(health) for sid, health in sorted(fleet.items())
+        },
+        "series": [dict(snap) for snap in series],
+    }
+    if incidents is not None:
+        snapshot["incidents"] = [dict(i) for i in incidents]
+    return snapshot
+
+
 def fleet_from_series(
     series: "Sequence[Dict[str, Any]]",
 ) -> "Dict[str, Dict[str, Any]]":

@@ -17,7 +17,7 @@ compare an observed quantile per traffic class against an
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -281,3 +281,22 @@ class SLOHarness:
             registry.gauge(
                 "qos.slo.compliant", slo=verdict.target.label
             ).set(1.0 if verdict.passed else 0.0)
+
+    def record_compliance(self, store: "Any", now: float) -> "List[SLOVerdict]":
+        """Append current verdicts to a time-series store and return them.
+
+        One ``qos.slo.compliant{slo=<label>}`` sample per target (1.0
+        pass / 0.0 fail) — the trailing series the doctor's
+        :class:`~repro.obs.anomaly.SLOBurnRateDetector` computes burn
+        rate over.  ``store`` is a
+        :class:`~repro.obs.timeseries.TimeSeriesStore`.
+        """
+        verdicts = self.evaluate()
+        for verdict in verdicts:
+            store.record(
+                "qos.slo.compliant",
+                now,
+                1.0 if verdict.passed else 0.0,
+                slo=verdict.target.label,
+            )
+        return verdicts

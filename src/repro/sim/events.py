@@ -70,6 +70,22 @@ class Simulation:
         #: identical tie-breaking) — results with sampling on are
         #: bit-identical to results with it off.
         self._clock_observers: "List[Callable[[float], None]]" = []
+        #: Optional event profiler (see :mod:`repro.obs.profiler`): when
+        #: set, ``step()`` reports each executed event's callback and the
+        #: virtual-time advance it accounted for.  Strictly read-only —
+        #: like clock observers it cannot schedule events or touch the
+        #: heap, so profiled runs stay bit-identical.  None costs one
+        #: attribute load and a branch per event.
+        self.profiler: "Optional[Any]" = None
+
+    def set_profiler(self, profiler: "Optional[Any]") -> None:
+        """Attach (or with None, detach) a read-only event profiler.
+
+        ``profiler.observe_event(callback, dt)`` is called after each
+        executed event with the virtual-time gap ``dt`` the event closed.
+        See :class:`repro.obs.profiler.VirtualProfiler`.
+        """
+        self.profiler = profiler
 
     def add_clock_observer(self, observer: "Callable[[float], None]") -> None:
         """Call ``observer(now)`` after each executed event.
@@ -120,6 +136,7 @@ class Simulation:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            previous = self.now
             self.now = event.time
             self.events_executed += 1
             if event.ctx is None:
@@ -130,6 +147,9 @@ class Simulation:
                     event.callback(*event.args)
                 finally:
                     causal.restore(token)
+            profiler = self.profiler
+            if profiler is not None:
+                profiler.observe_event(event.callback, event.time - previous)
             for observer in self._clock_observers:
                 observer(self.now)
             return True

@@ -19,6 +19,7 @@ from repro.codes.registry import make_code
 from repro.live import LiveCluster, LiveConfig
 from repro.live.coordinator import LiveAttempt
 from repro.obs import causal, conformance
+from repro.obs.doctor import explain_incident, render_incident
 from repro.repair.executor import execute_plan
 from repro.repair.plan import build_plan
 
@@ -216,6 +217,154 @@ class TestStreamFailureRecovery:
                 assert np.array_equal(report.payload, truth)
 
                 # No server leaks stream state after the dust settles.
+                for server in cluster.servers.values():
+                    if server.alive:
+                        assert len(server.inbox) == 0
+                        assert not server.tasks
+
+        asyncio.run(scenario())
+
+
+class TestStalledStreamWatchdog:
+    """A wedged-but-alive helper: only the doctor watchdog can find it.
+
+    The helper stops sending mid-stream but its process stays healthy —
+    it answers PING, so the coordinator's ping round clears it.  The
+    downstream receiver's stalled-stream watchdog must fire within the
+    deadline, file an incident whose critical path marks the stalled
+    hop, tear the stream down, and let the coordinator replan around
+    the culprit — ending in byte-identical bytes after exactly one
+    replan, with no leaked stream or task state anywhere.
+    """
+
+    DEADLINE = 0.45
+
+    def test_wedged_helper_diagnosed_and_replanned(self, tmp_path):
+        incident_dir = str(tmp_path / "incidents")
+
+        async def scenario():
+            config = LiveConfig(
+                heartbeat_interval=0.3,
+                failure_detection_timeout=2.0,
+                connect_timeout=1.0,
+                rpc_timeout=2.0,
+                partial_wait_timeout=5.0,
+                repair_timeout=15.0,
+                max_retries=1,
+                backoff_base=0.02,
+                backoff_max=0.1,
+                max_attempts=2,
+                stream_stall_deadline=self.DEADLINE,
+                incident_dir=incident_dir,
+            )
+            async with LiveCluster(
+                num_servers=10, config=config, payload_bytes=1152
+            ) as cluster:
+                stripe = await cluster.write_stripe("rs(6,3)")
+                lost = 2
+                truth = cluster.truth_payload(stripe.chunk_ids[lost])
+                await cluster.kill_server(stripe.hosts[lost])
+
+                wedged = []
+
+                def on_attempt(info: LiveAttempt) -> None:
+                    if info.attempt != 1:
+                        return
+                    victim = next(
+                        a
+                        for a in info.aggregators
+                        if a != info.destination
+                    )
+                    wedged.append(victim)
+                    # Wedge between slices 3 and 4: the receiver has
+                    # real progress (last_progress set, bytes in), then
+                    # silence — the watchdog's exact trigger.
+                    cluster.server(victim).stall_stream_at_slice = 4
+
+                report = await cluster.repair(
+                    stripe.stripe_id,
+                    lost_index=lost,
+                    strategy="chain",
+                    on_attempt=on_attempt,
+                    num_slices=8,
+                )
+
+                # Exactly one replan, blamed on the wedged helper, and
+                # the rebuilt bytes are still byte-identical.
+                assert wedged, "no helper was wedged"
+                victim = wedged[0]
+                assert report.attempts == 2
+                assert victim in report.excluded
+                assert cluster.server(victim).alive  # never crashed
+                assert report.result.verified
+                assert np.array_equal(report.payload, truth)
+
+                # The stall cascades: every hop downstream of the
+                # culprit may see its own inbound dry up and file an
+                # incident blaming its direct sender.  Blame math
+                # (blamed senders minus nodes that themselves reported
+                # a stalled inbound) must isolate exactly the culprit —
+                # the same set the coordinator's DOCTOR round computes.
+                incidents = [
+                    (server, bundle)
+                    for server in cluster.servers.values()
+                    for bundle in server.incidents.bundles()
+                    if bundle["detector"] == "stalled-stream"
+                ]
+                assert incidents
+                blamed = {
+                    b["anomaly"]["data"]["src"] for _, b in incidents
+                }
+                cleared = {s.server_id for s, _ in incidents}
+                assert blamed - cleared == {victim}
+
+                # The culprit's direct receiver blames it, with real
+                # progress before the silence.
+                ((receiver, bundle),) = [
+                    (s, b)
+                    for s, b in incidents
+                    if b["anomaly"]["data"]["src"] == victim
+                ]
+                anomaly = bundle["anomaly"]
+                assert anomaly["data"]["bytes_received"] > 0
+                # Fired promptly: past the deadline, but well before
+                # the slice timeout that would otherwise mask it.
+                stalled_for = anomaly["data"]["stalled_for"]
+                assert self.DEADLINE <= stalled_for < 2.0
+
+                # The bundle carries the evidence the CLI renders: the
+                # stalled hop (victim -> receiver) on the critical
+                # path, and the receiver's flight recording.
+                stalled_hops = [
+                    entry
+                    for entry in bundle["trace"]["critical_path"]
+                    if entry.get("stalled")
+                ]
+                assert len(stalled_hops) == 1
+                assert stalled_hops[0]["src"] == victim
+                assert stalled_hops[0]["node"] == receiver.server_id
+                assert bundle["flight"] is not None
+                kinds = {
+                    e["kind"] for e in bundle["flight"]["events"]
+                }
+                assert "anomaly" in kinds
+                rendered = render_incident(bundle)
+                assert "** STALLED **" in rendered
+                assert f"src={victim}" in rendered
+                assert victim in explain_incident(bundle)
+
+                # The bundle was mirrored to disk (the CI artifact).
+                files = list(tmp_path.joinpath("incidents").iterdir())
+                assert [
+                    f.name
+                    for f in files
+                    if f.name == f"incident-{bundle['id']}.json"
+                ]
+
+                # Watchdog teardown leaked nothing: every live server's
+                # stream inbox and task table drained (the wedged
+                # helper's task was popped by the coordinator's abort
+                # broadcast even though its coroutine is parked).
                 for server in cluster.servers.values():
                     if server.alive:
                         assert len(server.inbox) == 0

@@ -1,0 +1,292 @@
+"""Anomaly detectors and the dedup/cooldown engine."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+import pytest
+
+from repro.obs.anomaly import (
+    Anomaly,
+    AnomalyEngine,
+    ConformanceDriftDetector,
+    Detector,
+    SLOBurnRateDetector,
+    StalledStreamDetector,
+    StragglerDetector,
+    phase_medians,
+    straggler_phases,
+    threshold_text,
+)
+from repro.obs.timeseries import TimeSeriesStore
+from repro.qos.slo import SLOHarness, SLOTarget
+
+
+class TestAnomaly:
+    def test_roundtrip(self):
+        anomaly = Anomaly(
+            detector="stalled-stream",
+            severity="critical",
+            node="S1",
+            summary="no progress",
+            t=5.0,
+            repair_id="r-1",
+            data={"stream_id": "st-1"},
+        )
+        assert Anomaly.from_dict(anomaly.to_dict()) == anomaly
+
+    def test_to_dict_omits_empty_fields(self):
+        d = Anomaly("d", "warning", "S1", "s", 1.0).to_dict()
+        assert "repair_id" not in d
+        assert "data" not in d
+
+    def test_key_prefers_repair_then_stream(self):
+        by_repair = Anomaly("d", "w", "S1", "s", 1.0, repair_id="r-1")
+        by_stream = Anomaly(
+            "d", "w", "S1", "s", 1.0, data={"stream_id": "st-9"}
+        )
+        assert by_repair.key() == ("d", "S1", "r-1")
+        assert by_stream.key() == ("d", "S1", "st-9")
+
+
+class TestStragglerMath:
+    HEALTH = {
+        "S1": {"phase_busy": {"network": 1.0, "decode": 1.0}},
+        "S2": {"phase_busy": {"network": 1.2, "decode": 0.9}},
+        "S3": {"phase_busy": {"network": 8.0, "decode": 1.1}},
+    }
+
+    def test_phase_medians(self):
+        medians = phase_medians(self.HEALTH)
+        assert medians["network"] == pytest.approx(1.2)
+        assert medians["decode"] == pytest.approx(1.0)
+
+    def test_servers_without_phase_busy_skipped(self):
+        medians = phase_medians({"S1": {}, "S2": {"phase_busy": {"x": 2.0}}})
+        assert medians == {"x": 2.0}
+
+    def test_straggler_phases_threshold(self):
+        medians = phase_medians(self.HEALTH)
+        assert straggler_phases(
+            self.HEALTH["S3"]["phase_busy"], medians, 3.0
+        ) == ["network"]
+        assert straggler_phases(
+            self.HEALTH["S1"]["phase_busy"], medians, 3.0
+        ) == []
+
+    def test_zero_median_phases_never_flag(self):
+        assert straggler_phases({"idle": 5.0}, {"idle": 0.0}, 3.0) == []
+
+    def test_threshold_text(self):
+        assert threshold_text(3.0) == ">3x"
+        assert threshold_text(2.5) == ">2.5x"
+
+
+class TestStalledStreamDetector:
+    def _view(self, last_progress):
+        return [
+            {
+                "stream_id": "st-1",
+                "repair_id": "r-1",
+                "src": "S2",
+                "node": "S3",
+                "last_progress": last_progress,
+                "bytes_received": 1024,
+            }
+        ]
+
+    def test_fires_past_deadline_with_evidence(self):
+        detector = StalledStreamDetector(
+            lambda: self._view(10.0), deadline=2.0
+        )
+        assert detector.check(11.0) == []
+        (anomaly,) = detector.check(13.0)
+        assert anomaly.detector == "stalled-stream"
+        assert anomaly.severity == "critical"
+        assert anomaly.node == "S3"
+        assert anomaly.repair_id == "r-1"
+        assert anomaly.data["src"] == "S2"
+        assert anomaly.data["stalled_for"] == pytest.approx(3.0)
+        assert anomaly.data["bytes_received"] == 1024
+        assert "no STREAM_DATA for 3.00s" in anomaly.summary
+
+    def test_missing_progress_defaults_to_now(self):
+        detector = StalledStreamDetector(
+            lambda: [{"stream_id": "st-1"}], deadline=1.0
+        )
+        assert detector.check(100.0) == []
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError):
+            StalledStreamDetector(lambda: [], deadline=0.0)
+
+
+class TestStragglerDetector:
+    def test_fires_only_on_straggling_servers(self):
+        detector = StragglerDetector(
+            lambda: TestStragglerMath.HEALTH, threshold=3.0
+        )
+        (anomaly,) = detector.check(1.0)
+        assert anomaly.detector == "straggler"
+        assert anomaly.node == "S3"
+        assert anomaly.data["phases"] == ["network"]
+        assert anomaly.data["busy"]["network"] == pytest.approx(8.0)
+
+    def test_small_fleets_never_flag(self):
+        health = {
+            "S1": {"phase_busy": {"network": 1.0}},
+            "S2": {"phase_busy": {"network": 99.0}},
+        }
+        assert StragglerDetector(lambda: health, min_fleet=3).check(1.0) == []
+
+
+class TestSLOBurnRateDetector:
+    def test_fires_on_burn_from_recorded_compliance(self):
+        """End to end: SLOHarness verdicts -> series -> burn detector."""
+        store = TimeSeriesStore()
+        harness = SLOHarness(
+            targets=[SLOTarget("user_read", 0.99, 0.010)]
+        )
+        for latency in (0.001, 0.002, 0.001):
+            harness.observe("user_read", latency)
+        verdicts = harness.record_compliance(store, now=1.0)
+        assert [v.passed for v in verdicts] == [True]
+        for latency in (0.5, 0.6, 0.7):
+            harness.observe("user_read", latency)
+        for t in (2.0, 3.0):
+            harness.record_compliance(store, now=t)
+
+        detector = SLOBurnRateDetector(
+            store, window=10.0, max_burn=0.5, min_samples=3
+        )
+        (anomaly,) = detector.check(3.0)
+        assert anomaly.detector == "slo-burn"
+        assert anomaly.data["slo"] == "user_read p99"
+        assert anomaly.data["failing"] == 2
+        assert anomaly.data["burn"] == pytest.approx(2 / 3)
+
+    def test_quiet_below_threshold_or_sample_floor(self):
+        store = TimeSeriesStore()
+        store.record("qos.slo.compliant", 1.0, 0.0, slo="a")
+        store.record("qos.slo.compliant", 2.0, 0.0, slo="a")
+        detector = SLOBurnRateDetector(store, window=10.0, min_samples=3)
+        assert detector.check(3.0) == []  # under the sample floor
+        store.record("qos.slo.compliant", 3.0, 1.0, slo="a")
+        store.record("qos.slo.compliant", 4.0, 1.0, slo="a")
+        detector = SLOBurnRateDetector(
+            store, window=10.0, max_burn=0.5, min_samples=3
+        )
+        assert detector.check(5.0) == []  # burn 2/4 <= 0.5
+
+    def test_window_excludes_old_samples(self):
+        store = TimeSeriesStore()
+        for t in (1.0, 2.0, 3.0):
+            store.record("qos.slo.compliant", t, 0.0, slo="a")
+        detector = SLOBurnRateDetector(store, window=5.0, min_samples=3)
+        assert detector.check(100.0) == []
+
+
+@dataclass
+class _FakeCheck:
+    name: str
+    status: str
+    observed: float = 0.0
+    predicted: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class _FakeReport:
+    repair_id: str
+    strategy: str
+    checks: "List[_FakeCheck]" = field(default_factory=list)
+
+
+class TestConformanceDriftDetector:
+    def test_fires_only_on_watched_failing_checks(self):
+        reports = [
+            _FakeReport(
+                "r-1",
+                "ppr",
+                [
+                    _FakeCheck("timing.network", "fail", 2.0, 1.0, "2x"),
+                    _FakeCheck("structure.depth", "fail"),
+                ],
+            ),
+            _FakeReport(
+                "r-2", "ppr", [_FakeCheck("timing.network", "pass")]
+            ),
+        ]
+        detector = ConformanceDriftDetector(lambda: reports)
+        (anomaly,) = detector.check(9.0)
+        assert anomaly.detector == "conformance-drift"
+        assert anomaly.repair_id == "r-1"
+        assert anomaly.data["checks"] == [
+            {
+                "name": "timing.network",
+                "observed": 2.0,
+                "predicted": 1.0,
+                "detail": "2x",
+            }
+        ]
+        assert "observed 2 vs predicted 1" in anomaly.summary
+
+
+class _StubDetector(Detector):
+    name = "stub"
+
+    def __init__(self, anomalies):
+        self.anomalies = anomalies
+        self.checks = 0
+
+    def check(self, now):
+        self.checks += 1
+        return list(self.anomalies)
+
+
+class _RaisingDetector(Detector):
+    name = "boom"
+
+    def check(self, now):
+        raise RuntimeError("detector crashed")
+
+
+class TestAnomalyEngine:
+    def test_cooldown_dedups_ongoing_condition(self):
+        anomaly = Anomaly("stub", "warning", "S1", "s", 0.0, repair_id="r")
+        engine = AnomalyEngine([_StubDetector([anomaly])], cooldown=30.0)
+        assert len(engine.run(0.0)) == 1
+        assert engine.run(10.0) == []  # same key inside cooldown
+        assert len(engine.run(31.0)) == 1  # cooldown expired
+        assert engine.fired == 2
+        assert engine.suppressed == 1
+
+    def test_distinct_subjects_fire_independently(self):
+        a = Anomaly("stub", "w", "S1", "s", 0.0, repair_id="r-1")
+        b = Anomaly("stub", "w", "S1", "s", 0.0, repair_id="r-2")
+        engine = AnomalyEngine([_StubDetector([a, b])], cooldown=30.0)
+        assert len(engine.run(0.0)) == 2
+
+    def test_raising_detector_is_skipped_not_fatal(self):
+        anomaly = Anomaly("stub", "w", "S1", "s", 0.0, repair_id="r")
+        engine = AnomalyEngine(
+            [_RaisingDetector(), _StubDetector([anomaly])]
+        )
+        assert len(engine.run(0.0)) == 1
+
+    def test_callback_sees_fresh_anomalies_and_may_raise(self):
+        seen: "List[Anomaly]" = []
+        anomaly = Anomaly("stub", "w", "S1", "s", 0.0, repair_id="r")
+
+        def on_anomaly(a):
+            seen.append(a)
+            raise RuntimeError("bundle builder crashed")
+
+        engine = AnomalyEngine(
+            [_StubDetector([anomaly])], on_anomaly=on_anomaly
+        )
+        assert len(engine.run(0.0)) == 1
+        assert seen == [anomaly]
+
+    def test_add_chains(self):
+        engine = AnomalyEngine().add(_RaisingDetector())
+        assert len(engine.detectors) == 1

@@ -1,0 +1,248 @@
+"""Incident bundles: assembly, bounded store, disk mirror, rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.anomaly import Anomaly
+from repro.obs.causal import trace_id_for
+from repro.obs.doctor import (
+    IncidentStore,
+    build_bundle,
+    explain_incident,
+    render_incident,
+    render_incident_list,
+    spans_from_records,
+    summarize,
+)
+from repro.obs.flight import FlightRecorder
+from repro.obs.timeseries import TimeSeriesStore
+
+
+def stalled_anomaly(repair_id="r-1", t=10.0):
+    return Anomaly(
+        detector="stalled-stream",
+        severity="critical",
+        node="S3",
+        summary="stream st-1 from S2: no STREAM_DATA for 3.00s",
+        t=t,
+        repair_id=repair_id,
+        data={
+            "stream_id": "st-1",
+            "src": "S2",
+            "stalled_for": 3.0,
+            "deadline": 1.0,
+            "bytes_received": 4096,
+        },
+    )
+
+
+def chain_records(repair_id="r-1"):
+    """A two-hop repair trace whose last hop is a stalled network span."""
+    return [
+        {
+            "phase": "disk_read",
+            "start": 0.0,
+            "end": 1.0,
+            "node": "S2",
+            "gid": "g1",
+            "deps": [],
+        },
+        {
+            "phase": "network",
+            "start": 1.0,
+            "end": 10.0,
+            "node": "S3",
+            "gid": "g2",
+            "deps": ["g1"],
+            "attrs": {
+                "src": "S2",
+                "nbytes": 4096,
+                "streamed": True,
+                "stalled": True,
+            },
+        },
+    ]
+
+
+class TestSpansFromRecords:
+    def test_mirrors_live_ingest_shapes(self):
+        spans = spans_from_records(chain_records(), repair_id="r-1")
+        assert [s.name for s in spans] == [
+            "live.phase.disk_read",
+            "live.phase.network",
+        ]
+        assert all(s.category == "live.phase" for s in spans)
+        net = spans[1]
+        assert net.node == "S3"
+        assert net.attrs["gid"] == "g2"
+        assert net.attrs["deps"] == ["g1"]
+        assert net.attrs["stalled"] is True
+        # trace id synthesized deterministically from the repair id.
+        assert net.attrs["trace_id"] == trace_id_for("r-1")
+
+    def test_unknown_phase_becomes_stream_detail(self):
+        (span,) = spans_from_records(
+            [{"phase": "slice", "start": 0.0, "end": 1.0, "node": "S1"}]
+        )
+        assert span.category == "live.stream"
+
+
+class TestBuildBundle:
+    def test_stalled_hop_lands_on_critical_path(self):
+        anomaly = stalled_anomaly()
+        flight = FlightRecorder(node="S3", capacity=8, clock=lambda: 10.0)
+        flight.record("anomaly", "stalled-stream", t=10.0)
+        store = TimeSeriesStore()
+        store.record("live.bytes.moved", 9.5, 4096.0, node="S3")
+
+        bundle = build_bundle(
+            anomaly,
+            "inc-S3-0001-stalled-stream",
+            records=chain_records(),
+            flight=flight,
+            store=store,
+        )
+        assert bundle["id"] == "inc-S3-0001-stalled-stream"
+        assert bundle["detector"] == "stalled-stream"
+        assert bundle["anomaly"]["data"]["src"] == "S2"
+        trace = bundle["trace"]
+        assert trace["repair_id"] == "r-1"
+        assert trace["transfer_depth"] == 1
+        stalled = [
+            e for e in trace["critical_path"] if e.get("stalled")
+        ]
+        assert len(stalled) == 1
+        assert stalled[0]["node"] == "S3"
+        assert stalled[0]["src"] == "S2"
+        assert bundle["flight"]["events"][0]["name"] == "stalled-stream"
+        assert bundle["series"] is not None
+        # The whole thing must survive a JSON round trip (DOCTOR RPC,
+        # incident-<id>.json artifact).
+        assert json.loads(json.dumps(bundle, default=str))["id"] == bundle["id"]
+
+    def test_degrades_without_trace_or_store(self):
+        bundle = build_bundle(stalled_anomaly(), "inc-1")
+        assert bundle["trace"] is None
+        assert bundle["conformance"] is None
+        assert bundle["flight"] is None
+        assert bundle["series"] is None
+
+    def test_summarize_row(self):
+        bundle = build_bundle(stalled_anomaly(), "inc-1")
+        row = summarize(bundle)
+        assert row["id"] == "inc-1"
+        assert row["detector"] == "stalled-stream"
+        assert row["repair_id"] == "r-1"
+        assert "no STREAM_DATA" in row["summary"]
+
+
+class TestIncidentStore:
+    def test_file_builds_ids_and_bounds_ring(self):
+        store = IncidentStore(capacity=2, node="S3")
+        ids = [
+            store.file(stalled_anomaly(repair_id=f"r-{i}"))["id"]
+            for i in range(3)
+        ]
+        assert ids[0] == "inc-S3-0001-stalled-stream"
+        assert store.filed == 3
+        assert [b["id"] for b in store.bundles()] == ids[1:]
+        assert store.get(ids[0]) is None
+        assert store.get(ids[2])["id"] == ids[2]
+
+    def test_anomalies_filter_by_repair(self):
+        store = IncidentStore(node="S3")
+        store.file(stalled_anomaly(repair_id="r-1"))
+        store.file(stalled_anomaly(repair_id="r-2"))
+        assert len(store.anomalies()) == 2
+        (only,) = store.anomalies("r-2")
+        assert only["repair_id"] == "r-2"
+
+    def test_directory_mirror_and_load_dir(self, tmp_path):
+        directory = str(tmp_path / "incidents")
+        store = IncidentStore(directory=directory, node="S3")
+        bundle = store.file(stalled_anomaly(t=5.0))
+        store.file(stalled_anomaly(repair_id="r-2", t=7.0))
+        path = tmp_path / "incidents" / f"incident-{bundle['id']}.json"
+        assert path.exists()
+        loaded = IncidentStore.load_dir(directory)
+        assert [b["created_at"] for b in loaded] == [5.0, 7.0]
+        assert loaded[0]["id"] == bundle["id"]
+
+    def test_load_dir_tolerates_garbage(self, tmp_path):
+        (tmp_path / "incident-bad.json").write_text("{not json")
+        (tmp_path / "unrelated.txt").write_text("x")
+        assert IncidentStore.load_dir(str(tmp_path)) == []
+        assert IncidentStore.load_dir(str(tmp_path / "missing")) == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IncidentStore(capacity=0)
+
+
+class TestRendering:
+    def bundle(self):
+        flight = FlightRecorder(node="S3", capacity=8, clock=lambda: 10.0)
+        flight.record("rpc", "STREAM_OPEN", t=9.0)
+        store = TimeSeriesStore()
+        store.record("live.bytes.moved", 9.5, 4096.0, node="S3")
+        return build_bundle(
+            stalled_anomaly(),
+            "inc-S3-0001-stalled-stream",
+            records=chain_records(),
+            flight=flight,
+            store=store,
+        )
+
+    def test_list_rendering(self):
+        text = render_incident_list([summarize(self.bundle())])
+        assert "inc-S3-0001-stalled-stream" in text
+        assert "stalled-stream" in text
+        assert "r-1" in text
+        assert text.splitlines()[0].startswith("ID")
+        assert render_incident_list([]) == "no incidents"
+
+    def test_show_marks_stalled_hop(self):
+        text = render_incident(self.bundle())
+        assert "incident inc-S3-0001-stalled-stream" in text
+        assert "critical path" in text
+        assert "** STALLED **" in text
+        assert "src=S2" in text
+        assert "flight recorder (1 events" in text
+        assert "metrics window: 1 series captured" in text
+
+    def test_explain_stalled_stream(self):
+        text = explain_incident(self.bundle())
+        assert "stopped receiving STREAM_DATA" in text
+        assert "wedged peer still answers PING" in text
+        assert "replans" in text
+        assert "S2 -> S3" in text  # the stalled hop on the critical path
+
+    def test_explain_other_detectors(self):
+        straggler = Anomaly(
+            "straggler", "warning", "S9", "slow", 1.0,
+            data={"phases": ["network"], "threshold": 3.0},
+        )
+        text = explain_incident(build_bundle(straggler, "inc-2"))
+        assert "fleet-median" in text
+        burn = Anomaly(
+            "slo-burn", "warning", "user p99", "burning", 1.0,
+            data={
+                "slo": "user p99", "failing": 4, "samples": 5,
+                "burn": 0.8, "window": 30.0, "max_burn": 0.5,
+            },
+        )
+        text = explain_incident(build_bundle(burn, "inc-3"))
+        assert "failed 4 of 5" in text
+        drift = Anomaly(
+            "conformance-drift", "warning", "", "drift", 1.0,
+            repair_id="r-1",
+            data={"checks": [{
+                "name": "timing.network", "observed": 2.0,
+                "predicted": 1.0, "detail": "2x",
+            }]},
+        )
+        text = explain_incident(build_bundle(drift, "inc-4"))
+        assert "Eq. 1 prediction" in text
+        unknown = Anomaly("custom", "info", "S1", "odd thing", 1.0)
+        assert "odd thing" in explain_incident(build_bundle(unknown, "inc-5"))

@@ -1,0 +1,162 @@
+"""Flight recorder: bounded ring, metric deltas, sink protocol."""
+
+import threading
+
+import pytest
+
+from repro.obs.flight import FlightEvent, FlightRecorder
+from repro.obs.sink import TeeSink
+from repro.obs.span import Span
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def recorder(clock):
+    return FlightRecorder(node="S1", capacity=4, clock=clock)
+
+
+class TestRecording:
+    def test_event_shape(self, recorder, clock):
+        clock.t = 2.5
+        recorder.record("rpc", "PARTIAL_OP", dst="S2", nbytes=100)
+        (event,) = recorder.snapshot()
+        assert event == {
+            "t": 2.5,
+            "kind": "rpc",
+            "name": "PARTIAL_OP",
+            "node": "S1",
+            "data": {"dst": "S2", "nbytes": 100},
+        }
+
+    def test_explicit_timestamp_beats_clock(self, recorder, clock):
+        clock.t = 9.0
+        recorder.record("span", "x", t=1.0)
+        assert recorder.snapshot()[0]["t"] == 1.0
+
+    def test_minimal_event_omits_empty_fields(self):
+        assert FlightEvent(t=1.0, kind="k", name="n").to_dict() == {
+            "t": 1.0,
+            "kind": "k",
+            "name": "n",
+        }
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestRing:
+    def test_oldest_events_fall_off(self, recorder):
+        for i in range(10):
+            recorder.record("n", str(i), t=float(i))
+        assert len(recorder) == 4
+        assert recorder.recorded == 10
+        assert recorder.dropped == 6
+        names = [e["name"] for e in recorder.snapshot()]
+        assert names == ["6", "7", "8", "9"]  # oldest first
+
+    def test_snapshot_bounded_before_amortized_trim(self, recorder):
+        # The internal buffer trims lazily at 2x capacity; readers must
+        # never see more than `capacity` events regardless.
+        for i in range(recorder.capacity + 1):
+            recorder.record("n", str(i), t=float(i))
+        assert len(recorder) == recorder.capacity
+        assert len(recorder.snapshot()) == recorder.capacity
+
+    def test_clear_keeps_counters(self, recorder):
+        recorder.record("n", "a")
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.recorded == 1
+
+    def test_dump_shape(self, recorder, clock):
+        recorder.record("n", "a", t=1.0)
+        clock.t = 5.0
+        dump = recorder.dump()
+        assert dump["node"] == "S1"
+        assert dump["captured_at"] == 5.0
+        assert dump["capacity"] == 4
+        assert dump["recorded"] == 1
+        assert dump["dropped"] == 0
+        assert [e["name"] for e in dump["events"]] == ["a"]
+
+
+class TestMetricDeltas:
+    def test_only_changes_enter_the_ring(self, recorder):
+        for value in (0.0, 0.0, 3.0, 3.0, 3.0, 1.0):
+            recorder.observe_metric("repairs.inflight", value)
+        events = recorder.snapshot()
+        assert [e["data"]["value"] for e in events] == [0.0, 3.0, 1.0]
+        assert [e["data"]["delta"] for e in events] == [0.0, 3.0, -2.0]
+
+    def test_idle_gauge_cannot_evict_real_events(self, recorder):
+        recorder.record("anomaly", "stalled-stream")
+        for _ in range(100):
+            recorder.observe_metric("bytes.moved", 42.0)
+        names = [e["name"] for e in recorder.snapshot()]
+        assert "stalled-stream" in names
+
+
+class TestSinkProtocol:
+    def test_span_events_land_in_ring(self, recorder):
+        span = Span(
+            span_id=1,
+            name="live.phase.network",
+            start=1.0,
+            end=2.0,
+            node="S1",
+            category="live.phase",
+            attrs={"nbytes": 10},
+        )
+        recorder.write(span.to_event())
+        (event,) = recorder.snapshot()
+        assert event["kind"] == "span"
+        assert event["name"] == "live.phase.network"
+        assert event["t"] == 2.0
+        assert event["data"]["attrs"]["nbytes"] == 10
+
+    def test_unknown_event_types_filed_by_type(self, recorder):
+        recorder.write({"type": "series", "name": "qos.latency"})
+        (event,) = recorder.snapshot()
+        assert event["kind"] == "series"
+        assert event["name"] == "qos.latency"
+
+    def test_rides_behind_a_tee(self, recorder):
+        primary = []
+
+        class ListSink:
+            def write(self, event):
+                primary.append(event)
+
+        tee = TeeSink(ListSink(), recorder)
+        tee.write({"type": "series", "name": "x"})
+        assert len(primary) == 1
+        assert len(recorder) == 1
+
+
+def test_concurrent_recording_is_safe():
+    recorder = FlightRecorder(capacity=64, clock=FakeClock())
+    threads = [
+        threading.Thread(
+            target=lambda: [recorder.record("n", "e") for _ in range(500)]
+        )
+        for _ in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert recorder.recorded == 2000
+    assert len(recorder) == 64

@@ -14,6 +14,7 @@ import pytest
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.promexport import (
+    escape_help_text,
     escape_label_value,
     format_value,
     render_prometheus,
@@ -129,6 +130,12 @@ class TestFormatHelpers:
     def test_label_value_escaping(self):
         assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
 
+    def test_help_text_escaping(self):
+        # HELP escapes backslash and newline only; quotes stay literal
+        # (exposition format 0.0.4 — different rules from label values).
+        assert escape_help_text("a\\b\nc") == "a\\\\b\\nc"
+        assert escape_help_text('say "hi"') == 'say "hi"'
+
     def test_value_formatting(self):
         assert format_value(None) == "NaN"
         assert format_value(float("inf")) == "+Inf"
@@ -192,6 +199,25 @@ class TestRenderPrometheus:
         text = render_prometheus(registry.snapshot())
         _, samples = parse_exposition(text)
         assert samples[0][1]["path"] == 'a\\"b\\\\c'
+
+    def test_help_line_survives_hostile_metric_name(self, registry):
+        """Regression: a newline in an internal metric name used to split
+        the # HELP line in two, corrupting the whole document."""
+        registry.gauge("evil\nname\\path").set(1)
+        text = render_prometheus(registry.snapshot())
+        types, samples = parse_exposition(text)  # must stay one line each
+        (help_line,) = [
+            line for line in text.splitlines() if line.startswith("# HELP")
+        ]
+        assert "evil\\nname\\\\path" in help_line
+        assert types == {"repro_evil_name_path": "gauge"}
+        assert samples == [("repro_evil_name_path", {}, "1")]
+
+    def test_label_value_newline_stays_one_sample_line(self, registry):
+        registry.gauge("g", reason="helper\nstalled").set(1)
+        text = render_prometheus(registry.snapshot())
+        _, samples = parse_exposition(text)
+        assert samples[0][1]["reason"] == "helper\\nstalled"
 
     def test_full_registry_roundtrip_is_parseable(self, registry):
         """A realistic mixed registry renders to a valid document."""

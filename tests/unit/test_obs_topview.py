@@ -1,11 +1,14 @@
 """The `repro top` dashboard renderer (pure text, no terminal)."""
 
+import json
+
 from repro.obs.topview import (
     ANSI,
     fleet_from_series,
     render_fleet_table,
     render_series_panel,
     render_top,
+    snapshot_dict,
 )
 
 
@@ -121,6 +124,38 @@ class TestRenderTop:
     def test_one_shot_frame_has_no_clear_codes(self):
         text = render_top({}, [], color=False)
         assert "\x1b" not in text
+
+
+class TestSnapshotDict:
+    def test_mirrors_rendered_summary(self):
+        fleet = {
+            "cs-01": _health("cs-01", inflight_repairs=2),
+            "cs-02": _health("cs-02", alive=False),
+            "cs-03": _health("cs-03", straggler=True),
+        }
+        series = [_series("m", [[0, 1.0]], node="cs-01")]
+        snap = snapshot_dict(fleet, series, now=12.5, source="sim-trace")
+        assert snap["source"] == "sim-trace"
+        assert snap["time"] == 12.5
+        assert snap["summary"] == {
+            "servers_up": 2,
+            "servers_known": 3,
+            "inflight_repairs": 2,
+            "stragglers": ["cs-03"],
+        }
+        assert sorted(snap["fleet"]) == ["cs-01", "cs-02", "cs-03"]
+        assert snap["fleet"]["cs-01"]["inflight_repairs"] == 2
+        assert snap["series"] == series
+        assert "incidents" not in snap  # only present when DOCTOR polled
+        json.dumps(snap)  # the whole frame must be JSON-serializable
+
+    def test_incidents_section_when_polled(self):
+        snap = snapshot_dict(
+            {}, [], incidents=[{"id": "inc-1", "detector": "straggler"}]
+        )
+        assert snap["incidents"] == [
+            {"id": "inc-1", "detector": "straggler"}
+        ]
 
 
 class TestFleetFromSeries:

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""CI smoke: the doctor must diagnose a wedged-but-alive helper.
+
+Brings up a live loopback-TCP cluster with the stalled-stream watchdog
+armed, wedges one mid-chain helper between slices of a pipelined
+``chain --slices 8`` repair (the helper keeps answering PING — only the
+watchdog can find it), and requires:
+
+1. the repair to complete byte-identically after exactly one replan
+   that excluded the wedged helper,
+2. a ``stalled-stream`` incident bundle mirrored to ``--incident-dir``
+   (the artifact CI uploads),
+3. ``repro doctor list/show/explain --dir`` to render that bundle with
+   the stalled hop marked on the critical path, and
+4. ``repro trace record --profile`` to emit a non-empty collapsed-stack
+   flame graph (the profiler half of the subsystem).
+
+Usage::
+
+    PYTHONPATH=src python tools/doctor_smoke.py \
+        [--incident-dir DIR] [--profile FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+STALL_DEADLINE_S = 0.45
+CLI_TIMEOUT_S = 120
+
+
+async def run_stalled_repair(incident_dir: str) -> str:
+    """One wedged-helper chain repair; returns the culprit's server id."""
+    from repro.live import LiveCluster, LiveConfig
+
+    config = LiveConfig(
+        heartbeat_interval=0.3,
+        failure_detection_timeout=2.0,
+        connect_timeout=1.0,
+        rpc_timeout=2.0,
+        partial_wait_timeout=5.0,
+        repair_timeout=15.0,
+        max_retries=1,
+        backoff_base=0.02,
+        backoff_max=0.1,
+        max_attempts=2,
+        stream_stall_deadline=STALL_DEADLINE_S,
+        incident_dir=incident_dir,
+    )
+    async with LiveCluster(
+        num_servers=10, config=config, payload_bytes=1152
+    ) as cluster:
+        stripe = await cluster.write_stripe("rs(6,3)")
+        lost = 2
+        truth = cluster.truth_payload(stripe.chunk_ids[lost])
+        await cluster.kill_server(stripe.hosts[lost])
+
+        wedged: "list[str]" = []
+
+        def on_attempt(info) -> None:
+            if info.attempt != 1:
+                return
+            victim = next(
+                a for a in info.aggregators if a != info.destination
+            )
+            wedged.append(victim)
+            cluster.server(victim).stall_stream_at_slice = 4
+
+        report = await cluster.repair(
+            stripe.stripe_id,
+            lost_index=lost,
+            strategy="chain",
+            on_attempt=on_attempt,
+            num_slices=8,
+        )
+
+        assert wedged, "no helper was wedged"
+        victim = wedged[0]
+        assert report.attempts == 2, (
+            f"expected exactly one replan, got {report.attempts} attempts"
+        )
+        assert victim in report.excluded, (
+            f"culprit {victim} not excluded (excluded={report.excluded})"
+        )
+        assert cluster.server(victim).alive, "culprit should never crash"
+        assert report.result.verified
+        assert np.array_equal(report.payload, truth), "bytes differ"
+
+        stalled = [
+            bundle
+            for server in cluster.servers.values()
+            for bundle in server.incidents.bundles()
+            if bundle["detector"] == "stalled-stream"
+        ]
+        assert stalled, "watchdog filed no stalled-stream incident"
+        blamed = {b["anomaly"]["data"]["src"] for b in stalled}
+        cleared = {b["node"] for b in stalled}
+        assert blamed - cleared == {victim}, (
+            f"blame math wrong: blamed={blamed} cleared={cleared} "
+            f"victim={victim}"
+        )
+        return victim
+
+
+def run_cli(*argv: str) -> str:
+    """Run one ``repro`` CLI invocation; returns stdout, raises on failure."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        timeout=CLI_TIMEOUT_S,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"repro {' '.join(argv)} exited {result.returncode}:\n"
+            f"{result.stderr}"
+        )
+    return result.stdout
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--incident-dir",
+        default="incidents",
+        help="directory incident bundles are mirrored to (CI artifact)",
+    )
+    parser.add_argument(
+        "--profile",
+        default="doctor-smoke.collapsed",
+        help="collapsed-stack flame graph output path (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    incident_dir = pathlib.Path(args.incident_dir)
+    incident_dir.mkdir(parents=True, exist_ok=True)
+
+    victim = asyncio.run(run_stalled_repair(str(incident_dir)))
+    bundles = sorted(incident_dir.glob("incident-*.json"))
+    if not bundles:
+        print(f"no incident-*.json written to {incident_dir}", file=sys.stderr)
+        return 1
+    print(f"repair replanned around {victim}; {len(bundles)} bundle(s):")
+    for path in bundles:
+        print(f"  {path}")
+
+    # The offline CLI must render what the watchdog filed.
+    listing = run_cli("doctor", "list", "--dir", str(incident_dir))
+    print(listing)
+    if "stalled-stream" not in listing:
+        print("doctor list shows no stalled-stream incident", file=sys.stderr)
+        return 1
+    incident_id = next(
+        line.split()[0]
+        for line in listing.splitlines()[1:]
+        if "stalled-stream" in line
+    )
+    shown = run_cli("doctor", "show", incident_id, "--dir", str(incident_dir))
+    print(shown)
+    if "** STALLED **" not in shown:
+        print("doctor show did not mark the stalled hop", file=sys.stderr)
+        return 1
+    explained = run_cli(
+        "doctor", "explain", incident_id, "--dir", str(incident_dir)
+    )
+    print(explained)
+    if "STREAM_DATA" not in explained:
+        print("doctor explain missing the stall narrative", file=sys.stderr)
+        return 1
+
+    # Profiler half: a simulated repair must emit a flame graph.
+    trace_out = pathlib.Path(tempfile.mkdtemp(prefix="doctor-smoke-"))
+    run_cli(
+        "trace", "record",
+        "--strategy", "ppr",
+        "--out", str(trace_out / "sim.jsonl"),
+        "--profile", args.profile,
+    )
+    profile = pathlib.Path(args.profile)
+    if not profile.exists() or not profile.read_text().strip():
+        print(f"empty or missing flame graph {profile}", file=sys.stderr)
+        return 1
+    print(f"flame graph: {profile} ({len(profile.read_text().splitlines())} stacks)")
+    print("doctor smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
