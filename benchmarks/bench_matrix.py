@@ -1,0 +1,82 @@
+"""Redundancy matrix: scheme × code × placement, the cross-lever claims.
+
+The acceptance claims of the redundancy subsystem (ISSUE 9): the full
+4 scheme × 4 code × 3 placement sweep completes; the rs×random baseline
+cell brackets the closed-form Markov MTTDL; MSR cells move strictly
+less repair traffic than RS at equal (n, k) under every scheme and
+placement; copyset placement shows a lower loss-*event* rate than
+random placement (fewer failure combinations cover a stripe).
+
+All simulated metrics are seeded-deterministic, so the emitted
+``results/BENCH_matrix.json`` doubles as a perf-gate baseline
+(``tools/bench_compare.py`` ±25%).  Like ``bench_reliability.py`` this
+module deliberately skips the pytest-benchmark timing fixture: a
+minute-long Monte Carlo sweep's wall clock swings far more than ±25%
+across machines.
+"""
+
+from repro.redundancy import MatrixConfig, run_matrix
+
+#: Workload parameters stamped into every BENCH_matrix.json record.
+BENCH_CONFIG = {
+    "regime": "accelerated-bandwidth-limited",
+    "disk_lifetime": "exp:5d",
+    "chunk_size": "256MiB",
+    "net_bandwidth": "0.5Gbps",
+    "repair_slots": 2,
+    "num_stripes": 200,
+    "trials": 2,
+    "horizon_years": 3.0,
+    "seed": 2016,
+}
+
+#: The full cross-product at benchmark sizing (48 cells, ~1s each).
+MATRIX_CONFIG = MatrixConfig(
+    num_stripes=200,
+    trials=2,
+    horizon_years=3.0,
+    validation_trials=300,
+)
+
+
+def test_redundancy_matrix(save_report):
+    result = run_matrix(MATRIX_CONFIG)
+    save_report(result.to_experiment())
+
+    # The sweep covers the full grid and every cell is meaningful.
+    config = MATRIX_CONFIG
+    assert len(result.cells) == (
+        len(config.schemes) * len(config.codes) * len(config.placements)
+    ) == 48
+    for cell in result.cells:
+        mttdl, _, _ = cell.report.mttdl_years()
+        assert mttdl > 0, cell
+        assert cell.report.repair_traffic_bytes_per_stripe_year() > 0, cell
+
+    # Markov anchor: the engine, configured as the birth-death chain,
+    # brackets the closed-form MTTDL of the rs(6,3) baseline.
+    assert result.validation is not None
+    assert result.validation.inside_ci, result.validation
+
+    # MSR moves strictly less repair traffic than RS at equal (n, k)
+    # — gamma(d) = d/(d-k+1) < k — under every scheme and placement.
+    for scheme in config.schemes:
+        for placement in config.placements:
+            rs = result.cell(scheme, "rs(6,3)", placement)
+            msr = result.cell(scheme, "msr(6,3)", placement)
+            assert (
+                msr.report.repair_traffic_bytes_per_stripe_year()
+                < rs.report.repair_traffic_bytes_per_stripe_year()
+            ), (scheme, placement)
+
+    # Copyset placement shrinks the set of failure combinations that
+    # can lose data: aggregated over the sweep, strictly fewer loss
+    # *events* than random placement at equal scatter width.
+    def loss_events(placement):
+        return sum(
+            c.report.total_loss_events
+            for c in result.cells
+            if c.placement == placement
+        )
+
+    assert loss_events("copyset") < loss_events("random")

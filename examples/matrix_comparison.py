@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The three durability levers, pitted against each other in one table.
+
+PPR's lever is repair *scheduling* (star -> ppr); the community's other
+two levers are repair-traffic-reducing *codes* (MSR regenerating codes
+move gamma(d) = d/(d-k+1) chunks instead of k) and loss-correlation-
+reducing *placement* (copysets confine stripes to a few fixed groups so
+almost no failure combination covers one).  This demo runs a reduced
+scheme x code x placement matrix (src/repro/redundancy/) through the
+years-scale Monte Carlo engine and prints the per-cell comparison —
+plus the Markov-validation anchor on the rs x random baseline cell.
+
+Run:  python examples/matrix_comparison.py
+"""
+
+from repro.redundancy import MatrixConfig, compare_axes, run_matrix
+
+CONFIG = MatrixConfig(
+    schemes=("star", "ppr"),
+    codes=("rs(6,3)", "msr(6,3)"),
+    placements=("random", "copyset"),
+    num_stripes=120,
+    trials=2,
+    horizon_years=3.0,
+    validation_trials=250,
+)
+
+if __name__ == "__main__":
+    print("Redundancy matrix: 2 schemes x 2 codes x 2 placements under "
+          "accelerated aging\n(disk MTTF 5 days, 0.5 Gbps fabric, 2 "
+          "repair slots; every cell independently seeded).\n")
+    result = run_matrix(CONFIG)
+    print(result.to_experiment().report)
+
+    # What each lever buys, holding the others at their sweep-best:
+    print("\nPer-axis winners (mean availability nines across the "
+          "other two axes):")
+    for axis, (value, nines) in sorted(compare_axes(result).items()):
+        print(f"  best {axis:<10} {value:<10} ({nines:.2f} nines)")
+
+    rs = result.cell("ppr", "rs(6,3)", "random")
+    msr = result.cell("ppr", "msr(6,3)", "random")
+    traffic_ratio = (
+        rs.report.repair_traffic_bytes_per_stripe_year()
+        / msr.report.repair_traffic_bytes_per_stripe_year()
+    )
+    print(f"\nMSR(6,3) moves {traffic_ratio:.2f}x less repair traffic "
+          f"than RS(6,3) under PPR — the cut-set bound at work.")
+
+    def events(placement):
+        return sum(c.report.total_loss_events for c in result.cells
+                   if c.placement == placement)
+
+    print(f"Copyset placement: {events('copyset')} loss events across "
+          f"its cells vs {events('random')} under random placement — "
+          f"fewer failure combinations cover a stripe.")
+
+    validation = result.validation
+    print(f"\nMarkov anchor ({validation.code}, random placement): "
+          f"closed form {validation.markov_mttdl_hours:.1f}h "
+          f"{'inside' if validation.inside_ci else 'OUTSIDE'} the "
+          f"simulated 95% CI [{validation.ci_low_hours:.1f}, "
+          f"{validation.ci_high_hours:.1f}]h.")
+
+    print("\nFull 4x4x3 sweep: `python -m repro matrix` "
+          "(or `pytest benchmarks/bench_matrix.py`).")

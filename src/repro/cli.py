@@ -930,6 +930,8 @@ def cmd_reliability(args: argparse.Namespace) -> int:
         config = ReliabilityConfig(
             code=args.code,
             scheme=scheme.strip(),
+            placement=args.placement,
+            scatter_width=args.scatter_width,
             num_stripes=args.stripes,
             chunk_size=args.chunk_size,
             hierarchy=hierarchy,
@@ -956,6 +958,86 @@ def cmd_reliability(args: argparse.Namespace) -> int:
                 f"vs {base.per_chunk_repair_hours * 3600:.1f}s)"
             )
     return 0
+
+
+# ----------------------------------------------------------------------
+# matrix: scheme x code x placement durability sweep
+# ----------------------------------------------------------------------
+def _split_specs(text: str) -> "tuple":
+    """Split a comma list without breaking ``rs(6,3)``-style specs."""
+    out: "List[str]" = []
+    depth = 0
+    current: "List[str]" = []
+    for ch in text:
+        if ch == "," and depth == 0:
+            token = "".join(current).strip()
+            if token:
+                out.append(token)
+            current = []
+            continue
+        depth += ch == "("
+        depth -= ch == ")"
+        current.append(ch)
+    token = "".join(current).strip()
+    if token:
+        out.append(token)
+    return tuple(out)
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.redundancy import MatrixConfig, run_matrix
+
+    config = MatrixConfig(
+        schemes=_split_specs(args.schemes),
+        codes=_split_specs(args.codes),
+        placements=_split_specs(args.placements),
+        num_stripes=args.stripes,
+        trials=args.trials,
+        horizon_years=args.years,
+        scatter_width=args.scatter_width,
+        validate_baseline=not args.no_validate,
+        seed=args.seed,
+    )
+    result = run_matrix(config)
+    experiment = result.to_experiment()
+    print(experiment.report)
+    if args.json:
+        payload = {
+            "experiment_id": experiment.experiment_id,
+            "rows": result.rows(),
+        }
+        if result.validation is not None:
+            v = result.validation
+            payload["markov_validation"] = {
+                "code": v.code,
+                "simulated_mttdl_hours": v.simulated_mttdl_hours,
+                "ci_low_hours": v.ci_low_hours,
+                "ci_high_hours": v.ci_high_hours,
+                "markov_mttdl_hours": v.markov_mttdl_hours,
+                "inside_ci": v.inside_ci,
+            }
+        pathlib.Path(args.json).write_text(
+            json.dumps(payload, indent=2), encoding="utf-8"
+        )
+        print(f"wrote {args.json}")
+    if result.validation is not None and not result.validation.inside_ci:
+        print("markov validation FAILED: closed form outside simulated CI")
+        return 1
+    return 0
+
+
+def _redundancy_epilog() -> str:
+    """Registered schemes, codes, and placements for --help epilogs."""
+    from repro.fs.placement import available_placements
+    from repro.redundancy.models import available_cost_models
+    from repro.reliability.engine import SCHEMES
+
+    return (
+        "registered schemes:    " + ", ".join(SCHEMES) + "\n"
+        "registered codes:      " + ", ".join(available_cost_models())
+        + "  (spec e.g. rs(6,3), msr(6,3,8))\n"
+        "registered placements: " + ", ".join(available_placements())
+    )
 
 
 # ----------------------------------------------------------------------
@@ -1084,10 +1166,18 @@ def build_parser() -> argparse.ArgumentParser:
     rel = sub.add_parser(
         "reliability",
         help="years-scale Monte Carlo durability: MTTDL, P(loss), nines",
+        epilog=_redundancy_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    rel.add_argument("--code", default="rs(6,3)")
+    rel.add_argument("--code", default="rs(6,3)",
+                     help="code or cost-model spec (see epilog)")
     rel.add_argument("--scheme", default="ppr",
-                     help="comma-separated: traditional,ppr,mppr")
+                     help="comma-separated repair schemes (see epilog)")
+    rel.add_argument("--placement", default="random",
+                     help="stripe placement regime (see epilog)")
+    rel.add_argument("--scatter-width", type=int, default=None,
+                     help="copyset scatter-width target S "
+                          "(default 2*(n-1))")
     rel.add_argument("--trials", type=int, default=10,
                      help="independent Monte Carlo trials")
     rel.add_argument("--years", type=float, default=10.0,
@@ -1110,6 +1200,35 @@ def build_parser() -> argparse.ArgumentParser:
     rel.add_argument("--backlog-chart", action="store_true",
                      help="render the repair-queue depth chart")
     rel.set_defaults(fn=cmd_reliability)
+
+    mat = sub.add_parser(
+        "matrix",
+        help="redundancy matrix: scheme x code x placement durability",
+        epilog=_redundancy_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    mat.add_argument("--schemes", default=",".join(
+        ("star", "staggered", "chain", "ppr")),
+        help="comma-separated repair schemes (see epilog)")
+    mat.add_argument("--codes", default="rs(6,3),lrc(6,2,2),msr(6,3),"
+                     "mbr(6,3)",
+                     help="comma-separated code/cost-model specs")
+    mat.add_argument("--placements", default="random,copyset,pss",
+                     help="comma-separated placement regimes")
+    mat.add_argument("--stripes", type=int, default=500,
+                     help="stripe population per cell trial")
+    mat.add_argument("--trials", type=int, default=4,
+                     help="Monte Carlo trials per cell")
+    mat.add_argument("--years", type=float, default=10.0,
+                     help="simulated horizon per trial")
+    mat.add_argument("--scatter-width", type=int, default=None,
+                     help="copyset scatter-width target S")
+    mat.add_argument("--seed", type=int, default=2016)
+    mat.add_argument("--no-validate", action="store_true",
+                     help="skip the Markov check of the rs/random cell")
+    mat.add_argument("--json", default=None,
+                     help="also write per-cell rows as JSON to FILE")
+    mat.set_defaults(fn=cmd_matrix)
 
     tr = sub.add_parser(
         "trace", help="record and inspect observability traces"

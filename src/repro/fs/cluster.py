@@ -22,14 +22,14 @@ from repro.errors import ConfigurationError, StorageError
 from repro.codes.base import ErasureCode
 from repro.fs.chunks import Chunk, Stripe
 from repro.fs.chunkserver import ChunkServer
-from repro.fs.placement import PlacementPolicy
+from repro.fs.placement import make_placement
 from repro.obs.timeseries import Sampler, TimeSeriesStore
 from repro.sim.compute import ComputeModel
 from repro.sim.events import Simulation
 from repro.sim.metrics import TrafficMatrix
 from repro.sim.network import Flow, FlowNetwork
 from repro.sim.topology import FatTreeTopology, SingleSwitchTopology, Topology
-from repro.util.rng import make_rng
+from repro.util.rng import derive_rng, make_rng
 from repro.util.units import MIB, parse_size
 
 
@@ -58,6 +58,10 @@ class ClusterConfig:
     #: Fig 7d; the fluid default keeps it off for a conservative baseline.
     incast_threshold: "Optional[int]" = None
     incast_gamma: float = 0.4
+    #: Placement strategy (:func:`repro.fs.placement.available_placements`).
+    placement: str = "random"
+    #: Target scatter width for ``copyset`` placement (None -> 2*(n-1)).
+    scatter_width: "Optional[int]" = None
     seed: int = 2016
 
 
@@ -117,8 +121,16 @@ class StorageCluster:
         upgrade_domain = {
             sid: i % 4 for i, sid in enumerate(self.server_ids)
         }
-        self.placement = PlacementPolicy(
-            failure_domain, upgrade_domain, rng=self.rng
+        # Placement draws come from a named child stream, not the
+        # cluster-global one: workload randomness (payloads, failure
+        # injection) no longer shifts where stripes land, so placement
+        # geometry is reproducible from (seed, strategy) alone.
+        self.placement = make_placement(
+            config.placement,
+            failure_domain,
+            upgrade_domain,
+            rng=derive_rng(config.seed, "placement", config.placement),
+            scatter_width=config.scatter_width,
         )
 
         from repro.fs.metaserver import MetaServer

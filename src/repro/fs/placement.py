@@ -1,15 +1,38 @@
-"""Stripe placement with failure and upgrade domains.
+"""Stripe placement: domain constraints and scatter-control strategies.
 
 The paper's m-PPR destination selection (§5) must avoid servers that
 already host chunks of the stripe, servers in the same *failure domain*
 (e.g. rack) and the same *upgrade domain* as surviving chunks.  This
 module owns those constraints for initial placement and exposes the
 eligibility filter reused by destination selection.
+
+Beyond the baseline random spread, it implements the *scatter-width*
+family of placements (Cidon et al.'s Copysets line, the CR-SIM
+``dataDistribute`` menu):
+
+* ``random`` — :class:`PlacementPolicy`: every stripe draws a fresh
+  domain-spread server set; each server ends up sharing stripes with
+  nearly everyone (maximal scatter width), so nearly every
+  ``m+1``-failure combination covers *some* stripe.
+* ``copyset`` — :class:`CopysetPlacement`: servers are grouped into a
+  small number of fixed *copysets* built from ``p = ceil(S / (n-1))``
+  rack-aware permutations; stripes live entirely inside one copyset,
+  capping each server's scatter width near ``S`` and shrinking the set
+  of failure combinations that can lose data.
+* ``pss`` — :class:`PartitionedPlacement`: the minimal-scatter extreme,
+  one static partition (``p = 1``, scatter width ``n - 1``).
+* ``sss`` — :class:`SpreadingPlacement`: shuffled stripe sets, the
+  random-spread baseline of the Copysets paper (same distribution as
+  ``random``; kept as an explicit strategy name).
+
+``make_placement`` builds any of them by name;
+:func:`scatter_width` measures what a placement actually achieved.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Type
 
 import numpy as np
 
@@ -19,6 +42,9 @@ from repro.util.rng import make_rng
 
 class PlacementPolicy:
     """Spread stripes across distinct failure domains where possible."""
+
+    #: Registry name of the strategy (subclasses override).
+    strategy_name = "random"
 
     def __init__(
         self,
@@ -89,3 +115,209 @@ class PlacementPolicy:
                 continue
             out.append(server)
         return out
+
+
+class CopysetPlacement(PlacementPolicy):
+    """Copyset placement: stripes confined to a few fixed server groups.
+
+    Groups of ``num_chunks`` servers ("copysets") are carved out of
+    ``p = ceil(scatter_width / (num_chunks - 1))`` rack-aware
+    permutations of the full server population (every window of a
+    permutation spans distinct failure domains whenever there are
+    enough domains), and each stripe is placed onto one whole copyset.
+    A server therefore shares stripes with at most ``p * (n - 1)``
+    partners — the scatter width — instead of the whole cluster, which
+    is the Copysets paper's lever on P(data loss): only failure
+    combinations *inside* one copyset can lose data.
+
+    Copysets are built lazily per stripe width and are stable for the
+    policy's lifetime; placement onto a subset of servers (e.g. only
+    the live ones) picks uniformly among fully-contained copysets and
+    falls back to the domain-spread random policy when none fits.
+    """
+
+    strategy_name = "copyset"
+
+    def __init__(
+        self,
+        failure_domain: "Dict[str, int]",
+        upgrade_domain: "Dict[str, int]",
+        rng: "np.random.Generator | int | None" = None,
+        scatter_width: "Optional[int]" = None,
+    ):
+        super().__init__(failure_domain, upgrade_domain, rng=rng)
+        if scatter_width is not None and scatter_width < 1:
+            raise StorageError(
+                f"scatter width must be >= 1, got {scatter_width}"
+            )
+        self.scatter_width = scatter_width
+        self._copysets: "Dict[int, List[List[str]]]" = {}
+
+    # ------------------------------------------------------------------
+    # Copyset construction
+    # ------------------------------------------------------------------
+    def num_permutations(self, num_chunks: int) -> int:
+        """``p = ceil(S / (n-1))``; default S is ``2 * (n-1)``."""
+        if num_chunks < 2:
+            return 1
+        scatter = (
+            self.scatter_width
+            if self.scatter_width is not None
+            else 2 * (num_chunks - 1)
+        )
+        return max(1, math.ceil(scatter / (num_chunks - 1)))
+
+    def scatter_width_bound(self, num_chunks: int) -> int:
+        """Max distinct partners any server can acquire: ``p * (n-1)``."""
+        return self.num_permutations(num_chunks) * max(num_chunks - 1, 0)
+
+    def _rack_aware_permutation(self) -> "List[str]":
+        """All servers, ordered so consecutive windows span racks.
+
+        Servers are shuffled within their failure domain, domains are
+        shuffled, then dealt round-robin — position ``i`` takes the next
+        unused server of domain ``order[i % len(order)]`` (skipping
+        exhausted domains), so any window of ``n <= #domains`` servers
+        touches ``n`` distinct domains when domain sizes are balanced.
+        """
+        by_domain: "Dict[int, List[str]]" = {}
+        for server in sorted(self.failure_domain):
+            by_domain.setdefault(self.failure_domain[server], []).append(
+                server
+            )
+        domains = sorted(by_domain)
+        order = [domains[i] for i in self.rng.permutation(len(domains))]
+        for domain in order:
+            group = by_domain[domain]
+            by_domain[domain] = [
+                group[i] for i in self.rng.permutation(len(group))
+            ]
+        out: "List[str]" = []
+        cursor = {domain: 0 for domain in order}
+        visit = 0
+        while len(out) < len(self.failure_domain):
+            domain = order[visit % len(order)]
+            visit += 1
+            index = cursor[domain]
+            if index < len(by_domain[domain]):
+                out.append(by_domain[domain][index])
+                cursor[domain] = index + 1
+        return out
+
+    def copysets(self, num_chunks: int) -> "List[List[str]]":
+        """The fixed copysets for stripes of ``num_chunks`` chunks."""
+        if num_chunks < 1:
+            raise StorageError("stripes need at least one chunk")
+        if num_chunks > len(self.failure_domain):
+            raise StorageError(
+                f"cannot form copysets of {num_chunks} from "
+                f"{len(self.failure_domain)} servers"
+            )
+        cached = self._copysets.get(num_chunks)
+        if cached is None:
+            cached = []
+            for _ in range(self.num_permutations(num_chunks)):
+                permutation = self._rack_aware_permutation()
+                for start in range(
+                    0, len(permutation) - num_chunks + 1, num_chunks
+                ):
+                    cached.append(permutation[start:start + num_chunks])
+            self._copysets[num_chunks] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place_stripe(
+        self, servers: "Sequence[str]", num_chunks: int
+    ) -> "List[str]":
+        candidates = set(servers)
+        if len(candidates) < num_chunks:
+            raise StorageError(
+                f"cannot place {num_chunks} chunks on "
+                f"{len(candidates)} servers"
+            )
+        usable = [
+            copyset
+            for copyset in self.copysets(num_chunks)
+            if candidates.issuperset(copyset)
+        ]
+        if not usable:
+            # Degraded cluster left no whole copyset: keep data placeable
+            # (availability over scatter control) via the random policy.
+            return super().place_stripe(servers, num_chunks)
+        return list(usable[int(self.rng.integers(len(usable)))])
+
+
+class PartitionedPlacement(CopysetPlacement):
+    """PSS: one static partition of the cluster (minimal scatter, S = n-1)."""
+
+    strategy_name = "pss"
+
+    def num_permutations(self, num_chunks: int) -> int:
+        return 1
+
+
+class SpreadingPlacement(PlacementPolicy):
+    """SSS: shuffled stripe sets — the maximal-scatter random baseline."""
+
+    strategy_name = "sss"
+
+
+#: Registered placement strategies, by name.
+_STRATEGIES: "Dict[str, Type[PlacementPolicy]]" = {
+    cls.strategy_name: cls
+    for cls in (
+        PlacementPolicy,
+        CopysetPlacement,
+        PartitionedPlacement,
+        SpreadingPlacement,
+    )
+}
+
+
+def available_placements() -> "List[str]":
+    """Registered placement strategy names."""
+    return sorted(_STRATEGIES)
+
+
+def make_placement(
+    name: str,
+    failure_domain: "Dict[str, int]",
+    upgrade_domain: "Dict[str, int]",
+    rng: "np.random.Generator | int | None" = None,
+    scatter_width: "Optional[int]" = None,
+) -> PlacementPolicy:
+    """Build a placement strategy by registry name."""
+    cls = _STRATEGIES.get(name.lower())
+    if cls is None:
+        raise StorageError(
+            f"unknown placement {name!r}; known: {available_placements()}"
+        )
+    if issubclass(cls, CopysetPlacement):
+        return cls(
+            failure_domain, upgrade_domain, rng=rng,
+            scatter_width=scatter_width,
+        )
+    if scatter_width is not None:
+        raise StorageError(
+            f"placement {name!r} does not take a scatter width"
+        )
+    return cls(failure_domain, upgrade_domain, rng=rng)
+
+
+def scatter_width(
+    stripes: "Iterable[Sequence[str]]",
+) -> "Dict[str, int]":
+    """Distinct co-stripe partners per server, over placed stripes.
+
+    The quantity copyset placement bounds: how many other servers each
+    server shares at least one stripe with.
+    """
+    partners: "Dict[str, Set[str]]" = {}
+    for hosts in stripes:
+        for host in hosts:
+            partners.setdefault(host, set()).update(hosts)
+    return {
+        host: len(others - {host}) for host, others in partners.items()
+    }

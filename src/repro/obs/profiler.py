@@ -250,8 +250,9 @@ class VirtualProfiler:
     then calls :meth:`observe_event` once per executed event with the
     event's callback and the virtual-time advance it accounted for.
     Attribution is by callback identity (``module:qualname``), cached so
-    the per-event cost is a dict lookup plus a float add — measured
-    under 5% of sim wall time (see ``tests/unit/test_obs_profiler.py``).
+    the per-event cost is a dict lookup plus a float add — measured at
+    a few percent of sim wall time (see
+    ``tests/unit/test_obs_profiler.py``).
 
     Strictly read-only with respect to the simulation: bit-identical
     results are guaranteed because nothing here can schedule an event,

@@ -27,6 +27,7 @@ from repro.reliability.stripes import (
     DEGRADED,
     HEALTHY,
     LOST,
+    PLACEMENTS,
     STATE_NAMES,
     StripeMap,
     classify,
@@ -38,6 +39,7 @@ __all__ = [
     "HEALTHY",
     "HOURS_PER_YEAR",
     "LOST",
+    "PLACEMENTS",
     "SCHEMES",
     "SCHEME_CONTENTION",
     "STATE_NAMES",

@@ -42,8 +42,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import obs
-from repro.codes import make_code
 from repro.errors import ConfigurationError
+from repro.redundancy.models import make_cost_model
 from repro.reliability.hierarchy import Hierarchy
 from repro.reliability.lifetimes import (
     HOURS_PER_YEAR,
@@ -52,19 +52,29 @@ from repro.reliability.lifetimes import (
 )
 from repro.reliability.results import ReliabilityReport, TrialResult
 from repro.reliability.stripes import StripeMap
-from repro.repair import theory
 from repro.util.units import Bandwidth, parse_size
 
-#: Repair schemes the engine can price.
-SCHEMES = ("traditional", "ppr", "mppr")
+#: Repair schemes the engine can price.  ``star`` is the paper's name
+#: for traditional funnel repair (kept as an explicit axis label for the
+#: redundancy matrix); ``staggered`` spreads the same transfers over
+#: time so concurrent repairs collide less; ``chain`` pipelines the
+#: repair in ``num_slices`` slices along a helper chain (the streamed
+#: sliced-repair data path at years-scale).
+SCHEMES = ("traditional", "star", "staggered", "chain", "ppr", "mppr")
 
 #: Fractional slowdown per extra concurrently-active repair.  Calibrated
 #: against Table 1 (max per-server bandwidth: star repair funnels k
 #: chunks into one link, PPR at most ceil(log2 k) into any link) and
 #: Fig 8 (m-PPR's weighted scheduling keeps concurrent repairs off each
-#: other's helpers almost entirely).
+#: other's helpers almost entirely).  Staggered repair serializes the
+#: same funnel into time-offset phases (fewer simultaneous collisions
+#: than star, more than PPR's tree); chain repair gives every transfer
+#: its own link, colliding about as little as m-PPR's weighted spread.
 SCHEME_CONTENTION: "Dict[str, float]" = {
     "traditional": 0.50,
+    "star": 0.50,
+    "staggered": 0.35,
+    "chain": 0.15,
     "ppr": 0.20,
     "mppr": 0.05,
 }
@@ -79,6 +89,12 @@ class ReliabilityConfig:
 
     code: str = "rs(6,3)"
     scheme: str = "ppr"
+    #: Stripe placement regime (:data:`repro.reliability.stripes.
+    #: PLACEMENTS`): ``random``/``sss`` spread maximally; ``copyset``/
+    #: ``pss`` confine stripes to fixed disk groups.
+    placement: str = "random"
+    #: Target scatter width S for ``copyset`` (None -> 2*(n-1)).
+    scatter_width: "Optional[int]" = None
     num_stripes: int = 10_000
     chunk_size: "int | str" = "64MiB"
     hierarchy: Hierarchy = field(default_factory=Hierarchy)
@@ -101,6 +117,8 @@ class ReliabilityConfig:
     compute_seconds_per_byte: float = 2.5e-10
     #: Concurrent disk reconstructions (the cluster's repair bandwidth).
     repair_slots: int = 8
+    #: Pipeline depth for the ``chain`` scheme (ignored elsewhere).
+    num_slices: int = 8
     #: Override the scheme's contention factor (None = scheme default).
     contention: "Optional[float]" = None
     #: "deterministic" uses the closed-form duration as-is;
@@ -131,6 +149,8 @@ class ReliabilityConfig:
             raise ConfigurationError("need >= 1 stripe and >= 1 trial")
         if self.repair_slots < 1:
             raise ConfigurationError("need >= 1 repair slot")
+        if self.num_slices < 1:
+            raise ConfigurationError("need >= 1 slice")
         if self.horizon_years <= 0:
             raise ConfigurationError("horizon must be positive")
 
@@ -144,7 +164,11 @@ class ReliabilityEngine:
             config = replace(config, **kw)
         config.validate()
         self.config = config
-        self.code = make_code(config.code)
+        #: The repair-cost model: a wrapped byte-level code for
+        #: implemented families, a cut-set-bound model for MSR/MBR.
+        #: Exposes the same shape surface (n, k, fault_tolerance, name)
+        #: the engine historically read off the ErasureCode.
+        self.code = make_cost_model(config.code)
         if self.code.num_parity < 1:
             raise ConfigurationError(
                 f"{self.code.name} has no parity; durability is zero"
@@ -163,22 +187,30 @@ class ReliabilityEngine:
     # Repair pricing: the second-scale models feed the year-scale engine
     # ------------------------------------------------------------------
     def per_chunk_repair_hours(self) -> float:
-        """Hours to reconstruct one chunk under the configured scheme."""
+        """Hours to reconstruct one chunk under the configured scheme.
+
+        The cost model's repair-case mixture priced by the generalized
+        Eq. (1) — for RS this reduces bit-identically to
+        :func:`repro.repair.theory.reconstruction_time_estimate`
+        (traditional/star) and its Theorem-1 PPR rewrite (ppr/mppr).
+        """
         cfg = self.config
         if cfg.per_chunk_repair_hours is not None:
             return cfg.per_chunk_repair_hours
         chunk = float(parse_size(cfg.chunk_size))
         net = Bandwidth.of(cfg.net_bandwidth).bytes_per_sec
         io = Bandwidth.of(cfg.io_bandwidth).bytes_per_sec
-        if cfg.scheme == "traditional":
-            seconds = theory.reconstruction_time_estimate(
-                self.code.k, chunk, io, net, cfg.compute_seconds_per_byte
-            )
-        else:  # ppr and mppr share the per-repair critical path
-            seconds = theory.ppr_reconstruction_time_estimate(
-                self.code.k, chunk, io, net, cfg.compute_seconds_per_byte
-            )
+        seconds = self.code.mean_repair_seconds(
+            cfg.scheme, chunk, io, net, cfg.compute_seconds_per_byte,
+            num_slices=cfg.num_slices,
+        )
         return seconds / 3600.0
+
+    def repair_traffic_chunks_for(self, failed: int) -> float:
+        """Chunk-units moved to repair one chunk of an ``failed``-loss
+        stripe (the code's γ for single losses, its conventional
+        ``(k + f - 1)/f`` share under concurrent losses)."""
+        return self.code.multi_failure_traffic(failed) / max(failed, 1)
 
     # ------------------------------------------------------------------
     # Entry point
@@ -203,6 +235,7 @@ class ReliabilityEngine:
             per_chunk_repair_hours=self.per_chunk_repair_hours(),
             until_loss=cfg.until_loss,
             trials=trials,
+            placement=cfg.placement,
         )
         self._export_metrics(report)
         return report
@@ -243,7 +276,8 @@ class ReliabilityEngine:
         cfg = self.config
         tree = cfg.hierarchy
         stripe_map = StripeMap.build(
-            tree, self.code.n, cfg.num_stripes, rng
+            tree, self.code.n, cfg.num_stripes, rng,
+            placement=cfg.placement, scatter_width=cfg.scatter_width,
         )
         by_disk = [
             stripe_map.stripes_on_disk(d) for d in range(tree.num_disks)
@@ -253,6 +287,14 @@ class ReliabilityEngine:
         m = self.m
         horizon = cfg.horizon_years * HOURS_PER_YEAR
         t_chunk = self.per_chunk_repair_hours()
+        chunk_bytes = float(parse_size(cfg.chunk_size))
+        # Chunk-units moved per repaired chunk, by the stripe's current
+        # failure count (index f; f = 0 is padding).
+        traffic_by_failed = np.array(
+            [0.0] + [
+                self.repair_traffic_chunks_for(f) for f in range(1, m + 1)
+            ]
+        )
 
         # Mutable per-stripe counters.
         failed = np.zeros(cfg.num_stripes, dtype=np.int16)
@@ -363,7 +405,12 @@ class ReliabilityEngine:
                     continue  # stale entry (escalated or already running)
                 del queue_priority[disk]
                 idx = by_disk[disk]
-                chunks = int((~lost[idx]).sum())
+                live = idx[~lost[idx]]
+                chunks = int(live.size)
+                counts = np.clip(failed[live], 0, m)
+                result.repair_traffic_bytes += float(
+                    traffic_by_failed[counts].sum() * chunk_bytes
+                )
                 active_before = len(repairing)
                 base = max(chunks, 1) * t_chunk
                 duration = base * (1.0 + self.contention * active_before)
@@ -434,6 +481,10 @@ class ReliabilityEngine:
                     state.unavailable -= int(newly_lost.size)
                     state.failed_chunks -= int(failed[newly_lost].sum())
                     result.losses += int(newly_lost.size)
+                    # One *event* per causing failure, however many
+                    # stripes it takes out — the quantity copyset
+                    # placement trades per-event blast radius against.
+                    result.loss_events += 1
                     if result.first_loss_hours is None:
                         result.first_loss_hours = now
                     if cfg.until_loss:

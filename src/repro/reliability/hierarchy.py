@@ -130,6 +130,30 @@ class Hierarchy:
             self.failure_domain_map(), self.upgrade_domain_map(), rng=rng
         )
 
+    def placement_strategy(
+        self,
+        name: str,
+        rng: "np.random.Generator | int | None" = None,
+        scatter_width: "int | None" = None,
+    ) -> PlacementPolicy:
+        """Any registered placement strategy over this tree's disk ids.
+
+        The scatter-controlled strategies (``copyset``/``pss``) carve
+        their server groups out of the same failure-domain map the
+        random policy spreads over, so both placement regimes and the
+        population-scale :meth:`repro.reliability.stripes.StripeMap.build`
+        modes agree on what a rack is.
+        """
+        from repro.fs.placement import make_placement
+
+        return make_placement(
+            name,
+            self.failure_domain_map(),
+            self.upgrade_domain_map(),
+            rng=rng,
+            scatter_width=scatter_width,
+        )
+
     def fat_tree(
         self,
         link_bandwidth: "float | str" = "1Gbps",

@@ -43,6 +43,10 @@ class TrialResult:
     num_stripes: int
     #: Stripes that crossed into the LOST state.
     losses: int
+    #: Loss *events*: causing failures that lost >= 1 stripe.  Copyset
+    #: placement lowers the event rate while raising per-event stripe
+    #: losses, so the two loss metrics must be tracked separately.
+    loss_events: int = 0
     first_loss_hours: "Optional[float]" = None
     exposure_chunk_hours: float = 0.0
     unavailable_stripe_hours: float = 0.0
@@ -51,6 +55,8 @@ class TrialResult:
     bursts: int = 0
     repairs_completed: int = 0
     repair_hours: float = 0.0
+    #: Bytes moved by all repairs (the code's γ per repaired chunk).
+    repair_traffic_bytes: float = 0.0
     max_backlog: int = 0
     #: (hours, queued + active repairs) samples, decimated.
     backlog: "List[Tuple[float, int]]" = field(default_factory=list)
@@ -70,6 +76,7 @@ class ReliabilityReport:
     per_chunk_repair_hours: float
     until_loss: bool
     trials: "List[TrialResult]"
+    placement: str = "random"
 
     # ------------------------------------------------------------------
     # Totals
@@ -85,6 +92,14 @@ class ReliabilityReport:
     @property
     def total_losses(self) -> int:
         return sum(t.losses for t in self.trials)
+
+    @property
+    def total_loss_events(self) -> int:
+        return sum(t.loss_events for t in self.trials)
+
+    @property
+    def total_repair_traffic_bytes(self) -> float:
+        return sum(t.repair_traffic_bytes for t in self.trials)
 
     # ------------------------------------------------------------------
     # MTTDL
@@ -152,6 +167,41 @@ class ReliabilityReport:
         expm1 = lambda r: -math.expm1(-r)  # noqa: E731 - tiny local alias
         return expm1(rate), expm1(low), expm1(high)
 
+    def loss_event_rate_per_year(self) -> "Tuple[float, float, float]":
+        """Loss *events* per simulated year, with 95% CI.
+
+        The stripe-count rate above measures blast radius; this one
+        measures how *often* a failure combination lands on data — the
+        rate copyset placement actually shrinks (fewer disk combinations
+        cover a stripe), at the price of losing more stripes per event.
+        """
+        years = self.total_hours / HOURS_PER_YEAR
+        if years <= 0:
+            return 0.0, 0.0, 0.0
+        events = self.total_loss_events
+        if events == 0:
+            return 0.0, 0.0, ZERO_EVENT_UPPER / years
+        half = Z95 * math.sqrt(events)
+        return (
+            events / years,
+            max(events - half, 0.0) / years,
+            (events + half) / years,
+        )
+
+    def p_loss_event_per_year(self) -> "Tuple[float, float, float]":
+        """P(at least one loss *event* in a year), rate CI propagated."""
+        rate, low, high = self.loss_event_rate_per_year()
+        expm1 = lambda r: -math.expm1(-r)  # noqa: E731 - tiny local alias
+        return expm1(rate), expm1(low), expm1(high)
+
+    def repair_traffic_bytes_per_stripe_year(self) -> float:
+        """Mean repair bytes moved per stripe-year (the γ lever MSR/MBR
+        pull and the redundancy matrix compares across codes)."""
+        years = self.total_stripe_years
+        if years <= 0:
+            return 0.0
+        return self.total_repair_traffic_bytes / years
+
     def trial_loss_fraction(self) -> float:
         """Fraction of trials that lost any stripe."""
         if not self.trials:
@@ -197,15 +247,21 @@ class ReliabilityReport:
         return {
             "code": self.code_name,
             "scheme": self.scheme,
+            "placement": self.placement,
             "trials": len(self.trials),
             "stripe_years": round(self.total_stripe_years, 3),
             "losses": self.total_losses,
+            "loss_events": self.total_loss_events,
             "mttdl_years": mttdl,
             "mttdl_ci_low_years": mttdl_lo,
             "mttdl_ci_high_years": mttdl_hi,
             "p_loss_per_year": p_loss,
             "p_loss_ci_low": p_lo,
             "p_loss_ci_high": p_hi,
+            "p_loss_event_per_year": self.p_loss_event_per_year()[0],
+            "repair_traffic_bytes_per_stripe_year": (
+                self.repair_traffic_bytes_per_stripe_year()
+            ),
             "availability_nines": self.availability_nines(),
             "exposure_chunk_hours_per_stripe_year": (
                 self.exposure_chunk_hours_per_stripe_year()
@@ -226,8 +282,8 @@ class ReliabilityReport:
         table = Table(
             ["metric", "value"],
             title=(
-                f"Durability: {self.code_name} / {self.scheme} "
-                f"({len(self.trials)} trials, "
+                f"Durability: {self.code_name} / {self.scheme} / "
+                f"{self.placement} ({len(self.trials)} trials, "
                 f"{self.total_stripe_years:,.0f} stripe-years)"
             ),
         )
@@ -241,7 +297,15 @@ class ReliabilityReport:
             "P(data loss)/year",
             f"{p_loss:.3g} [95% CI {p_lo:.3g} – {p_hi:.3g}]",
         )
-        table.add_row("loss events", str(self.total_losses))
+        table.add_row(
+            "lost stripes",
+            f"{self.total_losses} (over {self.total_loss_events} loss "
+            f"events)",
+        )
+        table.add_row(
+            "P(loss event)/year",
+            f"{self.p_loss_event_per_year()[0]:.3g}",
+        )
         table.add_row(
             "trials with loss", f"{self.trial_loss_fraction():.0%}"
         )

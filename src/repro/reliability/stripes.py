@@ -23,13 +23,21 @@ for the cross-check.
 
 from __future__ import annotations
 
-from typing import List
+import math
+from typing import List, Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.reliability.hierarchy import Hierarchy
 from repro.util.rng import make_rng
+
+#: Placement modes :meth:`StripeMap.build` understands.  ``random`` and
+#: ``sss`` are the maximal-scatter spread (the seed behavior); ``copyset``
+#: confines stripes to ``p = ceil(S/(n-1))`` permutations' worth of fixed
+#: disk groups; ``pss`` is the single-partition extreme (``p = 1``).
+#: Mirrors :func:`repro.fs.placement.available_placements`.
+PLACEMENTS = ("random", "copyset", "pss", "sss")
 
 #: Stripe state codes (ordered by severity).
 HEALTHY, DEGRADED, CRITICAL, LOST = 0, 1, 2, 3
@@ -79,16 +87,27 @@ class StripeMap:
         n: int,
         num_stripes: int,
         rng: "np.random.Generator | int | None" = None,
+        placement: str = "random",
+        scatter_width: "Optional[int]" = None,
     ) -> "StripeMap":
-        """Rack-aware random placement, fully vectorized.
+        """Rack-aware placement at population scale, fully vectorized.
 
-        Each stripe draws a random rack order and takes the first ``n``
-        (cycling when the site has fewer than ``n`` racks); within each
-        rack visit it takes a distinct machine/disk slot.  Distinct racks
-        per stripe fall out whenever ``racks >= n``, matching the
-        failure-domain pass of ``PlacementPolicy.place_stripe``; with
-        fewer racks, domains repeat but disks never do — the same
-        fallback the policy applies on small clusters.
+        ``placement`` selects the scatter regime (:data:`PLACEMENTS`):
+
+        * ``random`` / ``sss`` — each stripe draws a random rack order
+          and takes the first ``n`` (cycling when the site has fewer
+          than ``n`` racks); within each rack visit it takes a distinct
+          machine/disk slot.  Distinct racks per stripe fall out
+          whenever ``racks >= n``, matching the failure-domain pass of
+          ``PlacementPolicy.place_stripe``; with fewer racks, domains
+          repeat but disks never do — the same fallback the policy
+          applies on small clusters.
+        * ``copyset`` / ``pss`` — stripes land on whole *copysets*:
+          fixed disk groups chopped out of rack-aware permutations of
+          the site (``ceil(S/(n-1))`` permutations for ``copyset``,
+          with ``scatter_width`` S defaulting to ``2*(n-1)``; exactly
+          one for ``pss``), the population-scale mirror of
+          :class:`repro.fs.placement.CopysetPlacement`.
         """
         if n < 1:
             raise ConfigurationError("stripes need at least one chunk")
@@ -103,7 +122,17 @@ class StripeMap:
                 f"cannot place {n} chunks on {hierarchy.num_disks} disks "
                 f"in {hierarchy.racks} racks without reusing a disk"
             )
+        if placement not in PLACEMENTS:
+            raise ConfigurationError(
+                f"unknown placement {placement!r}; pick from {PLACEMENTS}"
+            )
         rng = make_rng(rng)
+        if placement in ("copyset", "pss"):
+            return cls._build_copyset(
+                hierarchy, n, num_stripes, rng,
+                scatter_width=scatter_width,
+                permutations=None if placement == "copyset" else 1,
+            )
         racks = hierarchy.racks
         # Random rack order per stripe; column i uses rack order[i % racks]
         # on its (i // racks)-th visit.
@@ -124,6 +153,68 @@ class StripeMap:
             slot % hierarchy.disks_per_machine
         )
         return cls(disk, hierarchy)
+
+    @classmethod
+    def _build_copyset(
+        cls,
+        hierarchy: Hierarchy,
+        n: int,
+        num_stripes: int,
+        rng: np.random.Generator,
+        scatter_width: "Optional[int]" = None,
+        permutations: "Optional[int]" = None,
+    ) -> "StripeMap":
+        """Copyset/PSS placement: stripes confined to fixed disk groups.
+
+        Each permutation deals disks rack-by-rack (a shuffled rack
+        order, a shuffled slot order within every rack), so every
+        aligned window of ``n <= racks`` consecutive disks spans ``n``
+        distinct racks; windows become the copysets.  With ``p``
+        permutations a disk joins ``<= p`` copysets, capping its
+        scatter width at ``p * (n - 1)``.
+        """
+        if scatter_width is not None and scatter_width < 1:
+            raise ConfigurationError(
+                f"scatter width must be >= 1, got {scatter_width}"
+            )
+        if permutations is None:
+            scatter = (
+                scatter_width if scatter_width is not None
+                else 2 * max(n - 1, 1)
+            )
+            permutations = max(1, math.ceil(scatter / max(n - 1, 1)))
+        racks = hierarchy.racks
+        slots_per_rack = (
+            hierarchy.machines_per_rack * hierarchy.disks_per_machine
+        )
+        copysets: "List[np.ndarray]" = []
+        for _ in range(permutations):
+            # Shuffled rack order; independently shuffled slots per rack.
+            rack_order = rng.permutation(racks)
+            slot_order = np.argsort(
+                rng.random((racks, slots_per_rack)), axis=1, kind="stable"
+            )
+            # Deal round-robin: position i visits rack_order[i % racks]
+            # for the (i // racks)-th time.
+            positions = np.arange(racks * slots_per_rack)
+            rack = rack_order[positions % racks]
+            slot = slot_order[rack, positions // racks]
+            machine = rack * hierarchy.machines_per_rack + slot // (
+                hierarchy.disks_per_machine
+            )
+            disks = machine * hierarchy.disks_per_machine + (
+                slot % hierarchy.disks_per_machine
+            )
+            usable = (len(disks) // n) * n
+            copysets.extend(disks[:usable].reshape(-1, n))
+        if not copysets:
+            raise ConfigurationError(
+                f"cannot form copysets of {n} disks from "
+                f"{hierarchy.num_disks}"
+            )
+        groups = np.asarray(copysets)
+        pick = rng.integers(0, len(groups), size=num_stripes)
+        return cls(groups[pick], hierarchy)
 
     # ------------------------------------------------------------------
     # Shape
@@ -152,6 +243,34 @@ class StripeMap:
     def racks_of_stripe(self, stripe: int) -> np.ndarray:
         """Rack index of each chunk of ``stripe``."""
         return self.hierarchy.rack_of_disk()[self.disk_of[stripe]]
+
+    def scatter_width(self) -> np.ndarray:
+        """``(num_disks,)`` distinct co-stripe partners per disk.
+
+        The quantity copyset placement bounds (``<= p * (n - 1)``) and
+        random placement maximizes — the population-scale counterpart
+        of :func:`repro.fs.placement.scatter_width`.  Disks holding no
+        chunks report zero.
+        """
+        if self.disk_of.size == 0:
+            return np.zeros(self.hierarchy.num_disks, dtype=np.int64)
+        # Distinct stripe rows give distinct partner sets; dedup first
+        # (copyset populations collapse to few distinct rows).
+        rows = np.unique(np.sort(self.disk_of, axis=1), axis=0)
+        partners: "List[set]" = [
+            set() for _ in range(self.hierarchy.num_disks)
+        ]
+        for row in rows:
+            members = row.tolist()
+            for disk in members:
+                partners[disk].update(members)
+        return np.array(
+            [
+                len(p) - 1 if p else 0
+                for p in partners
+            ],
+            dtype=np.int64,
+        )
 
     def _group_by_disk(self) -> "List[np.ndarray]":
         if self._by_disk is None:

@@ -140,6 +140,106 @@ def ppr_reconstruction_time_estimate(
     )
 
 
+# ----------------------------------------------------------------------
+# Regenerating-code repair bandwidth γ(d) and the generalized Eq. (1)
+# ----------------------------------------------------------------------
+def msr_repair_traffic(k: int, d: int) -> float:
+    """MSR repair bandwidth γ(d) in *chunk units*: ``d / (d - k + 1)``.
+
+    The cut-set bound of Dimakis et al. at the minimum-storage point: a
+    replacement node contacts ``d`` helpers (``k <= d < n``) and pulls
+    ``β = C / (d - k + 1)`` bytes from each, so the total traffic to
+    repair one chunk of size ``C`` is ``γ = d·β = d/(d-k+1)`` chunks —
+    strictly less than the ``k`` chunks Reed-Solomon moves whenever
+    ``d > k``, and minimal at ``d = n - 1``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if d < k:
+        raise ValueError(f"MSR needs d >= k, got d={d} < k={k}")
+    return d / (d - k + 1)
+
+
+def mbr_repair_traffic(k: int, d: int) -> float:
+    """MBR repair bandwidth γ(d) in chunk units: ``2d / (2d - k + 1)``.
+
+    The minimum-bandwidth point of the same cut-set bound: repair
+    traffic equals per-node storage (``α = γ``), dropping traffic below
+    MSR at the price of each node storing ``2d/(2d-k+1) > 1`` chunks —
+    see :func:`mbr_storage_per_chunk`.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if d < k:
+        raise ValueError(f"MBR needs d >= k, got d={d} < k={k}")
+    return 2.0 * d / (2.0 * d - k + 1)
+
+
+def mbr_storage_per_chunk(k: int, d: int) -> float:
+    """MBR per-node storage α in chunk units (equal to γ at the MBR point)."""
+    return mbr_repair_traffic(k, d)
+
+
+def scheme_transfer_steps(
+    scheme: str, helpers: int, num_slices: int = 1
+) -> float:
+    """Serialized helper-transfer count on a scheme's critical path.
+
+    The Theorem-1 step count generalized to ``d = helpers`` sources (for
+    RS repair ``d = k`` and this reduces to the forms above):
+
+    * ``star`` / ``traditional`` / ``staggered`` — all ``d`` transfers
+      funnel into the repair site's ingress link.
+    * ``ppr`` / ``mppr`` — the binomial aggregation tree needs
+      ``ceil(log2(d+1))`` steps.
+    * ``chain`` — ``(d + S - 1) / S`` slice-pipelined steps with ``S``
+      slices per chunk (Li et al.; ``S = 1`` degenerates to ``d``).
+    """
+    if helpers < 1:
+        raise ValueError(f"helpers must be >= 1, got {helpers}")
+    if num_slices < 1:
+        raise ValueError(f"num_slices must be >= 1, got {num_slices}")
+    if scheme in ("traditional", "star", "staggered"):
+        return float(helpers)
+    if scheme in ("ppr", "mppr"):
+        return float(ppr_timesteps(helpers))
+    if scheme == "chain":
+        return (helpers + num_slices - 1) / num_slices
+    raise ValueError(f"unknown repair scheme: {scheme!r}")
+
+
+def model_reconstruction_time(
+    scheme: str,
+    helpers: int,
+    traffic_chunks: float,
+    chunk_size: float,
+    io_bandwidth: float,
+    net_bandwidth: float,
+    compute_seconds_per_byte: float,
+    num_slices: int = 1,
+) -> float:
+    """Eq. (1) generalized over an arbitrary repair-cost model.
+
+    ``helpers`` sources each ship ``β = traffic_chunks / helpers`` chunk
+    units; the network and compute terms scale with the serialized share
+    ``steps(scheme, d) * β`` of that traffic on the critical path.  With
+    ``helpers = traffic_chunks = k`` this is *exactly*
+    :func:`reconstruction_time_estimate` for the funnel schemes and
+    :func:`ppr_reconstruction_time_estimate` for ``ppr``/``mppr``, so
+    Reed-Solomon pricing is unchanged by the generalization.
+    """
+    if traffic_chunks <= 0:
+        raise ValueError(f"traffic must be positive, got {traffic_chunks}")
+    beta = traffic_chunks / helpers
+    steps = scheme_transfer_steps(scheme, helpers, num_slices)
+    serialized_chunks = steps * beta
+    return (
+        chunk_size / io_bandwidth
+        + serialized_chunks * chunk_size / net_bandwidth
+        + compute_seconds_per_byte * serialized_chunks * chunk_size
+    )
+
+
 @dataclass(frozen=True)
 class Table1Row:
     """One row of the paper's Table 1."""

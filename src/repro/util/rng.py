@@ -7,6 +7,8 @@ reproducible from a single seed.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 
@@ -19,3 +21,31 @@ def make_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Gener
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def derive_rng(seed: "int | None", *path: object) -> np.random.Generator:
+    """An independent, named child stream under ``seed``.
+
+    Components that must not perturb each other's draws — stripe
+    placement vs payload generation, one reliability-matrix cell vs the
+    next — derive their own stream from the experiment seed plus a
+    stable path of labels::
+
+        derive_rng(2016, "placement")
+        derive_rng(2016, "matrix", "ppr", "msr(6,3)", "copyset")
+
+    Each path element is hashed (sha256, platform-independent — *not*
+    ``hash()``, which is salted per process) into a ``SeedSequence``
+    spawn key, so streams are statistically independent, reproducible
+    across runs and machines, and insensitive to the order other
+    components consume their own streams in.
+    """
+    keys = [
+        int.from_bytes(
+            hashlib.sha256(str(part).encode("utf-8")).digest()[:8], "big"
+        )
+        for part in path
+    ]
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=keys)
+    )

@@ -125,6 +125,17 @@ def test_zero_baseline_requires_zero_fresh(dirs):
     assert bench_compare.compare_dirs(baseline, fresh, out=io.StringIO()) == 1
 
 
+def test_equal_infinite_values_pass(dirs):
+    """An unbounded CI (inf) in both baseline and fresh is not drift."""
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_x.json", [_metric("e.ci_high", float("inf"))])
+    _write(fresh, "BENCH_x.json", [_metric("e.ci_high", float("inf"))])
+    assert bench_compare.compare_dirs(baseline, fresh, out=io.StringIO()) == 0
+    # An infinite baseline collapsing to a finite value is real drift.
+    _write(fresh, "BENCH_x.json", [_metric("e.ci_high", 1.0e6)])
+    assert bench_compare.compare_dirs(baseline, fresh, out=io.StringIO()) == 1
+
+
 def test_committed_baselines_pass_against_themselves():
     """The repo's own baselines always gate-pass when nothing changed."""
     results = pathlib.Path(__file__).resolve().parents[2] / "results"

@@ -108,3 +108,49 @@ def test_simulate_degraded_with_slices(capsys):
                  "--strategies", "chain", "--slices", "8",
                  "--degraded"]) == 0
     assert "degraded_read" in capsys.readouterr().out
+
+
+def test_reliability_placement_flag(capsys):
+    assert main([
+        "reliability", "--code", "rs(4,2)", "--scheme", "ppr",
+        "--placement", "copyset", "--trials", "1", "--stripes", "50",
+        "--years", "0.5", "--racks", "8", "--machines-per-rack", "1",
+        "--disks-per-machine", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "copyset" in out
+    assert "P(loss event)/year" in out
+
+
+def test_reliability_help_lists_redundancy_registries(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["reliability", "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    for name in ("msr", "mbr", "copyset", "pss", "ppr", "chain"):
+        assert name in out
+
+
+def test_matrix_command(tmp_path, capsys):
+    payload = tmp_path / "matrix.json"
+    assert main([
+        "matrix", "--schemes", "star,ppr", "--codes", "rs(4,2),msr(4,2)",
+        "--placements", "random,copyset", "--stripes", "60",
+        "--trials", "1", "--years", "0.5", "--no-validate",
+        "--json", str(payload),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "msr(4,2)" in out and "copyset" in out
+    rows = json.loads(payload.read_text())["rows"]
+    assert len(rows) == 8
+    assert {r["placement"] for r in rows} == {"random", "copyset"}
+    for row in rows:
+        assert row["fingerprint"]
+
+
+def test_matrix_rejects_bad_spec(capsys):
+    assert main([
+        "matrix", "--schemes", "warp", "--codes", "rs(4,2)",
+        "--placements", "random", "--stripes", "10", "--trials", "1",
+        "--no-validate",
+    ]) != 0

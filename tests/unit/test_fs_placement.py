@@ -3,7 +3,15 @@
 import pytest
 
 from repro.errors import StorageError
-from repro.fs.placement import PlacementPolicy
+from repro.fs.placement import (
+    CopysetPlacement,
+    PartitionedPlacement,
+    PlacementPolicy,
+    SpreadingPlacement,
+    available_placements,
+    make_placement,
+    scatter_width,
+)
 
 
 def make_policy(num_servers=8, racks=4):
@@ -11,6 +19,13 @@ def make_policy(num_servers=8, racks=4):
     fd = {s: i % racks for i, s in enumerate(servers)}
     ud = {s: i % 3 for i, s in enumerate(servers)}
     return servers, PlacementPolicy(fd, ud, rng=1)
+
+
+def make_domains(num_servers=24, racks=8):
+    servers = [f"s{i:02d}" for i in range(num_servers)]
+    fd = {s: i % racks for i, s in enumerate(servers)}
+    ud = {s: i % 4 for i, s in enumerate(servers)}
+    return servers, fd, ud
 
 
 def test_place_stripe_distinct_servers():
@@ -142,3 +157,140 @@ def test_repair_destinations_respect_domains_multi_failure():
         hosts = [meta.locate_chunk(c) for c in stripe.chunk_ids]
         assert None not in hosts
         assert len(set(hosts)) == len(hosts)
+
+
+# ----------------------------------------------------------------------
+# Scatter-width strategies (copyset / pss / sss)
+# ----------------------------------------------------------------------
+
+
+class TestCopysetPlacement:
+    def test_scatter_width_stays_under_bound(self):
+        servers, fd, ud = make_domains()
+        policy = CopysetPlacement(fd, ud, rng=3)
+        n = 6
+        stripes = [policy.place_stripe(servers, n) for _ in range(200)]
+        widths = scatter_width(stripes)
+        bound = policy.scatter_width_bound(n)
+        assert bound == 2 * (n - 1)  # default S = 2(n-1) -> p = 2
+        assert max(widths.values()) <= bound
+
+    def test_explicit_scatter_width_sets_permutations(self):
+        _, fd, ud = make_domains()
+        policy = CopysetPlacement(fd, ud, rng=0, scatter_width=15)
+        assert policy.num_permutations(6) == 3  # ceil(15 / 5)
+        assert policy.scatter_width_bound(6) == 15
+
+    def test_copysets_are_rack_aware(self):
+        servers, fd, ud = make_domains(num_servers=24, racks=8)
+        policy = CopysetPlacement(fd, ud, rng=7)
+        for copyset in policy.copysets(6):
+            racks = {fd[s] for s in copyset}
+            assert len(racks) == 6  # distinct racks when racks >= n
+
+    def test_stripes_land_on_whole_copysets(self):
+        servers, fd, ud = make_domains()
+        policy = CopysetPlacement(fd, ud, rng=5)
+        groups = {tuple(sorted(c)) for c in policy.copysets(6)}
+        for _ in range(50):
+            chosen = policy.place_stripe(servers, 6)
+            assert tuple(sorted(chosen)) in groups
+
+    def test_degraded_cluster_falls_back_to_random_spread(self):
+        servers, fd, ud = make_domains()
+        policy = CopysetPlacement(fd, ud, rng=2)
+        # Strike one server from every copyset: no whole copyset fits.
+        dead = {c[0] for c in policy.copysets(6)}
+        alive = [s for s in servers if s not in dead]
+        chosen = policy.place_stripe(alive, 6)
+        assert len(set(chosen)) == 6
+        assert not set(chosen) & dead
+
+    def test_deterministic_per_seed(self):
+        servers, fd, ud = make_domains()
+        a = CopysetPlacement(fd, ud, rng=11)
+        b = CopysetPlacement(fd, ud, rng=11)
+        assert a.copysets(6) == b.copysets(6)
+        assert a.place_stripe(servers, 6) == b.place_stripe(servers, 6)
+
+    def test_invalid_scatter_width_rejected(self):
+        _, fd, ud = make_domains()
+        with pytest.raises(StorageError):
+            CopysetPlacement(fd, ud, scatter_width=0)
+
+    def test_oversized_stripe_rejected(self):
+        _, fd, ud = make_domains(num_servers=4, racks=4)
+        policy = CopysetPlacement(fd, ud, rng=0)
+        with pytest.raises(StorageError):
+            policy.copysets(5)
+
+
+class TestPartitionedPlacement:
+    def test_single_permutation_minimal_scatter(self):
+        servers, fd, ud = make_domains()
+        policy = PartitionedPlacement(fd, ud, rng=4)
+        n = 6
+        assert policy.num_permutations(n) == 1
+        assert policy.scatter_width_bound(n) == n - 1
+        stripes = [policy.place_stripe(servers, n) for _ in range(100)]
+        assert max(scatter_width(stripes).values()) <= n - 1
+
+
+class TestRegistry:
+    def test_available_placements(self):
+        assert available_placements() == ["copyset", "pss", "random", "sss"]
+
+    def test_make_placement_dispatches(self):
+        _, fd, ud = make_domains()
+        assert isinstance(make_placement("random", fd, ud), PlacementPolicy)
+        assert isinstance(
+            make_placement("copyset", fd, ud, scatter_width=10),
+            CopysetPlacement,
+        )
+        assert isinstance(make_placement("pss", fd, ud), PartitionedPlacement)
+        assert isinstance(make_placement("sss", fd, ud), SpreadingPlacement)
+
+    def test_unknown_name_raises(self):
+        _, fd, ud = make_domains()
+        with pytest.raises(StorageError):
+            make_placement("everywhere", fd, ud)
+
+    def test_scatter_width_rejected_for_spread_strategies(self):
+        _, fd, ud = make_domains()
+        with pytest.raises(StorageError):
+            make_placement("random", fd, ud, scatter_width=8)
+
+
+def test_scatter_width_measurement():
+    stripes = [["a", "b", "c"], ["a", "b", "c"], ["a", "d", "e"]]
+    widths = scatter_width(stripes)
+    assert widths == {"a": 4, "b": 2, "c": 2, "d": 2, "e": 2}
+
+
+def test_mppr_repair_plannable_under_copyset():
+    """Satellite invariant: m-PPR multi-failure repair still plans and
+    completes when the cluster places stripes on copysets (and PSS)."""
+    from repro.codes import ReedSolomonCode
+    from repro.core.mppr import MPPRConfig, RepairManager
+    from repro.fs.cluster import StorageCluster
+
+    for strategy in ("copyset", "pss"):
+        cluster = StorageCluster.smallsite(
+            num_servers=24, servers_per_rack=2, placement=strategy, seed=5
+        )
+        code = ReedSolomonCode(4, 2)
+        stripes = [cluster.write_stripe(code, "4MiB") for _ in range(2)]
+        meta = cluster.metaserver
+        hosts0 = [meta.locate_chunk(cid) for cid in stripes[0].chunk_ids]
+        lost = []
+        for victim in hosts0[:2]:
+            lost.extend(cluster.kill_server(victim))
+        manager = RepairManager(cluster, MPPRConfig(strategy="ppr"))
+        manager.enqueue_missing(lost)
+        batch = manager.drain(max_time=1e7)
+        assert manager.failed_chunks == []
+        assert len(batch.results) == len(lost)
+        for stripe in stripes:
+            hosts = [meta.locate_chunk(c) for c in stripe.chunk_ids]
+            assert None not in hosts
+            assert len(set(hosts)) == len(hosts)

@@ -70,9 +70,12 @@ def test_capacity_aware_repair_verifies():
 
 
 def test_capacity_awareness_helps_on_heterogeneous_cluster():
+    # Seed pins a draw where the stripe actually spans both bandwidth
+    # tiers (placement has its own named RNG stream, so the geometry is
+    # a function of seed alone, not of prior workload draws).
     durations = {}
     for aware in (False, True):
-        cluster = heterogeneous_cluster(seed=2)
+        cluster = heterogeneous_cluster(seed=4)
         stripe = cluster.write_stripe(ReedSolomonCode(12, 4), "64MiB")
         durations[aware] = run_single_repair(
             cluster, stripe, 0, strategy="ppr", capacity_aware=aware

@@ -1,0 +1,156 @@
+"""The redundancy matrix driver: cells, seeds, and Markov validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.redundancy.matrix import (
+    MatrixConfig,
+    cell_seed,
+    compare_axes,
+    run_matrix,
+    validate_against_markov,
+)
+from repro.reliability.engine import ReliabilityEngine
+
+#: A grid small enough for unit tests, loss-heavy enough to be
+#: non-vacuous (accelerated aging is the MatrixConfig default).
+SMALL = MatrixConfig(
+    schemes=("star", "ppr"),
+    codes=("rs(4,2)", "msr(4,2)"),
+    placements=("random", "copyset"),
+    num_stripes=80,
+    trials=2,
+    horizon_years=1.5,
+    validate_baseline=False,
+)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_matrix(SMALL)
+
+
+class TestCellSeeds:
+    def test_stable_and_distinct(self):
+        a = cell_seed(2016, "ppr", "rs(6,3)", "random")
+        assert a == cell_seed(2016, "ppr", "rs(6,3)", "random")
+        assert a != cell_seed(2016, "ppr", "rs(6,3)", "copyset")
+        assert a != cell_seed(2017, "ppr", "rs(6,3)", "random")
+        assert a >= 0
+
+    def test_cell_reruns_bit_identically_in_isolation(self, small_result):
+        """A cell re-run alone reproduces its in-matrix fingerprint."""
+        cell = small_result.cell("ppr", "msr(4,2)", "copyset")
+        alone = ReliabilityEngine(
+            SMALL.cell_config("ppr", "msr(4,2)", "copyset")
+        ).run()
+        assert [
+            (t.losses, t.loss_events, t.repairs_completed,
+             t.repair_traffic_bytes)
+            for t in alone.trials
+        ] == [
+            (t.losses, t.loss_events, t.repairs_completed,
+             t.repair_traffic_bytes)
+            for t in cell.report.trials
+        ]
+
+    def test_fingerprints_reproducible_and_distinct(self, small_result):
+        again = run_matrix(SMALL)
+        first = {
+            (c.scheme, c.code, c.placement): c.fingerprint()
+            for c in small_result.cells
+        }
+        second = {
+            (c.scheme, c.code, c.placement): c.fingerprint()
+            for c in again.cells
+        }
+        assert first == second
+        assert len(set(first.values())) == len(first)
+
+
+class TestSweep:
+    def test_covers_full_grid(self, small_result):
+        assert len(small_result.cells) == 8
+        keys = {
+            (c.scheme, c.code, c.placement) for c in small_result.cells
+        }
+        assert len(keys) == 8
+
+    def test_rows_and_experiment_render(self, small_result):
+        rows = small_result.rows()
+        assert len(rows) == 8
+        for row in rows:
+            assert row["mttdl_years"] > 0
+            assert row["repair_traffic_bytes_per_stripe_year"] > 0
+        experiment = small_result.to_experiment()
+        assert experiment.experiment_id == "redundancy_matrix"
+        assert "placement" in experiment.report
+
+    def test_msr_moves_less_repair_traffic_than_rs(self, small_result):
+        for scheme in SMALL.schemes:
+            for placement in SMALL.placements:
+                rs = small_result.cell(scheme, "rs(4,2)", placement)
+                msr = small_result.cell(scheme, "msr(4,2)", placement)
+                assert (
+                    msr.report.repair_traffic_bytes_per_stripe_year()
+                    < rs.report.repair_traffic_bytes_per_stripe_year()
+                )
+
+    def test_copyset_lowers_loss_event_rate(self, small_result):
+        """Aggregated over cells: fewer combinations cover a stripe."""
+        def events(placement):
+            return sum(
+                c.report.total_loss_events
+                for c in small_result.cells
+                if c.placement == placement
+            )
+        assert events("copyset") < events("random")
+
+    def test_compare_axes_names_each_axis(self, small_result):
+        best = compare_axes(small_result)
+        assert set(best) == {"scheme", "code", "placement"}
+        assert best["code"][0] in SMALL.codes
+
+
+class TestValidation:
+    def test_markov_bracket(self):
+        validation = validate_against_markov("rs(4,2)", trials=250, seed=7)
+        assert validation.inside_ci
+        assert (
+            validation.ci_low_hours
+            < validation.simulated_mttdl_hours
+            < validation.ci_high_hours
+        )
+
+    def test_run_matrix_attaches_validation_for_rs(self):
+        result = run_matrix(
+            MatrixConfig(
+                schemes=("ppr",),
+                codes=("rs(4,2)",),
+                placements=("random",),
+                num_stripes=40,
+                trials=1,
+                horizon_years=0.5,
+                validation_trials=200,
+            )
+        )
+        assert result.validation is not None
+        assert result.validation.inside_ci
+
+
+class TestConfigValidation:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_matrix(MatrixConfig(schemes=("warp",)))
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_matrix(MatrixConfig(placements=("everywhere",)))
+
+    def test_bad_code_spec_rejected(self):
+        with pytest.raises(Exception):
+            run_matrix(MatrixConfig(codes=("notacode(1,2)",)))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_matrix(MatrixConfig(schemes=()))

@@ -1,0 +1,175 @@
+"""Repair-cost models: recipes, cut-set bounds, Eq. (1) consistency."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.redundancy.models import (
+    CodeBackedModel,
+    MBRModel,
+    MSRModel,
+    available_cost_models,
+    make_cost_model,
+    model_families,
+)
+from repro.repair import theory
+
+C, BI, BN = 64e6, 120e6, 125e6
+COMP = 2.5e-10
+
+
+class TestSpecParsing:
+    def test_msr_mbr_are_model_only_families(self):
+        assert model_families() == ["mbr", "msr"]
+
+    def test_available_models_union_codes_and_models(self):
+        families = available_cost_models()
+        for family in ("rs", "lrc", "msr", "mbr"):
+            assert family in families
+
+    def test_registry_codes_become_code_backed_models(self):
+        model = make_cost_model("rs(6,3)")
+        assert isinstance(model, CodeBackedModel)
+        assert (model.k, model.n, model.fault_tolerance) == (6, 9, 3)
+
+    def test_msr_spec_with_default_d(self):
+        model = make_cost_model("msr(6,3)")
+        assert isinstance(model, MSRModel)
+        assert model.d == 8  # defaults to n - 1
+
+    def test_msr_spec_with_explicit_d(self):
+        assert make_cost_model("msr(6,3,7)").d == 7
+
+    def test_passthrough(self):
+        model = make_cost_model("mbr(6,3)")
+        assert isinstance(model, MBRModel)
+        assert make_cost_model(model) is model
+
+    def test_invalid_d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cost_model("msr(6,3,5)")  # d < k
+        with pytest.raises(ConfigurationError):
+            make_cost_model("msr(6,3,9)")  # d >= n
+
+
+class TestCutSetBounds:
+    def test_msr_gamma_matches_closed_form(self):
+        model = make_cost_model("msr(6,3)")
+        assert model.repair_traffic_chunks() == pytest.approx(
+            theory.msr_repair_traffic(6, 8)
+        )
+        assert model.repair_traffic_chunks() == pytest.approx(8 / 3)
+
+    def test_msr_beats_rs_traffic_at_equal_shape(self):
+        rs = make_cost_model("rs(6,3)")
+        msr = make_cost_model("msr(6,3)")
+        assert msr.repair_traffic_chunks() < rs.repair_traffic_chunks()
+        assert rs.repair_traffic_chunks() == pytest.approx(6.0)
+
+    def test_mbr_beats_msr_traffic_but_stores_more(self):
+        msr = make_cost_model("msr(6,3)")
+        mbr = make_cost_model("mbr(6,3)")
+        assert mbr.repair_traffic_chunks() < msr.repair_traffic_chunks()
+        assert msr.storage_chunks_per_chunk == 1.0
+        assert mbr.storage_chunks_per_chunk > 1.0
+        # MBR's defining property: gamma equals the storage alpha.
+        assert mbr.repair_traffic_chunks() == pytest.approx(
+            mbr.storage_chunks_per_chunk
+        )
+
+    def test_more_helpers_less_traffic(self):
+        gammas = [
+            make_cost_model(f"msr(6,3,{d})").repair_traffic_chunks()
+            for d in (6, 7, 8)
+        ]
+        assert gammas[0] > gammas[1] > gammas[2]
+
+
+class TestLRCMixture:
+    def test_lrc_cases_weigh_local_and_global_repairs(self):
+        model = make_cost_model("lrc(6,2,2)")
+        cases = model.repair_cases()
+        assert sum(c.weight for c in cases) == pytest.approx(1.0)
+        # Data + local-parity chunks repair inside a group of k/l + 1;
+        # global parities need all k.  LRC(6,2,2): 8 local, 2 global.
+        helpers = sorted({c.helpers for c in cases})
+        assert helpers == [3, 6]
+        local = next(c for c in cases if c.helpers == 3)
+        assert local.weight == pytest.approx(0.8)
+
+    def test_lrc_mean_traffic_beats_rs(self):
+        lrc = make_cost_model("lrc(6,2,2)")
+        rs = make_cost_model("rs(6,3)")
+        assert lrc.repair_traffic_chunks() < rs.repair_traffic_chunks()
+
+
+class TestEq1Consistency:
+    def test_rs_traditional_matches_eq1_exactly(self):
+        model = make_cost_model("rs(6,3)")
+        assert model.mean_repair_seconds(
+            "traditional", C, BI, BN, COMP
+        ) == theory.reconstruction_time_estimate(6, C, BI, BN, COMP)
+
+    def test_rs_ppr_matches_theorem1_rewrite_exactly(self):
+        model = make_cost_model("rs(6,3)")
+        expected = theory.ppr_reconstruction_time_estimate(
+            6, C, BI, BN, COMP
+        )
+        assert model.mean_repair_seconds("ppr", C, BI, BN, COMP) == expected
+        assert model.mean_repair_seconds("mppr", C, BI, BN, COMP) == expected
+
+    def test_star_is_traditional(self):
+        model = make_cost_model("rs(6,3)")
+        assert model.mean_repair_seconds(
+            "star", C, BI, BN, COMP
+        ) == model.mean_repair_seconds("traditional", C, BI, BN, COMP)
+
+    def test_chain_pipelining_shrinks_with_slices(self):
+        model = make_cost_model("rs(6,3)")
+        times = [
+            model.mean_repair_seconds("chain", C, BI, BN, COMP,
+                                      num_slices=s)
+            for s in (1, 4, 16)
+        ]
+        assert times[0] > times[1] > times[2]
+
+    def test_msr_repairs_faster_than_rs_under_every_scheme(self):
+        rs = make_cost_model("rs(6,3)")
+        msr = make_cost_model("msr(6,3)")
+        for scheme in ("traditional", "star", "staggered", "chain", "ppr"):
+            assert msr.mean_repair_seconds(
+                scheme, C, BI, BN, COMP
+            ) < rs.mean_repair_seconds(scheme, C, BI, BN, COMP)
+
+
+class TestDegradedState:
+    def test_repairable_up_to_fault_tolerance(self):
+        model = make_cost_model("msr(6,3)")
+        assert model.repairable(0)
+        assert model.repairable(3)
+        assert not model.repairable(4)
+
+    def test_multi_failure_falls_back_to_conventional(self):
+        model = make_cost_model("msr(6,3)")
+        assert model.multi_failure_traffic(1) == pytest.approx(8 / 3)
+        # f >= 2: k + f - 1 conventional repair (CR-SIM convention).
+        assert model.multi_failure_traffic(2) == pytest.approx(7.0)
+        assert model.multi_failure_traffic(3) == pytest.approx(8.0)
+
+    def test_msr_needs_d_survivors_for_regeneration(self):
+        # d = n - 1 = 8 survivors exist only for single failures; a
+        # tighter d keeps regeneration available, this one does too.
+        model = make_cost_model("msr(6,3,8)")
+        assert model.multi_failure_traffic(1) == pytest.approx(
+            theory.msr_repair_traffic(6, 8)
+        )
+
+    def test_unrecoverable_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_cost_model("rs(6,3)").multi_failure_traffic(4)
+
+    def test_storage_overhead(self):
+        assert make_cost_model("rs(6,3)").storage_overhead == pytest.approx(
+            1.5
+        )
+        mbr = make_cost_model("mbr(6,3)")
+        assert mbr.storage_overhead > 1.5

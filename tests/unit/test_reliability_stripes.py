@@ -94,3 +94,74 @@ def test_racks_of_stripe():
     smap = StripeMap.build(tree, n=6, num_stripes=3, rng=0)
     for s in range(3):
         assert sorted(smap.racks_of_stripe(s).tolist()) == list(range(6))
+
+
+# ----------------------------------------------------------------------
+# Scatter-width placements at population scale
+# ----------------------------------------------------------------------
+
+
+def test_copyset_build_caps_scatter_width():
+    tree = Hierarchy(racks=12, machines_per_rack=2, disks_per_machine=2)
+    n = 6
+    smap = StripeMap.build(
+        tree, n=n, num_stripes=400, rng=3, placement="copyset"
+    )
+    widths = smap.scatter_width()
+    # Default S = 2(n-1) -> p = 2 permutations -> bound p * (n-1).
+    assert widths.max() <= 2 * (n - 1)
+    smap.verify_placement(sample=400)
+
+
+def test_copyset_explicit_scatter_width():
+    tree = Hierarchy(racks=12, machines_per_rack=2, disks_per_machine=2)
+    smap = StripeMap.build(
+        tree, n=6, num_stripes=400, rng=3,
+        placement="copyset", scatter_width=15,
+    )
+    assert smap.scatter_width().max() <= 15  # p = 3 permutations
+
+
+def test_pss_build_is_single_partition():
+    tree = Hierarchy(racks=12, machines_per_rack=2, disks_per_machine=2)
+    n = 6
+    smap = StripeMap.build(
+        tree, n=n, num_stripes=400, rng=5, placement="pss"
+    )
+    assert smap.scatter_width().max() <= n - 1
+    # Exactly num_disks // n distinct stripe rows exist.
+    rows = np.unique(np.sort(smap.disk_of, axis=1), axis=0)
+    assert len(rows) <= tree.num_disks // n
+    smap.verify_placement(sample=400)
+
+
+def test_random_scatter_exceeds_copyset_scatter():
+    tree = Hierarchy(racks=12, machines_per_rack=2, disks_per_machine=2)
+    rand = StripeMap.build(
+        tree, n=6, num_stripes=400, rng=7, placement="random"
+    )
+    copy = StripeMap.build(
+        tree, n=6, num_stripes=400, rng=7, placement="copyset"
+    )
+    assert rand.scatter_width().max() > copy.scatter_width().max()
+
+
+def test_copyset_build_deterministic_per_seed():
+    tree = Hierarchy(racks=12, machines_per_rack=2, disks_per_machine=2)
+    a = StripeMap.build(tree, n=6, num_stripes=50, rng=9, placement="copyset")
+    b = StripeMap.build(tree, n=6, num_stripes=50, rng=9, placement="copyset")
+    np.testing.assert_array_equal(a.disk_of, b.disk_of)
+
+
+def test_unknown_placement_rejected():
+    tree = Hierarchy(racks=6, machines_per_rack=1, disks_per_machine=2)
+    with pytest.raises(ConfigurationError):
+        StripeMap.build(tree, n=4, num_stripes=10, rng=0,
+                        placement="everywhere")
+
+
+def test_bad_scatter_width_rejected():
+    tree = Hierarchy(racks=6, machines_per_rack=1, disks_per_machine=2)
+    with pytest.raises(ConfigurationError):
+        StripeMap.build(tree, n=4, num_stripes=10, rng=0,
+                        placement="copyset", scatter_width=0)

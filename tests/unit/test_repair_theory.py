@@ -69,3 +69,71 @@ def test_invalid_k_rejected():
         theory.ppr_timesteps(0)
     with pytest.raises(ValueError):
         theory.per_server_bandwidth_reduction(1)
+
+
+# ----------------------------------------------------------------------
+# Regenerating-code cut-set bounds and the generalized Eq. (1)
+# ----------------------------------------------------------------------
+
+
+def test_msr_cut_set_bound():
+    assert theory.msr_repair_traffic(6, 8) == pytest.approx(8 / 3)
+    assert theory.msr_repair_traffic(6, 6) == pytest.approx(6.0)  # = RS
+    # Monotone improvement in d, always below k for d > k.
+    for d in (7, 8, 10):
+        assert theory.msr_repair_traffic(6, d) < 6.0
+    with pytest.raises(ValueError):
+        theory.msr_repair_traffic(6, 5)
+    with pytest.raises(ValueError):
+        theory.msr_repair_traffic(0, 4)
+
+
+def test_mbr_cut_set_bound():
+    gamma = theory.mbr_repair_traffic(6, 8)
+    assert gamma == pytest.approx(16 / 11)
+    assert gamma < theory.msr_repair_traffic(6, 8)
+    # MBR's defining tradeoff: alpha = gamma > 1.
+    assert theory.mbr_storage_per_chunk(6, 8) == pytest.approx(gamma)
+    assert theory.mbr_storage_per_chunk(6, 8) > 1.0
+    with pytest.raises(ValueError):
+        theory.mbr_repair_traffic(6, 5)
+
+
+def test_scheme_transfer_steps():
+    for scheme in ("traditional", "star", "staggered"):
+        assert theory.scheme_transfer_steps(scheme, 6) == 6.0
+    assert theory.scheme_transfer_steps("ppr", 6) == 3.0
+    assert theory.scheme_transfer_steps("mppr", 6) == 3.0
+    assert theory.scheme_transfer_steps("chain", 6) == 6.0  # S = 1
+    assert theory.scheme_transfer_steps("chain", 6, num_slices=8) == (
+        pytest.approx(13 / 8)
+    )
+    with pytest.raises(ValueError):
+        theory.scheme_transfer_steps("warp", 6)
+    with pytest.raises(ValueError):
+        theory.scheme_transfer_steps("ppr", 0)
+
+
+def test_model_reconstruction_time_reduces_to_eq1():
+    C, BI, BN, COMP = 64e6, 120e6, 125e6, 2.5e-10
+    k = 6
+    # helpers = traffic = k: exactly the RS forms.
+    assert theory.model_reconstruction_time(
+        "star", k, float(k), C, BI, BN, COMP
+    ) == theory.reconstruction_time_estimate(k, C, BI, BN, COMP)
+    assert theory.model_reconstruction_time(
+        "ppr", k, float(k), C, BI, BN, COMP
+    ) == theory.ppr_reconstruction_time_estimate(k, C, BI, BN, COMP)
+
+
+def test_model_reconstruction_time_scales_with_traffic():
+    C, BI, BN, COMP = 64e6, 120e6, 125e6, 2.5e-10
+    rs = theory.model_reconstruction_time(
+        "star", 6, 6.0, C, BI, BN, COMP
+    )
+    msr = theory.model_reconstruction_time(
+        "star", 8, theory.msr_repair_traffic(6, 8), C, BI, BN, COMP
+    )
+    assert msr < rs
+    with pytest.raises(ValueError):
+        theory.model_reconstruction_time("star", 6, 0.0, C, BI, BN, COMP)

@@ -102,7 +102,13 @@ def compare_file(
             })
             failures += 1
             continue
-        if abs(base_value) <= _ABS_EPSILON:
+        if not math.isfinite(base_value) or not math.isfinite(fresh_value):
+            # Non-finite metrics (e.g. an unbounded MTTDL CI from a
+            # zero-loss cell) compare by identity: inf == inf passes,
+            # inf vs finite — or any nan — fails.
+            ok = base_value == fresh_value
+            delta_pct = 0.0 if ok else math.inf
+        elif abs(base_value) <= _ABS_EPSILON:
             ok = abs(fresh_value) <= _ABS_EPSILON
             delta_pct = 0.0 if ok else math.inf
         else:

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI smoke: a reduced redundancy matrix must stay sane end to end.
+
+Runs a 2 scheme × 2 code × 2 placement sweep (star/ppr × rs/msr ×
+random/copyset) at smoke sizing through the Monte Carlo reliability
+engine and requires:
+
+1. every cell to produce a finite, positive MTTDL and nonzero repair
+   traffic,
+2. per-cell seed independence — one cell re-run alone is bit-identical
+   to its in-matrix fingerprint,
+3. the Markov-validated baseline to bracket: the engine, configured as
+   the closed-form birth–death chain, must contain the analytic
+   RS MTTDL inside its simulated 95% CI, and
+4. the rendered comparison table to carry every cell.
+
+Usage::
+
+    PYTHONPATH=src python tools/matrix_smoke.py
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+
+def main() -> int:
+    from repro.redundancy import MatrixConfig, run_matrix
+    from repro.reliability.engine import ReliabilityEngine
+
+    config = MatrixConfig(
+        schemes=("star", "ppr"),
+        codes=("rs(4,2)", "msr(4,2)"),
+        placements=("random", "copyset"),
+        num_stripes=80,
+        trials=2,
+        horizon_years=1.5,
+        validation_trials=250,
+    )
+    result = run_matrix(config)
+
+    failures = []
+
+    # 1. Every cell is finite and meaningful.
+    for cell in result.cells:
+        mttdl, _, _ = cell.report.mttdl_years()
+        if not (math.isfinite(mttdl) and mttdl > 0):
+            failures.append(f"non-finite MTTDL in {(cell.scheme, cell.code, cell.placement)}")
+        if cell.report.repair_traffic_bytes_per_stripe_year() <= 0:
+            failures.append(f"no repair traffic in {(cell.scheme, cell.code, cell.placement)}")
+
+    # 2. Cell independence: re-run one cell alone, compare fingerprints.
+    probe = result.cell("ppr", "msr(4,2)", "copyset")
+    alone = ReliabilityEngine(
+        config.cell_config("ppr", "msr(4,2)", "copyset")
+    ).run()
+    alone_losses = [t.losses for t in alone.trials]
+    matrix_losses = [t.losses for t in probe.report.trials]
+    if alone_losses != matrix_losses:
+        failures.append(
+            f"cell not independently reproducible: "
+            f"{alone_losses} != {matrix_losses}"
+        )
+
+    # 3. Markov bracket on the rs x random baseline.
+    validation = result.validation
+    if validation is None:
+        failures.append("no Markov validation ran")
+    elif not validation.inside_ci:
+        failures.append(
+            f"Markov MTTDL {validation.markov_mttdl_hours:.1f}h outside "
+            f"simulated CI [{validation.ci_low_hours:.1f}, "
+            f"{validation.ci_high_hours:.1f}]h"
+        )
+
+    # 4. The rendered table carries every cell.
+    report = result.to_experiment().report
+    for cell in result.cells:
+        if cell.code not in report or cell.placement not in report:
+            failures.append(f"cell {(cell.scheme, cell.code, cell.placement)} missing from report")
+            break
+
+    print(report)
+    if failures:
+        for failure in failures:
+            print(f"SMOKE FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"matrix smoke OK: {len(result.cells)} cells, Markov "
+        f"{validation.markov_mttdl_hours:.1f}h inside "
+        f"[{validation.ci_low_hours:.1f}, {validation.ci_high_hours:.1f}]h"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
