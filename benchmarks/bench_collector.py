@@ -1,0 +1,186 @@
+"""Collector ingest throughput and node-side shipping overhead.
+
+Two acceptance claims from the observability layer:
+
+1. **Ingest scales.**  The collector folds pushed batches into tiered
+   retention fast enough that a 16-node fleet at heartbeat cadence is
+   noise — benchmarked here as whole-fleet batch rounds per second.
+2. **Shipping is nearly free node-side.**  A node that runs a
+   :class:`~repro.obs.collector.TelemetryShipper` pays for one batch cut
+   per heartbeat — series delta copies under the store lock — which must
+   stay under 5% of the cost of producing the telemetry itself (the
+   appends).  The ingest half runs on the *collector*, not the node, so
+   it is excluded from the overhead measurement exactly as it is
+   excluded from the node's CPU budget in deployment.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import pytest
+
+from repro.obs.collector import TelemetryCollector, TelemetryShipper
+from repro.obs.metrics import Histogram
+from repro.obs.timeseries import TimeSeriesStore
+from repro.qos.slo import QOS_BUCKETS
+
+BENCH_CONFIG = {
+    "nodes": 16,
+    "series_per_node": 8,
+    "samples_per_series_per_batch": 25,
+    "batch_rounds": 40,
+    "overhead_appends": 20000,
+    "overhead_series": 8,
+    "appends_per_heartbeat": 1000,
+}
+
+NODES = BENCH_CONFIG["nodes"]
+SERIES = BENCH_CONFIG["series_per_node"]
+SAMPLES = BENCH_CONFIG["samples_per_series_per_batch"]
+ROUNDS = BENCH_CONFIG["batch_rounds"]
+
+
+def _build_batches():
+    """ROUNDS heartbeat rounds of pushed batches for a 16-node fleet."""
+    batches = []
+    for node_i in range(NODES):
+        node = f"S{node_i:03d}"
+        hist = Histogram("live.read.latency", {"node": node}, QOS_BUCKETS)
+        hist.observe(0.004 * (node_i + 1))
+        for seq in range(1, ROUNDS + 1):
+            t0 = float(seq * SAMPLES)
+            batches.append(
+                {
+                    "node": node,
+                    "boot": f"boot-{node_i}",
+                    "seq": seq,
+                    "now": t0,
+                    "series": [
+                        {
+                            "name": f"metric.{s}",
+                            "labels": {"node": node},
+                            "samples": [
+                                [t0 + k, float(k)] for k in range(SAMPLES)
+                            ],
+                            "dropped": 0,
+                        }
+                        for s in range(SERIES)
+                    ],
+                    "hists": [hist.snapshot()],
+                    "queue_dropped": 0,
+                }
+            )
+    # Interleave nodes the way a real fleet arrives: by round, not node.
+    batches.sort(key=lambda b: (b["seq"], b["node"]))
+    return batches
+
+
+@pytest.mark.benchmark(disable_gc=True, min_rounds=10)
+def test_ingest_throughput(benchmark):
+    """Fold a whole fleet's pushed batches into tiered retention."""
+    batches = _build_batches()
+
+    def ingest():
+        collector = TelemetryCollector(raw_capacity=512)
+        for batch in batches:
+            collector.ingest(batch)
+        return collector
+
+    collector = benchmark(ingest)
+    expected = NODES * ROUNDS * SERIES * SAMPLES
+    assert collector.samples_ingested == expected
+    assert collector.batches_ingested == NODES * ROUNDS
+    assert collector.sample_count() <= collector.max_samples()
+    # Every node's histogram landed and merges to one fleet family.
+    merged = collector.merged_hists()
+    assert len(merged) == 1 and merged[0]["count"] == NODES
+
+    median = benchmark.stats.stats.median
+    per_batch_us = median / (NODES * ROUNDS) * 1e6
+    print(
+        f"\ningest: {NODES * ROUNDS} batches ({expected} samples) in "
+        f"{median * 1e3:.1f} ms median -> {per_batch_us:.1f} us/batch"
+    )
+
+
+@pytest.mark.benchmark(disable_gc=True, min_rounds=20)
+def test_one_rpc_top_frame(benchmark):
+    """The cockpit query over a fully populated 16-node collector."""
+    collector = TelemetryCollector(raw_capacity=512)
+    for batch in _build_batches():
+        collector.ingest(batch)
+
+    frame = benchmark(collector.top, now=float(ROUNDS * SAMPLES + 1))
+    assert len(frame["fleet"]) == NODES
+    assert frame["series"] and frame["hists"]
+
+
+def _run_workload() -> "tuple[float, float]":
+    """One pass of the node-side telemetry workload, with attribution.
+
+    The workload is BENCH_CONFIG["overhead_appends"] samples spread over
+    8 series; a batch is cut (and immediately acknowledged, as the async
+    send loop does) every ``appends_per_heartbeat`` appends.  Returns
+    ``(append_seconds, ship_seconds)`` — the time spent recording
+    telemetry versus the time spent cutting batches for the collector.
+    Collection is paused during the timed region so the allocator's
+    amortised background work lands on neither side of the ratio.
+    """
+    n = BENCH_CONFIG["overhead_appends"]
+    cadence = BENCH_CONFIG["appends_per_heartbeat"]
+    num_series = BENCH_CONFIG["overhead_series"]
+    store = TimeSeriesStore(capacity=512)
+    series = [
+        store.series(f"metric.{s}", node="S001")
+        for s in range(num_series)
+    ]
+    shipper = TelemetryShipper("S001", store, max_queue=8)
+    append_s = 0.0
+    ship_s = 0.0
+    gc.collect()
+    gc.disable()
+    try:
+        for chunk in range(0, n, cadence):
+            t0 = time.perf_counter()
+            for i in range(chunk, chunk + cadence):
+                series[i % num_series].append(float(i), float(i))
+            t1 = time.perf_counter()
+            shipper.collect(now=float(chunk))
+            shipper.mark_sent()
+            t2 = time.perf_counter()
+            append_s += t1 - t0
+            ship_s += t2 - t1
+        return append_s, ship_s
+    finally:
+        gc.enable()
+
+
+def test_node_side_overhead_under_five_percent():
+    """The tentpole overhead budget: batch cutting at heartbeat cadence
+    adds < 5% to the cost of recording the telemetry in the first
+    place.
+
+    Measured by within-run attribution — the shipping calls are timed
+    inside the same pass as the appends they piggyback on — because on
+    shared hardware the run-to-run variance of a bare-versus-shipped
+    subtraction exceeds the effect being measured.  The median ratio
+    over several passes is the estimate; any one pass can be perturbed,
+    but numerator and denominator of each ratio share the perturbation.
+    """
+    _run_workload()  # warm-up, untimed
+    ratios = []
+    for _ in range(9):
+        append_s, ship_s = _run_workload()
+        ratios.append(ship_s / append_s)
+    ratios.sort()
+    overhead = ratios[len(ratios) // 2]
+    print(
+        f"\nnode-side shipping overhead: median {overhead * 100:+.2f}% "
+        f"of telemetry recording cost "
+        f"(spread {ratios[0] * 100:+.2f}% .. {ratios[-1] * 100:+.2f}%)"
+    )
+    assert overhead < 0.05, (
+        f"shipping overhead {overhead * 100:.2f}% exceeds the 5% budget"
+    )

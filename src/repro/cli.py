@@ -172,6 +172,7 @@ async def _serve_cluster(args: argparse.Namespace) -> int:
     config = LiveConfig(
         heartbeat_interval=args.heartbeat_interval,
         failure_detection_timeout=3 * args.heartbeat_interval,
+        collector_enabled=args.collector,
     )
     cluster = LiveCluster(
         num_servers=args.servers,
@@ -242,6 +243,7 @@ async def _serve_chunk(args: argparse.Namespace) -> int:
     config = LiveConfig(
         heartbeat_interval=args.heartbeat_interval,
         failure_detection_timeout=3 * args.heartbeat_interval,
+        collector_enabled=args.collector,
     )
     server = LiveChunkServer(args.id, _parse_address(args.meta), config)
     await server.start(port=args.port)
@@ -568,44 +570,56 @@ async def _top_live(args: argparse.Namespace) -> int:
     meta_addr = _parse_address(args.meta)
     color = not args.no_color
     iteration = 0
+    collector_mode = bool(getattr(args, "collector", False))
     try:
         while True:
             meta_client = pool.get(meta_addr)
-            health = await meta_client.call(MessageType.HEALTH, {})
-            fleet = dict(health.payload.get("servers", {}))  # type: ignore[arg-type]
-            listing = await meta_client.call(MessageType.LIST_SERVERS, {})
-            addresses = dict(listing.payload.get("servers", {}))  # type: ignore[arg-type]
-            stats = await meta_client.call(MessageType.STATS, {})
-            series = list(stats.payload.get("series", []))  # type: ignore[arg-type]
             incidents: "Optional[list]" = [] if args.json else None
-            if args.json:
-                try:
-                    resp = await meta_client.call(
-                        MessageType.DOCTOR, {}, retries=0
-                    )
-                    incidents.extend(resp.payload.get("incidents", []))  # type: ignore[union-attr, arg-type]
-                except ReproError:
-                    pass  # pre-doctor meta-servers have no DOCTOR
-            for sid in sorted(addresses):
-                if not fleet.get(sid, {}).get("alive", False):
-                    continue
-                try:
-                    client = pool.get(Address.from_wire(addresses[sid]))
-                    resp = await client.call(
-                        MessageType.STATS, {}, retries=0
-                    )
-                except ReproError:
-                    continue  # peer died between HEALTH and STATS
-                series.extend(resp.payload.get("series", []))  # type: ignore[arg-type]
+            if collector_mode:
+                # One RPC renders the whole fleet: the meta-hosted
+                # collector already holds every node's pushed series,
+                # health and histograms — no per-node polling.
+                resp = await meta_client.call(
+                    MessageType.COLLECTOR_QUERY, {"what": "top"}
+                )
+                fleet = dict(resp.payload.get("fleet", {}))  # type: ignore[arg-type]
+                series = list(resp.payload.get("series", []))  # type: ignore[arg-type]
+                now = float(resp.payload.get("time", 0.0))  # type: ignore[arg-type]
+            else:
+                health = await meta_client.call(MessageType.HEALTH, {})
+                fleet = dict(health.payload.get("servers", {}))  # type: ignore[arg-type]
+                listing = await meta_client.call(MessageType.LIST_SERVERS, {})
+                addresses = dict(listing.payload.get("servers", {}))  # type: ignore[arg-type]
+                stats = await meta_client.call(MessageType.STATS, {})
+                series = list(stats.payload.get("series", []))  # type: ignore[arg-type]
                 if args.json:
                     try:
-                        doc = await client.call(
+                        resp = await meta_client.call(
                             MessageType.DOCTOR, {}, retries=0
                         )
-                        incidents.extend(doc.payload.get("incidents", []))  # type: ignore[union-attr, arg-type]
+                        incidents.extend(resp.payload.get("incidents", []))  # type: ignore[union-attr, arg-type]
                     except ReproError:
-                        pass
-            now = float(health.payload.get("time", 0.0))  # type: ignore[arg-type]
+                        pass  # pre-doctor meta-servers have no DOCTOR
+                for sid in sorted(addresses):
+                    if not fleet.get(sid, {}).get("alive", False):
+                        continue
+                    try:
+                        client = pool.get(Address.from_wire(addresses[sid]))
+                        resp = await client.call(
+                            MessageType.STATS, {}, retries=0
+                        )
+                    except ReproError:
+                        continue  # peer died between HEALTH and STATS
+                    series.extend(resp.payload.get("series", []))  # type: ignore[arg-type]
+                    if args.json:
+                        try:
+                            doc = await client.call(
+                                MessageType.DOCTOR, {}, retries=0
+                            )
+                            incidents.extend(doc.payload.get("incidents", []))  # type: ignore[union-attr, arg-type]
+                        except ReproError:
+                            pass
+                now = float(health.payload.get("time", 0.0))  # type: ignore[arg-type]
             if args.json:
                 print(
                     json.dumps(
@@ -683,6 +697,95 @@ def cmd_top(args: argparse.Namespace) -> int:
         return asyncio.run(_top_live(args))
     except KeyboardInterrupt:
         return 0
+
+
+# ----------------------------------------------------------------------
+# query: the collector's tiered retention over one RPC
+# ----------------------------------------------------------------------
+def _parse_label_filters(pairs: "List[str]") -> "dict":
+    """``["node=S001", "class=repair"]`` -> label-filter dict."""
+    labels: "dict" = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ReproError(
+                f"bad --label {pair!r}; expected KEY=VALUE"
+            )
+        labels[key] = value
+    return labels
+
+
+def _render_query_series(series: "List[dict]") -> str:
+    """Human rendering of COLLECTOR_QUERY results, raw or downsampled."""
+    if not series:
+        return "(no matching series)"
+    lines: "List[str]" = []
+    for snap in series:
+        labels = snap.get("labels") or {}
+        label_text = ",".join(
+            f"{k}={v}" for k, v in sorted(labels.items())
+        )
+        title = f"{snap.get('name')}{{{label_text}}} [{snap.get('tier', 'raw')}]"
+        lines.append(title)
+        if "buckets" in snap:
+            for bucket in snap["buckets"]:
+                lines.append(
+                    f"  t={bucket['t']:<12g} n={bucket['count']:<6d} "
+                    f"mean={bucket['mean']:<12.6g} "
+                    f"min={bucket['min']:<12.6g} max={bucket['max']:.6g}"
+                )
+        else:
+            samples = snap.get("samples") or []
+            for t, v in samples[-10:]:
+                lines.append(f"  t={t:<12g} v={v:.6g}")
+            if len(samples) > 10:
+                lines.append(f"  ... {len(samples) - 10} earlier samples")
+    return "\n".join(lines)
+
+
+async def _query_live(args: argparse.Namespace) -> int:
+    from repro.live.config import LiveConfig
+    from repro.live.rpc import RpcClientPool
+    from repro.live.wire import MessageType
+
+    pool = RpcClientPool(LiveConfig())
+    try:
+        client = pool.get(_parse_address(args.meta))
+        if args.prom:
+            payload: "dict" = {"what": "prom"}
+        elif args.fleet:
+            payload = {"what": "fleet"}
+        elif args.stats:
+            payload = {"what": "stats"}
+        else:
+            payload = {
+                "what": "query",
+                "metric": args.metric,
+                "labels": _parse_label_filters(args.label),
+                "tier": args.tier,
+            }
+            if args.start is not None:
+                payload["start"] = args.start
+            if args.end is not None:
+                payload["end"] = args.end
+        resp = await client.call(MessageType.COLLECTOR_QUERY, payload)
+        body = dict(resp.payload)
+        if args.prom:
+            print(str(body.get("text", "")), end="")
+            return 0
+        if args.json or args.fleet or args.stats:
+            print(json.dumps(body, indent=2, sort_keys=True, default=str))
+            return 0
+        print(_render_query_series(list(body.get("series", []))))
+        return 0
+    finally:
+        await pool.close()
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    import asyncio
+
+    return asyncio.run(_query_live(args))
 
 
 # ----------------------------------------------------------------------
@@ -1105,6 +1208,10 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--payload-bytes", type=int, default=1152)
     srv.add_argument("--heartbeat-interval", type=float, default=2.0)
     srv.add_argument("--seed", type=int, default=2016)
+    srv.add_argument("--collector", action="store_true",
+                     help="push telemetry batches to the meta-hosted "
+                          "collector on the heartbeat cadence "
+                          "(cluster and chunk roles)")
     srv.set_defaults(fn=cmd_serve)
 
     simp = sub.add_parser("simulate", help="measure a repair on the simulator")
@@ -1336,7 +1443,41 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit one machine-readable JSON snapshot "
                           "(fleet, series, incidents) and exit; "
                           "implies --once")
+    top.add_argument("--collector", action="store_true",
+                     help="render the fleet from the meta-hosted "
+                          "telemetry collector in a single "
+                          "COLLECTOR_QUERY RPC (no per-node polling; "
+                          "nodes must run with collector_enabled)")
     top.set_defaults(fn=cmd_top)
+
+    qry = sub.add_parser(
+        "query",
+        help="query the fleet telemetry collector: per-series windows "
+             "by retention tier, fleet rollups, Prometheus exposition",
+    )
+    qry.add_argument("--meta", required=True,
+                     help="live meta-server address HOST:PORT")
+    qry.add_argument("--metric", default=None,
+                     help="exact metric name (default: all)")
+    qry.add_argument("--label", action="append", default=[],
+                     metavar="KEY=VALUE",
+                     help="label filter, repeatable (subset match)")
+    qry.add_argument("--tier", default="raw",
+                     help="retention tier: raw, 10s or 60s")
+    qry.add_argument("--start", type=float, default=None,
+                     help="window start (inclusive, epoch seconds)")
+    qry.add_argument("--end", type=float, default=None,
+                     help="window end (inclusive, epoch seconds)")
+    qry.add_argument("--fleet", action="store_true",
+                     help="cross-node rollups + merged histograms (JSON)")
+    qry.add_argument("--stats", action="store_true",
+                     help="collector ingest/retention counters (JSON)")
+    qry.add_argument("--prom", action="store_true",
+                     help="Prometheus federation-style exposition of "
+                          "the whole fleet")
+    qry.add_argument("--json", action="store_true",
+                     help="emit raw JSON instead of rendered text")
+    qry.set_defaults(fn=cmd_query)
 
     doc = sub.add_parser(
         "doctor",

@@ -23,6 +23,7 @@ from repro.codes.base import ErasureCode
 from repro.fs.chunks import Chunk, Stripe
 from repro.fs.chunkserver import ChunkServer
 from repro.fs.placement import make_placement
+from repro.obs.collector import TelemetryCollector, TelemetryShipper
 from repro.obs.timeseries import Sampler, TimeSeriesStore
 from repro.sim.compute import ComputeModel
 from repro.sim.events import Simulation
@@ -146,6 +147,11 @@ class StorageCluster:
         #: Continuous telemetry, populated by :meth:`enable_telemetry`.
         self.telemetry: "Optional[TimeSeriesStore]" = None
         self._sampler: "Optional[Sampler]" = None
+        #: Fleet collector (tiered retention + rollups), populated by
+        #: :meth:`enable_collector`.
+        self.collector: "Optional[TelemetryCollector]" = None
+        self._collector_shipper: "Optional[TelemetryShipper]" = None
+        self._collector_last_ship: float = 0.0
         #: QoS admission controller, populated by :meth:`enable_qos`.
         self.admission = None
 
@@ -423,6 +429,56 @@ class StorageCluster:
         if self.admission is not None:
             self._register_qos_probes()
         return store
+
+    def enable_collector(
+        self,
+        ship_interval: "Optional[float]" = None,
+        raw_capacity: int = 512,
+        max_queue: int = 8,
+    ) -> TelemetryCollector:
+        """Funnel the cluster's telemetry through the fleet collector.
+
+        Enables :meth:`enable_telemetry` if it is not already on, then
+        ships the sampled series into a
+        :class:`~repro.obs.collector.TelemetryCollector` on the
+        heartbeat cadence (``ship_interval`` defaults to
+        ``config.heartbeat_interval``) via the *same*
+        :class:`~repro.obs.collector.TelemetryShipper` delta/cursor code
+        path live nodes use — so sim and live share one rollup, query
+        and cockpit surface.  Shipping piggybacks on a clock observer
+        (no events scheduled): enabling the collector changes simulated
+        results by exactly zero.
+
+        Idempotent: calling again returns the existing collector.
+        """
+        if self.collector is not None:
+            return self.collector
+        store = self.enable_telemetry()
+        interval = (
+            float(ship_interval)
+            if ship_interval is not None
+            else self.config.heartbeat_interval
+        )
+        if interval <= 0:
+            raise ConfigurationError(
+                f"ship_interval must be > 0, got {interval}"
+            )
+        collector = TelemetryCollector(raw_capacity=raw_capacity)
+        shipper = TelemetryShipper(
+            "sim", store, max_queue=max_queue
+        )
+        self.collector = collector
+        self._collector_shipper = shipper
+        self._collector_last_ship = 0.0
+
+        def ship(now: float) -> None:
+            if now - self._collector_last_ship >= interval:
+                self._collector_last_ship = now
+                shipper.collect(now)
+                shipper.flush(collector.ingest)
+
+        self.sim.add_clock_observer(ship)
+        return collector
 
     # ------------------------------------------------------------------
     # QoS admission control

@@ -63,10 +63,13 @@ from repro.live.rpc import (
 from repro.live.wire import Frame, MessageType, slice_bounds
 from repro.obs import causal, profiler
 from repro.obs.anomaly import Anomaly, AnomalyEngine, StalledStreamDetector
+from repro.obs.collector import TelemetryShipper
 from repro.obs.doctor import IncidentStore
 from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import Histogram
 from repro.obs.timeseries import Sampler, TimeSeriesStore
 from repro.qos.admission import FOREGROUND, REPAIR, TokenBucket
+from repro.qos.slo import QOS_BUCKETS, LatencyReservoir
 from repro.sim.metrics import PHASES
 
 
@@ -387,6 +390,31 @@ class LiveChunkServer:
             ),
             node=server_id,
         )
+        #: Per-server read-service-time distribution (GET_CHUNK and
+        #: degraded-path RAW_READ), on the QoS log-bucket grid so the
+        #: collector can merge it across the fleet for a pooled p99.
+        self.read_latency = Histogram(
+            "live.read.latency", {"node": server_id}, QOS_BUCKETS
+        )
+        #: Exact-sample shadow of the same observations (Algorithm R).
+        #: Conformance ground truth: fleet p99 from merged histogram
+        #: buckets must land within one bucket width of the pooled
+        #: per-node reservoirs.
+        self.read_reservoir = LatencyReservoir()
+        #: Collector push (gated by ``collector_enabled``): series
+        #: deltas + the read-latency histogram, shipped to the
+        #: meta-server-hosted collector on the heartbeat cadence.
+        self._shipper: "Optional[TelemetryShipper]" = (
+            TelemetryShipper(
+                server_id,
+                self.telemetry,
+                hists=lambda: [self.read_latency.snapshot()],
+                health=self.health_summary,
+                max_queue=self.config.collector_queue,
+            )
+            if self.config.collector_enabled
+            else None
+        )
 
         register = self.rpc.register
         register(MessageType.PING, self._on_ping)
@@ -512,7 +540,35 @@ class LiveChunkServer:
                 )
             except RpcError:
                 pass  # the meta-server notices staleness on its own
+            await self._ship_telemetry(client)
             await asyncio.sleep(self.config.heartbeat_interval)
+
+    async def _ship_telemetry(self, client) -> None:
+        """Push queued telemetry batches on the heartbeat cadence.
+
+        Cuts one delta batch, then drains the shipper's bounded queue
+        in order.  A failed send leaves the batch queued for the next
+        beat (at-least-once; the collector dedups by node+boot+seq); a
+        collector that stays down costs at most ``collector_queue``
+        batches of memory before drop-oldest kicks in.
+        """
+        if self._shipper is None:
+            return
+        self._shipper.collect(trace.now())
+        while self.alive:
+            batch = self._shipper.next_batch()
+            if batch is None:
+                break
+            try:
+                await client.call(
+                    MessageType.TELEMETRY,
+                    batch,
+                    timeout=self.config.rpc_timeout,
+                    retries=0,
+                )
+            except RpcError:
+                break  # keep the batch queued; retry next beat
+            self._shipper.mark_sent()
 
     # ------------------------------------------------------------------
     # Telemetry: wall-clock sampling, health counters, STATS/HEALTH
@@ -775,11 +831,19 @@ class LiveChunkServer:
         if delay > 0:
             await asyncio.sleep(delay)
 
+    def _observe_read(self, seconds: float) -> None:
+        """One read service time into the mergeable histogram and its
+        exact-sample reservoir shadow."""
+        self.read_latency.observe(seconds)
+        self.read_reservoir.append(seconds)
+
     async def _on_get_chunk(
         self, frame: Frame
     ) -> "Tuple[Dict[str, object], Dict[int, np.ndarray]]":
+        read_start = trace.now()
         chunk = self._get_chunk(str(frame.payload["chunk_id"]))
         self.class_bytes[FOREGROUND] += float(chunk.payload.nbytes)
+        self._observe_read(trace.now() - read_start)
         return (
             {"stripe_id": chunk.stripe_id, "index": chunk.index},
             {0: chunk.payload},
@@ -818,6 +882,7 @@ class LiveChunkServer:
             )
         ]
         await self._pace_repair(trace.buffers_nbytes(buffers))  # type: ignore[arg-type]
+        self._observe_read(trace.now() - read_start)
         payload: "Dict[str, object]" = {
             "trace": records,
             "sender": self.server_id,
@@ -866,6 +931,7 @@ class LiveChunkServer:
         read_start = trace.now()
         chunk = self._get_chunk(request.chunk_id)
         payload = chunk.payload
+        self._observe_read(trace.now() - read_start)
         task.trace.append(
             self._account(
                 trace.phase_record(

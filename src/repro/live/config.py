@@ -88,6 +88,19 @@ class LiveConfig:
     #: Profiler: sampling period of the in-process wall-clock profiler,
     #: seconds.  0 keeps the profiler off (the zero-overhead default).
     profile_interval: float = 0.0
+    #: Collector: when True, chunk servers (and the coordinator) push
+    #: TELEMETRY batches to the meta-server-hosted collector on the
+    #: heartbeat cadence.  Off by default — the collector's ingest and
+    #: COLLECTOR_QUERY handlers are always registered, so a fleet can be
+    #: queried the moment pushing is switched on.
+    collector_enabled: bool = False
+    #: Collector: node-side bound on batches queued while the collector
+    #: is unreachable; the oldest batch is dropped (and counted) beyond
+    #: this — backpressure costs a constant amount of memory.
+    collector_queue: int = 8
+    #: Collector: raw-tier ring capacity per retained series (the
+    #: downsampled 10s/60s tiers are sized by obs.rollup.DEFAULT_TIERS).
+    collector_capacity: int = 512
 
     def __post_init__(self) -> None:
         for name in (
@@ -128,3 +141,7 @@ class LiveConfig:
             raise ConfigurationError("incident_capacity must be >= 1")
         if self.profile_interval < 0:
             raise ConfigurationError("profile_interval must be >= 0")
+        if self.collector_queue < 1:
+            raise ConfigurationError("collector_queue must be >= 1")
+        if self.collector_capacity < 1:
+            raise ConfigurationError("collector_capacity must be >= 1")

@@ -45,6 +45,10 @@ from repro.live.config import LiveConfig
 from repro.live.rpc import Address, RpcClientPool
 from repro.live.wire import Frame, MessageType
 from repro.obs import causal
+from repro.obs.collector import TelemetryShipper
+from repro.obs.metrics import Histogram
+from repro.obs.timeseries import TimeSeriesStore
+from repro.qos.slo import QOS_BUCKETS
 from repro.repair.plan import DESTINATION, build_plan
 from repro.sim.metrics import PhaseBreakdown
 
@@ -113,6 +117,24 @@ class LiveCoordinator:
         self.pool = RpcClientPool(self.config)
         self._repair_seq = itertools.count(1)
         self._gids = causal.GidAllocator("coordinator")
+        #: End-to-end repair durations (mergeable at the collector) and
+        #: the per-repair duration series the coordinator pushes.
+        self.repair_latency = Histogram(
+            "live.repair.latency", {"node": "coordinator"}, QOS_BUCKETS
+        )
+        self.telemetry = TimeSeriesStore(
+            capacity=self.config.telemetry_capacity
+        )
+        self._shipper: "Optional[TelemetryShipper]" = (
+            TelemetryShipper(
+                "coordinator",
+                self.telemetry,
+                hists=lambda: [self.repair_latency.snapshot()],
+                max_queue=self.config.collector_queue,
+            )
+            if self.config.collector_enabled
+            else None
+        )
 
     async def close(self) -> None:
         await self.pool.close()
@@ -197,6 +219,7 @@ class LiveCoordinator:
         """
         if num_slices < 1:
             raise LiveRepairError(f"num_slices must be >= 1, got {num_slices}")
+        repair_start = trace.now()
         excluded: "Set[str]" = set()
         failures: "List[Exception]" = []
         for attempt in range(1, self.config.max_attempts + 1):
@@ -232,12 +255,50 @@ class LiveCoordinator:
                 report.result.verified = bool(
                     np.array_equal(report.payload, expected_payload)
                 )
+            done = trace.now()
+            duration = done - repair_start
+            self.repair_latency.observe(duration)
+            self.telemetry.record(
+                "live.repair.duration",
+                done,
+                duration,
+                node="coordinator",
+                strategy=strategy,
+            )
+            await self._push_telemetry()
             return report
         summary = "; ".join(f"{type(e).__name__}: {e}" for e in failures)
         raise LiveRepairError(
             f"repair of {stripe_id}#{lost_index} failed after "
             f"{self.config.max_attempts} attempts ({summary})"
         )
+
+    async def _push_telemetry(self) -> None:
+        """Push repair telemetry to the collector after each repair.
+
+        The coordinator has no heartbeat loop, so its shipping cadence
+        is "one batch per completed repair".  Same bounded-queue
+        semantics as the chunk servers; an unreachable collector never
+        fails a repair.
+        """
+        if self._shipper is None:
+            return
+        self._shipper.collect(trace.now())
+        client = self.pool.get(self.meta_address)
+        while True:
+            batch = self._shipper.next_batch()
+            if batch is None:
+                return
+            try:
+                await client.call(
+                    MessageType.TELEMETRY,
+                    batch,
+                    timeout=self.config.rpc_timeout,
+                    retries=0,
+                )
+            except RpcError:
+                return  # stays queued; retried after the next repair
+            self._shipper.mark_sent()
 
     def _find_lost_index(self, view: _StripeView) -> int:
         for index in range(len(view.chunk_ids)):

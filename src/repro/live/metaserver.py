@@ -36,6 +36,7 @@ from repro.obs.anomaly import (
     phase_medians,
     straggler_phases,
 )
+from repro.obs.collector import TelemetryCollector, TelemetryShipper
 from repro.obs.doctor import IncidentStore
 from repro.live.wire import Frame, MessageType
 from repro.obs.timeseries import Sampler, TimeSeriesStore
@@ -77,6 +78,22 @@ class LiveMetaServer:
             node="meta",
         )
 
+        #: Fleet telemetry collector: every node pushes TELEMETRY batches
+        #: here; COLLECTOR_QUERY serves the cockpit from this one place.
+        #: Always hosted (ingest is cheap and idempotent); whether nodes
+        #: push is their own ``collector_enabled`` knob.
+        self.collector = TelemetryCollector(
+            raw_capacity=self.config.collector_capacity
+        )
+        #: The meta-server ships its own series into the collector
+        #: in-process — same shipper code path as remote nodes, no wire.
+        self._collector_shipper = TelemetryShipper(
+            "meta",
+            self.telemetry,
+            max_queue=self.config.collector_queue,
+        )
+        self._collector_last_ship = 0.0
+
         # Doctor: fleet-level anomaly detection (stragglers) + incidents.
         self.incidents = IncidentStore(
             directory=self.config.incident_dir or None,
@@ -101,6 +118,8 @@ class LiveMetaServer:
         register(MessageType.STATS, self._on_stats)
         register(MessageType.HEALTH, self._on_health)
         register(MessageType.DOCTOR, self._on_doctor)
+        register(MessageType.TELEMETRY, self._on_telemetry)
+        register(MessageType.COLLECTOR_QUERY, self._on_collector_query)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -136,6 +155,12 @@ class LiveMetaServer:
                     )
             except Exception:
                 pass  # diagnosis must never take the meta-server down
+            if now - self._collector_last_ship >= self.config.heartbeat_interval:
+                # Ship the meta-server's own series on heartbeat cadence
+                # (in-process ingest: no wire hop for the host node).
+                self._collector_last_ship = now
+                self._collector_shipper.collect(now)
+                self._collector_shipper.flush(self.collector.ingest)
             await asyncio.sleep(self.config.telemetry_interval)
 
     # ------------------------------------------------------------------
@@ -351,6 +376,19 @@ class LiveMetaServer:
                 float(threshold) if threshold is not None else None  # type: ignore[arg-type]
             ),
         }
+
+    async def _on_telemetry(self, frame: Frame) -> "Dict[str, object]":
+        """TELEMETRY RPC: one pushed batch into the hosted collector."""
+        return self.collector.ingest(dict(frame.payload))
+
+    async def _on_collector_query(self, frame: Frame) -> "Dict[str, object]":
+        """COLLECTOR_QUERY RPC: the one-RPC cockpit (query/fleet/top/
+        prom/stats against the collector's tiered retention)."""
+        return self.collector.handle_query(
+            dict(frame.payload),
+            now=trace.now(),
+            stale_after=self.config.failure_detection_timeout,
+        )
 
     async def _on_doctor(self, frame: Frame) -> "Dict[str, object]":
         """DOCTOR RPC: the meta-server's incidents (fleet stragglers)."""

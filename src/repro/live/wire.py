@@ -96,6 +96,12 @@ class MessageType(enum.IntEnum):
     STATS = 40
     HEALTH = 41
     DOCTOR = 42
+    #: Node -> collector push: batched series deltas + histogram
+    #: snapshots, shipped on the heartbeat cadence.
+    TELEMETRY = 43
+    #: Cockpit pull: one RPC answering query/fleet/top/prom/stats
+    #: against the collector's tiered retention.
+    COLLECTOR_QUERY = 44
     # Stream plane (v2): sliced bulk transfer as BEGIN / DATA* / END
     STREAM_BEGIN = 50
     STREAM_DATA = 51

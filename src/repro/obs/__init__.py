@@ -32,7 +32,8 @@ import time
 from contextlib import contextmanager, nullcontext
 from typing import Any, Callable, ContextManager, Optional
 
-from . import anomaly, causal, doctor, flight, profiler
+from . import anomaly, causal, collector, doctor, flight, profiler, rollup
+from .collector import TelemetryCollector, TelemetryShipper
 from .export import chrome_trace, render_timeline, summarize
 from .flight import FlightRecorder
 from .metrics import (
@@ -55,15 +56,21 @@ from .sink import (
     load_trace,
     write_trace,
 )
+from .rollup import RollupStore
 from .span import Span, Tracer, clip
 from .timeseries import DEFAULT_CAPACITY, Sampler, Series, TimeSeriesStore
 
 __all__ = [
     "anomaly",
     "causal",
+    "collector",
     "doctor",
     "flight",
     "profiler",
+    "rollup",
+    "TelemetryCollector",
+    "TelemetryShipper",
+    "RollupStore",
     "FlightRecorder",
     "TeeSink",
     "Span",

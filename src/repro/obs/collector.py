@@ -1,0 +1,477 @@
+"""Fleet telemetry collector: push-based shipping + one-RPC cockpit.
+
+Production measurement studies of erasure-coded repair (the Facebook
+warehouse-cluster analysis behind Rashmi et al., the XORing-Elephants
+HDFS numbers) were only possible because repair-traffic telemetry was
+aggregated *centrally*; per-node dashboards cannot show a repair storm.
+This module is that aggregation layer for the reproduction:
+
+* :class:`TelemetryShipper` runs on each node.  On heartbeat cadence it
+  cuts a **batch**: per-series sample deltas (exact append-count cursors
+  via :meth:`repro.obs.timeseries.Series.since` — ring-wrap loss is
+  *counted*, never silent) plus full histogram snapshots (cumulative,
+  so re-sending is idempotent).  Batches wait in a bounded queue with
+  drop-oldest backpressure: a dead collector costs the node a constant
+  amount of memory and a drop counter, nothing more.
+* :class:`TelemetryCollector` runs centrally (hosted by the live
+  meta-server, or in-process for the simulator).  Ingest is idempotent
+  by ``(node, boot, seq)`` — redelivered batches are acknowledged and
+  discarded, and a node restart (fresh ``boot`` id, sequence reset) is
+  accepted cleanly.  Samples land in a tiered
+  :class:`~repro.obs.rollup.RollupStore` (raw ring → 10 s/60 s buckets),
+  so collector memory is bounded no matter how long the fleet runs.
+
+The query surface — ``query`` (per-series windows by tier), ``fleet``
+(cross-node sum/max rollups + merged histograms), ``top`` (everything a
+dashboard frame needs in one response) and ``prom`` (federation-style
+exposition with a ``node`` label) — is plain dicts in, plain dicts out;
+the ``COLLECTOR_QUERY`` RPC and the CLI are thin shims over it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import uuid
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.promexport import render_prometheus
+from repro.obs.rollup import (
+    DEFAULT_TIERS,
+    TIER_RAW,
+    RollupStore,
+    fleet_rollup,
+    merge_histograms_by,
+)
+from repro.obs.timeseries import DEFAULT_CAPACITY, TimeSeriesStore, _series_key
+
+#: Default bound on batches a node queues while the collector is down.
+DEFAULT_MAX_QUEUE = 8
+
+
+def _fresh_boot_id() -> str:
+    """A boot id unique per shipper instance (node restart => new id)."""
+    return uuid.uuid4().hex[:12]
+
+
+class TelemetryShipper:
+    """Node-side half of the push path: delta batches, bounded queue.
+
+    One shipper per node process.  :meth:`collect` cuts a batch from the
+    node's :class:`~repro.obs.timeseries.TimeSeriesStore` (only samples
+    appended since the previous batch, tracked by exact append-count
+    cursors) and enqueues it.  The queue is bounded: when the collector
+    is unreachable for longer than ``max_queue`` heartbeats, the oldest
+    batch is dropped and counted.  Delivery is at-least-once — the
+    caller retries a batch until the collector acknowledges it — and the
+    collector's ``(node, boot, seq)`` dedup makes that safe.
+    """
+
+    def __init__(
+        self,
+        node: str,
+        store: TimeSeriesStore,
+        hists: "Optional[Callable[[], List[Dict[str, Any]]]]" = None,
+        health: "Optional[Callable[[], Dict[str, Any]]]" = None,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        boot: "Optional[str]" = None,
+    ):
+        if max_queue < 1:
+            raise ConfigurationError(
+                f"max_queue must be >= 1, got {max_queue}"
+            )
+        self.node = node
+        self.store = store
+        self.boot = boot if boot is not None else _fresh_boot_id()
+        self.max_queue = int(max_queue)
+        self._hists = hists
+        self._health = health
+        self._seq = itertools.count(1)
+        #: Per-series delta cursors, keyed by the Series object itself —
+        #: identity hashing beats recomputing the (name, labels) key on
+        #: every heartbeat, and a store only ever holds one object per
+        #: key so identity IS the key.
+        self._cursors: "Dict[Any, int]" = {}
+        self._queue: "Deque[Dict[str, Any]]" = deque()
+        #: Batches discarded by drop-oldest backpressure.
+        self.dropped_batches = 0
+        #: Samples inside those discarded batches (telemetry loss).
+        self.dropped_samples = 0
+        #: Samples that aged out of a ring before ever being shipped.
+        self.wrapped_samples = 0
+
+    # ------------------------------------------------------------------
+    # Batch building
+    # ------------------------------------------------------------------
+    def collect(self, now: float) -> "Dict[str, Any]":
+        """Cut one batch at time ``now`` and enqueue it (drop-oldest).
+
+        Always produces a batch — an otherwise-empty one still refreshes
+        the node's last-seen time at the collector and carries the
+        piggybacked health dict — so shipping stays exactly on the
+        heartbeat cadence.
+        """
+        series_payload: "List[Dict[str, Any]]" = []
+        cursors = self._cursors
+        for series in self.store.all_series():
+            samples, cursor, wrapped = series.since(cursors.get(series, 0))
+            cursors[series] = cursor
+            self.wrapped_samples += wrapped
+            if samples or wrapped:
+                # The samples stay as (t, v) tuples and the labels dict
+                # is shared, not copied: the JSON wire layer renders
+                # both as-is and the in-process collector copies what it
+                # keeps, so batch cutting does no per-sample Python work
+                # — that is what keeps node-side shipping inside its 5%
+                # overhead budget.
+                series_payload.append(
+                    {
+                        "name": series.name,
+                        "labels": series.labels,
+                        "samples": samples,
+                        "dropped": wrapped,
+                    }
+                )
+        batch: "Dict[str, Any]" = {
+            "node": self.node,
+            "boot": self.boot,
+            "seq": next(self._seq),
+            "now": float(now),
+            "series": series_payload,
+            "hists": list(self._hists()) if self._hists is not None else [],
+            "queue_dropped": self.dropped_batches,
+        }
+        if self._health is not None:
+            batch["health"] = dict(self._health())
+        if len(self._queue) >= self.max_queue:
+            oldest = self._queue.popleft()
+            self.dropped_batches += 1
+            self.dropped_samples += sum(
+                len(s.get("samples", ())) for s in oldest.get("series", ())
+            )
+            # The freshly counted drop rides on the batch we are about
+            # to queue so the collector's loss accounting stays current.
+            batch["queue_dropped"] = self.dropped_batches
+        self._queue.append(batch)
+        return batch
+
+    # ------------------------------------------------------------------
+    # Queue draining (transport-agnostic)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def next_batch(self) -> "Optional[Dict[str, Any]]":
+        """Oldest unacknowledged batch, or None; does not dequeue."""
+        return self._queue[0] if self._queue else None
+
+    def mark_sent(self) -> None:
+        """Acknowledge the oldest batch (the collector accepted it)."""
+        if self._queue:
+            self._queue.popleft()
+
+    def flush(self, send: "Callable[[Dict[str, Any]], Any]") -> int:
+        """Drain the queue through a synchronous ``send`` callable.
+
+        Stops at the first failure (the batch stays queued for the next
+        cadence tick).  Returns how many batches were delivered.  The
+        live servers drain the same queue with their async RPC client
+        via :meth:`next_batch`/:meth:`mark_sent` instead.
+        """
+        sent = 0
+        while self._queue:
+            try:
+                send(self._queue[0])
+            except Exception:
+                break
+            self._queue.popleft()
+            sent += 1
+        return sent
+
+    def stats(self) -> "Dict[str, Any]":
+        return {
+            "node": self.node,
+            "boot": self.boot,
+            "queued": len(self._queue),
+            "max_queue": self.max_queue,
+            "dropped_batches": self.dropped_batches,
+            "dropped_samples": self.dropped_samples,
+            "wrapped_samples": self.wrapped_samples,
+        }
+
+
+class TelemetryCollector:
+    """Central half of the push path: idempotent ingest, tiered
+    retention, fleet rollups, and the one-RPC query surface."""
+
+    def __init__(
+        self,
+        raw_capacity: int = DEFAULT_CAPACITY,
+        tiers: "Sequence[Tuple[float, int]]" = DEFAULT_TIERS,
+    ):
+        self.rollups = RollupStore(raw_capacity=raw_capacity, tiers=tiers)
+        #: node -> (boot, highest seq ingested) — the dedup cursor.
+        self._cursor: "Dict[str, Tuple[str, int]]" = {}
+        #: node -> presence info (last batch time, boot, piggybacked
+        #: health, node-side drop counter).
+        self._nodes: "Dict[str, Dict[str, Any]]" = {}
+        #: Latest histogram snapshot per (node, name, labels).
+        self._hists: "Dict[Tuple[Any, ...], Dict[str, Any]]" = {}
+        self.batches_ingested = 0
+        self.batches_duplicate = 0
+        self.samples_ingested = 0
+        #: Samples reported lost node-side (ring wrap before shipping).
+        self.samples_lost = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, batch: "Dict[str, Any]") -> "Dict[str, Any]":
+        """Apply one pushed batch; duplicates are acknowledged, not
+        re-applied.
+
+        Dedup key is ``(node, boot, seq)``: within one boot, sequence
+        numbers only move forward, so a redelivered batch (``seq <=``
+        the cursor) is a no-op ack.  A different ``boot`` id means the
+        node restarted and its sequence space reset — accepted, cursor
+        replaced.  That makes at-least-once delivery from the shippers
+        exactly-once in effect.
+        """
+        node = str(batch.get("node", ""))
+        if not node:
+            raise ConfigurationError("telemetry batch missing 'node'")
+        boot = str(batch.get("boot", ""))
+        seq = int(batch.get("seq", 0))
+        cursor = self._cursor.get(node)
+        if cursor is not None and cursor[0] == boot and seq <= cursor[1]:
+            self.batches_duplicate += 1
+            return {"ok": True, "duplicate": True, "node": node, "seq": seq}
+        self._cursor[node] = (boot, seq)
+
+        ingested = 0
+        lost = 0
+        for entry in batch.get("series", ()):
+            name = str(entry["name"])
+            labels = {
+                str(k): str(v)
+                for k, v in dict(entry.get("labels") or {}).items()
+            }
+            # The batch's node is authoritative for otherwise-unlabeled
+            # series; series that already carry a node label (the
+            # common case) keep it.
+            labels.setdefault("node", node)
+            samples = [
+                (float(t), float(v)) for t, v in entry.get("samples", ())
+            ]
+            ingested += self.rollups.add(name, labels, samples)
+            lost += int(entry.get("dropped", 0) or 0)
+        for snap in batch.get("hists", ()):
+            stored = dict(snap)
+            labels = {
+                str(k): str(v)
+                for k, v in dict(stored.get("labels") or {}).items()
+            }
+            labels.setdefault("node", node)
+            stored["labels"] = labels
+            key = (str(stored["name"]), _series_key("", labels))
+            self._hists[key] = stored
+
+        info = self._nodes.setdefault(node, {})
+        info["node"] = node
+        info["boot"] = boot
+        info["seq"] = seq
+        info["last_seen"] = float(batch.get("now", 0.0))
+        info["queue_dropped"] = int(batch.get("queue_dropped", 0) or 0)
+        health = batch.get("health")
+        if isinstance(health, dict):
+            info["health"] = health
+
+        self.batches_ingested += 1
+        self.samples_ingested += ingested
+        self.samples_lost += lost
+        return {
+            "ok": True,
+            "duplicate": False,
+            "node": node,
+            "seq": seq,
+            "samples": ingested,
+        }
+
+    # ------------------------------------------------------------------
+    # Query surface
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        name: "Optional[str]" = None,
+        labels: "Optional[Dict[str, str]]" = None,
+        start: "Optional[float]" = None,
+        end: "Optional[float]" = None,
+        tier: str = TIER_RAW,
+    ) -> "List[Dict[str, Any]]":
+        """Windowed series snapshots by tier (see
+        :meth:`repro.obs.rollup.RollupStore.query`)."""
+        return self.rollups.query(
+            name=name, labels=labels, start=start, end=end, tier=tier
+        )
+
+    def hist_snapshots(self) -> "List[Dict[str, Any]]":
+        """Latest pushed histogram snapshot per (node, instrument)."""
+        return [dict(snap) for _, snap in sorted(self._hists.items())]
+
+    def merged_hists(self) -> "List[Dict[str, Any]]":
+        """Fleet histograms: per-node snapshots merged bucket-by-bucket
+        across the ``node`` label (quantiles from pooled counts)."""
+        return merge_histograms_by(self.hist_snapshots())
+
+    def fleet(self) -> "Dict[str, Any]":
+        """Cross-node rollups: per-metric sum/max plus merged hists."""
+        return {
+            "rollup": fleet_rollup(self.rollups),
+            "hists": self.merged_hists(),
+            "nodes": sorted(self._nodes),
+        }
+
+    def node_table(
+        self, now: float, stale_after: "Optional[float]" = None
+    ) -> "Dict[str, Dict[str, Any]]":
+        """Per-node presence + piggybacked health, dashboard-shaped.
+
+        A node whose last batch is older than ``stale_after`` seconds is
+        shown not-alive — push-side liveness, no polling involved.
+        """
+        table: "Dict[str, Dict[str, Any]]" = {}
+        for node, info in sorted(self._nodes.items()):
+            health = dict(info.get("health") or {})
+            age = now - float(info.get("last_seen", 0.0))
+            health.setdefault("server_id", node)
+            health["heartbeat_age"] = age
+            health["alive"] = (
+                stale_after is None or age <= stale_after
+            ) and bool(health.get("alive", True))
+            health.setdefault("straggler", False)
+            health.setdefault("straggler_phases", [])
+            health["queue_dropped"] = info.get("queue_dropped", 0)
+            table[node] = health
+        return table
+
+    def top(
+        self, now: float, stale_after: "Optional[float]" = None
+    ) -> "Dict[str, Any]":
+        """Everything one dashboard frame needs, in one response."""
+        return {
+            "time": now,
+            "fleet": self.node_table(now, stale_after),
+            "series": self.query(tier=TIER_RAW),
+            "rollup": fleet_rollup(self.rollups),
+            "hists": self.merged_hists(),
+            "collector": self.stats(),
+        }
+
+    def prom(self, namespace: str = "repro") -> str:
+        """Federation-style Prometheus exposition of the fleet.
+
+        Every retained series exports its latest value as a gauge with
+        its ``node`` label intact; every pushed histogram exports both
+        per-node (``node`` label) and fleet-merged (no ``node`` label)
+        families.  One scrape of the collector sees the whole fleet.
+        """
+        snapshots: "List[Dict[str, Any]]" = []
+        for tiered in self.rollups.all_series():
+            last = tiered.raw.last()
+            if last is None:
+                continue
+            snapshots.append(
+                {
+                    "kind": "gauge",
+                    "name": tiered.name,
+                    "labels": dict(tiered.labels),
+                    "value": last[1],
+                }
+            )
+        snapshots.extend(self.hist_snapshots())
+        for merged in self.merged_hists():
+            renamed = dict(merged)
+            renamed["name"] = f"{merged['name']}.fleet"
+            snapshots.append(renamed)
+        return render_prometheus(snapshots, namespace=namespace)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def sample_count(self) -> int:
+        """Retained points across all tiers (for boundedness asserts)."""
+        return self.rollups.sample_count()
+
+    def max_samples(self) -> int:
+        """Hard retention bound at the current series count."""
+        return self.rollups.max_samples()
+
+    def stats(self) -> "Dict[str, Any]":
+        return {
+            "nodes": len(self._nodes),
+            "series": self.rollups.series_count(),
+            "hists": len(self._hists),
+            "batches_ingested": self.batches_ingested,
+            "batches_duplicate": self.batches_duplicate,
+            "samples_ingested": self.samples_ingested,
+            "samples_lost": self.samples_lost,
+            "retained_samples": self.sample_count(),
+            "retained_bound": self.max_samples(),
+        }
+
+    # ------------------------------------------------------------------
+    # RPC shim: one entry point for COLLECTOR_QUERY payloads
+    # ------------------------------------------------------------------
+    def handle_query(
+        self,
+        payload: "Dict[str, Any]",
+        now: float,
+        stale_after: "Optional[float]" = None,
+    ) -> "Dict[str, Any]":
+        """Dispatch one ``COLLECTOR_QUERY`` payload (``what`` selects
+        the view; see docs/PROTOCOL.md for the normative schema)."""
+        what = str(payload.get("what", "query"))
+        if what == "query":
+            labels = payload.get("labels")
+            start = payload.get("start")
+            end = payload.get("end")
+            return {
+                "time": now,
+                "series": self.query(
+                    name=(
+                        str(payload["metric"])
+                        if payload.get("metric") is not None
+                        else None
+                    ),
+                    labels=(
+                        {str(k): str(v) for k, v in dict(labels).items()}
+                        if isinstance(labels, dict)
+                        else None
+                    ),
+                    start=float(start) if start is not None else None,
+                    end=float(end) if end is not None else None,
+                    tier=str(payload.get("tier", TIER_RAW)),
+                ),
+            }
+        if what == "fleet":
+            out = self.fleet()
+            out["time"] = now
+            return out
+        if what == "top":
+            return self.top(now, stale_after)
+        if what == "prom":
+            return {
+                "time": now,
+                "text": self.prom(
+                    namespace=str(payload.get("namespace", "repro"))
+                ),
+            }
+        if what == "stats":
+            out = self.stats()
+            out["time"] = now
+            return out
+        raise ConfigurationError(
+            f"unknown collector query {what!r}; expected one of "
+            f"query/fleet/top/prom/stats"
+        )

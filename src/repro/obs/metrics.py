@@ -169,6 +169,66 @@ class Histogram:
         """Arithmetic mean of all samples (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram equal to observing both sample sets.
+
+        This is what makes histograms *fleet-mergeable*: the collector
+        combines per-node distributions bucket-by-bucket, so a
+        fleet-wide p99 is computed from pooled bucket counts — exact to
+        within one bucket width — instead of averaging per-node
+        quantiles (which has no statistical meaning).  Both operands
+        must share identical bucket bounds; merge is associative and
+        commutative, so nodes can be folded in any order.
+        """
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} != {other.buckets}"
+            )
+        merged = Histogram(self.name, dict(self.labels), self.buckets)
+        with self._lock:
+            mine = list(self._counts)
+            my_count, my_sum = self.count, self.sum
+            my_min, my_max = self.min, self.max
+        with other._lock:
+            theirs = list(other._counts)
+            their_count, their_sum = other.count, other.sum
+            their_min, their_max = other.min, other.max
+        merged._counts = [a + b for a, b in zip(mine, theirs)]
+        merged.count = my_count + their_count
+        merged.sum = my_sum + their_sum
+        mins = [m for m in (my_min, their_min) if m is not None]
+        maxs = [m for m in (my_max, their_max) if m is not None]
+        merged.min = min(mins) if mins else None
+        merged.max = max(maxs) if maxs else None
+        return merged
+
+    @classmethod
+    def from_snapshot(cls, snap: "Dict[str, Any]") -> "Histogram":
+        """Rebuild a histogram from its :meth:`snapshot` wire form.
+
+        The inverse of :meth:`snapshot` for the fields that matter to
+        merging and quantile estimation; the collector uses it to turn
+        pushed histogram snapshots back into mergeable instruments.
+        """
+        hist = cls(
+            str(snap["name"]),
+            dict(snap.get("labels") or {}),
+            tuple(float(b) for b in snap.get("buckets") or DEFAULT_BUCKETS),
+        )
+        counts = [int(c) for c in snap.get("bucket_counts") or []]
+        if len(counts) != len(hist._counts):
+            raise ValueError(
+                f"snapshot has {len(counts)} bucket counts, histogram "
+                f"needs {len(hist._counts)}"
+            )
+        hist._counts = counts
+        hist.count = int(snap.get("count", 0))
+        hist.sum = float(snap.get("sum", 0.0))
+        hist.min = None if snap.get("min") is None else float(snap["min"])
+        hist.max = None if snap.get("max") is None else float(snap["max"])
+        return hist
+
     def quantile(self, q: float) -> "Optional[float]":
         """Estimate the ``q``-quantile by interpolating bucket counts.
 

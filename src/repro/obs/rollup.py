@@ -1,0 +1,415 @@
+"""Tiered retention and fleet-wide rollups for pushed telemetry.
+
+The collector (:mod:`repro.obs.collector`) ingests series deltas from
+every node in the fleet.  Keeping raw samples forever is not an option —
+a fleet of 100 nodes pushing 10 series at heartbeat cadence appends
+thousands of points per minute — so each series is retained in tiers:
+
+* **raw** — the newest samples, in a bounded :class:`~repro.obs.timeseries.Series`
+  ring (full resolution, short horizon).
+* **downsampled** — fixed-width time buckets (default 10 s and 60 s),
+  each preserving ``count/sum/min/max`` of the samples that landed in
+  it.  Mean is derivable (``sum/count``), spikes survive (``max``), and
+  the bucket list itself is a bounded ring, so total memory per series
+  is a hard constant no matter how long the fleet runs.
+
+On top of retention sit the *fleet* rollups: grouping series that differ
+only in their ``node`` label and aggregating the latest value per node
+(sum and max across the fleet), and merging per-node histogram
+snapshots bucket-by-bucket via :meth:`repro.obs.metrics.Histogram.merge`
+so a fleet-wide p99 comes from pooled bucket counts rather than a
+meaningless average of per-node quantiles.
+
+Everything here is plain data in, plain data out — the same rollup path
+serves the live collector, the simulated cluster, and offline tests.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Histogram
+from repro.obs.timeseries import DEFAULT_CAPACITY, Series, _series_key
+
+#: Tier name for the full-resolution ring.
+TIER_RAW = "raw"
+
+#: Default downsampling tiers as ``(bucket_width_seconds, capacity)``:
+#: 10 s buckets for an hour, 60 s buckets for four hours.
+DEFAULT_TIERS: "Tuple[Tuple[float, int], ...]" = ((10.0, 360), (60.0, 240))
+
+
+def tier_name(width: float) -> str:
+    """Canonical tier name for a bucket width (``10.0 -> "10s"``)."""
+    if width == int(width):
+        return f"{int(width)}s"
+    return f"{width}s"
+
+
+class DownsampledTier:
+    """One downsampling tier: a bounded ring of fixed-width buckets.
+
+    Each bucket is ``[t0, count, sum, min, max]`` covering samples with
+    ``t0 <= t < t0 + width``.  Appends to the newest bucket are O(1);
+    a sample older than the newest bucket (rare — only out-of-order
+    ingest) is folded into its bucket by a backwards scan.  The ring is
+    the same amortized plain-list trim the raw series uses.
+    """
+
+    __slots__ = ("width", "capacity", "_buckets", "_trim_at")
+
+    def __init__(self, width: float, capacity: int):
+        if width <= 0:
+            raise ConfigurationError(f"tier width must be > 0, got {width}")
+        if capacity < 1:
+            raise ConfigurationError(
+                f"tier capacity must be >= 1, got {capacity}"
+            )
+        self.width = float(width)
+        self.capacity = int(capacity)
+        self._buckets: "List[List[float]]" = []
+        self._trim_at = 2 * self.capacity
+
+    def _bucket_start(self, t: float) -> float:
+        return math.floor(t / self.width) * self.width
+
+    def add(self, t: float, value: float) -> None:
+        """Fold one sample into its time bucket."""
+        t0 = self._bucket_start(t)
+        buckets = self._buckets
+        if buckets:
+            last = buckets[-1]
+            if last[0] == t0:
+                last[1] += 1
+                last[2] += value
+                if value < last[3]:
+                    last[3] = value
+                if value > last[4]:
+                    last[4] = value
+                return
+            if t0 < last[0]:
+                # Out-of-order ingest: fold into an older bucket if it is
+                # still retained; otherwise the sample aged past this
+                # tier's horizon and is dropped (the raw tier may still
+                # hold it).
+                for bucket in reversed(buckets):
+                    if bucket[0] == t0:
+                        bucket[1] += 1
+                        bucket[2] += value
+                        if value < bucket[3]:
+                            bucket[3] = value
+                        if value > bucket[4]:
+                            bucket[4] = value
+                        return
+                    if bucket[0] < t0:
+                        break
+                return
+        buckets.append([t0, 1.0, value, value, value])
+        if len(buckets) >= self._trim_at:
+            del buckets[: len(buckets) - self.capacity]
+
+    def __len__(self) -> int:
+        return min(len(self._buckets), self.capacity)
+
+    def buckets(
+        self,
+        start: "Optional[float]" = None,
+        end: "Optional[float]" = None,
+    ) -> "List[Dict[str, float]]":
+        """Retained buckets as dicts, oldest first, optionally windowed.
+
+        A bucket is selected when its *start* falls inside the inclusive
+        ``[start, end]`` window — the same inclusive convention as
+        :meth:`repro.obs.timeseries.Series.window`.
+        """
+        retained = self._buckets[-self.capacity :]
+        out: "List[Dict[str, float]]" = []
+        for t0, count, total, lo, hi in retained:
+            if start is not None and t0 < start:
+                continue
+            if end is not None and t0 > end:
+                continue
+            out.append(
+                {
+                    "t": t0,
+                    "count": int(count),
+                    "sum": total,
+                    "min": lo,
+                    "max": hi,
+                    "mean": total / count if count else 0.0,
+                }
+            )
+        return out
+
+
+class TieredSeries:
+    """One metric's retention pyramid: raw ring plus downsampled tiers."""
+
+    __slots__ = ("name", "labels", "raw", "tiers")
+
+    def __init__(
+        self,
+        name: str,
+        labels: "Dict[str, str]",
+        raw_capacity: int = DEFAULT_CAPACITY,
+        tiers: "Sequence[Tuple[float, int]]" = DEFAULT_TIERS,
+        lock: "Optional[threading.Lock]" = None,
+    ):
+        self.name = name
+        self.labels = labels
+        self.raw = Series(name, labels, raw_capacity, lock=lock)
+        self.tiers: "Dict[str, DownsampledTier]" = {
+            tier_name(width): DownsampledTier(width, capacity)
+            for width, capacity in tiers
+        }
+
+    def add(self, t: float, value: float) -> None:
+        t = float(t)
+        value = float(value)
+        self.raw.append(t, value)
+        for tier in self.tiers.values():
+            tier.add(t, value)
+
+    def sample_count(self) -> int:
+        """Retained points across all tiers (memory accounting)."""
+        return len(self.raw) + sum(len(t) for t in self.tiers.values())
+
+    def snapshot(
+        self,
+        tier: str = TIER_RAW,
+        start: "Optional[float]" = None,
+        end: "Optional[float]" = None,
+    ) -> "Dict[str, Any]":
+        """One tier's windowed view, JSON-friendly.
+
+        The raw tier returns ``samples: [[t, v], ...]`` (the classic
+        :meth:`Series.snapshot` shape); downsampled tiers return
+        ``buckets: [{t, count, sum, min, max, mean}, ...]``.
+        """
+        if tier == TIER_RAW:
+            snap = self.raw.snapshot(start, end)
+            snap["tier"] = TIER_RAW
+            return snap
+        down = self.tiers.get(tier)
+        if down is None:
+            raise KeyError(
+                f"unknown tier {tier!r}; have "
+                f"{[TIER_RAW] + sorted(self.tiers)}"
+            )
+        return {
+            "name": self.name,
+            "labels": self.labels,
+            "tier": tier,
+            "width": down.width,
+            "buckets": down.buckets(start, end),
+        }
+
+
+class RollupStore:
+    """Every tiered series the collector retains, keyed like a
+    :class:`~repro.obs.timeseries.TimeSeriesStore` by ``(name, labels)``.
+
+    Total retained points are bounded by
+    ``series_count * (2 * raw_capacity + sum(2 * tier_capacity))`` — the
+    factor 2 is the amortized-trim high-water mark — which
+    :meth:`max_samples` exposes so long-running deployments (and the
+    acceptance test) can assert memory stays bounded.
+    """
+
+    def __init__(
+        self,
+        raw_capacity: int = DEFAULT_CAPACITY,
+        tiers: "Sequence[Tuple[float, int]]" = DEFAULT_TIERS,
+    ):
+        if raw_capacity < 1:
+            raise ConfigurationError(
+                f"raw_capacity must be >= 1, got {raw_capacity}"
+            )
+        self.raw_capacity = int(raw_capacity)
+        self.tier_spec = tuple((float(w), int(c)) for w, c in tiers)
+        self._lock = threading.Lock()
+        self._series: "Dict[Tuple[Any, ...], TieredSeries]" = {}
+
+    @property
+    def tier_names(self) -> "List[str]":
+        return [TIER_RAW] + [tier_name(w) for w, _ in self.tier_spec]
+
+    def series(self, name: str, **labels: Any) -> TieredSeries:
+        """Get-or-create the tiered series ``name`` with these labels."""
+        clean = {str(k): str(v) for k, v in labels.items()}
+        key = _series_key(name, clean)
+        with self._lock:
+            tiered = self._series.get(key)
+            if tiered is None:
+                tiered = TieredSeries(
+                    name,
+                    clean,
+                    raw_capacity=self.raw_capacity,
+                    tiers=self.tier_spec,
+                )
+                self._series[key] = tiered
+            return tiered
+
+    def add(
+        self,
+        name: str,
+        labels: "Dict[str, str]",
+        samples: "Iterable[Tuple[float, float]]",
+    ) -> int:
+        """Append samples to one series across all tiers; returns count."""
+        tiered = self.series(name, **labels)
+        n = 0
+        for t, v in samples:
+            tiered.add(t, v)
+            n += 1
+        return n
+
+    def all_series(self) -> "List[TieredSeries]":
+        with self._lock:
+            items = list(self._series.items())
+        items.sort(key=lambda item: item[0])
+        return [tiered for _, tiered in items]
+
+    def names(self) -> "List[str]":
+        return sorted({tiered.name for tiered in self.all_series()})
+
+    def query(
+        self,
+        name: "Optional[str]" = None,
+        labels: "Optional[Dict[str, str]]" = None,
+        start: "Optional[float]" = None,
+        end: "Optional[float]" = None,
+        tier: str = TIER_RAW,
+    ) -> "List[Dict[str, Any]]":
+        """Windowed snapshots of every series matching the filter.
+
+        ``name`` matches exactly when given; ``labels`` is a *subset*
+        match (every given pair must be present on the series, extra
+        series labels are fine) — ``node=S001`` selects all of one
+        node's series.
+        """
+        want = {str(k): str(v) for k, v in (labels or {}).items()}
+        out: "List[Dict[str, Any]]" = []
+        for tiered in self.all_series():
+            if name is not None and tiered.name != name:
+                continue
+            if any(tiered.labels.get(k) != v for k, v in want.items()):
+                continue
+            out.append(tiered.snapshot(tier, start, end))
+        return out
+
+    def sample_count(self) -> int:
+        """Total retained points across every series and tier."""
+        return sum(t.sample_count() for t in self.all_series())
+
+    def series_count(self) -> int:
+        with self._lock:
+            return len(self._series)
+
+    def max_samples(self) -> int:
+        """Hard upper bound on retained points at the current series
+        count — the boundedness invariant long-run tests assert."""
+        per_series = 2 * self.raw_capacity + sum(
+            2 * cap for _, cap in self.tier_spec
+        )
+        return self.series_count() * per_series
+
+
+# ----------------------------------------------------------------------
+# Fleet rollups: cross-node aggregation
+# ----------------------------------------------------------------------
+def strip_labels(
+    labels: "Dict[str, str]", drop: "Sequence[str]"
+) -> "Dict[str, str]":
+    return {k: v for k, v in labels.items() if k not in drop}
+
+
+def fleet_rollup(
+    store: RollupStore, drop: "Sequence[str]" = ("node",)
+) -> "List[Dict[str, Any]]":
+    """Per-metric aggregation across nodes from the latest raw samples.
+
+    Groups series by ``(name, labels minus node)`` and folds the most
+    recent sample of each member: ``sum`` and ``max`` across the fleet,
+    plus how many nodes reported.  This is the one-glance answer to
+    "how much repair traffic is the whole fleet moving right now".
+    """
+    groups: "Dict[Tuple[Any, ...], Dict[str, Any]]" = {}
+    order: "List[Tuple[Any, ...]]" = []
+    for tiered in store.all_series():
+        last = tiered.raw.last()
+        if last is None:
+            continue
+        t, value = last
+        shared = strip_labels(tiered.labels, drop)
+        key = _series_key(tiered.name, shared)
+        entry = groups.get(key)
+        if entry is None:
+            entry = {
+                "name": tiered.name,
+                "labels": shared,
+                "nodes": 0,
+                "sum": 0.0,
+                "max": None,
+                "time": t,
+            }
+            groups[key] = entry
+            order.append(key)
+        entry["nodes"] += 1
+        entry["sum"] += value
+        if entry["max"] is None or value > entry["max"]:
+            entry["max"] = value
+        if t > entry["time"]:
+            entry["time"] = t
+    return [groups[key] for key in order]
+
+
+# ----------------------------------------------------------------------
+# Histogram merging: fleet quantiles from pooled buckets
+# ----------------------------------------------------------------------
+def merge_histogram_snapshots(
+    snaps: "Sequence[Dict[str, Any]]",
+) -> "Optional[Dict[str, Any]]":
+    """Fold histogram snapshots into one merged snapshot.
+
+    All inputs must share bucket bounds (they do when they come from the
+    same instrument on different nodes).  Returns None for an empty
+    input.  The merged snapshot's quantile estimates are computed from
+    the pooled bucket counts — exact to within one bucket width of the
+    quantile over the pooled raw observations.
+    """
+    merged: "Optional[Histogram]" = None
+    for snap in snaps:
+        hist = Histogram.from_snapshot(snap)
+        merged = hist if merged is None else merged.merge(hist)
+    return None if merged is None else merged.snapshot()
+
+
+def merge_histograms_by(
+    snaps: "Sequence[Dict[str, Any]]",
+    drop: "Sequence[str]" = ("node",),
+) -> "List[Dict[str, Any]]":
+    """Group histogram snapshots by ``(name, labels minus drop)`` and
+    merge each group — the fleet view of every pushed distribution."""
+    groups: "Dict[Tuple[Any, ...], List[Dict[str, Any]]]" = {}
+    order: "List[Tuple[Any, ...]]" = []
+    for snap in snaps:
+        shared = strip_labels(dict(snap.get("labels") or {}), drop)
+        key = _series_key(str(snap["name"]), shared)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(snap)
+    out: "List[Dict[str, Any]]" = []
+    for key in order:
+        merged = merge_histogram_snapshots(groups[key])
+        if merged is None:
+            continue
+        merged["labels"] = strip_labels(
+            dict(groups[key][0].get("labels") or {}), drop
+        )
+        out.append(merged)
+    return out

@@ -37,6 +37,7 @@ overhead budget.
 
 from __future__ import annotations
 
+import bisect
 import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -55,7 +56,16 @@ def _series_key(name: str, labels: "Dict[str, str]") -> "Tuple[Any, ...]":
 class Series:
     """One bounded time series: a ring buffer of ``(t, value)`` pairs."""
 
-    __slots__ = ("name", "labels", "capacity", "_samples", "_trim_at", "_lock")
+    __slots__ = (
+        "name",
+        "labels",
+        "capacity",
+        "appended",
+        "_samples",
+        "_trim_at",
+        "_ordered",
+        "_lock",
+    )
 
     def __init__(
         self,
@@ -69,12 +79,20 @@ class Series:
         self.name = name
         self.labels = labels
         self.capacity = capacity
+        #: Total samples ever appended (monotone, survives ring trims).
+        #: ``appended - len(retained)`` is the index of the oldest sample
+        #: still held — the cursor arithmetic :meth:`since` exposes to
+        #: delta shippers.
+        self.appended = 0
         # Amortized ring: a plain list trimmed back to `capacity` once it
         # doubles.  Readers only ever see the last `capacity` samples, so
         # the semantics match deque(maxlen=capacity) at a fraction of the
         # allocation and append cost.
         self._samples: "List[Tuple[float, float]]" = []
         self._trim_at = 2 * capacity
+        #: True while sample times are non-decreasing (the sampler
+        #: guarantee); lets :meth:`window` bisect instead of scanning.
+        self._ordered = True
         self._lock = lock if lock is not None else threading.Lock()
 
     def append(self, t: float, value: float) -> None:
@@ -85,32 +103,97 @@ class Series:
     def _append_locked(self, t: float, value: float) -> None:
         """Append with the lock already held (sampler fast path)."""
         buf = self._samples
+        if buf and t < buf[-1][0]:
+            self._ordered = False
         buf.append((t, value))
+        self.appended += 1
         if len(buf) >= self._trim_at:
             del buf[: len(buf) - self.capacity]
 
     def __len__(self) -> int:
         return min(len(self._samples), self.capacity)
 
+    def _retained_locked(self) -> "List[Tuple[float, float]]":
+        """The visible suffix (lock held).  May alias ``_samples``."""
+        buf = self._samples
+        if len(buf) > self.capacity:
+            return buf[-self.capacity :]
+        return buf
+
     def samples(self) -> "List[Tuple[float, float]]":
         """All retained samples, oldest first."""
         with self._lock:
-            buf = self._samples
-            if len(buf) > self.capacity:
-                return buf[-self.capacity :]
-            return list(buf)
+            retained = self._retained_locked()
+            return retained if retained is not self._samples else list(retained)
 
     def window(
         self,
         start: "Optional[float]" = None,
         end: "Optional[float]" = None,
     ) -> "List[Tuple[float, float]]":
-        """Samples with ``start <= t <= end`` (either bound optional)."""
+        """Samples with ``start <= t <= end`` (either bound optional).
+
+        Both bounds are inclusive; an inverted window (``start > end``)
+        is empty.  Time-ordered series (every sampler-fed series) locate
+        the bounds by bisection; a series with out-of-order inserts
+        falls back to a scan so exact inclusive semantics hold either
+        way.
+        """
+        with self._lock:
+            return self._window_locked(start, end)
+
+    def _window_locked(
+        self, start: "Optional[float]", end: "Optional[float]"
+    ) -> "List[Tuple[float, float]]":
+        retained = self._retained_locked()
+        if start is None and end is None:
+            return (
+                retained if retained is not self._samples else list(retained)
+            )
+        if start is not None and end is not None and start > end:
+            return []
+        if self._ordered:
+            # keys are the sample times; bisect on a lazy key view
+            times = [t for t, _ in retained]
+            lo = 0 if start is None else bisect.bisect_left(times, start)
+            hi = len(retained) if end is None else bisect.bisect_right(
+                times, end
+            )
+            return retained[lo:hi]
         return [
             (t, v)
-            for t, v in self.samples()
+            for t, v in retained
             if (start is None or t >= start) and (end is None or t <= end)
         ]
+
+    def since(self, cursor: int) -> "Tuple[List[Tuple[float, float]], int, int]":
+        """Samples appended after position ``cursor``; the delta API.
+
+        ``cursor`` is a value previously returned by this method (0 for
+        "from the beginning").  Returns ``(samples, new_cursor,
+        dropped)`` where ``dropped`` counts samples that were appended
+        after the cursor but already aged out of the ring — the shipper
+        surfaces that as telemetry loss instead of silently skipping.
+        Cursor arithmetic is by append *count*, not by timestamp, so
+        duplicate timestamps (two probes on one grid point, or a clock
+        that stalls) can never drop or double-ship a sample.
+        """
+        if cursor < 0:
+            raise ValueError(f"cursor must be >= 0, got {cursor}")
+        with self._lock:
+            total = self.appended
+            if cursor >= total:
+                return [], total, 0
+            # Slice the delta straight out of the backing list — going
+            # through _retained_locked() would copy the whole retained
+            # ring just to re-slice it, which the shipper pays on every
+            # heartbeat.
+            buf = self._samples
+            retained_len = min(len(buf), self.capacity)
+            oldest = total - retained_len
+            dropped = max(0, oldest - cursor)
+            start = len(buf) - retained_len + max(cursor - oldest, 0)
+            return buf[start:], total, dropped
 
     def last(self) -> "Optional[Tuple[float, float]]":
         """Most recent sample, or None when empty."""
@@ -121,14 +204,27 @@ class Series:
         """Just the sample values, oldest first (for sparklines)."""
         return [v for _, v in self.samples()]
 
-    def snapshot(self) -> "Dict[str, Any]":
-        """JSON-friendly form (the ``type: "series"`` JSONL record body)."""
-        return {
-            "name": self.name,
-            "labels": self.labels,
-            "capacity": self.capacity,
-            "samples": [[t, v] for t, v in self.samples()],
-        }
+    def snapshot(
+        self,
+        start: "Optional[float]" = None,
+        end: "Optional[float]" = None,
+    ) -> "Dict[str, Any]":
+        """JSON-friendly form (the ``type: "series"`` JSONL record body).
+
+        Optional inclusive bounds window the samples under a single lock
+        acquisition — the store's windowed snapshot used to copy every
+        series twice (full snapshot, then re-window), which both doubled
+        the cost and could observe two different ring states between the
+        copies.
+        """
+        with self._lock:
+            samples = self._window_locked(start, end)
+            return {
+                "name": self.name,
+                "labels": self.labels,
+                "capacity": self.capacity,
+                "samples": [[t, v] for t, v in samples],
+            }
 
 
 class TimeSeriesStore:
@@ -178,15 +274,7 @@ class TimeSeriesStore:
         end: "Optional[float]" = None,
     ) -> "List[Dict[str, Any]]":
         """JSON-friendly view of every series, windowed if bounds given."""
-        out: "List[Dict[str, Any]]" = []
-        for series in self.all_series():
-            snap = series.snapshot()
-            if start is not None or end is not None:
-                snap["samples"] = [
-                    [t, v] for t, v in series.window(start, end)
-                ]
-            out.append(snap)
-        return out
+        return [series.snapshot(start, end) for series in self.all_series()]
 
     def load(self, snapshots: "List[Dict[str, Any]]") -> None:
         """Rebuild series from :meth:`snapshot` output (trace replay)."""
@@ -272,10 +360,7 @@ class Sampler:
                     value = float(probe())
                 except Exception:
                     continue  # a dead probe must not kill the sampler
-                buf = series._samples
-                buf.append((t, value))
-                if len(buf) >= series._trim_at:
-                    del buf[: len(buf) - series.capacity]
+                series._append_locked(t, value)
         self.samples_taken += 1
         self._last_sample = now
 

@@ -1,0 +1,170 @@
+"""Property-based tests: histogram merging and tiered retention.
+
+The fleet-wide quantile claim the collector makes is only sound if
+``Histogram.merge`` behaves like pooling the raw observations: merge
+must be associative and commutative (batch arrival order cannot matter),
+and a quantile computed from merged buckets must match the same quantile
+over the pooled samples to within one bucket width.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram
+from repro.obs.rollup import DownsampledTier, merge_histogram_snapshots
+from repro.qos.slo import QOS_BUCKETS
+
+# Latency-like observations spanning the QOS bucket range.
+observations = st.lists(
+    st.floats(min_value=1e-4, max_value=200.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=60,
+)
+
+
+def make_hist(values, node="S1"):
+    h = Histogram("lat", {"node": node}, QOS_BUCKETS)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def bucket_width_bound(q_value):
+    """One log-bucket width around ``q_value``: the neighbouring QOS
+    bucket bounds (or the extremes past the grid)."""
+    below = [b for b in QOS_BUCKETS if b <= q_value]
+    above = [b for b in QOS_BUCKETS if b >= q_value]
+    lo = below[-1] if below else 0.0
+    hi = above[0] if above else math.inf
+    return lo, hi
+
+
+class TestMergeAlgebra:
+    @given(observations, observations)
+    @settings(max_examples=100, deadline=None)
+    def test_commutative(self, a, b):
+        left = make_hist(a).merge(make_hist(b, "S2")).snapshot()
+        right = make_hist(b, "S2").merge(make_hist(a)).snapshot()
+        for key in ("count", "min", "max", "bucket_counts"):
+            assert left[key] == right[key]
+        assert math.isclose(left["sum"], right["sum"], abs_tol=1e-9)
+
+    @given(observations, observations, observations)
+    @settings(max_examples=100, deadline=None)
+    def test_associative(self, a, b, c):
+        ha, hb, hc = make_hist(a), make_hist(b, "S2"), make_hist(c, "S3")
+        left = ha.merge(hb).merge(hc).snapshot()
+        right = ha.merge(hb.merge(hc)).snapshot()
+        for key in ("count", "min", "max", "bucket_counts"):
+            assert left[key] == right[key]
+        assert math.isclose(left["sum"], right["sum"], abs_tol=1e-9)
+
+    @given(observations, observations)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_pooled_observation(self, a, b):
+        """Merging two nodes' histograms == observing the pooled stream
+        into one histogram."""
+        merged = make_hist(a).merge(make_hist(b, "S2")).snapshot()
+        pooled = make_hist(a + b).snapshot()
+        for key in ("count", "min", "max", "bucket_counts"):
+            assert merged[key] == pooled[key]
+        assert math.isclose(merged["sum"], pooled["sum"], abs_tol=1e-9)
+
+    @given(observations)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_with_empty_is_identity(self, a):
+        merged = make_hist(a).merge(make_hist([], "S2")).snapshot()
+        alone = make_hist(a).snapshot()
+        for key in ("count", "sum", "min", "max", "bucket_counts"):
+            assert merged[key] == alone[key]
+
+    @given(observations)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_pure(self, a):
+        """Merging must not mutate either operand."""
+        ha, hb = make_hist(a), make_hist(a, "S2")
+        before_a, before_b = ha.snapshot(), hb.snapshot()
+        ha.merge(hb)
+        assert ha.snapshot() == before_a
+        assert hb.snapshot() == before_b
+
+
+class TestMergedQuantiles:
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=1e-3, max_value=100.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=40,
+            ),
+            min_size=1, max_size=5,
+        ),
+        st.sampled_from([0.5, 0.95, 0.99]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_merged_quantile_within_one_bucket_of_pooled(self, nodes, q):
+        """The acceptance criterion: a fleet quantile from merged bucket
+        counts brackets the exact pooled-sample quantile to within one
+        log-bucket width."""
+        snaps = [
+            make_hist(vals, f"S{i}").snapshot()
+            for i, vals in enumerate(nodes)
+        ]
+        merged = merge_histogram_snapshots(snaps)
+        estimate = merged[f"p{int(q * 100)}"]
+
+        pooled = sorted(v for vals in nodes for v in vals)
+        exact = pooled[min(len(pooled) - 1, int(math.ceil(q * len(pooled))) - 1)]
+        lo, hi = bucket_width_bound(exact)
+        # The estimate interpolates inside the bucket holding the exact
+        # quantile, so it can land anywhere in [lo, hi].
+        assert lo - 1e-9 <= estimate <= hi + 1e-9
+
+
+class TestTierConservation:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=500.0,
+                          allow_nan=False, allow_infinity=False),
+                st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False),
+            ),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_buckets_conserve_count_sum_min_max(self, points):
+        """With enough capacity, downsampling loses no mass: totals over
+        buckets equal totals over the raw in-order stream."""
+        points = sorted(points)  # in-order ingest (the shipping path)
+        tier = DownsampledTier(10.0, capacity=1000)
+        for t, v in points:
+            tier.add(t, v)
+        buckets = tier.buckets()
+        assert sum(b["count"] for b in buckets) == len(points)
+        if points:
+            total = sum(v for _, v in points)
+            assert math.isclose(
+                sum(b["sum"] for b in buckets), total, abs_tol=1e-6
+            )
+            assert min(b["min"] for b in buckets) == min(v for _, v in points)
+            assert max(b["max"] for b in buckets) == max(v for _, v in points)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10000.0,
+                      allow_nan=False, allow_infinity=False),
+            max_size=200,
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_retention_never_exceeds_capacity(self, times, capacity):
+        tier = DownsampledTier(10.0, capacity=capacity)
+        for t in sorted(times):
+            tier.add(t, 1.0)
+        assert len(tier) <= capacity
+        assert len(tier.buckets()) <= capacity

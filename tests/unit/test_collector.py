@@ -1,0 +1,304 @@
+"""Shipper/collector push path: deltas, backpressure, idempotent ingest.
+
+The failure modes the ISSUE calls out get explicit coverage here:
+collector down (bounded queue + drop counters, no unbounded memory),
+node restart mid-push (new boot id accepted with a reset sequence), and
+duplicate batch delivery (acknowledged, not re-applied).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.collector import (
+    DEFAULT_MAX_QUEUE,
+    TelemetryCollector,
+    TelemetryShipper,
+)
+from repro.obs.metrics import Histogram
+from repro.obs.timeseries import TimeSeriesStore
+
+
+def make_shipper(node="S1", capacity=64, max_queue=4, **kw):
+    store = TimeSeriesStore(capacity=capacity)
+    return store, TelemetryShipper(node, store, max_queue=max_queue, **kw)
+
+
+class TestShipperBatches:
+    def test_batch_carries_only_new_samples(self):
+        store, shipper = make_shipper()
+        store.record("q", 1.0, 10.0, node="S1")
+        first = shipper.collect(now=1.0)
+        assert first["seq"] == 1
+        assert first["series"][0]["samples"] == [(1.0, 10.0)]
+        shipper.mark_sent()
+
+        store.record("q", 2.0, 20.0, node="S1")
+        second = shipper.collect(now=2.0)
+        assert second["seq"] == 2
+        # Delta only — the first sample does not re-ship.
+        assert second["series"][0]["samples"] == [(2.0, 20.0)]
+
+    def test_quiet_series_omitted_but_batch_still_cut(self):
+        _, shipper = make_shipper()
+        batch = shipper.collect(now=5.0)
+        assert batch["series"] == []
+        assert batch["now"] == 5.0
+
+    def test_duplicate_timestamps_ship_once_each(self):
+        store, shipper = make_shipper()
+        s = store.series("q")
+        s.append(1.0, 1.0)
+        s.append(1.0, 2.0)  # same timestamp, distinct sample
+        batch = shipper.collect(now=1.0)
+        assert batch["series"][0]["samples"] == [(1.0, 1.0), (1.0, 2.0)]
+        shipper.mark_sent()
+        assert shipper.collect(now=2.0)["series"] == []
+
+    def test_ring_wrap_loss_is_counted_not_silent(self):
+        store, shipper = make_shipper(capacity=4)
+        s = store.series("q")
+        for i in range(10):
+            s.append(float(i), float(i))
+        entry = shipper.collect(now=10.0)["series"][0]
+        assert len(entry["samples"]) == 4
+        assert entry["dropped"] == 6
+        assert shipper.wrapped_samples == 6
+
+    def test_hists_and_health_piggyback(self):
+        h = Histogram("lat", {"node": "S1"}, (1.0, 2.0))
+        h.observe(0.5)
+        store = TimeSeriesStore()
+        shipper = TelemetryShipper(
+            "S1",
+            store,
+            hists=lambda: [h.snapshot()],
+            health=lambda: {"server_id": "S1", "alive": True},
+        )
+        batch = shipper.collect(now=0.0)
+        assert batch["hists"][0]["count"] == 1
+        assert batch["health"]["alive"] is True
+
+    def test_invalid_queue_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryShipper("S1", TimeSeriesStore(), max_queue=0)
+        assert DEFAULT_MAX_QUEUE >= 1
+
+
+class TestCollectorDown:
+    """Failure mode: the collector is unreachable for a long time."""
+
+    def test_queue_is_bounded_with_drop_oldest(self):
+        store, shipper = make_shipper(max_queue=3)
+        for i in range(10):
+            store.record("q", float(i), float(i))
+            shipper.collect(now=float(i))
+        assert len(shipper) == 3
+        assert shipper.dropped_batches == 7
+        # The oldest *retained* batch is from the 8th collect.
+        assert shipper.next_batch()["seq"] == 8
+
+    def test_dropped_samples_accounted(self):
+        store, shipper = make_shipper(max_queue=1)
+        store.record("q", 0.0, 1.0)
+        shipper.collect(now=0.0)  # will be dropped
+        store.record("q", 1.0, 2.0)
+        shipper.collect(now=1.0)
+        assert shipper.dropped_batches == 1
+        assert shipper.dropped_samples == 1
+        # The surviving batch advertises the node-side loss.
+        assert shipper.next_batch()["queue_dropped"] == 1
+
+    def test_flush_stops_at_first_failure_and_retries_later(self):
+        store, shipper = make_shipper()
+        store.record("q", 0.0, 1.0)
+        shipper.collect(now=0.0)
+
+        def down(_batch):
+            raise ConnectionError("collector unreachable")
+
+        assert shipper.flush(down) == 0
+        assert len(shipper) == 1  # batch stays queued
+        collector = TelemetryCollector()
+        assert shipper.flush(collector.ingest) == 1
+        assert len(shipper) == 0
+        assert collector.samples_ingested == 1
+
+    def test_memory_bounded_during_long_outage(self):
+        store, shipper = make_shipper(capacity=8, max_queue=2)
+        for i in range(1000):
+            store.record("q", float(i), 1.0)
+            shipper.collect(now=float(i))
+        # Queue never exceeds its bound; each queued batch holds at most
+        # one ring of samples.
+        assert len(shipper) == 2
+        total_queued = sum(
+            len(s["samples"])
+            for b in (shipper.next_batch(),)
+            for s in b["series"]
+        )
+        assert total_queued <= 8
+        assert shipper.stats()["dropped_batches"] == 998
+
+
+class TestIdempotentIngest:
+    def test_duplicate_batch_acked_not_reapplied(self):
+        store, shipper = make_shipper()
+        store.record("q", 1.0, 5.0, node="S1")
+        batch = shipper.collect(now=1.0)
+        collector = TelemetryCollector()
+        first = collector.ingest(batch)
+        assert first == {
+            "ok": True,
+            "duplicate": False,
+            "node": "S1",
+            "seq": 1,
+            "samples": 1,
+        }
+        again = collector.ingest(batch)  # redelivery
+        assert again["duplicate"] is True
+        assert collector.batches_duplicate == 1
+        assert collector.samples_ingested == 1
+        snap = collector.query(name="q")[0]
+        assert snap["samples"] == [[1.0, 5.0]]
+
+    def test_stale_seq_within_boot_rejected_as_duplicate(self):
+        collector = TelemetryCollector()
+        collector.ingest({"node": "S1", "boot": "b1", "seq": 5, "now": 0.0})
+        old = collector.ingest(
+            {"node": "S1", "boot": "b1", "seq": 3, "now": 0.0}
+        )
+        assert old["duplicate"] is True
+
+    def test_restart_mid_push_new_boot_accepted(self):
+        """Failure mode: node restarts, seq resets — must not be treated
+        as a duplicate."""
+        collector = TelemetryCollector()
+        store1, shipper1 = make_shipper()
+        store1.record("q", 1.0, 1.0, node="S1")
+        collector.ingest(shipper1.collect(now=1.0))  # seq 1, boot A
+
+        # Restart: fresh shipper, fresh boot id, seq starts over at 1.
+        store2, shipper2 = make_shipper()
+        assert shipper2.boot != shipper1.boot
+        store2.record("q", 2.0, 2.0, node="S1")
+        res = collector.ingest(shipper2.collect(now=2.0))
+        assert res["duplicate"] is False
+        assert collector.query(name="q")[0]["samples"] == [
+            [1.0, 1.0],
+            [2.0, 2.0],
+        ]
+
+    def test_missing_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryCollector().ingest({"seq": 1})
+
+
+class TestCollectorQueries:
+    def _populated(self):
+        collector = TelemetryCollector()
+        for node, value in (("S1", 10.0), ("S2", 30.0)):
+            store = TimeSeriesStore()
+            h = Histogram("lat", {"node": node}, (1.0, 2.0, 4.0))
+            h.observe(value / 20.0)
+            shipper = TelemetryShipper(
+                node,
+                store,
+                hists=lambda h=h: [h.snapshot()],
+                health=lambda node=node: {"server_id": node, "alive": True},
+            )
+            store.record("bytes.moved", 1.0, value, node=node)
+            shipper.collect(now=1.0)
+            shipper.flush(collector.ingest)
+        return collector
+
+    def test_node_label_defaulted_but_not_overwritten(self):
+        collector = TelemetryCollector()
+        collector.ingest(
+            {
+                "node": "sim",
+                "boot": "b",
+                "seq": 1,
+                "now": 0.0,
+                "series": [
+                    {"name": "a", "labels": {}, "samples": [[0.0, 1.0]]},
+                    {
+                        "name": "a",
+                        "labels": {"node": "S7"},
+                        "samples": [[0.0, 2.0]],
+                    },
+                ],
+            }
+        )
+        labels = {tuple(s["labels"].items()) for s in collector.query()}
+        assert (("node", "sim"),) in labels
+        assert (("node", "S7"),) in labels
+
+    def test_fleet_merges_hists_across_nodes(self):
+        collector = self._populated()
+        fleet = collector.fleet()
+        assert fleet["nodes"] == ["S1", "S2"]
+        rollup = {r["name"]: r for r in fleet["rollup"]}
+        assert rollup["bytes.moved"]["sum"] == 40.0
+        merged = fleet["hists"]
+        assert len(merged) == 1
+        assert merged[0]["count"] == 2
+        assert "node" not in merged[0]["labels"]
+
+    def test_top_is_one_complete_frame(self):
+        collector = self._populated()
+        frame = collector.top(now=1.5, stale_after=10.0)
+        assert set(frame) == {
+            "time",
+            "fleet",
+            "series",
+            "rollup",
+            "hists",
+            "collector",
+        }
+        assert sorted(frame["fleet"]) == ["S1", "S2"]
+        assert frame["fleet"]["S1"]["alive"] is True
+
+    def test_top_staleness_marks_silent_node_dead(self):
+        collector = self._populated()
+        frame = collector.top(now=100.0, stale_after=10.0)
+        assert frame["fleet"]["S1"]["alive"] is False
+
+    def test_prom_exposes_node_and_fleet_families(self):
+        text = self._populated().prom()
+        assert 'repro_bytes_moved{node="S1"} 10' in text
+        assert "repro_lat_fleet_count 2" in text
+
+    def test_stats_counters(self):
+        stats = self._populated().stats()
+        assert stats["nodes"] == 2
+        assert stats["batches_ingested"] == 2
+        assert stats["retained_samples"] <= stats["retained_bound"]
+
+    def test_handle_query_dispatch(self):
+        collector = self._populated()
+        assert collector.handle_query({"what": "stats"}, now=1.0)["nodes"] == 2
+        assert collector.handle_query({}, now=1.0)["series"]
+        assert "text" in collector.handle_query({"what": "prom"}, now=1.0)
+        filtered = collector.handle_query(
+            {"metric": "bytes.moved", "labels": {"node": "S2"}}, now=1.0
+        )
+        assert len(filtered["series"]) == 1
+        with pytest.raises(ConfigurationError):
+            collector.handle_query({"what": "nope"}, now=1.0)
+
+    def test_handle_query_tier_and_window(self):
+        collector = TelemetryCollector()
+        store = TimeSeriesStore(capacity=256)
+        shipper = TelemetryShipper("S1", store)
+        s = store.series("q", node="S1")
+        for i in range(100):
+            s.append(float(i), float(i))
+        shipper.collect(now=100.0)
+        shipper.flush(collector.ingest)
+        out = collector.handle_query(
+            {"metric": "q", "tier": "10s", "start": 20.0, "end": 40.0},
+            now=100.0,
+        )
+        buckets = out["series"][0]["buckets"]
+        assert [b["t"] for b in buckets] == [20.0, 30.0, 40.0]
+        assert buckets[0]["count"] == 10

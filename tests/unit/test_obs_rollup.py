@@ -1,0 +1,233 @@
+"""Tiered retention and fleet rollups (``repro.obs.rollup``)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Histogram
+from repro.obs.rollup import (
+    DEFAULT_TIERS,
+    TIER_RAW,
+    DownsampledTier,
+    RollupStore,
+    TieredSeries,
+    fleet_rollup,
+    merge_histogram_snapshots,
+    merge_histograms_by,
+    strip_labels,
+    tier_name,
+)
+
+
+class TestTierName:
+    def test_integral_widths(self):
+        assert tier_name(10.0) == "10s"
+        assert tier_name(60) == "60s"
+
+    def test_fractional_width(self):
+        assert tier_name(0.5) == "0.5s"
+
+
+class TestDownsampledTier:
+    def test_samples_fold_into_fixed_buckets(self):
+        tier = DownsampledTier(10.0, capacity=10)
+        tier.add(1.0, 5.0)
+        tier.add(9.9, 7.0)
+        tier.add(10.0, 100.0)  # next bucket
+        buckets = tier.buckets()
+        assert [b["t"] for b in buckets] == [0.0, 10.0]
+        first = buckets[0]
+        assert first["count"] == 2
+        assert first["sum"] == 12.0
+        assert first["min"] == 5.0
+        assert first["max"] == 7.0
+        assert first["mean"] == 6.0
+        assert buckets[1] == {
+            "t": 10.0,
+            "count": 1,
+            "sum": 100.0,
+            "min": 100.0,
+            "max": 100.0,
+            "mean": 100.0,
+        }
+
+    def test_negative_time_buckets_floor_correctly(self):
+        tier = DownsampledTier(10.0, capacity=4)
+        tier.add(-1.0, 1.0)
+        assert tier.buckets()[0]["t"] == -10.0
+
+    def test_ring_bounds_bucket_count(self):
+        tier = DownsampledTier(1.0, capacity=3)
+        for i in range(50):
+            tier.add(float(i), 1.0)
+        assert len(tier) == 3
+        assert [b["t"] for b in tier.buckets()] == [47.0, 48.0, 49.0]
+
+    def test_out_of_order_folds_into_retained_bucket(self):
+        tier = DownsampledTier(10.0, capacity=10)
+        tier.add(5.0, 1.0)
+        tier.add(25.0, 1.0)
+        tier.add(7.0, 9.0)  # late sample for the first bucket
+        first = tier.buckets()[0]
+        assert first["count"] == 2
+        assert first["max"] == 9.0
+
+    def test_out_of_order_past_horizon_dropped(self):
+        tier = DownsampledTier(1.0, capacity=2)
+        for i in range(10):
+            tier.add(float(i), 1.0)
+        tier.add(0.5, 99.0)  # bucket 0.0 aged out long ago
+        assert all(b["max"] != 99.0 for b in tier.buckets())
+        assert len(tier) == 2
+
+    def test_window_is_inclusive_on_bucket_start(self):
+        tier = DownsampledTier(10.0, capacity=10)
+        for t in (0.0, 10.0, 20.0, 30.0):
+            tier.add(t, 1.0)
+        assert [b["t"] for b in tier.buckets(10.0, 20.0)] == [10.0, 20.0]
+        assert [b["t"] for b in tier.buckets(start=25.0)] == [30.0]
+        assert tier.buckets(start=100.0) == []
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DownsampledTier(0.0, capacity=1)
+        with pytest.raises(ConfigurationError):
+            DownsampledTier(1.0, capacity=0)
+
+
+class TestTieredSeries:
+    def test_add_feeds_every_tier(self):
+        ts = TieredSeries("x", {"node": "S1"}, raw_capacity=100)
+        for i in range(25):
+            ts.add(float(i), float(i))
+        raw = ts.snapshot(TIER_RAW)
+        assert raw["tier"] == "raw"
+        assert len(raw["samples"]) == 25
+        ten = ts.snapshot("10s")
+        assert ten["width"] == 10.0
+        assert [b["t"] for b in ten["buckets"]] == [0.0, 10.0, 20.0]
+        sixty = ts.snapshot("60s")
+        assert len(sixty["buckets"]) == 1
+        assert sixty["buckets"][0]["count"] == 25
+
+    def test_unknown_tier_raises(self):
+        ts = TieredSeries("x", {})
+        with pytest.raises(KeyError):
+            ts.snapshot("5s")
+
+    def test_sample_count_spans_tiers(self):
+        ts = TieredSeries("x", {}, raw_capacity=4)
+        for i in range(8):
+            ts.add(float(i), 1.0)
+        # raw ring holds 4; 1s-less tiers hold 1 bucket each window
+        assert ts.sample_count() == len(ts.raw) + sum(
+            len(t) for t in ts.tiers.values()
+        )
+
+
+class TestRollupStore:
+    def test_query_name_and_subset_label_match(self):
+        store = RollupStore()
+        store.add("q", {"node": "S1", "disk": "0"}, [(1.0, 5.0)])
+        store.add("q", {"node": "S2"}, [(1.0, 7.0)])
+        store.add("other", {"node": "S1"}, [(1.0, 1.0)])
+        assert len(store.query(name="q")) == 2
+        got = store.query(name="q", labels={"node": "S1"})
+        assert len(got) == 1
+        assert got[0]["labels"] == {"node": "S1", "disk": "0"}
+        assert store.query(labels={"node": "S1"}, tier="10s")[0]["buckets"]
+
+    def test_windowed_raw_query(self):
+        store = RollupStore()
+        store.add("q", {}, [(float(i), float(i)) for i in range(10)])
+        snap = store.query(name="q", start=3.0, end=5.0)[0]
+        assert snap["samples"] == [[3.0, 3.0], [4.0, 4.0], [5.0, 5.0]]
+
+    def test_memory_stays_under_max_samples_forever(self):
+        """The boundedness invariant: retained points never exceed the
+        advertised hard bound no matter how many samples flow in."""
+        store = RollupStore(raw_capacity=16, tiers=((10.0, 8), (60.0, 4)))
+        for node in ("S1", "S2", "S3"):
+            for i in range(5000):
+                store.add("x", {"node": node}, [(float(i), 1.0)])
+                assert store.sample_count() <= store.max_samples()
+        assert store.series_count() == 3
+        assert store.max_samples() == 3 * (2 * 16 + 2 * 8 + 2 * 4)
+
+    def test_tier_names(self):
+        assert RollupStore().tier_names == ["raw", "10s", "60s"]
+        assert DEFAULT_TIERS == ((10.0, 360), (60.0, 240))
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RollupStore(raw_capacity=0)
+
+
+class TestFleetRollup:
+    def test_groups_across_node_label(self):
+        store = RollupStore()
+        store.add("bytes.moved", {"node": "S1"}, [(1.0, 10.0), (2.0, 30.0)])
+        store.add("bytes.moved", {"node": "S2"}, [(2.0, 12.0)])
+        store.add("queue", {"node": "S1", "disk": "0"}, [(2.0, 4.0)])
+        rollup = fleet_rollup(store)
+        by_name = {r["name"]: r for r in rollup}
+        moved = by_name["bytes.moved"]
+        # Latest value per node: S1=30, S2=12.
+        assert moved["nodes"] == 2
+        assert moved["sum"] == 42.0
+        assert moved["max"] == 30.0
+        assert moved["labels"] == {}
+        assert by_name["queue"]["labels"] == {"disk": "0"}
+
+    def test_empty_series_skipped(self):
+        store = RollupStore()
+        store.series("never.sampled", node="S1")
+        assert fleet_rollup(store) == []
+
+    def test_strip_labels(self):
+        assert strip_labels({"node": "S1", "a": "b"}, ("node",)) == {"a": "b"}
+
+
+class TestHistogramMergeHelpers:
+    def _hist(self, node, values):
+        h = Histogram("lat", {"node": node}, (1.0, 2.0, 4.0))
+        for v in values:
+            h.observe(v)
+        return h.snapshot()
+
+    def test_merge_pools_counts(self):
+        snaps = [self._hist("S1", [0.5, 1.5]), self._hist("S2", [3.0])]
+        merged = merge_histogram_snapshots(snaps)
+        assert merged["count"] == 3
+        assert merged["min"] == 0.5
+        assert merged["max"] == 3.0
+        assert merged["bucket_counts"] == [1, 1, 1, 0]
+
+    def test_merge_empty_input_is_none(self):
+        assert merge_histogram_snapshots([]) is None
+
+    def test_merge_by_drops_node_and_groups_by_name(self):
+        snaps = [
+            self._hist("S1", [0.5]),
+            self._hist("S2", [1.5]),
+            {
+                "kind": "histogram",
+                "name": "other",
+                "labels": {"node": "S1"},
+                "count": 0,
+                "sum": 0.0,
+                "min": None,
+                "max": None,
+                "buckets": [1.0],
+                "bucket_counts": [0, 0],
+            },
+        ]
+        merged = merge_histograms_by(snaps)
+        assert [m["name"] for m in merged] == ["lat", "other"]
+        assert merged[0]["count"] == 2
+        assert merged[0]["labels"] == {}
+
+    def test_mismatched_buckets_rejected(self):
+        a = Histogram("x", {}, (1.0, 2.0))
+        b = Histogram("x", {}, (1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)

@@ -41,6 +41,50 @@ class TestSeries:
         with pytest.raises(ValueError):
             Series("x", {}, capacity=0)
 
+    def test_window_after_ring_wrap(self):
+        """Regression: window bounds must apply to the *retained* suffix
+        only — samples that wrapped out of the ring never reappear."""
+        s = Series("x", {}, capacity=3)
+        for i in range(10):
+            s.append(float(i), float(i))
+        assert s.window(0.0, 9.0) == [(7.0, 7.0), (8.0, 8.0), (9.0, 9.0)]
+        assert s.window(end=6.0) == []  # all wrapped out
+
+    def test_inverted_window_is_empty(self):
+        s = Series("x", {})
+        for i in range(5):
+            s.append(float(i), float(i))
+        assert s.window(3.0, 1.0) == []
+
+    def test_window_outside_range_is_empty(self):
+        s = Series("x", {})
+        s.append(1.0, 1.0)
+        assert s.window(5.0, 9.0) == []
+        assert s.window(start=2.0) == []
+        assert s.window(end=0.5) == []
+
+    def test_window_with_duplicate_timestamps(self):
+        s = Series("x", {})
+        s.append(1.0, 1.0)
+        s.append(1.0, 2.0)
+        s.append(2.0, 3.0)
+        assert s.window(1.0, 1.0) == [(1.0, 1.0), (1.0, 2.0)]
+
+    def test_window_out_of_order_inserts_exact(self):
+        s = Series("x", {})
+        s.append(3.0, 3.0)
+        s.append(1.0, 1.0)  # out of order: falls back to scan
+        s.append(2.0, 2.0)
+        assert s.window(1.0, 2.0) == [(1.0, 1.0), (2.0, 2.0)]
+
+    def test_windowed_snapshot_matches_window(self):
+        s = Series("x", {}, capacity=4)
+        for i in range(8):
+            s.append(float(i), float(i))
+        snap = s.snapshot(start=5.0, end=6.0)
+        assert [tuple(p) for p in snap["samples"]] == s.window(5.0, 6.0)
+        assert snap["samples"] == [[5.0, 5.0], [6.0, 6.0]]
+
     def test_snapshot_shape(self):
         s = Series("net", {"node": "S1"}, capacity=7)
         s.append(0.5, 0.25)
@@ -51,6 +95,57 @@ class TestSeries:
             "capacity": 7,
             "samples": [[0.5, 0.25]],
         }
+
+
+class TestSince:
+    """The append-count delta API that feeds the telemetry shipper."""
+
+    def test_cursor_advances_without_reshipping(self):
+        s = Series("x", {})
+        s.append(1.0, 1.0)
+        got, cursor, dropped = s.since(0)
+        assert (got, cursor, dropped) == ([(1.0, 1.0)], 1, 0)
+        s.append(2.0, 2.0)
+        got, cursor, dropped = s.since(cursor)
+        assert (got, cursor, dropped) == ([(2.0, 2.0)], 2, 0)
+        assert s.since(cursor) == ([], 2, 0)
+
+    def test_ring_wrap_loss_counted(self):
+        s = Series("x", {}, capacity=3)
+        _, cursor, _ = s.since(0)
+        for i in range(10):
+            s.append(float(i), float(i))
+        got, cursor, dropped = s.since(cursor)
+        assert got == [(7.0, 7.0), (8.0, 8.0), (9.0, 9.0)]
+        assert cursor == 10
+        assert dropped == 7
+
+    def test_duplicate_timestamps_never_double_ship(self):
+        s = Series("x", {})
+        s.append(1.0, 1.0)
+        s.append(1.0, 2.0)
+        got, cursor, _ = s.since(0)
+        assert got == [(1.0, 1.0), (1.0, 2.0)]
+        s.append(1.0, 3.0)  # clock stalled on the same grid point
+        got, cursor, _ = s.since(cursor)
+        assert got == [(1.0, 3.0)]
+
+    def test_sampler_fed_series_support_since(self):
+        """Regression: Sampler.sample() must route through the normal
+        append path so the monotone append counter stays correct."""
+        store = TimeSeriesStore()
+        sampler = Sampler(store, interval=1.0)
+        sampler.add_probe("val", lambda: 7.0)
+        sampler.sample(0.0)
+        sampler.sample(1.0)
+        series = store.series("val")
+        assert series.appended == 2
+        got, cursor, dropped = series.since(0)
+        assert (got, cursor, dropped) == ([(0.0, 7.0), (1.0, 7.0)], 2, 0)
+
+    def test_negative_cursor_rejected(self):
+        with pytest.raises(ValueError):
+            Series("x", {}).since(-1)
 
 
 class TestTimeSeriesStore:

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""CI smoke: the fleet collector must serve a one-RPC cockpit.
+
+Brings up a live loopback-TCP fleet with collector pushing enabled, runs
+one PPR repair, lets a few heartbeat cadences elapse, and requires:
+
+1. every node's pushed batches landed (ingest counters, retained points
+   within the advertised hard bound),
+2. the fleet rollup's ``bytes.moved`` total to equal the sum of the
+   per-node series read directly from the in-process servers (the
+   push path loses nothing),
+3. ``repro top --collector`` to render every server from a single
+   COLLECTOR_QUERY RPC, and
+4. ``repro query`` to serve a 10s-tier window and a Prometheus
+   exposition of the whole fleet.
+
+Usage::
+
+    PYTHONPATH=src python tools/collector_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+CLI_TIMEOUT_S = 60
+
+
+async def run_cli(*argv: str) -> str:
+    """One ``repro`` CLI invocation while the fleet is up."""
+    proc = await asyncio.create_subprocess_exec(
+        sys.executable, "-m", "repro", *argv,
+        stdout=asyncio.subprocess.PIPE,
+        stderr=asyncio.subprocess.PIPE,
+    )
+    stdout, stderr = await asyncio.wait_for(
+        proc.communicate(), timeout=CLI_TIMEOUT_S
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"repro {' '.join(argv)} exited {proc.returncode}:\n"
+            f"{stderr.decode()}"
+        )
+    return stdout.decode()
+
+
+async def smoke() -> int:
+    from repro.live import LiveCluster, LiveConfig
+    from repro.live.wire import MessageType
+
+    config = LiveConfig(
+        heartbeat_interval=0.2,
+        failure_detection_timeout=2.0,
+        rpc_timeout=5.0,
+        repair_timeout=30.0,
+        collector_enabled=True,
+    )
+    async with LiveCluster(
+        num_servers=8, config=config, payload_bytes=1152
+    ) as cluster:
+        stripe = await cluster.write_stripe("rs(4,2)")
+        await cluster.kill_server(stripe.hosts[1])
+        report = await cluster.repair(
+            stripe.stripe_id, lost_index=1, strategy="ppr"
+        )
+        assert report.result.verified, "repair failed under collector"
+        # A few cadences so every survivor ships its post-repair state.
+        await asyncio.sleep(3 * config.heartbeat_interval)
+
+        meta_client = cluster.pool.get(cluster.meta.address)
+
+        stats = (
+            await meta_client.call(
+                MessageType.COLLECTOR_QUERY, {"what": "stats"}
+            )
+        ).payload
+        alive = [s for s in cluster.servers.values() if s.alive]
+        assert stats["batches_ingested"] >= len(alive), stats
+        assert stats["samples_ingested"] > 0, stats
+        assert stats["retained_samples"] <= stats["retained_bound"], (
+            "collector retention exceeded its hard bound"
+        )
+        print(
+            f"ingest: {stats['batches_ingested']} batches, "
+            f"{stats['samples_ingested']} samples from "
+            f"{stats['nodes']} nodes; retained "
+            f"{stats['retained_samples']}/{stats['retained_bound']}"
+        )
+
+        # Rollup conservation: the fleet total equals the sum of the
+        # latest per-node values read straight off the server objects.
+        fleet = (
+            await meta_client.call(
+                MessageType.COLLECTOR_QUERY, {"what": "fleet"}
+            )
+        ).payload
+        rollup = {r["name"]: r for r in fleet["rollup"]}
+        assert "bytes.moved" in rollup, sorted(rollup)
+        truth = 0.0
+        for server in alive:
+            last = server.telemetry.series(
+                "bytes.moved", node=server.server_id
+            ).last()
+            if last is not None:
+                truth += last[1]
+        got = rollup["bytes.moved"]["sum"]
+        assert abs(got - truth) < 1e-6, (
+            f"fleet rollup bytes.moved {got} != in-process truth {truth}"
+        )
+        print(f"fleet rollup bytes.moved == in-process truth ({got:.0f}B)")
+
+        meta_addr = f"{cluster.meta.address.host}:{cluster.meta.address.port}"
+
+        # One-RPC cockpit over the real CLI.
+        top_out = await run_cli(
+            "top", "--meta", meta_addr, "--collector",
+            "--iterations", "1", "--no-color",
+        )
+        print(top_out)
+        missing = [
+            s.server_id for s in alive if s.server_id not in top_out
+        ]
+        assert not missing, f"top --collector missing nodes: {missing}"
+        assert "collector" in top_out.lower() or "repro top" in top_out
+
+        # Tiered query over the CLI.
+        query_out = await run_cli(
+            "query", "--meta", meta_addr,
+            "--metric", "bytes.moved", "--tier", "10s",
+        )
+        print(query_out)
+        assert "[10s]" in query_out or "10s" in query_out, query_out
+        assert "bytes.moved" in query_out
+
+        # Prometheus federation view of the whole fleet.
+        prom_out = await run_cli("query", "--meta", meta_addr, "--prom")
+        assert "repro_bytes_moved" in prom_out, prom_out[:400]
+        assert 'node="' in prom_out, "prom exposition lost node labels"
+        print(
+            f"prom exposition: {len(prom_out.splitlines())} lines, "
+            f"node labels intact"
+        )
+
+    print("collector smoke OK")
+    return 0
+
+
+def main() -> int:
+    return asyncio.run(smoke())
+
+
+if __name__ == "__main__":
+    sys.exit(main())
